@@ -1,0 +1,53 @@
+"""Shared benchmark fixtures and the results reporter.
+
+Every benchmark regenerates one table/figure of the paper.  Besides the
+pytest-benchmark timing, each writes the reproduced rows/series to
+``benchmarks/results/<name>.txt`` (and echoes to stdout when run with
+``-s``), so EXPERIMENTS.md can be assembled from the artifacts.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: Shrink factors shared by all benchmarks: the algorithms are length- and
+#: resolution-agnostic, so reproduced *shapes* are unaffected.
+DURATION_SCALE = 0.25
+RESOLUTION = (96, 72)
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Writer: report(name, lines) persists one experiment's output."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+
+    def write(name: str, lines: Iterable[str]) -> None:
+        lines = list(lines)
+        path = os.path.join(RESULTS_DIR, f"{name}.txt")
+        with open(path, "w") as fh:
+            fh.write("\n".join(lines) + "\n")
+        print(f"\n[{name}] -> {path}")
+        for line in lines:
+            print(f"  {line}")
+
+    return write
+
+
+@pytest.fixture(scope="session")
+def library():
+    """The ten-title clip library at benchmark scale (built once)."""
+    from repro.video import paper_library
+
+    return paper_library(resolution=RESOLUTION, duration_scale=DURATION_SCALE)
+
+
+@pytest.fixture(scope="session")
+def device():
+    from repro.display import ipaq_5555
+
+    return ipaq_5555()

@@ -1,0 +1,109 @@
+"""Ablation: the annotated scheme vs the related-work baselines.
+
+One scorecard per representative clip (a dark title and a bright title):
+backlight savings, switch count, worst-frame clipped fraction.  The
+paper's qualitative claims to reproduce:
+
+* history prediction (the no-annotation alternative of Section 3)
+  violates the quality budget on scene cuts;
+* per-frame scaling (DLS-style adaptation) saves the most but flickers;
+* the annotated scheme is within a few points of per-frame savings with
+  an order of magnitude fewer switches and zero budget violations.
+"""
+
+import pytest
+
+from repro.baselines import (
+    AnnotatedScaling,
+    DLSScaling,
+    DTMScaling,
+    FullBacklight,
+    HistoryPrediction,
+    PerFrameScaling,
+    QABSScaling,
+    StaticDim,
+    evaluate_plan,
+)
+from repro.core import SchemeParameters
+from repro.video import make_clip
+
+QUALITY = 0.10
+
+
+@pytest.fixture(scope="module")
+def scorecards(device):
+    strategies = [
+        FullBacklight(),
+        StaticDim(128),
+        HistoryPrediction(QUALITY, window=8),
+        PerFrameScaling(QUALITY),
+        QABSScaling(psnr_floor_db=35.0),
+        DLSScaling(QUALITY),
+        DTMScaling(brightness_tolerance=QUALITY),
+        AnnotatedScaling(SchemeParameters(quality=QUALITY)),
+    ]
+    cards = {}
+    for title in ("spiderman2", "ice_age"):
+        clip = make_clip(title, resolution=(96, 72), duration_scale=0.25)
+        cards[title] = [
+            evaluate_plan(s.plan(clip, device), clip, device, sample_every=3)
+            for s in strategies
+        ]
+    return cards
+
+
+@pytest.fixture(scope="module")
+def history_mispredictions(device):
+    predictor = HistoryPrediction(QUALITY, window=8)
+    return {
+        title: predictor.misprediction_stats(
+            make_clip(title, resolution=(96, 72), duration_scale=0.25), device
+        )
+        for title in ("spiderman2", "ice_age")
+    }
+
+
+def test_ablation_baselines(benchmark, report, scorecards, history_mispredictions, device):
+    lines = []
+    for title, evals in scorecards.items():
+        lines.append(f"--- {title} (quality budget {QUALITY:.0%}) ---")
+        lines.append(f"{'strategy':<18}{'savings':>9}{'switches':>10}"
+                     f"{'mean_clip':>11}{'max_clip':>10}")
+        for ev in evals:
+            lines.append(
+                f"{ev.strategy:<18}{ev.backlight_savings:>9.1%}"
+                f"{ev.switch_count:>10}{ev.mean_clipped_fraction:>11.2%}"
+                f"{ev.max_clipped_fraction:>10.2%}"
+            )
+        lines.append("")
+    lines.append("history-prediction quality violations (shortfall vs budgeted luminance):")
+    for title, stats in history_mispredictions.items():
+        lines.append(
+            f"  {title}: {stats['violation_fraction']:.1%} of frames, "
+            f"worst luminance shortfall {stats['worst_shortfall']:.2f}"
+        )
+    report("ablation_baselines", lines)
+
+    # history prediction mispredicts on scene cuts ('serious consequences
+    # on quality degradation if prediction proves wrong')
+    for title, stats in history_mispredictions.items():
+        assert stats["violation_fraction"] > 0.0, title
+
+    for title, evals in scorecards.items():
+        by_name = {ev.strategy: ev for ev in evals}
+        annotated = by_name["annotated-q10"]
+        per_frame = by_name["per-frame-q10"]
+        history = by_name["history-w8"]
+
+        # annotated never violates its budget
+        assert annotated.max_clipped_fraction <= QUALITY + 0.01, title
+
+        # per-frame is the savings upper bound but flickers
+        assert per_frame.backlight_savings >= annotated.backlight_savings - 1e-9
+        assert annotated.switch_count < per_frame.switch_count or (
+            per_frame.switch_count == 0
+        )
+
+    clip = make_clip("spiderman2", resolution=(96, 72), duration_scale=0.25)
+    strategy = AnnotatedScaling(SchemeParameters(quality=QUALITY))
+    benchmark.pedantic(strategy.plan, args=(clip, device), rounds=3, iterations=1)

@@ -1,0 +1,46 @@
+"""Ablation: device dependence of the savings.
+
+"Our scheme allows us to tailor the technique to each PDA for better
+power savings, by including the display properties in the loop."  The
+same device-independent annotation track is bound to each of the three
+PDAs; their transfer curves and backlight electronics yield different
+schedules and different savings.
+"""
+
+from repro.core import AnnotationPipeline, SchemeParameters
+from repro.core.pipeline import AnnotatedStream
+from repro.display import all_devices
+from repro.video import make_clip
+
+QUALITY = 0.10
+
+
+def test_ablation_devices(benchmark, report):
+    clip = make_clip("returnoftheking", resolution=(96, 72), duration_scale=0.25)
+    pipeline = AnnotationPipeline(SchemeParameters(quality=QUALITY))
+    track = pipeline.annotate(clip)  # one track, all devices
+
+    lines = [f"{'device':<16}{'backlight':>10}{'floor_W':>9}{'savings':>9}"
+             f"{'mean_level':>11}"]
+    savings = {}
+    for dev in all_devices():
+        stream = AnnotatedStream(clip, track.bind(dev), dev)
+        s = stream.predicted_backlight_savings()
+        savings[dev.name] = s
+        levels = stream.backlight_levels()
+        lines.append(
+            f"{dev.name:<16}{dev.backlight.kind:>10}"
+            f"{dev.backlight.power_floor_w:>9.2f}{s:>9.1%}"
+            f"{levels.mean():>11.1f}"
+        )
+    report("ablation_devices", lines)
+
+    # All devices save meaningfully on a dark clip.
+    assert all(s > 0.15 for s in savings.values())
+    # Savings differ across devices (transfer + electronics matter).
+    assert len({round(s, 2) for s in savings.values()}) >= 2
+    # CCFL inverter floors cap savings below the LED device's at equal
+    # dimming depth; with different transfers the LED device wins here.
+    assert savings["ipaq5555"] == max(savings.values())
+
+    benchmark.pedantic(track.bind, args=(all_devices()[0],), rounds=5, iterations=1)

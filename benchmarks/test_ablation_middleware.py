@@ -1,0 +1,57 @@
+"""Extension: battery-aware quality adaptation (middleware layer).
+
+Reference [13] coordinates adaptation through a middleware layer; this
+bench sweeps the battery capacity and shows the adaptation staircase: big
+packs play everything at full quality, shrinking packs degrade title by
+title, and the chosen qualities are monotone in the battery size.
+"""
+
+from repro.core import SchemeParameters
+from repro.power import Battery
+from repro.streaming import BatteryAwareMiddleware, MediaServer
+from repro.video import make_clip
+
+PLAYLIST = {"returnoftheking": 3.5 * 3600, "catwoman": 1.7 * 3600,
+            "ice_age": 1.4 * 3600}
+
+
+def test_ablation_middleware(benchmark, report, device):
+    server = MediaServer(params=SchemeParameters())
+    for name in PLAYLIST:
+        server.add_clip(make_clip(name, resolution=(96, 72), duration_scale=0.25))
+
+    capacities = (30.0, 22.0, 18.0, 14.0)
+    lines = [f"{'battery_Wh':>10}" + "".join(f"{name:>18}" for name in PLAYLIST)
+             + f"{'completed':>11}"]
+    plans = {}
+    for wh in capacities:
+        mw = BatteryAwareMiddleware(server, device, battery=Battery(capacity_wh=wh))
+        plan = mw.plan_session(list(PLAYLIST), durations_s=PLAYLIST)
+        plans[wh] = plan
+        lines.append(
+            f"{wh:>10.1f}"
+            + "".join(f"{e.quality:>17.0%} " for e in plan.events)
+            + f"{str(plan.completed):>11}"
+        )
+    report("ablation_middleware", lines)
+
+    # Monotone: a smaller battery never chooses a lower quality number.
+    for name_idx in range(len(plans[capacities[0]].events)):
+        qualities = [
+            plans[wh].events[name_idx].quality
+            for wh in capacities
+            if len(plans[wh].events) > name_idx
+        ]
+        assert all(b >= a - 1e-9 for a, b in zip(qualities, qualities[1:]))
+
+    # The generous pack runs lossless and completes.
+    assert plans[30.0].completed
+    assert all(q == 0.0 for q in plans[30.0].qualities())
+    # The tight pack degrades at least one title.
+    assert any(q > 0.0 for q in plans[18.0].qualities())
+
+    mw = BatteryAwareMiddleware(server, device, battery=Battery(capacity_wh=18.0))
+    benchmark.pedantic(
+        mw.plan_session, args=(list(PLAYLIST),), kwargs={"durations_s": PLAYLIST},
+        rounds=3, iterations=1,
+    )

@@ -1,0 +1,50 @@
+"""Ablation: server-side (whole clip) vs proxy-side (chunked, on-the-fly)
+annotation.
+
+"Note that for our scheme either the proxy or the server node suffices."
+The proxy pays for its real-time operation with chunk-bounded scenes;
+this bench sweeps the chunk length and reports the savings gap and the
+buffering latency it buys.
+"""
+
+import numpy as np
+
+from repro.core import AnnotationPipeline, SchemeParameters
+from repro.power import simulated_backlight_savings
+from repro.streaming import TranscodingProxy
+from repro.video import make_clip
+
+QUALITY = 0.10
+
+
+def test_ablation_proxy(benchmark, report, device):
+    clip = make_clip("themovie", resolution=(96, 72), duration_scale=0.25)
+    params = SchemeParameters(quality=QUALITY, min_scene_interval_frames=8)
+
+    offline = AnnotationPipeline(params).build_stream(clip, device)
+    offline_savings = offline.predicted_backlight_savings()
+
+    lines = [f"{'variant':<20}{'savings':>9}{'latency_s':>11}"]
+    lines.append(f"{'server (offline)':<20}{offline_savings:>9.1%}{0.0:>11.2f}")
+    gaps = {}
+    for chunk in (15, 30, 60):
+        proxy = TranscodingProxy(device, params, chunk_frames=chunk)
+        levels = np.array([
+            level for _f, level, _g in proxy.annotate_live(iter(clip), fps=clip.fps)
+        ])
+        savings = simulated_backlight_savings(levels, device)
+        gaps[chunk] = offline_savings - savings
+        lines.append(
+            f"{f'proxy (chunk={chunk})':<20}{savings:>9.1%}"
+            f"{proxy.chunk_latency_s(clip.fps):>11.2f}"
+        )
+    report("ablation_proxy", lines)
+
+    # The proxy stays within a modest gap of the offline optimum.
+    assert all(abs(gap) < 0.15 for gap in gaps.values()), gaps
+
+    proxy = TranscodingProxy(device, params, chunk_frames=30)
+    benchmark.pedantic(
+        lambda: list(proxy.annotate_live(iter(clip), fps=clip.fps)),
+        rounds=3, iterations=1,
+    )

@@ -1,0 +1,61 @@
+"""Ablation: scene grouping vs per-frame adaptation, and the scene
+threshold sweep.
+
+Section 4.3: per-frame changes can save more "but may introduce some
+flicker"; the 10 % threshold and the minimum interval "were experimentally
+set for minimizing visible spikes".  This bench quantifies the trade:
+power saved vs backlight switches per second.
+"""
+
+import numpy as np
+
+from repro.core import AnnotationPipeline, SchemeParameters
+from repro.video import make_clip
+
+QUALITY = 0.10
+
+
+def _run(clip, device, **kwargs):
+    params = SchemeParameters(quality=QUALITY, **kwargs)
+    stream = AnnotationPipeline(params).build_stream(clip, device)
+    track = stream.track
+    return (
+        stream.predicted_backlight_savings(),
+        track.switch_count() / clip.duration,
+        len(track.scenes),
+    )
+
+
+def test_ablation_scene_grouping(benchmark, report, device):
+    clip = make_clip("spiderman2", resolution=(96, 72), duration_scale=0.25)
+
+    rows = []
+    per_frame = _run(clip, device, per_frame=True)
+    rows.append(("per-frame", *per_frame))
+    for interval in (5, 15, 30):
+        grouped = _run(clip, device, min_scene_interval_frames=interval)
+        rows.append((f"scene(min={interval}f)", *grouped))
+    for threshold in (0.05, 0.10, 0.25):
+        grouped = _run(clip, device, scene_change_threshold=threshold,
+                       min_scene_interval_frames=15)
+        rows.append((f"scene(thr={threshold:.0%})", *grouped))
+
+    lines = [f"{'variant':<18}{'savings':>9}{'switch/s':>10}{'scenes':>8}"]
+    for name, savings, sps, scenes in rows:
+        lines.append(f"{name:<18}{savings:>9.1%}{sps:>10.2f}{scenes:>8}")
+    report("ablation_scene_grouping", lines)
+
+    # Per-frame saves at least as much as any grouping but switches far
+    # more often than the default grouping.
+    default = dict((r[0], r) for r in rows)["scene(min=15f)"]
+    assert per_frame[0] >= default[1] - 1e-9
+    assert per_frame[1] > 4 * default[2] if default[2] > 0 else per_frame[1] > 0
+
+    # Longer intervals can only reduce (or keep) the switch rate.
+    sps = [r[2] for r in rows[1:4]]
+    assert sps[0] >= sps[1] >= sps[2]
+
+    benchmark.pedantic(
+        _run, args=(clip, device), kwargs={"min_scene_interval_frames": 15},
+        rounds=3, iterations=1,
+    )

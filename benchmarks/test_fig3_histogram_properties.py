@@ -1,0 +1,39 @@
+"""Figure 3: image histogram properties (average point, dynamic range).
+
+Regenerates the two summary statistics the paper's quality evaluation is
+built on, for a dark and a bright frame, and benchmarks histogram
+construction (the per-frame cost of the profiling pass).
+"""
+
+from repro.quality import LuminanceHistogram
+from repro.video import BrightScene, DarkScene
+
+
+def _frames():
+    dark = DarkScene(duration=1, resolution=(96, 72), seed=3).render(0)
+    bright = BrightScene(duration=1, resolution=(96, 72), seed=3).render(0)
+    return dark, bright
+
+
+def test_fig3_histogram_properties(benchmark, report):
+    dark, bright = _frames()
+
+    hist_dark = LuminanceHistogram.of(dark)
+    hist_bright = LuminanceHistogram.of(bright)
+
+    lines = ["frame    avg_point  dyn_range_low  dyn_range_high  width"]
+    for name, hist in (("dark", hist_dark), ("bright", hist_bright)):
+        low, high = hist.dynamic_range()
+        lines.append(
+            f"{name:<8} {hist.average_point:>9.1f} {low:>14} {high:>15} "
+            f"{hist.dynamic_range_width:>6}"
+        )
+    report("fig3_histogram_properties", lines)
+
+    # Shape checks: dark frames sit low with a wide highlight tail; bright
+    # frames sit high with a narrow occupied band.
+    assert hist_dark.average_point < 100
+    assert hist_bright.average_point > 170
+    assert hist_bright.dynamic_range()[0] > 100
+
+    benchmark(LuminanceHistogram.of, dark)

@@ -1,0 +1,33 @@
+"""Figure 5: the quality trade-off in a histogram — clipped (lost)
+high-luminance values as the allowed percentage grows.
+
+Regenerates the clip point and actually-lost pixel mass at the paper's
+quality levels for a dark frame, and benchmarks the clip-point lookup
+(the per-scene cost of the clipping heuristic).
+"""
+
+from repro.core import QUALITY_LEVELS, quality_label
+from repro.quality import LuminanceHistogram
+from repro.video import DarkScene
+
+
+def test_fig5_quality_tradeoff(benchmark, report):
+    frame = DarkScene(duration=1, resolution=(96, 72), seed=5).render(0)
+    hist = LuminanceHistogram.of(frame)
+
+    lines = ["quality  clip_code  kept_range  actually_lost"]
+    prev_code = 256
+    for q in QUALITY_LEVELS:
+        code = hist.clip_point(q)
+        lost = hist.tail_mass_above(code)
+        lines.append(
+            f"{quality_label(q):>7} {code:>10} {f'0-{code}':>11} {lost:>13.2%}"
+        )
+        # Clip point descends as the budget grows, and the lost mass never
+        # exceeds the budget.
+        assert code <= prev_code
+        assert lost <= q + 1e-12
+        prev_code = code
+    report("fig5_quality_tradeoff", lines)
+
+    benchmark(hist.clip_point, 0.10)

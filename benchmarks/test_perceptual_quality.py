@@ -1,0 +1,56 @@
+"""Section 5's verbal quality claims, quantified perceptually.
+
+"Even at the 5 % quality loss we already start seeing a huge improvement
+in the backlight power consumption, and visual degradation is virtually
+unnoticeable.  The degradation in quality varies from not noticeable to
+minor color and luminance distortion."
+
+The Weber-law visibility model turns those words into numbers: the
+fraction of pixels whose rendered luminance changes by more than one
+just-noticeable difference between the full-backlight original and the
+compensated dimmed playback.
+"""
+
+from repro.core import QUALITY_LEVELS, SchemeParameters, quality_label, sweep_quality_levels
+from repro.quality import PerceptualModel, perceptual_playback_report
+from repro.video import make_clip
+
+CLIPS = ("returnoftheking", "shrek2", "ice_age")
+
+
+def test_perceptual_quality(benchmark, report, device):
+    model = PerceptualModel()
+    lines = [f"{'clip':<18}" + "".join(f"{quality_label(q):>9}" for q in QUALITY_LEVELS)]
+    results = {}
+    for name in CLIPS:
+        clip = make_clip(name, resolution=(96, 72), duration_scale=0.25)
+        streams = sweep_quality_levels(clip, device, QUALITY_LEVELS,
+                                       params=SchemeParameters())
+        row = [
+            perceptual_playback_report(stream, model=model, sample_every=4)[
+                "mean_visible_fraction"
+            ]
+            for stream in streams
+        ]
+        results[name] = row
+        lines.append(f"{name:<18}" + "".join(f"{v:>9.2%}" for v in row))
+    lines.append("")
+    lines.append("values = mean fraction of pixels changed by > 1 JND vs the")
+    lines.append("full-backlight original (Weber fraction 2%)")
+    report("perceptual_quality", lines)
+
+    for name, row in results.items():
+        # lossless playback is perceptually lossless
+        assert row[0] < 0.02, name
+        # 'virtually unnoticeable' at 5 %
+        assert row[1] < 0.05, name
+        # visibility grows with the budget but stays 'minor' at 20 %
+        assert all(b >= a - 0.01 for a, b in zip(row, row[1:])), name
+        assert row[-1] < 0.30, name
+
+    clip = make_clip("shrek2", resolution=(96, 72), duration_scale=0.25)
+    stream = sweep_quality_levels(clip, device, [0.10], params=SchemeParameters())[0]
+    benchmark.pedantic(
+        perceptual_playback_report, args=(stream,),
+        kwargs={"sample_every": 8}, rounds=3, iterations=1,
+    )

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Battery-aware viewing session: the middleware picks quality levels.
+
+A traveler wants to watch three full-length movies on one battery charge.
+The middleware (the layer reference [13] describes) divides the remaining
+energy by the remaining watch time before each title and asks the server
+for the least-degradation variant that fits, using the power hints the
+server derived from its annotation pass.
+
+Run:  python examples/battery_aware_viewing.py
+"""
+
+from repro.display import ipaq_5555
+from repro.power import Battery
+from repro.streaming import BatteryAwareMiddleware, MediaServer
+from repro.video import make_clip
+
+#: Pretend durations of the full-length titles (the simulation clips are
+#: scaled down for speed; energy budgeting uses the real runtimes).
+MOVIE_RUNTIME_S = {
+    "returnoftheking": 3.5 * 3600,
+    "catwoman": 1.7 * 3600,
+    "ice_age": 1.4 * 3600,
+}
+
+
+def run_session(server, device, capacity_wh):
+    middleware = BatteryAwareMiddleware(
+        server, device, battery=Battery(capacity_wh=capacity_wh)
+    )
+    plan = middleware.plan_session(list(MOVIE_RUNTIME_S), durations_s=MOVIE_RUNTIME_S)
+    print(f"--- battery: {capacity_wh:.1f} Wh ---")
+    print(plan.describe())
+    print()
+
+
+def main():
+    device = ipaq_5555()
+    server = MediaServer()
+    for name in MOVIE_RUNTIME_S:
+        server.add_clip(make_clip(name, duration_scale=0.3))
+
+    total_hours = sum(MOVIE_RUNTIME_S.values()) / 3600
+    print(f"Playlist: {', '.join(MOVIE_RUNTIME_S)} ({total_hours:.1f} h)\n")
+
+    # A big battery: full quality throughout.
+    run_session(server, device, capacity_wh=25.0)
+    # The stock pack: some titles must degrade.
+    run_session(server, device, capacity_wh=18.0)
+    # A worn-out pack: aggressive everywhere, may still not finish.
+    run_session(server, device, capacity_wh=14.0)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Quality-power trade-off sweep with camera validation (Figures 4, 5, 9).
+
+For one clip the script sweeps the paper's five quality levels and, per
+level, reports:
+
+* predicted backlight power savings (the Figure 9 series for one clip),
+* the actual fraction of clipped pixels (must stay under the budget),
+* a digital-camera validation of a dark frame (Figure 4: average
+  brightness of the reference vs compensated snapshot).
+
+Run:  python examples/quality_tradeoff.py [clip_name]
+"""
+
+import sys
+
+from repro.camera import CompensationValidator, DigitalCamera
+from repro.core import QUALITY_LEVELS, SchemeParameters, quality_label, sweep_quality_levels
+from repro.display import ipaq_5555
+from repro.video import PAPER_CLIP_NAMES, make_clip
+
+
+def main():
+    name = sys.argv[1] if len(sys.argv) > 1 else "returnoftheking"
+    if name not in PAPER_CLIP_NAMES:
+        raise SystemExit(f"unknown clip {name!r}; choose from {PAPER_CLIP_NAMES}")
+
+    clip = make_clip(name, duration_scale=0.4)
+    device = ipaq_5555()
+    validator = CompensationValidator(device, DigitalCamera(noise_sigma=0.002, seed=3))
+
+    streams = sweep_quality_levels(clip, device, QUALITY_LEVELS,
+                                   params=SchemeParameters())
+
+    # pick the darkest frame for the Figure 4 style validation
+    dark_index = min(range(clip.frame_count),
+                     key=lambda i: clip.frame(i).mean_luminance)
+
+    print(f"Clip {clip.name}: {clip.frame_count} frames on {device.name}")
+    print(f"{'quality':>8} {'savings':>8} {'clipped':>8} {'scenes':>7} "
+          f"{'ref avg':>8} {'comp avg':>9} {'EMD':>6} {'ok?':>4}")
+    for q, stream in zip(QUALITY_LEVELS, streams):
+        savings = stream.predicted_backlight_savings()
+        clipped = stream.mean_clipped_fraction(sample_every=5)
+        comp = stream.compensated_frame(dark_index)
+        level = int(stream.backlight_levels()[dark_index])
+        report = validator.validate(clip.frame(dark_index), comp.frame, level)
+        print(f"{quality_label(q):>8} {savings:>8.1%} {clipped:>8.2%} "
+              f"{len(stream.track.scenes):>7} "
+              f"{report.reference_average:>8.1f} {report.compensated_average:>9.1f} "
+              f"{report.emd:>6.1f} {'yes' if report.acceptable() else 'NO':>4}")
+
+    print("\nReading the table:")
+    print(" * savings grow with the allowed clipping (Figure 9's shape);")
+    print(" * clipped pixels always stay at or below the quality level;")
+    print(" * the camera sees nearly identical average brightness for the")
+    print("   reference (full backlight) and compensated (dimmed) snapshots")
+    print("   (Figure 4's comparison).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Reproduce the paper's evaluation in one command.
+
+Runs every figure/table through :mod:`repro.experiments` and prints the
+paper-style tables, with the qualitative claims checked inline.  This is
+the library-API twin of ``pytest benchmarks/ --benchmark-only``.
+
+Run:  python examples/reproduce_paper.py [duration_scale]
+      (default scale 0.25; larger = longer clips, steadier numbers)
+"""
+
+import sys
+
+from repro import experiments
+
+
+def check(label, condition):
+    print(f"  [{'ok' if condition else 'FAIL'}] {label}")
+    return condition
+
+
+def main():
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.25
+    print(f"Running the full reproduction sweep (duration_scale={scale:g})...\n")
+
+    print("=== Section 4: backlight share of device power ===")
+    share = experiments.backlight_share()
+    print(share.format())
+    check("every device in the ~25-40 % band",
+          all(0.2 <= share.share(n) <= 0.45 for n in share.rows))
+
+    print("\n=== Figure 7: measured backlight transfer curves ===")
+    fig7 = experiments.figure7()
+    print(fig7.format())
+    mids = [curve[4] for curve in fig7.curves.values()]  # level 128
+    check("nonlinear on every device", all(abs(m - 0.5) > 0.05 for m in mids))
+
+    print("\n=== Figure 6: scene grouping trace (themovie) ===")
+    fig6 = experiments.figure6("themovie", duration_scale=scale)
+    print(fig6.format())
+    print(f"  scenes={fig6.scene_count} switches={fig6.switch_count}")
+
+    print("\n=== Figure 9: simulated backlight power savings ===")
+    fig9 = experiments.figure9(duration_scale=scale)
+    print(fig9.format())
+    best_name, best_value = fig9.best_clip()
+    check(f"headline magnitude (best clip {best_name}: {best_value:.1%})",
+          best_value >= 0.6)
+    check("ice_age nearly flat", fig9.rows["ice_age"][-1] < 0.15)
+
+    print("\n=== Figure 10: measured total-device power savings ===")
+    fig10 = experiments.figure10(duration_scale=scale)
+    print(fig10.format())
+    peak = max(v[-1] for v in fig10.rows.values())
+    check(f"peak total savings {peak:.1%} brackets the paper's 15-20 %",
+          0.12 <= peak <= 0.25)
+    check("ice_age shows almost no improvement", fig10.rows["ice_age"][-1] < 0.06)
+
+
+if __name__ == "__main__":
+    main()

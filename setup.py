@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+Offline environments may lack the ``wheel`` package that PEP 660 editable
+installs require; with this shim, ``pip install -e . --no-build-isolation``
+can fall back to the legacy ``setup.py develop`` path.  All metadata lives
+in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,59 @@
+"""repro: annotation-driven backlight power optimization for mobile video.
+
+Reproduction of Cornea, Nicolau & Dutt, "Software Annotations for Power
+Optimization on Mobile Devices" (DATE 2006).
+
+Subpackages
+-----------
+``repro.video``
+    Frames, clips, synthetic scene generators, the ten-title clip library.
+``repro.display``
+    LCD panels, CCFL/LED backlights, transfer functions, device profiles,
+    camera-sweep calibration.
+``repro.power``
+    Component power models, DAQ measurement simulation, batteries.
+``repro.camera``
+    Digital-camera validation methodology (response curves, snapshots).
+``repro.quality``
+    Luminance histograms and comparison metrics.
+``repro.core``
+    The paper's contribution: stream analysis, scene detection, clipping,
+    compensation, annotation tracks, the end-to-end pipeline.
+``repro.streaming``
+    Server / proxy / network / client system model.
+``repro.player``
+    Decoder timing, backlight controller, playback engine.
+``repro.baselines``
+    Comparison strategies (static, history, per-frame, QABS, DLS).
+"""
+
+__version__ = "1.0.0"
+
+from . import (
+    baselines,
+    camera,
+    core,
+    display,
+    experiments,
+    player,
+    power,
+    quality,
+    streaming,
+    video,
+    viz,
+)
+
+__all__ = [
+    "video",
+    "display",
+    "power",
+    "camera",
+    "quality",
+    "core",
+    "streaming",
+    "player",
+    "baselines",
+    "viz",
+    "experiments",
+    "__version__",
+]

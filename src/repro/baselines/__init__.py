@@ -1,0 +1,35 @@
+"""Baseline backlight-scaling strategies and the common evaluator."""
+
+from .base import (
+    BacklightStrategy,
+    CompensationMode,
+    PlanEvaluation,
+    SchedulePlan,
+    evaluate_plan,
+)
+from .static import FullBacklight, StaticDim
+from .history import HistoryPrediction
+from .perframe import PerFrameScaling
+from .qabs import QABSScaling, psnr_per_clip_code
+from .dls import DLSScaling
+from .dtm import DTMScaling, clipped_equalization_curve
+from .annotated import AnnotatedBrightnessScaling, AnnotatedScaling
+
+__all__ = [
+    "BacklightStrategy",
+    "SchedulePlan",
+    "CompensationMode",
+    "PlanEvaluation",
+    "evaluate_plan",
+    "FullBacklight",
+    "StaticDim",
+    "HistoryPrediction",
+    "PerFrameScaling",
+    "QABSScaling",
+    "psnr_per_clip_code",
+    "DLSScaling",
+    "DTMScaling",
+    "clipped_equalization_curve",
+    "AnnotatedScaling",
+    "AnnotatedBrightnessScaling",
+]

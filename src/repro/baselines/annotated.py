@@ -1,0 +1,75 @@
+"""Adapters: the paper's annotation scheme as BacklightStrategy variants.
+
+:class:`AnnotatedScaling` wraps the pipeline with its contrast-enhancement
+compensation ("We use this method in our work", Section 4.1).
+:class:`AnnotatedBrightnessScaling` keeps the identical scenes and
+backlight schedule but compensates additively instead — the Section 4.1
+alternative — so the two compensation operators can be compared on equal
+power terms.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.analyzer import StreamAnalyzer
+from ..core.pipeline import AnnotationPipeline
+from ..core.policy import SchemeParameters
+from ..display.devices import DeviceProfile
+from ..video.clip import ClipBase
+from .base import BacklightStrategy, CompensationMode, SchedulePlan
+
+
+class AnnotatedScaling(BacklightStrategy):
+    """Scene-grouped, annotation-driven scaling (the paper's technique)."""
+
+    def __init__(self, params: SchemeParameters = SchemeParameters(quality=0.05),
+                 per_scene_clipping: bool = False):
+        self.params = params
+        self.pipeline = AnnotationPipeline(params, per_scene_clipping=per_scene_clipping)
+        self.name = f"annotated-q{round(params.quality * 100)}"
+
+    def plan(self, clip: ClipBase, device: DeviceProfile) -> SchedulePlan:
+        track = self.pipeline.annotate_for_device(clip, device)
+        return SchedulePlan(
+            strategy=self.name,
+            levels=track.per_frame_levels(),
+            mode=CompensationMode.CONTRAST,
+            params=track.per_frame_gains(),
+        )
+
+
+class AnnotatedBrightnessScaling(BacklightStrategy):
+    """The annotation scheme with additive (brightness) compensation.
+
+    Scenes and backlight levels are identical to
+    :class:`AnnotatedScaling`; only the per-frame image adjustment
+    differs: ``C' = min(1, C + delta)`` with ``delta`` chosen to restore
+    the frame's *mean* perceived intensity at the dimmed backlight (an
+    additive shift cannot restore all pixels at once — the reason the
+    paper chose the multiplicative form).
+    """
+
+    def __init__(self, params: SchemeParameters = SchemeParameters(quality=0.05)):
+        self.params = params
+        self.pipeline = AnnotationPipeline(params)
+        self.name = f"annotated-bright-q{round(params.quality * 100)}"
+
+    def plan(self, clip: ClipBase, device: DeviceProfile) -> SchedulePlan:
+        track = self.pipeline.annotate_for_device(clip, device)
+        levels = track.per_frame_levels()
+        stats = StreamAnalyzer().analyze(clip)
+        backlight = device.transfer.backlight
+        deltas = np.empty(levels.size)
+        for i, s in enumerate(stats):
+            bl = float(np.asarray(backlight.luminance(int(levels[i]))))
+            if bl <= 0:
+                deltas[i] = 1.0  # black scene: push everything to ceiling
+            else:
+                deltas[i] = min(max(s.mean_luminance * (1.0 / bl - 1.0), 0.0), 1.0)
+        return SchedulePlan(
+            strategy=self.name,
+            levels=levels,
+            mode=CompensationMode.BRIGHTNESS,
+            params=deltas,
+        )

@@ -1,0 +1,134 @@
+"""Common interface for backlight-scaling strategies.
+
+Every strategy — the paper's annotation scheme and the baselines it is
+compared against (history prediction, per-frame scaling, QABS-style
+smoothing, DLS-style brightness compensation, static dimming) — reduces to
+the same artifact: a per-frame backlight schedule plus a per-frame
+compensation directive.  Sharing that artifact lets one evaluator score
+power, flicker and quality identically across all of them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.compensation import (
+    CompensationResult,
+    brightness_compensation,
+    contrast_enhancement,
+)
+from ..display.devices import DeviceProfile
+from ..display.transfer import MAX_BACKLIGHT_LEVEL
+from ..power.measurement import simulated_backlight_savings
+from ..video.clip import ClipBase
+from ..video.frame import Frame
+
+
+class CompensationMode(enum.Enum):
+    """How displayed frames are adjusted for the dimmed backlight."""
+
+    NONE = "none"
+    CONTRAST = "contrast"      # C' = min(1, C * k)     (Section 4.1, ours)
+    BRIGHTNESS = "brightness"  # C' = min(1, C + delta) (Section 4.1, DLS-style)
+
+
+@dataclass(frozen=True)
+class SchedulePlan:
+    """A strategy's output for one clip on one device."""
+
+    strategy: str
+    levels: np.ndarray
+    mode: CompensationMode
+    params: np.ndarray  # per-frame gain (contrast) or delta (brightness)
+
+    def __post_init__(self):
+        levels = np.asarray(self.levels, dtype=np.int64)
+        params = np.asarray(self.params, dtype=np.float64)
+        if levels.ndim != 1 or levels.size == 0:
+            raise ValueError("levels must be a non-empty 1-D array")
+        if params.shape != levels.shape:
+            raise ValueError("params must match levels in shape")
+        if levels.min() < 0 or levels.max() > MAX_BACKLIGHT_LEVEL:
+            raise ValueError("backlight levels out of range")
+        object.__setattr__(self, "levels", levels)
+        object.__setattr__(self, "params", params)
+
+    # ------------------------------------------------------------------
+    @property
+    def frame_count(self) -> int:
+        return self.levels.size
+
+    def switch_count(self) -> int:
+        """Backlight level changes over the schedule (flicker measure)."""
+        return int(np.count_nonzero(np.diff(self.levels)))
+
+    def backlight_savings(self, device: DeviceProfile) -> float:
+        """Figure 9 metric for this plan."""
+        return simulated_backlight_savings(self.levels, device)
+
+    def compensate(self, frame: Frame, index: int) -> CompensationResult:
+        """Apply this plan's compensation to one frame."""
+        if not 0 <= index < self.frame_count:
+            raise IndexError(f"frame {index} out of plan range")
+        param = float(self.params[index])
+        if self.mode is CompensationMode.NONE:
+            return CompensationResult(frame=frame.copy(), clipped_fraction=0.0)
+        if self.mode is CompensationMode.CONTRAST:
+            if param <= 1.0:
+                return CompensationResult(frame=frame.copy(), clipped_fraction=0.0)
+            return contrast_enhancement(frame, param)
+        return brightness_compensation(frame, param)
+
+
+class BacklightStrategy:
+    """Interface: (clip, device) -> SchedulePlan."""
+
+    name: str = "strategy"
+
+    def plan(self, clip: ClipBase, device: DeviceProfile) -> SchedulePlan:
+        """Compute this strategy's schedule for ``clip`` on ``device``."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class PlanEvaluation:
+    """Cross-strategy scorecard for one plan on one clip/device."""
+
+    strategy: str
+    backlight_savings: float
+    switch_count: int
+    mean_clipped_fraction: float
+    max_clipped_fraction: float
+
+
+def evaluate_plan(
+    plan: SchedulePlan,
+    clip: ClipBase,
+    device: DeviceProfile,
+    sample_every: int = 1,
+) -> PlanEvaluation:
+    """Score a plan: power saved, flicker, quality damage.
+
+    ``sample_every`` subsamples frames for the (pixel-touching) clipping
+    measurement; power and switching always use the full schedule.
+    """
+    if plan.frame_count != clip.frame_count:
+        raise ValueError(
+            f"plan covers {plan.frame_count} frames, clip has {clip.frame_count}"
+        )
+    if sample_every < 1:
+        raise ValueError("sample_every must be >= 1")
+    clipped = [
+        plan.compensate(clip.frame(i), i).clipped_fraction
+        for i in range(0, clip.frame_count, sample_every)
+    ]
+    return PlanEvaluation(
+        strategy=plan.strategy,
+        backlight_savings=plan.backlight_savings(device),
+        switch_count=plan.switch_count(),
+        mean_clipped_fraction=float(np.mean(clipped)),
+        max_clipped_fraction=float(np.max(clipped)),
+    )

@@ -1,0 +1,99 @@
+"""DLS-style baseline: brightness-compensated luminance scaling.
+
+Models the dynamic-luminance-scaling family (Chang/Choi/Shim, reference
+[3], and the concurrent brightness-contrast scaling of Cheng/Hou/Pedram,
+reference [5]): per *frame*, dim the backlight and compensate with a
+constant *additive* brightness shift, choosing the deepest dimming whose
+clipped-pixel fraction stays under a budget.
+
+The paper notes these techniques are computation-heavy on the client
+("because of the computation involved ... a hardware approach is
+preferred") — here the cost shows up as a per-frame histogram search the
+annotation scheme performs offline instead.  Comparing this plan against
+the annotation pipeline isolates the two design differences: additive vs
+multiplicative compensation, and per-frame vs per-scene adaptation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.analyzer import FrameStats, StreamAnalyzer
+from ..display.devices import DeviceProfile
+from ..display.transfer import MAX_BACKLIGHT_LEVEL
+from ..quality.histogram import NUM_BINS
+from ..video.clip import ClipBase
+from .base import BacklightStrategy, CompensationMode, SchedulePlan
+
+
+class DLSScaling(BacklightStrategy):
+    """Brightness-compensation backlight scaling with a clip budget.
+
+    Parameters
+    ----------
+    clip_budget:
+        Maximum fraction of pixels allowed to saturate per frame.
+    level_step:
+        Candidate backlight levels are searched on this grid (finer =
+        slower + closer to optimal).
+    """
+
+    def __init__(self, clip_budget: float = 0.05, level_step: int = 8):
+        if not 0.0 <= clip_budget <= 1.0:
+            raise ValueError("clip_budget must be in [0, 1]")
+        if level_step < 1:
+            raise ValueError("level_step must be >= 1")
+        self.clip_budget = clip_budget
+        self.level_step = level_step
+        self.name = f"dls-b{round(clip_budget * 100)}"
+
+    # ------------------------------------------------------------------
+    def _delta_for_level(self, stats: FrameStats, backlight_luminance: float) -> float:
+        """Additive shift restoring the frame's mean perceived intensity.
+
+        DLS preserves the image's average brightness: with the backlight
+        at relative output ``B``, displayed intensity is ``B * (Y + d)``;
+        matching the original mean requires ``d = mean(Y) * (1/B - 1)``.
+        """
+        return stats.mean_luminance * (1.0 / backlight_luminance - 1.0)
+
+    def _clipped_fraction(self, stats: FrameStats, delta: float) -> float:
+        """Histogram estimate of pixels saturating under shift ``delta``."""
+        threshold = 1.0 - delta
+        code = int(np.floor(threshold * (NUM_BINS - 1)))
+        if code >= NUM_BINS - 1:
+            return 0.0
+        if code < 0:
+            return 1.0
+        # The additive shift saturates a pixel once its *largest channel*
+        # passes the ceiling, so the budget is checked on that histogram.
+        return stats.channel_histogram.tail_mass_above(code)
+
+    def plan(self, clip: ClipBase, device: DeviceProfile) -> SchedulePlan:
+        stats = StreamAnalyzer().analyze(clip)
+        transfer = device.transfer
+        n = len(stats)
+        levels = np.empty(n, dtype=np.int64)
+        deltas = np.empty(n)
+        candidates = list(range(self.level_step, MAX_BACKLIGHT_LEVEL, self.level_step))
+        candidates.append(MAX_BACKLIGHT_LEVEL)
+        for i, s in enumerate(stats):
+            chosen_level = MAX_BACKLIGHT_LEVEL
+            chosen_delta = 0.0
+            for level in candidates:  # ascending: first feasible = deepest dim
+                bl = float(np.asarray(transfer.backlight.luminance(level)))
+                if bl <= 0:
+                    continue
+                delta = self._delta_for_level(s, bl)
+                if self._clipped_fraction(s, delta) <= self.clip_budget:
+                    chosen_level = level
+                    chosen_delta = delta
+                    break
+            levels[i] = chosen_level
+            deltas[i] = chosen_delta
+        return SchedulePlan(
+            strategy=self.name,
+            levels=levels,
+            mode=CompensationMode.BRIGHTNESS,
+            params=deltas,
+        )

@@ -1,0 +1,96 @@
+"""History-based prediction: the no-annotation client-side alternative.
+
+Section 3 argues that without annotations the client must either decode
+first and analyze (too expensive) or "use a history-based prediction
+(where the limited knowledge can have serious consequences on quality
+degradation if prediction proves wrong)".  This baseline implements that
+alternative so the claim is measurable: the client predicts the next
+frame's effective maximum luminance from a sliding window of past frames
+and sets the backlight accordingly — occasionally underestimating and
+clipping far more than the quality budget allows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.analyzer import StreamAnalyzer
+from ..display.devices import DeviceProfile
+from ..display.transfer import MAX_BACKLIGHT_LEVEL
+from ..video.clip import ClipBase
+from .base import BacklightStrategy, CompensationMode, SchedulePlan
+
+
+class HistoryPrediction(BacklightStrategy):
+    """Sliding-window max-luminance predictor.
+
+    Parameters
+    ----------
+    quality:
+        Intended clip fraction (same meaning as the annotation scheme's
+        quality level).
+    window:
+        Number of past frames the prediction looks at.
+    margin:
+        Multiplicative safety headroom on the prediction (1.05 = 5 %
+        extra luminance budget).  More margin = fewer violations, less
+        savings — the knob the ablation sweeps.
+    """
+
+    def __init__(self, quality: float = 0.05, window: int = 8, margin: float = 1.05):
+        if not 0.0 <= quality <= 1.0:
+            raise ValueError("quality must be in [0, 1]")
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        if margin < 1.0:
+            raise ValueError("margin must be >= 1")
+        self.quality = quality
+        self.window = window
+        self.margin = margin
+        self.name = f"history-w{window}"
+
+    # ------------------------------------------------------------------
+    def plan(self, clip: ClipBase, device: DeviceProfile) -> SchedulePlan:
+        stats = StreamAnalyzer().analyze(clip)
+        eff = np.array([s.effective_max(self.quality) for s in stats])
+        n = len(stats)
+        levels = np.empty(n, dtype=np.int64)
+        gains = np.empty(n)
+        transfer = device.transfer
+        for i in range(n):
+            if i == 0:
+                predicted = 1.0  # nothing seen yet: play safe
+            else:
+                lo = max(0, i - self.window)
+                predicted = min(float(eff[lo:i].max()) * self.margin, 1.0)
+            level = transfer.level_for_scene(predicted)
+            levels[i] = level
+            gains[i] = max(transfer.compensation_gain_for_level(level), 1.0) if level > 0 else 1.0
+        return SchedulePlan(
+            strategy=self.name,
+            levels=levels,
+            mode=CompensationMode.CONTRAST,
+            params=gains,
+        )
+
+    # ------------------------------------------------------------------
+    def misprediction_stats(self, clip: ClipBase, device: DeviceProfile) -> dict:
+        """Quantify prediction failures for a clip.
+
+        Returns the fraction of frames whose *actual* effective maximum
+        exceeded the luminance the chosen backlight can supply (quality
+        violations) and the worst luminance shortfall.
+        """
+        stats = StreamAnalyzer().analyze(clip)
+        eff = np.array([s.effective_max(self.quality) for s in stats])
+        plan = self.plan(clip, device)
+        supplied = np.asarray(
+            device.transfer.backlight.luminance(plan.levels), dtype=np.float64
+        )
+        needed = np.asarray(device.transfer.white.luminance(eff))
+        shortfall = np.maximum(needed - supplied, 0.0)
+        violations = shortfall > 1e-9
+        return {
+            "violation_fraction": float(violations.mean()),
+            "worst_shortfall": float(shortfall.max()),
+        }

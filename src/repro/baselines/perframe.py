@@ -1,0 +1,45 @@
+"""Per-frame backlight scaling: maximum savings, maximum flicker.
+
+Section 4.3: "Sometimes, better results are obtained if we allow backlight
+changes for each frame (but it may introduce some flicker)."  This
+strategy is the annotation scheme with scene grouping switched off — it
+bounds from above what any grouping can save, and its switch count is what
+the scene rate limiter exists to avoid.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.analyzer import StreamAnalyzer
+from ..display.devices import DeviceProfile
+from ..video.clip import ClipBase
+from .base import BacklightStrategy, CompensationMode, SchedulePlan
+
+
+class PerFrameScaling(BacklightStrategy):
+    """Oracle per-frame adaptation at a given quality level."""
+
+    def __init__(self, quality: float = 0.05):
+        if not 0.0 <= quality <= 1.0:
+            raise ValueError("quality must be in [0, 1]")
+        self.quality = quality
+        self.name = f"per-frame-q{round(quality * 100)}"
+
+    def plan(self, clip: ClipBase, device: DeviceProfile) -> SchedulePlan:
+        stats = StreamAnalyzer().analyze(clip)
+        transfer = device.transfer
+        n = len(stats)
+        levels = np.empty(n, dtype=np.int64)
+        gains = np.empty(n)
+        for i, s in enumerate(stats):
+            eff = s.effective_max(self.quality)
+            level = transfer.level_for_scene(eff)
+            levels[i] = level
+            gains[i] = max(transfer.compensation_gain_for_level(level), 1.0) if level > 0 else 1.0
+        return SchedulePlan(
+            strategy=self.name,
+            levels=levels,
+            mode=CompensationMode.CONTRAST,
+            params=gains,
+        )

@@ -1,0 +1,122 @@
+"""QABS-style baseline: PSNR-driven backlight scaling with smoothing.
+
+Models the approach of Cheng et al., "Quality Adapted Backlight Scaling
+(QABS) for Video Streaming to Mobile Handheld Devices" (reference [4]):
+"the backlight scaling technique proposed tries to minimize quality
+degradation (PSNR) while dimming the backlight.  Additionally a smoothing
+technique is presented that prevents frequent backlight switching."
+
+Per frame the strategy picks the deepest dimming whose compensated image
+stays above a PSNR floor, then smooths the schedule: dimming follows an
+exponential moving average (slow), while brightening is immediate so the
+PSNR floor is never violated by the smoothing itself.  Contrast with the
+annotation scheme, which "avoids a post-processing step by limiting
+backlight changes" at annotation time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.analyzer import FrameStats, StreamAnalyzer
+from ..display.devices import DeviceProfile
+from ..quality.histogram import NUM_BINS
+from ..video.clip import ClipBase
+from .base import BacklightStrategy, CompensationMode, SchedulePlan
+
+
+def psnr_per_clip_code(stats: FrameStats, white_gamma: float = 1.0) -> np.ndarray:
+    """PSNR (dB) of clipping a frame at every luminance code.
+
+    Clipping at code ``c`` perfectly preserves pixels with ``y <= c`` (the
+    compensation restores their perceived intensity) and replaces the
+    perceived intensity of brighter pixels with that of code ``c``.  The
+    per-code MSE is computed from histogram suffix sums in O(bins).
+    Returns an array of length 256; entry 255 is +inf (no clipping).
+    """
+    pmf = stats.histogram.normalized()
+    codes = np.arange(NUM_BINS) / (NUM_BINS - 1)
+    w = codes**white_gamma  # perceived intensity of each code at full range
+    # Suffix sums over codes strictly greater than c.
+    s0 = np.concatenate((np.cumsum((pmf)[::-1])[::-1][1:], [0.0]))
+    s1 = np.concatenate((np.cumsum((pmf * w)[::-1])[::-1][1:], [0.0]))
+    s2 = np.concatenate((np.cumsum((pmf * w * w)[::-1])[::-1][1:], [0.0]))
+    mse = s2 - 2.0 * w * s1 + w * w * s0
+    mse = np.maximum(mse, 0.0)
+    with np.errstate(divide="ignore"):
+        return np.where(mse > 0, -10.0 * np.log10(mse), np.inf)
+
+
+class QABSScaling(BacklightStrategy):
+    """PSNR-floor backlight scaling with asymmetric smoothing.
+
+    Parameters
+    ----------
+    psnr_floor_db:
+        Minimum acceptable compensated-frame PSNR.
+    alpha:
+        EMA coefficient for the dimming direction (0 < alpha <= 1; 1
+        disables smoothing).
+    min_step:
+        Hysteresis: a smoothed change smaller than this many backlight
+        codes is not applied.
+    """
+
+    def __init__(self, psnr_floor_db: float = 35.0, alpha: float = 0.15, min_step: int = 4):
+        if psnr_floor_db <= 0:
+            raise ValueError("psnr_floor_db must be positive")
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        if min_step < 0:
+            raise ValueError("min_step must be non-negative")
+        self.psnr_floor_db = psnr_floor_db
+        self.alpha = alpha
+        self.min_step = min_step
+        self.name = f"qabs-{round(psnr_floor_db)}dB"
+
+    # ------------------------------------------------------------------
+    def _target_levels(self, stats, device: DeviceProfile) -> np.ndarray:
+        """Per-frame deepest level honoring the PSNR floor."""
+        transfer = device.transfer
+        gamma = transfer.white.gamma
+        targets = np.empty(len(stats), dtype=np.int64)
+        for i, s in enumerate(stats):
+            psnr = psnr_per_clip_code(s, white_gamma=gamma)
+            ok = np.nonzero(psnr >= self.psnr_floor_db)[0]
+            # ok is never empty: code 255 clips nothing (PSNR = inf).
+            clip_code = int(ok[0])
+            targets[i] = transfer.level_for_scene(clip_code / (NUM_BINS - 1))
+        return targets
+
+    def plan(self, clip: ClipBase, device: DeviceProfile) -> SchedulePlan:
+        stats = StreamAnalyzer().analyze(clip)
+        targets = self._target_levels(stats, device)
+        n = targets.size
+        levels = np.empty(n, dtype=np.int64)
+        ema = float(targets[0])
+        current = int(targets[0])
+        for i in range(n):
+            target = int(targets[i])
+            if target > current:
+                # Brightening is immediate: the floor must hold now.
+                current = target
+                ema = float(target)
+            else:
+                ema = self.alpha * target + (1.0 - self.alpha) * ema
+                candidate = int(round(ema))
+                if current - candidate >= self.min_step:
+                    current = max(candidate, target)
+            levels[i] = current
+        transfer = device.transfer
+        gains = np.array(
+            [
+                max(transfer.compensation_gain_for_level(int(l)), 1.0) if l > 0 else 1.0
+                for l in levels
+            ]
+        )
+        return SchedulePlan(
+            strategy=self.name,
+            levels=levels,
+            mode=CompensationMode.CONTRAST,
+            params=gains,
+        )

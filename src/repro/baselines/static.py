@@ -1,0 +1,69 @@
+"""Static strategies: the do-nothing and blunt-instrument baselines.
+
+Section 2: "there is a limited gain that can be achieved from a static
+perspective" — these two strategies are that static perspective, and every
+content-adaptive scheme is measured against them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..display.devices import DeviceProfile
+from ..display.transfer import MAX_BACKLIGHT_LEVEL
+from ..video.clip import ClipBase
+from .base import BacklightStrategy, CompensationMode, SchedulePlan
+
+
+class FullBacklight(BacklightStrategy):
+    """No power management: backlight pinned at maximum.
+
+    The reference every savings percentage in the paper is computed
+    against.
+    """
+
+    name = "full-backlight"
+
+    def plan(self, clip: ClipBase, device: DeviceProfile) -> SchedulePlan:
+        n = clip.frame_count
+        return SchedulePlan(
+            strategy=self.name,
+            levels=np.full(n, MAX_BACKLIGHT_LEVEL, dtype=np.int64),
+            mode=CompensationMode.NONE,
+            params=np.ones(n),
+        )
+
+
+class StaticDim(BacklightStrategy):
+    """Content-blind dimming to a fixed level, with fixed compensation.
+
+    Saves a predictable amount of power but pays for it on bright content:
+    the clipped fraction is unbounded because no content analysis guards
+    the compensation gain.  ``compensate=False`` models naive OS-level
+    dimming with no image adjustment at all.
+    """
+
+    def __init__(self, level: int, compensate: bool = True):
+        if not 0 < level <= MAX_BACKLIGHT_LEVEL:
+            raise ValueError(
+                f"static level must be in (0, {MAX_BACKLIGHT_LEVEL}], got {level}"
+            )
+        self.level = level
+        self.compensate = compensate
+        self.name = f"static-dim-{level}" + ("" if compensate else "-raw")
+
+    def plan(self, clip: ClipBase, device: DeviceProfile) -> SchedulePlan:
+        n = clip.frame_count
+        if self.compensate:
+            gain = device.transfer.compensation_gain_for_level(self.level)
+            mode = CompensationMode.CONTRAST
+            params = np.full(n, max(gain, 1.0))
+        else:
+            mode = CompensationMode.NONE
+            params = np.ones(n)
+        return SchedulePlan(
+            strategy=self.name,
+            levels=np.full(n, self.level, dtype=np.int64),
+            mode=mode,
+            params=params,
+        )

@@ -1,0 +1,22 @@
+"""Digital-camera validation substrate (Figure 2 methodology)."""
+
+from .response import (
+    GammaResponse,
+    LinearResponse,
+    ResponseCurve,
+    SRGBLikeResponse,
+    TabulatedResponse,
+)
+from .camera import DigitalCamera
+from .validation import CompensationValidator, ValidationReport
+
+__all__ = [
+    "ResponseCurve",
+    "LinearResponse",
+    "GammaResponse",
+    "SRGBLikeResponse",
+    "TabulatedResponse",
+    "DigitalCamera",
+    "CompensationValidator",
+    "ValidationReport",
+]

@@ -1,0 +1,92 @@
+"""Digital camera model: photographs of the PDA screen.
+
+The validation methodology (Figure 2) photographs the handheld display
+twice — once showing the original frame at full backlight (*reference
+snapshot*) and once showing the compensated frame at the reduced backlight
+(*compensated snapshot*) — and compares the two photographs by histogram.
+"The picture taken by the camera incorporates the actual characteristics of
+the handheld display, which are not otherwise captured by a simulation."
+
+:class:`DigitalCamera` converts a rendered perceived-intensity map (from
+:mod:`repro.display.rendering`) into an 8-bit photograph: exposure scaling,
+the nonlinear response curve, additive sensor noise and quantization.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .response import ResponseCurve, SRGBLikeResponse
+
+
+class DigitalCamera:
+    """An 8-bit still camera with a monotone nonlinear response.
+
+    Parameters
+    ----------
+    response:
+        Radiance -> value curve; defaults to an sRGB-like consumer curve.
+    exposure:
+        Multiplicative gain applied to scene radiance before the response.
+        1.0 means a full-white/full-backlight screen exposes to full scale.
+    noise_sigma:
+        Standard deviation of additive Gaussian sensor noise, in normalized
+        value units (applied after the response, before quantization).
+        0 disables noise — useful for exact tests.
+    seed:
+        RNG seed for the noise (snapshots are reproducible).
+    """
+
+    def __init__(
+        self,
+        response: Optional[ResponseCurve] = None,
+        exposure: float = 1.0,
+        noise_sigma: float = 0.0,
+        seed: int = 0,
+    ):
+        if exposure <= 0:
+            raise ValueError(f"exposure must be positive, got {exposure}")
+        if noise_sigma < 0:
+            raise ValueError(f"noise_sigma must be non-negative, got {noise_sigma}")
+        self.response = response if response is not None else SRGBLikeResponse()
+        self.exposure = float(exposure)
+        self.noise_sigma = float(noise_sigma)
+        self._rng = np.random.default_rng(seed)
+
+    def snapshot(self, perceived: np.ndarray) -> np.ndarray:
+        """Photograph a perceived-intensity map.
+
+        Parameters
+        ----------
+        perceived:
+            Normalized screen intensity (output of
+            :func:`repro.display.rendering.render_frame`).
+
+        Returns
+        -------
+        numpy.ndarray
+            ``uint8`` grayscale photograph, same shape as the input.
+        """
+        radiance = np.clip(np.asarray(perceived, dtype=np.float64) * self.exposure, 0.0, 1.0)
+        value = self.response.apply(radiance)
+        if self.noise_sigma > 0:
+            value = value + self._rng.normal(0.0, self.noise_sigma, size=value.shape)
+        return np.round(np.clip(value, 0.0, 1.0) * 255).astype(np.uint8)
+
+    def estimate_radiance(self, photo: np.ndarray) -> np.ndarray:
+        """Invert a photograph back to (exposure-relative) scene radiance.
+
+        This is the known-response reduction of the Debevec-Malik
+        recovery: with a single exposure and a calibrated curve, radiance
+        is simply the inverse response divided by the exposure gain.
+        """
+        values = np.asarray(photo, dtype=np.float64) / 255.0
+        return self.response.invert(values) / self.exposure
+
+    def __repr__(self) -> str:
+        return (
+            f"DigitalCamera(response={self.response!r}, exposure={self.exposure:g}, "
+            f"noise_sigma={self.noise_sigma:g})"
+        )

@@ -1,0 +1,135 @@
+"""Camera radiometric response curves.
+
+Section 4.2: "A digital camera has a monotonic nonlinear transfer
+function [Debevec & Malik, SIGGRAPH 1997] and allows us to objectively
+estimate the similarity between two images."  The validation methodology
+only requires that the response be *monotone* (so ordering of luminances is
+preserved) and *nonlinear* (so it must be modeled, not assumed away).
+
+:class:`SRGBLikeResponse` is the default: a linear toe followed by a power
+segment, the shape consumer cameras approximate.  :class:`GammaResponse`
+and tabulated curves are provided for sensitivity studies, and every curve
+is invertible so calibration can recover scene radiance from pixel values
+(the Debevec-Malik program, reduced to the known-curve case).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+import numpy as np
+
+ArrayLike = Union[float, Sequence[float], np.ndarray]
+
+
+class ResponseCurve:
+    """Monotone map from scene radiance [0, 1] to sensor output [0, 1]."""
+
+    def apply(self, radiance: ArrayLike) -> np.ndarray:
+        """Map scene radiance [0, 1] to sensor output [0, 1]."""
+        raise NotImplementedError
+
+    def invert(self, value: ArrayLike) -> np.ndarray:
+        """Recover radiance from sensor output (inverse of :meth:`apply`)."""
+        raise NotImplementedError
+
+    def _check(self, x: ArrayLike) -> np.ndarray:
+        arr = np.asarray(x, dtype=np.float64)
+        return np.clip(arr, 0.0, 1.0)
+
+
+class LinearResponse(ResponseCurve):
+    """Idealized sensor: output equals radiance."""
+
+    def apply(self, radiance: ArrayLike) -> np.ndarray:
+        return self._check(radiance)
+
+    def invert(self, value: ArrayLike) -> np.ndarray:
+        return self._check(value)
+
+    def __repr__(self) -> str:
+        return "LinearResponse()"
+
+
+class GammaResponse(ResponseCurve):
+    """Pure power-law response ``v = r ** (1/gamma)`` (gamma encoding)."""
+
+    def __init__(self, gamma: float = 2.2):
+        if gamma <= 0:
+            raise ValueError(f"gamma must be positive, got {gamma}")
+        self.gamma = float(gamma)
+
+    def apply(self, radiance: ArrayLike) -> np.ndarray:
+        return self._check(radiance) ** (1.0 / self.gamma)
+
+    def invert(self, value: ArrayLike) -> np.ndarray:
+        return self._check(value) ** self.gamma
+
+    def __repr__(self) -> str:
+        return f"GammaResponse(gamma={self.gamma:g})"
+
+
+class SRGBLikeResponse(ResponseCurve):
+    """sRGB-style response: linear toe + offset power segment.
+
+    ``v = a*r``                      for ``r <= cutoff``
+    ``v = (1+o)*r**(1/g) - o``       otherwise
+
+    with the standard sRGB constants by default.  Continuous and strictly
+    monotone on [0, 1].
+    """
+
+    def __init__(self, gamma: float = 2.4, offset: float = 0.055,
+                 slope: float = 12.92, cutoff: float = 0.0031308):
+        if gamma <= 0 or slope <= 0 or not 0 < cutoff < 1:
+            raise ValueError("invalid sRGB-like response parameters")
+        self.gamma = gamma
+        self.offset = offset
+        self.slope = slope
+        self.cutoff = cutoff
+        self._value_cutoff = slope * cutoff
+
+    def apply(self, radiance: ArrayLike) -> np.ndarray:
+        r = self._check(radiance)
+        toe = self.slope * r
+        knee = (1 + self.offset) * np.power(np.maximum(r, self.cutoff), 1.0 / self.gamma) - self.offset
+        return np.where(r <= self.cutoff, toe, knee)
+
+    def invert(self, value: ArrayLike) -> np.ndarray:
+        v = self._check(value)
+        toe = v / self.slope
+        knee = np.power(np.maximum(v + self.offset, 1e-12) / (1 + self.offset), self.gamma)
+        return np.where(v <= self._value_cutoff, toe, knee)
+
+    def __repr__(self) -> str:
+        return f"SRGBLikeResponse(gamma={self.gamma:g})"
+
+
+class TabulatedResponse(ResponseCurve):
+    """Response interpolated from measured (radiance, value) samples.
+
+    What a Debevec-Malik calibration of a physical camera would hand us.
+    """
+
+    def __init__(self, radiances: Sequence[float], values: Sequence[float]):
+        rad = np.asarray(radiances, dtype=np.float64)
+        val = np.asarray(values, dtype=np.float64)
+        if rad.ndim != 1 or rad.shape != val.shape or rad.size < 2:
+            raise ValueError("need two 1-D arrays of equal length >= 2")
+        order = np.argsort(rad)
+        rad, val = rad[order], val[order]
+        if np.any(np.diff(rad) <= 0):
+            raise ValueError("duplicate radiance samples")
+        if np.any(np.diff(val) < 0):
+            raise ValueError("response samples must be monotone non-decreasing")
+        self.radiances = rad
+        self.values = val
+
+    def apply(self, radiance: ArrayLike) -> np.ndarray:
+        return np.interp(self._check(radiance), self.radiances, self.values)
+
+    def invert(self, value: ArrayLike) -> np.ndarray:
+        return np.interp(self._check(value), self.values, self.radiances)
+
+    def __repr__(self) -> str:
+        return f"TabulatedResponse(samples={self.radiances.size})"

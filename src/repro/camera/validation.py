@@ -1,0 +1,134 @@
+"""Camera-based compensation validation (Figure 2 methodology).
+
+Phase 1 photographs the PDA showing the *original* frame at full backlight
+(reference snapshot).  Phase 2 photographs the *compensated* frame at the
+annotated (dimmed) backlight.  The two photographs are compared by
+histogram: if compensation worked, average brightness and dynamic range are
+nearly unchanged even though the backlight dropped — Figure 4 shows a
+news-clip frame whose snapshots average 190 vs 170 at 50 % backlight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..display.devices import DeviceProfile
+from ..display.rendering import render_frame
+from ..display.transfer import MAX_BACKLIGHT_LEVEL
+from ..quality.histogram import LuminanceHistogram
+from ..quality.metrics import (
+    average_luminance_shift,
+    dynamic_range_change,
+    histogram_emd,
+)
+from ..video.frame import Frame
+from .camera import DigitalCamera
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """Outcome of one reference-vs-compensated snapshot comparison.
+
+    Attributes mirror what the paper reports: the two snapshots' average
+    brightness, the dynamic-range change, an EMD "how far did the histogram
+    move" figure, and the backlight levels used for each snapshot.
+    """
+
+    reference_histogram: LuminanceHistogram
+    compensated_histogram: LuminanceHistogram
+    reference_backlight: int
+    compensated_backlight: int
+
+    @property
+    def reference_average(self) -> float:
+        return self.reference_histogram.average_point
+
+    @property
+    def compensated_average(self) -> float:
+        return self.compensated_histogram.average_point
+
+    @property
+    def average_shift(self) -> float:
+        """Signed average-brightness change (compensated - reference)."""
+        return average_luminance_shift(self.reference_histogram, self.compensated_histogram)
+
+    @property
+    def dynamic_range_shift(self) -> int:
+        return dynamic_range_change(self.reference_histogram, self.compensated_histogram)
+
+    @property
+    def emd(self) -> float:
+        """Earth mover's distance between the snapshots, in code units."""
+        return histogram_emd(self.reference_histogram, self.compensated_histogram)
+
+    @property
+    def backlight_saved_fraction(self) -> float:
+        """Backlight level reduction achieved for this frame."""
+        return 1.0 - self.compensated_backlight / self.reference_backlight
+
+    def acceptable(self, max_average_shift: float = 25.0, max_emd: float = 25.0) -> bool:
+        """Whether the compensated image is visually close to the original.
+
+        Default thresholds are in 0-255 code units and correspond to the
+        paper's "hardly noticeable" regime (the Figure 4 example shifts the
+        average by ~20 codes and is described as barely detectable).
+        """
+        return abs(self.average_shift) <= max_average_shift and self.emd <= max_emd
+
+    def __repr__(self) -> str:
+        return (
+            f"ValidationReport(avg {self.reference_average:.1f} -> "
+            f"{self.compensated_average:.1f}, emd={self.emd:.1f}, "
+            f"backlight {self.reference_backlight} -> {self.compensated_backlight})"
+        )
+
+
+class CompensationValidator:
+    """Runs the two-phase camera validation on (frame, compensation) pairs."""
+
+    def __init__(self, device: DeviceProfile, camera: DigitalCamera, ambient: float = 0.0):
+        self.device = device
+        self.camera = camera
+        self.ambient = ambient
+
+    def snapshot(self, frame: Frame, backlight_level: int) -> np.ndarray:
+        """Photograph the device showing ``frame`` at ``backlight_level``."""
+        perceived = render_frame(frame, backlight_level, self.device, ambient=self.ambient)
+        return self.camera.snapshot(perceived)
+
+    def validate(
+        self,
+        original: Frame,
+        compensated: Frame,
+        compensated_backlight: int,
+        reference_backlight: int = MAX_BACKLIGHT_LEVEL,
+    ) -> ValidationReport:
+        """Compare the reference and compensated snapshots.
+
+        Parameters
+        ----------
+        original:
+            The unmodified frame (displayed at ``reference_backlight``).
+        compensated:
+            The server-compensated frame (displayed at
+            ``compensated_backlight``).
+        compensated_backlight:
+            Annotated backlight level for the compensated frame.
+        reference_backlight:
+            Backlight for the reference snapshot (full, by default).
+        """
+        if compensated_backlight > reference_backlight:
+            raise ValueError(
+                "compensated backlight exceeds the reference level — "
+                "compensation is supposed to dim, not boost"
+            )
+        ref_photo = self.snapshot(original, reference_backlight)
+        comp_photo = self.snapshot(compensated, compensated_backlight)
+        return ValidationReport(
+            reference_histogram=LuminanceHistogram.of(ref_photo),
+            compensated_histogram=LuminanceHistogram.of(comp_photo),
+            reference_backlight=reference_backlight,
+            compensated_backlight=compensated_backlight,
+        )

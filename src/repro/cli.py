@@ -1,0 +1,220 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands map to the library's main workflows:
+
+* ``catalog``   — list the clip library and device registry;
+* ``annotate``  — annotate one clip for a device and show (or save) the track;
+* ``savings``   — backlight + total-device savings for one clip;
+* ``sweep``     — the Figure 9 table (clips x quality levels);
+* ``calibrate`` — camera characterization of a device (Figures 7/8);
+* ``trace``     — Figure 6 sparklines for one clip.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core import (
+    QUALITY_LEVELS,
+    AnnotationPipeline,
+    SchemeParameters,
+    quality_label,
+    sweep_quality_levels,
+)
+from .display import DEVICE_REGISTRY, get_device
+from .video import EXTENDED_CLIP_NAMES, PAPER_CLIP_NAMES, make_clip
+from . import viz
+
+
+ALL_CLIP_NAMES = PAPER_CLIP_NAMES + EXTENDED_CLIP_NAMES
+
+
+def _add_clip_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("clip", choices=ALL_CLIP_NAMES, help="library clip name")
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--device", default="ipaq5555", choices=sorted(DEVICE_REGISTRY),
+                        help="client device profile")
+    parser.add_argument("--quality", type=float, default=0.10,
+                        help="clip fraction allowed to saturate (0-1)")
+    parser.add_argument("--scale", type=float, default=0.5,
+                        help="duration scale for the synthetic clip")
+
+
+def cmd_catalog(args: argparse.Namespace) -> int:
+    """List the clip library and the device registry."""
+    print("clips (paper):")
+    for name in PAPER_CLIP_NAMES:
+        print(f"  {name}")
+    print("clips (extended):")
+    for name in EXTENDED_CLIP_NAMES:
+        print(f"  {name}")
+    print("devices:")
+    for name in sorted(DEVICE_REGISTRY):
+        device = get_device(name)
+        print(f"  {name:<16} {device.backlight.kind:>5} backlight, "
+              f"{device.panel.panel_type.value} panel")
+    return 0
+
+
+def cmd_annotate(args: argparse.Namespace) -> int:
+    """Annotate one clip for a device; print or save the track."""
+    clip = make_clip(args.clip, duration_scale=args.scale)
+    device = get_device(args.device)
+    pipeline = AnnotationPipeline(SchemeParameters(quality=args.quality))
+    track = pipeline.annotate_for_device(clip, device)
+    print(f"{args.clip} on {args.device} at quality {quality_label(args.quality)}: "
+          f"{len(track.scenes)} scenes, {track.nbytes} bytes")
+    print(f"{'scene':>5} {'frames':>12} {'backlight':>9} {'gain':>7}")
+    for k, scene in enumerate(track.scenes):
+        print(f"{k:>5} {f'{scene.start}-{scene.end - 1}':>12} "
+              f"{scene.backlight_level:>9} {scene.compensation_gain:>7.2f}")
+    if args.output:
+        with open(args.output, "wb") as fh:
+            fh.write(track.to_bytes())
+        print(f"track written to {args.output}")
+    return 0
+
+
+def cmd_savings(args: argparse.Namespace) -> int:
+    """Backlight and total-device savings for one clip."""
+    clip = make_clip(args.clip, duration_scale=args.scale)
+    device = get_device(args.device)
+    pipeline = AnnotationPipeline(SchemeParameters(quality=args.quality))
+    stream = pipeline.build_stream(clip, device)
+
+    from .player import PlaybackEngine
+    result = PlaybackEngine(device).play(stream)
+    print(f"{args.clip} on {args.device} at quality {quality_label(args.quality)}:")
+    print(f"  backlight savings : {stream.predicted_backlight_savings():.1%}")
+    print(f"  total savings     : {result.total_savings:.1%}")
+    print(f"  clipped pixels    : {stream.mean_clipped_fraction(sample_every=5):.2%}")
+    print(f"  backlight switches: {result.switch_count}")
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Print the Figure 9 savings table."""
+    device = get_device(args.device)
+    clips = args.clips if args.clips else list(PAPER_CLIP_NAMES)
+    print(f"{'clip':<22}" + "".join(f"{quality_label(q):>8}" for q in QUALITY_LEVELS))
+    for name in clips:
+        clip = make_clip(name, duration_scale=args.scale)
+        streams = sweep_quality_levels(clip, device, QUALITY_LEVELS)
+        row = [s.predicted_backlight_savings() for s in streams]
+        print(f"{name:<22}" + "".join(f"{v:>8.1%}" for v in row))
+    return 0
+
+
+def cmd_calibrate(args: argparse.Namespace) -> int:
+    """Camera characterization of a device (Figures 7/8)."""
+    from .camera import DigitalCamera, SRGBLikeResponse
+    from .display import measure_backlight_transfer, measure_white_transfer, fit_white_gamma
+
+    device = get_device(args.device)
+    camera = DigitalCamera(response=SRGBLikeResponse(), noise_sigma=0.002, seed=7)
+    transfer = measure_backlight_transfer(device, camera)
+    print(f"{args.device}: measured backlight transfer (Figure 7)")
+    for level in list(range(0, 256, 32)) + [255]:
+        lum = float(transfer.luminance(level))
+        print(f"  {level:>3} {viz.bar(lum)} {lum:.3f}")
+    samples = measure_white_transfer(device, camera)
+    print(f"white-transfer gamma (Figure 8 fit): {fit_white_gamma(samples):.3f}")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Run the full reproduction sweep and print every table."""
+    from . import experiments
+
+    print("=== backlight share (Section 4) ===")
+    print(experiments.backlight_share().format())
+    print("\n=== Figure 7: backlight transfer curves ===")
+    print(experiments.figure7().format())
+    print("\n=== Figure 9: simulated backlight savings ===")
+    fig9 = experiments.figure9(duration_scale=args.scale)
+    print(fig9.format())
+    print("\n=== Figure 10: measured total-device savings ===")
+    print(experiments.figure10(duration_scale=args.scale).format())
+    name, value = fig9.best_clip()
+    print(f"\nheadline: best clip {name} saves {value:.1%} backlight power at 20%")
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Print the Figure 6 series as sparklines."""
+    clip = make_clip(args.clip, duration_scale=args.scale)
+    device = get_device(args.device)
+    pipeline = AnnotationPipeline(SchemeParameters(quality=args.quality))
+    profile = pipeline.profile(clip)
+    stream = pipeline.build_stream(clip, device)
+    print(f"{args.clip} at quality {quality_label(args.quality)} (Figure 6 series):")
+    print(viz.series_table({
+        "frame max lum": profile.max_luminance_series(),
+        "scene max lum": profile.scene_max_series(),
+        "power saved": stream.instantaneous_savings(),
+    }))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Annotation-driven backlight power optimization (DATE 2006 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("catalog", help="list clips and devices").set_defaults(fn=cmd_catalog)
+
+    p = sub.add_parser("annotate", help="annotate a clip for a device")
+    _add_clip_arg(p)
+    _add_common(p)
+    p.add_argument("-o", "--output", help="write the binary track to a file")
+    p.set_defaults(fn=cmd_annotate)
+
+    p = sub.add_parser("savings", help="power savings for one clip")
+    _add_clip_arg(p)
+    _add_common(p)
+    p.set_defaults(fn=cmd_savings)
+
+    p = sub.add_parser("sweep", help="Figure 9 table across clips and qualities")
+    _add_common(p)
+    p.add_argument("--clips", nargs="*", choices=ALL_CLIP_NAMES,
+                   help="subset of clips (default: the paper's ten)")
+    p.set_defaults(fn=cmd_sweep)
+
+    p = sub.add_parser("calibrate", help="camera characterization of a device")
+    p.add_argument("--device", default="ipaq5555", choices=sorted(DEVICE_REGISTRY))
+    p.set_defaults(fn=cmd_calibrate)
+
+    p = sub.add_parser("trace", help="Figure 6 sparklines for one clip")
+    _add_clip_arg(p)
+    _add_common(p)
+    p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser("report", help="run the full reproduction sweep")
+    p.add_argument("--scale", type=float, default=0.15,
+                   help="duration scale for the synthetic clips")
+    p.set_defaults(fn=cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if not 0.0 <= getattr(args, "quality", 0.0) <= 1.0:
+        print("error: --quality must be in [0, 1]", file=sys.stderr)
+        return 2
+    if getattr(args, "scale", 1.0) <= 0:
+        print("error: --scale must be positive", file=sys.stderr)
+        return 2
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

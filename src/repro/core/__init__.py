@@ -1,0 +1,94 @@
+"""Core technique: stream analysis, scenes, clipping, compensation, annotations."""
+
+from .policy import QUALITY_LABELS, QUALITY_LEVELS, SchemeParameters, quality_label
+from .analyzer import FrameStats, StreamAnalyzer
+from .scene import Scene, SceneDetector
+from .scene_histogram import HistogramSceneDetector
+from .clipping import (
+    ClippingPolicy,
+    FixedPercentPerFrame,
+    FixedPercentPerScene,
+    NoClipping,
+    policy_for_quality,
+)
+from .compensation import (
+    CompensationResult,
+    brightness_compensation,
+    compensate_for_backlight,
+    contrast_enhancement,
+)
+from .annotation import (
+    AnnotationTrack,
+    DeviceAnnotationTrack,
+    DeviceSceneAnnotation,
+    SceneAnnotation,
+)
+from .rle import (
+    compression_ratio,
+    decode_varint,
+    encode_varint,
+    expand_runs,
+    rle_decode,
+    rle_encode,
+    runs_of,
+)
+from .pipeline import (
+    AnnotatedStream,
+    AnnotationPipeline,
+    ProfileResult,
+    sweep_quality_levels,
+)
+from .dvfs_annotation import DvfsAnnotator, DvfsSceneAnnotation, DvfsTrack
+from .smoothing import max_level_step, ramped_levels, smooth_track
+from .roi import (
+    ImportanceMap,
+    RoiStreamAnalyzer,
+    roi_clipped_mass,
+    weighted_frame_stats,
+)
+
+__all__ = [
+    "QUALITY_LEVELS",
+    "QUALITY_LABELS",
+    "quality_label",
+    "SchemeParameters",
+    "FrameStats",
+    "StreamAnalyzer",
+    "Scene",
+    "SceneDetector",
+    "HistogramSceneDetector",
+    "ClippingPolicy",
+    "NoClipping",
+    "FixedPercentPerFrame",
+    "FixedPercentPerScene",
+    "policy_for_quality",
+    "CompensationResult",
+    "brightness_compensation",
+    "contrast_enhancement",
+    "compensate_for_backlight",
+    "SceneAnnotation",
+    "DeviceSceneAnnotation",
+    "AnnotationTrack",
+    "DeviceAnnotationTrack",
+    "encode_varint",
+    "decode_varint",
+    "runs_of",
+    "expand_runs",
+    "rle_encode",
+    "rle_decode",
+    "compression_ratio",
+    "AnnotationPipeline",
+    "AnnotatedStream",
+    "ProfileResult",
+    "sweep_quality_levels",
+    "DvfsAnnotator",
+    "DvfsSceneAnnotation",
+    "DvfsTrack",
+    "ImportanceMap",
+    "RoiStreamAnalyzer",
+    "weighted_frame_stats",
+    "roi_clipped_mass",
+    "smooth_track",
+    "ramped_levels",
+    "max_level_step",
+]

@@ -1,0 +1,134 @@
+"""Stream analysis: the profiling pass that feeds annotation.
+
+Section 3 defines data annotation as "the process of analyzing a stream of
+data and supplementing it with a summary of the information collected".
+For the backlight application the summary per frame is its luminance
+histogram and the statistics derived from it; everything downstream (scene
+detection, clipping, backlight computation) consumes :class:`FrameStats`
+and never touches pixels again — which is what makes the client-side work
+"negligible".
+
+Two histograms are kept per frame:
+
+* the **luminance** histogram (BT.601 Y) — the paper's quantity, used for
+  quality evaluation and the paper-literal analysis mode;
+* the **peak-channel** histogram (per-pixel max of R, G, B) — the quantity
+  that actually saturates first under multiplicative compensation.  The
+  default *color-safe* analysis mode budgets clipping on this histogram,
+  so the "percent of pixels clipped" guarantee holds even for saturated
+  colors (the paper notes that otherwise "colors change").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from ..quality.histogram import LuminanceHistogram, NUM_BINS
+from ..video.clip import ClipBase
+from ..video.frame import Frame
+
+
+@dataclass(frozen=True)
+class FrameStats:
+    """Luminance/value summary of one frame.
+
+    Attributes
+    ----------
+    index:
+        Frame position in the clip.
+    histogram:
+        256-bin luminance histogram (BT.601 Y).
+    channel_histogram:
+        256-bin histogram of per-pixel peak channel values.
+    max_luminance:
+        Brightest occupied luminance, normalized to [0, 1].
+    max_channel_value:
+        Largest occupied peak-channel value, normalized to [0, 1].
+    mean_luminance:
+        Average luminance, normalized to [0, 1].
+    """
+
+    index: int
+    histogram: LuminanceHistogram
+    channel_histogram: LuminanceHistogram
+    max_luminance: float
+    max_channel_value: float
+    mean_luminance: float
+
+    @classmethod
+    def of(cls, frame: Frame) -> "FrameStats":
+        hist = LuminanceHistogram.of(frame)
+        chan_hist = LuminanceHistogram.of(frame.peak_channel)
+        occupied = np.nonzero(hist.counts)[0]
+        chan_occupied = np.nonzero(chan_hist.counts)[0]
+        return cls(
+            index=frame.index,
+            histogram=hist,
+            channel_histogram=chan_hist,
+            max_luminance=float(occupied[-1]) / (NUM_BINS - 1),
+            max_channel_value=float(chan_occupied[-1]) / (NUM_BINS - 1),
+            mean_luminance=hist.average_point / (NUM_BINS - 1),
+        )
+
+    # ------------------------------------------------------------------
+    def max_value(self, color_safe: bool = True) -> float:
+        """The frame maximum that drives scene detection and backlight.
+
+        Color-safe mode uses the peak channel value; paper-literal mode
+        uses the luminance.
+        """
+        return self.max_channel_value if color_safe else self.max_luminance
+
+    def effective_max(self, clip_fraction: float, color_safe: bool = True) -> float:
+        """Max value after allowing ``clip_fraction`` of pixels to clip.
+
+        The fixed-percent heuristic of Section 4.3, evaluated on the
+        appropriate histogram; normalized to [0, 1].
+        """
+        hist = self.channel_histogram if color_safe else self.histogram
+        return hist.clip_point(clip_fraction) / (NUM_BINS - 1)
+
+    def effective_max_luminance(self, clip_fraction: float) -> float:
+        """Paper-literal (luminance) form of :meth:`effective_max`."""
+        return self.effective_max(clip_fraction, color_safe=False)
+
+
+class StreamAnalyzer:
+    """Single-pass analyzer producing per-frame statistics for a clip.
+
+    This is the server/proxy profiling step ("the video clips available for
+    streaming at the servers are first profiled, processed and annotated").
+    For proxy-style on-the-fly operation, :meth:`analyze_frames` accepts an
+    incremental frame iterator instead of a whole clip.
+    """
+
+    def analyze(self, clip: ClipBase) -> List[FrameStats]:
+        """Profile every frame of a clip."""
+        return self.analyze_frames(clip)
+
+    def analyze_frames(self, frames: Iterable[Frame]) -> List[FrameStats]:
+        """Profile an arbitrary frame stream."""
+        stats = [FrameStats.of(frame) for frame in frames]
+        if not stats:
+            raise ValueError("stream produced no frames to analyze")
+        return stats
+
+    @staticmethod
+    def max_luminance_series(stats: Sequence[FrameStats]) -> np.ndarray:
+        """Per-frame max luminance — the Figure 6 'Max. Luminance' curve."""
+        return np.array([s.max_luminance for s in stats])
+
+    @staticmethod
+    def max_value_series(stats: Sequence[FrameStats], color_safe: bool = True) -> np.ndarray:
+        """Per-frame max value in the selected analysis mode."""
+        return np.array([s.max_value(color_safe) for s in stats])
+
+    @staticmethod
+    def effective_max_series(
+        stats: Sequence[FrameStats], clip_fraction: float, color_safe: bool = True
+    ) -> np.ndarray:
+        """Per-frame clipped max value for a quality level."""
+        return np.array([s.effective_max(clip_fraction, color_safe) for s in stats])

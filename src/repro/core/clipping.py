@@ -1,0 +1,125 @@
+"""Clipping heuristics: trading bright pixels for backlight headroom.
+
+Section 4.3: "Since in many cases a small number of pixels amount for the
+high luminance levels and are sparsely distributed within the frame, we can
+safely allow clipping for some of these pixels ...  Different heuristics
+for determining the amount of clipped pixels are possible.  In our scheme
+we allow a fixed percent of the very bright pixels to be clipped."
+
+A clipping policy maps a scene (its member frames' statistics) to the
+scene's *effective maximum luminance* — the luminance that compensation
+will raise to full scale and that the backlight must reproduce.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..quality.histogram import LuminanceHistogram, NUM_BINS
+from .analyzer import FrameStats
+from .scene import Scene
+
+
+class ClippingPolicy:
+    """Interface: scene statistics -> effective max luminance in [0, 1]."""
+
+    def effective_max(self, scene: Scene, stats: Sequence[FrameStats]) -> float:
+        """Effective maximum luminance for the scene.
+
+        ``stats`` is the whole stream's statistics; the policy reads the
+        slice ``stats[scene.start : scene.end]``.
+        """
+        raise NotImplementedError
+
+    @staticmethod
+    def _scene_stats(scene: Scene, stats: Sequence[FrameStats]) -> Sequence[FrameStats]:
+        if scene.end > len(stats):
+            raise ValueError(
+                f"scene [{scene.start}, {scene.end}) exceeds stream length {len(stats)}"
+            )
+        return stats[scene.start : scene.end]
+
+
+class NoClipping(ClippingPolicy):
+    """Lossless scheme: no pixel may clip (the paper's 0 % quality level).
+
+    The effective max is the scene's true maximum; savings come purely
+    from scenes that never reach full white.
+    """
+
+    def __init__(self, color_safe: bool = True):
+        self.color_safe = color_safe
+
+    def effective_max(self, scene: Scene, stats: Sequence[FrameStats]) -> float:
+        """Scene true maximum — nothing may clip."""
+        members = self._scene_stats(scene, stats)
+        return max(s.max_value(self.color_safe) for s in members)
+
+
+class FixedPercentPerFrame(ClippingPolicy):
+    """Allow up to ``clip_fraction`` of *each frame's* pixels to clip.
+
+    The scene's effective max is the worst (largest) per-frame clipped
+    maximum: every member frame individually respects the quality budget.
+    This is the conservative reading of the paper's heuristic and the
+    default policy.
+    """
+
+    def __init__(self, clip_fraction: float, color_safe: bool = True):
+        if not 0.0 <= clip_fraction <= 1.0:
+            raise ValueError(f"clip_fraction must be in [0, 1], got {clip_fraction}")
+        self.clip_fraction = clip_fraction
+        self.color_safe = color_safe
+
+    def effective_max(self, scene: Scene, stats: Sequence[FrameStats]) -> float:
+        """Worst member frame's clipped maximum (per-frame budget)."""
+        members = self._scene_stats(scene, stats)
+        return max(s.effective_max(self.clip_fraction, self.color_safe) for s in members)
+
+    def __repr__(self) -> str:
+        return f"FixedPercentPerFrame({self.clip_fraction:g})"
+
+
+class FixedPercentPerScene(ClippingPolicy):
+    """Allow up to ``clip_fraction`` of the *scene's aggregate* pixels to clip.
+
+    The member frames' histograms are merged and the clip point taken on
+    the pooled distribution.  More aggressive than the per-frame variant:
+    a single bright frame inside a dark scene can exceed its individual
+    budget as long as the scene average holds.
+    """
+
+    def __init__(self, clip_fraction: float, color_safe: bool = True):
+        if not 0.0 <= clip_fraction <= 1.0:
+            raise ValueError(f"clip_fraction must be in [0, 1], got {clip_fraction}")
+        self.clip_fraction = clip_fraction
+        self.color_safe = color_safe
+
+    def _histogram_of(self, stats: FrameStats) -> LuminanceHistogram:
+        return stats.channel_histogram if self.color_safe else stats.histogram
+
+    def effective_max(self, scene: Scene, stats: Sequence[FrameStats]) -> float:
+        """Clip point of the scene's pooled histogram (scene budget)."""
+        members = self._scene_stats(scene, stats)
+        merged = self._histogram_of(members[0])
+        for s in members[1:]:
+            merged = merged.merge(self._histogram_of(s))
+        return merged.clip_point(self.clip_fraction) / (NUM_BINS - 1)
+
+    def __repr__(self) -> str:
+        return f"FixedPercentPerScene({self.clip_fraction:g})"
+
+
+def policy_for_quality(
+    clip_fraction: float, per_scene: bool = False, color_safe: bool = True
+) -> ClippingPolicy:
+    """Build the standard policy for a quality level.
+
+    ``clip_fraction == 0`` returns the lossless policy; otherwise the
+    fixed-percent heuristic, per-frame by default.
+    """
+    if clip_fraction == 0.0:
+        return NoClipping(color_safe=color_safe)
+    if per_scene:
+        return FixedPercentPerScene(clip_fraction, color_safe=color_safe)
+    return FixedPercentPerFrame(clip_fraction, color_safe=color_safe)

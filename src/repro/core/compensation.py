@@ -1,0 +1,82 @@
+"""Image compensation: keeping perceived intensity while dimming.
+
+Section 4.1 gives the two compensation operators:
+
+* **Brightness compensation** — ``C' = min(1, C + delta)``: "a constant
+  value is added to each pixel's value ... Each RGB value needs to be
+  compensated by same amount to maintain original colors."
+* **Contrast enhancement** — ``C' = min(1, C * k)``: "all pixels in the
+  image are multiplied by a constant amount ... We use this method in our
+  work and we select a k value to maintain the same perceived intensity I
+  (keep the product of L and Y constant, i.e. k = L/L')."
+
+Both operate on normalized RGB channels; saturation at 1.0 is where the
+quality loss (clipping) happens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..video.frame import Frame
+
+
+@dataclass(frozen=True)
+class CompensationResult:
+    """A compensated frame plus the damage report."""
+
+    frame: Frame
+    clipped_fraction: float
+
+    def __post_init__(self):
+        if not 0.0 <= self.clipped_fraction <= 1.0:
+            raise ValueError(
+                f"clipped fraction out of [0, 1]: {self.clipped_fraction}"
+            )
+
+
+def brightness_compensation(frame: Frame, delta: float) -> CompensationResult:
+    """Add ``delta`` (normalized units) to every channel of every pixel.
+
+    Returns the compensated frame and the fraction of pixels that hit the
+    ceiling on at least one channel.
+    """
+    if delta < 0:
+        raise ValueError(f"delta must be non-negative, got {delta}")
+    values = frame.normalized() + delta
+    clipped = np.any(values > 1.0 + 1e-12, axis=-1)
+    result = Frame(np.minimum(values, 1.0), index=frame.index)
+    return CompensationResult(frame=result, clipped_fraction=float(clipped.mean()))
+
+
+def contrast_enhancement(frame: Frame, gain: float) -> CompensationResult:
+    """Multiply every channel of every pixel by ``gain`` (k >= 1).
+
+    The workhorse compensation of the paper.  Multiplying all three
+    channels by the same gain scales the BT.601 luminance by exactly the
+    same gain, so ``k = L / L'`` keeps ``I = rho * L * Y`` constant for
+    every pixel that does not saturate.
+    """
+    if gain < 1.0:
+        raise ValueError(
+            f"compensation gain must be >= 1 (we brighten while dimming), got {gain}"
+        )
+    values = frame.normalized() * gain
+    clipped = np.any(values > 1.0 + 1e-12, axis=-1)
+    result = Frame(np.minimum(values, 1.0), index=frame.index)
+    return CompensationResult(frame=result, clipped_fraction=float(clipped.mean()))
+
+
+def compensate_for_backlight(frame: Frame, backlight_luminance: float) -> CompensationResult:
+    """Contrast-enhance a frame for a dimmed backlight.
+
+    ``backlight_luminance`` is the relative output ``L'/L`` of the dimmed
+    backlight; the gain is the paper's ``k = L / L'``.
+    """
+    if not 0.0 < backlight_luminance <= 1.0:
+        raise ValueError(
+            f"backlight luminance must be in (0, 1], got {backlight_luminance}"
+        )
+    return contrast_enhancement(frame, 1.0 / backlight_luminance)

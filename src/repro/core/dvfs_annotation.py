@@ -1,0 +1,193 @@
+"""Decode-complexity annotations for CPU frequency/voltage scaling.
+
+Section 3: without annotations a client must decode a frame before knowing
+how expensive it was — too late to slow the CPU down.  With the decode
+complexity annotated per scene, the client sets the CPU operating point
+*before* the scene starts ("applied before decoding is finished, because
+the annotated information is available early from the data stream").
+
+The annotation carries, per scene, the worst-case decode cycles of any
+member frame; the client picks the slowest operating point that retires
+that many cycles within a frame period.  Sharing the backlight scheme's
+scene structure keeps the two annotation tracks aligned and the combined
+overhead a few bytes per scene.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..power.dvfs import DvfsCpuModel, FrequencyLevel
+from ..video.clip import ClipBase
+from .pipeline import ProfileResult
+from .rle import decode_varint, encode_varint
+from .scene import Scene
+
+_MAGIC_DVFS = b"ANC1"
+
+
+@dataclass(frozen=True)
+class DvfsSceneAnnotation:
+    """Worst-case decode cycles per frame for one scene."""
+
+    start: int
+    end: int
+    cycles_per_frame: float
+
+    def __post_init__(self):
+        if not 0 <= self.start < self.end:
+            raise ValueError(f"invalid annotation bounds [{self.start}, {self.end})")
+        if self.cycles_per_frame < 0:
+            raise ValueError("cycles_per_frame must be non-negative")
+
+    @property
+    def length(self) -> int:
+        return self.end - self.start
+
+
+class DvfsTrack:
+    """Per-scene decode-complexity annotations for one clip."""
+
+    def __init__(self, clip_name: str, frame_count: int, fps: float,
+                 scenes: Sequence[DvfsSceneAnnotation]):
+        if fps <= 0:
+            raise ValueError("fps must be positive")
+        scenes = list(scenes)
+        if not scenes:
+            raise ValueError("DVFS track needs at least one scene")
+        if scenes[0].start != 0:
+            raise ValueError("annotations must start at frame 0")
+        for prev, cur in zip(scenes, scenes[1:]):
+            if cur.start != prev.end:
+                raise ValueError(f"annotation gap at frame {prev.end}")
+        if scenes[-1].end != frame_count:
+            raise ValueError("annotations must cover the whole clip")
+        self.clip_name = clip_name
+        self.frame_count = int(frame_count)
+        self.fps = float(fps)
+        self.scenes: List[DvfsSceneAnnotation] = scenes
+
+    # ------------------------------------------------------------------
+    def per_frame_cycles(self) -> np.ndarray:
+        """Annotated decode cycles expanded per frame."""
+        cycles = np.empty(self.frame_count)
+        for scene in self.scenes:
+            cycles[scene.start : scene.end] = scene.cycles_per_frame
+        return cycles
+
+    def frequency_schedule(self, cpu: DvfsCpuModel) -> List[FrequencyLevel]:
+        """Per-frame operating point: the client-side table lookup."""
+        period = 1.0 / self.fps
+        schedule: List[FrequencyLevel] = []
+        for scene in self.scenes:
+            level = cpu.slowest_level_for(scene.cycles_per_frame, period)
+            schedule.extend([level] * scene.length)
+        return schedule
+
+    # ------------------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        """Header + per-scene (varint length, varint kilocycles)."""
+        out = bytearray(_MAGIC_DVFS)
+        out.extend(struct.pack("<f", self.fps))
+        out.extend(encode_varint(self.frame_count))
+        out.extend(encode_varint(len(self.scenes)))
+        for scene in self.scenes:
+            out.extend(encode_varint(scene.length))
+            out.extend(encode_varint(int(round(scene.cycles_per_frame / 1000.0))))
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, data: bytes, clip_name: str = "clip") -> "DvfsTrack":
+        if data[:4] != _MAGIC_DVFS:
+            raise ValueError("not a DVFS annotation track")
+        if len(data) < 8:
+            raise ValueError("truncated DVFS track header")
+        (fps,) = struct.unpack_from("<f", data, 4)
+        pos = 4 + 4
+        frame_count, pos = decode_varint(data, pos)
+        n_scenes, pos = decode_varint(data, pos)
+        scenes = []
+        start = 0
+        for _ in range(n_scenes):
+            length, pos = decode_varint(data, pos)
+            kcycles, pos = decode_varint(data, pos)
+            scenes.append(DvfsSceneAnnotation(start, start + length, kcycles * 1000.0))
+            start += length
+        if pos != len(data):
+            raise ValueError("trailing bytes in DVFS track")
+        return cls(clip_name, frame_count, fps, scenes)
+
+    @property
+    def nbytes(self) -> int:
+        return len(self.to_bytes())
+
+    def __repr__(self) -> str:
+        return (
+            f"DvfsTrack({self.clip_name!r}, scenes={len(self.scenes)}, "
+            f"frames={self.frame_count})"
+        )
+
+
+class DvfsAnnotator:
+    """Server-side producer of decode-complexity annotations.
+
+    Parameters
+    ----------
+    decoder:
+        Timing model used to estimate per-frame decode cycles (the same
+        model the client's player embodies).
+    headroom:
+        Multiplicative safety margin on the annotated cycles (covers
+        estimation error; 1.1 = 10 % slack).
+    codec:
+        Optional :class:`~repro.video.codec.CodecModel`; when given, each
+        frame's cycles are scaled by its GOP type's decode factor
+        (motion-compensated frames cost more than intra frames).
+    """
+
+    def __init__(self, decoder=None, headroom: float = 1.1, codec=None):
+        if headroom < 1.0:
+            raise ValueError("headroom must be >= 1")
+        if decoder is None:
+            # Imported here to keep core free of a package-level dependency
+            # on the player (the player imports core in turn).
+            from ..player.decoder import DecoderModel
+
+            decoder = DecoderModel()
+        self.decoder = decoder
+        self.headroom = headroom
+        self.codec = codec
+
+    def frame_cycles(self, frame, index: int = None) -> float:
+        """Estimated decode cycles for one frame."""
+        cycles = self.decoder.decode_time_s(frame) * self.decoder.cpu_hz * self.headroom
+        if self.codec is not None and index is not None:
+            cycles *= self.codec.decode_cycles_factor(self.codec.gop.frame_type(index))
+        return cycles
+
+    def annotate(self, clip: ClipBase, scenes: Sequence[Scene]) -> DvfsTrack:
+        """Annotate a clip over an existing scene partition.
+
+        Reuses the backlight pipeline's scenes so both annotation tracks
+        share boundaries (one ``ProfileResult`` drives both).
+        """
+        per_frame = np.array([
+            self.frame_cycles(frame, index=i) for i, frame in enumerate(clip)
+        ])
+        annotations = [
+            DvfsSceneAnnotation(
+                start=scene.start,
+                end=scene.end,
+                cycles_per_frame=float(per_frame[scene.start : scene.end].max()),
+            )
+            for scene in scenes
+        ]
+        return DvfsTrack(clip.name, clip.frame_count, clip.fps, annotations)
+
+    def annotate_with_profile(self, clip: ClipBase, profile: ProfileResult) -> DvfsTrack:
+        """Convenience: annotate over a backlight pipeline profile."""
+        return self.annotate(clip, profile.scenes)

@@ -1,0 +1,217 @@
+"""The end-to-end annotation pipeline (server/proxy side).
+
+Ties the stages of Section 4 together:
+
+1. profile the clip (:class:`~repro.core.analyzer.StreamAnalyzer`),
+2. group frames into scenes (:class:`~repro.core.scene.SceneDetector`),
+3. apply the clipping heuristic per scene
+   (:mod:`repro.core.clipping`),
+4. emit the device-independent :class:`~repro.core.annotation.AnnotationTrack`,
+5. optionally bind it to a device (backlight levels + gains) and
+   compensate frames for streaming.
+
+:class:`AnnotatedStream` is the shippable artifact: the clip plus its
+device track, iterable as (compensated frame, backlight level) pairs — the
+exact thing the client plays back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..display.devices import DeviceProfile
+from ..power.measurement import simulated_backlight_savings
+from ..video.clip import ClipBase
+from ..video.frame import Frame
+from .analyzer import FrameStats, StreamAnalyzer
+from .annotation import AnnotationTrack, DeviceAnnotationTrack, SceneAnnotation
+from .clipping import ClippingPolicy, policy_for_quality
+from .compensation import CompensationResult, contrast_enhancement
+from .policy import SchemeParameters
+from .scene import Scene, SceneDetector
+
+
+@dataclass(frozen=True)
+class ProfileResult:
+    """Intermediate products of the profiling stages (for Figure 6)."""
+
+    stats: List[FrameStats]
+    scenes: List[Scene]
+
+    def max_luminance_series(self) -> np.ndarray:
+        """Per-frame maximum luminance (Figure 6's first curve)."""
+        return StreamAnalyzer.max_luminance_series(self.stats)
+
+    def scene_max_series(self) -> np.ndarray:
+        """Per-frame scene maximum (Figure 6's step function)."""
+        return SceneDetector.scene_max_series(self.scenes, len(self.stats))
+
+
+class AnnotationPipeline:
+    """Turns raw clips into annotated streams.
+
+    Parameters
+    ----------
+    params:
+        Scheme parameters (quality level, scene thresholds).
+    per_scene_clipping:
+        Use the pooled-histogram clipping variant instead of the default
+        per-frame budget.
+    importance:
+        Optional region-of-interest weighting (user-supervised
+        annotation, Section 3).  When given, the quality level bounds the
+        clipped *importance mass* instead of the raw pixel count.
+    """
+
+    def __init__(self, params: SchemeParameters = SchemeParameters(),
+                 per_scene_clipping: bool = False, importance=None):
+        self.params = params
+        if importance is None:
+            self.analyzer = StreamAnalyzer()
+        else:
+            from .roi import RoiStreamAnalyzer
+
+            self.analyzer = RoiStreamAnalyzer(importance)
+        self.detector = SceneDetector(params)
+        self.clipping: ClippingPolicy = policy_for_quality(
+            params.quality, per_scene=per_scene_clipping, color_safe=params.color_safe
+        )
+
+    # ------------------------------------------------------------------
+    def profile(self, clip: ClipBase) -> ProfileResult:
+        """Run the analysis + scene-detection stages only."""
+        stats = self.analyzer.analyze(clip)
+        scenes = self.detector.detect(stats)
+        SceneDetector.validate_partition(scenes, len(stats))
+        return ProfileResult(stats=stats, scenes=scenes)
+
+    def annotate(self, clip: ClipBase, profile: Optional[ProfileResult] = None) -> AnnotationTrack:
+        """Produce the device-independent annotation track for a clip."""
+        if profile is None:
+            profile = self.profile(clip)
+        scenes = [
+            SceneAnnotation(
+                start=scene.start,
+                end=scene.end,
+                effective_max_luminance=self.clipping.effective_max(scene, profile.stats),
+            )
+            for scene in profile.scenes
+        ]
+        return AnnotationTrack(
+            clip_name=clip.name,
+            frame_count=clip.frame_count,
+            fps=clip.fps,
+            quality=self.params.quality,
+            scenes=scenes,
+        )
+
+    def annotate_for_device(
+        self, clip: ClipBase, device: DeviceProfile,
+        profile: Optional[ProfileResult] = None,
+    ) -> DeviceAnnotationTrack:
+        """Annotate and bind to a device in one step."""
+        return self.annotate(clip, profile=profile).bind(device)
+
+    def build_stream(self, clip: ClipBase, device: DeviceProfile) -> "AnnotatedStream":
+        """Full server-side processing: annotate, bind, wrap for shipping."""
+        track = self.annotate_for_device(clip, device)
+        return AnnotatedStream(clip=clip, track=track, device=device)
+
+
+class AnnotatedStream:
+    """A clip bundled with its device annotation track.
+
+    Iterating yields ``(compensated_frame, backlight_level)`` pairs —
+    compensation is applied lazily, frame by frame, which is how the
+    server/proxy streams ("the compensation of the frames in the video
+    stream is performed at either the server or the intermediary proxy
+    node").
+    """
+
+    def __init__(self, clip: ClipBase, track: DeviceAnnotationTrack, device: DeviceProfile):
+        if track.frame_count != clip.frame_count:
+            raise ValueError(
+                f"track covers {track.frame_count} frames, clip has {clip.frame_count}"
+            )
+        self.clip = clip
+        self.track = track
+        self.device = device
+        self._levels = track.per_frame_levels()
+        self._gains = track.per_frame_gains()
+
+    # ------------------------------------------------------------------
+    @property
+    def frame_count(self) -> int:
+        return self.clip.frame_count
+
+    @property
+    def fps(self) -> float:
+        return self.clip.fps
+
+    def backlight_levels(self) -> np.ndarray:
+        """Per-frame backlight schedule (copy)."""
+        return self._levels.copy()
+
+    def compensated_frame(self, index: int) -> CompensationResult:
+        """Compensate frame ``index`` for its annotated backlight level."""
+        frame = self.clip.frame(index)
+        gain = float(self._gains[index])
+        if gain <= 1.0:
+            return CompensationResult(frame=frame.copy(), clipped_fraction=0.0)
+        return contrast_enhancement(frame, gain)
+
+    def __iter__(self) -> Iterator[Tuple[Frame, int]]:
+        for i in range(self.frame_count):
+            yield self.compensated_frame(i).frame, int(self._levels[i])
+
+    # ------------------------------------------------------------------
+    def predicted_backlight_savings(self) -> float:
+        """The Figure 9 simulated-savings number for this stream."""
+        return simulated_backlight_savings(self._levels, self.device)
+
+    def instantaneous_savings(self) -> np.ndarray:
+        """Per-frame backlight power savings — Figure 6's third curve."""
+        backlight = self.device.backlight
+        return np.asarray(backlight.savings_fraction(self._levels))
+
+    def mean_clipped_fraction(self, sample_every: int = 1) -> float:
+        """Average fraction of clipped pixels over (sampled) frames."""
+        if sample_every < 1:
+            raise ValueError("sample_every must be >= 1")
+        fractions = [
+            self.compensated_frame(i).clipped_fraction
+            for i in range(0, self.frame_count, sample_every)
+        ]
+        return float(np.mean(fractions))
+
+    def __repr__(self) -> str:
+        return (
+            f"AnnotatedStream({self.clip.name!r} on {self.device.name!r}, "
+            f"quality={self.track.quality:.0%}, "
+            f"savings={self.predicted_backlight_savings():.1%})"
+        )
+
+
+def sweep_quality_levels(
+    clip: ClipBase,
+    device: DeviceProfile,
+    qualities: Sequence[float],
+    params: SchemeParameters = SchemeParameters(),
+) -> List[AnnotatedStream]:
+    """Annotate one clip at several quality levels, reusing the profile.
+
+    The profiling pass (the expensive part) runs once; only clipping and
+    binding differ per quality level.  This mirrors the server preparing
+    its five quality variants of each clip.
+    """
+    pipeline = AnnotationPipeline(params)
+    profile = pipeline.profile(clip)
+    streams = []
+    for q in qualities:
+        q_pipeline = AnnotationPipeline(params.with_quality(q))
+        track = q_pipeline.annotate(clip, profile=profile).bind(device)
+        streams.append(AnnotatedStream(clip=clip, track=track, device=device))
+    return streams

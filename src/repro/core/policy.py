@@ -1,0 +1,83 @@
+"""Quality levels and scheme parameters.
+
+Section 4.3/5: "quality degradation levels (percent of high luminance
+pixels clipped) were set to 0, 5, 10, 15 and 20" and "The server (or proxy
+node) provides a number of different video qualities as exemplified above
+(5 in our case), same for all types of PDA clients."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+#: The paper's five quality levels, as clip fractions.
+QUALITY_LEVELS: Tuple[float, ...] = (0.0, 0.05, 0.10, 0.15, 0.20)
+
+#: Display labels matching the Figure 9 / Figure 10 legends.
+QUALITY_LABELS: Tuple[str, ...] = ("0%", "5%", "10%", "15%", "20%")
+
+
+def quality_label(clip_fraction: float) -> str:
+    """Human-readable label for a clip fraction (e.g. ``0.05`` -> ``"5%"``)."""
+    if not 0.0 <= clip_fraction <= 1.0:
+        raise ValueError(f"clip fraction must be in [0, 1], got {clip_fraction}")
+    return f"{round(clip_fraction * 100):g}%"
+
+
+@dataclass(frozen=True)
+class SchemeParameters:
+    """Tunables of the annotation scheme (Section 4.3 defaults).
+
+    Attributes
+    ----------
+    quality:
+        Fraction of high-luminance pixels allowed to clip, 0-1.
+    scene_change_threshold:
+        Relative change in frame max luminance that starts a new scene
+        ("a change of 10 % or more ... is considered a scene change").
+    min_scene_interval_frames:
+        Scene changes closer together than this are suppressed ("only if
+        it does not occur more frequently than a threshold interval") —
+        the flicker guard.  15 frames is 0.5 s at 30 fps.
+    per_frame:
+        If True, bypass scene grouping and annotate every frame
+        individually ("sometimes, better results are obtained if we allow
+        backlight changes for each frame (but it may introduce some
+        flicker)").
+    color_safe:
+        If True (default), clipping budgets and backlight levels are
+        computed on the per-pixel *peak channel* value, so the quality
+        guarantee holds for saturated colors.  False reproduces the
+        paper's literal luminance-only analysis, under which strongly
+        tinted content can clip (change color on) more pixels than the
+        budget — the color-safety ablation measures the difference.
+    """
+
+    quality: float = 0.0
+    scene_change_threshold: float = 0.10
+    min_scene_interval_frames: int = 15
+    per_frame: bool = False
+    color_safe: bool = True
+
+    def __post_init__(self):
+        if not 0.0 <= self.quality <= 1.0:
+            raise ValueError(f"quality must be in [0, 1], got {self.quality}")
+        if not 0.0 < self.scene_change_threshold <= 1.0:
+            raise ValueError(
+                f"scene_change_threshold must be in (0, 1], got {self.scene_change_threshold}"
+            )
+        if self.min_scene_interval_frames < 1:
+            raise ValueError(
+                f"min_scene_interval_frames must be >= 1, got {self.min_scene_interval_frames}"
+            )
+
+    def with_quality(self, quality: float) -> "SchemeParameters":
+        """Copy with a different quality level (used in sweeps)."""
+        return SchemeParameters(
+            quality=quality,
+            scene_change_threshold=self.scene_change_threshold,
+            min_scene_interval_frames=self.min_scene_interval_frames,
+            per_frame=self.per_frame,
+            color_safe=self.color_safe,
+        )

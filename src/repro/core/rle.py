@@ -1,0 +1,119 @@
+"""Run-length encoding for annotation tracks.
+
+Section 4.3: "The annotations are RLE compressed, so the overhead is
+minimal, in the order of hundreds of bytes for our video clips which are
+on the order of a few megabytes."
+
+Backlight levels are constant across a scene, so a per-frame level stream
+is long runs of identical bytes — the ideal RLE input.  Runs are encoded
+as ``(value byte, varint run length)`` pairs; varints use the standard
+LEB128 little-endian 7-bits-per-byte format.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+
+def encode_varint(value: int) -> bytes:
+    """LEB128-encode a non-negative integer."""
+    if value < 0:
+        raise ValueError(f"varints are unsigned, got {value}")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def decode_varint(data: bytes, offset: int = 0) -> Tuple[int, int]:
+    """Decode one LEB128 varint; returns ``(value, next_offset)``."""
+    result = 0
+    shift = 0
+    pos = offset
+    while True:
+        if pos >= len(data):
+            raise ValueError("truncated varint")
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+        if shift > 63:
+            raise ValueError("varint too long")
+
+
+def runs_of(values: Sequence[int]) -> List[Tuple[int, int]]:
+    """Collapse a sequence into ``(value, run_length)`` pairs."""
+    arr = np.asarray(values)
+    if arr.ndim != 1:
+        raise ValueError("RLE input must be 1-D")
+    if arr.size == 0:
+        return []
+    change_points = np.nonzero(np.diff(arr))[0] + 1
+    starts = np.concatenate(([0], change_points))
+    ends = np.concatenate((change_points, [arr.size]))
+    return [(int(arr[s]), int(e - s)) for s, e in zip(starts, ends)]
+
+
+def expand_runs(runs: Iterable[Tuple[int, int]]) -> np.ndarray:
+    """Inverse of :func:`runs_of`."""
+    values: List[int] = []
+    lengths: List[int] = []
+    for value, length in runs:
+        if length <= 0:
+            raise ValueError(f"run length must be positive, got {length}")
+        values.append(value)
+        lengths.append(length)
+    if not values:
+        return np.array([], dtype=np.int64)
+    return np.repeat(np.asarray(values, dtype=np.int64), lengths)
+
+
+def rle_encode(values: Sequence[int]) -> bytes:
+    """Encode a byte-valued sequence (0-255) as RLE bytes.
+
+    Layout: varint run count, then per run a value byte followed by a
+    varint run length.
+    """
+    arr = np.asarray(values)
+    if arr.size and (arr.min() < 0 or arr.max() > 255):
+        raise ValueError("RLE values must fit in a byte (0-255)")
+    runs = runs_of(arr)
+    out = bytearray(encode_varint(len(runs)))
+    for value, length in runs:
+        out.append(value)
+        out.extend(encode_varint(length))
+    return bytes(out)
+
+
+def rle_decode(data: bytes) -> np.ndarray:
+    """Decode bytes produced by :func:`rle_encode`."""
+    count, pos = decode_varint(data, 0)
+    runs: List[Tuple[int, int]] = []
+    for _ in range(count):
+        if pos >= len(data):
+            raise ValueError("truncated RLE stream (missing value byte)")
+        value = data[pos]
+        pos += 1
+        length, pos = decode_varint(data, pos)
+        runs.append((value, length))
+    if pos != len(data):
+        raise ValueError(f"{len(data) - pos} trailing bytes after RLE stream")
+    return expand_runs(runs)
+
+
+def compression_ratio(values: Sequence[int]) -> float:
+    """Raw size over encoded size for a level stream (>= 1 is a win)."""
+    arr = np.asarray(values)
+    if arr.size == 0:
+        raise ValueError("cannot compute the ratio of an empty stream")
+    encoded = rle_encode(arr)
+    return arr.size / len(encoded)

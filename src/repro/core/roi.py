@@ -1,0 +1,160 @@
+"""Region-of-interest (user-supervised) annotation.
+
+Section 3 allows the annotation process to run "under user supervision
+(for example, the user may specify which parts or objects of the video
+stream are more important in a power-quality trade-off scenario)".
+
+An :class:`ImportanceMap` assigns every pixel a non-negative weight; the
+clipping budget then bounds the *importance mass* that may clip rather
+than the raw pixel count.  A highlight inside a don't-care region (a
+channel logo, letterbox bars, a corner flare) no longer forces the
+backlight up, while highlights on the subject remain protected.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from ..quality.histogram import LuminanceHistogram, NUM_BINS
+from ..video.clip import ClipBase
+from ..video.frame import Frame
+from .analyzer import FrameStats
+from .scene import Scene
+from .clipping import ClippingPolicy
+
+
+class ImportanceMap:
+    """Per-pixel importance weights for one frame geometry.
+
+    Weights are non-negative; 1.0 is "normal" importance, 0 marks
+    don't-care pixels.  Maps are geometry-bound: applying one to a frame
+    of a different size is an error, not a silent resample.
+    """
+
+    def __init__(self, weights: np.ndarray):
+        w = np.asarray(weights, dtype=np.float64)
+        if w.ndim != 2:
+            raise ValueError(f"importance map must be 2-D, got shape {w.shape}")
+        if np.any(w < 0):
+            raise ValueError("importance weights must be non-negative")
+        if not np.any(w > 0):
+            raise ValueError("importance map marks every pixel as don't-care")
+        self.weights = w
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def uniform(cls, height: int, width: int) -> "ImportanceMap":
+        """Every pixel equally important (degenerates to plain analysis)."""
+        return cls(np.ones((height, width)))
+
+    @classmethod
+    def center_weighted(cls, height: int, width: int, sigma: float = 0.35,
+                        floor: float = 0.05) -> "ImportanceMap":
+        """Gaussian falloff from the frame center.
+
+        The common default for hand-held viewing: the subject sits near
+        the center; corners (logos, letterboxing) matter little.
+        """
+        if sigma <= 0:
+            raise ValueError("sigma must be positive")
+        if not 0.0 <= floor <= 1.0:
+            raise ValueError("floor must be in [0, 1]")
+        ys, xs = np.meshgrid(
+            np.linspace(-0.5, 0.5, height), np.linspace(-0.5, 0.5, width),
+            indexing="ij",
+        )
+        g = np.exp(-(xs**2 + ys**2) / (2 * sigma**2))
+        return cls(floor + (1.0 - floor) * g)
+
+    @classmethod
+    def rectangle(cls, height: int, width: int, top: int, left: int,
+                  bottom: int, right: int, inside: float = 1.0,
+                  outside: float = 0.0) -> "ImportanceMap":
+        """A rectangular region of interest (rows/cols half-open)."""
+        if not (0 <= top < bottom <= height and 0 <= left < right <= width):
+            raise ValueError("rectangle out of frame bounds")
+        w = np.full((height, width), outside, dtype=np.float64)
+        w[top:bottom, left:right] = inside
+        return cls(w)
+
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple:
+        return self.weights.shape
+
+    def for_frame(self, frame: Frame) -> np.ndarray:
+        """Weights validated against a frame's geometry."""
+        if self.weights.shape != (frame.height, frame.width):
+            raise ValueError(
+                f"importance map {self.weights.shape} does not match frame "
+                f"{(frame.height, frame.width)}"
+            )
+        return self.weights
+
+    def important_fraction(self, threshold: float = 0.5) -> float:
+        """Fraction of pixels whose weight is at least ``threshold``."""
+        return float((self.weights >= threshold).mean())
+
+
+def weighted_frame_stats(frame: Frame, importance: ImportanceMap) -> FrameStats:
+    """FrameStats whose histograms weigh pixels by importance.
+
+    The max statistics remain the *unweighted* maxima of pixels with
+    non-zero importance — a zero-weight pixel can clip freely, but any
+    positively weighted pixel still counts toward the lossless maximum.
+    """
+    weights = importance.for_frame(frame)
+    hist = LuminanceHistogram.of(frame, weights=weights)
+    chan_hist = LuminanceHistogram.of(frame.peak_channel, weights=weights)
+    cares = weights > 0
+    max_lum = float(frame.luminance[cares].max())
+    max_chan = float(frame.peak_channel[cares].max())
+    return FrameStats(
+        index=frame.index,
+        histogram=hist,
+        channel_histogram=chan_hist,
+        max_luminance=max_lum,
+        max_channel_value=max_chan,
+        mean_luminance=hist.average_point / (NUM_BINS - 1),
+    )
+
+
+class RoiStreamAnalyzer:
+    """Stream analyzer producing importance-weighted frame statistics.
+
+    Drop-in replacement for
+    :class:`~repro.core.analyzer.StreamAnalyzer` inside the pipeline: the
+    downstream scene detection and clipping stages consume the weighted
+    histograms unchanged, so the quality level becomes "at most q of the
+    importance mass may clip".
+    """
+
+    def __init__(self, importance: ImportanceMap):
+        self.importance = importance
+
+    def analyze(self, clip: ClipBase) -> List[FrameStats]:
+        """Profile every frame of a clip with importance weighting."""
+        return self.analyze_frames(clip)
+
+    def analyze_frames(self, frames: Iterable[Frame]) -> List[FrameStats]:
+        """Profile an arbitrary frame stream with importance weighting."""
+        stats = [weighted_frame_stats(frame, self.importance) for frame in frames]
+        if not stats:
+            raise ValueError("stream produced no frames to analyze")
+        return stats
+
+
+def roi_clipped_mass(frame: Frame, importance: ImportanceMap, gain: float) -> float:
+    """Fraction of importance mass that saturates at ``gain``.
+
+    The ROI analogue of the clipped-pixel fraction: the quantity the ROI
+    quality level bounds.
+    """
+    if gain <= 0:
+        raise ValueError("gain must be positive")
+    weights = importance.for_frame(frame)
+    total = weights.sum()
+    clipped = weights[frame.peak_channel * gain > 1.0 + 1e-12].sum()
+    return float(clipped / total)

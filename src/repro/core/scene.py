@@ -1,0 +1,147 @@
+"""Scene detection: grouping frames by maximum luminance.
+
+Section 4.3 / Figure 6: "we grouped frames into scenes based on their
+maximum luminance levels: a change of 10 % or more in frame maximum
+luminance level is considered a scene change, but only if it does not
+occur more frequently than a threshold interval.  ...  Both these
+thresholds were experimentally set for minimizing visible spikes.  A
+maximum luminance level is computed for the entire scene."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from .analyzer import FrameStats
+from .policy import SchemeParameters
+
+#: Floor for the relative-change denominator: near-black reference frames
+#: would otherwise turn numeric dust into "scene changes".
+_MIN_REFERENCE_LUMINANCE = 0.02
+
+#: Absolute-change floor: a max-luminance move smaller than this is below
+#: what a one-step backlight adjustment could express, so it never opens a
+#: scene regardless of the relative threshold.
+_MIN_ABSOLUTE_CHANGE = 0.02
+
+
+@dataclass(frozen=True)
+class Scene:
+    """A run of frames with similar maximum luminance.
+
+    ``start`` is inclusive, ``end`` exclusive.  ``max_luminance`` is the
+    scene-wide maximum of the *raw* frame maxima (before any clipping).
+    """
+
+    start: int
+    end: int
+    max_luminance: float
+
+    def __post_init__(self):
+        if not 0 <= self.start < self.end:
+            raise ValueError(f"invalid scene bounds [{self.start}, {self.end})")
+        if not 0.0 <= self.max_luminance <= 1.0:
+            raise ValueError(f"scene max luminance out of [0, 1]: {self.max_luminance}")
+
+    @property
+    def length(self) -> int:
+        return self.end - self.start
+
+    def __contains__(self, frame_index: int) -> bool:
+        return self.start <= frame_index < self.end
+
+
+class SceneDetector:
+    """Threshold + rate-limited scene segmentation over frame statistics.
+
+    A new scene opens at frame ``i`` when the frame's max luminance departs
+    from the current scene's *reference* (the max luminance of the frame
+    that opened the scene) by at least ``scene_change_threshold``
+    relatively — but a change arriving sooner than
+    ``min_scene_interval_frames`` after the current scene opened is
+    suppressed, and the frame is absorbed into the current scene.
+    """
+
+    def __init__(self, params: SchemeParameters = SchemeParameters()):
+        self.params = params
+
+    # ------------------------------------------------------------------
+    def _is_change(self, reference: float, value: float) -> bool:
+        delta = abs(value - reference)
+        if delta < _MIN_ABSOLUTE_CHANGE:
+            return False
+        denom = max(reference, _MIN_REFERENCE_LUMINANCE)
+        return delta / denom >= self.params.scene_change_threshold
+
+    def detect(self, stats: Sequence[FrameStats]) -> List[Scene]:
+        """Segment a profiled stream into scenes.
+
+        With ``params.per_frame`` set, every frame is its own scene (the
+        flickery variant the paper mentions).
+        """
+        if not stats:
+            raise ValueError("cannot detect scenes in an empty stream")
+        maxima = np.array([s.max_value(self.params.color_safe) for s in stats])
+        if self.params.per_frame:
+            return [
+                Scene(i, i + 1, float(maxima[i])) for i in range(len(stats))
+            ]
+
+        scenes: List[Scene] = []
+        start = 0
+        reference = float(maxima[0])
+        scene_max = float(maxima[0])
+        for i in range(1, len(stats)):
+            value = float(maxima[i])
+            old_enough = (i - start) >= self.params.min_scene_interval_frames
+            if self._is_change(reference, value) and old_enough:
+                scenes.append(Scene(start, i, scene_max))
+                start = i
+                reference = value
+                scene_max = value
+            else:
+                scene_max = max(scene_max, value)
+        scenes.append(Scene(start, len(stats), scene_max))
+        return scenes
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def scene_of(scenes: Sequence[Scene], frame_index: int) -> Scene:
+        """Find the scene containing a frame (scenes must be contiguous)."""
+        for scene in scenes:
+            if frame_index in scene:
+                return scene
+        raise IndexError(f"frame {frame_index} not covered by any scene")
+
+    @staticmethod
+    def validate_partition(scenes: Sequence[Scene], frame_count: int) -> None:
+        """Assert that scenes exactly tile ``[0, frame_count)``.
+
+        Raises ``ValueError`` on gaps, overlaps or wrong extents — used by
+        integration tests and as a cheap internal sanity check.
+        """
+        if not scenes:
+            raise ValueError("no scenes")
+        if scenes[0].start != 0:
+            raise ValueError(f"first scene starts at {scenes[0].start}, expected 0")
+        for prev, cur in zip(scenes, scenes[1:]):
+            if cur.start != prev.end:
+                raise ValueError(
+                    f"scene gap/overlap: [{prev.start},{prev.end}) then [{cur.start},{cur.end})"
+                )
+        if scenes[-1].end != frame_count:
+            raise ValueError(
+                f"last scene ends at {scenes[-1].end}, expected {frame_count}"
+            )
+
+    @staticmethod
+    def scene_max_series(scenes: Sequence[Scene], frame_count: int) -> np.ndarray:
+        """Per-frame scene max luminance — Figure 6's 'Scene Max. Lum.'."""
+        SceneDetector.validate_partition(scenes, frame_count)
+        series = np.empty(frame_count)
+        for scene in scenes:
+            series[scene.start : scene.end] = scene.max_luminance
+        return series

@@ -1,0 +1,136 @@
+"""Ambient-aware backlight computation for transflective panels.
+
+Section 4.1 notes that "most recent handhelds use transflective displays,
+which perform best both indoors (low light) and outdoors (in sunlight)" —
+because ambient light reflected through the panel adds to the transmitted
+backlight.  The annotation scheme as evaluated assumes a dark room; this
+module extends the binding step to exploit the reflective path: in bright
+surroundings part of the target luminance arrives for free, so the same
+scene needs a lower backlight level.
+
+Physics: perceived intensity with ambient ``E`` is
+``I = (rho*B(l) + r*E) * W(Y)`` (transmitted + reflected, both modulated
+by the pixel).  Preserving the full-backlight reference
+``(rho + r*E) * W(Y)`` for the scene's effective maximum requires
+
+    rho*B(l) + r*E >= (rho + r*E) * W(Y_eff)
+
+which, since ``W(Y_eff) <= 1``, is always weaker than the dark-room
+condition ``B(l) >= W(Y_eff)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List
+
+import numpy as np
+
+from .devices import DeviceProfile
+from .transfer import MAX_BACKLIGHT_LEVEL
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core imports display)
+    from ..core.annotation import AnnotationTrack, DeviceAnnotationTrack
+
+
+@dataclass(frozen=True)
+class AmbientCondition:
+    """A viewing environment.
+
+    ``illuminance`` is in the same normalized units as relative backlight
+    luminance: 1.0 means the panel's reflected full-white is as bright as
+    its transmitted full-white at maximum backlight.
+    """
+
+    name: str
+    illuminance: float
+
+    def __post_init__(self):
+        if self.illuminance < 0:
+            raise ValueError("illuminance must be non-negative")
+
+
+DARK_ROOM = AmbientCondition("dark-room", 0.0)
+LIVING_ROOM = AmbientCondition("living-room", 0.05)
+OFFICE = AmbientCondition("office", 0.2)
+OUTDOOR_SHADE = AmbientCondition("outdoor-shade", 0.8)
+DIRECT_SUN = AmbientCondition("direct-sun", 3.0)
+
+#: All presets, dimmest first.
+AMBIENT_PRESETS = (DARK_ROOM, LIVING_ROOM, OFFICE, OUTDOOR_SHADE, DIRECT_SUN)
+
+
+def ambient_level_for_scene(
+    device: DeviceProfile, effective_max: float, ambient: AmbientCondition
+) -> int:
+    """Smallest backlight level preserving perceived intensity in ambient.
+
+    Reduces exactly to ``DisplayTransfer.level_for_scene`` in a dark room.
+    """
+    if not 0.0 <= effective_max <= 1.0 + 1e-9:
+        raise ValueError(f"effective max must be in [0, 1], got {effective_max}")
+    panel = device.panel
+    transfer = device.transfer
+    w = float(transfer.white.luminance(min(effective_max, 1.0)))
+    reflected = panel.reflectance * ambient.illuminance / panel.transmittance
+    # rho*B + r*E >= (rho + r*E) * W  =>  B >= W + (r*E/rho)*(W - 1)
+    required = w + reflected * (w - 1.0)
+    return transfer.backlight.level_for_luminance(max(required, 0.0))
+
+
+def ambient_compensation_gain(
+    device: DeviceProfile, level: int, ambient: AmbientCondition
+) -> float:
+    """Pixel gain restoring perceived intensity at ``level`` in ambient.
+
+    Solves ``(rho*B(l) + r*E) * W(kY) = (rho + r*E) * W(Y)`` for the
+    power-law white transfer.
+    """
+    if not 0 <= level <= MAX_BACKLIGHT_LEVEL:
+        raise ValueError(f"backlight level out of range: {level}")
+    panel = device.panel
+    transfer = device.transfer
+    bl = float(np.asarray(transfer.backlight.luminance(level)))
+    reflected = panel.reflectance * ambient.illuminance / panel.transmittance
+    available = bl + reflected
+    target = 1.0 + reflected
+    if available <= 0:
+        raise ValueError("no light available at this level and ambient")
+    ratio = target / available
+    return max(ratio ** (1.0 / transfer.white.gamma), 1.0)
+
+
+def bind_with_ambient(
+    track: "AnnotationTrack", device: DeviceProfile, ambient: AmbientCondition
+) -> "DeviceAnnotationTrack":
+    """Ambient-aware version of :meth:`AnnotationTrack.bind`.
+
+    With ``DARK_ROOM`` the result equals the standard binding.  Brighter
+    environments yield lower levels for the same scenes.
+    """
+    # Imported here: the core package imports display, so the dependency
+    # must stay one-way at import time.
+    from ..core.annotation import DeviceAnnotationTrack, DeviceSceneAnnotation
+
+    scenes: List[DeviceSceneAnnotation] = []
+    for scene in track.scenes:
+        level = ambient_level_for_scene(device, scene.effective_max_luminance, ambient)
+        gain = ambient_compensation_gain(device, level, ambient) if (
+            level > 0 or ambient.illuminance > 0
+        ) else 1.0
+        scenes.append(
+            DeviceSceneAnnotation(
+                start=scene.start,
+                end=scene.end,
+                backlight_level=level,
+                compensation_gain=gain,
+            )
+        )
+    return DeviceAnnotationTrack(
+        clip_name=track.clip_name,
+        device_name=device.name,
+        frame_count=track.frame_count,
+        fps=track.fps,
+        quality=track.quality,
+        scenes=scenes,
+    )

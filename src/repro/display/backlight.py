@@ -1,0 +1,91 @@
+"""Backlight hardware models: CCFL tubes and white LEDs.
+
+The paper contrasts the two technologies (Section 2): CCFL needs a
+high-voltage AC inverter — which burns power even at low levels and
+responds slowly — while white LEDs "have simpler drive circuitry, while
+offering longer life and lower power consumption with a faster response
+time".  Section 5 measures LCD power to be "almost proportional to
+backlight level, but little dependent of pixel values", which is the affine
+power model below.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+from .transfer import MAX_BACKLIGHT_LEVEL
+
+ArrayLike = Union[int, float, np.ndarray]
+
+
+@dataclass(frozen=True)
+class BacklightModel:
+    """Electrical model of one backlight unit.
+
+    Attributes
+    ----------
+    kind:
+        ``"CCFL"`` or ``"LED"`` — informational, but CCFL models should
+        carry a substantial ``power_floor_w`` (inverter overhead).
+    power_max_w:
+        Power drawn at level 255.
+    power_floor_w:
+        Power drawn at level 0 (driver/inverter overhead; the lamp itself
+        is off).
+    response_time_ms:
+        Time for the emitted luminance to settle after a level change.
+        CCFL tubes are tens of milliseconds; LEDs are near-instant.  The
+        backlight controller refuses switch intervals shorter than this.
+    """
+
+    kind: str
+    power_max_w: float
+    power_floor_w: float = 0.0
+    response_time_ms: float = 1.0
+
+    def __post_init__(self):
+        if self.power_max_w <= 0:
+            raise ValueError(f"power_max_w must be positive, got {self.power_max_w}")
+        if not 0 <= self.power_floor_w < self.power_max_w:
+            raise ValueError(
+                f"power_floor_w must be in [0, power_max_w), got {self.power_floor_w}"
+            )
+        if self.response_time_ms < 0:
+            raise ValueError("response_time_ms must be non-negative")
+
+    # ------------------------------------------------------------------
+    def power(self, level: ArrayLike) -> np.ndarray:
+        """Power (W) at the given backlight level(s): affine in level."""
+        lev = np.asarray(level, dtype=np.float64)
+        if np.any(lev < 0) or np.any(lev > MAX_BACKLIGHT_LEVEL):
+            raise ValueError(f"backlight level out of range [0, {MAX_BACKLIGHT_LEVEL}]")
+        frac = lev / MAX_BACKLIGHT_LEVEL
+        return self.power_floor_w + (self.power_max_w - self.power_floor_w) * frac
+
+    def savings_fraction(self, level: ArrayLike) -> np.ndarray:
+        """Backlight power saved at ``level`` relative to full backlight."""
+        full = self.power(MAX_BACKLIGHT_LEVEL)
+        return (full - self.power(level)) / full
+
+
+def ccfl_backlight(power_max_w: float = 1.5, inverter_floor_w: float = 0.25) -> BacklightModel:
+    """A CCFL tube + inverter, as in the iPAQ 3650 / Zaurus SL-5600."""
+    return BacklightModel(
+        kind="CCFL",
+        power_max_w=power_max_w,
+        power_floor_w=inverter_floor_w,
+        response_time_ms=40.0,
+    )
+
+
+def led_backlight(power_max_w: float = 1.1, driver_floor_w: float = 0.02) -> BacklightModel:
+    """A white-LED backlight, as in the iPAQ 5555."""
+    return BacklightModel(
+        kind="LED",
+        power_max_w=power_max_w,
+        power_floor_w=driver_floor_w,
+        response_time_ms=1.0,
+    )

@@ -1,0 +1,110 @@
+"""LCD panel models.
+
+Section 4.1: "LCD displays are of three types: reflective, transmissive and
+transflective.  Most recent handhelds use transflective displays, which
+perform best both indoors (low light) and outdoors (in sunlight)."
+
+The panel determines how backlight luminance and ambient light combine into
+the light reaching the viewer: the perceived intensity of a pixel is
+``I = rho * L * Y`` (transmitted path) plus, for reflective/transflective
+panels, a reflected ambient contribution ``r_amb * E_amb * Y``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+ArrayLike = Union[float, np.ndarray]
+
+
+class PanelType(enum.Enum):
+    """LCD construction type."""
+
+    REFLECTIVE = "reflective"
+    TRANSMISSIVE = "transmissive"
+    TRANSFLECTIVE = "transflective"
+
+
+@dataclass(frozen=True)
+class Panel:
+    """Optical model of an LCD panel.
+
+    Attributes
+    ----------
+    panel_type:
+        Construction type; reflective panels have zero transmitted path in
+        this model only if ``transmittance`` is set to 0.
+    transmittance:
+        ``rho`` in ``I = rho * L * Y`` — fraction of backlight luminance
+        that makes it through the stack for a fully open pixel.
+    reflectance:
+        Fraction of ambient illuminance returned through the pixel
+        (transflective/reflective path); 0 for purely transmissive panels.
+    resolution:
+        ``(width, height)`` native pixels.
+    power_w:
+        Panel drive electronics power (excludes the backlight), roughly
+        constant with content per Section 5's measurements.
+    """
+
+    panel_type: PanelType
+    transmittance: float
+    reflectance: float
+    resolution: tuple
+    power_w: float
+
+    def __post_init__(self):
+        if not 0.0 < self.transmittance <= 1.0:
+            raise ValueError(f"transmittance must be in (0, 1], got {self.transmittance}")
+        if not 0.0 <= self.reflectance <= 1.0:
+            raise ValueError(f"reflectance must be in [0, 1], got {self.reflectance}")
+        if self.power_w < 0:
+            raise ValueError("panel power must be non-negative")
+
+    def perceived_intensity(
+        self,
+        backlight_luminance: ArrayLike,
+        pixel_luminance: ArrayLike,
+        ambient: float = 0.0,
+    ) -> np.ndarray:
+        """Light reaching the viewer, normalized units.
+
+        ``backlight_luminance`` is the relative backlight output ``L`` (1.0
+        at full backlight), ``pixel_luminance`` is the displayed image's
+        ``Y`` in [0, 1] and ``ambient`` is ambient illuminance expressed in
+        the same normalized luminance units.
+        """
+        if ambient < 0:
+            raise ValueError("ambient illuminance must be non-negative")
+        transmitted = self.transmittance * np.asarray(backlight_luminance) * np.asarray(
+            pixel_luminance
+        )
+        reflected = self.reflectance * ambient * np.asarray(pixel_luminance)
+        return transmitted + reflected
+
+
+def transflective_panel(
+    resolution: tuple = (240, 320), transmittance: float = 0.065, reflectance: float = 0.04,
+    power_w: float = 0.25,
+) -> Panel:
+    """A transflective panel (iPAQ 5555 class)."""
+    return Panel(PanelType.TRANSFLECTIVE, transmittance, reflectance, resolution, power_w)
+
+
+def reflective_panel(
+    resolution: tuple = (240, 320), transmittance: float = 0.045, reflectance: float = 0.12,
+    power_w: float = 0.22,
+) -> Panel:
+    """A reflective panel with side-lit CCFL (iPAQ 3650 / Zaurus class)."""
+    return Panel(PanelType.REFLECTIVE, transmittance, reflectance, resolution, power_w)
+
+
+def transmissive_panel(
+    resolution: tuple = (240, 320), transmittance: float = 0.08, power_w: float = 0.3
+) -> Panel:
+    """A purely transmissive panel (laptop class)."""
+    return Panel(PanelType.TRANSMISSIVE, transmittance, 0.0, resolution, power_w)

@@ -1,0 +1,79 @@
+"""Display rendering: what the viewer (or the validation camera) sees.
+
+Combines a frame, a backlight level and a device profile into the perceived
+intensity map ``I = rho * L * Y`` of Section 4.1 (plus the transflective
+ambient term).  The output is what the digital-camera validation
+photographs, so the whole Figure 4 methodology runs on top of this module.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from ..video.frame import Frame
+from .devices import DeviceProfile
+from .transfer import MAX_BACKLIGHT_LEVEL
+
+
+def render_frame(
+    frame: Frame,
+    backlight_level: int,
+    device: DeviceProfile,
+    ambient: float = 0.0,
+) -> np.ndarray:
+    """Render a frame through the display model.
+
+    Parameters
+    ----------
+    frame:
+        The displayed image (already compensated, if compensation is in
+        effect).
+    backlight_level:
+        Hardware backlight register value, 0-255.
+    device:
+        Display/device model.
+    ambient:
+        Ambient illuminance in normalized luminance units (0 = dark room,
+        which is how the paper's snapshots are taken).
+
+    Returns
+    -------
+    numpy.ndarray
+        Per-pixel perceived intensity, normalized so that a full-white
+        pixel at maximum backlight (no ambient) has intensity 1.0.
+    """
+    if not 0 <= backlight_level <= MAX_BACKLIGHT_LEVEL:
+        raise ValueError(
+            f"backlight level {backlight_level} out of range [0, {MAX_BACKLIGHT_LEVEL}]"
+        )
+    transfer = device.transfer
+    bl_lum = float(np.asarray(transfer.backlight.luminance(backlight_level)))
+    pixel_lum = transfer.white.luminance(frame.luminance)
+    raw = device.panel.perceived_intensity(bl_lum, pixel_lum, ambient=ambient)
+    # Normalize by the full-white/full-backlight transmitted intensity so
+    # different panels are comparable (rho cancels).
+    return raw / device.panel.transmittance
+
+
+def render_solid_gray(
+    level: int,
+    backlight_level: int,
+    device: DeviceProfile,
+    size: int = 8,
+    ambient: float = 0.0,
+) -> np.ndarray:
+    """Render a small uniform gray patch — the calibration stimulus."""
+    frame = Frame.solid_gray(size, size, level)
+    return render_frame(frame, backlight_level, device, ambient=ambient)
+
+
+def mean_screen_luminance(
+    frame: Frame,
+    backlight_level: int,
+    device: DeviceProfile,
+    ambient: float = 0.0,
+) -> float:
+    """Average perceived intensity over the screen (illuminometer reading)."""
+    return float(render_frame(frame, backlight_level, device, ambient=ambient).mean())

@@ -1,0 +1,239 @@
+"""Backlight and pixel transfer functions.
+
+Section 5 of the paper characterizes each PDA display by two measured
+curves:
+
+* **Figure 7** — screen brightness versus *backlight level* with a full
+  white image.  This curve is *not* linear and differs per display
+  technology; it is "essential in order to minimize the degradation
+  introduced by the compensation scheme".
+* **Figure 8** — screen brightness versus *white level* (pixel value) at a
+  fixed backlight.  For the iPAQ 5555 this is "almost linear with the
+  luminance of the image".
+
+This module models both directions.  All luminances are normalized: a full
+white pixel at maximum backlight has relative luminance 1.0.  The key
+operation for the annotation pipeline is the inverse lookup
+:meth:`BacklightTransfer.level_for_luminance`: the *smallest* hardware
+backlight level (0-255) whose luminance reaches a target — smaller level
+means lower power, and rounding must never round *down* or compensated
+highlights would dim visibly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Union
+
+import numpy as np
+
+#: Number of discrete backlight steps exposed by the hardware register.
+MAX_BACKLIGHT_LEVEL = 255
+
+ArrayLike = Union[float, Sequence[float], np.ndarray]
+
+
+class BacklightTransfer:
+    """Maps a backlight level (0-255) to relative screen luminance [0, 1].
+
+    Subclasses implement :meth:`luminance`; the generic inverse below works
+    for any monotone non-decreasing transfer.
+    """
+
+    def luminance(self, level: ArrayLike) -> np.ndarray:
+        """Relative luminance of full white at backlight ``level``."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def _normalized(self, level: ArrayLike) -> np.ndarray:
+        lev = np.asarray(level, dtype=np.float64)
+        if np.any(lev < 0) or np.any(lev > MAX_BACKLIGHT_LEVEL):
+            raise ValueError(
+                f"backlight level out of range [0, {MAX_BACKLIGHT_LEVEL}]"
+            )
+        return lev / MAX_BACKLIGHT_LEVEL
+
+    def table(self) -> np.ndarray:
+        """Luminance at every integer backlight level (length 256)."""
+        return np.atleast_1d(self.luminance(np.arange(MAX_BACKLIGHT_LEVEL + 1)))
+
+    def level_for_luminance(self, target: float) -> int:
+        """Smallest integer level whose luminance is >= ``target``.
+
+        ``target`` above the achievable maximum saturates to level 255.
+        This is the "simple multiplication, followed by a table look-up"
+        the client performs at runtime (Section 4.3).
+        """
+        if target <= 0.0:
+            return 0
+        tab = self.table()
+        reached = np.nonzero(tab >= min(target, tab[-1]))[0]
+        if reached.size == 0:
+            return MAX_BACKLIGHT_LEVEL
+        return int(reached[0])
+
+    def power_fraction_for_luminance(self, target: float) -> float:
+        """Backlight level fraction needed for ``target`` luminance."""
+        return self.level_for_luminance(target) / MAX_BACKLIGHT_LEVEL
+
+
+class LinearBacklightTransfer(BacklightTransfer):
+    """Idealized display: luminance proportional to backlight level."""
+
+    def luminance(self, level: ArrayLike) -> np.ndarray:
+        return self._normalized(level)
+
+    def __repr__(self) -> str:
+        return "LinearBacklightTransfer()"
+
+
+class GammaBacklightTransfer(BacklightTransfer):
+    """Power-law transfer: ``lum = (level/255) ** gamma``.
+
+    ``gamma > 1`` is convex (luminance lags the register value — the
+    unfavourable case: deep dimming requires giving up more level), while
+    ``gamma < 1`` is concave.
+    """
+
+    def __init__(self, gamma: float):
+        if gamma <= 0:
+            raise ValueError(f"gamma must be positive, got {gamma}")
+        self.gamma = float(gamma)
+
+    def luminance(self, level: ArrayLike) -> np.ndarray:
+        return self._normalized(level) ** self.gamma
+
+    def __repr__(self) -> str:
+        return f"GammaBacklightTransfer(gamma={self.gamma:g})"
+
+
+class SaturatingBacklightTransfer(BacklightTransfer):
+    """Concave, saturating transfer typical of measured LED backlights.
+
+    ``lum = (1 - exp(-k x)) / (1 - exp(-k))`` with ``x = level/255``:
+    luminance rises quickly at low register values and flattens near the
+    top, matching the Figure 7 shape where most brightness is already
+    available at mid levels.  Larger ``k`` = stronger saturation.
+    """
+
+    def __init__(self, knee: float):
+        if knee <= 0:
+            raise ValueError(f"knee must be positive, got {knee}")
+        self.knee = float(knee)
+        self._denom = 1.0 - math.exp(-self.knee)
+
+    def luminance(self, level: ArrayLike) -> np.ndarray:
+        x = self._normalized(level)
+        return (1.0 - np.exp(-self.knee * x)) / self._denom
+
+    def __repr__(self) -> str:
+        return f"SaturatingBacklightTransfer(knee={self.knee:g})"
+
+
+class TabulatedBacklightTransfer(BacklightTransfer):
+    """Transfer interpolated from measured (level, luminance) samples.
+
+    This is what display calibration produces (Section 5's gray-level
+    sweeps photographed with the digital camera).  Samples are validated to
+    be monotone non-decreasing; queries interpolate linearly.
+    """
+
+    def __init__(self, levels: Sequence[float], luminances: Sequence[float]):
+        lev = np.asarray(levels, dtype=np.float64)
+        lum = np.asarray(luminances, dtype=np.float64)
+        if lev.ndim != 1 or lev.shape != lum.shape or lev.size < 2:
+            raise ValueError("need two 1-D arrays of equal length >= 2")
+        order = np.argsort(lev)
+        lev, lum = lev[order], lum[order]
+        if np.any(np.diff(lev) <= 0):
+            raise ValueError("duplicate backlight levels in calibration data")
+        if np.any(np.diff(lum) < -1e-9):
+            raise ValueError("calibration luminances must be monotone non-decreasing")
+        peak = lum[-1]
+        if peak <= 0:
+            raise ValueError("calibration captured no light at maximum level")
+        self.levels = lev
+        self.luminances = np.maximum.accumulate(lum) / peak
+
+    def luminance(self, level: ArrayLike) -> np.ndarray:
+        x = np.asarray(self._normalized(level)) * MAX_BACKLIGHT_LEVEL
+        return np.interp(x, self.levels, self.luminances)
+
+    def __repr__(self) -> str:
+        return f"TabulatedBacklightTransfer(samples={self.levels.size})"
+
+
+class WhiteTransfer:
+    """Maps normalized pixel luminance Y to relative screen luminance.
+
+    Figure 8: at a fixed backlight the screen brightness tracks the image
+    white level almost linearly on the iPAQ 5555; other panels show a mild
+    curvature modeled here as a gamma.
+    """
+
+    def __init__(self, gamma: float = 1.0):
+        if gamma <= 0:
+            raise ValueError(f"gamma must be positive, got {gamma}")
+        self.gamma = float(gamma)
+
+    def luminance(self, pixel_luminance: ArrayLike) -> np.ndarray:
+        """Relative screen luminance of a pixel at full backlight."""
+        y = np.asarray(pixel_luminance, dtype=np.float64)
+        if np.any(y < 0) or np.any(y > 1.0 + 1e-9):
+            raise ValueError("pixel luminance must be normalized to [0, 1]")
+        if self.gamma == 1.0:
+            return y
+        return np.clip(y, 0.0, 1.0) ** self.gamma
+
+    def __repr__(self) -> str:
+        return f"WhiteTransfer(gamma={self.gamma:g})"
+
+
+class DisplayTransfer:
+    """Combined display response: ``lum(level, Y) = B(level) * W(Y)``.
+
+    The separable form matches the paper's measurements: power/luminance is
+    "almost proportional to backlight level, but little dependent of pixel
+    values", and pixel response is independent of the backlight setting.
+    """
+
+    def __init__(self, backlight: BacklightTransfer, white: WhiteTransfer):
+        self.backlight = backlight
+        self.white = white
+
+    def relative_luminance(self, level: ArrayLike, pixel_luminance: ArrayLike) -> np.ndarray:
+        """Screen luminance relative to full-white at max backlight."""
+        return np.asarray(self.backlight.luminance(level)) * self.white.luminance(
+            pixel_luminance
+        )
+
+    def level_for_scene(self, effective_max_luminance: float) -> int:
+        """Backlight level for a scene whose compensated max luminance is 1.
+
+        With contrast-enhancement compensation the scene's brightest
+        (unclipped) pixel is raised to full scale, so the backlight only
+        needs to reproduce the *screen* luminance that pixel had at full
+        backlight: ``B(level) >= W(Y_max_eff)``.
+        """
+        if not 0.0 <= effective_max_luminance <= 1.0 + 1e-9:
+            raise ValueError(
+                f"effective max luminance must be in [0, 1], got {effective_max_luminance}"
+            )
+        target = float(self.white.luminance(min(effective_max_luminance, 1.0)))
+        return self.backlight.level_for_luminance(target)
+
+    def compensation_gain_for_level(self, level: int) -> float:
+        """Pixel gain ``k`` that restores perceived intensity at ``level``.
+
+        Solves ``B(level) * W(k * Y) = W(Y)`` for the power-law white
+        transfer: ``k = B(level) ** (-1 / gamma)``.  Pixels with
+        ``Y > B(level) ** (1/gamma)`` saturate — exactly the clipped tail
+        the quality level authorized.
+        """
+        bl = float(np.asarray(self.backlight.luminance(level)))
+        if bl <= 0:
+            raise ValueError(f"backlight level {level} emits no light; cannot compensate")
+        return bl ** (-1.0 / self.white.gamma)
+
+    def __repr__(self) -> str:
+        return f"DisplayTransfer({self.backlight!r}, {self.white!r})"

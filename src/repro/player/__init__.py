@@ -1,0 +1,16 @@
+"""Player substrate: decoder timing, backlight control, playback loop."""
+
+from .decoder import DecoderModel
+from .backlight_control import BacklightController, SwitchEvent
+from .playback import PlaybackEngine, PlaybackResult
+from .dvfs_playback import DvfsPlaybackEngine, DvfsPlaybackResult
+
+__all__ = [
+    "DecoderModel",
+    "BacklightController",
+    "SwitchEvent",
+    "PlaybackEngine",
+    "PlaybackResult",
+    "DvfsPlaybackEngine",
+    "DvfsPlaybackResult",
+]

@@ -1,0 +1,99 @@
+"""Backlight controller: applying annotated levels safely.
+
+Section 4 warns that per-frame backlight changes "may introduce some
+flicker", and the related QABS work adds smoothing "that prevents frequent
+backlight switching".  Our scheme avoids a post-processing step by limiting
+backlight changes at annotation time (the scene rate limiter), but the
+client still enforces a hardware-motivated floor: switches cannot come
+faster than the backlight's response time, and an optional
+minimum-switch-interval guard protects against malformed or adversarial
+annotation tracks.
+
+The controller also keeps the switch statistics (count, min interval) that
+the flicker ablation benchmarks report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from ..display.backlight import BacklightModel
+from ..display.transfer import MAX_BACKLIGHT_LEVEL
+
+
+@dataclass
+class SwitchEvent:
+    """One applied backlight change."""
+
+    time_s: float
+    level: int
+
+
+class BacklightController:
+    """Rate-limited backlight level applier.
+
+    Parameters
+    ----------
+    backlight:
+        Hardware model; its response time sets the absolute floor on the
+        switch interval.
+    min_switch_interval_s:
+        Additional policy floor.  A change requested sooner than this
+        after the last applied switch is ignored for now; annotated
+        playback re-requests the scene level every frame, so the change
+        lands on the first frame after the guard expires.
+    """
+
+    def __init__(self, backlight: BacklightModel, min_switch_interval_s: float = 0.0):
+        if min_switch_interval_s < 0:
+            raise ValueError("min_switch_interval_s must be non-negative")
+        self.backlight = backlight
+        self.min_switch_interval_s = max(
+            min_switch_interval_s, backlight.response_time_ms / 1000.0
+        )
+        self.current_level = MAX_BACKLIGHT_LEVEL
+        self._last_switch_time: float = -np.inf
+        self.events: List[SwitchEvent] = []
+
+    # ------------------------------------------------------------------
+    def request(self, time_s: float, level: int) -> int:
+        """Request ``level`` at ``time_s``; returns the level actually set.
+
+        Identical requests are free.  A change inside the guard interval
+        is dropped; the caller re-requests on subsequent frames, so the
+        change takes effect once the guard expires.
+        """
+        if not 0 <= level <= MAX_BACKLIGHT_LEVEL:
+            raise ValueError(f"backlight level out of range: {level}")
+        if level == self.current_level:
+            return self.current_level
+        if time_s - self._last_switch_time >= self.min_switch_interval_s:
+            self._apply(time_s, level)
+        return self.current_level
+
+    def _apply(self, time_s: float, level: int) -> None:
+        if level != self.current_level:
+            self.current_level = level
+            self._last_switch_time = time_s
+            self.events.append(SwitchEvent(time_s=time_s, level=level))
+
+    # ------------------------------------------------------------------
+    @property
+    def switch_count(self) -> int:
+        return len(self.events)
+
+    def min_observed_interval(self) -> float:
+        """Smallest gap between applied switches (inf when < 2 switches)."""
+        if len(self.events) < 2:
+            return float("inf")
+        times = np.array([e.time_s for e in self.events])
+        return float(np.diff(times).min())
+
+    def switches_per_second(self, duration_s: float) -> float:
+        """Applied switch rate over a playback duration."""
+        if duration_s <= 0:
+            raise ValueError("duration must be positive")
+        return self.switch_count / duration_s

@@ -1,0 +1,152 @@
+"""Playback with annotation-driven CPU frequency scaling.
+
+Combines both annotation consumers of Section 3: the backlight track dims
+the display per scene, and the DVFS track slows the CPU to the lowest
+operating point that still decodes every frame of the scene on time.  The
+result quantifies how much the *same* annotation infrastructure saves
+beyond the backlight alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..core.dvfs_annotation import DvfsTrack
+from ..core.pipeline import AnnotatedStream
+from ..display.transfer import MAX_BACKLIGHT_LEVEL
+from ..power.dvfs import DvfsCpuModel
+from ..power.model import ActivityState, DevicePowerModel
+from .decoder import DecoderModel
+
+
+@dataclass(frozen=True)
+class DvfsPlaybackResult:
+    """Power traces of one combined backlight + DVFS playback run.
+
+    Three waveforms are kept so each optimization's contribution can be
+    separated:
+
+    * ``power_combined_w`` — annotated backlight + annotated DVFS;
+    * ``power_backlight_only_w`` — annotated backlight, CPU pinned at the
+      fastest operating point;
+    * ``power_reference_w`` — full backlight, fastest operating point (the
+      unoptimized player).
+    """
+
+    clip_name: str
+    fps: float
+    applied_levels: np.ndarray
+    frequencies_hz: np.ndarray
+    power_combined_w: np.ndarray
+    power_backlight_only_w: np.ndarray
+    power_reference_w: np.ndarray
+    late_frames: int
+
+    @property
+    def combined_savings(self) -> float:
+        """Total savings of backlight + DVFS vs the unoptimized player."""
+        return 1.0 - self.power_combined_w.mean() / self.power_reference_w.mean()
+
+    @property
+    def backlight_only_savings(self) -> float:
+        return 1.0 - self.power_backlight_only_w.mean() / self.power_reference_w.mean()
+
+    @property
+    def dvfs_extra_savings(self) -> float:
+        """What DVFS adds on top of the backlight optimization."""
+        return self.combined_savings - self.backlight_only_savings
+
+    @property
+    def mean_frequency_hz(self) -> float:
+        return float(self.frequencies_hz.mean())
+
+
+class DvfsPlaybackEngine:
+    """Plays an annotated stream with a DVFS track on a device.
+
+    Parameters
+    ----------
+    device:
+        Client device profile; its power budget calibrates the CPU model
+        unless one is supplied.
+    cpu:
+        DVFS CPU model (operating points + power law).
+    decoder:
+        Decode-cost model; must match the one the server used to annotate
+        (the annotator's headroom absorbs small mismatches).
+    network_duty:
+        WLAN receive duty cycle while streaming.
+    """
+
+    def __init__(
+        self,
+        device,
+        cpu: Optional[DvfsCpuModel] = None,
+        decoder: Optional[DecoderModel] = None,
+        network_duty: float = 0.8,
+    ):
+        if not 0.0 <= network_duty <= 1.0:
+            raise ValueError("network_duty must be in [0, 1]")
+        self.device = device
+        self.cpu = cpu if cpu is not None else DvfsCpuModel(
+            active_power_at_max_w=device.power.cpu_active_w,
+            idle_power_w=device.power.cpu_idle_w,
+        )
+        self.decoder = decoder if decoder is not None else DecoderModel()
+        self.network_duty = network_duty
+        self.power_model = DevicePowerModel(device)
+
+    # ------------------------------------------------------------------
+    def _non_cpu_power(self, backlight_level: int) -> float:
+        parts = self.power_model.component_power(
+            ActivityState(cpu_load=0.0, network_duty=self.network_duty), backlight_level
+        )
+        return float(
+            parts["base"] + parts["network"] + parts["panel"] + np.asarray(parts["backlight"])
+        )
+
+    def play(self, stream: AnnotatedStream, dvfs_track: DvfsTrack) -> DvfsPlaybackResult:
+        """Run the combined playback and account power per frame."""
+        if dvfs_track.frame_count != stream.frame_count:
+            raise ValueError(
+                f"DVFS track covers {dvfs_track.frame_count} frames, stream has "
+                f"{stream.frame_count}"
+            )
+        fps = stream.fps
+        period = 1.0 / fps
+        levels = stream.backlight_levels()
+        schedule = dvfs_track.frequency_schedule(self.cpu)
+        cycles = dvfs_track.per_frame_cycles()
+        max_level = self.cpu.max_level
+
+        n = stream.frame_count
+        freqs = np.empty(n)
+        combined = np.empty(n)
+        backlight_only = np.empty(n)
+        reference = np.empty(n)
+        late = 0
+        for i in range(n):
+            frame = stream.compensated_frame(i).frame
+            true_cycles = self.decoder.decode_time_s(frame) * self.decoder.cpu_hz
+            point = schedule[i]
+            freqs[i] = point.hz
+            if true_cycles > point.hz * period + 1e-9:
+                late += 1
+            cpu_combined = self.cpu.energy_per_frame_j(point, true_cycles, period) / period
+            cpu_max = self.cpu.energy_per_frame_j(max_level, true_cycles, period) / period
+            combined[i] = self._non_cpu_power(int(levels[i])) + cpu_combined
+            backlight_only[i] = self._non_cpu_power(int(levels[i])) + cpu_max
+            reference[i] = self._non_cpu_power(MAX_BACKLIGHT_LEVEL) + cpu_max
+        return DvfsPlaybackResult(
+            clip_name=stream.clip.name,
+            fps=fps,
+            applied_levels=levels,
+            frequencies_hz=freqs,
+            power_combined_w=combined,
+            power_backlight_only_w=backlight_only,
+            power_reference_w=reference,
+            late_frames=late,
+        )

@@ -1,0 +1,166 @@
+"""Playback engine: the client-side loop of the system.
+
+Plays an :class:`~repro.core.pipeline.AnnotatedStream` on a device: each
+frame period the engine asks the backlight controller for the annotated
+level ("the only extra operation that the device has to perform during
+playback is to adjust the backlight level periodically, according to the
+annotations in the video stream"), charges the decoder's CPU time, and
+accumulates the ground-truth power waveform that the DAQ simulator samples
+for the Figure 10 measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..core.pipeline import AnnotatedStream
+from ..display.devices import DeviceProfile
+from ..display.transfer import MAX_BACKLIGHT_LEVEL
+from ..power.daq import DAQSimulator, PowerTrace
+from ..power.measurement import simulated_backlight_savings
+from ..power.model import ActivityState, DevicePowerModel
+from .backlight_control import BacklightController
+from .decoder import DecoderModel
+
+
+@dataclass(frozen=True)
+class PlaybackResult:
+    """Everything observed during one playback run."""
+
+    device_name: str
+    clip_name: str
+    fps: float
+    applied_levels: np.ndarray
+    cpu_loads: np.ndarray
+    per_frame_power_w: np.ndarray
+    baseline_power_w: np.ndarray
+    switch_count: int
+    dropped_deadline_count: int
+
+    def __post_init__(self):
+        n = self.applied_levels.size
+        for name in ("cpu_loads", "per_frame_power_w", "baseline_power_w"):
+            if getattr(self, name).size != n:
+                raise ValueError(f"{name} length mismatch")
+
+    @property
+    def duration_s(self) -> float:
+        return self.applied_levels.size / self.fps
+
+    @property
+    def mean_power_w(self) -> float:
+        return float(self.per_frame_power_w.mean())
+
+    @property
+    def baseline_mean_power_w(self) -> float:
+        return float(self.baseline_power_w.mean())
+
+    @property
+    def total_savings(self) -> float:
+        """Whole-device power savings vs full backlight (ground truth)."""
+        return 1.0 - self.mean_power_w / self.baseline_mean_power_w
+
+    def measure(self, daq: Optional[DAQSimulator] = None, run_id: int = 0) -> PowerTrace:
+        """Sample this run's power waveform through a DAQ."""
+        daq = daq if daq is not None else DAQSimulator(seed=run_id)
+        power = self.per_frame_power_w
+
+        def power_at(t: np.ndarray) -> np.ndarray:
+            idx = np.clip((np.asarray(t) * self.fps).astype(np.int64), 0, power.size - 1)
+            return power[idx]
+
+        return daq.measure(power_at, self.duration_s)
+
+    def measure_baseline(self, daq: Optional[DAQSimulator] = None, run_id: int = 1) -> PowerTrace:
+        """Sample the full-backlight reference run's waveform."""
+        daq = daq if daq is not None else DAQSimulator(seed=run_id)
+        power = self.baseline_power_w
+
+        def power_at(t: np.ndarray) -> np.ndarray:
+            idx = np.clip((np.asarray(t) * self.fps).astype(np.int64), 0, power.size - 1)
+            return power[idx]
+
+        return daq.measure(power_at, self.duration_s)
+
+
+class PlaybackEngine:
+    """Drives annotated playback on one device.
+
+    Parameters
+    ----------
+    device:
+        The client device.
+    decoder:
+        Decoder timing model (defaults to the XScale MPEG profile).
+    network_duty:
+        WLAN receive duty cycle while streaming.
+    min_switch_interval_s:
+        Extra policy floor handed to the backlight controller.
+    """
+
+    def __init__(
+        self,
+        device: DeviceProfile,
+        decoder: Optional[DecoderModel] = None,
+        network_duty: float = 0.8,
+        min_switch_interval_s: float = 0.0,
+    ):
+        if not 0.0 <= network_duty <= 1.0:
+            raise ValueError("network_duty must be in [0, 1]")
+        self.device = device
+        self.decoder = decoder if decoder is not None else DecoderModel()
+        self.network_duty = network_duty
+        self.min_switch_interval_s = min_switch_interval_s
+        self.power_model = DevicePowerModel(device)
+
+    # ------------------------------------------------------------------
+    def play(self, stream: AnnotatedStream) -> PlaybackResult:
+        """Play an annotated stream to completion."""
+        if stream.device.name != self.device.name:
+            raise ValueError(
+                f"stream was annotated for {stream.device.name!r}, "
+                f"engine device is {self.device.name!r}"
+            )
+        controller = BacklightController(
+            self.device.backlight, min_switch_interval_s=self.min_switch_interval_s
+        )
+        fps = stream.fps
+        period = 1.0 / fps
+        n = stream.frame_count
+        requested = stream.backlight_levels()
+
+        applied = np.empty(n, dtype=np.int64)
+        cpu_loads = np.empty(n)
+        power = np.empty(n)
+        baseline_power = np.empty(n)
+        dropped = 0
+        for i in range(n):
+            t = i * period
+            frame, _level = stream.compensated_frame(i).frame, int(requested[i])
+            applied[i] = controller.request(t, int(requested[i]))
+            cpu_loads[i] = self.decoder.cpu_load(frame, period)
+            if not self.decoder.can_sustain(frame, fps):
+                dropped += 1
+            activity = ActivityState(cpu_load=float(cpu_loads[i]), network_duty=self.network_duty)
+            power[i] = float(self.power_model.total_power(activity, int(applied[i])))
+            baseline_power[i] = float(
+                self.power_model.total_power(activity, MAX_BACKLIGHT_LEVEL)
+            )
+        return PlaybackResult(
+            device_name=self.device.name,
+            clip_name=stream.clip.name,
+            fps=fps,
+            applied_levels=applied,
+            cpu_loads=cpu_loads,
+            per_frame_power_w=power,
+            baseline_power_w=baseline_power,
+            switch_count=controller.switch_count,
+            dropped_deadline_count=dropped,
+        )
+
+    def backlight_savings(self, result: PlaybackResult) -> float:
+        """Backlight-only savings for a playback run (Figure 9 metric)."""
+        return simulated_backlight_savings(result.applied_levels, self.device)

@@ -1,0 +1,49 @@
+"""Power substrate: component models, DAQ measurement, batteries."""
+
+from .model import (
+    IDLE_ACTIVITY,
+    PLAYBACK_ACTIVITY,
+    ActivityState,
+    DevicePowerModel,
+)
+from .daq import DAQConfig, DAQSimulator, PowerTrace
+from .battery import Battery
+from .dvfs import DvfsCpuModel, FrequencyLevel, XSCALE_LEVELS
+from .trace_analysis import (
+    PowerPlateau,
+    ScheduleAudit,
+    audit_schedule,
+    estimate_backlight_level,
+    segment_plateaus,
+    supply_power_from_device_power,
+)
+from .measurement import (
+    MeasurementResult,
+    MeasurementSession,
+    schedule_power_fn,
+    simulated_backlight_savings,
+)
+
+__all__ = [
+    "ActivityState",
+    "DevicePowerModel",
+    "PLAYBACK_ACTIVITY",
+    "IDLE_ACTIVITY",
+    "DAQConfig",
+    "DAQSimulator",
+    "PowerTrace",
+    "Battery",
+    "DvfsCpuModel",
+    "FrequencyLevel",
+    "XSCALE_LEVELS",
+    "PowerPlateau",
+    "segment_plateaus",
+    "estimate_backlight_level",
+    "ScheduleAudit",
+    "audit_schedule",
+    "supply_power_from_device_power",
+    "MeasurementSession",
+    "MeasurementResult",
+    "schedule_power_fn",
+    "simulated_backlight_savings",
+]

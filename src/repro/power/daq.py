@@ -1,0 +1,157 @@
+"""DAQ-board power measurement simulator.
+
+Section 5.1: "The batteries were removed from the iPAQ during the
+experiment.  A PCI DAQ board was used to sample voltage drops across a
+resistor and the iPAQ, and sampled the voltages at 2K samples/sec."
+
+:class:`DAQSimulator` reproduces that measurement chain: a known supply
+voltage, a sense resistor, two ADC channels with finite resolution and
+noise, sampled at 2 kS/s.  Given a ground-truth power waveform it returns
+the power trace the instrument would report; integrating that trace is how
+the "measured" columns of Figure 10 are produced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DAQConfig:
+    """Measurement chain parameters.
+
+    Attributes
+    ----------
+    sample_rate_hz:
+        ADC sampling rate (the paper uses 2000).
+    supply_voltage_v:
+        Bench supply replacing the battery.
+    sense_resistor_ohm:
+        Shunt resistor the current flows through.
+    adc_bits:
+        ADC resolution per channel.
+    adc_range_v:
+        Full-scale input range of the device-voltage channel.
+    shunt_adc_range_v:
+        Full-scale input range of the shunt channel.  Shunt drops are tens
+        of millivolts, so this channel runs through an instrumentation
+        amplifier with a much smaller range.
+    noise_sigma_v:
+        RMS input-referred voltage noise per sample.
+    """
+
+    sample_rate_hz: float = 2000.0
+    supply_voltage_v: float = 5.0
+    sense_resistor_ohm: float = 0.1
+    adc_bits: int = 12
+    adc_range_v: float = 10.0
+    shunt_adc_range_v: float = 0.5
+    noise_sigma_v: float = 0.002
+
+    def __post_init__(self):
+        if self.sample_rate_hz <= 0:
+            raise ValueError("sample_rate_hz must be positive")
+        if self.supply_voltage_v <= 0:
+            raise ValueError("supply_voltage_v must be positive")
+        if self.sense_resistor_ohm <= 0:
+            raise ValueError("sense_resistor_ohm must be positive")
+        if not 4 <= self.adc_bits <= 24:
+            raise ValueError("adc_bits must be in [4, 24]")
+        if self.adc_range_v <= 0:
+            raise ValueError("adc_range_v must be positive")
+        if self.shunt_adc_range_v <= 0:
+            raise ValueError("shunt_adc_range_v must be positive")
+        if self.noise_sigma_v < 0:
+            raise ValueError("noise_sigma_v must be non-negative")
+
+
+class DAQSimulator:
+    """Samples a ground-truth power waveform through the measurement chain."""
+
+    def __init__(self, config: DAQConfig = DAQConfig(), seed: int = 0):
+        self.config = config
+        self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    def _quantize(self, volts: np.ndarray, full_scale_v: float) -> np.ndarray:
+        step = full_scale_v / (2**self.config.adc_bits)
+        clipped = np.clip(volts, 0.0, full_scale_v)
+        return np.round(clipped / step) * step
+
+    def sample_times(self, duration_s: float) -> np.ndarray:
+        """Sample instants covering ``duration_s`` seconds."""
+        if duration_s <= 0:
+            raise ValueError("duration must be positive")
+        n = max(1, int(round(duration_s * self.config.sample_rate_hz)))
+        return np.arange(n) / self.config.sample_rate_hz
+
+    def measure(self, power_fn: Callable[[np.ndarray], np.ndarray], duration_s: float) -> "PowerTrace":
+        """Measure a power waveform for ``duration_s`` seconds.
+
+        Parameters
+        ----------
+        power_fn:
+            Vectorized ground-truth power in watts as a function of time
+            (seconds).
+        duration_s:
+            Measurement length.
+        """
+        cfg = self.config
+        t = self.sample_times(duration_s)
+        true_power = np.asarray(power_fn(t), dtype=np.float64)
+        if true_power.shape != t.shape:
+            raise ValueError("power_fn must return one power value per sample time")
+        if np.any(true_power < 0):
+            raise ValueError("ground-truth power must be non-negative")
+        # Current through the shunt, then the two measured voltages.
+        current = true_power / cfg.supply_voltage_v
+        v_shunt = current * cfg.sense_resistor_ohm
+        v_device = cfg.supply_voltage_v - v_shunt
+        noise = self._rng.normal(0.0, cfg.noise_sigma_v, size=(2, t.size))
+        v_shunt_meas = self._quantize(v_shunt + noise[0], cfg.shunt_adc_range_v)
+        v_device_meas = self._quantize(v_device + noise[1], cfg.adc_range_v)
+        measured_power = (v_shunt_meas / cfg.sense_resistor_ohm) * v_device_meas
+        return PowerTrace(times=t, power_w=np.maximum(measured_power, 0.0))
+
+
+@dataclass(frozen=True)
+class PowerTrace:
+    """A sampled power waveform with integration helpers."""
+
+    times: np.ndarray
+    power_w: np.ndarray
+
+    def __post_init__(self):
+        t = np.asarray(self.times, dtype=np.float64)
+        p = np.asarray(self.power_w, dtype=np.float64)
+        if t.ndim != 1 or t.shape != p.shape or t.size == 0:
+            raise ValueError("times and power_w must be equal-length non-empty 1-D arrays")
+        if np.any(np.diff(t) <= 0):
+            raise ValueError("times must be strictly increasing")
+        object.__setattr__(self, "times", t)
+        object.__setattr__(self, "power_w", p)
+
+    @property
+    def duration_s(self) -> float:
+        return float(self.times[-1] - self.times[0])
+
+    @property
+    def mean_power_w(self) -> float:
+        return float(self.power_w.mean())
+
+    def energy_j(self) -> float:
+        """Trapezoidal energy integral over the trace (joules)."""
+        if self.times.size == 1:
+            return 0.0
+        integrate = getattr(np, "trapezoid", None) or np.trapz
+        return float(integrate(self.power_w, self.times))
+
+    def savings_vs(self, baseline: "PowerTrace") -> float:
+        """Fractional mean-power savings relative to a baseline trace."""
+        base = baseline.mean_power_w
+        if base <= 0:
+            raise ValueError("baseline mean power must be positive")
+        return 1.0 - self.mean_power_w / base

@@ -1,0 +1,119 @@
+"""DVFS CPU model: frequency/voltage scaling for the client CPU.
+
+Section 3 names frequency/voltage scaling as a second consumer of stream
+annotations: "Optimizations like frequency/voltage scaling can be applied
+before decoding is finished, because the annotated information is
+available early from the data stream."  This module provides the CPU-side
+substrate: a table of (frequency, voltage) operating points modeled on the
+XScale PXA-series, with active power scaling as ``C * f * V^2``.
+
+The model is calibrated so that full-speed active power matches the device
+power budget's ``cpu_active_w`` — swapping DVFS in does not change the
+baseline power story.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class FrequencyLevel:
+    """One CPU operating point."""
+
+    hz: float
+    voltage_v: float
+
+    def __post_init__(self):
+        if self.hz <= 0:
+            raise ValueError("frequency must be positive")
+        if self.voltage_v <= 0:
+            raise ValueError("voltage must be positive")
+
+
+#: XScale PXA255-style operating points (100-400 MHz).
+XSCALE_LEVELS: Tuple[FrequencyLevel, ...] = (
+    FrequencyLevel(100e6, 0.85),
+    FrequencyLevel(200e6, 1.00),
+    FrequencyLevel(300e6, 1.10),
+    FrequencyLevel(400e6, 1.30),
+)
+
+
+class DvfsCpuModel:
+    """CPU power across operating points, calibrated to a device budget.
+
+    Parameters
+    ----------
+    levels:
+        Available operating points, any order; stored sorted by frequency.
+    active_power_at_max_w:
+        Active power at the fastest point (ties the model to the device's
+        ``cpu_active_w``).
+    idle_power_w:
+        Power when the CPU idles (clock-gated; frequency-independent to
+        first order).
+    """
+
+    def __init__(
+        self,
+        levels: Sequence[FrequencyLevel] = XSCALE_LEVELS,
+        active_power_at_max_w: float = 0.75,
+        idle_power_w: float = 0.15,
+    ):
+        if not levels:
+            raise ValueError("need at least one frequency level")
+        if active_power_at_max_w <= 0:
+            raise ValueError("active power must be positive")
+        if not 0 <= idle_power_w < active_power_at_max_w:
+            raise ValueError("idle power must be in [0, active_power_at_max_w)")
+        self.levels = tuple(sorted(levels, key=lambda l: l.hz))
+        self.idle_power_w = idle_power_w
+        top = self.levels[-1]
+        # P_active(f, V) = k * f * V^2, with k set by the top point.
+        self._k = active_power_at_max_w / (top.hz * top.voltage_v**2)
+
+    # ------------------------------------------------------------------
+    @property
+    def max_level(self) -> FrequencyLevel:
+        return self.levels[-1]
+
+    @property
+    def min_level(self) -> FrequencyLevel:
+        return self.levels[0]
+
+    def active_power_w(self, level: FrequencyLevel) -> float:
+        """Power while executing at an operating point."""
+        return self._k * level.hz * level.voltage_v**2
+
+    def power_w(self, level: FrequencyLevel, busy_fraction: float) -> float:
+        """Average power at a duty cycle between active and idle."""
+        if not 0.0 <= busy_fraction <= 1.0:
+            raise ValueError("busy_fraction must be in [0, 1]")
+        return (
+            busy_fraction * self.active_power_w(level)
+            + (1.0 - busy_fraction) * self.idle_power_w
+        )
+
+    def slowest_level_for(self, cycles: float, deadline_s: float) -> FrequencyLevel:
+        """Slowest point that retires ``cycles`` within ``deadline_s``.
+
+        Falls back to the fastest point when even it cannot make the
+        deadline (the frame will be late; the caller counts it).
+        """
+        if cycles < 0:
+            raise ValueError("cycles must be non-negative")
+        if deadline_s <= 0:
+            raise ValueError("deadline must be positive")
+        for level in self.levels:
+            if cycles <= level.hz * deadline_s:
+                return level
+        return self.levels[-1]
+
+    def energy_per_frame_j(self, level: FrequencyLevel, cycles: float,
+                           frame_period_s: float) -> float:
+        """Energy of one frame: active burst + idle remainder."""
+        busy_time = min(cycles / level.hz, frame_period_s)
+        idle_time = frame_period_s - busy_time
+        return self.active_power_w(level) * busy_time + self.idle_power_w * idle_time

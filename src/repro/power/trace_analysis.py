@@ -1,0 +1,198 @@
+"""Power-trace analysis: reading annotations back out of a DAQ trace.
+
+The paper's measurement setup (Section 5.1) sees the device only through
+its power draw.  This module closes that loop in reverse: from a sampled
+whole-device power trace it segments the backlight plateaus, estimates
+the backlight level of each, and reconstructs the effective schedule —
+so a measured run can be audited against the annotation track that
+supposedly drove it, with no access to the device's internals.
+
+This is also the practical tooling a lab would want around the rig:
+plateau segmentation, level estimation through the inverse power model,
+and a comparison report against the expected schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..display.devices import DeviceProfile
+from ..display.transfer import MAX_BACKLIGHT_LEVEL
+from .daq import DAQConfig, PowerTrace
+
+
+def supply_power_from_device_power(device_power_w: float,
+                                   config: DAQConfig = DAQConfig()) -> float:
+    """Convert a measured device-side power to supply-side power.
+
+    The DAQ reports ``P_dev = I * (V - I*R)`` — the device's share, which
+    excludes the shunt's own ``I^2 R`` dissipation.  Solving the quadratic
+    for the current recovers the supply power ``V * I`` that the ground
+    truth (and the power models) speak in.
+    """
+    if device_power_w < 0:
+        raise ValueError("device power must be non-negative")
+    v = config.supply_voltage_v
+    r = config.sense_resistor_ohm
+    discriminant = v * v - 4.0 * r * device_power_w
+    if discriminant < 0:
+        raise ValueError("device power exceeds what the supply can deliver")
+    current = (v - np.sqrt(discriminant)) / (2.0 * r)
+    return float(v * current)
+
+
+@dataclass(frozen=True)
+class PowerPlateau:
+    """A run of samples with (approximately) constant power."""
+
+    start_s: float
+    end_s: float
+    mean_power_w: float
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+def segment_plateaus(
+    trace: PowerTrace,
+    min_step_w: float = 0.05,
+    min_duration_s: float = 0.1,
+    smooth_samples: int = 25,
+) -> List[PowerPlateau]:
+    """Split a power trace into constant-power plateaus.
+
+    A moving-average filter suppresses DAQ noise; a new plateau opens when
+    the smoothed power moves by at least ``min_step_w`` from the current
+    plateau's running mean, rate-limited by ``min_duration_s`` (the same
+    debouncing idea as the scene detector, applied to watts).
+    """
+    if min_step_w <= 0:
+        raise ValueError("min_step_w must be positive")
+    if min_duration_s <= 0:
+        raise ValueError("min_duration_s must be positive")
+    if smooth_samples < 1:
+        raise ValueError("smooth_samples must be >= 1")
+    power = trace.power_w
+    if smooth_samples > 1:
+        # Edge-padded moving average: plain 'same'-mode convolution would
+        # droop at both ends (zero padding) and fake a final plateau.
+        k = min(smooth_samples, power.size)
+        pad_left = k // 2
+        padded = np.pad(power, (pad_left, k - 1 - pad_left), mode="edge")
+        power = np.convolve(padded, np.ones(k) / k, mode="valid")
+    times = trace.times
+
+    plateaus: List[PowerPlateau] = []
+    start = 0
+    total = power[0]
+    count = 1
+    for i in range(1, power.size):
+        mean = total / count
+        long_enough = times[i] - times[start] >= min_duration_s
+        if abs(power[i] - mean) >= min_step_w and long_enough:
+            plateaus.append(PowerPlateau(float(times[start]), float(times[i]),
+                                         float(mean)))
+            start = i
+            total = power[i]
+            count = 1
+        else:
+            total += power[i]
+            count += 1
+    plateaus.append(
+        PowerPlateau(float(times[start]), float(times[-1]), float(total / count))
+    )
+    return plateaus
+
+
+def estimate_backlight_level(
+    plateau_power_w: float,
+    device: DeviceProfile,
+    non_backlight_power_w: float,
+) -> int:
+    """Invert the affine backlight power model for one plateau.
+
+    ``non_backlight_power_w`` is the draw of everything else (estimated
+    from a backlight-off or full-backlight calibration run).  The result
+    is clamped to the valid register range.
+    """
+    if non_backlight_power_w < 0:
+        raise ValueError("non-backlight power must be non-negative")
+    backlight = device.backlight
+    bl_power = plateau_power_w - non_backlight_power_w
+    span = backlight.power_max_w - backlight.power_floor_w
+    frac = (bl_power - backlight.power_floor_w) / span
+    level = int(round(frac * MAX_BACKLIGHT_LEVEL))
+    return min(max(level, 0), MAX_BACKLIGHT_LEVEL)
+
+
+@dataclass(frozen=True)
+class ScheduleAudit:
+    """Comparison of a recovered schedule against the expected one."""
+
+    expected_levels: np.ndarray
+    recovered_levels: np.ndarray
+    mean_abs_error: float
+    max_abs_error: float
+
+    @property
+    def matches(self) -> bool:
+        """Agreement within DAQ noise + quantization (~10 levels)."""
+        return self.max_abs_error <= 12.0
+
+
+def audit_schedule(
+    trace: PowerTrace,
+    expected_levels: np.ndarray,
+    fps: float,
+    device: DeviceProfile,
+    non_backlight_power_w: float,
+    daq_config: DAQConfig = DAQConfig(),
+) -> ScheduleAudit:
+    """Recover the per-frame backlight schedule from a trace and compare.
+
+    Parameters
+    ----------
+    trace:
+        The measured playback run.
+    expected_levels:
+        The annotation track's per-frame levels.
+    fps:
+        Playback frame rate (to align samples to frames).
+    device:
+        Device under test (for the inverse power model).
+    non_backlight_power_w:
+        Everything-but-backlight draw during the run (supply side).
+    daq_config:
+        The measurement chain the trace came from; used to undo the
+        shunt's own dissipation before inverting the power model.
+    """
+    expected = np.asarray(expected_levels)
+    if expected.ndim != 1 or expected.size == 0:
+        raise ValueError("expected_levels must be a non-empty 1-D array")
+    if fps <= 0:
+        raise ValueError("fps must be positive")
+    # Per-frame robust power -> per-frame recovered level.  The median
+    # rejects samples that straddle a backlight switch at frame edges.
+    frame_idx = np.clip((trace.times * fps).astype(np.int64), 0, expected.size - 1)
+    recovered = np.empty(expected.size)
+    for f in range(expected.size):
+        mask = frame_idx == f
+        if not mask.any():
+            recovered[f] = recovered[f - 1] if f > 0 else expected[0]
+            continue
+        device_side = float(np.median(trace.power_w[mask]))
+        recovered[f] = estimate_backlight_level(
+            supply_power_from_device_power(device_side, daq_config),
+            device, non_backlight_power_w,
+        )
+    errors = np.abs(recovered - expected)
+    return ScheduleAudit(
+        expected_levels=expected,
+        recovered_levels=recovered.astype(np.int64),
+        mean_abs_error=float(errors.mean()),
+        max_abs_error=float(errors.max()),
+    )

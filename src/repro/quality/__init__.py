@@ -1,0 +1,32 @@
+"""Quality evaluation: luminance histograms and comparison metrics."""
+
+from .histogram import LuminanceHistogram, NUM_BINS
+from .perceptual import (
+    PerceptualModel,
+    perceptual_playback_report,
+)
+from .metrics import (
+    average_luminance_shift,
+    clipped_fraction,
+    dynamic_range_change,
+    histogram_chi2_distance,
+    histogram_emd,
+    histogram_l1_distance,
+    mse,
+    psnr,
+)
+
+__all__ = [
+    "LuminanceHistogram",
+    "NUM_BINS",
+    "histogram_l1_distance",
+    "histogram_chi2_distance",
+    "histogram_emd",
+    "average_luminance_shift",
+    "dynamic_range_change",
+    "mse",
+    "psnr",
+    "clipped_fraction",
+    "PerceptualModel",
+    "perceptual_playback_report",
+]

@@ -1,0 +1,179 @@
+"""Luminance histograms: the paper's quality-evaluation currency.
+
+Section 4.2: "We estimate the difference between the LCD snapshots by
+computing their histograms.  The histogram was chosen as a metric because
+it represents both the average luminance and dynamic range for an image."
+Figure 3 labels exactly those two properties — the *average point* and the
+*dynamic range* — and Figure 5 shows the quality trade-off as clipped
+(lost) mass in the high-luminance tail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+from ..video.frame import Frame
+
+#: Number of histogram bins — one per 8-bit luminance code.
+NUM_BINS = 256
+
+
+def _as_codes(image: Union[Frame, np.ndarray]) -> np.ndarray:
+    """Normalize supported inputs to an integer 0-255 luminance array."""
+    if isinstance(image, Frame):
+        values = image.luminance
+    else:
+        values = np.asarray(image)
+    if np.issubdtype(values.dtype, np.floating):
+        if values.size and (values.min() < -1e-9 or values.max() > 1.0 + 1e-9):
+            raise ValueError("float luminance input must be normalized to [0, 1]")
+        codes = np.round(np.clip(values, 0.0, 1.0) * (NUM_BINS - 1)).astype(np.int64)
+    else:
+        codes = values.astype(np.int64)
+        if codes.size and (codes.min() < 0 or codes.max() > NUM_BINS - 1):
+            raise ValueError("integer luminance input must be in [0, 255]")
+    return codes
+
+
+@dataclass(frozen=True)
+class LuminanceHistogram:
+    """A 256-bin luminance histogram with the paper's summary statistics.
+
+    Counts are stored as floats so that importance-weighted histograms
+    (region-of-interest analysis) share the same machinery; plain pixel
+    histograms simply carry integral values.
+    """
+
+    counts: np.ndarray
+
+    def __post_init__(self):
+        counts = np.asarray(self.counts, dtype=np.float64)
+        if counts.shape != (NUM_BINS,):
+            raise ValueError(f"histogram must have {NUM_BINS} bins, got {counts.shape}")
+        if np.any(counts < 0):
+            raise ValueError("histogram counts must be non-negative")
+        object.__setattr__(self, "counts", counts)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def of(
+        cls,
+        image: Union[Frame, np.ndarray],
+        weights: "np.ndarray | None" = None,
+    ) -> "LuminanceHistogram":
+        """Histogram of a frame, a photo, or a raw luminance array.
+
+        Accepts :class:`Frame` (uses its BT.601 luminance), ``uint8``
+        arrays (e.g. camera snapshots) and normalized float arrays.
+        ``weights`` (same shape as the image, non-negative) turns the
+        result into an importance-weighted histogram: each pixel
+        contributes its weight instead of 1.
+        """
+        codes = _as_codes(image)
+        if weights is None:
+            counts = np.bincount(codes.ravel(), minlength=NUM_BINS)
+        else:
+            w = np.asarray(weights, dtype=np.float64)
+            if w.shape != codes.shape:
+                raise ValueError(
+                    f"weights shape {w.shape} does not match image shape {codes.shape}"
+                )
+            if np.any(w < 0):
+                raise ValueError("importance weights must be non-negative")
+            counts = np.bincount(codes.ravel(), weights=w.ravel(), minlength=NUM_BINS)
+        return cls(counts)
+
+    # ------------------------------------------------------------------
+    @property
+    def total(self) -> float:
+        """Total pixel count (or importance mass, for weighted histograms)."""
+        return float(self.counts.sum())
+
+    def normalized(self) -> np.ndarray:
+        """Counts as a probability mass function."""
+        total = self.total
+        if total == 0:
+            raise ValueError("cannot normalize an empty histogram")
+        return self.counts / total
+
+    @property
+    def average_point(self) -> float:
+        """Mean luminance code (Figure 3's 'Average Point'), 0-255."""
+        total = self.total
+        if total == 0:
+            raise ValueError("empty histogram has no average point")
+        return float(np.dot(np.arange(NUM_BINS), self.counts) / total)
+
+    def dynamic_range(self, tail: float = 0.0) -> tuple:
+        """Occupied luminance span (Figure 3's 'Dynamic Range').
+
+        Parameters
+        ----------
+        tail:
+            Fraction of mass to ignore at *each* end before measuring the
+            span, making the measurement robust to isolated outliers.
+            0 gives the exact min/max occupied bins.
+
+        Returns
+        -------
+        (low, high):
+            Lowest and highest (surviving) occupied bin indices.
+        """
+        if not 0.0 <= tail < 0.5:
+            raise ValueError(f"tail must be in [0, 0.5), got {tail}")
+        total = self.total
+        if total == 0:
+            raise ValueError("empty histogram has no dynamic range")
+        cum = np.cumsum(self.counts)
+        lo_mass = tail * total
+        hi_mass = (1.0 - tail) * total
+        low = int(np.searchsorted(cum, lo_mass, side="right"))
+        high = int(np.searchsorted(cum, hi_mass, side="left"))
+        return (low, min(high, NUM_BINS - 1))
+
+    @property
+    def dynamic_range_width(self) -> int:
+        low, high = self.dynamic_range()
+        return high - low
+
+    # ------------------------------------------------------------------
+    def tail_mass_above(self, code: int) -> float:
+        """Fraction of pixels strictly brighter than ``code``."""
+        if not 0 <= code <= NUM_BINS - 1:
+            raise ValueError(f"code must be in [0, 255], got {code}")
+        return float(self.counts[code + 1 :].sum() / self.total)
+
+    def clip_point(self, clip_fraction: float) -> int:
+        """Brightest code kept when ``clip_fraction`` of pixels may clip.
+
+        This is the histogram form of the fixed-percent heuristic: find
+        the smallest code such that at most ``clip_fraction`` of the mass
+        lies above it (Figure 5's 'Clipped (Lost) Luminance Values').
+        """
+        if not 0.0 <= clip_fraction <= 1.0:
+            raise ValueError(f"clip_fraction must be in [0, 1], got {clip_fraction}")
+        total = self.total
+        if total == 0:
+            raise ValueError("empty histogram has no clip point")
+        cum = np.cumsum(self.counts)
+        keep = (1.0 - clip_fraction) * total
+        # Smallest code whose cumulative count reaches the keep threshold.
+        # Weighted histograms accumulate float rounding, so clamp against
+        # the (theoretically impossible) off-the-end result.
+        return min(int(np.searchsorted(cum, keep, side="left")), NUM_BINS - 1)
+
+    def merge(self, other: "LuminanceHistogram") -> "LuminanceHistogram":
+        """Histogram of the union of both pixel sets (scene aggregation)."""
+        return LuminanceHistogram(self.counts + other.counts)
+
+    def __repr__(self) -> str:
+        if self.total == 0:
+            return "LuminanceHistogram(empty)"
+        low, high = self.dynamic_range()
+        return (
+            f"LuminanceHistogram(n={self.total}, avg={self.average_point:.1f}, "
+            f"range=[{low}, {high}])"
+        )

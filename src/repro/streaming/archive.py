@@ -1,0 +1,108 @@
+"""Annotated media archives: clips bundled with their annotation tracks.
+
+The paper's server profiles clips once and keeps the annotations with the
+content ("the video clips available for streaming at the servers are first
+profiled, processed and annotated").  An archive is that unit of storage:
+the pixel payload plus the device-independent track for every prepared
+quality level, plus an optional decode-complexity (DVFS) track — so a
+server can be cold-started from disk without re-profiling anything.
+
+Format: a single ``.npz`` with the clip tensor and one bytes-entry per
+track.  Track bytes are exactly the wire format, so an archive is also a
+pre-packetized cache.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from ..core.annotation import AnnotationTrack
+from ..core.dvfs_annotation import DvfsTrack
+from ..video.clip import VideoClip, ClipBase
+from ..video.frame import Frame
+
+#: Archive format tag.
+ARCHIVE_VERSION = 1
+
+
+def save_archive(
+    path: Union[str, os.PathLike],
+    clip: ClipBase,
+    tracks: Dict[float, AnnotationTrack],
+    dvfs_track: Optional[DvfsTrack] = None,
+) -> None:
+    """Write a clip and its annotation tracks to one archive file.
+
+    Parameters
+    ----------
+    path:
+        Destination ``.npz`` path.
+    clip:
+        The content (lazy clips are materialized).
+    tracks:
+        Device-independent annotation tracks keyed by quality level; every
+        track must cover exactly this clip.
+    dvfs_track:
+        Optional decode-complexity track.
+    """
+    if not tracks:
+        raise ValueError("an archive needs at least one annotation track")
+    for quality, track in tracks.items():
+        if track.frame_count != clip.frame_count:
+            raise ValueError(
+                f"track for quality {quality} covers {track.frame_count} frames, "
+                f"clip has {clip.frame_count}"
+            )
+    if dvfs_track is not None and dvfs_track.frame_count != clip.frame_count:
+        raise ValueError("DVFS track does not cover the clip")
+
+    payload = {
+        "frames": np.stack([frame.pixels for frame in clip]),
+        "fps": np.float64(clip.fps),
+        "name": np.str_(clip.name),
+        "version": np.int64(ARCHIVE_VERSION),
+        "qualities": np.array(sorted(tracks), dtype=np.float64),
+    }
+    for quality in tracks:
+        payload[f"track_{round(quality * 1000)}"] = np.frombuffer(
+            tracks[quality].to_bytes(), dtype=np.uint8
+        )
+    if dvfs_track is not None:
+        payload["dvfs"] = np.frombuffer(dvfs_track.to_bytes(), dtype=np.uint8)
+    np.savez_compressed(path, **payload)
+
+
+def load_archive(
+    path: Union[str, os.PathLike],
+) -> Tuple[VideoClip, Dict[float, AnnotationTrack], Optional[DvfsTrack]]:
+    """Load an archive written by :func:`save_archive`."""
+    with np.load(path, allow_pickle=False) as data:
+        version = int(data["version"])
+        if version != ARCHIVE_VERSION:
+            raise ValueError(
+                f"unsupported archive version {version} (expected {ARCHIVE_VERSION})"
+            )
+        frames_arr = data["frames"]
+        fps = float(data["fps"])
+        name = str(data["name"])
+        qualities = [float(q) for q in data["qualities"]]
+        tracks: Dict[float, AnnotationTrack] = {}
+        for quality in qualities:
+            key = f"track_{round(quality * 1000)}"
+            if key not in data:
+                raise ValueError(f"archive advertises quality {quality} but lacks {key}")
+            tracks[quality] = AnnotationTrack.from_bytes(
+                bytes(data[key].tobytes()), clip_name=name
+            )
+        dvfs = None
+        if "dvfs" in data:
+            dvfs = DvfsTrack.from_bytes(bytes(data["dvfs"].tobytes()), clip_name=name)
+    frames = [Frame(frames_arr[i], index=i) for i in range(frames_arr.shape[0])]
+    clip = VideoClip(frames, fps=fps, name=name)
+    for track in tracks.values():
+        if track.frame_count != clip.frame_count:
+            raise ValueError("corrupt archive: track does not cover the clip")
+    return clip, tracks, dvfs

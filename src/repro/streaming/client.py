@@ -1,0 +1,223 @@
+"""The mobile client.
+
+The paper's point is how little the client does: "The only extra operation
+that the device has to perform during playback is to adjust the backlight
+level periodically, according to the annotations in the video stream."
+The client here does exactly that — it parses annotation packets into a
+per-frame backlight schedule, displays the (already compensated) frames,
+and lets the backlight controller apply the levels.  Power is accounted
+per frame with the decoder and radio models.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from ..core.annotation import DeviceAnnotationTrack
+from ..core.dvfs_annotation import DvfsTrack
+from ..display.devices import DeviceProfile
+from ..display.transfer import MAX_BACKLIGHT_LEVEL
+from ..player.backlight_control import BacklightController
+from ..player.decoder import DecoderModel
+from ..player.playback import PlaybackResult
+from ..power.dvfs import DvfsCpuModel
+from ..power.model import ActivityState, DevicePowerModel
+from .network import DeliverySchedule
+from .packets import MediaPacket, PacketType
+from .session import ClientCapabilities, SessionDescription, SessionRequest
+
+
+class StreamProtocolError(ValueError):
+    """The packet stream violated the expected layout."""
+
+
+class MobileClient:
+    """A PDA receiving and playing an annotated stream.
+
+    Parameters
+    ----------
+    device:
+        The handheld's profile; advertised during negotiation.
+    decoder:
+        Decoder timing model.
+    min_switch_interval_s:
+        Backlight controller guard interval.
+    """
+
+    def __init__(
+        self,
+        device: DeviceProfile,
+        decoder: Optional[DecoderModel] = None,
+        min_switch_interval_s: float = 0.0,
+    ):
+        self.device = device
+        self.decoder = decoder if decoder is not None else DecoderModel()
+        self.min_switch_interval_s = min_switch_interval_s
+        self.power_model = DevicePowerModel(device)
+
+    # ------------------------------------------------------------------
+    def capabilities(self) -> ClientCapabilities:
+        """What this client advertises during negotiation."""
+        return ClientCapabilities(device_name=self.device.name)
+
+    def request(self, clip_name: str, quality: float) -> SessionRequest:
+        """Build the session request for a clip at a user-chosen quality."""
+        return SessionRequest(
+            clip_name=clip_name, quality=quality, capabilities=self.capabilities()
+        )
+
+    # ------------------------------------------------------------------
+    def _stitch_levels(self, tracks: List[DeviceAnnotationTrack], frame_count: int) -> np.ndarray:
+        """Concatenate chunk tracks into one per-frame level schedule."""
+        levels = np.concatenate([t.per_frame_levels() for t in tracks])
+        if levels.size != frame_count:
+            raise StreamProtocolError(
+                f"annotations cover {levels.size} frames but {frame_count} arrived"
+            )
+        return levels
+
+    @staticmethod
+    def _stitch_dvfs(tracks: List[DvfsTrack], frame_count: int) -> np.ndarray:
+        """Concatenate chunk DVFS tracks into one per-frame cycles array."""
+        cycles = np.concatenate([t.per_frame_cycles() for t in tracks])
+        if cycles.size != frame_count:
+            raise StreamProtocolError(
+                f"DVFS annotations cover {cycles.size} frames but {frame_count} arrived"
+            )
+        return cycles
+
+    def play_stream(
+        self,
+        session: SessionDescription,
+        packets: Iterable[MediaPacket],
+        delivery: Optional[DeliverySchedule] = None,
+        network_duty: float = 0.8,
+        cpu: Optional[DvfsCpuModel] = None,
+    ) -> PlaybackResult:
+        """Consume a packet stream and play it back.
+
+        Parameters
+        ----------
+        session:
+            The negotiated session (fps, expected frame count).
+        packets:
+            Annotation packet(s) and frame packets.  Annotation packets
+            must precede the frames they cover; frame packets must arrive
+            in presentation order.  Annotation payloads are dispatched on
+            their magic: backlight tracks (``AND1``) are mandatory;
+            decode-complexity tracks (``ANC1``) are honored when a DVFS
+            CPU model is supplied and ignored otherwise.
+        delivery:
+            Optional network delivery schedule; when given, the client
+            radio duty is derived from actual wireless busy time instead
+            of ``network_duty``.
+        network_duty:
+            Fallback radio duty cycle while streaming.
+        cpu:
+            Optional DVFS CPU model; with DVFS annotations present, the
+            CPU runs at the annotated operating point per scene.
+        """
+        if session.device_name != self.device.name:
+            raise StreamProtocolError(
+                f"session bound to {session.device_name!r}, this client is "
+                f"{self.device.name!r}"
+            )
+        tracks: List[DeviceAnnotationTrack] = []
+        dvfs_tracks: List[DvfsTrack] = []
+        frames = []
+        expected_index = 0
+        for packet in packets:
+            if packet.ptype is PacketType.ANNOTATION:
+                magic = packet.payload[:4]
+                if magic == b"AND1":
+                    tracks.append(
+                        DeviceAnnotationTrack.from_bytes(
+                            packet.payload,
+                            clip_name=session.clip_name,
+                            device_name=session.device_name,
+                        )
+                    )
+                elif magic == b"ANC1":
+                    dvfs_tracks.append(
+                        DvfsTrack.from_bytes(packet.payload, clip_name=session.clip_name)
+                    )
+                else:
+                    raise StreamProtocolError(
+                        f"unknown annotation payload magic {magic!r}"
+                    )
+            elif packet.ptype is PacketType.FRAME:
+                if packet.frame_index != expected_index:
+                    raise StreamProtocolError(
+                        f"frame {packet.frame_index} arrived, expected {expected_index}"
+                    )
+                frames.append(packet.frame)
+                expected_index += 1
+            # CONTROL packets are negotiation traffic; nothing to do here.
+        if not tracks:
+            raise StreamProtocolError("no annotation packet arrived before playback")
+        if not frames:
+            raise StreamProtocolError("stream carried no frames")
+        levels = self._stitch_levels(tracks, len(frames))
+
+        use_dvfs = cpu is not None and dvfs_tracks
+        if use_dvfs:
+            annotated_cycles = self._stitch_dvfs(dvfs_tracks, len(frames))
+
+        duty = network_duty
+        if delivery is not None:
+            duty = delivery.radio_duty(len(frames) / session.fps)
+
+        period = 1.0 / session.fps
+        controller = BacklightController(
+            self.device.backlight, min_switch_interval_s=self.min_switch_interval_s
+        )
+        n = len(frames)
+        applied = np.empty(n, dtype=np.int64)
+        cpu_loads = np.empty(n)
+        power = np.empty(n)
+        baseline_power = np.empty(n)
+        dropped = 0
+        for i, frame in enumerate(frames):
+            applied[i] = controller.request(i * period, int(levels[i]))
+            activity = ActivityState(cpu_load=0.0, network_duty=duty)
+            if use_dvfs:
+                point = cpu.slowest_level_for(float(annotated_cycles[i]), period)
+                true_cycles = self.decoder.decode_time_s(frame) * self.decoder.cpu_hz
+                cpu_loads[i] = min(true_cycles / (point.hz * period), 1.0)
+                if true_cycles > point.hz * period + 1e-9:
+                    dropped += 1
+                cpu_power = cpu.energy_per_frame_j(point, true_cycles, period) / period
+                non_cpu = float(
+                    self.power_model.total_power(activity, int(applied[i]))
+                ) - self.device.power.cpu_idle_w
+                non_cpu_base = float(
+                    self.power_model.total_power(activity, MAX_BACKLIGHT_LEVEL)
+                ) - self.device.power.cpu_idle_w
+                power[i] = non_cpu + cpu_power
+                baseline_power[i] = non_cpu_base + cpu_power
+            else:
+                cpu_loads[i] = self.decoder.cpu_load(frame, period)
+                if not self.decoder.can_sustain(frame, session.fps):
+                    dropped += 1
+                activity = ActivityState(
+                    cpu_load=float(cpu_loads[i]), network_duty=duty
+                )
+                power[i] = float(
+                    self.power_model.total_power(activity, int(applied[i]))
+                )
+                baseline_power[i] = float(
+                    self.power_model.total_power(activity, MAX_BACKLIGHT_LEVEL)
+                )
+        return PlaybackResult(
+            device_name=self.device.name,
+            clip_name=session.clip_name,
+            fps=session.fps,
+            applied_levels=applied,
+            cpu_loads=cpu_loads,
+            per_frame_power_w=power,
+            baseline_power_w=baseline_power,
+            switch_count=controller.switch_count,
+            dropped_deadline_count=dropped,
+        )

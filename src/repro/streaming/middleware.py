@@ -1,0 +1,215 @@
+"""Battery-aware quality adaptation middleware.
+
+The related QABS work (reference [13]) coordinates backlight adaptation
+through "a middleware layer running on both the client and an intermediary
+proxy node".  This module builds that layer on top of the annotation
+scheme: the user states how long playback must last; the middleware picks,
+per clip, the *least* degradation whose predicted power lets the battery
+survive the target, renegotiating as the battery drains.
+
+The server cooperates by publishing power hints per prepared variant
+(predicted backlight savings — information it already has from the
+annotation pass), so the client never profiles anything itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.policy import quality_label
+from ..display.devices import DeviceProfile
+from ..display.transfer import MAX_BACKLIGHT_LEVEL
+from ..power.battery import Battery
+from ..power.measurement import simulated_backlight_savings
+from ..power.model import PLAYBACK_ACTIVITY, ActivityState, DevicePowerModel
+from .server import MediaServer
+from .session import NegotiationError
+
+
+@dataclass(frozen=True)
+class PowerHint:
+    """Server-published estimate for one (clip, quality) variant."""
+
+    clip_name: str
+    quality: float
+    backlight_savings: float
+
+    def __post_init__(self):
+        if not 0.0 <= self.backlight_savings < 1.0:
+            raise ValueError("backlight savings must be in [0, 1)")
+
+
+def publish_power_hints(server: MediaServer, clip_name: str,
+                        device: DeviceProfile) -> List[PowerHint]:
+    """Compute the server's per-variant power hints for one clip.
+
+    Uses the cached annotation tracks, so after the first request this is
+    a table lookup (the negotiation-phase exchange of Section 4.3).
+    """
+    hints = []
+    for quality in server.qualities:
+        track = server.annotation_track(clip_name, quality).bind(device)
+        savings = simulated_backlight_savings(track.per_frame_levels(), device)
+        hints.append(PowerHint(clip_name=clip_name, quality=quality,
+                               backlight_savings=savings))
+    return hints
+
+
+class QualityAdvisor:
+    """Chooses the quality level that meets a runtime target.
+
+    Parameters
+    ----------
+    device:
+        The client device (for the power model).
+    activity:
+        Expected non-display activity during playback.
+    """
+
+    def __init__(self, device: DeviceProfile,
+                 activity: ActivityState = PLAYBACK_ACTIVITY):
+        self.device = device
+        self.activity = activity
+        self.model = DevicePowerModel(device)
+
+    # ------------------------------------------------------------------
+    def predicted_power_w(self, hint: PowerHint) -> float:
+        """Whole-device mean power for a variant, from its hint."""
+        full = float(self.model.total_power(self.activity, MAX_BACKLIGHT_LEVEL))
+        backlight_full = float(self.device.backlight.power(MAX_BACKLIGHT_LEVEL))
+        return full - hint.backlight_savings * backlight_full
+
+    def choose(self, hints: Sequence[PowerHint], power_budget_w: float) -> PowerHint:
+        """Least-degradation variant whose predicted power fits the budget.
+
+        Falls back to the most aggressive variant when none fits (the
+        user would rather finish the movie with some artifacts than have
+        the device die).
+        """
+        if not hints:
+            raise NegotiationError("no power hints to choose from")
+        if power_budget_w <= 0:
+            raise ValueError("power budget must be positive")
+        by_quality = sorted(hints, key=lambda h: h.quality)
+        for hint in by_quality:
+            if self.predicted_power_w(hint) <= power_budget_w:
+                return hint
+        return by_quality[-1]
+
+
+@dataclass(frozen=True)
+class AdaptationEvent:
+    """One middleware decision during a viewing session."""
+
+    clip_name: str
+    quality: float
+    predicted_power_w: float
+    battery_remaining_wh: float
+    power_budget_w: float
+
+
+@dataclass(frozen=True)
+class SessionPlan:
+    """Outcome of a battery-aware viewing session."""
+
+    events: List[AdaptationEvent]
+    completed: bool
+    battery_remaining_wh: float
+
+    def qualities(self) -> List[float]:
+        """Chosen quality level per playlist entry."""
+        return [e.quality for e in self.events]
+
+    def describe(self) -> str:
+        """Human-readable session log."""
+        lines = []
+        for e in self.events:
+            lines.append(
+                f"{e.clip_name:<22} quality {quality_label(e.quality):>4} "
+                f"(~{e.predicted_power_w:.2f} W vs budget {e.power_budget_w:.2f} W, "
+                f"battery {e.battery_remaining_wh:.2f} Wh)"
+            )
+        status = "completed" if self.completed else "BATTERY EXHAUSTED"
+        lines.append(f"session {status}; {self.battery_remaining_wh:.2f} Wh left")
+        return "\n".join(lines)
+
+
+class BatteryAwareMiddleware:
+    """Plays a playlist within a battery budget, adapting quality per clip.
+
+    Before each clip the middleware divides the remaining usable energy by
+    the remaining playback time to get the instantaneous power budget,
+    asks the advisor for the cheapest-degradation variant that fits, and
+    charges the battery with the variant's predicted energy.
+    """
+
+    def __init__(self, server: MediaServer, device: DeviceProfile,
+                 battery: Battery = Battery(),
+                 activity: ActivityState = PLAYBACK_ACTIVITY,
+                 reserve_fraction: float = 0.05):
+        if not 0.0 <= reserve_fraction < 1.0:
+            raise ValueError("reserve_fraction must be in [0, 1)")
+        self.server = server
+        self.device = device
+        self.battery = battery
+        self.advisor = QualityAdvisor(device, activity=activity)
+        self.reserve_fraction = reserve_fraction
+
+    # ------------------------------------------------------------------
+    def plan_session(self, playlist: Sequence[str],
+                     initial_charge_wh: Optional[float] = None,
+                     durations_s: Optional[Dict[str, float]] = None) -> SessionPlan:
+        """Plan (and simulate) a full playlist under the battery budget.
+
+        Parameters
+        ----------
+        playlist:
+            Clip names in viewing order.
+        initial_charge_wh:
+            Battery charge at session start (defaults to full).
+        durations_s:
+            Optional per-clip playback durations overriding the clips'
+            own lengths — lets scaled-down simulation clips stand in for
+            full-length titles when budgeting energy.
+        """
+        if not playlist:
+            raise ValueError("playlist is empty")
+        remaining_wh = (
+            self.battery.capacity_wh if initial_charge_wh is None else initial_charge_wh
+        )
+        if remaining_wh <= 0:
+            raise ValueError("initial charge must be positive")
+        durations = {name: self.server.get_clip(name).duration for name in playlist}
+        if durations_s:
+            for name, seconds in durations_s.items():
+                if seconds <= 0:
+                    raise ValueError(f"duration override for {name!r} must be positive")
+                durations[name] = float(seconds)
+        remaining_s = sum(durations.values())
+        usable_wh = remaining_wh * (1.0 - self.reserve_fraction)
+
+        events: List[AdaptationEvent] = []
+        for name in playlist:
+            if usable_wh <= 0:
+                return SessionPlan(events=events, completed=False,
+                                   battery_remaining_wh=max(usable_wh, 0.0))
+            budget_w = usable_wh / (remaining_s / 3600.0)
+            hints = publish_power_hints(self.server, name, self.device)
+            choice = self.advisor.choose(hints, budget_w)
+            power = self.advisor.predicted_power_w(choice)
+            events.append(AdaptationEvent(
+                clip_name=name,
+                quality=choice.quality,
+                predicted_power_w=power,
+                battery_remaining_wh=usable_wh,
+                power_budget_w=budget_w,
+            ))
+            spent_wh = power * durations[name] / 3600.0
+            usable_wh -= spent_wh
+            remaining_s -= durations[name]
+        return SessionPlan(
+            events=events,
+            completed=usable_wh >= 0,
+            battery_remaining_wh=max(usable_wh, 0.0),
+        )

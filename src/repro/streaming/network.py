@@ -1,0 +1,115 @@
+"""Network path model (Figure 1's wired + wireless hops).
+
+The system model routes content from the server over wired Ethernet to an
+access point and then over the wireless hop to the handheld.  For power
+purposes the interesting output is the *client radio duty cycle* — the
+fraction of time the WLAN interface spends actively receiving — which the
+device power model converts to watts.  Delivery timing is also computed so
+that integration tests can assert the stream is sustainable in real time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from .packets import MediaPacket
+
+
+@dataclass(frozen=True)
+class Link:
+    """A store-and-forward link."""
+
+    name: str
+    bandwidth_bps: float
+    latency_s: float = 0.0
+
+    def __post_init__(self):
+        if self.bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.latency_s < 0:
+            raise ValueError("latency must be non-negative")
+
+    def transmit_time_s(self, size_bytes: int) -> float:
+        """Serialization delay of a packet on this link."""
+        return size_bytes * 8.0 / self.bandwidth_bps
+
+
+#: A 2005-vintage 802.11b wireless hop.
+DEFAULT_WIRELESS = Link(name="wlan", bandwidth_bps=5.5e6, latency_s=0.004)
+#: Wired backbone from server to access point.
+DEFAULT_WIRED = Link(name="ethernet", bandwidth_bps=100e6, latency_s=0.001)
+
+
+@dataclass(frozen=True)
+class DeliverySchedule:
+    """Arrival times of a packet sequence at the client."""
+
+    arrival_times_s: np.ndarray
+    total_bytes: int
+    wireless_busy_s: float
+
+    @property
+    def duration_s(self) -> float:
+        return float(self.arrival_times_s[-1]) if self.arrival_times_s.size else 0.0
+
+    def radio_duty(self, playback_duration_s: float) -> float:
+        """Client radio receive duty cycle over the playback window."""
+        if playback_duration_s <= 0:
+            raise ValueError("playback duration must be positive")
+        return min(self.wireless_busy_s / playback_duration_s, 1.0)
+
+
+class NetworkPath:
+    """Server -> (proxy) -> access point -> client path."""
+
+    def __init__(self, hops: Sequence[Link] = (DEFAULT_WIRED, DEFAULT_WIRELESS)):
+        if not hops:
+            raise ValueError("a network path needs at least one hop")
+        self.hops = list(hops)
+
+    @property
+    def wireless_hop(self) -> Link:
+        """The last hop — the one the client radio listens on."""
+        return self.hops[-1]
+
+    def bottleneck_bandwidth_bps(self) -> float:
+        """The slowest hop's bandwidth."""
+        return min(link.bandwidth_bps for link in self.hops)
+
+    def deliver(self, packets: Iterable[MediaPacket]) -> DeliverySchedule:
+        """Compute per-packet arrival times under store-and-forward.
+
+        Each hop is FIFO: a packet starts on hop ``k`` when both the
+        packet has fully arrived from hop ``k-1`` and the hop is free.
+        """
+        sizes: List[int] = [p.size_bytes for p in packets]
+        if not sizes:
+            raise ValueError("cannot deliver an empty packet stream")
+        hop_free = [0.0] * len(self.hops)
+        arrivals = np.empty(len(sizes))
+        wireless_busy = 0.0
+        for i, size in enumerate(sizes):
+            t = 0.0  # packet ready at the server immediately
+            for k, link in enumerate(self.hops):
+                start = max(t, hop_free[k])
+                tx = link.transmit_time_s(size)
+                end = start + tx + link.latency_s
+                hop_free[k] = start + tx
+                if k == len(self.hops) - 1:
+                    wireless_busy += tx
+                t = end
+            arrivals[i] = t
+        return DeliverySchedule(
+            arrival_times_s=arrivals,
+            total_bytes=int(sum(sizes)),
+            wireless_busy_s=wireless_busy,
+        )
+
+    def sustainable_fps(self, frame_bytes: int) -> float:
+        """Frame rate the bottleneck hop can sustain for a frame size."""
+        if frame_bytes <= 0:
+            raise ValueError("frame size must be positive")
+        return self.bottleneck_bandwidth_bps() / (8.0 * frame_bytes)

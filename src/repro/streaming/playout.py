@@ -1,0 +1,121 @@
+"""Client playout buffering: startup delay, jitter absorption, stalls.
+
+The paper's client receives a stream over a shared wireless hop and plays
+at a fixed frame rate; anything the network delivers late stalls playback.
+This module simulates the playout buffer between the radio and the
+decoder: given the per-frame arrival times (from
+:class:`~repro.streaming.network.NetworkPath`) and the presentation clock,
+it reports whether playback is smooth, how many stalls occur, and the
+minimum startup delay that would have made the session stall-free — the
+quantity a player tunes its "buffering..." spinner with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class StallEvent:
+    """One playback interruption."""
+
+    frame_index: int
+    start_s: float     # presentation time at which the player starved
+    duration_s: float  # how long it waited for the frame
+
+    def __post_init__(self):
+        if self.frame_index < 0:
+            raise ValueError("frame_index must be non-negative")
+        if self.duration_s <= 0:
+            raise ValueError("stall duration must be positive")
+
+
+@dataclass(frozen=True)
+class PlayoutReport:
+    """Outcome of one buffered playback simulation."""
+
+    startup_delay_s: float
+    stalls: List[StallEvent]
+    total_stall_s: float
+    end_to_end_latency_s: float
+
+    @property
+    def smooth(self) -> bool:
+        """True when playback never starved."""
+        return not self.stalls
+
+    @property
+    def stall_count(self) -> int:
+        return len(self.stalls)
+
+
+class PlayoutBuffer:
+    """Fixed-startup-delay playout simulation.
+
+    Parameters
+    ----------
+    startup_delay_s:
+        How long the client buffers before starting playback.
+    """
+
+    def __init__(self, startup_delay_s: float = 0.5):
+        if startup_delay_s < 0:
+            raise ValueError("startup delay must be non-negative")
+        self.startup_delay_s = startup_delay_s
+
+    # ------------------------------------------------------------------
+    def simulate(self, arrival_times_s: Sequence[float], fps: float) -> PlayoutReport:
+        """Play frames arriving at ``arrival_times_s`` at ``fps``.
+
+        Playback begins ``startup_delay_s`` after the first frame arrives.
+        Each frame is due one frame period after the previous one was
+        *shown*; a frame that has not arrived by its due time stalls the
+        player until it does (stall time shifts all later deadlines).
+        """
+        arrivals = np.asarray(arrival_times_s, dtype=np.float64)
+        if arrivals.ndim != 1 or arrivals.size == 0:
+            raise ValueError("need a non-empty 1-D arrival array")
+        if np.any(np.diff(arrivals) < 0):
+            raise ValueError("arrival times must be non-decreasing")
+        if fps <= 0:
+            raise ValueError("fps must be positive")
+        period = 1.0 / fps
+        clock = float(arrivals[0]) + self.startup_delay_s
+        stalls: List[StallEvent] = []
+        # Sub-nanosecond lateness is floating-point dust from the shifted
+        # clock, not a stall a viewer could perceive.
+        epsilon = 1e-9
+        for i, arrival in enumerate(arrivals):
+            if arrival > clock + epsilon:
+                stalls.append(StallEvent(
+                    frame_index=i, start_s=clock, duration_s=float(arrival - clock),
+                ))
+                clock = float(arrival)
+            clock += period
+        last_shown = clock - period
+        return PlayoutReport(
+            startup_delay_s=self.startup_delay_s,
+            stalls=stalls,
+            total_stall_s=float(sum(s.duration_s for s in stalls)),
+            end_to_end_latency_s=float(last_shown - arrivals[-1] + period),
+        )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def minimum_startup_delay(arrival_times_s: Sequence[float], fps: float) -> float:
+        """Smallest startup delay yielding stall-free playback.
+
+        Frame ``i`` must satisfy ``arrival_i <= arrival_0 + delay + i/fps``,
+        so the answer is ``max_i(arrival_i - arrival_0 - i/fps)`` clamped
+        at zero.
+        """
+        arrivals = np.asarray(arrival_times_s, dtype=np.float64)
+        if arrivals.ndim != 1 or arrivals.size == 0:
+            raise ValueError("need a non-empty 1-D arrival array")
+        if fps <= 0:
+            raise ValueError("fps must be positive")
+        deadlines = arrivals[0] + np.arange(arrivals.size) / fps
+        return float(max(np.max(arrivals - deadlines), 0.0))

@@ -1,0 +1,112 @@
+"""The transcoding proxy: on-the-fly annotation.
+
+Figure 1 places an optional proxy between server and client: "a high-end
+machine with the ability to process the video stream in real-time,
+on-the-fly (example in videoconferencing).  Note that for our scheme
+either the proxy or the server node suffices."
+
+Unlike the server, the proxy cannot profile a whole clip in advance — live
+content arrives frame by frame.  It therefore works in *chunks*: buffer a
+window of frames, run the full annotation pipeline on the window, emit the
+window's annotation packet followed by its compensated frames.  Chunking
+trades a little optimality (scenes cannot span chunk boundaries) and adds
+one chunk of latency, which the proxy-vs-server ablation benchmark
+quantifies.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Tuple
+
+from ..core.pipeline import AnnotatedStream, AnnotationPipeline
+from ..core.policy import SchemeParameters
+from ..display.devices import DeviceProfile
+from ..video.clip import VideoClip
+from ..video.frame import Frame
+from .packets import MediaPacket, annotation_packet, frame_packet
+
+
+class TranscodingProxy:
+    """Annotates and compensates a live frame stream in fixed chunks.
+
+    Parameters
+    ----------
+    device:
+        The client's device profile (known from session negotiation).
+    params:
+        Scheme parameters; the scene rate limiter applies within chunks.
+    chunk_frames:
+        Buffered window length.  Must be at least the scene interval or
+        every chunk degenerates to a single scene.
+    """
+
+    def __init__(
+        self,
+        device: DeviceProfile,
+        params: SchemeParameters = SchemeParameters(),
+        chunk_frames: int = 60,
+    ):
+        if chunk_frames < 1:
+            raise ValueError("chunk_frames must be >= 1")
+        self.device = device
+        self.params = params
+        self.chunk_frames = chunk_frames
+        self._pipeline = AnnotationPipeline(params)
+
+    # ------------------------------------------------------------------
+    def _chunks(self, frames: Iterable[Frame]) -> Iterator[List[Frame]]:
+        chunk: List[Frame] = []
+        for frame in frames:
+            chunk.append(frame)
+            if len(chunk) == self.chunk_frames:
+                yield chunk
+                chunk = []
+        if chunk:
+            yield chunk
+
+    def annotate_live(
+        self, frames: Iterable[Frame], fps: float, name: str = "live"
+    ) -> Iterator[Tuple[Frame, int, float]]:
+        """Yield ``(compensated_frame, backlight_level, gain)`` per frame.
+
+        The convenience form for in-process pipelines (no packets).
+        Output frame indices are globally consecutive.
+        """
+        out_index = 0
+        for chunk in self._chunks(frames):
+            clip = VideoClip(chunk, fps=fps, name=name)
+            stream = self._pipeline.build_stream(clip, self.device)
+            gains = stream.track.per_frame_gains()
+            for local, (frame, level) in enumerate(stream):
+                frame.index = out_index
+                yield frame, level, float(gains[local])
+                out_index += 1
+
+    def process(
+        self, frames: Iterable[Frame], fps: float, name: str = "live"
+    ) -> Iterator[MediaPacket]:
+        """Packetized form: per chunk, one annotation packet then frames.
+
+        Annotation packets carry a chunk-local device track; the client
+        stitches consecutive chunks back together (frame packets carry
+        global indices, so ordering is unambiguous).
+        """
+        seq = 0
+        out_index = 0
+        for chunk in self._chunks(frames):
+            clip = VideoClip(chunk, fps=fps, name=name)
+            stream = self._pipeline.build_stream(clip, self.device)
+            yield annotation_packet(seq, stream.track.to_bytes())
+            seq += 1
+            for frame, _level in stream:
+                frame.index = out_index
+                yield frame_packet(seq, frame, frame_index=out_index)
+                seq += 1
+                out_index += 1
+
+    # ------------------------------------------------------------------
+    def chunk_latency_s(self, fps: float) -> float:
+        """Extra buffering delay the proxy introduces."""
+        if fps <= 0:
+            raise ValueError("fps must be positive")
+        return self.chunk_frames / fps

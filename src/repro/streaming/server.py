@@ -1,0 +1,209 @@
+"""The media server.
+
+"The server stores media content and streams videos to clients upon user
+requests" (Section 3).  On top of storage it owns the offline annotation
+work: every registered clip is profiled once, and annotation tracks for
+the prepared quality levels are computed (and cached) on demand.  When a
+session opens, the device-independent track is bound to the client's
+device profile and the stream is emitted as one annotation packet followed
+by compensated frame packets.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterator, Optional, Tuple
+
+from ..core.annotation import AnnotationTrack
+from ..core.dvfs_annotation import DvfsAnnotator, DvfsTrack
+from ..core.pipeline import AnnotatedStream, AnnotationPipeline, ProfileResult
+from ..core.policy import QUALITY_LEVELS, SchemeParameters
+from ..display.devices import get_device
+from ..video.clip import ClipBase
+from .packets import MediaPacket, annotation_packet, frame_packet
+from .session import (
+    NegotiationError,
+    SessionDescription,
+    SessionRequest,
+    snap_quality,
+)
+
+
+class MediaServer:
+    """Stores clips, prepares annotations, serves annotated streams.
+
+    Parameters
+    ----------
+    params:
+        Scheme parameters shared by all prepared variants (quality is
+        overridden per variant).
+    qualities:
+        The prepared quality levels (the paper's five, by default).
+    dvfs_annotator:
+        When given, every stream also carries a decode-complexity (DVFS)
+        annotation track computed over the same scene partition
+        (Section 3's frequency/voltage-scaling consumer).
+    codec:
+        Optional :class:`~repro.video.codec.CodecModel`; when given,
+        frame packets are charged their *encoded* wire size on the
+        network (the pixels still travel in-process for display).
+    """
+
+    def __init__(
+        self,
+        params: SchemeParameters = SchemeParameters(),
+        qualities: Tuple[float, ...] = QUALITY_LEVELS,
+        dvfs_annotator: DvfsAnnotator = None,
+        codec=None,
+    ):
+        if not qualities:
+            raise ValueError("server needs at least one quality level")
+        self.params = params
+        self.qualities = tuple(sorted(qualities))
+        self.dvfs_annotator = dvfs_annotator
+        self.codec = codec
+        self._clips: Dict[str, ClipBase] = {}
+        self._encoded: Dict[str, object] = {}
+        self._profiles: Dict[str, ProfileResult] = {}
+        self._tracks: Dict[Tuple[str, float], AnnotationTrack] = {}
+        self._dvfs_tracks: Dict[str, DvfsTrack] = {}
+        self._session_ids = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # Catalog management
+    # ------------------------------------------------------------------
+    def add_clip(self, clip: ClipBase) -> None:
+        """Register a clip in the catalog (idempotent by name)."""
+        self._clips[clip.name] = clip
+
+    def catalog(self) -> Tuple[str, ...]:
+        """Names of all registered clips, sorted."""
+        return tuple(sorted(self._clips))
+
+    def get_clip(self, name: str) -> ClipBase:
+        """Look up a clip by name; NegotiationError if absent."""
+        try:
+            return self._clips[name]
+        except KeyError:
+            raise NegotiationError(f"clip {name!r} not in catalog") from None
+
+    # ------------------------------------------------------------------
+    # Annotation preparation (cached)
+    # ------------------------------------------------------------------
+    def profile(self, clip_name: str) -> ProfileResult:
+        """Profile a clip once; later calls hit the cache."""
+        if clip_name not in self._profiles:
+            clip = self.get_clip(clip_name)
+            pipeline = AnnotationPipeline(self.params)
+            self._profiles[clip_name] = pipeline.profile(clip)
+        return self._profiles[clip_name]
+
+    def annotation_track(self, clip_name: str, quality: float) -> AnnotationTrack:
+        """The device-independent track for one prepared variant."""
+        if quality not in self.qualities:
+            raise NegotiationError(
+                f"quality {quality} is not a prepared variant {self.qualities}"
+            )
+        key = (clip_name, quality)
+        if key not in self._tracks:
+            clip = self.get_clip(clip_name)
+            profile = self.profile(clip_name)
+            pipeline = AnnotationPipeline(self.params.with_quality(quality))
+            self._tracks[key] = pipeline.annotate(clip, profile=profile)
+        return self._tracks[key]
+
+    def dvfs_track(self, clip_name: str) -> DvfsTrack:
+        """The decode-complexity track for a clip (cached)."""
+        if clip_name not in self._dvfs_tracks:
+            if self.dvfs_annotator is None:
+                raise NegotiationError("server was built without DVFS annotation")
+            clip = self.get_clip(clip_name)
+            profile = self.profile(clip_name)
+            self._dvfs_tracks[clip_name] = self.dvfs_annotator.annotate_with_profile(
+                clip, profile
+            )
+        return self._dvfs_tracks[clip_name]
+
+    def encoded_clip(self, clip_name: str):
+        """Encoded-size metadata for a clip (cached; requires a codec)."""
+        if self.codec is None:
+            raise NegotiationError("server was built without a codec model")
+        if clip_name not in self._encoded:
+            self._encoded[clip_name] = self.codec.encode(self.get_clip(clip_name))
+        return self._encoded[clip_name]
+
+    # ------------------------------------------------------------------
+    # Archives (annotated content on disk)
+    # ------------------------------------------------------------------
+    def export_archive(self, clip_name: str, path) -> None:
+        """Write a clip plus all prepared annotation variants to disk."""
+        from .archive import save_archive
+
+        clip = self.get_clip(clip_name)
+        tracks = {q: self.annotation_track(clip_name, q) for q in self.qualities}
+        dvfs = self.dvfs_track(clip_name) if self.dvfs_annotator is not None else None
+        save_archive(path, clip, tracks, dvfs_track=dvfs)
+
+    def add_archive(self, path) -> str:
+        """Load annotated content from disk, seeding the caches.
+
+        Returns the clip name.  No profiling happens: the archive's
+        tracks are trusted (they were produced by an equivalent server).
+        """
+        from .archive import load_archive
+
+        clip, tracks, dvfs = load_archive(path)
+        self.add_clip(clip)
+        for quality, track in tracks.items():
+            self._tracks[(clip.name, quality)] = track
+        if dvfs is not None:
+            self._dvfs_tracks[clip.name] = dvfs
+        return clip.name
+
+    # ------------------------------------------------------------------
+    # Sessions and streaming
+    # ------------------------------------------------------------------
+    def open_session(self, request: SessionRequest) -> SessionDescription:
+        """Negotiate a session: validate, snap quality, assign an id."""
+        clip = self.get_clip(request.clip_name)
+        quality = snap_quality(request.quality, self.qualities)
+        return SessionDescription(
+            session_id=next(self._session_ids),
+            clip_name=clip.name,
+            quality=quality,
+            device_name=request.capabilities.device_name,
+            fps=clip.fps,
+            frame_count=clip.frame_count,
+        )
+
+    def build_stream(self, session: SessionDescription) -> AnnotatedStream:
+        """Materialize the annotated stream object for a session."""
+        clip = self.get_clip(session.clip_name)
+        device = get_device(session.device_name)
+        track = self.annotation_track(session.clip_name, session.quality).bind(device)
+        return AnnotatedStream(clip=clip, track=track, device=device)
+
+    def stream(self, session: SessionDescription) -> Iterator[MediaPacket]:
+        """Emit the session's packets: annotation first, then frames.
+
+        Frames are compensated server-side ("to reduce the load on the
+        client device at runtime, the compensation of the frames ... is
+        performed at either the server or the intermediary proxy node").
+        """
+        annotated = self.build_stream(session)
+        yield annotation_packet(0, annotated.track.to_bytes())
+        seq = 1
+        has_dvfs = (
+            self.dvfs_annotator is not None
+            or session.clip_name in self._dvfs_tracks
+        )
+        if has_dvfs:
+            yield annotation_packet(seq, self.dvfs_track(session.clip_name).to_bytes())
+            seq += 1
+        wire_sizes = None
+        if self.codec is not None:
+            wire_sizes = self.encoded_clip(session.clip_name).frame_bytes
+        for i in range(annotated.frame_count):
+            compensated = annotated.compensated_frame(i).frame
+            wire = int(wire_sizes[i]) if wire_sizes is not None else None
+            yield frame_packet(seq + i, compensated, frame_index=i, wire_bytes=wire)

@@ -1,0 +1,78 @@
+"""Session negotiation.
+
+Section 4.3: "client characteristics are sent during the initial
+negotiation phase" and "The user specifies the quality level when he
+requests the video clip from the server".  A session therefore carries
+three things: which clip, which quality variant, and which device profile
+the backlight levels should be bound to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..core.policy import QUALITY_LEVELS
+from ..display.devices import DEVICE_REGISTRY
+
+
+class NegotiationError(ValueError):
+    """The server rejected a session request."""
+
+
+@dataclass(frozen=True)
+class ClientCapabilities:
+    """What the client tells the server about itself."""
+
+    device_name: str
+
+    def __post_init__(self):
+        if self.device_name not in DEVICE_REGISTRY:
+            raise NegotiationError(
+                f"unknown device {self.device_name!r}; the server has no transfer "
+                f"table for it (known: {', '.join(sorted(DEVICE_REGISTRY))})"
+            )
+
+
+@dataclass(frozen=True)
+class SessionRequest:
+    """A client's request to stream one clip."""
+
+    clip_name: str
+    quality: float
+    capabilities: ClientCapabilities
+
+    def __post_init__(self):
+        if not 0.0 <= self.quality <= 1.0:
+            raise NegotiationError(f"quality must be in [0, 1], got {self.quality}")
+
+
+@dataclass(frozen=True)
+class SessionDescription:
+    """The server's accepted-session answer.
+
+    ``quality`` may differ from the requested value: the server snaps to
+    the nearest of its prepared variants (it "provides a number of
+    different video qualities ... 5 in our case").
+    """
+
+    session_id: int
+    clip_name: str
+    quality: float
+    device_name: str
+    fps: float
+    frame_count: int
+
+
+def snap_quality(requested: float, available: Tuple[float, ...] = QUALITY_LEVELS) -> float:
+    """Nearest prepared quality level not exceeding the request.
+
+    Snapping *down* (toward less clipping) keeps the server's promise: it
+    never degrades more than the user authorized.
+    """
+    if not available:
+        raise NegotiationError("server has no prepared quality levels")
+    not_above = [q for q in available if q <= requested + 1e-12]
+    if not not_above:
+        return min(available)
+    return max(not_above)

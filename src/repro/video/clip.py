@@ -1,0 +1,186 @@
+"""Video clips: ordered frame sequences with playback timing.
+
+Two concrete containers are provided:
+
+* :class:`VideoClip` — an eager, in-memory list of frames.  Convenient for
+  tests and short sequences.
+* :class:`LazyClip` — frames are synthesized on demand from a frame factory
+  callable.  This is how the clip library keeps ten multi-hundred-frame
+  titles cheap: a frame only exists while someone is looking at it, exactly
+  like a streaming decoder.
+
+Both share the :class:`ClipBase` interface (``name``, ``fps``,
+``frame_count``, ``frame(i)``, iteration), which is the only surface the
+rest of the system depends on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .frame import Frame
+
+
+class ClipBase:
+    """Common interface for frame containers."""
+
+    name: str
+    fps: float
+
+    @property
+    def frame_count(self) -> int:
+        raise NotImplementedError
+
+    def frame(self, index: int) -> Frame:
+        """Return frame ``index`` (0-based)."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    @property
+    def duration(self) -> float:
+        """Playback duration in seconds."""
+        return self.frame_count / self.fps
+
+    @property
+    def frame_period(self) -> float:
+        """Seconds between consecutive frames."""
+        return 1.0 / self.fps
+
+    def __len__(self) -> int:
+        return self.frame_count
+
+    def __iter__(self) -> Iterator[Frame]:
+        for i in range(self.frame_count):
+            yield self.frame(i)
+
+    def frames(self) -> Iterator[Frame]:
+        """Alias of iteration, for readability at call sites."""
+        return iter(self)
+
+    def timestamps(self) -> np.ndarray:
+        """Presentation time of each frame, in seconds."""
+        return np.arange(self.frame_count) / self.fps
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(name={self.name!r}, frames={self.frame_count}, "
+            f"fps={self.fps:g}, duration={self.duration:.1f}s)"
+        )
+
+
+class VideoClip(ClipBase):
+    """An eager clip holding all frames in memory.
+
+    Parameters
+    ----------
+    frames:
+        The frame sequence.  Frame indices are rewritten to be contiguous.
+    fps:
+        Playback rate in frames per second.
+    name:
+        Human-readable identifier (used in benchmark tables).
+    """
+
+    def __init__(self, frames: Iterable[Frame], fps: float = 30.0, name: str = "clip"):
+        self._frames: List[Frame] = []
+        for i, frame in enumerate(frames):
+            if not isinstance(frame, Frame):
+                frame = Frame(frame)
+            frame.index = i
+            self._frames.append(frame)
+        if not self._frames:
+            raise ValueError("a clip must contain at least one frame")
+        if fps <= 0:
+            raise ValueError(f"fps must be positive, got {fps}")
+        self.fps = float(fps)
+        self.name = name
+
+    @property
+    def frame_count(self) -> int:
+        return len(self._frames)
+
+    def frame(self, index: int) -> Frame:
+        if not 0 <= index < len(self._frames):
+            raise IndexError(f"frame index {index} out of range [0, {len(self._frames)})")
+        return self._frames[index]
+
+    def subclip(self, start: int, stop: int, name: Optional[str] = None) -> "VideoClip":
+        """Extract frames ``[start, stop)`` as a new clip."""
+        if not 0 <= start < stop <= self.frame_count:
+            raise ValueError(f"invalid subclip range [{start}, {stop})")
+        frames = [self._frames[i].copy() for i in range(start, stop)]
+        return VideoClip(frames, fps=self.fps, name=name or f"{self.name}[{start}:{stop}]")
+
+
+class LazyClip(ClipBase):
+    """A clip whose frames are produced on demand by a factory callable.
+
+    Parameters
+    ----------
+    factory:
+        ``factory(index) -> Frame``; must be deterministic so that repeated
+        reads of the same index agree (the annotation pipeline reads each
+        frame during profiling and again during compensation).
+    frame_count, fps, name:
+        Clip metadata.
+    resolution:
+        Optional ``(width, height)`` advertised without rendering a frame.
+    """
+
+    def __init__(
+        self,
+        factory: Callable[[int], Frame],
+        frame_count: int,
+        fps: float = 30.0,
+        name: str = "clip",
+        resolution: Optional[Tuple[int, int]] = None,
+    ):
+        if frame_count <= 0:
+            raise ValueError(f"frame_count must be positive, got {frame_count}")
+        if fps <= 0:
+            raise ValueError(f"fps must be positive, got {fps}")
+        self._factory = factory
+        self._frame_count = int(frame_count)
+        self.fps = float(fps)
+        self.name = name
+        self._resolution = resolution
+
+    @property
+    def frame_count(self) -> int:
+        return self._frame_count
+
+    @property
+    def resolution(self) -> Optional[Tuple[int, int]]:
+        return self._resolution
+
+    def frame(self, index: int) -> Frame:
+        if not 0 <= index < self._frame_count:
+            raise IndexError(f"frame index {index} out of range [0, {self._frame_count})")
+        frame = self._factory(index)
+        frame.index = index
+        return frame
+
+    def materialize(self) -> VideoClip:
+        """Render every frame into an eager :class:`VideoClip`."""
+        return VideoClip(list(self), fps=self.fps, name=self.name)
+
+
+def concatenate(clips: Sequence[ClipBase], name: str = "concat") -> VideoClip:
+    """Join clips back-to-back into one eager clip.
+
+    All clips must share the same fps; frame sizes may differ (the decoder
+    model treats each frame independently), but in practice library clips
+    share a resolution.
+    """
+    if not clips:
+        raise ValueError("need at least one clip to concatenate")
+    fps = clips[0].fps
+    for clip in clips[1:]:
+        if clip.fps != fps:
+            raise ValueError("cannot concatenate clips with differing fps")
+    frames: List[Frame] = []
+    for clip in clips:
+        frames.extend(frame.copy() for frame in clip)
+    return VideoClip(frames, fps=fps, name=name)

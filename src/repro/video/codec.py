@@ -1,0 +1,195 @@
+"""Codec model: MPEG-style GOP structure and bitstream size estimation.
+
+The paper streams MPEG clips "on the order of a few megabytes"; what
+reaches the radio is the *encoded* bitstream, not raw pixels.  This module
+models the encoder far enough for the system questions that depend on it:
+
+* per-frame **compressed size** (I frames large, P smaller, B smallest;
+  busier content costs more bits) — drives the network/radio duty model;
+* per-frame **decode cost factor** (motion-compensated frames cost more
+  cycles than intra frames) — available to the DVFS annotator.
+
+No entropy coding happens; sizes are deterministic estimates from content
+statistics, which is all the power/network models consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from .clip import ClipBase
+from .frame import Frame
+
+
+@dataclass(frozen=True)
+class GopPattern:
+    """A repeating group-of-pictures structure.
+
+    ``structure`` is a string over {I, P, B} beginning with ``I``, e.g.
+    ``"IBBPBBPBBPBB"`` (the classic N=12, M=3 pattern).
+    """
+
+    structure: str = "IBBPBBPBBPBB"
+
+    def __post_init__(self):
+        if not self.structure or self.structure[0] != "I":
+            raise ValueError("GOP structure must start with an I frame")
+        if set(self.structure) - set("IPB"):
+            raise ValueError("GOP structure may only contain I, P and B")
+
+    @classmethod
+    def from_n_m(cls, n: int, m: int) -> "GopPattern":
+        """Build from GOP length ``n`` and anchor distance ``m``.
+
+        ``m=1`` gives IPPP..., ``m=3`` gives IBBPBB... patterns.
+        """
+        if n < 1 or m < 1 or m > n:
+            raise ValueError("need n >= m >= 1")
+        frames = []
+        for i in range(n):
+            if i == 0:
+                frames.append("I")
+            elif i % m == 0:
+                frames.append("P")
+            else:
+                frames.append("B")
+        return cls("".join(frames))
+
+    @property
+    def length(self) -> int:
+        return len(self.structure)
+
+    def frame_type(self, index: int) -> str:
+        """Type of frame ``index`` of a stream using this pattern."""
+        if index < 0:
+            raise ValueError("frame index must be non-negative")
+        return self.structure[index % self.length]
+
+
+@dataclass(frozen=True)
+class CodecModel:
+    """Bit-budget model for one encoder configuration.
+
+    ``bpp_*`` are base bits-per-pixel for flat content at the reference
+    quality; spatial complexity and temporal change scale them up.
+    """
+
+    gop: GopPattern = GopPattern()
+    bpp_i: float = 1.1
+    bpp_p: float = 0.45
+    bpp_b: float = 0.22
+    complexity_gain: float = 1.6
+    motion_gain: float = 1.2
+    min_frame_bytes: int = 64
+    #: Relative decode cost per frame type (motion compensation dominates).
+    decode_factor_i: float = 0.8
+    decode_factor_p: float = 1.0
+    decode_factor_b: float = 1.15
+
+    def __post_init__(self):
+        for name in ("bpp_i", "bpp_p", "bpp_b"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if self.complexity_gain < 0 or self.motion_gain < 0:
+            raise ValueError("gains must be non-negative")
+        if self.min_frame_bytes < 1:
+            raise ValueError("min_frame_bytes must be >= 1")
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _spatial_complexity(frame: Frame) -> float:
+        lum = frame.luminance
+        gx = np.abs(np.diff(lum, axis=1)).mean() if lum.shape[1] > 1 else 0.0
+        gy = np.abs(np.diff(lum, axis=0)).mean() if lum.shape[0] > 1 else 0.0
+        return float(min((gx + gy) / 0.25, 1.0))
+
+    @staticmethod
+    def _temporal_change(frame: Frame, prev: Frame) -> float:
+        if frame.pixels.shape != prev.pixels.shape:
+            return 1.0  # treat resolution changes as full refresh
+        return float(min(np.abs(frame.luminance - prev.luminance).mean() / 0.25, 1.0))
+
+    def _base_bpp(self, ftype: str) -> float:
+        return {"I": self.bpp_i, "P": self.bpp_p, "B": self.bpp_b}[ftype]
+
+    def estimate_frame_bytes(self, frame: Frame, prev: "Frame | None", ftype: str) -> int:
+        """Compressed size of one frame, in bytes."""
+        if ftype not in "IPB" or len(ftype) != 1:
+            raise ValueError(f"invalid frame type {ftype!r}")
+        bpp = self._base_bpp(ftype)
+        bpp *= 1.0 + self.complexity_gain * self._spatial_complexity(frame)
+        if ftype != "I" and prev is not None:
+            bpp *= 1.0 + self.motion_gain * self._temporal_change(frame, prev)
+        size = int(round(frame.pixel_count * bpp / 8.0))
+        return max(size, self.min_frame_bytes)
+
+    def decode_cycles_factor(self, ftype: str) -> float:
+        """Relative decode cost of a frame type."""
+        return {
+            "I": self.decode_factor_i,
+            "P": self.decode_factor_p,
+            "B": self.decode_factor_b,
+        }[ftype]
+
+    # ------------------------------------------------------------------
+    def encode(self, clip: ClipBase) -> "EncodedClip":
+        """Estimate the whole clip's bitstream."""
+        sizes: List[int] = []
+        types: List[str] = []
+        prev: Frame | None = None
+        for i, frame in enumerate(clip):
+            ftype = self.gop.frame_type(i)
+            sizes.append(self.estimate_frame_bytes(frame, prev, ftype))
+            types.append(ftype)
+            prev = frame
+        return EncodedClip(
+            clip_name=clip.name,
+            fps=clip.fps,
+            frame_bytes=np.asarray(sizes, dtype=np.int64),
+            frame_types=tuple(types),
+        )
+
+
+@dataclass(frozen=True)
+class EncodedClip:
+    """Size/type metadata of an encoded clip."""
+
+    clip_name: str
+    fps: float
+    frame_bytes: np.ndarray
+    frame_types: Tuple[str, ...]
+
+    def __post_init__(self):
+        if self.frame_bytes.ndim != 1 or self.frame_bytes.size == 0:
+            raise ValueError("frame_bytes must be a non-empty 1-D array")
+        if len(self.frame_types) != self.frame_bytes.size:
+            raise ValueError("frame_types length mismatch")
+
+    @property
+    def total_bytes(self) -> int:
+        return int(self.frame_bytes.sum())
+
+    @property
+    def bitrate_bps(self) -> float:
+        """Average stream bitrate at the clip's frame rate."""
+        duration = self.frame_bytes.size / self.fps
+        return self.total_bytes * 8.0 / duration
+
+    def compression_ratio(self, raw_frame_bytes: int) -> float:
+        """Raw-pixels size over encoded size."""
+        if raw_frame_bytes <= 0:
+            raise ValueError("raw frame size must be positive")
+        return raw_frame_bytes * self.frame_bytes.size / self.total_bytes
+
+    def mean_bytes_by_type(self) -> dict:
+        """Average encoded size per frame type present in the stream."""
+        out = {}
+        types = np.array(self.frame_types)
+        for ftype in "IPB":
+            mask = types == ftype
+            if mask.any():
+                out[ftype] = float(self.frame_bytes[mask].mean())
+        return out

@@ -1,0 +1,99 @@
+"""Terminal visualization helpers.
+
+Text renderings of the series the paper plots — sparklines for per-frame
+traces (Figure 6), bars for savings tables (Figures 9/10) and histogram
+sketches (Figures 3-5) — so examples and the CLI can show shapes without a
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+#: Eight-level block characters, darkest to brightest.
+_SPARK_CHARS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], lo: float = None, hi: float = None) -> str:
+    """One-line block-character plot of a series.
+
+    Parameters
+    ----------
+    values:
+        The series; NaNs render as spaces.
+    lo, hi:
+        Explicit scale bounds; default to the finite min/max of the data.
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ValueError("sparkline needs a non-empty 1-D series")
+    finite = arr[np.isfinite(arr)]
+    if finite.size == 0:
+        return " " * arr.size
+    lo = float(finite.min()) if lo is None else float(lo)
+    hi = float(finite.max()) if hi is None else float(hi)
+    if hi <= lo:
+        return _SPARK_CHARS[-1] * arr.size
+    steps = len(_SPARK_CHARS) - 1
+    out = []
+    for v in arr:
+        if not np.isfinite(v):
+            out.append(" ")
+            continue
+        frac = (min(max(v, lo), hi) - lo) / (hi - lo)
+        out.append(_SPARK_CHARS[1 + int(round(frac * (steps - 1)))])
+    return "".join(out)
+
+
+def bar(value: float, width: int = 30, lo: float = 0.0, hi: float = 1.0) -> str:
+    """A horizontal bar of ``width`` cells filled to ``value``."""
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    if hi <= lo:
+        raise ValueError("hi must exceed lo")
+    frac = (min(max(value, lo), hi) - lo) / (hi - lo)
+    filled = int(round(frac * width))
+    return "#" * filled + "." * (width - filled)
+
+
+def series_table(series: Mapping[str, Sequence[float]], width: int = 48) -> str:
+    """Named sparklines, label-aligned, sharing one vertical scale."""
+    if not series:
+        raise ValueError("need at least one series")
+    all_values = np.concatenate([np.asarray(v, dtype=np.float64) for v in series.values()])
+    finite = all_values[np.isfinite(all_values)]
+    lo = float(finite.min()) if finite.size else 0.0
+    hi = float(finite.max()) if finite.size else 1.0
+    label_width = max(len(name) for name in series)
+    lines = []
+    for name, values in series.items():
+        arr = np.asarray(values, dtype=np.float64)
+        if arr.size > width:  # decimate long traces to the display width
+            idx = np.linspace(0, arr.size - 1, width).round().astype(int)
+            arr = arr[idx]
+        lines.append(f"{name:<{label_width}} |{sparkline(arr, lo=lo, hi=hi)}|")
+    lines.append(f"{'':<{label_width}}  scale [{lo:.3g}, {hi:.3g}]")
+    return "\n".join(lines)
+
+
+def histogram_sketch(counts: Sequence[float], height: int = 8, width: int = 64) -> str:
+    """Multi-line sketch of a histogram (Figure 3/5 style)."""
+    if height < 1 or width < 1:
+        raise ValueError("height and width must be >= 1")
+    arr = np.asarray(counts, dtype=np.float64)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ValueError("histogram_sketch needs a non-empty 1-D array")
+    # Re-bin to the display width.
+    edges = np.linspace(0, arr.size, width + 1).astype(int)
+    binned = np.array([arr[a:b].sum() for a, b in zip(edges[:-1], edges[1:])])
+    peak = binned.max()
+    if peak <= 0:
+        return "\n".join("." * width for _ in range(height))
+    rows = []
+    for level in range(height, 0, -1):
+        threshold = peak * (level - 0.5) / height
+        rows.append("".join("#" if v >= threshold else " " for v in binned))
+    rows.append("-" * width)
+    return "\n".join(rows)

@@ -1,0 +1,90 @@
+"""Unit tests for repro.baselines.base."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import CompensationMode, SchedulePlan, evaluate_plan
+from repro.display import ipaq_5555
+
+
+def _plan(levels, mode=CompensationMode.NONE, params=None, name="test"):
+    levels = np.asarray(levels)
+    if params is None:
+        params = np.ones(levels.size)
+    return SchedulePlan(strategy=name, levels=levels, mode=mode, params=np.asarray(params))
+
+
+class TestSchedulePlan:
+    def test_switch_count(self):
+        assert _plan([10, 10, 20, 20, 10]).switch_count() == 2
+
+    def test_constant_no_switches(self):
+        assert _plan([128] * 10).switch_count() == 0
+
+    def test_backlight_savings(self):
+        device = ipaq_5555()
+        assert _plan([255] * 5).backlight_savings(device) == pytest.approx(0.0)
+        assert _plan([0] * 5).backlight_savings(device) > 0.9
+
+    @pytest.mark.parametrize("levels,params", [
+        ([], []), ([300], [1.0]), ([-1], [1.0]), ([100, 100], [1.0]),
+    ])
+    def test_validation(self, levels, params):
+        with pytest.raises(ValueError):
+            _plan(levels, params=params)
+
+    def test_compensate_none_mode(self, dark_frame):
+        plan = _plan([128], mode=CompensationMode.NONE)
+        result = plan.compensate(dark_frame, 0)
+        assert result.frame == dark_frame
+        assert result.clipped_fraction == 0.0
+
+    def test_compensate_contrast_mode(self, dark_frame):
+        plan = _plan([128], mode=CompensationMode.CONTRAST, params=[2.0])
+        result = plan.compensate(dark_frame, 0)
+        assert result.frame.mean_luminance > dark_frame.mean_luminance
+
+    def test_compensate_contrast_subunit_gain_identity(self, dark_frame):
+        plan = _plan([128], mode=CompensationMode.CONTRAST, params=[0.9])
+        assert plan.compensate(dark_frame, 0).frame == dark_frame
+
+    def test_compensate_brightness_mode(self, dark_frame):
+        plan = _plan([128], mode=CompensationMode.BRIGHTNESS, params=[0.2])
+        result = plan.compensate(dark_frame, 0)
+        assert result.frame.mean_luminance == pytest.approx(
+            dark_frame.mean_luminance + 0.2, abs=0.05
+        )
+
+    def test_compensate_index_checked(self, dark_frame):
+        with pytest.raises(IndexError):
+            _plan([128]).compensate(dark_frame, 1)
+
+
+class TestEvaluatePlan:
+    def test_scorecard_fields(self, tiny_clip):
+        device = ipaq_5555()
+        plan = _plan([128] * tiny_clip.frame_count)
+        ev = evaluate_plan(plan, tiny_clip, device, sample_every=6)
+        assert ev.strategy == "test"
+        assert 0.0 <= ev.backlight_savings <= 1.0
+        assert ev.switch_count == 0
+        assert ev.mean_clipped_fraction == 0.0
+
+    def test_length_mismatch(self, tiny_clip):
+        with pytest.raises(ValueError, match="covers"):
+            evaluate_plan(_plan([128]), tiny_clip, ipaq_5555())
+
+    def test_invalid_sampling(self, tiny_clip):
+        plan = _plan([128] * tiny_clip.frame_count)
+        with pytest.raises(ValueError):
+            evaluate_plan(plan, tiny_clip, ipaq_5555(), sample_every=0)
+
+    def test_max_at_least_mean(self, tiny_clip):
+        device = ipaq_5555()
+        plan = _plan(
+            [128] * tiny_clip.frame_count,
+            mode=CompensationMode.CONTRAST,
+            params=[1.8] * tiny_clip.frame_count,
+        )
+        ev = evaluate_plan(plan, tiny_clip, device, sample_every=3)
+        assert ev.max_clipped_fraction >= ev.mean_clipped_fraction

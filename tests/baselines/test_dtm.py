@@ -1,0 +1,110 @@
+"""Unit tests for repro.baselines.dtm (tone-mapping baseline)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import DTMScaling, clipped_equalization_curve
+from repro.core import FrameStats
+from repro.display import MAX_BACKLIGHT_LEVEL, ipaq_5555
+from repro.quality import NUM_BINS
+from repro.video import Frame
+
+
+@pytest.fixture
+def device():
+    return ipaq_5555()
+
+
+class TestEqualizationCurve:
+    def test_monotone_and_normalized(self, dark_frame):
+        pmf = FrameStats.of(dark_frame).histogram.normalized()
+        curve = clipped_equalization_curve(pmf)
+        assert np.all(np.diff(curve) >= -1e-12)
+        assert curve[-1] == pytest.approx(1.0)
+        assert np.all((0.0 <= curve) & (curve <= 1.0))
+
+    def test_uniform_pmf_identity_like(self):
+        pmf = np.full(NUM_BINS, 1.0 / NUM_BINS)
+        curve = clipped_equalization_curve(pmf)
+        codes = (np.arange(NUM_BINS) + 1) / NUM_BINS
+        assert curve == pytest.approx(codes, abs=0.01)
+
+    def test_dark_mass_stretched_up(self, dark_frame):
+        """Equalization lifts the dark body — the brightness-perception
+        trick DTM exploits."""
+        pmf = FrameStats.of(dark_frame).histogram.normalized()
+        curve = clipped_equalization_curve(pmf)
+        body_code = int(dark_frame.mean_luminance * 255)
+        assert curve[body_code] > body_code / 255
+
+    def test_clip_limit_bounds_stretch(self, dark_frame):
+        pmf = FrameStats.of(dark_frame).histogram.normalized()
+        tight = clipped_equalization_curve(pmf, clip_limit=1.5)
+        loose = clipped_equalization_curve(pmf, clip_limit=50.0)
+        codes = np.arange(NUM_BINS) / (NUM_BINS - 1)
+        # tighter limit = curve closer to identity
+        assert np.abs(tight - codes).max() <= np.abs(loose - codes).max() + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            clipped_equalization_curve(np.full(NUM_BINS, 1 / NUM_BINS), clip_limit=1.0)
+        with pytest.raises(ValueError):
+            clipped_equalization_curve(np.ones(10))
+
+
+class TestDTMScaling:
+    def test_saves_on_dark_content(self, library_clip, device):
+        plan = DTMScaling(0.10).plan(library_clip, device)
+        assert plan.backlight_savings(device) > 0.2
+
+    def test_brightness_constraint_held(self, device, dark_frame):
+        """Mean perceived brightness of the tone-mapped dimmed frame stays
+        within tolerance of the original."""
+        from repro.display import render_frame
+        strategy = DTMScaling(brightness_tolerance=0.10)
+        stats = FrameStats.of(dark_frame)
+        level, curve = strategy._choose_level(stats, device)
+        mapped = strategy.tone_map(dark_frame, curve)
+        original = render_frame(dark_frame, MAX_BACKLIGHT_LEVEL, device).mean()
+        dimmed = render_frame(mapped, level, device).mean()
+        assert dimmed >= original * (1.0 - 0.10) - 0.02
+
+    def test_tolerance_zero_keeps_brightness(self, device, bright_frame):
+        strategy = DTMScaling(brightness_tolerance=0.0)
+        stats = FrameStats.of(bright_frame)
+        level, _curve = strategy._choose_level(stats, device)
+        # bright content with no tolerance: near-full backlight
+        assert level > 0.8 * MAX_BACKLIGHT_LEVEL
+
+    def test_more_tolerance_more_savings(self, library_clip, device):
+        strict = DTMScaling(0.02).plan(library_clip, device)
+        lax = DTMScaling(0.25).plan(library_clip, device)
+        assert lax.backlight_savings(device) >= strict.backlight_savings(device) - 1e-9
+
+    def test_tone_map_saturates_at_one(self, dark_frame):
+        strategy = DTMScaling()
+        curve = strategy._frame_curve(FrameStats.of(dark_frame))
+        mapped = strategy.tone_map(dark_frame, curve)
+        assert mapped.pixels.max() <= 255
+
+    def test_tone_map_preserves_hue_approximately(self):
+        strategy = DTMScaling()
+        frame = Frame.solid(4, 4, (40, 80, 120))
+        curve = strategy._frame_curve(FrameStats.of(frame))
+        mapped = strategy.tone_map(frame, curve)
+        px = mapped.pixels[0, 0].astype(float)
+        if px[0] > 5:  # ratio check only meaningful away from black
+            assert px[1] / px[0] == pytest.approx(2.0, rel=0.15)
+
+    def test_client_cost_is_per_frame(self):
+        assert DTMScaling().client_luts_per_second(30.0) == 30.0
+        with pytest.raises(ValueError):
+            DTMScaling().client_luts_per_second(0.0)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"brightness_tolerance": -0.1}, {"brightness_tolerance": 1.0},
+        {"level_step": 0},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            DTMScaling(**kwargs)

@@ -1,0 +1,220 @@
+"""Unit tests for the individual baseline strategies.
+
+Covers static, history-prediction, per-frame, QABS and DLS baselines plus
+the AnnotatedScaling adapter, including the cross-strategy orderings the
+paper's argument rests on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    AnnotatedScaling,
+    DLSScaling,
+    FullBacklight,
+    HistoryPrediction,
+    PerFrameScaling,
+    QABSScaling,
+    StaticDim,
+    evaluate_plan,
+    psnr_per_clip_code,
+)
+from repro.core import FrameStats, SchemeParameters
+from repro.display import MAX_BACKLIGHT_LEVEL, ipaq_5555
+from repro.video import Frame
+
+
+@pytest.fixture
+def device():
+    return ipaq_5555()
+
+
+class TestFullBacklight:
+    def test_pins_max(self, tiny_clip, device):
+        plan = FullBacklight().plan(tiny_clip, device)
+        assert np.all(plan.levels == MAX_BACKLIGHT_LEVEL)
+        assert plan.backlight_savings(device) == pytest.approx(0.0)
+        assert plan.switch_count() == 0
+
+
+class TestStaticDim:
+    def test_constant_level(self, tiny_clip, device):
+        plan = StaticDim(100).plan(tiny_clip, device)
+        assert np.all(plan.levels == 100)
+        assert plan.switch_count() == 0
+
+    def test_compensated_gain_from_transfer(self, tiny_clip, device):
+        plan = StaticDim(100).plan(tiny_clip, device)
+        expected = device.transfer.compensation_gain_for_level(100)
+        assert plan.params[0] == pytest.approx(max(expected, 1.0))
+
+    def test_raw_variant_no_compensation(self, tiny_clip, device):
+        plan = StaticDim(100, compensate=False).plan(tiny_clip, device)
+        assert np.all(plan.params == 1.0)
+        assert "raw" in plan.strategy
+
+    def test_unbounded_clipping_on_bright_content(self, device, bright_frame):
+        """Content-blind dimming destroys bright frames — why static
+        dimming is not enough (Section 2)."""
+        from repro.video import VideoClip
+        clip = VideoClip([bright_frame] * 4, name="bright")
+        plan = StaticDim(64).plan(clip, device)
+        ev = evaluate_plan(plan, clip, device)
+        assert ev.max_clipped_fraction > 0.5
+
+    def test_invalid_level(self):
+        with pytest.raises(ValueError):
+            StaticDim(0)
+        with pytest.raises(ValueError):
+            StaticDim(300)
+
+
+class TestHistoryPrediction:
+    def test_first_frame_full(self, tiny_clip, device):
+        plan = HistoryPrediction(0.05).plan(tiny_clip, device)
+        assert plan.levels[0] == MAX_BACKLIGHT_LEVEL
+
+    def test_saves_power_on_stable_content(self, tiny_clip, device):
+        plan = HistoryPrediction(0.05).plan(tiny_clip, device)
+        assert plan.backlight_savings(device) > 0.1
+
+    def test_mispredicts_on_scene_cuts(self, tiny_clip, device):
+        """Dark->bright cuts catch the predictor out — 'serious
+        consequences on quality degradation if prediction proves wrong'."""
+        stats = HistoryPrediction(0.05, window=8).misprediction_stats(tiny_clip, device)
+        assert stats["violation_fraction"] > 0.0
+        assert stats["worst_shortfall"] > 0.05
+
+    def test_annotations_never_mispredict(self, tiny_clip, device, fast_params):
+        """The annotated scheme, by construction, has zero violations."""
+        plan = AnnotatedScaling(fast_params).plan(tiny_clip, device)
+        from repro.core import StreamAnalyzer
+        stats = StreamAnalyzer().analyze(tiny_clip)
+        eff = np.array([s.effective_max(fast_params.quality) for s in stats])
+        supplied = np.asarray(device.transfer.backlight.luminance(plan.levels))
+        needed = np.asarray(device.transfer.white.luminance(eff))
+        assert np.all(supplied >= needed - 1e-9)
+
+    def test_larger_margin_fewer_violations(self, tiny_clip, device):
+        tight = HistoryPrediction(0.05, margin=1.0).misprediction_stats(tiny_clip, device)
+        loose = HistoryPrediction(0.05, margin=1.3).misprediction_stats(tiny_clip, device)
+        assert loose["violation_fraction"] <= tight["violation_fraction"]
+
+    @pytest.mark.parametrize("kwargs", [
+        {"quality": 1.5}, {"window": 0}, {"margin": 0.9},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            HistoryPrediction(**kwargs)
+
+
+class TestPerFrameScaling:
+    def test_saves_at_least_scene_grouped(self, library_clip, device, fast_params):
+        """Per-frame adaptation is the upper bound on scene grouping."""
+        per_frame = PerFrameScaling(fast_params.quality).plan(library_clip, device)
+        grouped = AnnotatedScaling(fast_params).plan(library_clip, device)
+        assert per_frame.backlight_savings(device) >= grouped.backlight_savings(device) - 1e-9
+
+    def test_flickers_more(self, library_clip, device, fast_params):
+        per_frame = PerFrameScaling(fast_params.quality).plan(library_clip, device)
+        grouped = AnnotatedScaling(fast_params).plan(library_clip, device)
+        assert per_frame.switch_count() > grouped.switch_count()
+
+    def test_quality_budget_held(self, tiny_clip, device):
+        plan = PerFrameScaling(0.10).plan(tiny_clip, device)
+        ev = evaluate_plan(plan, tiny_clip, device)
+        assert ev.max_clipped_fraction <= 0.11
+
+    def test_invalid_quality(self):
+        with pytest.raises(ValueError):
+            PerFrameScaling(-0.1)
+
+
+class TestQABS:
+    def test_psnr_per_clip_code_shape(self, dark_frame):
+        stats = FrameStats.of(dark_frame)
+        psnr = psnr_per_clip_code(stats)
+        assert psnr.shape == (256,)
+        assert psnr[255] == np.inf
+
+    def test_psnr_monotone_in_code(self, dark_frame):
+        """Clipping less (higher code) can only raise PSNR."""
+        stats = FrameStats.of(dark_frame)
+        psnr = psnr_per_clip_code(stats)
+        finite = psnr[np.isfinite(psnr)]
+        assert np.all(np.diff(finite) >= -1e-9)
+
+    def test_psnr_floor_respected(self, tiny_clip, device):
+        floor = 35.0
+        plan = QABSScaling(psnr_floor_db=floor, alpha=1.0, min_step=0).plan(
+            tiny_clip, device
+        )
+        from repro.core import StreamAnalyzer
+        stats = StreamAnalyzer().analyze(tiny_clip)
+        for i, s in enumerate(stats):
+            psnr = psnr_per_clip_code(s, white_gamma=device.transfer.white.gamma)
+            # the chosen level must correspond to a clip code meeting the floor
+            supplied = float(device.transfer.backlight.luminance(int(plan.levels[i])))
+            code = int(np.floor(supplied ** (1 / device.transfer.white.gamma) * 255))
+            assert psnr[min(code, 255)] >= floor - 0.5
+
+    def test_smoothing_reduces_switches(self, library_clip, device):
+        smooth = QABSScaling(alpha=0.1, min_step=6).plan(library_clip, device)
+        raw = QABSScaling(alpha=1.0, min_step=0).plan(library_clip, device)
+        assert smooth.switch_count() <= raw.switch_count()
+
+    def test_lower_floor_saves_more(self, library_clip, device):
+        strict = QABSScaling(psnr_floor_db=45.0).plan(library_clip, device)
+        lax = QABSScaling(psnr_floor_db=25.0).plan(library_clip, device)
+        assert lax.backlight_savings(device) >= strict.backlight_savings(device) - 1e-9
+
+    @pytest.mark.parametrize("kwargs", [
+        {"psnr_floor_db": 0}, {"alpha": 0.0}, {"alpha": 1.5}, {"min_step": -1},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            QABSScaling(**kwargs)
+
+
+class TestDLS:
+    def test_budget_held(self, tiny_clip, device):
+        plan = DLSScaling(clip_budget=0.10, level_step=4).plan(tiny_clip, device)
+        ev = evaluate_plan(plan, tiny_clip, device)
+        assert ev.max_clipped_fraction <= 0.12
+
+    def test_bigger_budget_saves_more(self, library_clip, device):
+        small = DLSScaling(clip_budget=0.02).plan(library_clip, device)
+        big = DLSScaling(clip_budget=0.20).plan(library_clip, device)
+        assert big.backlight_savings(device) >= small.backlight_savings(device) - 1e-9
+
+    def test_bright_content_stays_bright(self, device, bright_frame):
+        from repro.video import VideoClip
+        clip = VideoClip([bright_frame] * 3, name="bright")
+        plan = DLSScaling(clip_budget=0.05).plan(clip, device)
+        assert plan.levels.min() > 150
+
+    def test_uses_brightness_mode(self, tiny_clip, device):
+        from repro.baselines import CompensationMode
+        plan = DLSScaling().plan(tiny_clip, device)
+        assert plan.mode is CompensationMode.BRIGHTNESS
+
+    @pytest.mark.parametrize("kwargs", [{"clip_budget": 2.0}, {"level_step": 0}])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            DLSScaling(**kwargs)
+
+
+class TestAnnotatedScaling:
+    def test_matches_pipeline(self, tiny_clip, device, fast_params):
+        from repro.core import AnnotationPipeline
+        plan = AnnotatedScaling(fast_params).plan(tiny_clip, device)
+        track = AnnotationPipeline(fast_params).annotate_for_device(tiny_clip, device)
+        assert np.array_equal(plan.levels, track.per_frame_levels())
+
+    def test_fewest_switches_of_adaptive_strategies(self, library_clip, device, fast_params):
+        """Scene grouping is the flicker-control story of the paper."""
+        annotated = AnnotatedScaling(fast_params).plan(library_clip, device)
+        per_frame = PerFrameScaling(fast_params.quality).plan(library_clip, device)
+        history = HistoryPrediction(fast_params.quality).plan(library_clip, device)
+        assert annotated.switch_count() <= per_frame.switch_count()
+        assert annotated.switch_count() <= history.switch_count()

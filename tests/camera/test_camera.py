@@ -1,0 +1,72 @@
+"""Unit tests for repro.camera.camera."""
+
+import numpy as np
+import pytest
+
+from repro.camera import DigitalCamera, GammaResponse, LinearResponse
+
+
+class TestSnapshot:
+    def test_dtype_and_shape(self):
+        cam = DigitalCamera()
+        photo = cam.snapshot(np.full((4, 6), 0.5))
+        assert photo.dtype == np.uint8
+        assert photo.shape == (4, 6)
+
+    def test_full_scale(self):
+        cam = DigitalCamera(response=LinearResponse())
+        assert cam.snapshot(np.ones((2, 2)))[0, 0] == 255
+        assert cam.snapshot(np.zeros((2, 2)))[0, 0] == 0
+
+    def test_monotone_in_radiance(self):
+        cam = DigitalCamera()
+        ramp = np.linspace(0, 1, 64)[None, :]
+        photo = cam.snapshot(ramp).astype(int)
+        assert np.all(np.diff(photo[0]) >= 0)
+
+    def test_nonlinear_response_visible(self):
+        linear = DigitalCamera(response=LinearResponse())
+        gamma = DigitalCamera(response=GammaResponse(2.2))
+        mid = np.full((2, 2), 0.25)
+        assert gamma.snapshot(mid)[0, 0] > linear.snapshot(mid)[0, 0]
+
+    def test_exposure_scales_radiance(self):
+        cam = DigitalCamera(response=LinearResponse(), exposure=2.0)
+        assert cam.snapshot(np.full((1, 1), 0.25))[0, 0] == 128
+
+    def test_overexposure_clips(self):
+        cam = DigitalCamera(response=LinearResponse(), exposure=4.0)
+        assert cam.snapshot(np.full((1, 1), 0.5))[0, 0] == 255
+
+    def test_noise_reproducible(self):
+        a = DigitalCamera(noise_sigma=0.02, seed=5).snapshot(np.full((8, 8), 0.5))
+        b = DigitalCamera(noise_sigma=0.02, seed=5).snapshot(np.full((8, 8), 0.5))
+        assert np.array_equal(a, b)
+
+    def test_noise_perturbs(self):
+        clean = DigitalCamera(noise_sigma=0.0).snapshot(np.full((8, 8), 0.5))
+        noisy = DigitalCamera(noise_sigma=0.05, seed=1).snapshot(np.full((8, 8), 0.5))
+        assert not np.array_equal(clean, noisy)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DigitalCamera(exposure=0.0)
+        with pytest.raises(ValueError):
+            DigitalCamera(noise_sigma=-0.1)
+
+
+class TestEstimateRadiance:
+    def test_round_trip_through_response(self):
+        cam = DigitalCamera(noise_sigma=0.0)
+        radiance = np.linspace(0.05, 0.95, 32).reshape(4, 8)
+        photo = cam.snapshot(radiance)
+        recovered = cam.estimate_radiance(photo)
+        assert recovered == pytest.approx(radiance, abs=0.01)
+
+    def test_exposure_divided_out(self):
+        cam = DigitalCamera(response=LinearResponse(), exposure=2.0, noise_sigma=0.0)
+        photo = cam.snapshot(np.full((2, 2), 0.3))
+        assert cam.estimate_radiance(photo) == pytest.approx(np.full((2, 2), 0.3), abs=0.01)
+
+    def test_repr(self):
+        assert "DigitalCamera" in repr(DigitalCamera())

@@ -1,0 +1,89 @@
+"""Unit tests for repro.camera.response."""
+
+import numpy as np
+import pytest
+
+from repro.camera import (
+    GammaResponse,
+    LinearResponse,
+    SRGBLikeResponse,
+    TabulatedResponse,
+)
+
+ALL_RESPONSES = [
+    LinearResponse(),
+    GammaResponse(2.2),
+    GammaResponse(1.8),
+    SRGBLikeResponse(),
+    TabulatedResponse([0.0, 0.2, 0.5, 1.0], [0.0, 0.45, 0.73, 1.0]),
+]
+
+
+@pytest.mark.parametrize("response", ALL_RESPONSES, ids=lambda r: repr(r))
+class TestResponseContract:
+    """Invariants of every camera response curve."""
+
+    def test_endpoints(self, response):
+        assert float(response.apply(0.0)) == pytest.approx(0.0, abs=1e-9)
+        assert float(response.apply(1.0)) == pytest.approx(1.0, abs=1e-9)
+
+    def test_monotone(self, response):
+        x = np.linspace(0, 1, 257)
+        y = response.apply(x)
+        assert np.all(np.diff(y) >= -1e-12)
+
+    def test_nonlinear_except_linear(self, response):
+        """Sanity: the curve stays within [0, 1]."""
+        x = np.linspace(0, 1, 101)
+        y = response.apply(x)
+        assert y.min() >= -1e-12 and y.max() <= 1 + 1e-12
+
+    def test_invert_round_trip(self, response):
+        x = np.linspace(0.01, 0.99, 50)
+        assert response.invert(response.apply(x)) == pytest.approx(x, abs=1e-6)
+
+    def test_apply_round_trip(self, response):
+        v = np.linspace(0.01, 0.99, 50)
+        assert response.apply(response.invert(v)) == pytest.approx(v, abs=1e-6)
+
+    def test_out_of_range_clipped(self, response):
+        assert float(response.apply(1.7)) == pytest.approx(float(response.apply(1.0)))
+        assert float(response.apply(-0.5)) == pytest.approx(0.0, abs=1e-9)
+
+
+class TestSpecificCurves:
+    def test_gamma_brightens_midtones(self):
+        """Gamma encoding lifts mid-gray — the classic camera nonlinearity."""
+        assert float(GammaResponse(2.2).apply(0.2)) > 0.2
+
+    def test_srgb_matches_standard_points(self):
+        r = SRGBLikeResponse()
+        # 18 % gray encodes to about 46 % in sRGB.
+        assert float(r.apply(0.18)) == pytest.approx(0.461, abs=0.01)
+
+    def test_srgb_toe_linear(self):
+        r = SRGBLikeResponse()
+        tiny = 0.001
+        assert float(r.apply(tiny)) == pytest.approx(12.92 * tiny, rel=1e-6)
+
+    def test_invalid_gamma(self):
+        with pytest.raises(ValueError):
+            GammaResponse(0.0)
+
+
+class TestTabulatedResponse:
+    def test_interpolation(self):
+        r = TabulatedResponse([0.0, 1.0], [0.0, 1.0])
+        assert float(r.apply(0.5)) == pytest.approx(0.5)
+
+    def test_non_monotone_rejected(self):
+        with pytest.raises(ValueError, match="monotone"):
+            TabulatedResponse([0.0, 0.5, 1.0], [0.0, 0.8, 0.5])
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            TabulatedResponse([0.0, 0.0, 1.0], [0.0, 0.1, 1.0])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            TabulatedResponse([0.0, 1.0], [0.0, 0.5, 1.0])

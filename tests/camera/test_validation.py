@@ -1,0 +1,100 @@
+"""Unit tests for repro.camera.validation (the Figure 2/4 methodology)."""
+
+import numpy as np
+import pytest
+
+from repro.camera import CompensationValidator, DigitalCamera
+from repro.core import compensate_for_backlight
+from repro.display import MAX_BACKLIGHT_LEVEL, ipaq_5555
+from repro.video import Frame
+
+
+@pytest.fixture
+def device():
+    return ipaq_5555()
+
+
+@pytest.fixture
+def validator(device):
+    return CompensationValidator(device, DigitalCamera(noise_sigma=0.0))
+
+
+def _compensated_pair(device, frame, target_luminance):
+    """Annotation-style compensation of one frame for a dimmed backlight."""
+    level = device.transfer.level_for_scene(target_luminance)
+    gain = device.transfer.compensation_gain_for_level(level)
+    compensated = compensate_for_backlight(
+        frame, 1.0 / gain
+    ).frame
+    return compensated, level
+
+
+class TestValidationReport:
+    def test_good_compensation_accepted(self, device, validator, dark_frame):
+        eff = dark_frame.max_peak_channel
+        compensated, level = _compensated_pair(device, dark_frame, eff)
+        report = validator.validate(dark_frame, compensated, level)
+        assert report.acceptable()
+        assert abs(report.average_shift) < 10
+
+    def test_backlight_saved_fraction(self, device, validator, dark_frame):
+        compensated, level = _compensated_pair(device, dark_frame, dark_frame.max_peak_channel)
+        report = validator.validate(dark_frame, compensated, level)
+        assert report.backlight_saved_fraction == pytest.approx(
+            1 - level / MAX_BACKLIGHT_LEVEL
+        )
+
+    def test_uncompensated_dimming_rejected(self, validator, dark_frame):
+        """Dimming without compensation shifts the histogram visibly."""
+        report = validator.validate(dark_frame, dark_frame, compensated_backlight=64)
+        assert not report.acceptable()
+        assert report.average_shift < -10
+
+    def test_overcompensation_detected(self, device, validator, dark_frame):
+        """A deliberately wrong gain (too much clipping) fails validation."""
+        from repro.core import contrast_enhancement
+        broken = contrast_enhancement(dark_frame, 30.0).frame
+        level = device.transfer.level_for_scene(0.5)
+        report = validator.validate(dark_frame, broken, level)
+        assert not report.acceptable()
+
+    def test_boost_rejected(self, validator, dark_frame):
+        with pytest.raises(ValueError, match="dim"):
+            validator.validate(dark_frame, dark_frame, compensated_backlight=255,
+                               reference_backlight=128)
+
+    def test_report_repr(self, validator, dark_frame):
+        report = validator.validate(dark_frame, dark_frame, 255)
+        assert "ValidationReport" in repr(report)
+
+    def test_identity_comparison_is_null(self, validator, dark_frame):
+        report = validator.validate(dark_frame, dark_frame, MAX_BACKLIGHT_LEVEL)
+        assert report.average_shift == pytest.approx(0.0)
+        assert report.emd == pytest.approx(0.0)
+        assert report.dynamic_range_shift == 0
+
+
+class TestCameraCapturesDisplayCharacteristics:
+    def test_nonlinear_display_affects_snapshot(self, dark_frame):
+        """'The picture taken by the camera incorporates the actual
+        characteristics of the handheld display.'"""
+        from repro.display import ipaq_3650
+        cam = DigitalCamera(noise_sigma=0.0)
+        a = CompensationValidator(ipaq_5555(), cam).snapshot(dark_frame, 128)
+        b = CompensationValidator(ipaq_3650(), cam).snapshot(dark_frame, 128)
+        assert not np.array_equal(a, b)
+
+    def test_snapshot_camera_noise_present(self, device, dark_frame):
+        noisy = CompensationValidator(device, DigitalCamera(noise_sigma=0.01, seed=2))
+        clean = CompensationValidator(device, DigitalCamera(noise_sigma=0.0))
+        assert not np.array_equal(
+            noisy.snapshot(dark_frame, 255), clean.snapshot(dark_frame, 255)
+        )
+
+    def test_validation_robust_to_camera_noise(self, device, dark_frame):
+        """Histogram comparison (not pixel diff) survives sensor noise —
+        the reason the paper chose histograms."""
+        validator = CompensationValidator(device, DigitalCamera(noise_sigma=0.01, seed=3))
+        compensated, level = _compensated_pair(device, dark_frame, dark_frame.max_peak_channel)
+        report = validator.validate(dark_frame, compensated, level)
+        assert report.acceptable()

@@ -1,0 +1,112 @@
+"""Shared fixtures: small deterministic clips, devices, frames.
+
+Clips are scaled down aggressively (duration_scale, tiny resolution) so the
+whole suite runs in seconds; the algorithms are resolution- and
+length-agnostic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.camera import DigitalCamera, LinearResponse
+from repro.core import SchemeParameters
+from repro.display import ipaq_3650, ipaq_5555, zaurus_sl5600
+from repro.video import (
+    DarkScene,
+    Frame,
+    SceneSpec,
+    ScriptedClipFactory,
+    LazyClip,
+    VideoClip,
+    make_clip,
+)
+
+TEST_RESOLUTION = (48, 36)
+
+
+@pytest.fixture
+def device():
+    """The paper's measurement device (transflective LED iPAQ 5555)."""
+    return ipaq_5555()
+
+
+@pytest.fixture
+def ccfl_device():
+    return ipaq_3650()
+
+
+@pytest.fixture
+def all_devices():
+    return [ipaq_5555(), ipaq_3650(), zaurus_sl5600()]
+
+
+@pytest.fixture
+def dark_frame():
+    """A dark frame with sparse highlights (the technique's home turf)."""
+    gen = DarkScene(duration=1, resolution=TEST_RESOLUTION, seed=7)
+    frame = gen.render(0)
+    frame.index = 0
+    return frame
+
+
+@pytest.fixture
+def bright_frame():
+    """A nearly white frame (the adverse case)."""
+    rng = np.random.default_rng(3)
+    lum = np.clip(0.9 + 0.08 * rng.standard_normal((36, 48)), 0.0, 1.0)
+    return Frame.from_luminance(lum)
+
+
+@pytest.fixture
+def gray_ramp_frame():
+    """A frame containing every gray code exactly twice (checkable stats)."""
+    codes = np.repeat(np.arange(256, dtype=np.uint8), 2).reshape(16, 32)
+    return Frame(np.stack([codes, codes, codes], axis=-1))
+
+
+@pytest.fixture
+def tiny_clip():
+    """Three-scene clip: dark -> bright -> dark, 36 frames at 30 fps."""
+    scenes = [
+        SceneSpec("dark", 12, {"background": 0.15, "highlight": 0.6, "glow_level": 0.3}),
+        SceneSpec("bright", 12, {"background": 0.85, "variation": 0.08}),
+        SceneSpec("dark", 12, {"background": 0.2, "highlight": 0.55, "glow_level": 0.35}),
+    ]
+    factory = ScriptedClipFactory(scenes, resolution=TEST_RESOLUTION, seed=11)
+    return LazyClip(factory, frame_count=factory.frame_count, fps=30.0, name="tiny",
+                    resolution=TEST_RESOLUTION)
+
+
+@pytest.fixture
+def tiny_clip_factory():
+    scenes = [
+        SceneSpec("dark", 12, {"background": 0.15, "highlight": 0.6, "glow_level": 0.3}),
+        SceneSpec("bright", 12, {"background": 0.85, "variation": 0.08}),
+        SceneSpec("dark", 12, {"background": 0.2, "highlight": 0.55, "glow_level": 0.35}),
+    ]
+    return ScriptedClipFactory(scenes, resolution=TEST_RESOLUTION, seed=11)
+
+
+@pytest.fixture
+def library_clip():
+    """One real library title, shrunk for test speed."""
+    return make_clip("spiderman2", resolution=TEST_RESOLUTION, duration_scale=0.15)
+
+
+@pytest.fixture
+def eager_clip(tiny_clip):
+    return tiny_clip.materialize()
+
+
+@pytest.fixture
+def fast_params():
+    """Scheme parameters tuned for short test clips."""
+    return SchemeParameters(quality=0.05, min_scene_interval_frames=5)
+
+
+@pytest.fixture
+def noiseless_camera():
+    """A camera with linear response and no noise, for exact assertions."""
+    return DigitalCamera(response=LinearResponse(), noise_sigma=0.0)

@@ -1,0 +1,89 @@
+"""Unit tests for repro.core.analyzer."""
+
+import numpy as np
+import pytest
+
+from repro.core import FrameStats, StreamAnalyzer
+from repro.video import Frame
+
+
+class TestFrameStats:
+    def test_of_solid_frame(self):
+        stats = FrameStats.of(Frame.solid_gray(4, 4, 128, index=3))
+        assert stats.index == 3
+        assert stats.max_luminance == pytest.approx(128 / 255)
+        assert stats.mean_luminance == pytest.approx(128 / 255)
+        assert stats.max_channel_value == pytest.approx(128 / 255)
+
+    def test_max_luminance_matches_frame(self, dark_frame):
+        stats = FrameStats.of(dark_frame)
+        assert stats.max_luminance == pytest.approx(dark_frame.max_luminance, abs=1 / 255)
+
+    def test_channel_vs_luminance_on_color(self):
+        stats = FrameStats.of(Frame.solid(2, 2, (0, 0, 255)))  # pure blue
+        assert stats.max_channel_value == pytest.approx(1.0)
+        assert stats.max_luminance == pytest.approx(0.114, abs=1 / 255)
+
+    def test_max_value_mode_switch(self):
+        stats = FrameStats.of(Frame.solid(2, 2, (0, 0, 255)))
+        assert stats.max_value(color_safe=True) > stats.max_value(color_safe=False)
+
+    def test_effective_max_zero_is_max(self, dark_frame):
+        stats = FrameStats.of(dark_frame)
+        assert stats.effective_max(0.0) == pytest.approx(stats.max_channel_value)
+        assert stats.effective_max(0.0, color_safe=False) == pytest.approx(
+            stats.max_luminance
+        )
+
+    def test_effective_max_monotone(self, dark_frame):
+        stats = FrameStats.of(dark_frame)
+        values = [stats.effective_max(q) for q in (0.0, 0.05, 0.1, 0.2)]
+        assert values == sorted(values, reverse=True)
+
+    def test_effective_max_luminance_alias(self, dark_frame):
+        stats = FrameStats.of(dark_frame)
+        assert stats.effective_max_luminance(0.05) == stats.effective_max(
+            0.05, color_safe=False
+        )
+
+    def test_color_safe_at_least_as_bright(self, dark_frame):
+        """Peak channel dominates luminance, so the color-safe effective
+        max can never be below the luminance one."""
+        stats = FrameStats.of(dark_frame)
+        for q in (0.0, 0.05, 0.2):
+            assert stats.effective_max(q, True) >= stats.effective_max(q, False) - 1 / 255
+
+
+class TestStreamAnalyzer:
+    def test_analyze_clip(self, tiny_clip):
+        stats = StreamAnalyzer().analyze(tiny_clip)
+        assert len(stats) == tiny_clip.frame_count
+        assert [s.index for s in stats] == list(range(tiny_clip.frame_count))
+
+    def test_analyze_frames_iterator(self, tiny_clip):
+        stats = StreamAnalyzer().analyze_frames(iter(tiny_clip))
+        assert len(stats) == tiny_clip.frame_count
+
+    def test_empty_stream_rejected(self):
+        with pytest.raises(ValueError, match="no frames"):
+            StreamAnalyzer().analyze_frames(iter([]))
+
+    def test_max_luminance_series(self, tiny_clip):
+        stats = StreamAnalyzer().analyze(tiny_clip)
+        series = StreamAnalyzer.max_luminance_series(stats)
+        assert series.shape == (tiny_clip.frame_count,)
+        # the bright middle scene has higher max than dark scenes' background
+        assert series[18] > 0.8
+
+    def test_effective_max_series_below_max(self, tiny_clip):
+        stats = StreamAnalyzer().analyze(tiny_clip)
+        maxes = StreamAnalyzer.max_value_series(stats)
+        eff = StreamAnalyzer.effective_max_series(stats, 0.10)
+        assert np.all(eff <= maxes + 1e-12)
+
+    def test_series_modes_differ_on_tinted_content(self, library_clip):
+        stats = StreamAnalyzer().analyze(library_clip)
+        safe = StreamAnalyzer.max_value_series(stats, color_safe=True)
+        literal = StreamAnalyzer.max_value_series(stats, color_safe=False)
+        assert np.all(safe >= literal - 1e-12)
+        assert np.any(safe > literal + 1 / 255)

@@ -1,0 +1,176 @@
+"""Unit tests for repro.core.annotation."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AnnotationTrack,
+    DeviceAnnotationTrack,
+    DeviceSceneAnnotation,
+    SceneAnnotation,
+)
+from repro.display import ipaq_5555
+
+
+def _track(scene_spec, quality=0.05, fps=30.0, name="clip"):
+    scenes = []
+    start = 0
+    for length, lum in scene_spec:
+        scenes.append(SceneAnnotation(start, start + length, lum))
+        start += length
+    return AnnotationTrack(name, start, fps, quality, scenes)
+
+
+class TestSceneAnnotation:
+    def test_length(self):
+        assert SceneAnnotation(3, 10, 0.5).length == 7
+
+    @pytest.mark.parametrize("args", [(5, 5, 0.5), (-1, 2, 0.5), (0, 2, 1.5)])
+    def test_invalid(self, args):
+        with pytest.raises(ValueError):
+            SceneAnnotation(*args)
+
+
+class TestDeviceSceneAnnotation:
+    @pytest.mark.parametrize("args", [
+        (0, 0, 100, 1.0), (0, 5, 300, 1.0), (0, 5, 100, 0.5),
+    ])
+    def test_invalid(self, args):
+        with pytest.raises(ValueError):
+            DeviceSceneAnnotation(*args)
+
+
+class TestAnnotationTrack:
+    def test_contiguity_enforced(self):
+        scenes = [SceneAnnotation(0, 5, 0.5), SceneAnnotation(6, 10, 0.5)]
+        with pytest.raises(ValueError, match="gap"):
+            AnnotationTrack("c", 10, 30.0, 0.0, scenes)
+
+    def test_must_start_at_zero(self):
+        with pytest.raises(ValueError, match="frame 0"):
+            AnnotationTrack("c", 10, 30.0, 0.0, [SceneAnnotation(1, 10, 0.5)])
+
+    def test_must_cover_clip(self):
+        with pytest.raises(ValueError, match="cover"):
+            AnnotationTrack("c", 10, 30.0, 0.0, [SceneAnnotation(0, 9, 0.5)])
+
+    def test_per_frame_expansion(self):
+        track = _track([(3, 0.2), (2, 0.8)])
+        assert track.per_frame_effective_max() == pytest.approx([0.2, 0.2, 0.2, 0.8, 0.8])
+
+    def test_serialization_round_trip(self):
+        track = _track([(30, 0.25), (45, 0.8), (25, 0.4)], quality=0.15, fps=24.0)
+        restored = AnnotationTrack.from_bytes(track.to_bytes(), clip_name="clip")
+        assert restored.frame_count == track.frame_count
+        assert restored.fps == pytest.approx(24.0)
+        assert restored.quality == pytest.approx(0.15)
+        assert len(restored.scenes) == 3
+        for a, b in zip(track.scenes, restored.scenes):
+            assert (a.start, a.end) == (b.start, b.end)
+            assert b.effective_max_luminance == pytest.approx(
+                a.effective_max_luminance, abs=1 / 255
+            )
+
+    def test_from_bytes_wrong_magic(self):
+        with pytest.raises(ValueError, match="not a luminance"):
+            AnnotationTrack.from_bytes(b"XXXX" + b"\x00" * 10)
+
+    def test_nbytes_small(self):
+        """Hundreds-of-bytes overhead claim: a 20-scene track is tiny."""
+        track = _track([(30, 0.1 + 0.04 * i) for i in range(20)])
+        assert track.nbytes < 100
+
+    def test_repr(self):
+        assert "quality=5%" in repr(_track([(5, 0.5)]))
+
+
+class TestBinding:
+    @pytest.fixture
+    def device(self):
+        return ipaq_5555()
+
+    def test_bind_levels_supply_luminance(self, device):
+        track = _track([(10, 0.3), (10, 0.9)])
+        bound = track.bind(device)
+        for scene, lum_scene in zip(bound.scenes, track.scenes):
+            supplied = float(
+                device.transfer.backlight.luminance(scene.backlight_level)
+            )
+            needed = float(
+                device.transfer.white.luminance(lum_scene.effective_max_luminance)
+            )
+            assert supplied >= needed - 1e-9
+
+    def test_bind_preserves_boundaries(self, device):
+        track = _track([(10, 0.3), (20, 0.9), (5, 0.1)])
+        bound = track.bind(device)
+        assert [(s.start, s.end) for s in bound.scenes] == [(0, 10), (10, 30), (30, 35)]
+
+    def test_brighter_scene_higher_level(self, device):
+        track = _track([(10, 0.3), (10, 0.9)])
+        bound = track.bind(device)
+        assert bound.scenes[1].backlight_level > bound.scenes[0].backlight_level
+
+    def test_gain_matches_level(self, device):
+        track = _track([(10, 0.4)])
+        bound = track.bind(device)
+        scene = bound.scenes[0]
+        expected = device.transfer.compensation_gain_for_level(scene.backlight_level)
+        assert scene.compensation_gain == pytest.approx(max(expected, 1.0))
+
+    def test_metadata_carried(self, device):
+        bound = _track([(5, 0.5)], quality=0.1, name="shrek2").bind(device)
+        assert bound.device_name == "ipaq5555"
+        assert bound.clip_name == "shrek2"
+        assert bound.quality == 0.1
+
+
+class TestDeviceAnnotationTrack:
+    @pytest.fixture
+    def bound(self):
+        return _track([(10, 0.3), (20, 0.9), (5, 0.1)]).bind(ipaq_5555())
+
+    def test_per_frame_levels(self, bound):
+        levels = bound.per_frame_levels()
+        assert levels.shape == (35,)
+        assert len(set(levels[:10])) == 1
+        assert len(set(levels[10:30])) == 1
+
+    def test_per_frame_gains_match_levels(self, bound):
+        gains = bound.per_frame_gains()
+        levels = bound.per_frame_levels()
+        # same level -> same gain
+        assert len(set(zip(levels.tolist(), np.round(gains, 6).tolist()))) == len(
+            set(levels.tolist())
+        )
+
+    def test_switch_count(self, bound):
+        assert bound.switch_count() == 2
+
+    def test_gain_for_frame(self, bound):
+        assert bound.gain_for_frame(0) == bound.per_frame_gains()[0]
+        with pytest.raises(IndexError):
+            bound.gain_for_frame(35)
+
+    def test_serialization_round_trip(self, bound):
+        restored = DeviceAnnotationTrack.from_bytes(
+            bound.to_bytes(), clip_name=bound.clip_name, device_name=bound.device_name
+        )
+        assert restored.frame_count == bound.frame_count
+        assert np.array_equal(restored.per_frame_levels(), bound.per_frame_levels())
+        assert restored.per_frame_gains() == pytest.approx(
+            bound.per_frame_gains(), abs=1 / 128
+        )
+
+    def test_from_bytes_wrong_magic(self):
+        with pytest.raises(ValueError, match="not a device"):
+            DeviceAnnotationTrack.from_bytes(b"ANL1" + b"\x00" * 10)
+
+    def test_nbytes_hundreds_for_long_clip(self):
+        """A 3-minute clip with 60 scenes still serializes to O(100 B)."""
+        scenes = [(90, 0.1 + (i % 10) * 0.05) for i in range(60)]
+        bound = _track(scenes).bind(ipaq_5555())
+        assert bound.nbytes < 400
+
+    def test_repr(self, bound):
+        assert "ipaq5555" in repr(bound)

@@ -1,0 +1,113 @@
+"""Unit tests for repro.core.clipping."""
+
+import pytest
+
+from repro.core import (
+    FixedPercentPerFrame,
+    FixedPercentPerScene,
+    NoClipping,
+    Scene,
+    StreamAnalyzer,
+    policy_for_quality,
+)
+from repro.video import Frame
+
+
+@pytest.fixture
+def stream_stats(tiny_clip):
+    return StreamAnalyzer().analyze(tiny_clip)
+
+
+@pytest.fixture
+def dark_scene(tiny_clip):
+    return Scene(0, 12, 0.9)
+
+
+class TestNoClipping:
+    def test_returns_scene_true_max(self, stream_stats, dark_scene):
+        policy = NoClipping()
+        eff = policy.effective_max(dark_scene, stream_stats)
+        member_max = max(s.max_channel_value for s in stream_stats[0:12])
+        assert eff == pytest.approx(member_max)
+
+    def test_luminance_mode(self, stream_stats, dark_scene):
+        policy = NoClipping(color_safe=False)
+        eff = policy.effective_max(dark_scene, stream_stats)
+        member_max = max(s.max_luminance for s in stream_stats[0:12])
+        assert eff == pytest.approx(member_max)
+
+
+class TestFixedPercentPerFrame:
+    def test_zero_equals_lossless(self, stream_stats, dark_scene):
+        lossless = NoClipping().effective_max(dark_scene, stream_stats)
+        zero = FixedPercentPerFrame(0.0).effective_max(dark_scene, stream_stats)
+        assert zero == pytest.approx(lossless)
+
+    def test_monotone_in_fraction(self, stream_stats, dark_scene):
+        values = [
+            FixedPercentPerFrame(q).effective_max(dark_scene, stream_stats)
+            for q in (0.0, 0.05, 0.10, 0.20)
+        ]
+        assert values == sorted(values, reverse=True)
+
+    def test_every_member_within_budget(self, stream_stats, dark_scene, tiny_clip):
+        """No member frame clips more than the budget at the scene's
+        effective max — the per-frame guarantee."""
+        q = 0.10
+        eff = FixedPercentPerFrame(q).effective_max(dark_scene, stream_stats)
+        for i in range(dark_scene.start, dark_scene.end):
+            frame = tiny_clip.frame(i)
+            over = float((frame.peak_channel > eff + 1e-9).mean())
+            assert over <= q + 0.01, f"frame {i} clips {over:.3f}"
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            FixedPercentPerFrame(1.5)
+
+    def test_scene_outside_stream(self, stream_stats):
+        policy = FixedPercentPerFrame(0.05)
+        with pytest.raises(ValueError, match="exceeds"):
+            policy.effective_max(Scene(0, 999, 0.5), stream_stats)
+
+
+class TestFixedPercentPerScene:
+    def test_at_most_per_frame_value(self, stream_stats, dark_scene):
+        """Pooling can only lower (or match) the conservative per-frame
+        effective max."""
+        for q in (0.05, 0.10, 0.20):
+            pooled = FixedPercentPerScene(q).effective_max(dark_scene, stream_stats)
+            per_frame = FixedPercentPerFrame(q).effective_max(dark_scene, stream_stats)
+            assert pooled <= per_frame + 1e-12
+
+    def test_scene_budget_honored(self, stream_stats, dark_scene, tiny_clip):
+        q = 0.10
+        eff = FixedPercentPerScene(q).effective_max(dark_scene, stream_stats)
+        total = 0.0
+        count = 0
+        for i in range(dark_scene.start, dark_scene.end):
+            frame = tiny_clip.frame(i)
+            total += float((frame.peak_channel > eff + 1e-9).sum())
+            count += frame.pixel_count
+        assert total / count <= q + 0.01
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            FixedPercentPerScene(-0.1)
+
+
+class TestPolicyFactory:
+    def test_zero_gives_lossless(self):
+        assert isinstance(policy_for_quality(0.0), NoClipping)
+
+    def test_default_per_frame(self):
+        assert isinstance(policy_for_quality(0.05), FixedPercentPerFrame)
+
+    def test_per_scene_flag(self):
+        assert isinstance(policy_for_quality(0.05, per_scene=True), FixedPercentPerScene)
+
+    def test_color_safe_passed(self):
+        assert policy_for_quality(0.05, color_safe=False).color_safe is False
+
+    def test_repr(self):
+        assert "0.05" in repr(FixedPercentPerFrame(0.05))
+        assert "0.05" in repr(FixedPercentPerScene(0.05))

@@ -1,0 +1,116 @@
+"""Unit tests for repro.core.compensation."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    brightness_compensation,
+    compensate_for_backlight,
+    contrast_enhancement,
+)
+from repro.video import Frame
+
+
+class TestContrastEnhancement:
+    def test_scales_unclipped_pixels(self):
+        frame = Frame.from_luminance(np.full((2, 2), 0.25))
+        result = contrast_enhancement(frame, 2.0)
+        assert result.frame.luminance == pytest.approx(np.full((2, 2), 0.5), abs=1 / 255)
+        assert result.clipped_fraction == 0.0
+
+    def test_scales_luminance_by_gain(self, dark_frame):
+        """Equal per-channel gains scale the BT.601 luminance exactly."""
+        gain = 1.5
+        result = contrast_enhancement(dark_frame, gain)
+        unclipped = dark_frame.normalized().max(axis=-1) * gain <= 1.0
+        expected = dark_frame.luminance[unclipped] * gain
+        actual = result.frame.luminance[unclipped]
+        assert actual == pytest.approx(expected, abs=2 / 255)
+
+    def test_clipping_counted(self):
+        frame = Frame.from_luminance(np.array([[0.4, 0.6]]))
+        result = contrast_enhancement(frame, 2.0)
+        assert result.clipped_fraction == pytest.approx(0.5)
+
+    def test_clipped_pixels_saturate(self):
+        frame = Frame.from_luminance(np.array([[0.9]]))
+        result = contrast_enhancement(frame, 2.0)
+        assert result.frame.pixels[0, 0, 0] == 255
+
+    def test_unit_gain_identity(self, dark_frame):
+        result = contrast_enhancement(dark_frame, 1.0)
+        assert result.frame == dark_frame
+        assert result.clipped_fraction == 0.0
+
+    def test_gain_below_one_rejected(self, dark_frame):
+        with pytest.raises(ValueError, match=">= 1"):
+            contrast_enhancement(dark_frame, 0.5)
+
+    def test_preserves_hue_for_unclipped(self):
+        """Equal channel gains keep channel ratios (colors maintained)."""
+        frame = Frame.solid(2, 2, (40, 80, 120))
+        result = contrast_enhancement(frame, 2.0)
+        pixel = result.frame.pixels[0, 0].astype(float)
+        assert pixel[1] / pixel[0] == pytest.approx(2.0, abs=0.05)
+        assert pixel[2] / pixel[0] == pytest.approx(3.0, abs=0.05)
+
+    def test_original_untouched(self, dark_frame):
+        before = dark_frame.pixels.copy()
+        contrast_enhancement(dark_frame, 3.0)
+        assert np.array_equal(dark_frame.pixels, before)
+
+    def test_preserves_index(self):
+        frame = Frame.solid_gray(2, 2, 100, index=42)
+        assert contrast_enhancement(frame, 1.5).frame.index == 42
+
+
+class TestBrightnessCompensation:
+    def test_adds_constant(self):
+        frame = Frame.from_luminance(np.full((2, 2), 0.2))
+        result = brightness_compensation(frame, 0.3)
+        assert result.frame.luminance == pytest.approx(np.full((2, 2), 0.5), abs=1 / 255)
+
+    def test_clipping_counted(self):
+        frame = Frame.from_luminance(np.array([[0.5, 0.9]]))
+        result = brightness_compensation(frame, 0.2)
+        assert result.clipped_fraction == pytest.approx(0.5)
+
+    def test_zero_delta_identity(self, dark_frame):
+        result = brightness_compensation(dark_frame, 0.0)
+        assert result.frame == dark_frame
+
+    def test_negative_delta_rejected(self, dark_frame):
+        with pytest.raises(ValueError):
+            brightness_compensation(dark_frame, -0.1)
+
+    def test_shifts_all_channels_equally(self):
+        """'Each RGB value needs to be compensated by same amount to
+        maintain original colors.'"""
+        frame = Frame.solid(1, 1, (40, 80, 120))
+        result = brightness_compensation(frame, 0.2)
+        diffs = result.frame.pixels[0, 0].astype(int) - frame.pixels[0, 0].astype(int)
+        assert np.all(np.abs(diffs - 51) <= 1)  # 0.2 * 255 = 51
+
+
+class TestCompensateForBacklight:
+    def test_gain_is_inverse_luminance(self):
+        frame = Frame.from_luminance(np.full((2, 2), 0.25))
+        result = compensate_for_backlight(frame, 0.5)  # k = L/L' = 2
+        assert result.frame.luminance == pytest.approx(np.full((2, 2), 0.5), abs=1 / 255)
+
+    def test_full_backlight_identity(self, dark_frame):
+        result = compensate_for_backlight(dark_frame, 1.0)
+        assert result.frame == dark_frame
+
+    def test_invalid_luminance(self, dark_frame):
+        with pytest.raises(ValueError):
+            compensate_for_backlight(dark_frame, 0.0)
+        with pytest.raises(ValueError):
+            compensate_for_backlight(dark_frame, 1.2)
+
+
+class TestCompensationResult:
+    def test_fraction_bounds_checked(self):
+        from repro.core import CompensationResult
+        with pytest.raises(ValueError):
+            CompensationResult(frame=Frame.solid_gray(1, 1, 0), clipped_fraction=1.5)

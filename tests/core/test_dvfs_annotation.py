@@ -1,0 +1,145 @@
+"""Unit tests for repro.core.dvfs_annotation."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AnnotationPipeline,
+    DvfsAnnotator,
+    DvfsSceneAnnotation,
+    DvfsTrack,
+    Scene,
+)
+from repro.player import DecoderModel
+from repro.power import DvfsCpuModel
+
+
+@pytest.fixture
+def annotator():
+    return DvfsAnnotator(decoder=DecoderModel(reference_pixels=160 * 120))
+
+
+class TestDvfsSceneAnnotation:
+    @pytest.mark.parametrize("args", [(5, 5, 1e6), (0, 5, -1.0)])
+    def test_validation(self, args):
+        with pytest.raises(ValueError):
+            DvfsSceneAnnotation(*args)
+
+
+class TestDvfsTrack:
+    def _track(self):
+        return DvfsTrack("c", 10, 30.0, [
+            DvfsSceneAnnotation(0, 4, 4e6),
+            DvfsSceneAnnotation(4, 10, 8e6),
+        ])
+
+    def test_per_frame_cycles(self):
+        cycles = self._track().per_frame_cycles()
+        assert cycles.shape == (10,)
+        assert cycles[0] == 4e6 and cycles[9] == 8e6
+
+    def test_frequency_schedule(self):
+        cpu = DvfsCpuModel()
+        schedule = self._track().frequency_schedule(cpu)
+        assert len(schedule) == 10
+        # 4e6 cycles / (1/30)s = 120 MHz -> 200 MHz point;
+        # 8e6 -> 240 MHz -> 300 MHz point.
+        assert schedule[0].hz == 200e6
+        assert schedule[9].hz == 300e6
+
+    def test_serialization_round_trip(self):
+        track = self._track()
+        restored = DvfsTrack.from_bytes(track.to_bytes(), clip_name="c")
+        assert restored.frame_count == 10
+        assert restored.fps == pytest.approx(30.0)
+        assert len(restored.scenes) == 2
+        # kilocycle quantization
+        assert restored.scenes[0].cycles_per_frame == pytest.approx(4e6, rel=1e-3)
+
+    def test_from_bytes_wrong_magic(self):
+        with pytest.raises(ValueError, match="not a DVFS"):
+            DvfsTrack.from_bytes(b"XXXX" + b"\x00" * 8)
+
+    def test_contiguity_enforced(self):
+        with pytest.raises(ValueError, match="gap"):
+            DvfsTrack("c", 10, 30.0, [
+                DvfsSceneAnnotation(0, 4, 1e6),
+                DvfsSceneAnnotation(5, 10, 1e6),
+            ])
+
+    def test_coverage_enforced(self):
+        with pytest.raises(ValueError, match="cover"):
+            DvfsTrack("c", 10, 30.0, [DvfsSceneAnnotation(0, 9, 1e6)])
+
+    def test_nbytes_small(self):
+        assert self._track().nbytes < 40
+
+
+class TestDvfsAnnotator:
+    def test_annotate_over_scenes(self, annotator, tiny_clip):
+        scenes = [Scene(0, 12, 0.6), Scene(12, 24, 0.9), Scene(24, 36, 0.6)]
+        track = annotator.annotate(tiny_clip, scenes)
+        assert track.frame_count == 36
+        assert len(track.scenes) == 3
+
+    def test_scene_cycles_cover_members(self, annotator, tiny_clip):
+        """Annotated cycles dominate every member frame's true cost."""
+        scenes = [Scene(0, 36, 0.9)]
+        track = annotator.annotate(tiny_clip, scenes)
+        decoder = annotator.decoder
+        worst = max(
+            decoder.decode_time_s(f) * decoder.cpu_hz for f in tiny_clip
+        )
+        assert track.scenes[0].cycles_per_frame >= worst
+
+    def test_headroom_applied(self, tiny_clip):
+        lean = DvfsAnnotator(decoder=DecoderModel(), headroom=1.0)
+        padded = DvfsAnnotator(decoder=DecoderModel(), headroom=1.5)
+        scenes = [Scene(0, 36, 0.9)]
+        a = lean.annotate(tiny_clip, scenes).scenes[0].cycles_per_frame
+        b = padded.annotate(tiny_clip, scenes).scenes[0].cycles_per_frame
+        assert b == pytest.approx(1.5 * a)
+
+    def test_headroom_validation(self):
+        with pytest.raises(ValueError):
+            DvfsAnnotator(headroom=0.9)
+
+    def test_annotate_with_profile_shares_boundaries(self, annotator, tiny_clip, fast_params):
+        pipeline = AnnotationPipeline(fast_params)
+        profile = pipeline.profile(tiny_clip)
+        track = annotator.annotate_with_profile(tiny_clip, profile)
+        assert [(s.start, s.end) for s in track.scenes] == [
+            (s.start, s.end) for s in profile.scenes
+        ]
+
+
+class TestCodecAwareAnnotation:
+    def test_frame_type_factors_applied(self, tiny_clip):
+        from repro.video import CodecModel, GopPattern
+        from repro.player import DecoderModel
+
+        decoder = DecoderModel(reference_pixels=160 * 120)
+        codec = CodecModel(gop=GopPattern("IPPP"))
+        plain = DvfsAnnotator(decoder=decoder, headroom=1.0)
+        aware = DvfsAnnotator(decoder=decoder, headroom=1.0, codec=codec)
+        frame = tiny_clip.frame(0)
+        i_cycles = aware.frame_cycles(frame, index=0)  # I frame
+        p_cycles = aware.frame_cycles(frame, index=1)  # P frame
+        base = plain.frame_cycles(frame)
+        assert i_cycles == pytest.approx(base * codec.decode_factor_i)
+        assert p_cycles == pytest.approx(base * codec.decode_factor_p)
+
+    def test_codec_annotation_still_covers_truth(self, tiny_clip):
+        """B-frame factors raise the annotated worst case, never lower it
+        below the flat decoder estimate times the I factor."""
+        from repro.video import CodecModel
+        from repro.player import DecoderModel
+        from repro.core import Scene
+
+        decoder = DecoderModel(reference_pixels=160 * 120)
+        annotator = DvfsAnnotator(decoder=decoder, codec=CodecModel())
+        track = annotator.annotate(tiny_clip, [Scene(0, 36, 0.9)])
+        flat = DvfsAnnotator(decoder=decoder).annotate(tiny_clip, [Scene(0, 36, 0.9)])
+        # default GOP contains B frames (factor 1.15 > 1), so the codec-
+        # aware worst case exceeds the flat one
+        assert track.scenes[0].cycles_per_frame > flat.scenes[0].cycles_per_frame

@@ -1,0 +1,58 @@
+"""Unit tests for repro.core.policy."""
+
+import pytest
+
+from repro.core import QUALITY_LABELS, QUALITY_LEVELS, SchemeParameters, quality_label
+
+
+class TestQualityLevels:
+    def test_paper_levels(self):
+        assert QUALITY_LEVELS == (0.0, 0.05, 0.10, 0.15, 0.20)
+
+    def test_labels_match(self):
+        assert len(QUALITY_LABELS) == len(QUALITY_LEVELS)
+        for q, label in zip(QUALITY_LEVELS, QUALITY_LABELS):
+            assert quality_label(q) == label
+
+    def test_quality_label_formats(self):
+        assert quality_label(0.05) == "5%"
+        assert quality_label(0.0) == "0%"
+
+    def test_quality_label_invalid(self):
+        with pytest.raises(ValueError):
+            quality_label(1.5)
+
+
+class TestSchemeParameters:
+    def test_paper_defaults(self):
+        params = SchemeParameters()
+        assert params.quality == 0.0
+        assert params.scene_change_threshold == 0.10  # "a change of 10 % or more"
+        assert params.min_scene_interval_frames == 15
+        assert not params.per_frame
+        assert params.color_safe
+
+    @pytest.mark.parametrize("kwargs", [
+        {"quality": -0.1}, {"quality": 1.1},
+        {"scene_change_threshold": 0.0}, {"scene_change_threshold": 1.5},
+        {"min_scene_interval_frames": 0},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            SchemeParameters(**kwargs)
+
+    def test_with_quality_preserves_rest(self):
+        params = SchemeParameters(
+            quality=0.0, scene_change_threshold=0.2,
+            min_scene_interval_frames=7, per_frame=True, color_safe=False,
+        )
+        updated = params.with_quality(0.15)
+        assert updated.quality == 0.15
+        assert updated.scene_change_threshold == 0.2
+        assert updated.min_scene_interval_frames == 7
+        assert updated.per_frame
+        assert not updated.color_safe
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            SchemeParameters().quality = 0.5

@@ -1,0 +1,117 @@
+"""Unit tests for repro.core.rle."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    compression_ratio,
+    decode_varint,
+    encode_varint,
+    expand_runs,
+    rle_decode,
+    rle_encode,
+    runs_of,
+)
+
+
+class TestVarint:
+    @pytest.mark.parametrize("value", [0, 1, 127, 128, 255, 300, 16383, 16384, 2**32])
+    def test_round_trip(self, value):
+        data = encode_varint(value)
+        decoded, offset = decode_varint(data)
+        assert decoded == value
+        assert offset == len(data)
+
+    def test_single_byte_below_128(self):
+        assert len(encode_varint(127)) == 1
+        assert len(encode_varint(128)) == 2
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            encode_varint(-1)
+
+    def test_truncated(self):
+        with pytest.raises(ValueError, match="truncated"):
+            decode_varint(b"\x80")
+
+    def test_offset_respected(self):
+        data = b"\x05" + encode_varint(300)
+        value, offset = decode_varint(data, 1)
+        assert value == 300
+        assert offset == len(data)
+
+    def test_overlong_rejected(self):
+        with pytest.raises(ValueError, match="too long"):
+            decode_varint(b"\xff" * 11)
+
+
+class TestRuns:
+    def test_runs_of_basic(self):
+        assert runs_of([1, 1, 2, 2, 2, 3]) == [(1, 2), (2, 3), (3, 1)]
+
+    def test_runs_of_empty(self):
+        assert runs_of([]) == []
+
+    def test_runs_of_single(self):
+        assert runs_of([7]) == [(7, 1)]
+
+    def test_expand_inverse(self):
+        values = [5, 5, 5, 1, 2, 2]
+        assert list(expand_runs(runs_of(values))) == values
+
+    def test_expand_rejects_zero_length(self):
+        with pytest.raises(ValueError):
+            expand_runs([(1, 0)])
+
+    def test_runs_rejects_2d(self):
+        with pytest.raises(ValueError):
+            runs_of(np.zeros((2, 2)))
+
+
+class TestRleCodec:
+    @pytest.mark.parametrize("values", [
+        [0], [255], [0, 255], [128] * 1000,
+        list(range(256)), [3, 3, 7, 7, 7, 3],
+    ])
+    def test_round_trip(self, values):
+        assert list(rle_decode(rle_encode(values))) == values
+
+    def test_empty_round_trip(self):
+        assert rle_decode(rle_encode([])).size == 0
+
+    def test_out_of_byte_range(self):
+        with pytest.raises(ValueError):
+            rle_encode([256])
+        with pytest.raises(ValueError):
+            rle_encode([-1])
+
+    def test_constant_run_compact(self):
+        """A constant 10000-frame schedule fits in a handful of bytes."""
+        encoded = rle_encode([200] * 10_000)
+        assert len(encoded) <= 4
+
+    def test_trailing_garbage_rejected(self):
+        data = rle_encode([1, 1, 2]) + b"\x00"
+        with pytest.raises(ValueError, match="trailing"):
+            rle_decode(data)
+
+    def test_truncated_rejected(self):
+        data = rle_encode([1, 1, 2])
+        with pytest.raises(ValueError):
+            rle_decode(data[:-1])
+
+
+class TestCompressionRatio:
+    def test_scene_schedules_compress_well(self):
+        """Per-frame levels constant over scenes: the paper's 'overhead is
+        minimal' claim."""
+        levels = [50] * 300 + [200] * 300 + [80] * 300
+        assert compression_ratio(levels) > 50
+
+    def test_adversarial_input_near_one(self):
+        levels = list(range(250)) * 2
+        assert compression_ratio(levels) < 1.0  # RLE loses on noise
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            compression_ratio([])

@@ -1,0 +1,167 @@
+"""Unit tests for repro.core.roi (user-supervised annotation)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AnnotationPipeline,
+    ImportanceMap,
+    RoiStreamAnalyzer,
+    SchemeParameters,
+    roi_clipped_mass,
+    weighted_frame_stats,
+)
+from repro.display import ipaq_5555
+from repro.video import Frame, VideoClip
+
+
+def _corner_flare_clip(n=8):
+    """Dark content with a bright flare in the top-left corner."""
+    lum = np.full((40, 60), 0.2)
+    lum[1:4, 1:4] = 0.95
+    return VideoClip([Frame.from_luminance(lum) for _ in range(n)], name="flare")
+
+
+def _center_subject_clip(n=8):
+    """Dark content with a bright subject dead center."""
+    lum = np.full((40, 60), 0.2)
+    lum[18:22, 28:32] = 0.95
+    return VideoClip([Frame.from_luminance(lum) for _ in range(n)], name="subject")
+
+
+@pytest.fixture
+def roi():
+    """Center matters, border does not."""
+    return ImportanceMap.rectangle(40, 60, 8, 8, 36, 56, inside=1.0, outside=0.0)
+
+
+class TestImportanceMap:
+    def test_uniform(self):
+        m = ImportanceMap.uniform(4, 6)
+        assert m.shape == (4, 6)
+        assert np.all(m.weights == 1.0)
+
+    def test_center_weighted_peaks_at_center(self):
+        m = ImportanceMap.center_weighted(21, 31)
+        assert m.weights[10, 15] == m.weights.max()
+        assert m.weights[0, 0] < m.weights[10, 15]
+
+    def test_center_weighted_floor(self):
+        m = ImportanceMap.center_weighted(21, 31, floor=0.2)
+        assert m.weights.min() >= 0.2
+
+    def test_rectangle(self):
+        m = ImportanceMap.rectangle(10, 10, 2, 3, 5, 8, inside=1.0, outside=0.1)
+        assert m.weights[3, 4] == 1.0
+        assert m.weights[0, 0] == 0.1
+
+    def test_rectangle_bounds_checked(self):
+        with pytest.raises(ValueError):
+            ImportanceMap.rectangle(10, 10, 5, 5, 5, 8)
+        with pytest.raises(ValueError):
+            ImportanceMap.rectangle(10, 10, 0, 0, 11, 5)
+
+    @pytest.mark.parametrize("weights", [
+        np.full((4, 4), -1.0), np.zeros((4, 4)), np.zeros((4, 4, 3)),
+    ])
+    def test_validation(self, weights):
+        with pytest.raises(ValueError):
+            ImportanceMap(weights)
+
+    def test_for_frame_geometry_checked(self):
+        m = ImportanceMap.uniform(4, 4)
+        with pytest.raises(ValueError, match="match"):
+            m.for_frame(Frame.solid_gray(5, 5, 0))
+
+    def test_important_fraction(self):
+        m = ImportanceMap.rectangle(10, 10, 0, 0, 5, 10, inside=1.0, outside=0.0)
+        assert m.important_fraction() == pytest.approx(0.5)
+
+
+class TestWeightedFrameStats:
+    def test_uniform_matches_plain(self, dark_frame):
+        from repro.core import FrameStats
+        uniform = ImportanceMap.uniform(dark_frame.height, dark_frame.width)
+        weighted = weighted_frame_stats(dark_frame, uniform)
+        plain = FrameStats.of(dark_frame)
+        assert weighted.max_luminance == pytest.approx(plain.max_luminance)
+        assert weighted.effective_max(0.05) == pytest.approx(
+            plain.effective_max(0.05), abs=1 / 255
+        )
+
+    def test_dont_care_region_excluded(self, roi):
+        frame = _corner_flare_clip(1).frame(0)
+        stats = weighted_frame_stats(frame, roi)
+        # the flare lies outside the ROI, so even lossless analysis
+        # ignores it
+        assert stats.max_luminance < 0.3
+
+    def test_positive_weight_protects(self):
+        frame = _corner_flare_clip(1).frame(0)
+        m = ImportanceMap.rectangle(40, 60, 8, 8, 36, 56, inside=1.0, outside=0.01)
+        stats = weighted_frame_stats(frame, m)
+        # tiny but non-zero weight: the flare still counts toward the max
+        assert stats.max_luminance > 0.9
+
+
+class TestRoiPipeline:
+    def test_flare_outside_roi_freed(self, roi):
+        """The headline ROI effect: a don't-care flare no longer forces
+        the backlight up."""
+        clip = _corner_flare_clip()
+        device = ipaq_5555()
+        params = SchemeParameters(quality=0.0, min_scene_interval_frames=4)
+        plain = AnnotationPipeline(params).build_stream(clip, device)
+        weighted = AnnotationPipeline(params, importance=roi).build_stream(clip, device)
+        assert weighted.predicted_backlight_savings() > plain.predicted_backlight_savings() + 0.3
+
+    def test_subject_inside_roi_protected(self, roi):
+        """A bright subject inside the ROI is treated exactly as without
+        ROI: no extra savings squeezed out of it."""
+        clip = _center_subject_clip()
+        device = ipaq_5555()
+        params = SchemeParameters(quality=0.0, min_scene_interval_frames=4)
+        plain = AnnotationPipeline(params).build_stream(clip, device)
+        weighted = AnnotationPipeline(params, importance=roi).build_stream(clip, device)
+        assert weighted.predicted_backlight_savings() == pytest.approx(
+            plain.predicted_backlight_savings(), abs=0.02
+        )
+
+    def test_importance_mass_budget_held(self, roi):
+        """At quality q, at most q of the importance mass clips."""
+        clip = _corner_flare_clip()
+        device = ipaq_5555()
+        q = 0.05
+        params = SchemeParameters(quality=q, min_scene_interval_frames=4)
+        stream = AnnotationPipeline(params, importance=roi).build_stream(clip, device)
+        gains = stream.track.per_frame_gains()
+        for i in range(clip.frame_count):
+            mass = roi_clipped_mass(clip.frame(i), roi, float(gains[i]))
+            assert mass <= q + 0.01
+
+
+class TestRoiClippedMass:
+    def test_unit_gain_no_clipping(self, roi):
+        frame = _corner_flare_clip(1).frame(0)
+        assert roi_clipped_mass(frame, roi, 1.0) == 0.0
+
+    def test_flare_clipping_is_free(self, roi):
+        frame = _corner_flare_clip(1).frame(0)
+        # gain that clips the flare but not the 0.2 background
+        assert roi_clipped_mass(frame, roi, 2.0) == 0.0
+
+    def test_invalid_gain(self, roi):
+        frame = _corner_flare_clip(1).frame(0)
+        with pytest.raises(ValueError):
+            roi_clipped_mass(frame, roi, 0.0)
+
+
+class TestRoiStreamAnalyzer:
+    def test_analyze_clip(self, roi):
+        clip = _corner_flare_clip(5)
+        stats = RoiStreamAnalyzer(roi).analyze(clip)
+        assert len(stats) == 5
+
+    def test_empty_rejected(self, roi):
+        with pytest.raises(ValueError):
+            RoiStreamAnalyzer(roi).analyze_frames(iter([]))

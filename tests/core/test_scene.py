@@ -1,0 +1,138 @@
+"""Unit tests for repro.core.scene."""
+
+import numpy as np
+import pytest
+
+from repro.core import FrameStats, Scene, SceneDetector, SchemeParameters, StreamAnalyzer
+from repro.video import Frame
+
+
+def _stats_from_maxima(maxima):
+    """Build FrameStats for solid frames whose max luminance is scripted."""
+    frames = [
+        Frame.solid_gray(4, 4, int(round(m * 255)), index=i)
+        for i, m in enumerate(maxima)
+    ]
+    return StreamAnalyzer().analyze_frames(frames)
+
+
+class TestSceneDataclass:
+    def test_valid(self):
+        scene = Scene(0, 10, 0.5)
+        assert scene.length == 10
+        assert 0 in scene and 9 in scene and 10 not in scene
+
+    @pytest.mark.parametrize("args", [(5, 5, 0.5), (-1, 3, 0.5), (0, 3, 1.5)])
+    def test_invalid(self, args):
+        with pytest.raises(ValueError):
+            Scene(*args)
+
+
+class TestDetection:
+    def test_constant_stream_single_scene(self):
+        stats = _stats_from_maxima([0.5] * 20)
+        scenes = SceneDetector().detect(stats)
+        assert len(scenes) == 1
+        assert scenes[0].start == 0 and scenes[0].end == 20
+
+    def test_step_change_detected(self):
+        params = SchemeParameters(min_scene_interval_frames=3)
+        stats = _stats_from_maxima([0.3] * 10 + [0.8] * 10)
+        scenes = SceneDetector(params).detect(stats)
+        assert len(scenes) == 2
+        assert scenes[0].end == 10
+
+    def test_small_change_ignored(self):
+        """A 5 % change stays below the 10 % threshold."""
+        stats = _stats_from_maxima([0.60] * 10 + [0.62] * 10)
+        scenes = SceneDetector(SchemeParameters(min_scene_interval_frames=3)).detect(stats)
+        assert len(scenes) == 1
+
+    def test_downward_change_detected(self):
+        params = SchemeParameters(min_scene_interval_frames=3)
+        stats = _stats_from_maxima([0.8] * 10 + [0.3] * 10)
+        scenes = SceneDetector(params).detect(stats)
+        assert len(scenes) == 2
+
+    def test_rate_limit_suppresses_flicker(self):
+        """Alternating bright/dark frames faster than the interval must
+        not split into scenes ('minimizing visible spikes')."""
+        maxima = [0.3, 0.8] * 15
+        params = SchemeParameters(min_scene_interval_frames=10)
+        scenes = SceneDetector(params).detect(_stats_from_maxima(maxima))
+        for scene in scenes:
+            assert scene.length >= 10 or scene.end == len(maxima)
+
+    def test_rate_limit_absorbs_into_scene_max(self):
+        """Suppressed bright frames still raise the scene max (no clipping
+        surprise)."""
+        maxima = [0.3] * 5 + [0.9] + [0.3] * 5
+        params = SchemeParameters(min_scene_interval_frames=20)
+        scenes = SceneDetector(params).detect(_stats_from_maxima(maxima))
+        assert len(scenes) == 1
+        assert scenes[0].max_luminance == pytest.approx(0.9, abs=1 / 255)
+
+    def test_scene_max_is_member_max(self):
+        stats = _stats_from_maxima([0.3, 0.4, 0.35] * 5)
+        scenes = SceneDetector(SchemeParameters(min_scene_interval_frames=3)).detect(stats)
+        for scene in scenes:
+            member_max = max(s.max_luminance for s in stats[scene.start:scene.end])
+            assert scene.max_luminance == pytest.approx(member_max, abs=1e-9)
+
+    def test_partition_always_valid(self, library_clip):
+        stats = StreamAnalyzer().analyze(library_clip)
+        for interval in (1, 5, 15):
+            params = SchemeParameters(min_scene_interval_frames=interval)
+            scenes = SceneDetector(params).detect(stats)
+            SceneDetector.validate_partition(scenes, len(stats))
+
+    def test_per_frame_mode(self):
+        stats = _stats_from_maxima([0.1, 0.5, 0.9])
+        scenes = SceneDetector(SchemeParameters(per_frame=True)).detect(stats)
+        assert len(scenes) == 3
+        assert all(s.length == 1 for s in scenes)
+
+    def test_empty_stream(self):
+        with pytest.raises(ValueError):
+            SceneDetector().detect([])
+
+    def test_near_black_reference_stable(self):
+        """Numeric dust on near-black frames must not fragment scenes."""
+        maxima = [0.004, 0.008, 0.004, 0.008] * 10
+        scenes = SceneDetector(SchemeParameters(min_scene_interval_frames=2)).detect(
+            _stats_from_maxima(maxima)
+        )
+        assert len(scenes) == 1
+
+    def test_ground_truth_boundaries_found(self, tiny_clip, tiny_clip_factory):
+        """Detector boundaries line up with the synthesis script."""
+        stats = StreamAnalyzer().analyze(tiny_clip)
+        params = SchemeParameters(min_scene_interval_frames=4)
+        scenes = SceneDetector(params).detect(stats)
+        starts = {s.start for s in scenes}
+        # The dark->bright and bright->dark cuts at 12 and 24 must appear.
+        assert 12 in starts
+        assert 24 in starts
+
+
+class TestHelpers:
+    def test_scene_of(self):
+        scenes = [Scene(0, 5, 0.5), Scene(5, 10, 0.8)]
+        assert SceneDetector.scene_of(scenes, 7) is scenes[1]
+        with pytest.raises(IndexError):
+            SceneDetector.scene_of(scenes, 10)
+
+    def test_validate_partition_errors(self):
+        with pytest.raises(ValueError, match="no scenes"):
+            SceneDetector.validate_partition([], 5)
+        with pytest.raises(ValueError, match="starts at"):
+            SceneDetector.validate_partition([Scene(1, 5, 0.5)], 5)
+        with pytest.raises(ValueError, match="gap"):
+            SceneDetector.validate_partition([Scene(0, 2, 0.5), Scene(3, 5, 0.5)], 5)
+        with pytest.raises(ValueError, match="ends at"):
+            SceneDetector.validate_partition([Scene(0, 4, 0.5)], 5)
+
+    def test_scene_max_series(self):
+        scenes = [Scene(0, 2, 0.3), Scene(2, 4, 0.9)]
+        series = SceneDetector.scene_max_series(scenes, 4)
+        assert series == pytest.approx([0.3, 0.3, 0.9, 0.9])

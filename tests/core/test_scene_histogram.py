@@ -1,0 +1,106 @@
+"""Unit tests for repro.core.scene_histogram (ablation detector)."""
+
+import pytest
+
+from repro.core import (
+    HistogramSceneDetector,
+    SceneDetector,
+    SchemeParameters,
+    StreamAnalyzer,
+)
+from repro.video import Frame
+
+
+def _stats(maxima):
+    frames = [
+        Frame.solid_gray(4, 4, int(round(m * 255)), index=i)
+        for i, m in enumerate(maxima)
+    ]
+    return StreamAnalyzer().analyze_frames(frames)
+
+
+class TestHistogramSceneDetector:
+    def test_constant_stream_single_scene(self):
+        scenes = HistogramSceneDetector().detect(_stats([0.5] * 20))
+        assert len(scenes) == 1
+
+    def test_content_cut_detected(self):
+        params = SchemeParameters(min_scene_interval_frames=3)
+        scenes = HistogramSceneDetector(params).detect(
+            _stats([0.3] * 10 + [0.8] * 10)
+        )
+        assert len(scenes) == 2
+        assert scenes[0].end == 10
+
+    def test_partition_valid(self, library_clip):
+        stats = StreamAnalyzer().analyze(library_clip)
+        params = SchemeParameters(min_scene_interval_frames=5)
+        scenes = HistogramSceneDetector(params, distance_threshold=0.4).detect(stats)
+        SceneDetector.validate_partition(scenes, len(stats))
+
+    def test_scene_max_covers_members(self, library_clip):
+        stats = StreamAnalyzer().analyze(library_clip)
+        params = SchemeParameters(min_scene_interval_frames=5)
+        scenes = HistogramSceneDetector(params, distance_threshold=0.4).detect(stats)
+        for scene in scenes:
+            member_max = max(s.max_value(True) for s in stats[scene.start:scene.end])
+            assert scene.max_luminance >= member_max - 1e-9
+
+    def test_rate_limit(self):
+        maxima = [0.3, 0.8] * 15
+        params = SchemeParameters(min_scene_interval_frames=10)
+        scenes = HistogramSceneDetector(params).detect(_stats(maxima))
+        for scene in scenes[:-1]:
+            assert scene.length >= 10
+
+    def test_sees_cuts_max_luminance_misses(self):
+        """Two dark rooms with different mid-tone distributions but equal
+        maxima: the histogram detector cuts, the max-luminance one does
+        not — the core of the ablation."""
+        import numpy as np
+        from repro.video import Frame as F
+
+        def room(level_body):
+            lum = np.full((8, 8), level_body)
+            lum[0, 0] = 0.6  # identical max in both rooms
+            return F.from_luminance(lum)
+
+        frames = [room(0.10) for _ in range(10)] + [room(0.45) for _ in range(10)]
+        for i, f in enumerate(frames):
+            f.index = i
+        stats = StreamAnalyzer().analyze_frames(frames)
+        params = SchemeParameters(min_scene_interval_frames=3)
+        hist_scenes = HistogramSceneDetector(params).detect(stats)
+        max_scenes = SceneDetector(params).detect(stats)
+        assert len(hist_scenes) == 2
+        assert len(max_scenes) == 1
+
+    def test_extra_cuts_do_not_change_power(self):
+        """The backlight only consumes the scene max: splitting a
+        constant-max stream into more scenes saves nothing — the paper's
+        implicit argument for the simpler detector."""
+        import numpy as np
+        from repro.core import AnnotationTrack, SceneAnnotation
+        from repro.display import ipaq_5555
+
+        stats = _stats([0.5] * 20)
+        params = SchemeParameters(min_scene_interval_frames=3)
+        device = ipaq_5555()
+
+        def track_for(scenes):
+            anns = [SceneAnnotation(s.start, s.end, s.max_luminance) for s in scenes]
+            return AnnotationTrack("c", 20, 30.0, 0.0, anns).bind(device)
+
+        one = track_for(SceneDetector(params).detect(stats))
+        many = track_for(HistogramSceneDetector(params).detect(stats))
+        assert np.array_equal(one.per_frame_levels(), many.per_frame_levels())
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            HistogramSceneDetector(distance_threshold=0.0)
+        with pytest.raises(ValueError):
+            HistogramSceneDetector(distance_threshold=3.0)
+
+    def test_empty_stream(self):
+        with pytest.raises(ValueError):
+            HistogramSceneDetector().detect([])

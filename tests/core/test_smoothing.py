@@ -1,0 +1,125 @@
+"""Unit tests for repro.core.smoothing (backlight transition ramps)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AnnotationPipeline,
+    max_level_step,
+    ramped_levels,
+    smooth_track,
+)
+from repro.display import ipaq_5555, ipaq_3650
+
+
+@pytest.fixture
+def device():
+    return ipaq_5555()
+
+
+@pytest.fixture
+def track(tiny_clip, fast_params, device):
+    return AnnotationPipeline(fast_params.with_quality(0.10)).annotate_for_device(
+        tiny_clip, device
+    )
+
+
+class TestRampedLevels:
+    def test_step_spread_linearly(self):
+        levels = np.array([100] * 5 + [200] * 10)
+        out = ramped_levels(levels, ramp_frames=5)
+        assert out[4] == 100
+        assert out[5] == 120
+        assert out[9] == 200
+        assert np.all(out[9:] == 200)
+
+    def test_ramp_one_is_identity(self):
+        levels = np.array([10, 200, 50, 50])
+        assert np.array_equal(ramped_levels(levels, 1), levels)
+
+    def test_constant_untouched(self):
+        levels = np.full(10, 77)
+        assert np.array_equal(ramped_levels(levels, 6), levels)
+
+    def test_monotone_during_single_ramp(self):
+        levels = np.array([0] * 3 + [255] * 20)
+        out = ramped_levels(levels, 8)
+        ramp = out[2:12]
+        assert np.all(np.diff(ramp) >= 0)
+
+    def test_interrupted_ramp_restarts_from_current(self):
+        levels = np.array([0] * 2 + [255] * 3 + [0] * 10)
+        out = ramped_levels(levels, 10)
+        # never reached 255; turns around from wherever it got to
+        assert out.max() < 255
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ramped_levels(np.array([1, 2]), 0)
+        with pytest.raises(ValueError):
+            ramped_levels(np.array([]), 2)
+
+
+class TestMaxLevelStep:
+    def test_step_measured(self):
+        assert max_level_step(np.array([0, 100, 90])) == 100
+
+    def test_constant_zero(self):
+        assert max_level_step(np.array([5, 5, 5])) == 0
+
+    def test_single_frame(self):
+        assert max_level_step(np.array([9])) == 0
+
+
+class TestSmoothTrack:
+    def test_reduces_max_step(self, track, device):
+        raw_step = max_level_step(track.per_frame_levels())
+        smoothed = smooth_track(track, device, ramp_frames=8)
+        assert max_level_step(smoothed.per_frame_levels()) < raw_step
+
+    def test_same_coverage(self, track, device):
+        smoothed = smooth_track(track, device, ramp_frames=8)
+        assert smoothed.frame_count == track.frame_count
+        assert smoothed.scenes[0].start == 0
+        assert smoothed.scenes[-1].end == track.frame_count
+
+    def test_gains_match_levels_every_frame(self, track, device):
+        """Fidelity invariant: each frame's gain is derived from the level
+        actually applied that frame."""
+        smoothed = smooth_track(track, device, ramp_frames=8)
+        levels = smoothed.per_frame_levels()
+        gains = smoothed.per_frame_gains()
+        transfer = device.transfer
+        for i in range(smoothed.frame_count):
+            if levels[i] > 0:
+                expected = max(transfer.compensation_gain_for_level(int(levels[i])), 1.0)
+                assert gains[i] == pytest.approx(expected), f"frame {i}"
+
+    def test_steady_state_levels_unchanged(self, track, device):
+        """Away from scene boundaries the schedule is untouched."""
+        smoothed = smooth_track(track, device, ramp_frames=4)
+        raw = track.per_frame_levels()
+        out = smoothed.per_frame_levels()
+        # the last frame of each long scene has converged to the target
+        for scene in track.scenes:
+            if scene.length > 6:
+                assert out[scene.end - 1] == raw[scene.end - 1]
+
+    def test_savings_barely_affected(self, track, device):
+        from repro.power import simulated_backlight_savings
+        raw = simulated_backlight_savings(track.per_frame_levels(), device)
+        smoothed = smooth_track(track, device, ramp_frames=8)
+        new = simulated_backlight_savings(smoothed.per_frame_levels(), device)
+        assert new == pytest.approx(raw, abs=0.05)
+
+    def test_device_mismatch_rejected(self, track):
+        with pytest.raises(ValueError, match="bound to"):
+            smooth_track(track, ipaq_3650(), ramp_frames=4)
+
+    def test_result_serializes(self, track, device):
+        from repro.core import DeviceAnnotationTrack
+        smoothed = smooth_track(track, device, ramp_frames=8)
+        restored = DeviceAnnotationTrack.from_bytes(smoothed.to_bytes())
+        assert np.array_equal(
+            restored.per_frame_levels(), smoothed.per_frame_levels()
+        )

@@ -1,0 +1,127 @@
+"""Unit tests for repro.display.ambient."""
+
+import numpy as np
+import pytest
+
+from repro.core import AnnotationPipeline, SchemeParameters
+from repro.display import (
+    AMBIENT_PRESETS,
+    DARK_ROOM,
+    DIRECT_SUN,
+    OFFICE,
+    AmbientCondition,
+    ambient_compensation_gain,
+    ambient_level_for_scene,
+    bind_with_ambient,
+    ipaq_5555,
+    render_frame,
+)
+from repro.display.transfer import MAX_BACKLIGHT_LEVEL
+from repro.power import simulated_backlight_savings
+
+
+@pytest.fixture
+def device():
+    return ipaq_5555()
+
+
+@pytest.fixture
+def track(tiny_clip, fast_params):
+    return AnnotationPipeline(fast_params).annotate(tiny_clip)
+
+
+class TestAmbientCondition:
+    def test_presets_ordered(self):
+        values = [a.illuminance for a in AMBIENT_PRESETS]
+        assert values == sorted(values)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            AmbientCondition("x", -0.1)
+
+
+class TestAmbientLevel:
+    def test_dark_room_equals_standard(self, device):
+        for eff in (0.1, 0.4, 0.8, 1.0):
+            assert ambient_level_for_scene(device, eff, DARK_ROOM) == (
+                device.transfer.level_for_scene(eff)
+            )
+
+    def test_monotone_decreasing_in_ambient(self, device):
+        levels = [
+            ambient_level_for_scene(device, 0.6, amb) for amb in AMBIENT_PRESETS
+        ]
+        assert levels == sorted(levels, reverse=True)
+
+    def test_full_white_needs_full_backlight_only_in_dark(self, device):
+        assert ambient_level_for_scene(device, 1.0, DARK_ROOM) == MAX_BACKLIGHT_LEVEL
+        # In sunlight even full white needs no more than full backlight.
+        assert ambient_level_for_scene(device, 1.0, DIRECT_SUN) == MAX_BACKLIGHT_LEVEL
+
+    def test_bright_sun_allows_backlight_off_for_dark_scenes(self, device):
+        assert ambient_level_for_scene(device, 0.2, DIRECT_SUN) == 0
+
+    def test_validation(self, device):
+        with pytest.raises(ValueError):
+            ambient_level_for_scene(device, 1.5, DARK_ROOM)
+
+
+class TestAmbientGain:
+    def test_dark_room_matches_standard_gain(self, device):
+        level = device.transfer.level_for_scene(0.5)
+        expected = device.transfer.compensation_gain_for_level(level)
+        assert ambient_compensation_gain(device, level, DARK_ROOM) == pytest.approx(
+            expected
+        )
+
+    def test_gain_at_least_one(self, device):
+        for amb in AMBIENT_PRESETS:
+            for level in (10, 100, 255):
+                assert ambient_compensation_gain(device, level, amb) >= 1.0
+
+    def test_intensity_preserved_in_ambient(self, device):
+        """Physics check: the ambient-bound level+gain reproduce the
+        full-backlight perceived intensity in the same ambient."""
+        from repro.video import Frame
+        eff = 0.5
+        amb = OFFICE
+        level = ambient_level_for_scene(device, eff, amb)
+        gain = ambient_compensation_gain(device, level, amb)
+        lum = np.full((4, 4), 0.3)  # unclipped pixel
+        frame = Frame.from_luminance(lum)
+        comp = Frame.from_luminance(np.clip(lum * gain, 0, 1))
+        reference = render_frame(frame, MAX_BACKLIGHT_LEVEL, device,
+                                 ambient=amb.illuminance)
+        dimmed = render_frame(comp, level, device, ambient=amb.illuminance)
+        assert dimmed == pytest.approx(reference, abs=0.03)
+
+    def test_validation(self, device):
+        with pytest.raises(ValueError):
+            ambient_compensation_gain(device, 300, DARK_ROOM)
+
+
+class TestBindWithAmbient:
+    def test_dark_room_identical_to_bind(self, track, device):
+        std = track.bind(device)
+        amb = bind_with_ambient(track, device, DARK_ROOM)
+        assert np.array_equal(std.per_frame_levels(), amb.per_frame_levels())
+
+    def test_savings_monotone_in_ambient(self, track, device):
+        savings = [
+            simulated_backlight_savings(
+                bind_with_ambient(track, device, amb).per_frame_levels(), device
+            )
+            for amb in AMBIENT_PRESETS
+        ]
+        assert all(b >= a - 1e-9 for a, b in zip(savings, savings[1:]))
+
+    def test_boundaries_preserved(self, track, device):
+        bound = bind_with_ambient(track, device, OFFICE)
+        assert [(s.start, s.end) for s in bound.scenes] == [
+            (s.start, s.end) for s in track.scenes
+        ]
+
+    def test_metadata_carried(self, track, device):
+        bound = bind_with_ambient(track, device, OFFICE)
+        assert bound.device_name == device.name
+        assert bound.quality == track.quality

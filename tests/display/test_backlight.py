@@ -1,0 +1,77 @@
+"""Unit tests for repro.display.backlight."""
+
+import numpy as np
+import pytest
+
+from repro.display import BacklightModel, ccfl_backlight, led_backlight
+from repro.display.transfer import MAX_BACKLIGHT_LEVEL
+
+
+class TestBacklightModel:
+    def test_power_affine_endpoints(self):
+        bl = BacklightModel(kind="LED", power_max_w=1.0, power_floor_w=0.1)
+        assert float(bl.power(0)) == pytest.approx(0.1)
+        assert float(bl.power(MAX_BACKLIGHT_LEVEL)) == pytest.approx(1.0)
+
+    def test_power_midpoint(self):
+        bl = BacklightModel(kind="LED", power_max_w=1.0, power_floor_w=0.0)
+        assert float(bl.power(MAX_BACKLIGHT_LEVEL / 2)) == pytest.approx(0.5)
+
+    def test_power_monotone(self):
+        bl = led_backlight()
+        levels = np.arange(256)
+        assert np.all(np.diff(bl.power(levels)) > 0)
+
+    def test_power_vectorized(self):
+        bl = led_backlight()
+        assert np.asarray(bl.power(np.array([0, 128, 255]))).shape == (3,)
+
+    def test_out_of_range_level(self):
+        bl = led_backlight()
+        with pytest.raises(ValueError):
+            bl.power(-1)
+        with pytest.raises(ValueError):
+            bl.power(300)
+
+    def test_savings_fraction_bounds(self):
+        bl = led_backlight()
+        assert float(bl.savings_fraction(MAX_BACKLIGHT_LEVEL)) == pytest.approx(0.0)
+        full_savings = float(bl.savings_fraction(0))
+        assert 0.0 < full_savings <= 1.0
+
+    def test_savings_fraction_with_floor(self):
+        """The inverter floor caps achievable savings below 100 %."""
+        bl = ccfl_backlight(power_max_w=1.5, inverter_floor_w=0.25)
+        assert float(bl.savings_fraction(0)) == pytest.approx(1 - 0.25 / 1.5)
+
+
+class TestValidation:
+    def test_non_positive_max(self):
+        with pytest.raises(ValueError):
+            BacklightModel(kind="LED", power_max_w=0.0)
+
+    def test_floor_exceeds_max(self):
+        with pytest.raises(ValueError):
+            BacklightModel(kind="LED", power_max_w=1.0, power_floor_w=1.0)
+
+    def test_negative_response_time(self):
+        with pytest.raises(ValueError):
+            BacklightModel(kind="LED", power_max_w=1.0, response_time_ms=-1)
+
+
+class TestFactories:
+    def test_ccfl_properties(self):
+        bl = ccfl_backlight()
+        assert bl.kind == "CCFL"
+        assert bl.power_floor_w > 0.1  # inverter overhead
+        assert bl.response_time_ms > 10  # slow tube
+
+    def test_led_properties(self):
+        bl = led_backlight()
+        assert bl.kind == "LED"
+        assert bl.power_floor_w < 0.1
+        assert bl.response_time_ms <= 5
+
+    def test_led_cheaper_than_ccfl(self):
+        """White LEDs offer 'lower power consumption' (Section 2)."""
+        assert led_backlight().power_max_w < ccfl_backlight().power_max_w

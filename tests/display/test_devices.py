@@ -1,0 +1,92 @@
+"""Unit tests for repro.display.devices."""
+
+import pytest
+
+from repro.display import (
+    DEVICE_REGISTRY,
+    DeviceProfile,
+    PowerBudget,
+    all_devices,
+    get_device,
+    ipaq_3650,
+    ipaq_5555,
+    zaurus_sl5600,
+)
+from repro.display.panel import PanelType
+
+
+class TestRegistry:
+    def test_three_devices(self):
+        assert set(DEVICE_REGISTRY) == {"ipaq5555", "ipaq3650", "zaurus_sl5600"}
+
+    def test_get_device(self):
+        assert get_device("ipaq5555").name == "ipaq5555"
+
+    def test_unknown_device(self):
+        with pytest.raises(KeyError, match="unknown device"):
+            get_device("nokia_ngage")
+
+    def test_all_devices(self):
+        devices = all_devices()
+        assert len(devices) == 3
+        assert all(isinstance(d, DeviceProfile) for d in devices)
+
+    def test_fresh_instances(self):
+        assert get_device("ipaq5555") is not get_device("ipaq5555")
+
+
+class TestPaperProperties:
+    """Section 5's device descriptions must hold in the models."""
+
+    def test_ipaq5555_transflective_led(self):
+        dev = ipaq_5555()
+        assert dev.panel.panel_type is PanelType.TRANSFLECTIVE
+        assert dev.backlight.kind == "LED"
+
+    def test_ipaq3650_reflective_ccfl(self):
+        dev = ipaq_3650()
+        assert dev.panel.panel_type is PanelType.REFLECTIVE
+        assert dev.backlight.kind == "CCFL"
+
+    def test_zaurus_reflective_ccfl(self):
+        dev = zaurus_sl5600()
+        assert dev.panel.panel_type is PanelType.REFLECTIVE
+        assert dev.backlight.kind == "CCFL"
+
+    def test_ipaq5555_white_transfer_linear(self):
+        """'measured luminance was almost linear with the luminance of
+        the image' (Figure 7 discussion)."""
+        assert ipaq_5555().transfer.white.gamma == pytest.approx(1.0)
+
+    def test_transfer_characteristics_differ(self):
+        """'Each display technology showed a different transfer
+        characteristic.'"""
+        tables = [tuple(d.transfer.backlight.table()[::32]) for d in all_devices()]
+        assert len(set(tables)) == 3
+
+    def test_backlight_share_in_paper_band(self):
+        """Backlight is 'about 25-30 % of total power consumption'."""
+        for dev in all_devices():
+            assert 0.20 <= dev.backlight_share() <= 0.40, dev.name
+
+    def test_max_total_power_plausible(self):
+        for dev in all_devices():
+            assert 2.0 <= dev.max_total_power_w() <= 5.0, dev.name
+
+
+class TestPowerBudget:
+    def test_negative_entry_rejected(self):
+        with pytest.raises(ValueError):
+            PowerBudget(-0.1, 0.1, 0.2, 0.0, 0.1)
+
+    def test_cpu_ordering(self):
+        with pytest.raises(ValueError, match="cpu_active"):
+            PowerBudget(0.5, 0.5, 0.2, 0.0, 0.1)
+
+    def test_network_ordering(self):
+        with pytest.raises(ValueError, match="network_active"):
+            PowerBudget(0.5, 0.1, 0.2, 0.5, 0.1)
+
+    def test_backlight_transfer_shortcut(self):
+        dev = ipaq_5555()
+        assert dev.backlight_transfer is dev.transfer.backlight

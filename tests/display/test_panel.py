@@ -1,0 +1,79 @@
+"""Unit tests for repro.display.panel."""
+
+import numpy as np
+import pytest
+
+from repro.display import (
+    Panel,
+    PanelType,
+    reflective_panel,
+    transflective_panel,
+    transmissive_panel,
+)
+
+
+class TestPerceivedIntensity:
+    def test_formula_dark_room(self):
+        """I = rho * L * Y with no ambient light."""
+        panel = transflective_panel()
+        intensity = panel.perceived_intensity(0.5, 0.8, ambient=0.0)
+        assert float(intensity) == pytest.approx(panel.transmittance * 0.5 * 0.8)
+
+    def test_ambient_adds_reflected_component(self):
+        panel = transflective_panel()
+        dark = float(panel.perceived_intensity(0.5, 0.8, ambient=0.0))
+        lit = float(panel.perceived_intensity(0.5, 0.8, ambient=1.0))
+        assert lit == pytest.approx(dark + panel.reflectance * 0.8)
+
+    def test_transmissive_ignores_ambient(self):
+        panel = transmissive_panel()
+        dark = float(panel.perceived_intensity(0.5, 0.8, ambient=0.0))
+        lit = float(panel.perceived_intensity(0.5, 0.8, ambient=1.0))
+        assert lit == pytest.approx(dark)
+
+    def test_black_pixel_dark(self):
+        panel = transflective_panel()
+        assert float(panel.perceived_intensity(1.0, 0.0, ambient=1.0)) == 0.0
+
+    def test_vectorized_over_pixels(self):
+        panel = transflective_panel()
+        y = np.array([[0.1, 0.9], [0.5, 0.0]])
+        out = panel.perceived_intensity(0.7, y)
+        assert out.shape == (2, 2)
+        assert np.all(np.diff(np.sort(out.ravel())) >= 0)
+
+    def test_negative_ambient_rejected(self):
+        with pytest.raises(ValueError):
+            transflective_panel().perceived_intensity(1.0, 1.0, ambient=-0.1)
+
+
+class TestValidation:
+    def test_transmittance_bounds(self):
+        with pytest.raises(ValueError):
+            Panel(PanelType.TRANSMISSIVE, 0.0, 0.0, (240, 320), 0.2)
+        with pytest.raises(ValueError):
+            Panel(PanelType.TRANSMISSIVE, 1.5, 0.0, (240, 320), 0.2)
+
+    def test_reflectance_bounds(self):
+        with pytest.raises(ValueError):
+            Panel(PanelType.REFLECTIVE, 0.05, -0.1, (240, 320), 0.2)
+
+    def test_negative_power(self):
+        with pytest.raises(ValueError):
+            Panel(PanelType.REFLECTIVE, 0.05, 0.1, (240, 320), -0.2)
+
+
+class TestFactories:
+    def test_types(self):
+        assert transflective_panel().panel_type is PanelType.TRANSFLECTIVE
+        assert reflective_panel().panel_type is PanelType.REFLECTIVE
+        assert transmissive_panel().panel_type is PanelType.TRANSMISSIVE
+
+    def test_reflective_reflects_more(self):
+        assert reflective_panel().reflectance > transflective_panel().reflectance
+
+    def test_transmissive_no_reflection(self):
+        assert transmissive_panel().reflectance == 0.0
+
+    def test_default_resolution_qvga(self):
+        assert transflective_panel().resolution == (240, 320)

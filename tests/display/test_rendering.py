@@ -1,0 +1,82 @@
+"""Unit tests for repro.display.rendering."""
+
+import numpy as np
+import pytest
+
+from repro.display import (
+    MAX_BACKLIGHT_LEVEL,
+    ipaq_5555,
+    mean_screen_luminance,
+    render_frame,
+    render_solid_gray,
+)
+from repro.video import Frame
+
+
+@pytest.fixture
+def device():
+    return ipaq_5555()
+
+
+class TestRenderFrame:
+    def test_full_white_full_backlight_is_unity(self, device):
+        frame = Frame.solid_gray(4, 4, 255)
+        out = render_frame(frame, MAX_BACKLIGHT_LEVEL, device)
+        assert out == pytest.approx(np.ones((4, 4)))
+
+    def test_black_frame_dark(self, device):
+        frame = Frame.solid_gray(4, 4, 0)
+        out = render_frame(frame, MAX_BACKLIGHT_LEVEL, device)
+        assert out == pytest.approx(np.zeros((4, 4)))
+
+    def test_zero_backlight_dark_room(self, device):
+        frame = Frame.solid_gray(4, 4, 255)
+        out = render_frame(frame, 0, device, ambient=0.0)
+        assert out == pytest.approx(np.zeros((4, 4)))
+
+    def test_dimming_scales_output(self, device):
+        frame = Frame.solid_gray(4, 4, 200)
+        full = render_frame(frame, MAX_BACKLIGHT_LEVEL, device)
+        half = render_frame(frame, 128, device)
+        ratio = half / full
+        expected = float(device.transfer.backlight.luminance(128))
+        assert ratio == pytest.approx(np.full((4, 4), expected))
+
+    def test_transflective_visible_in_sunlight(self, device):
+        """With strong ambient, a transflective panel shows the image even
+        with the backlight off (why handhelds use them, Section 4.1)."""
+        frame = Frame.solid_gray(4, 4, 255)
+        out = render_frame(frame, 0, device, ambient=1.0)
+        assert float(out.mean()) > 0.0
+
+    def test_out_of_range_level(self, device):
+        frame = Frame.solid_gray(2, 2, 0)
+        with pytest.raises(ValueError):
+            render_frame(frame, 256, device)
+        with pytest.raises(ValueError):
+            render_frame(frame, -1, device)
+
+    def test_compensation_round_trip(self, device):
+        """A compensated frame at the annotated level looks like the
+        original at full backlight (for unclipped pixels) — the physical
+        core of the whole technique."""
+        lum = np.full((4, 4), 0.4)
+        frame = Frame.from_luminance(lum)
+        level = device.transfer.level_for_scene(0.5)
+        gain = device.transfer.compensation_gain_for_level(level)
+        compensated = Frame.from_luminance(np.clip(lum * gain, 0, 1))
+        original_view = render_frame(frame, MAX_BACKLIGHT_LEVEL, device)
+        compensated_view = render_frame(compensated, level, device)
+        assert compensated_view == pytest.approx(original_view, abs=0.02)
+
+
+class TestHelpers:
+    def test_render_solid_gray_shape(self, device):
+        out = render_solid_gray(128, 200, device, size=6)
+        assert out.shape == (6, 6)
+
+    def test_mean_screen_luminance_scalar(self, device):
+        frame = Frame.solid_gray(4, 4, 128)
+        value = mean_screen_luminance(frame, 255, device)
+        assert isinstance(value, float)
+        assert 0.0 < value < 1.0

@@ -1,0 +1,203 @@
+"""Unit tests for repro.display.transfer."""
+
+import numpy as np
+import pytest
+
+from repro.display import (
+    MAX_BACKLIGHT_LEVEL,
+    DisplayTransfer,
+    GammaBacklightTransfer,
+    LinearBacklightTransfer,
+    SaturatingBacklightTransfer,
+    TabulatedBacklightTransfer,
+    WhiteTransfer,
+)
+
+ALL_TRANSFERS = [
+    LinearBacklightTransfer(),
+    GammaBacklightTransfer(1.45),
+    GammaBacklightTransfer(0.7),
+    SaturatingBacklightTransfer(1.6),
+    SaturatingBacklightTransfer(3.0),
+    TabulatedBacklightTransfer([0, 64, 128, 192, 255], [0.0, 0.4, 0.7, 0.9, 1.0]),
+]
+
+
+@pytest.mark.parametrize("transfer", ALL_TRANSFERS, ids=lambda t: repr(t))
+class TestTransferContract:
+    """Invariants every backlight transfer must satisfy."""
+
+    def test_endpoints(self, transfer):
+        assert float(transfer.luminance(0)) == pytest.approx(0.0, abs=1e-9)
+        assert float(transfer.luminance(MAX_BACKLIGHT_LEVEL)) == pytest.approx(1.0)
+
+    def test_monotone(self, transfer):
+        table = transfer.table()
+        assert np.all(np.diff(table) >= -1e-12)
+
+    def test_range(self, transfer):
+        table = transfer.table()
+        assert table.min() >= 0.0 and table.max() <= 1.0 + 1e-12
+
+    def test_level_rejects_out_of_range(self, transfer):
+        with pytest.raises(ValueError):
+            transfer.luminance(-1)
+        with pytest.raises(ValueError):
+            transfer.luminance(256)
+
+    def test_inverse_reaches_target(self, transfer):
+        """level_for_luminance must never under-deliver."""
+        for target in (0.05, 0.3, 0.55, 0.9, 1.0):
+            level = transfer.level_for_luminance(target)
+            assert float(transfer.luminance(level)) >= target - 1e-9
+
+    def test_inverse_is_minimal(self, transfer):
+        for target in (0.3, 0.7):
+            level = transfer.level_for_luminance(target)
+            if level > 0:
+                assert float(transfer.luminance(level - 1)) < target
+
+    def test_inverse_of_zero(self, transfer):
+        assert transfer.level_for_luminance(0.0) == 0
+
+    def test_inverse_saturates(self, transfer):
+        assert transfer.level_for_luminance(2.0) <= MAX_BACKLIGHT_LEVEL
+
+    def test_power_fraction(self, transfer):
+        frac = transfer.power_fraction_for_luminance(0.5)
+        assert 0.0 <= frac <= 1.0
+
+    def test_vectorized(self, transfer):
+        out = transfer.luminance(np.array([0, 128, 255]))
+        assert np.asarray(out).shape == (3,)
+
+
+class TestSpecificShapes:
+    def test_linear_is_identity(self):
+        t = LinearBacklightTransfer()
+        assert float(t.luminance(128)) == pytest.approx(128 / 255)
+
+    def test_convex_gamma_below_linear(self):
+        t = GammaBacklightTransfer(1.45)
+        assert float(t.luminance(128)) < 128 / 255
+
+    def test_concave_saturating_above_linear(self):
+        t = SaturatingBacklightTransfer(1.6)
+        assert float(t.luminance(128)) > 128 / 255
+
+    def test_saturating_concavity_monotone_in_knee(self):
+        mild = SaturatingBacklightTransfer(1.0)
+        strong = SaturatingBacklightTransfer(4.0)
+        assert float(strong.luminance(64)) > float(mild.luminance(64))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            GammaBacklightTransfer(0.0)
+        with pytest.raises(ValueError):
+            SaturatingBacklightTransfer(-1.0)
+
+
+class TestTabulatedTransfer:
+    def test_interpolates_between_samples(self):
+        t = TabulatedBacklightTransfer([0, 255], [0.0, 1.0])
+        assert float(t.luminance(128)) == pytest.approx(128 / 255, abs=1e-6)
+
+    def test_normalizes_to_peak(self):
+        t = TabulatedBacklightTransfer([0, 255], [0.0, 50.0])
+        assert float(t.luminance(255)) == pytest.approx(1.0)
+
+    def test_unsorted_samples_accepted(self):
+        t = TabulatedBacklightTransfer([255, 0, 128], [1.0, 0.0, 0.6])
+        assert float(t.luminance(128)) == pytest.approx(0.6)
+
+    def test_duplicate_levels_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            TabulatedBacklightTransfer([0, 0, 255], [0.0, 0.1, 1.0])
+
+    def test_non_monotone_rejected(self):
+        with pytest.raises(ValueError, match="monotone"):
+            TabulatedBacklightTransfer([0, 128, 255], [0.0, 0.9, 0.5])
+
+    def test_dark_calibration_rejected(self):
+        with pytest.raises(ValueError, match="no light"):
+            TabulatedBacklightTransfer([0, 255], [0.0, 0.0])
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError):
+            TabulatedBacklightTransfer([0], [0.0])
+
+
+class TestWhiteTransfer:
+    def test_linear_identity(self):
+        w = WhiteTransfer(1.0)
+        y = np.array([0.0, 0.25, 1.0])
+        assert w.luminance(y) == pytest.approx(y)
+
+    def test_gamma_applied(self):
+        w = WhiteTransfer(2.0)
+        assert float(w.luminance(0.5)) == pytest.approx(0.25)
+
+    def test_range_check(self):
+        w = WhiteTransfer(1.0)
+        with pytest.raises(ValueError):
+            w.luminance(1.5)
+        with pytest.raises(ValueError):
+            w.luminance(-0.1)
+
+    def test_invalid_gamma(self):
+        with pytest.raises(ValueError):
+            WhiteTransfer(0.0)
+
+
+class TestDisplayTransfer:
+    @pytest.fixture
+    def transfer(self):
+        return DisplayTransfer(SaturatingBacklightTransfer(1.6), WhiteTransfer(1.0))
+
+    def test_separable(self, transfer):
+        bl = float(transfer.backlight.luminance(100))
+        assert float(transfer.relative_luminance(100, 0.5)) == pytest.approx(bl * 0.5)
+
+    def test_level_for_scene_supplies_enough(self, transfer):
+        for y in (0.1, 0.4, 0.8, 1.0):
+            level = transfer.level_for_scene(y)
+            supplied = float(transfer.backlight.luminance(level))
+            needed = float(transfer.white.luminance(y))
+            assert supplied >= needed - 1e-9
+
+    def test_level_for_scene_full_white_needs_full_backlight(self, transfer):
+        assert transfer.level_for_scene(1.0) == MAX_BACKLIGHT_LEVEL
+
+    def test_level_for_scene_range_check(self, transfer):
+        with pytest.raises(ValueError):
+            transfer.level_for_scene(1.5)
+
+    def test_compensation_gain_restores_intensity(self, transfer):
+        """For unclipped pixels, B(l) * W(kY) == W(Y)."""
+        level = transfer.level_for_scene(0.4)
+        k = transfer.compensation_gain_for_level(level)
+        bl = float(transfer.backlight.luminance(level))
+        for y in (0.05, 0.2, 0.39):
+            original = float(transfer.white.luminance(y))
+            compensated = bl * float(transfer.white.luminance(min(y * k, 1.0)))
+            assert compensated == pytest.approx(original, rel=1e-6)
+
+    def test_compensation_gain_with_white_gamma(self):
+        transfer = DisplayTransfer(GammaBacklightTransfer(1.45), WhiteTransfer(1.2))
+        level = transfer.level_for_scene(0.5)
+        k = transfer.compensation_gain_for_level(level)
+        bl = float(transfer.backlight.luminance(level))
+        y = 0.3
+        original = float(transfer.white.luminance(y))
+        compensated = bl * float(transfer.white.luminance(min(y * k, 1.0)))
+        assert compensated == pytest.approx(original, rel=1e-6)
+
+    def test_gain_at_least_one_for_dimming(self, transfer):
+        for y in (0.2, 0.6, 0.95):
+            level = transfer.level_for_scene(y)
+            if level > 0:
+                assert transfer.compensation_gain_for_level(level) >= 1.0 - 1e-9
+
+    def test_gain_at_dark_level_rejected(self, transfer):
+        with pytest.raises(ValueError, match="no light"):
+            transfer.compensation_gain_for_level(0)

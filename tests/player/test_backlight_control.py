@@ -1,0 +1,89 @@
+"""Unit tests for repro.player.backlight_control."""
+
+import pytest
+
+from repro.display import led_backlight, ccfl_backlight
+from repro.player import BacklightController
+
+
+@pytest.fixture
+def controller():
+    return BacklightController(led_backlight(), min_switch_interval_s=0.5)
+
+
+class TestBasicSwitching:
+    def test_starts_at_full(self, controller):
+        assert controller.current_level == 255
+
+    def test_first_request_applies(self, controller):
+        assert controller.request(0.0, 100) == 100
+        assert controller.switch_count == 1
+
+    def test_identical_request_free(self, controller):
+        controller.request(0.0, 100)
+        controller.request(0.1, 100)
+        assert controller.switch_count == 1
+
+    def test_invalid_level(self, controller):
+        with pytest.raises(ValueError):
+            controller.request(0.0, 300)
+
+
+class TestRateLimiting:
+    def test_fast_change_deferred(self, controller):
+        controller.request(0.0, 100)
+        level = controller.request(0.1, 200)  # within 0.5 s guard
+        assert level == 100  # not applied yet
+
+    def test_deferred_change_applied_later(self, controller):
+        controller.request(0.0, 100)
+        controller.request(0.1, 200)
+        level = controller.request(0.7, 200)
+        assert level == 200
+
+    def test_pending_applied_on_next_request_even_if_same(self, controller):
+        controller.request(0.0, 100)
+        controller.request(0.1, 200)     # deferred
+        level = controller.request(0.6, 150)  # new request after guard
+        assert level == 150
+
+    def test_pending_superseded(self, controller):
+        controller.request(0.0, 100)
+        controller.request(0.1, 200)  # deferred
+        controller.request(0.2, 100)  # back to current -> pending cleared
+        level = controller.request(0.8, 100)
+        assert level == 100
+        assert controller.switch_count == 1
+
+    def test_min_interval_enforced(self, controller):
+        for i in range(20):
+            controller.request(i * 0.1, 50 + i * 10)
+        assert controller.min_observed_interval() >= 0.5 - 1e-9
+
+    def test_response_time_floor(self):
+        """A CCFL's 40 ms response time bounds the interval even when no
+        policy interval is configured."""
+        controller = BacklightController(ccfl_backlight(), min_switch_interval_s=0.0)
+        assert controller.min_switch_interval_s == pytest.approx(0.04)
+
+    def test_negative_interval_rejected(self):
+        with pytest.raises(ValueError):
+            BacklightController(led_backlight(), min_switch_interval_s=-1.0)
+
+
+class TestStatistics:
+    def test_switches_per_second(self, controller):
+        controller.request(0.0, 100)
+        controller.request(1.0, 200)
+        assert controller.switches_per_second(2.0) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            controller.switches_per_second(0.0)
+
+    def test_min_interval_empty(self, controller):
+        assert controller.min_observed_interval() == float("inf")
+
+    def test_events_recorded(self, controller):
+        controller.request(0.0, 100)
+        controller.request(1.0, 50)
+        assert [e.level for e in controller.events] == [100, 50]
+        assert [e.time_s for e in controller.events] == [0.0, 1.0]

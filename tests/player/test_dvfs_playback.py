@@ -1,0 +1,89 @@
+"""Unit tests for repro.player.dvfs_playback."""
+
+import numpy as np
+import pytest
+
+from repro.core import AnnotationPipeline, DvfsAnnotator, SchemeParameters
+from repro.display import ipaq_5555
+from repro.player import DecoderModel, DvfsPlaybackEngine
+
+
+SUBRES = 160 * 120
+
+
+@pytest.fixture
+def device():
+    return ipaq_5555()
+
+
+@pytest.fixture
+def decoder():
+    return DecoderModel(reference_pixels=SUBRES)
+
+
+@pytest.fixture
+def stream_and_track(tiny_clip, fast_params, device, decoder):
+    pipeline = AnnotationPipeline(fast_params.with_quality(0.10))
+    profile = pipeline.profile(tiny_clip)
+    stream = pipeline.build_stream(tiny_clip, device)
+    track = DvfsAnnotator(decoder=decoder).annotate_with_profile(tiny_clip, profile)
+    return stream, track
+
+
+class TestDvfsPlayback:
+    def test_no_late_frames(self, stream_and_track, device, decoder):
+        """The annotated worst case plus headroom covers every frame."""
+        stream, track = stream_and_track
+        result = DvfsPlaybackEngine(device, decoder=decoder).play(stream, track)
+        assert result.late_frames == 0
+
+    def test_dvfs_adds_savings(self, stream_and_track, device, decoder):
+        stream, track = stream_and_track
+        result = DvfsPlaybackEngine(device, decoder=decoder).play(stream, track)
+        assert result.dvfs_extra_savings > 0.0
+        assert result.combined_savings > result.backlight_only_savings
+
+    def test_savings_decomposition(self, stream_and_track, device, decoder):
+        stream, track = stream_and_track
+        result = DvfsPlaybackEngine(device, decoder=decoder).play(stream, track)
+        assert result.combined_savings == pytest.approx(
+            result.backlight_only_savings + result.dvfs_extra_savings
+        )
+
+    def test_slows_cpu_below_max(self, stream_and_track, device, decoder):
+        stream, track = stream_and_track
+        engine = DvfsPlaybackEngine(device, decoder=decoder)
+        result = engine.play(stream, track)
+        assert result.mean_frequency_hz < engine.cpu.max_level.hz
+
+    def test_frame_count_mismatch(self, stream_and_track, device, decoder, library_clip, fast_params):
+        stream, _ = stream_and_track
+        other_pipeline = AnnotationPipeline(fast_params)
+        other_profile = other_pipeline.profile(library_clip)
+        wrong_track = DvfsAnnotator(decoder=decoder).annotate_with_profile(
+            library_clip, other_profile
+        )
+        with pytest.raises(ValueError, match="covers"):
+            DvfsPlaybackEngine(device, decoder=decoder).play(stream, wrong_track)
+
+    def test_cpu_calibrated_from_device(self, device):
+        engine = DvfsPlaybackEngine(device)
+        assert engine.cpu.active_power_w(engine.cpu.max_level) == pytest.approx(
+            device.power.cpu_active_w
+        )
+
+    def test_qvga_decoder_pins_max_frequency(self, tiny_clip, fast_params, device):
+        """At full QVGA the XScale has no slack: DVFS adds ~nothing (why
+        the paper's own player could not have used it)."""
+        decoder = DecoderModel(reference_pixels=320 * 240)
+        pipeline = AnnotationPipeline(fast_params.with_quality(0.10))
+        profile = pipeline.profile(tiny_clip)
+        stream = pipeline.build_stream(tiny_clip, device)
+        track = DvfsAnnotator(decoder=decoder).annotate_with_profile(tiny_clip, profile)
+        result = DvfsPlaybackEngine(device, decoder=decoder).play(stream, track)
+        assert result.mean_frequency_hz == pytest.approx(400e6)
+        assert result.dvfs_extra_savings == pytest.approx(0.0, abs=1e-9)
+
+    def test_network_duty_validation(self, device):
+        with pytest.raises(ValueError):
+            DvfsPlaybackEngine(device, network_duty=1.5)

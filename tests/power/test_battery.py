@@ -1,0 +1,49 @@
+"""Unit tests for repro.power.battery."""
+
+import pytest
+
+from repro.power import Battery
+
+
+class TestBattery:
+    def test_runtime_at_rated_power(self):
+        batt = Battery(capacity_wh=7.4, rated_power_w=1.5, peukert_exponent=1.0)
+        assert batt.runtime_hours(1.5) == pytest.approx(7.4 / 1.5)
+
+    def test_runtime_below_rated_not_derated(self):
+        batt = Battery(capacity_wh=6.0, rated_power_w=2.0)
+        assert batt.usable_energy_wh(1.0) == pytest.approx(6.0)
+
+    def test_peukert_derates_heavy_loads(self):
+        batt = Battery(capacity_wh=6.0, rated_power_w=1.0, peukert_exponent=1.1)
+        assert batt.usable_energy_wh(3.0) < 6.0
+
+    def test_peukert_disabled(self):
+        batt = Battery(capacity_wh=6.0, rated_power_w=1.0, peukert_exponent=1.0)
+        assert batt.usable_energy_wh(5.0) == pytest.approx(6.0)
+
+    def test_runtime_extension_formula(self):
+        """20 % power saving -> ~25 % longer runtime (1/0.8 - 1)."""
+        batt = Battery(peukert_exponent=1.0)
+        extension = batt.runtime_extension(3.5, 2.8)
+        assert extension == pytest.approx(0.25, abs=0.01)
+
+    def test_peukert_extension_strictly_larger(self):
+        plain = Battery(peukert_exponent=1.0)
+        derated = Battery(peukert_exponent=1.1)
+        assert derated.runtime_extension(3.5, 2.8) > plain.runtime_extension(3.5, 2.8)
+
+    def test_extension_rejects_higher_power(self):
+        with pytest.raises(ValueError):
+            Battery().runtime_extension(2.0, 3.0)
+
+    def test_invalid_load(self):
+        with pytest.raises(ValueError):
+            Battery().runtime_hours(0.0)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"capacity_wh": 0}, {"rated_power_w": -1}, {"peukert_exponent": 0.9},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            Battery(**kwargs)

@@ -1,0 +1,112 @@
+"""Unit tests for repro.power.daq."""
+
+import numpy as np
+import pytest
+
+from repro.power import DAQConfig, DAQSimulator, PowerTrace
+
+
+class TestDAQConfig:
+    def test_defaults_match_paper(self):
+        cfg = DAQConfig()
+        assert cfg.sample_rate_hz == 2000.0  # "sampled the voltages at 2K samples/sec"
+
+    @pytest.mark.parametrize("field,value", [
+        ("sample_rate_hz", 0), ("supply_voltage_v", -1),
+        ("sense_resistor_ohm", 0), ("adc_bits", 2),
+        ("adc_range_v", 0), ("noise_sigma_v", -0.1),
+    ])
+    def test_validation(self, field, value):
+        with pytest.raises(ValueError):
+            DAQConfig(**{field: value})
+
+
+class TestDAQSimulator:
+    def test_sample_count(self):
+        daq = DAQSimulator()
+        assert daq.sample_times(1.0).size == 2000
+
+    def test_sample_times_invalid(self):
+        with pytest.raises(ValueError):
+            DAQSimulator().sample_times(0.0)
+
+    def test_constant_power_recovered(self):
+        daq = DAQSimulator(DAQConfig(noise_sigma_v=0.0))
+        trace = daq.measure(lambda t: np.full_like(t, 2.5), 0.5)
+        assert trace.mean_power_w == pytest.approx(2.5, rel=0.01)
+
+    def test_noise_bounded(self):
+        daq = DAQSimulator(DAQConfig(noise_sigma_v=0.003), seed=3)
+        trace = daq.measure(lambda t: np.full_like(t, 2.5), 1.0)
+        assert trace.mean_power_w == pytest.approx(2.5, rel=0.05)
+
+    def test_step_waveform_tracked(self):
+        daq = DAQSimulator(DAQConfig(noise_sigma_v=0.0))
+        trace = daq.measure(lambda t: np.where(t < 0.5, 1.0, 3.0), 1.0)
+        first = trace.power_w[: trace.power_w.size // 2].mean()
+        second = trace.power_w[trace.power_w.size // 2 :].mean()
+        assert first == pytest.approx(1.0, rel=0.02)
+        assert second == pytest.approx(3.0, rel=0.02)
+
+    def test_reproducible_with_seed(self):
+        a = DAQSimulator(seed=9).measure(lambda t: np.full_like(t, 2.0), 0.1)
+        b = DAQSimulator(seed=9).measure(lambda t: np.full_like(t, 2.0), 0.1)
+        assert a.power_w == pytest.approx(b.power_w)
+
+    def test_quantization_grid(self):
+        cfg = DAQConfig(noise_sigma_v=0.0, adc_bits=8)
+        daq = DAQSimulator(cfg)
+        trace = daq.measure(lambda t: np.full_like(t, 2.0), 0.01)
+        # With an 8-bit ADC the error of a constant reading is visible.
+        assert trace.power_w.std() == pytest.approx(0.0)
+
+    def test_negative_power_rejected(self):
+        daq = DAQSimulator()
+        with pytest.raises(ValueError, match="non-negative"):
+            daq.measure(lambda t: np.full_like(t, -1.0), 0.1)
+
+    def test_wrong_shape_rejected(self):
+        daq = DAQSimulator()
+        with pytest.raises(ValueError, match="per sample"):
+            daq.measure(lambda t: np.zeros(3), 0.1)
+
+
+class TestPowerTrace:
+    def test_energy_integral(self):
+        t = np.linspace(0, 1, 101)
+        trace = PowerTrace(times=t, power_w=np.full(101, 2.0))
+        assert trace.energy_j() == pytest.approx(2.0)
+
+    def test_energy_of_ramp(self):
+        t = np.linspace(0, 1, 1001)
+        trace = PowerTrace(times=t, power_w=t.copy())
+        assert trace.energy_j() == pytest.approx(0.5, rel=1e-3)
+
+    def test_single_sample_energy_zero(self):
+        trace = PowerTrace(times=np.array([0.0]), power_w=np.array([5.0]))
+        assert trace.energy_j() == 0.0
+
+    def test_savings_vs(self):
+        t = np.linspace(0, 1, 11)
+        optimized = PowerTrace(times=t, power_w=np.full(11, 1.0))
+        baseline = PowerTrace(times=t, power_w=np.full(11, 2.0))
+        assert optimized.savings_vs(baseline) == pytest.approx(0.5)
+
+    def test_savings_vs_zero_baseline(self):
+        t = np.linspace(0, 1, 11)
+        a = PowerTrace(times=t, power_w=np.ones(11))
+        b = PowerTrace(times=t, power_w=np.zeros(11))
+        with pytest.raises(ValueError):
+            a.savings_vs(b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PowerTrace(times=np.array([0.0, 0.0]), power_w=np.array([1.0, 1.0]))
+        with pytest.raises(ValueError):
+            PowerTrace(times=np.array([0.0, 1.0]), power_w=np.array([1.0]))
+        with pytest.raises(ValueError):
+            PowerTrace(times=np.array([]), power_w=np.array([]))
+
+    def test_duration(self):
+        trace = PowerTrace(times=np.array([1.0, 3.0]), power_w=np.array([1.0, 1.0]))
+        assert trace.duration_s == pytest.approx(2.0)

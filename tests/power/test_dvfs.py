@@ -1,0 +1,99 @@
+"""Unit tests for repro.power.dvfs."""
+
+import pytest
+
+from repro.power import DvfsCpuModel, FrequencyLevel, XSCALE_LEVELS
+
+
+class TestFrequencyLevel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FrequencyLevel(0, 1.0)
+        with pytest.raises(ValueError):
+            FrequencyLevel(100e6, 0)
+
+    def test_xscale_table(self):
+        assert len(XSCALE_LEVELS) == 4
+        assert XSCALE_LEVELS[-1].hz == 400e6
+
+
+class TestDvfsCpuModel:
+    @pytest.fixture
+    def cpu(self):
+        return DvfsCpuModel(active_power_at_max_w=0.75, idle_power_w=0.15)
+
+    def test_levels_sorted(self):
+        cpu = DvfsCpuModel(levels=list(reversed(XSCALE_LEVELS)))
+        hz = [l.hz for l in cpu.levels]
+        assert hz == sorted(hz)
+
+    def test_calibrated_to_budget(self, cpu):
+        assert cpu.active_power_w(cpu.max_level) == pytest.approx(0.75)
+
+    def test_power_superlinear_in_frequency(self, cpu):
+        """f*V^2 scaling: halving frequency saves more than half the
+        active power (voltage drops too)."""
+        p_max = cpu.active_power_w(cpu.max_level)
+        p_200 = cpu.active_power_w(cpu.levels[1])  # 200 MHz
+        assert p_200 < p_max / 2
+
+    def test_power_duty_cycle(self, cpu):
+        level = cpu.max_level
+        idle = cpu.power_w(level, 0.0)
+        busy = cpu.power_w(level, 1.0)
+        half = cpu.power_w(level, 0.5)
+        assert idle == pytest.approx(0.15)
+        assert busy == pytest.approx(0.75)
+        assert half == pytest.approx((idle + busy) / 2)
+
+    def test_power_duty_bounds(self, cpu):
+        with pytest.raises(ValueError):
+            cpu.power_w(cpu.max_level, 1.5)
+
+    def test_slowest_level_exact(self, cpu):
+        # 5M cycles in 1/30 s needs >= 150 MHz -> the 200 MHz point.
+        level = cpu.slowest_level_for(5e6, 1 / 30)
+        assert level.hz == 200e6
+
+    def test_slowest_level_trivial(self, cpu):
+        assert cpu.slowest_level_for(0.0, 1 / 30) is cpu.min_level
+
+    def test_slowest_level_saturates(self, cpu):
+        # An impossible load falls back to the fastest point.
+        assert cpu.slowest_level_for(1e9, 1 / 30) is cpu.max_level
+
+    def test_slowest_level_validation(self, cpu):
+        with pytest.raises(ValueError):
+            cpu.slowest_level_for(-1, 1 / 30)
+        with pytest.raises(ValueError):
+            cpu.slowest_level_for(1e6, 0)
+
+    def test_energy_per_frame(self, cpu):
+        level = cpu.max_level
+        period = 1 / 30
+        # Zero work: pure idle energy.
+        idle_only = cpu.energy_per_frame_j(level, 0.0, period)
+        assert idle_only == pytest.approx(0.15 * period)
+        # Saturated: pure active energy.
+        full = cpu.energy_per_frame_j(level, level.hz * period, period)
+        assert full == pytest.approx(0.75 * period)
+
+    def test_slower_point_saves_energy_when_feasible(self, cpu):
+        """Race-to-idle loses to DVFS under the f*V^2 law."""
+        cycles = 5e6
+        period = 1 / 30
+        slow = cpu.slowest_level_for(cycles, period)
+        fast = cpu.max_level
+        assert cpu.energy_per_frame_j(slow, cycles, period) < cpu.energy_per_frame_j(
+            fast, cycles, period
+        )
+
+    @pytest.mark.parametrize("kwargs", [
+        {"levels": []},
+        {"active_power_at_max_w": 0},
+        {"idle_power_w": -0.1},
+        {"idle_power_w": 1.0, "active_power_at_max_w": 0.5},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            DvfsCpuModel(**kwargs)

@@ -1,0 +1,108 @@
+"""Unit tests for repro.power.measurement."""
+
+import numpy as np
+import pytest
+
+from repro.display import MAX_BACKLIGHT_LEVEL, ipaq_5555
+from repro.power import (
+    MeasurementSession,
+    DevicePowerModel,
+    PLAYBACK_ACTIVITY,
+    schedule_power_fn,
+    simulated_backlight_savings,
+)
+
+
+@pytest.fixture
+def device():
+    return ipaq_5555()
+
+
+class TestSimulatedBacklightSavings:
+    def test_full_backlight_saves_nothing(self, device):
+        levels = np.full(10, MAX_BACKLIGHT_LEVEL)
+        assert simulated_backlight_savings(levels, device) == pytest.approx(0.0)
+
+    def test_zero_backlight_saves_nearly_all(self, device):
+        levels = np.zeros(10, dtype=int)
+        savings = simulated_backlight_savings(levels, device)
+        floor = device.backlight.power_floor_w / device.backlight.power_max_w
+        assert savings == pytest.approx(1.0 - floor)
+
+    def test_half_level_half_savings_for_led(self, device):
+        """The affine power model with a near-zero floor: savings ~ 1 - level/255."""
+        levels = np.full(10, 128)
+        savings = simulated_backlight_savings(levels, device)
+        assert savings == pytest.approx(1 - 128 / 255, abs=0.02)
+
+    def test_mixed_schedule_averages(self, device):
+        lo = simulated_backlight_savings(np.full(10, 100), device)
+        hi = simulated_backlight_savings(np.full(10, 200), device)
+        mixed = simulated_backlight_savings(
+            np.concatenate([np.full(10, 100), np.full(10, 200)]), device
+        )
+        assert mixed == pytest.approx((lo + hi) / 2)
+
+    def test_rejects_empty(self, device):
+        with pytest.raises(ValueError):
+            simulated_backlight_savings(np.array([]), device)
+
+
+class TestSchedulePowerFn:
+    def test_step_function_per_frame(self, device):
+        model = DevicePowerModel(device)
+        levels = np.array([0, MAX_BACKLIGHT_LEVEL])
+        fn = schedule_power_fn(levels, fps=1.0, model=model)
+        p0 = float(fn(np.array([0.5]))[0])
+        p1 = float(fn(np.array([1.5]))[0])
+        assert p1 > p0
+
+    def test_clamps_past_end(self, device):
+        model = DevicePowerModel(device)
+        fn = schedule_power_fn(np.array([100]), fps=30.0, model=model)
+        assert float(fn(np.array([10.0]))[0]) == float(fn(np.array([0.0]))[0])
+
+    def test_validation(self, device):
+        model = DevicePowerModel(device)
+        with pytest.raises(ValueError):
+            schedule_power_fn(np.array([]), fps=30.0, model=model)
+        with pytest.raises(ValueError):
+            schedule_power_fn(np.array([300]), fps=30.0, model=model)
+        with pytest.raises(ValueError):
+            schedule_power_fn(np.array([10]), fps=0.0, model=model)
+
+
+class TestMeasurementSession:
+    def test_compare_full_backlight_is_zero_savings(self, device):
+        session = MeasurementSession(device)
+        levels = np.full(30, MAX_BACKLIGHT_LEVEL)
+        result = session.compare(levels, fps=30.0)
+        assert result.total_savings == pytest.approx(0.0, abs=0.02)
+
+    def test_compare_dimmed_saves(self, device):
+        session = MeasurementSession(device)
+        levels = np.full(30, 64)
+        result = session.compare(levels, fps=30.0)
+        assert result.total_savings > 0.1
+
+    def test_measured_close_to_ground_truth(self, device):
+        """The DAQ chain must not distort the savings number."""
+        session = MeasurementSession(device)
+        levels = np.full(60, 100)
+        result = session.compare(levels, fps=30.0)
+        model = DevicePowerModel(device)
+        truth_opt = float(model.total_power(PLAYBACK_ACTIVITY, 100))
+        truth_base = float(model.total_power(PLAYBACK_ACTIVITY, MAX_BACKLIGHT_LEVEL))
+        assert result.total_savings == pytest.approx(1 - truth_opt / truth_base, abs=0.02)
+
+    def test_energy_saved_positive(self, device):
+        session = MeasurementSession(device)
+        result = session.compare(np.full(30, 10), fps=30.0)
+        assert result.energy_saved_j > 0
+
+    def test_distinct_runs_have_distinct_noise(self, device):
+        from repro.power import DAQConfig
+        session = MeasurementSession(device, DAQConfig(noise_sigma_v=0.01), seed=1)
+        a = session.measure_schedule(np.full(30, 128), fps=30.0, run_id=1)
+        b = session.measure_schedule(np.full(30, 128), fps=30.0, run_id=2)
+        assert not np.allclose(a.power_w, b.power_w)

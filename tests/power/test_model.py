@@ -1,0 +1,94 @@
+"""Unit tests for repro.power.model."""
+
+import numpy as np
+import pytest
+
+from repro.display import MAX_BACKLIGHT_LEVEL, ipaq_5555
+from repro.power import (
+    IDLE_ACTIVITY,
+    PLAYBACK_ACTIVITY,
+    ActivityState,
+    DevicePowerModel,
+)
+
+
+@pytest.fixture
+def model():
+    return DevicePowerModel(ipaq_5555())
+
+
+class TestActivityState:
+    def test_valid(self):
+        ActivityState(cpu_load=0.5, network_duty=1.0)
+
+    def test_cpu_bounds(self):
+        with pytest.raises(ValueError):
+            ActivityState(cpu_load=1.5)
+        with pytest.raises(ValueError):
+            ActivityState(cpu_load=-0.1)
+
+    def test_network_bounds(self):
+        with pytest.raises(ValueError):
+            ActivityState(network_duty=2.0)
+
+    def test_presets(self):
+        assert PLAYBACK_ACTIVITY.cpu_load > IDLE_ACTIVITY.cpu_load
+        assert PLAYBACK_ACTIVITY.network_duty > IDLE_ACTIVITY.network_duty
+
+
+class TestComponentPower:
+    def test_breakdown_keys(self, model):
+        parts = model.component_power(PLAYBACK_ACTIVITY, 255)
+        assert set(parts) == {"base", "cpu", "network", "panel", "backlight"}
+
+    def test_cpu_interpolation(self, model):
+        budget = model.device.power
+        idle = model.component_power(ActivityState(0.0, 0.0), 0)["cpu"]
+        busy = model.component_power(ActivityState(1.0, 0.0), 0)["cpu"]
+        assert idle == pytest.approx(budget.cpu_idle_w)
+        assert busy == pytest.approx(budget.cpu_active_w)
+
+    def test_network_interpolation(self, model):
+        budget = model.device.power
+        half = model.component_power(ActivityState(0.0, 0.5), 0)["network"]
+        expected = (budget.network_idle_w + budget.network_active_w) / 2
+        assert half == pytest.approx(expected)
+
+    def test_total_is_sum(self, model):
+        parts = model.component_power(PLAYBACK_ACTIVITY, 128)
+        total = float(model.total_power(PLAYBACK_ACTIVITY, 128))
+        assert total == pytest.approx(sum(float(np.asarray(v)) for v in parts.values()))
+
+
+class TestTotalPower:
+    def test_monotone_in_backlight(self, model):
+        levels = np.arange(0, 256, 16)
+        power = model.total_power(PLAYBACK_ACTIVITY, levels)
+        assert np.all(np.diff(power) > 0)
+
+    def test_monotone_in_activity(self, model):
+        low = float(model.total_power(IDLE_ACTIVITY, 128))
+        high = float(model.total_power(PLAYBACK_ACTIVITY, 128))
+        assert high > low
+
+    def test_backlight_share_band(self, model):
+        """'about 25-30 % of total power consumption' (Section 4)."""
+        share = model.backlight_share()
+        assert 0.25 <= share <= 0.35
+
+    def test_playback_power_trace_shape(self, model):
+        levels = np.array([255, 128, 0, 255])
+        trace = model.playback_power_trace(levels)
+        assert trace.shape == (4,)
+        assert trace[2] < trace[1] < trace[0]
+
+    def test_trace_rejects_2d(self, model):
+        with pytest.raises(ValueError):
+            model.playback_power_trace(np.zeros((2, 2)))
+
+    def test_dimming_saves_expected_fraction(self, model):
+        """Total savings from full dimming ~= backlight share."""
+        full = float(model.total_power(PLAYBACK_ACTIVITY, MAX_BACKLIGHT_LEVEL))
+        dark = float(model.total_power(PLAYBACK_ACTIVITY, 0))
+        savings = 1 - dark / full
+        assert savings == pytest.approx(model.backlight_share(), abs=0.02)

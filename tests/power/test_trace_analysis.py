@@ -1,0 +1,145 @@
+"""Unit tests for repro.power.trace_analysis (schedule recovery)."""
+
+import numpy as np
+import pytest
+
+from repro.core import AnnotationPipeline, SchemeParameters
+from repro.display import ipaq_5555
+from repro.power import (
+    DAQConfig,
+    DevicePowerModel,
+    MeasurementSession,
+    PLAYBACK_ACTIVITY,
+    PowerTrace,
+    audit_schedule,
+    estimate_backlight_level,
+    segment_plateaus,
+    supply_power_from_device_power,
+)
+
+
+@pytest.fixture
+def device():
+    return ipaq_5555()
+
+
+def _non_backlight_power(device):
+    model = DevicePowerModel(device)
+    return float(model.total_power(PLAYBACK_ACTIVITY, 0)) - float(
+        device.backlight.power(0)
+    )
+
+
+class TestSupplyPowerConversion:
+    def test_round_trip_through_measurement(self):
+        """P_dev = I(V - IR) with I = P_supply/V inverts back exactly."""
+        cfg = DAQConfig()
+        for p_supply in (0.5, 2.0, 3.5):
+            current = p_supply / cfg.supply_voltage_v
+            p_dev = current * (cfg.supply_voltage_v - current * cfg.sense_resistor_ohm)
+            assert supply_power_from_device_power(p_dev, cfg) == pytest.approx(
+                p_supply, rel=1e-9
+            )
+
+    def test_zero(self):
+        assert supply_power_from_device_power(0.0) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            supply_power_from_device_power(-1.0)
+
+    def test_overrange_rejected(self):
+        cfg = DAQConfig()
+        huge = cfg.supply_voltage_v**2 / (4 * cfg.sense_resistor_ohm) + 1.0
+        with pytest.raises(ValueError):
+            supply_power_from_device_power(huge, cfg)
+
+
+class TestEstimateLevel:
+    def test_inverts_power_model(self, device):
+        non_bl = _non_backlight_power(device)
+        for level in (0, 64, 128, 255):
+            total = non_bl + float(device.backlight.power(level))
+            assert estimate_backlight_level(total, device, non_bl) == level
+
+    def test_clamped_to_range(self, device):
+        non_bl = _non_backlight_power(device)
+        assert estimate_backlight_level(0.0, device, non_bl) == 0
+        assert estimate_backlight_level(100.0, device, non_bl) == 255
+
+    def test_negative_baseline_rejected(self, device):
+        with pytest.raises(ValueError):
+            estimate_backlight_level(1.0, device, -0.5)
+
+
+class TestSegmentPlateaus:
+    def _trace(self, powers, per=200):
+        values = np.repeat(np.asarray(powers, dtype=np.float64), per)
+        times = np.arange(values.size) / 2000.0
+        return PowerTrace(times=times, power_w=values)
+
+    def test_constant_single_plateau(self):
+        plateaus = segment_plateaus(self._trace([2.0]))
+        assert len(plateaus) == 1
+        assert plateaus[0].mean_power_w == pytest.approx(2.0)
+
+    def test_step_detected(self):
+        plateaus = segment_plateaus(self._trace([2.0, 3.0]), smooth_samples=1)
+        assert len(plateaus) == 2
+        assert plateaus[0].mean_power_w == pytest.approx(2.0, abs=0.05)
+        assert plateaus[1].mean_power_w == pytest.approx(3.0, abs=0.05)
+
+    def test_small_wiggle_ignored(self):
+        plateaus = segment_plateaus(self._trace([2.0, 2.02, 2.0]), min_step_w=0.1)
+        assert len(plateaus) == 1
+
+    def test_plateau_count_tracks_scene_count(self, device, library_clip, fast_params):
+        track = AnnotationPipeline(fast_params.with_quality(0.10)).annotate_for_device(
+            library_clip, device
+        )
+        levels = track.per_frame_levels()
+        trace = MeasurementSession(device).measure_schedule(levels, fps=library_clip.fps)
+        plateaus = segment_plateaus(trace, min_step_w=0.1, min_duration_s=0.1)
+        distinct_runs = 1 + int(np.count_nonzero(np.diff(levels)))
+        assert len(plateaus) <= distinct_runs + 3  # noise may merge, barely split
+
+    @pytest.mark.parametrize("kwargs", [
+        {"min_step_w": 0}, {"min_duration_s": 0}, {"smooth_samples": 0},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            segment_plateaus(self._trace([1.0]), **kwargs)
+
+
+class TestAuditSchedule:
+    def test_recovers_annotation_schedule(self, device, library_clip, fast_params):
+        """The headline: from the DAQ trace alone, the recovered schedule
+        matches the annotation track within noise."""
+        track = AnnotationPipeline(fast_params.with_quality(0.10)).annotate_for_device(
+            library_clip, device
+        )
+        levels = track.per_frame_levels()
+        trace = MeasurementSession(device).measure_schedule(levels, fps=library_clip.fps)
+        audit = audit_schedule(trace, levels, library_clip.fps, device,
+                               _non_backlight_power(device))
+        assert audit.matches, (audit.mean_abs_error, audit.max_abs_error)
+        assert audit.mean_abs_error < 6.0
+
+    def test_detects_wrong_schedule(self, device, library_clip, fast_params):
+        """A trace from a *different* schedule fails the audit."""
+        track = AnnotationPipeline(fast_params.with_quality(0.10)).annotate_for_device(
+            library_clip, device
+        )
+        levels = track.per_frame_levels()
+        tampered = np.clip(levels + 60, 0, 255)
+        trace = MeasurementSession(device).measure_schedule(tampered, fps=library_clip.fps)
+        audit = audit_schedule(trace, levels, library_clip.fps, device,
+                               _non_backlight_power(device))
+        assert not audit.matches
+
+    def test_validation(self, device):
+        trace = PowerTrace(times=np.array([0.0, 0.1]), power_w=np.array([1.0, 1.0]))
+        with pytest.raises(ValueError):
+            audit_schedule(trace, np.array([]), 30.0, device, 1.0)
+        with pytest.raises(ValueError):
+            audit_schedule(trace, np.array([100]), 0.0, device, 1.0)

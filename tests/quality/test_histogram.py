@@ -1,0 +1,166 @@
+"""Unit tests for repro.quality.histogram."""
+
+import numpy as np
+import pytest
+
+from repro.quality import LuminanceHistogram, NUM_BINS
+from repro.video import Frame
+
+
+class TestConstruction:
+    def test_of_frame(self, gray_ramp_frame):
+        hist = LuminanceHistogram.of(gray_ramp_frame)
+        assert hist.total == 512
+        assert np.all(hist.counts == 2)
+
+    def test_of_uint8_photo(self):
+        photo = np.array([[0, 0], [255, 128]], dtype=np.uint8)
+        hist = LuminanceHistogram.of(photo)
+        assert hist.counts[0] == 2
+        assert hist.counts[255] == 1
+        assert hist.counts[128] == 1
+
+    def test_of_normalized_float(self):
+        hist = LuminanceHistogram.of(np.array([[0.0, 1.0]]))
+        assert hist.counts[0] == 1
+        assert hist.counts[255] == 1
+
+    def test_float_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="normalized"):
+            LuminanceHistogram.of(np.array([[1.5]]))
+
+    def test_int_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            LuminanceHistogram.of(np.array([[300]]))
+
+    def test_wrong_bin_count_rejected(self):
+        with pytest.raises(ValueError, match="bins"):
+            LuminanceHistogram(np.zeros(100, dtype=np.int64))
+
+    def test_negative_counts_rejected(self):
+        counts = np.zeros(NUM_BINS, dtype=np.int64)
+        counts[0] = -1
+        with pytest.raises(ValueError):
+            LuminanceHistogram(counts)
+
+
+class TestAveragePoint:
+    def test_solid_frame(self):
+        hist = LuminanceHistogram.of(Frame.solid_gray(4, 4, 100))
+        assert hist.average_point == pytest.approx(100.0)
+
+    def test_ramp(self, gray_ramp_frame):
+        hist = LuminanceHistogram.of(gray_ramp_frame)
+        assert hist.average_point == pytest.approx(127.5)
+
+    def test_empty_rejected(self):
+        hist = LuminanceHistogram(np.zeros(NUM_BINS, dtype=np.int64))
+        with pytest.raises(ValueError):
+            hist.average_point
+
+
+class TestDynamicRange:
+    def test_exact_range(self):
+        photo = np.array([[10, 200]], dtype=np.uint8)
+        hist = LuminanceHistogram.of(photo)
+        assert hist.dynamic_range() == (10, 200)
+        assert hist.dynamic_range_width == 190
+
+    def test_solid_frame_zero_width(self):
+        hist = LuminanceHistogram.of(Frame.solid_gray(2, 2, 99))
+        assert hist.dynamic_range() == (99, 99)
+
+    def test_tail_robustness(self):
+        # 1000 pixels at 100 plus one outlier at 255.
+        values = np.full(1001, 100, dtype=np.uint8)
+        values[0] = 255
+        hist = LuminanceHistogram.of(values.reshape(7, 143))
+        assert hist.dynamic_range(tail=0.0)[1] == 255
+        assert hist.dynamic_range(tail=0.01)[1] == 100
+
+    def test_tail_bounds(self):
+        hist = LuminanceHistogram.of(Frame.solid_gray(2, 2, 0))
+        with pytest.raises(ValueError):
+            hist.dynamic_range(tail=0.5)
+
+
+class TestClipPoint:
+    def test_no_clipping_returns_max(self, gray_ramp_frame):
+        hist = LuminanceHistogram.of(gray_ramp_frame)
+        assert hist.clip_point(0.0) == 255
+
+    def test_uniform_clip_fraction(self, gray_ramp_frame):
+        hist = LuminanceHistogram.of(gray_ramp_frame)
+        # Uniform over 0..255: clipping 20 % keeps codes up to ~204.
+        assert hist.clip_point(0.20) == pytest.approx(204, abs=2)
+
+    def test_clip_everything(self, gray_ramp_frame):
+        hist = LuminanceHistogram.of(gray_ramp_frame)
+        assert hist.clip_point(1.0) == 0
+
+    def test_monotone_in_fraction(self, gray_ramp_frame):
+        hist = LuminanceHistogram.of(gray_ramp_frame)
+        points = [hist.clip_point(q) for q in (0.0, 0.05, 0.1, 0.2, 0.5)]
+        assert points == sorted(points, reverse=True)
+
+    def test_clip_budget_honored(self, dark_frame):
+        """Mass strictly above the clip point never exceeds the budget."""
+        hist = LuminanceHistogram.of(dark_frame)
+        for q in (0.01, 0.05, 0.10, 0.20):
+            point = hist.clip_point(q)
+            assert hist.tail_mass_above(point) <= q + 1e-12
+
+    def test_clip_point_tight(self, dark_frame):
+        """One code lower would overshoot the budget (minimality)."""
+        hist = LuminanceHistogram.of(dark_frame)
+        for q in (0.05, 0.20):
+            point = hist.clip_point(q)
+            if point > 0:
+                assert hist.tail_mass_above(point - 1) > q
+
+    def test_invalid_fraction(self, dark_frame):
+        hist = LuminanceHistogram.of(dark_frame)
+        with pytest.raises(ValueError):
+            hist.clip_point(1.5)
+
+
+class TestTailMass:
+    def test_above_max_is_zero(self, gray_ramp_frame):
+        hist = LuminanceHistogram.of(gray_ramp_frame)
+        assert hist.tail_mass_above(255) == 0.0
+
+    def test_above_zero(self, gray_ramp_frame):
+        hist = LuminanceHistogram.of(gray_ramp_frame)
+        assert hist.tail_mass_above(0) == pytest.approx(255 / 256)
+
+    def test_invalid_code(self, gray_ramp_frame):
+        hist = LuminanceHistogram.of(gray_ramp_frame)
+        with pytest.raises(ValueError):
+            hist.tail_mass_above(256)
+
+
+class TestMergeAndMisc:
+    def test_merge_adds_counts(self):
+        a = LuminanceHistogram.of(Frame.solid_gray(2, 2, 10))
+        b = LuminanceHistogram.of(Frame.solid_gray(2, 2, 200))
+        merged = a.merge(b)
+        assert merged.total == 8
+        assert merged.counts[10] == 4
+        assert merged.counts[200] == 4
+
+    def test_merge_preserves_sources(self):
+        a = LuminanceHistogram.of(Frame.solid_gray(2, 2, 10))
+        b = LuminanceHistogram.of(Frame.solid_gray(2, 2, 200))
+        a.merge(b)
+        assert a.total == 4
+
+    def test_normalized_sums_to_one(self, dark_frame):
+        hist = LuminanceHistogram.of(dark_frame)
+        assert hist.normalized().sum() == pytest.approx(1.0)
+
+    def test_repr(self, dark_frame):
+        assert "avg=" in repr(LuminanceHistogram.of(dark_frame))
+
+    def test_empty_repr(self):
+        hist = LuminanceHistogram(np.zeros(NUM_BINS, dtype=np.int64))
+        assert "empty" in repr(hist)

@@ -1,0 +1,116 @@
+"""Unit tests for repro.quality.metrics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.quality import (
+    LuminanceHistogram,
+    average_luminance_shift,
+    clipped_fraction,
+    dynamic_range_change,
+    histogram_chi2_distance,
+    histogram_emd,
+    histogram_l1_distance,
+    mse,
+    psnr,
+)
+from repro.video import Frame
+
+
+def _hist(level, n=16):
+    return LuminanceHistogram.of(Frame.solid_gray(4, n // 4, level))
+
+
+class TestHistogramDistances:
+    def test_identical_zero(self, dark_frame):
+        hist = LuminanceHistogram.of(dark_frame)
+        assert histogram_l1_distance(hist, hist) == 0.0
+        assert histogram_chi2_distance(hist, hist) == 0.0
+        assert histogram_emd(hist, hist) == 0.0
+
+    def test_disjoint_l1_is_two(self):
+        assert histogram_l1_distance(_hist(0), _hist(255)) == pytest.approx(2.0)
+
+    def test_disjoint_chi2_is_one(self):
+        assert histogram_chi2_distance(_hist(0), _hist(255)) == pytest.approx(1.0)
+
+    def test_emd_equals_shift(self):
+        """A uniform shift of k codes has EMD exactly k."""
+        assert histogram_emd(_hist(100), _hist(130)) == pytest.approx(30.0)
+
+    def test_emd_symmetry(self):
+        a, b = _hist(100), _hist(130)
+        assert histogram_emd(a, b) == pytest.approx(histogram_emd(b, a))
+
+    def test_emd_sees_shift_direction_independent(self):
+        assert histogram_emd(_hist(100), _hist(70)) == pytest.approx(30.0)
+
+    def test_distances_normalized_by_size(self):
+        """Comparing different-size images works (PMF comparison)."""
+        small = LuminanceHistogram.of(Frame.solid_gray(2, 2, 50))
+        big = LuminanceHistogram.of(Frame.solid_gray(20, 20, 50))
+        assert histogram_l1_distance(small, big) == 0.0
+
+
+class TestShiftMetrics:
+    def test_average_shift_signed(self):
+        assert average_luminance_shift(_hist(100), _hist(90)) == pytest.approx(-10.0)
+        assert average_luminance_shift(_hist(90), _hist(100)) == pytest.approx(10.0)
+
+    def test_dynamic_range_change(self):
+        wide = LuminanceHistogram.of(np.array([[0, 255]], dtype=np.uint8))
+        narrow = LuminanceHistogram.of(np.array([[100, 150]], dtype=np.uint8))
+        assert dynamic_range_change(wide, narrow) == -205
+
+
+class TestMseAndPsnr:
+    def test_identical_frames(self, dark_frame):
+        assert mse(dark_frame, dark_frame) == 0.0
+        assert psnr(dark_frame, dark_frame) == math.inf
+
+    def test_mse_value(self):
+        a = Frame.from_luminance(np.zeros((2, 2)))
+        b = Frame.from_luminance(np.full((2, 2), 0.5))
+        assert mse(a, b) == pytest.approx(0.25, abs=0.01)
+
+    def test_psnr_value(self):
+        a = Frame.from_luminance(np.zeros((2, 2)))
+        b = Frame.from_luminance(np.full((2, 2), 0.1))
+        assert psnr(a, b) == pytest.approx(20.0, abs=0.5)
+
+    def test_psnr_decreases_with_damage(self, dark_frame):
+        from repro.core import contrast_enhancement
+        mild = contrast_enhancement(dark_frame, 1.2).frame
+        harsh = contrast_enhancement(dark_frame, 5.0).frame
+        assert psnr(dark_frame, mild) > psnr(dark_frame, harsh)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            mse(Frame.solid_gray(2, 2, 0), Frame.solid_gray(3, 3, 0))
+
+    def test_uint8_photos_accepted(self):
+        a = np.zeros((2, 2), dtype=np.uint8)
+        b = np.full((2, 2), 255, dtype=np.uint8)
+        assert mse(a, b) == pytest.approx(1.0)
+
+
+class TestClippedFraction:
+    def test_no_clipping_at_unit_gain(self, dark_frame):
+        assert clipped_fraction(dark_frame, 1.0) == 0.0
+
+    def test_full_clipping_with_huge_gain(self, dark_frame):
+        assert clipped_fraction(dark_frame, 1e6) == pytest.approx(1.0, abs=0.05)
+
+    def test_monotone_in_gain(self, dark_frame):
+        fractions = [clipped_fraction(dark_frame, g) for g in (1.0, 1.5, 2.0, 4.0, 8.0)]
+        assert fractions == sorted(fractions)
+
+    def test_threshold_semantics(self):
+        frame = Frame.from_luminance(np.array([[0.4, 0.6]]))
+        assert clipped_fraction(frame, 2.0) == pytest.approx(0.5)
+
+    def test_invalid_gain(self, dark_frame):
+        with pytest.raises(ValueError):
+            clipped_fraction(dark_frame, 0.0)

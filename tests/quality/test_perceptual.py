@@ -1,0 +1,116 @@
+"""Unit tests for repro.quality.perceptual (Weber-law visibility)."""
+
+import numpy as np
+import pytest
+
+from repro.core import AnnotationPipeline, SchemeParameters
+from repro.display import ipaq_5555
+from repro.quality import PerceptualModel, perceptual_playback_report
+
+
+@pytest.fixture
+def model():
+    return PerceptualModel()
+
+
+class TestJndMap:
+    def test_weber_scaling(self, model):
+        ref = np.array([0.5, 1.0])
+        jnd = model.jnd_map(ref)
+        assert jnd[1] == pytest.approx(2 * jnd[0])
+
+    def test_dark_floor(self, model):
+        jnd = model.jnd_map(np.array([0.0, 0.001]))
+        assert np.all(jnd == model.dark_threshold)
+
+    def test_negative_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.jnd_map(np.array([-0.1]))
+
+
+class TestVisibility:
+    def test_identical_invisible(self, model):
+        ref = np.random.default_rng(0).random((8, 8))
+        assert model.perceptible_fraction(ref, ref) == 0.0
+
+    def test_subthreshold_invisible(self, model):
+        ref = np.full((4, 4), 0.5)
+        test = ref * (1 + model.weber_fraction * 0.5)
+        assert model.perceptible_fraction(ref, test) == 0.0
+
+    def test_suprathreshold_visible(self, model):
+        ref = np.full((4, 4), 0.5)
+        test = ref * 1.10  # 10 % change >> 2 % threshold
+        assert model.perceptible_fraction(ref, test) == 1.0
+
+    def test_same_absolute_error_more_visible_in_dark(self, model):
+        """Weber's law: a 0.02 shift is invisible on white, glaring on
+        near-black."""
+        delta = 0.01
+        bright = model.perceptible_fraction(np.full((2, 2), 0.9),
+                                            np.full((2, 2), 0.9 + delta))
+        dark = model.perceptible_fraction(np.full((2, 2), 0.05),
+                                          np.full((2, 2), 0.05 + delta))
+        assert dark > bright
+
+    def test_jnd_units(self, model):
+        ref = np.full((2, 2), 0.5)
+        test = np.full((2, 2), 0.5 + 0.02)  # 2x the 1 % JND... (2 % weber)
+        units = model.jnd_units(ref, test)
+        assert units == pytest.approx(np.full((2, 2), 2.0))
+
+    def test_shape_mismatch(self, model):
+        with pytest.raises(ValueError):
+            model.perceptible_fraction(np.zeros((2, 2)), np.zeros((3, 3)))
+
+    def test_acceptable_threshold(self, model):
+        ref = np.full((10, 10), 0.5)
+        test = ref.copy()
+        test[0, :3] = 0.9  # 3 % of pixels visibly different
+        assert model.acceptable(ref, test, max_visible_fraction=0.05)
+        assert not model.acceptable(ref, test, max_visible_fraction=0.01)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"weber_fraction": 0}, {"dark_threshold": -1},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            PerceptualModel(**kwargs)
+
+
+class TestPlaybackReport:
+    @pytest.fixture
+    def device(self):
+        return ipaq_5555()
+
+    def test_lossless_playback_invisible(self, tiny_clip, device):
+        """The headline physics check through the perceptual lens: at the
+        lossless quality level, NO pixel changes visibly."""
+        params = SchemeParameters(quality=0.0, min_scene_interval_frames=5)
+        stream = AnnotationPipeline(params).build_stream(tiny_clip, device)
+        report = perceptual_playback_report(stream)
+        assert report["max_visible_fraction"] <= 0.02
+
+    def test_visible_fraction_grows_with_quality(self, library_clip, device):
+        fractions = []
+        for q in (0.0, 0.10, 0.20):
+            params = SchemeParameters(quality=q, min_scene_interval_frames=5)
+            stream = AnnotationPipeline(params).build_stream(library_clip, device)
+            fractions.append(
+                perceptual_playback_report(stream)["mean_visible_fraction"]
+            )
+        assert fractions[0] <= fractions[1] <= fractions[2]
+
+    def test_five_percent_virtually_unnoticeable(self, library_clip, device):
+        """'Even at the 5 % quality loss ... visual degradation is
+        virtually unnoticeable' — under 4 % of pixels visibly change."""
+        params = SchemeParameters(quality=0.05, min_scene_interval_frames=5)
+        stream = AnnotationPipeline(params).build_stream(library_clip, device)
+        report = perceptual_playback_report(stream)
+        assert report["mean_visible_fraction"] < 0.04
+
+    def test_sampling_validation(self, tiny_clip, device):
+        params = SchemeParameters(quality=0.0, min_scene_interval_frames=5)
+        stream = AnnotationPipeline(params).build_stream(tiny_clip, device)
+        with pytest.raises(ValueError):
+            perceptual_playback_report(stream, sample_every=0)

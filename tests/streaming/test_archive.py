@@ -1,0 +1,114 @@
+"""Unit tests for repro.streaming.archive."""
+
+import numpy as np
+import pytest
+
+from repro.core import AnnotationPipeline, DvfsAnnotator, SchemeParameters
+from repro.player import DecoderModel
+from repro.streaming import MediaServer, MobileClient, load_archive, save_archive
+from repro.display import ipaq_5555
+
+
+@pytest.fixture
+def annotated(tiny_clip, fast_params):
+    tracks = {}
+    for q in (0.0, 0.05, 0.10):
+        pipeline = AnnotationPipeline(fast_params.with_quality(q))
+        tracks[q] = pipeline.annotate(tiny_clip)
+    return tiny_clip, tracks
+
+
+class TestRoundTrip:
+    def test_clip_and_tracks_preserved(self, annotated, tmp_path):
+        clip, tracks = annotated
+        path = tmp_path / "clip.npz"
+        save_archive(path, clip, tracks)
+        loaded_clip, loaded_tracks, dvfs = load_archive(path)
+        assert loaded_clip.frame_count == clip.frame_count
+        assert loaded_clip.frame(3) == clip.frame(3)
+        assert set(loaded_tracks) == {0.0, 0.05, 0.10}
+        assert dvfs is None
+        a = tracks[0.05].per_frame_effective_max()
+        b = loaded_tracks[0.05].per_frame_effective_max()
+        assert b == pytest.approx(a, abs=1 / 255)
+
+    def test_dvfs_track_preserved(self, annotated, tmp_path):
+        clip, tracks = annotated
+        annotator = DvfsAnnotator(decoder=DecoderModel(reference_pixels=160 * 120))
+        pipeline = AnnotationPipeline(SchemeParameters(min_scene_interval_frames=5))
+        profile = pipeline.profile(clip)
+        dvfs = annotator.annotate_with_profile(clip, profile)
+        path = tmp_path / "clip.npz"
+        save_archive(path, clip, tracks, dvfs_track=dvfs)
+        _clip, _tracks, loaded_dvfs = load_archive(path)
+        assert loaded_dvfs is not None
+        assert loaded_dvfs.frame_count == clip.frame_count
+
+
+class TestValidation:
+    def test_no_tracks_rejected(self, tiny_clip, tmp_path):
+        with pytest.raises(ValueError, match="at least one"):
+            save_archive(tmp_path / "x.npz", tiny_clip, {})
+
+    def test_mismatched_track_rejected(self, annotated, library_clip, tmp_path):
+        _clip, tracks = annotated
+        with pytest.raises(ValueError, match="covers"):
+            save_archive(tmp_path / "x.npz", library_clip, tracks)
+
+    def test_bad_version_rejected(self, annotated, tmp_path):
+        clip, tracks = annotated
+        path = tmp_path / "clip.npz"
+        save_archive(path, clip, tracks)
+        data = dict(np.load(path, allow_pickle=False))
+        data["version"] = np.int64(99)
+        np.savez(path, **data)
+        with pytest.raises(ValueError, match="version"):
+            load_archive(path)
+
+
+class TestServerIntegration:
+    def test_export_then_cold_start(self, annotated, tmp_path, fast_params):
+        clip, _tracks = annotated
+        warm = MediaServer(params=fast_params, qualities=(0.0, 0.05, 0.10))
+        warm.add_clip(clip)
+        path = tmp_path / "tiny.npz"
+        warm.export_archive("tiny", path)
+
+        cold = MediaServer(params=fast_params, qualities=(0.0, 0.05, 0.10))
+        name = cold.add_archive(path)
+        assert name == "tiny"
+        client = MobileClient(ipaq_5555())
+        session = cold.open_session(client.request("tiny", 0.05))
+        packets = list(cold.stream(session))
+        result = client.play_stream(session, packets)
+        assert result.total_savings > 0.0
+
+    def test_archived_tracks_identical_to_warm(self, annotated, tmp_path, fast_params):
+        clip, _ = annotated
+        warm = MediaServer(params=fast_params, qualities=(0.0, 0.05))
+        warm.add_clip(clip)
+        path = tmp_path / "tiny.npz"
+        warm.export_archive("tiny", path)
+        cold = MediaServer(params=fast_params, qualities=(0.0, 0.05))
+        cold.add_archive(path)
+        device = ipaq_5555()
+        a = warm.annotation_track("tiny", 0.05).bind(device).per_frame_levels()
+        b = cold.annotation_track("tiny", 0.05).bind(device).per_frame_levels()
+        assert np.array_equal(a, b)
+
+    def test_archive_with_dvfs_streams_dvfs(self, tiny_clip, fast_params, tmp_path):
+        from repro.streaming import PacketType
+        decoder = DecoderModel(reference_pixels=160 * 120)
+        warm = MediaServer(params=fast_params,
+                           dvfs_annotator=DvfsAnnotator(decoder=decoder))
+        warm.add_clip(tiny_clip)
+        path = tmp_path / "tiny.npz"
+        warm.export_archive("tiny", path)
+        cold = MediaServer(params=fast_params)  # no annotator, archive only
+        cold.add_archive(path)
+        client = MobileClient(ipaq_5555(), decoder=decoder)
+        session = cold.open_session(client.request("tiny", 0.05))
+        packets = list(cold.stream(session))
+        ann = [p for p in packets if p.ptype is PacketType.ANNOTATION]
+        assert len(ann) == 2
+        assert ann[1].payload[:4] == b"ANC1"

@@ -1,0 +1,125 @@
+"""Unit tests for repro.streaming.client."""
+
+import numpy as np
+import pytest
+
+from repro.display import ipaq_5555, ipaq_3650
+from repro.streaming import (
+    MediaServer,
+    MobileClient,
+    NetworkPath,
+    SessionRequest,
+    StreamProtocolError,
+)
+
+
+@pytest.fixture
+def server(tiny_clip, fast_params):
+    server = MediaServer(params=fast_params)
+    server.add_clip(tiny_clip)
+    return server
+
+
+@pytest.fixture
+def client():
+    return MobileClient(ipaq_5555())
+
+
+def _play(server, client, quality=0.10, **kwargs):
+    session = server.open_session(client.request("tiny", quality))
+    packets = list(server.stream(session))
+    return client.play_stream(session, packets, **kwargs), session, packets
+
+
+class TestRequest:
+    def test_request_carries_device(self, client):
+        req = client.request("tiny", 0.05)
+        assert req.capabilities.device_name == "ipaq5555"
+        assert req.quality == 0.05
+
+
+class TestPlayStream:
+    def test_playback_result_shape(self, server, client, tiny_clip):
+        result, session, _ = _play(server, client)
+        assert result.applied_levels.shape == (tiny_clip.frame_count,)
+        assert result.clip_name == "tiny"
+        assert result.fps == tiny_clip.fps
+
+    def test_saves_power(self, server, client):
+        result, _, _ = _play(server, client)
+        assert result.total_savings > 0.05
+
+    def test_savings_close_to_backlight_share_times_backlight_savings(
+        self, server, client
+    ):
+        """Figure 10 ~= Figure 9 x backlight share (share taken from the
+        actual run, since test frames barely load the decoder)."""
+        from repro.power import simulated_backlight_savings
+        result, _, _ = _play(server, client, quality=0.20)
+        backlight_savings = simulated_backlight_savings(
+            result.applied_levels, client.device
+        )
+        full_backlight_w = float(client.device.backlight.power(255))
+        share = full_backlight_w / result.baseline_mean_power_w
+        assert result.total_savings == pytest.approx(backlight_savings * share, abs=0.02)
+
+    def test_levels_match_annotations(self, server, client):
+        result, session, packets = _play(server, client)
+        from repro.core import DeviceAnnotationTrack
+        track = DeviceAnnotationTrack.from_bytes(packets[0].payload)
+        assert np.array_equal(result.applied_levels, track.per_frame_levels())
+
+    def test_delivery_overrides_duty(self, server, client):
+        result_net, session, packets = _play(
+            server, client, delivery=NetworkPath().deliver(
+                list(server.stream(server.open_session(client.request("tiny", 0.10))))
+            ),
+        )
+        result_flat, _, _ = _play(server, client, network_duty=0.8)
+        # tiny frames -> low radio duty -> lower client power
+        assert result_net.mean_power_w < result_flat.mean_power_w
+
+
+class TestProtocolErrors:
+    def test_wrong_device_session(self, server):
+        client5555 = MobileClient(ipaq_5555())
+        session = server.open_session(client5555.request("tiny", 0.05))
+        packets = list(server.stream(session))
+        other = MobileClient(ipaq_3650())
+        with pytest.raises(StreamProtocolError, match="bound to"):
+            other.play_stream(session, packets)
+
+    def test_missing_annotation(self, server, client):
+        session = server.open_session(client.request("tiny", 0.05))
+        packets = [p for p in server.stream(session) if p.payload is None]
+        with pytest.raises(StreamProtocolError, match="no annotation"):
+            client.play_stream(session, packets)
+
+    def test_out_of_order_frames(self, server, client):
+        session = server.open_session(client.request("tiny", 0.05))
+        packets = list(server.stream(session))
+        packets[1], packets[2] = packets[2], packets[1]
+        with pytest.raises(StreamProtocolError, match="expected"):
+            client.play_stream(session, packets)
+
+    def test_annotation_frame_count_mismatch(self, server, client):
+        session = server.open_session(client.request("tiny", 0.05))
+        packets = list(server.stream(session))[:-3]  # drop the last frames
+        with pytest.raises(StreamProtocolError, match="cover"):
+            client.play_stream(session, packets)
+
+    def test_empty_stream(self, server, client):
+        session = server.open_session(client.request("tiny", 0.05))
+        with pytest.raises(StreamProtocolError):
+            client.play_stream(session, [])
+
+
+class TestProxyChunkStitching:
+    def test_client_plays_proxied_stream(self, server, client, tiny_clip, fast_params):
+        from repro.streaming import TranscodingProxy
+        session = server.open_session(client.request("tiny", 0.05))
+        proxy = TranscodingProxy(client.device, fast_params, chunk_frames=12)
+        packets = list(proxy.process(iter(tiny_clip), fps=tiny_clip.fps))
+        result = client.play_stream(session, packets)
+        assert result.applied_levels.shape == (36,)
+        assert result.total_savings > 0.0

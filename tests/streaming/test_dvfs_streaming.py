@@ -1,0 +1,115 @@
+"""Integration tests: DVFS annotation tracks through the streaming stack."""
+
+import numpy as np
+import pytest
+
+from repro.core import DvfsAnnotator, DvfsTrack
+from repro.display import ipaq_5555
+from repro.player import DecoderModel
+from repro.power import DvfsCpuModel
+from repro.streaming import MediaServer, MobileClient, PacketType
+
+
+SUBRES = 160 * 120
+
+
+@pytest.fixture
+def decoder():
+    return DecoderModel(reference_pixels=SUBRES)
+
+
+@pytest.fixture
+def server(tiny_clip, fast_params, decoder):
+    server = MediaServer(params=fast_params,
+                         dvfs_annotator=DvfsAnnotator(decoder=decoder))
+    server.add_clip(tiny_clip)
+    return server
+
+
+@pytest.fixture
+def client(decoder):
+    return MobileClient(ipaq_5555(), decoder=decoder)
+
+
+@pytest.fixture
+def cpu():
+    dev = ipaq_5555()
+    return DvfsCpuModel(active_power_at_max_w=dev.power.cpu_active_w,
+                        idle_power_w=dev.power.cpu_idle_w)
+
+
+class TestServerSide:
+    def test_stream_carries_two_annotation_packets(self, server, client):
+        session = server.open_session(client.request("tiny", 0.05))
+        packets = list(server.stream(session))
+        ann = [p for p in packets if p.ptype is PacketType.ANNOTATION]
+        assert len(ann) == 2
+        assert ann[0].payload[:4] == b"AND1"
+        assert ann[1].payload[:4] == b"ANC1"
+
+    def test_dvfs_track_cached(self, server):
+        a = server.dvfs_track("tiny")
+        b = server.dvfs_track("tiny")
+        assert a is b
+
+    def test_dvfs_track_parses(self, server, client):
+        session = server.open_session(client.request("tiny", 0.05))
+        packets = list(server.stream(session))
+        track = DvfsTrack.from_bytes(packets[1].payload)
+        assert track.frame_count == 36
+
+    def test_server_without_dvfs_rejects_query(self, tiny_clip, fast_params):
+        from repro.streaming import NegotiationError
+        server = MediaServer(params=fast_params)
+        server.add_clip(tiny_clip)
+        with pytest.raises(NegotiationError, match="without DVFS"):
+            server.dvfs_track("tiny")
+
+    def test_shared_scene_boundaries(self, server, client):
+        """DVFS scenes coincide with the backlight track's scenes."""
+        from repro.core import DeviceAnnotationTrack
+        session = server.open_session(client.request("tiny", 0.05))
+        packets = list(server.stream(session))
+        backlight = DeviceAnnotationTrack.from_bytes(packets[0].payload)
+        dvfs = DvfsTrack.from_bytes(packets[1].payload)
+        assert [(s.start, s.end) for s in dvfs.scenes] == [
+            (s.start, s.end) for s in backlight.scenes
+        ]
+
+
+class TestClientSide:
+    def test_plays_with_cpu_model(self, server, client, cpu):
+        session = server.open_session(client.request("tiny", 0.05))
+        packets = list(server.stream(session))
+        result = client.play_stream(session, packets, cpu=cpu)
+        assert result.dropped_deadline_count == 0
+        assert result.total_savings > 0.0
+
+    def test_dvfs_packet_ignored_without_cpu(self, server, client):
+        """A legacy client (no DVFS support) plays the same stream."""
+        session = server.open_session(client.request("tiny", 0.05))
+        packets = list(server.stream(session))
+        result = client.play_stream(session, packets)
+        assert result.applied_levels.shape == (36,)
+
+    def test_dvfs_lowers_absolute_power(self, server, client, cpu):
+        session = server.open_session(client.request("tiny", 0.05))
+        packets = list(server.stream(session))
+        with_dvfs = client.play_stream(session, packets, cpu=cpu)
+        without = client.play_stream(session, packets)
+        assert with_dvfs.mean_power_w < without.mean_power_w
+
+    def test_unknown_annotation_magic_rejected(self, server, client):
+        from repro.streaming import StreamProtocolError, annotation_packet
+        session = server.open_session(client.request("tiny", 0.05))
+        packets = list(server.stream(session))
+        packets.insert(1, annotation_packet(99, b"XXXXgarbage"))
+        with pytest.raises(StreamProtocolError, match="magic"):
+            client.play_stream(session, packets)
+
+    def test_backlight_schedule_unchanged_by_dvfs(self, server, client, cpu):
+        session = server.open_session(client.request("tiny", 0.05))
+        packets = list(server.stream(session))
+        a = client.play_stream(session, packets, cpu=cpu)
+        b = client.play_stream(session, packets)
+        assert np.array_equal(a.applied_levels, b.applied_levels)

@@ -1,0 +1,138 @@
+"""Unit tests for repro.streaming.middleware (battery-aware adaptation)."""
+
+import pytest
+
+from repro.core import SchemeParameters
+from repro.display import ipaq_5555
+from repro.power import Battery, DevicePowerModel, PLAYBACK_ACTIVITY
+from repro.streaming import (
+    BatteryAwareMiddleware,
+    MediaServer,
+    PowerHint,
+    QualityAdvisor,
+    publish_power_hints,
+)
+from repro.video import make_clip
+
+
+@pytest.fixture
+def server(fast_params):
+    server = MediaServer(params=fast_params)
+    for name in ("catwoman", "ice_age"):
+        server.add_clip(make_clip(name, resolution=(48, 36), duration_scale=0.1))
+    return server
+
+
+@pytest.fixture
+def device():
+    return ipaq_5555()
+
+
+class TestPowerHints:
+    def test_hint_per_quality(self, server, device):
+        hints = publish_power_hints(server, "catwoman", device)
+        assert len(hints) == len(server.qualities)
+        assert {h.quality for h in hints} == set(server.qualities)
+
+    def test_savings_monotone(self, server, device):
+        hints = sorted(publish_power_hints(server, "catwoman", device),
+                       key=lambda h: h.quality)
+        savings = [h.backlight_savings for h in hints]
+        assert all(b >= a - 1e-9 for a, b in zip(savings, savings[1:]))
+
+    def test_bright_clip_low_savings(self, server, device):
+        dark = publish_power_hints(server, "catwoman", device)[-1]
+        bright = publish_power_hints(server, "ice_age", device)[-1]
+        assert dark.backlight_savings > bright.backlight_savings
+
+    def test_hint_validation(self):
+        with pytest.raises(ValueError):
+            PowerHint("c", 0.1, 1.5)
+
+
+class TestQualityAdvisor:
+    def test_predicted_power_decreases_with_savings(self, device):
+        advisor = QualityAdvisor(device)
+        lo = advisor.predicted_power_w(PowerHint("c", 0.0, 0.1))
+        hi = advisor.predicted_power_w(PowerHint("c", 0.2, 0.6))
+        assert hi < lo
+
+    def test_predicted_power_consistent_with_model(self, device):
+        advisor = QualityAdvisor(device)
+        no_savings = advisor.predicted_power_w(PowerHint("c", 0.0, 0.0))
+        model = DevicePowerModel(device)
+        assert no_savings == pytest.approx(
+            float(model.total_power(PLAYBACK_ACTIVITY, 255))
+        )
+
+    def test_choose_least_degradation_that_fits(self, device):
+        advisor = QualityAdvisor(device)
+        hints = [
+            PowerHint("c", 0.0, 0.10),
+            PowerHint("c", 0.05, 0.30),
+            PowerHint("c", 0.10, 0.50),
+        ]
+        generous = advisor.choose(hints, power_budget_w=10.0)
+        assert generous.quality == 0.0
+        mid_budget = advisor.predicted_power_w(hints[1]) + 0.01
+        mid = advisor.choose(hints, power_budget_w=mid_budget)
+        assert mid.quality == 0.05
+
+    def test_choose_falls_back_to_most_aggressive(self, device):
+        advisor = QualityAdvisor(device)
+        hints = [PowerHint("c", 0.0, 0.0), PowerHint("c", 0.2, 0.3)]
+        choice = advisor.choose(hints, power_budget_w=0.1)
+        assert choice.quality == 0.2
+
+    def test_choose_validation(self, device):
+        advisor = QualityAdvisor(device)
+        with pytest.raises(Exception):
+            advisor.choose([], 1.0)
+        with pytest.raises(ValueError):
+            advisor.choose([PowerHint("c", 0.0, 0.0)], 0.0)
+
+
+class TestBatteryAwareMiddleware:
+    MOVIES = {"catwoman": 6000.0, "ice_age": 5000.0}
+
+    def test_generous_battery_full_quality(self, server, device):
+        mw = BatteryAwareMiddleware(server, device, battery=Battery(capacity_wh=50.0))
+        plan = mw.plan_session(["catwoman", "ice_age"], durations_s=self.MOVIES)
+        assert plan.completed
+        assert all(q == 0.0 for q in plan.qualities())
+
+    def test_tight_battery_degrades(self, server, device):
+        mw = BatteryAwareMiddleware(server, device, battery=Battery(capacity_wh=9.0))
+        plan = mw.plan_session(["catwoman", "ice_age"], durations_s=self.MOVIES)
+        assert any(q > 0.0 for q in plan.qualities())
+
+    def test_tighter_battery_never_higher_quality(self, server, device):
+        loose = BatteryAwareMiddleware(server, device, battery=Battery(capacity_wh=50.0))
+        tight = BatteryAwareMiddleware(server, device, battery=Battery(capacity_wh=9.0))
+        ql = loose.plan_session(["catwoman", "ice_age"], durations_s=self.MOVIES).qualities()
+        qt = tight.plan_session(["catwoman", "ice_age"], durations_s=self.MOVIES).qualities()
+        assert all(t >= l for t, l in zip(qt, ql))
+
+    def test_battery_accounting(self, server, device):
+        mw = BatteryAwareMiddleware(server, device, battery=Battery(capacity_wh=50.0),
+                                    reserve_fraction=0.0)
+        plan = mw.plan_session(["catwoman"], durations_s={"catwoman": 3600.0})
+        spent = 50.0 - plan.battery_remaining_wh
+        assert spent == pytest.approx(plan.events[0].predicted_power_w, rel=0.01)
+
+    def test_describe_mentions_clips(self, server, device):
+        mw = BatteryAwareMiddleware(server, device)
+        plan = mw.plan_session(["catwoman"], durations_s={"catwoman": 100.0})
+        text = plan.describe()
+        assert "catwoman" in text and "session" in text
+
+    def test_validation(self, server, device):
+        mw = BatteryAwareMiddleware(server, device)
+        with pytest.raises(ValueError):
+            mw.plan_session([])
+        with pytest.raises(ValueError):
+            mw.plan_session(["catwoman"], initial_charge_wh=0.0)
+        with pytest.raises(ValueError):
+            mw.plan_session(["catwoman"], durations_s={"catwoman": -5.0})
+        with pytest.raises(ValueError):
+            BatteryAwareMiddleware(server, device, reserve_fraction=1.0)

@@ -1,0 +1,116 @@
+"""Unit tests for repro.streaming.network."""
+
+import numpy as np
+import pytest
+
+from repro.streaming import (
+    DEFAULT_WIRED,
+    DEFAULT_WIRELESS,
+    Link,
+    NetworkPath,
+    frame_packet,
+)
+from repro.video import Frame
+
+
+def _packets(n, size=8):
+    return [frame_packet(i, Frame.solid_gray(size, size, 0), i) for i in range(n)]
+
+
+class TestLink:
+    def test_transmit_time(self):
+        link = Link("l", bandwidth_bps=8e6)
+        assert link.transmit_time_s(1000) == pytest.approx(0.001)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Link("l", bandwidth_bps=0)
+        with pytest.raises(ValueError):
+            Link("l", bandwidth_bps=1e6, latency_s=-1)
+
+    def test_defaults_sensible(self):
+        assert DEFAULT_WIRED.bandwidth_bps > DEFAULT_WIRELESS.bandwidth_bps
+
+
+class TestNetworkPath:
+    def test_arrivals_monotone(self):
+        path = NetworkPath()
+        schedule = path.deliver(_packets(10))
+        assert np.all(np.diff(schedule.arrival_times_s) > 0)
+
+    def test_total_bytes(self):
+        path = NetworkPath()
+        packets = _packets(3)
+        schedule = path.deliver(packets)
+        assert schedule.total_bytes == sum(p.size_bytes for p in packets)
+
+    def test_wireless_is_bottleneck(self):
+        path = NetworkPath()
+        assert path.bottleneck_bandwidth_bps() == DEFAULT_WIRELESS.bandwidth_bps
+        assert path.wireless_hop is path.hops[-1]
+
+    def test_empty_stream_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkPath().deliver([])
+
+    def test_single_hop_path(self):
+        path = NetworkPath(hops=[Link("only", 1e6)])
+        schedule = path.deliver(_packets(2))
+        assert schedule.arrival_times_s.size == 2
+
+    def test_no_hops_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkPath(hops=[])
+
+    def test_pipelining_faster_than_serial(self):
+        """Store-and-forward pipelines: total time is far below the sum of
+        per-hop serial transfers."""
+        path = NetworkPath()
+        packets = _packets(20, size=16)
+        schedule = path.deliver(packets)
+        serial = sum(
+            sum(link.transmit_time_s(p.size_bytes) + link.latency_s for link in path.hops)
+            for p in packets
+        )
+        assert schedule.duration_s < serial
+
+
+class TestRadioDuty:
+    def test_duty_fraction_of_playback(self):
+        path = NetworkPath()
+        packets = _packets(30, size=32)
+        schedule = path.deliver(packets)
+        duty = schedule.radio_duty(playback_duration_s=1.0)
+        assert 0.0 < duty <= 1.0
+        expected = sum(
+            path.wireless_hop.transmit_time_s(p.size_bytes) for p in packets
+        )
+        assert duty == pytest.approx(min(expected, 1.0))
+
+    def test_duty_capped_at_one(self):
+        path = NetworkPath(hops=[Link("slow", 1e4)])
+        schedule = path.deliver(_packets(10, size=32))
+        assert schedule.radio_duty(0.001) == 1.0
+
+    def test_invalid_duration(self):
+        schedule = NetworkPath().deliver(_packets(1))
+        with pytest.raises(ValueError):
+            schedule.radio_duty(0.0)
+
+
+class TestSustainability:
+    def test_sustainable_fps(self):
+        path = NetworkPath(hops=[Link("l", 8e6)])  # 1 MB/s
+        # 10 kB frames -> 100 fps.
+        assert path.sustainable_fps(10_000) == pytest.approx(100.0)
+
+    def test_invalid_frame_size(self):
+        with pytest.raises(ValueError):
+            NetworkPath().sustainable_fps(0)
+
+    def test_qvga_stream_sustainable_over_wlan(self):
+        """Raw tiny-resolution frames fit 802.11b at 30 fps (sanity of the
+        simulation's default parameters)."""
+        path = NetworkPath()
+        frame_bytes = 48 * 36 * 3
+        assert path.sustainable_fps(frame_bytes) > 30

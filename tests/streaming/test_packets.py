@@ -1,0 +1,69 @@
+"""Unit tests for repro.streaming.packets."""
+
+import pytest
+
+from repro.streaming import (
+    PACKET_HEADER_BYTES,
+    MediaPacket,
+    PacketType,
+    annotation_packet,
+    control_packet,
+    frame_packet,
+)
+from repro.video import Frame
+
+
+class TestPacketConstruction:
+    def test_frame_packet(self):
+        frame = Frame.solid_gray(4, 4, 100)
+        pkt = frame_packet(3, frame, frame_index=2)
+        assert pkt.ptype is PacketType.FRAME
+        assert pkt.frame_index == 2
+        assert pkt.seq == 3
+
+    def test_annotation_packet(self):
+        pkt = annotation_packet(0, b"\x01\x02")
+        assert pkt.ptype is PacketType.ANNOTATION
+        assert pkt.payload == b"\x01\x02"
+
+    def test_control_packet(self):
+        assert control_packet(1, b"hello").ptype is PacketType.CONTROL
+
+    def test_negative_seq_rejected(self):
+        with pytest.raises(ValueError):
+            annotation_packet(-1, b"x")
+
+    def test_frame_packet_requires_frame(self):
+        with pytest.raises(ValueError, match="need a frame"):
+            MediaPacket(seq=0, ptype=PacketType.FRAME)
+
+    def test_frame_packet_rejects_payload(self):
+        with pytest.raises(ValueError, match="must not carry"):
+            MediaPacket(seq=0, ptype=PacketType.FRAME,
+                        frame=Frame.solid_gray(2, 2, 0), frame_index=0,
+                        payload=b"x")
+
+    def test_data_packet_requires_payload(self):
+        with pytest.raises(ValueError, match="need a bytes payload"):
+            MediaPacket(seq=0, ptype=PacketType.ANNOTATION)
+
+    def test_data_packet_rejects_frame(self):
+        with pytest.raises(ValueError):
+            MediaPacket(seq=0, ptype=PacketType.CONTROL, payload=b"x",
+                        frame=Frame.solid_gray(2, 2, 0))
+
+
+class TestSizes:
+    def test_frame_packet_size(self):
+        frame = Frame.solid_gray(4, 6, 0)
+        pkt = frame_packet(0, frame, 0)
+        assert pkt.size_bytes == PACKET_HEADER_BYTES + 4 * 6 * 3
+
+    def test_annotation_packet_size(self):
+        assert annotation_packet(0, b"abc").size_bytes == PACKET_HEADER_BYTES + 3
+
+    def test_annotations_dwarfed_by_frames(self):
+        """Annotation overhead is negligible next to a single frame."""
+        frame = Frame.solid_gray(240, 320, 0)
+        ann = annotation_packet(0, b"\x00" * 200)
+        assert ann.size_bytes < frame_packet(1, frame, 0).size_bytes / 100

@@ -1,0 +1,111 @@
+"""Unit tests for repro.streaming.playout."""
+
+import numpy as np
+import pytest
+
+from repro.streaming.playout import PlayoutBuffer, PlayoutReport, StallEvent
+
+
+class TestStallEvent:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StallEvent(-1, 0.0, 0.1)
+        with pytest.raises(ValueError):
+            StallEvent(0, 0.0, 0.0)
+
+
+class TestSimulate:
+    def test_fast_network_smooth(self):
+        """Frames arriving faster than playback never stall."""
+        arrivals = np.arange(30) * 0.01  # 100 fps delivery
+        report = PlayoutBuffer(0.1).simulate(arrivals, fps=30.0)
+        assert report.smooth
+        assert report.total_stall_s == 0.0
+
+    def test_exact_rate_with_buffer_smooth(self):
+        arrivals = np.arange(30) / 30.0
+        report = PlayoutBuffer(0.2).simulate(arrivals, fps=30.0)
+        assert report.smooth
+
+    def test_late_burst_stalls(self):
+        """A delivery gap longer than the buffer stalls the player."""
+        arrivals = np.concatenate([np.arange(10) / 30.0,
+                                   np.arange(10) / 30.0 + 2.0])
+        report = PlayoutBuffer(0.1).simulate(arrivals, fps=30.0)
+        assert not report.smooth
+        assert report.stall_count == 1
+        assert report.stalls[0].frame_index == 10
+        assert report.stalls[0].duration_s > 1.0
+
+    def test_stall_shifts_later_deadlines(self):
+        """After a stall the clock restarts from the late arrival, so a
+        single gap causes exactly one stall."""
+        arrivals = np.concatenate([
+            [0.0], [5.0 + i / 30.0 for i in range(20)]
+        ])
+        report = PlayoutBuffer(0.0).simulate(arrivals, fps=30.0)
+        assert report.stall_count == 1
+
+    def test_bigger_buffer_fewer_stalls(self):
+        rng = np.random.default_rng(3)
+        jitter = rng.uniform(0, 0.2, size=60)
+        arrivals = np.sort(np.arange(60) / 30.0 + jitter)
+        small = PlayoutBuffer(0.01).simulate(arrivals, fps=30.0)
+        large = PlayoutBuffer(1.0).simulate(arrivals, fps=30.0)
+        assert large.stall_count <= small.stall_count
+
+    @pytest.mark.parametrize("bad", [
+        {"arrival_times_s": [], "fps": 30.0},
+        {"arrival_times_s": [0.1, 0.0], "fps": 30.0},
+        {"arrival_times_s": [0.0], "fps": 0.0},
+    ])
+    def test_validation(self, bad):
+        with pytest.raises(ValueError):
+            PlayoutBuffer(0.1).simulate(**bad)
+
+    def test_negative_startup_rejected(self):
+        with pytest.raises(ValueError):
+            PlayoutBuffer(-0.1)
+
+
+class TestMinimumStartupDelay:
+    def test_fast_delivery_zero(self):
+        arrivals = np.arange(30) * 0.001
+        assert PlayoutBuffer.minimum_startup_delay(arrivals, 30.0) == 0.0
+
+    def test_computed_delay_is_sufficient(self):
+        rng = np.random.default_rng(7)
+        arrivals = np.sort(np.cumsum(rng.exponential(1 / 25.0, size=90)))
+        delay = PlayoutBuffer.minimum_startup_delay(arrivals, 30.0)
+        report = PlayoutBuffer(delay + 1e-9).simulate(arrivals, fps=30.0)
+        assert report.smooth
+
+    def test_computed_delay_is_tight(self):
+        rng = np.random.default_rng(7)
+        arrivals = np.sort(np.cumsum(rng.exponential(1 / 25.0, size=90)))
+        delay = PlayoutBuffer.minimum_startup_delay(arrivals, 30.0)
+        if delay > 0.01:
+            report = PlayoutBuffer(delay * 0.5).simulate(arrivals, fps=30.0)
+            assert not report.smooth
+
+
+class TestWithNetworkModel:
+    def test_encoded_stream_needs_tiny_buffer(self, tiny_clip, fast_params):
+        """Compressed transport over the default path plays with almost no
+        startup buffering."""
+        from repro.display import ipaq_5555
+        from repro.streaming import MediaServer, MobileClient, NetworkPath, PacketType
+        from repro.video import CodecModel
+
+        server = MediaServer(params=fast_params, codec=CodecModel())
+        server.add_clip(tiny_clip)
+        client = MobileClient(ipaq_5555())
+        session = server.open_session(client.request("tiny", 0.05))
+        packets = list(server.stream(session))
+        schedule = NetworkPath().deliver(packets)
+        frame_arrivals = [
+            t for t, p in zip(schedule.arrival_times_s, packets)
+            if p.ptype is PacketType.FRAME
+        ]
+        delay = PlayoutBuffer.minimum_startup_delay(frame_arrivals, tiny_clip.fps)
+        assert delay < 0.1

@@ -1,0 +1,132 @@
+"""End-to-end scenario tests: the whole system under realistic use.
+
+These exercise combinations the unit tests cover individually: several
+clients on one server, heterogeneous devices, archives + codec + DVFS +
+middleware all enabled at once.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import DvfsAnnotator, SchemeParameters
+from repro.display import all_devices, ipaq_3650, ipaq_5555, zaurus_sl5600
+from repro.player import DecoderModel
+from repro.power import Battery, DvfsCpuModel
+from repro.streaming import (
+    BatteryAwareMiddleware,
+    MediaServer,
+    MobileClient,
+    NetworkPath,
+)
+from repro.video import CodecModel, make_clip
+
+
+@pytest.fixture
+def full_server(fast_params):
+    """A server with every optional subsystem enabled."""
+    decoder = DecoderModel(reference_pixels=160 * 120)
+    server = MediaServer(
+        params=fast_params,
+        dvfs_annotator=DvfsAnnotator(decoder=decoder),
+        codec=CodecModel(),
+    )
+    for name in ("catwoman", "ice_age"):
+        server.add_clip(make_clip(name, resolution=(48, 36), duration_scale=0.1))
+    return server
+
+
+class TestMultiClient:
+    def test_three_devices_one_server(self, full_server):
+        """Heterogeneous clients share the server's single profile pass."""
+        results = {}
+        for device in all_devices():
+            client = MobileClient(device)
+            session = full_server.open_session(client.request("catwoman", 0.10))
+            packets = list(full_server.stream(session))
+            results[device.name] = client.play_stream(session, packets)
+        assert len({r.total_savings for r in results.values()}) >= 2
+        assert all(r.total_savings > 0 for r in results.values())
+
+    def test_profile_computed_once_across_sessions(self, full_server):
+        first = full_server.profile("catwoman")
+        for device in (ipaq_5555(), ipaq_3650(), zaurus_sl5600()):
+            client = MobileClient(device)
+            session = full_server.open_session(client.request("catwoman", 0.05))
+            list(full_server.stream(session))
+        assert full_server.profile("catwoman") is first
+
+    def test_mixed_qualities_same_clip(self, full_server):
+        client = MobileClient(ipaq_5555())
+        savings = []
+        for q in (0.0, 0.20):
+            session = full_server.open_session(client.request("catwoman", q))
+            packets = list(full_server.stream(session))
+            savings.append(client.play_stream(session, packets).total_savings)
+        assert savings[1] > savings[0]
+
+    def test_session_ids_monotone_across_clients(self, full_server):
+        ids = []
+        for device in all_devices():
+            client = MobileClient(device)
+            ids.append(full_server.open_session(client.request("ice_age", 0.0)).session_id)
+        assert ids == sorted(ids)
+        assert len(set(ids)) == len(ids)
+
+
+class TestEverythingOn:
+    def test_codec_dvfs_network_together(self, full_server):
+        """Full stack: encoded transport + DVFS + delivery-derived duty."""
+        device = ipaq_5555()
+        decoder = DecoderModel(reference_pixels=160 * 120)
+        client = MobileClient(device, decoder=decoder)
+        cpu = DvfsCpuModel(active_power_at_max_w=device.power.cpu_active_w,
+                           idle_power_w=device.power.cpu_idle_w)
+        session = full_server.open_session(client.request("catwoman", 0.10))
+        packets = list(full_server.stream(session))
+        delivery = NetworkPath().deliver(packets)
+        result = client.play_stream(session, packets, delivery=delivery, cpu=cpu)
+        assert result.dropped_deadline_count == 0
+        assert result.total_savings > 0.0
+        # encoded transport: tiny radio duty
+        assert delivery.radio_duty(result.duration_s) < 0.2
+
+    def test_archive_roundtrip_preserves_everything(self, full_server, tmp_path):
+        """Export with DVFS + all qualities, cold-start, stream, play."""
+        path = tmp_path / "catwoman.npz"
+        full_server.export_archive("catwoman", path)
+        cold = MediaServer(codec=CodecModel())
+        cold.add_archive(path)
+        device = ipaq_5555()
+        client = MobileClient(device, decoder=DecoderModel(reference_pixels=160 * 120))
+        cpu = DvfsCpuModel(active_power_at_max_w=device.power.cpu_active_w,
+                           idle_power_w=device.power.cpu_idle_w)
+        session = cold.open_session(client.request("catwoman", 0.10))
+        packets = list(cold.stream(session))
+        result = client.play_stream(session, packets, cpu=cpu)
+
+        warm_session = full_server.open_session(client.request("catwoman", 0.10))
+        warm_packets = list(full_server.stream(warm_session))
+        warm = client.play_stream(warm_session, warm_packets, cpu=cpu)
+        assert np.array_equal(result.applied_levels, warm.applied_levels)
+
+    def test_middleware_on_full_server(self, full_server):
+        mw = BatteryAwareMiddleware(full_server, ipaq_5555(),
+                                    battery=Battery(capacity_wh=10.0))
+        plan = mw.plan_session(["catwoman", "ice_age"],
+                               durations_s={"catwoman": 5000.0, "ice_age": 5000.0})
+        assert len(plan.events) >= 1
+        assert all(0.0 <= q <= 0.2 for q in plan.qualities())
+
+
+class TestRepeatability:
+    def test_same_session_twice_identical_power(self, full_server):
+        """The whole pipeline is deterministic: two identical sessions
+        produce bit-identical playback accounting."""
+        client = MobileClient(ipaq_5555())
+        runs = []
+        for _ in range(2):
+            session = full_server.open_session(client.request("catwoman", 0.10))
+            packets = list(full_server.stream(session))
+            runs.append(client.play_stream(session, packets))
+        assert np.array_equal(runs[0].applied_levels, runs[1].applied_levels)
+        assert np.array_equal(runs[0].per_frame_power_w, runs[1].per_frame_power_w)

@@ -1,0 +1,121 @@
+"""Unit tests for repro.streaming.server."""
+
+import pytest
+
+from repro.core import SchemeParameters
+from repro.streaming import (
+    ClientCapabilities,
+    MediaServer,
+    NegotiationError,
+    PacketType,
+    SessionRequest,
+)
+
+
+@pytest.fixture
+def server(tiny_clip, fast_params):
+    server = MediaServer(params=fast_params)
+    server.add_clip(tiny_clip)
+    return server
+
+
+def _request(clip="tiny", quality=0.05, device="ipaq5555"):
+    return SessionRequest(clip, quality, ClientCapabilities(device))
+
+
+class TestCatalog:
+    def test_add_and_list(self, server, library_clip):
+        server.add_clip(library_clip)
+        assert server.catalog() == ("spiderman2", "tiny")
+
+    def test_get_unknown_clip(self, server):
+        with pytest.raises(NegotiationError, match="catalog"):
+            server.get_clip("missing")
+
+    def test_add_idempotent_by_name(self, server, tiny_clip):
+        server.add_clip(tiny_clip)
+        assert server.catalog() == ("tiny",)
+
+
+class TestAnnotationCache:
+    def test_profile_cached(self, server):
+        a = server.profile("tiny")
+        b = server.profile("tiny")
+        assert a is b
+
+    def test_track_cached_per_quality(self, server):
+        a = server.annotation_track("tiny", 0.05)
+        b = server.annotation_track("tiny", 0.05)
+        c = server.annotation_track("tiny", 0.10)
+        assert a is b
+        assert a is not c
+        assert c.quality == 0.10
+
+    def test_unprepared_quality_rejected(self, server):
+        with pytest.raises(NegotiationError, match="prepared"):
+            server.annotation_track("tiny", 0.07)
+
+    def test_needs_quality_levels(self):
+        with pytest.raises(ValueError):
+            MediaServer(qualities=())
+
+
+class TestSessions:
+    def test_open_session(self, server):
+        session = server.open_session(_request(quality=0.12))
+        assert session.clip_name == "tiny"
+        assert session.quality == 0.10  # snapped down
+        assert session.device_name == "ipaq5555"
+        assert session.frame_count == 36
+
+    def test_session_ids_unique(self, server):
+        a = server.open_session(_request())
+        b = server.open_session(_request())
+        assert a.session_id != b.session_id
+
+    def test_unknown_clip_rejected(self, server):
+        with pytest.raises(NegotiationError):
+            server.open_session(_request(clip="missing"))
+
+    def test_build_stream(self, server):
+        session = server.open_session(_request())
+        stream = server.build_stream(session)
+        assert stream.frame_count == 36
+        assert stream.device.name == "ipaq5555"
+
+
+class TestStreaming:
+    def test_annotation_packet_first(self, server):
+        session = server.open_session(_request())
+        packets = list(server.stream(session))
+        assert packets[0].ptype is PacketType.ANNOTATION
+        assert all(p.ptype is PacketType.FRAME for p in packets[1:])
+
+    def test_one_frame_packet_per_frame(self, server):
+        session = server.open_session(_request())
+        packets = list(server.stream(session))
+        assert len(packets) == 37
+        assert [p.frame_index for p in packets[1:]] == list(range(36))
+
+    def test_frames_are_compensated(self, server, tiny_clip):
+        """Dark-scene frames ship brighter than the originals."""
+        session = server.open_session(_request(quality=0.10))
+        packets = list(server.stream(session))
+        stream = server.build_stream(session)
+        dark_idx = 3  # inside the opening dark scene
+        if stream.track.per_frame_gains()[dark_idx] > 1.0:
+            sent = packets[1 + dark_idx].frame
+            assert sent.mean_luminance > tiny_clip.frame(dark_idx).mean_luminance
+
+    def test_annotation_payload_parses(self, server):
+        from repro.core import DeviceAnnotationTrack
+        session = server.open_session(_request())
+        packets = list(server.stream(session))
+        track = DeviceAnnotationTrack.from_bytes(packets[0].payload)
+        assert track.frame_count == 36
+
+    def test_stream_respects_device(self, server):
+        import numpy as np
+        a = server.build_stream(server.open_session(_request(device="ipaq5555")))
+        b = server.build_stream(server.open_session(_request(device="ipaq3650")))
+        assert not np.array_equal(a.backlight_levels(), b.backlight_levels())

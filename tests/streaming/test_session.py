@@ -1,0 +1,55 @@
+"""Unit tests for repro.streaming.session."""
+
+import pytest
+
+from repro.streaming import (
+    ClientCapabilities,
+    NegotiationError,
+    SessionRequest,
+    snap_quality,
+)
+
+
+class TestClientCapabilities:
+    def test_known_device(self):
+        assert ClientCapabilities("ipaq5555").device_name == "ipaq5555"
+
+    def test_unknown_device_rejected(self):
+        with pytest.raises(NegotiationError, match="transfer"):
+            ClientCapabilities("palm_pilot")
+
+
+class TestSessionRequest:
+    def test_valid(self):
+        req = SessionRequest("clip", 0.1, ClientCapabilities("ipaq5555"))
+        assert req.quality == 0.1
+
+    def test_quality_bounds(self):
+        with pytest.raises(NegotiationError):
+            SessionRequest("clip", 1.5, ClientCapabilities("ipaq5555"))
+
+
+class TestSnapQuality:
+    def test_exact_match(self):
+        assert snap_quality(0.10) == 0.10
+
+    def test_snaps_down(self):
+        """The server never degrades more than the user authorized."""
+        assert snap_quality(0.12) == 0.10
+        assert snap_quality(0.19) == 0.15
+
+    def test_below_minimum_uses_minimum(self):
+        assert snap_quality(0.0) == 0.0
+
+    def test_above_maximum(self):
+        assert snap_quality(0.9) == 0.20
+
+    def test_custom_levels(self):
+        assert snap_quality(0.5, available=(0.1, 0.4, 0.6)) == 0.4
+
+    def test_request_below_all_levels(self):
+        assert snap_quality(0.01, available=(0.05, 0.1)) == 0.05
+
+    def test_empty_levels(self):
+        with pytest.raises(NegotiationError):
+            snap_quality(0.1, available=())

@@ -1,0 +1,98 @@
+"""API hygiene: documentation and export discipline for the public surface."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.video",
+    "repro.display",
+    "repro.power",
+    "repro.camera",
+    "repro.quality",
+    "repro.core",
+    "repro.streaming",
+    "repro.player",
+    "repro.baselines",
+]
+
+
+def _walk_modules():
+    seen = []
+    for name in PACKAGES:
+        module = importlib.import_module(name)
+        seen.append(module)
+        if hasattr(module, "__path__"):
+            for info in pkgutil.iter_modules(module.__path__):
+                if info.name == "__main__":  # importing it runs the CLI
+                    continue
+                seen.append(importlib.import_module(f"{name}.{info.name}"))
+    # top-level single modules
+    for name in ("repro.cli", "repro.viz", "repro.experiments"):
+        seen.append(importlib.import_module(name))
+    return seen
+
+
+ALL_MODULES = _walk_modules()
+
+
+@pytest.mark.parametrize("module", ALL_MODULES, ids=lambda m: m.__name__)
+def test_module_docstring(module):
+    assert module.__doc__ and module.__doc__.strip(), module.__name__
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_exports_resolve(package):
+    module = importlib.import_module(package)
+    exported = getattr(module, "__all__", [])
+    for name in exported:
+        assert hasattr(module, name), f"{package}.__all__ lists missing {name}"
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_no_duplicate_exports(package):
+    module = importlib.import_module(package)
+    exported = getattr(module, "__all__", [])
+    assert len(exported) == len(set(exported)), package
+
+
+def _public_members():
+    members = []
+    for module in ALL_MODULES:
+        for name, obj in vars(module).items():
+            if name.startswith("_"):
+                continue
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                if getattr(obj, "__module__", None) == module.__name__:
+                    members.append((module.__name__, name, obj))
+    return members
+
+
+@pytest.mark.parametrize(
+    "qualname,obj",
+    [(f"{m}.{n}", o) for m, n, o in _public_members()],
+)
+def test_public_members_documented(qualname, obj):
+    """Every public class and function carries a docstring."""
+    assert inspect.getdoc(obj), qualname
+
+
+def test_public_classes_document_public_methods():
+    """Public methods carry docstrings (inherited override docs count)."""
+    undocumented = []
+    for module_name, name, obj in _public_members():
+        if not inspect.isclass(obj):
+            continue
+        for attr_name, attr in vars(obj).items():
+            if attr_name.startswith("_"):
+                continue
+            if inspect.isfunction(attr) and not inspect.getdoc(
+                getattr(obj, attr_name)
+            ):
+                undocumented.append(f"{module_name}.{name}.{attr_name}")
+    assert not undocumented, undocumented

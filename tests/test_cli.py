@@ -1,0 +1,101 @@
+"""Unit tests for the repro CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_clip_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["annotate", "nosferatu"])
+
+    def test_unknown_device_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["savings", "catwoman", "--device", "palm"])
+
+
+class TestCatalog:
+    def test_lists_clips_and_devices(self, capsys):
+        assert main(["catalog"]) == 0
+        out = capsys.readouterr().out
+        assert "ice_age" in out
+        assert "ipaq5555" in out
+        assert "CCFL" in out
+
+
+class TestAnnotate:
+    def test_prints_scene_table(self, capsys):
+        assert main(["annotate", "catwoman", "--scale", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "scenes" in out
+        assert "backlight" in out
+
+    def test_writes_track_file(self, capsys, tmp_path):
+        path = tmp_path / "track.bin"
+        assert main(["annotate", "catwoman", "--scale", "0.2", "-o", str(path)]) == 0
+        data = path.read_bytes()
+        from repro.core import DeviceAnnotationTrack
+        track = DeviceAnnotationTrack.from_bytes(data)
+        assert track.frame_count > 0
+
+
+class TestSavings:
+    def test_reports_both_savings(self, capsys):
+        assert main(["savings", "spiderman2", "--scale", "0.15",
+                     "--quality", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "backlight savings" in out
+        assert "total savings" in out
+
+
+class TestSweep:
+    def test_subset_sweep(self, capsys):
+        assert main(["sweep", "--clips", "ice_age", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "ice_age" in out
+        assert "20%" in out
+
+    def test_row_per_clip(self, capsys):
+        main(["sweep", "--clips", "ice_age", "catwoman", "--scale", "0.1"])
+        out = capsys.readouterr().out
+        assert len([l for l in out.splitlines() if l.strip()]) == 3  # header + 2
+
+
+class TestCalibrate:
+    def test_prints_transfer(self, capsys):
+        assert main(["calibrate", "--device", "ipaq3650"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 7" in out
+        assert "gamma" in out
+
+
+class TestTrace:
+    def test_prints_sparklines(self, capsys):
+        assert main(["trace", "themovie", "--scale", "0.15"]) == 0
+        out = capsys.readouterr().out
+        assert "frame max lum" in out
+        assert "power saved" in out
+
+
+class TestValidationErrors:
+    def test_bad_quality(self, capsys):
+        assert main(["savings", "catwoman", "--quality", "2.0"]) == 2
+        assert "quality" in capsys.readouterr().err
+
+    def test_bad_scale(self, capsys):
+        assert main(["savings", "catwoman", "--scale", "-1"]) == 2
+        assert "scale" in capsys.readouterr().err
+
+
+class TestReport:
+    def test_runs_full_sweep(self, capsys):
+        assert main(["report", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 9" in out
+        assert "Figure 10" in out
+        assert "headline" in out

@@ -1,0 +1,60 @@
+"""Smoke tests: every example script must run cleanly.
+
+Examples are the first thing a new user executes; this keeps them from
+rotting as the library evolves.  Each runs in a subprocess with the same
+interpreter, with scaled-down arguments where supported.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+
+#: script -> extra argv (kept small so the suite stays fast)
+EXAMPLES = {
+    "quickstart.py": [],
+    "streaming_session.py": [],
+    "device_calibration.py": [],
+    "quality_tradeoff.py": ["ice_age"],
+    "baseline_comparison.py": [],
+    "annotations_beyond_backlight.py": [],
+    "battery_aware_viewing.py": [],
+    "reproduce_paper.py": ["0.05"],
+    "live_conferencing.py": [],
+}
+
+
+def _run(script, args):
+    return subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, script), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+@pytest.mark.parametrize("script,args", EXAMPLES.items(), ids=list(EXAMPLES))
+def test_example_runs(script, args):
+    result = _run(script, args)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), f"{script} produced no output"
+
+
+def test_example_list_is_complete():
+    """Every script in examples/ is exercised here."""
+    present = {f for f in os.listdir(EXAMPLES_DIR) if f.endswith(".py")}
+    assert present == set(EXAMPLES)
+
+
+def test_quickstart_reports_savings():
+    result = _run("quickstart.py", [])
+    assert "savings" in result.stdout.lower()
+
+
+def test_reproduce_paper_checks_pass():
+    result = _run("reproduce_paper.py", ["0.05"])
+    assert "[ok]" in result.stdout
+    assert "FAIL" not in result.stdout

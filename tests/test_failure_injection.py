@@ -1,0 +1,168 @@
+"""Failure injection: corrupted data, saturated instruments, overloads.
+
+The system must fail loudly on corrupt inputs (never produce a silently
+wrong backlight schedule) and degrade predictably when instruments or
+budgets saturate.
+"""
+
+import numpy as np
+import pytest
+
+from repro.camera import DigitalCamera, LinearResponse
+from repro.core import (
+    AnnotationPipeline,
+    AnnotationTrack,
+    DeviceAnnotationTrack,
+    DvfsTrack,
+)
+from repro.display import ipaq_5555
+from repro.player import DecoderModel, PlaybackEngine
+from repro.power import DAQConfig, DAQSimulator
+from repro.streaming import MediaServer, MobileClient, StreamProtocolError
+
+
+@pytest.fixture
+def device():
+    return ipaq_5555()
+
+
+class TestCorruptAnnotations:
+    @pytest.fixture
+    def track_bytes(self, tiny_clip, fast_params, device):
+        pipeline = AnnotationPipeline(fast_params)
+        return pipeline.annotate_for_device(tiny_clip, device).to_bytes()
+
+    def test_truncation_every_prefix_rejected(self, track_bytes):
+        """No prefix of a valid track parses as a valid track."""
+        for cut in range(4, len(track_bytes) - 1):
+            with pytest.raises(ValueError):
+                DeviceAnnotationTrack.from_bytes(track_bytes[:cut])
+
+    def test_trailing_bytes_rejected(self, track_bytes):
+        with pytest.raises(ValueError, match="trailing"):
+            DeviceAnnotationTrack.from_bytes(track_bytes + b"\x00")
+
+    def test_magic_corruption_rejected(self, track_bytes):
+        corrupted = b"ZZZZ" + track_bytes[4:]
+        with pytest.raises(ValueError):
+            DeviceAnnotationTrack.from_bytes(corrupted)
+
+    def test_bitflips_never_crash_only_raise_or_parse(self, track_bytes):
+        """Random single-byte corruption either raises ValueError or
+        yields a structurally valid track — never an unhandled crash."""
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            pos = int(rng.integers(0, len(track_bytes)))
+            flipped = bytearray(track_bytes)
+            flipped[pos] ^= int(rng.integers(1, 256))
+            try:
+                track = DeviceAnnotationTrack.from_bytes(bytes(flipped))
+            except ValueError:
+                continue
+            # If it parsed, the structural invariants must hold.
+            levels = track.per_frame_levels()
+            assert levels.min() >= 0 and levels.max() <= 255
+            assert track.per_frame_gains().min() >= 1.0
+
+    def test_luminance_track_corruption(self, tiny_clip, fast_params):
+        pipeline = AnnotationPipeline(fast_params)
+        data = pipeline.annotate(tiny_clip).to_bytes()
+        with pytest.raises(ValueError):
+            AnnotationTrack.from_bytes(data[:8])
+
+    def test_dvfs_track_corruption(self):
+        from repro.core import DvfsSceneAnnotation
+        track = DvfsTrack("c", 5, 30.0, [DvfsSceneAnnotation(0, 5, 1e6)])
+        data = track.to_bytes()
+        with pytest.raises(ValueError):
+            DvfsTrack.from_bytes(data[:-1])
+
+
+class TestStreamTampering:
+    @pytest.fixture
+    def stream_parts(self, tiny_clip, fast_params, device):
+        server = MediaServer(params=fast_params)
+        server.add_clip(tiny_clip)
+        client = MobileClient(device)
+        session = server.open_session(client.request("tiny", 0.05))
+        return client, session, list(server.stream(session))
+
+    def test_dropped_frame_detected(self, stream_parts):
+        client, session, packets = stream_parts
+        del packets[5]
+        with pytest.raises(StreamProtocolError):
+            client.play_stream(session, packets)
+
+    def test_duplicated_frame_detected(self, stream_parts):
+        client, session, packets = stream_parts
+        packets.insert(5, packets[5])
+        with pytest.raises(StreamProtocolError):
+            client.play_stream(session, packets)
+
+    def test_annotation_replaced_with_garbage(self, stream_parts):
+        from repro.streaming import annotation_packet
+        client, session, packets = stream_parts
+        packets[0] = annotation_packet(0, b"AND1" + b"\xff" * 7)
+        with pytest.raises((StreamProtocolError, ValueError)):
+            client.play_stream(session, packets)
+
+
+class TestInstrumentSaturation:
+    def test_daq_overrange_clips_not_crashes(self):
+        """Power far beyond the ADC range saturates the reading."""
+        cfg = DAQConfig(noise_sigma_v=0.0, shunt_adc_range_v=0.1)
+        daq = DAQSimulator(cfg)
+        # 50 W -> 10 A -> 1 V across the shunt, 10x the ADC range.
+        trace = daq.measure(lambda t: np.full_like(t, 50.0), 0.05)
+        assert np.isfinite(trace.power_w).all()
+        assert trace.mean_power_w < 50.0  # clipped, visibly wrong, not NaN
+
+    def test_camera_overexposure_flattens_histogram(self, dark_frame, device):
+        """A badly overexposed snapshot loses the comparison signal; the
+        validator's EMD then reports a large distance against a properly
+        exposed reference rather than a false pass."""
+        from repro.camera import CompensationValidator
+        from repro.core import contrast_enhancement
+        overexposed = DigitalCamera(response=LinearResponse(), exposure=50.0)
+        validator = CompensationValidator(device, overexposed)
+        photo = validator.snapshot(dark_frame, 255)
+        assert (photo == 255).mean() > 0.5  # blown out
+
+    def test_decoder_overload_counted(self, tiny_clip, fast_params, device):
+        weak = DecoderModel(cpu_hz=5e6)  # hopeless CPU
+        pipeline = AnnotationPipeline(fast_params)
+        stream = pipeline.build_stream(tiny_clip, device)
+        result = PlaybackEngine(device, decoder=weak).play(stream)
+        assert result.dropped_deadline_count == tiny_clip.frame_count
+
+
+class TestBudgetEdgeCases:
+    def test_quality_one_clips_everything_but_still_valid(self, tiny_clip, device):
+        from repro.core import SchemeParameters
+        params = SchemeParameters(quality=1.0, min_scene_interval_frames=5)
+        stream = AnnotationPipeline(params).build_stream(tiny_clip, device)
+        levels = stream.backlight_levels()
+        assert levels.min() >= 0
+        # with everything clippable the backlight floors out
+        assert levels.max() <= 30
+
+    def test_black_clip_handled(self, device, fast_params):
+        from repro.video import Frame, VideoClip
+        clip = VideoClip([Frame.solid_gray(8, 8, 0) for _ in range(10)], name="black")
+        stream = AnnotationPipeline(fast_params).build_stream(clip, device)
+        assert stream.predicted_backlight_savings() > 0.9
+        assert stream.mean_clipped_fraction() == 0.0
+
+    def test_white_clip_handled(self, device, fast_params):
+        from repro.video import Frame, VideoClip
+        clip = VideoClip([Frame.solid_gray(8, 8, 255) for _ in range(10)], name="white")
+        stream = AnnotationPipeline(fast_params).build_stream(clip, device)
+        assert stream.predicted_backlight_savings() == pytest.approx(0.0)
+        assert stream.mean_clipped_fraction() == 0.0
+
+    def test_single_frame_clip(self, device, fast_params):
+        from repro.video import Frame, VideoClip
+        clip = VideoClip([Frame.solid_gray(8, 8, 100)], name="one")
+        stream = AnnotationPipeline(fast_params).build_stream(clip, device)
+        assert stream.frame_count == 1
+        assert len(stream.track.scenes) == 1

@@ -1,0 +1,152 @@
+"""Cross-module integration tests: the full system end to end."""
+
+import numpy as np
+import pytest
+
+from repro.camera import CompensationValidator, DigitalCamera
+from repro.core import AnnotationPipeline, DeviceAnnotationTrack, SchemeParameters
+from repro.display import ipaq_5555, ipaq_3650, zaurus_sl5600
+from repro.player import PlaybackEngine
+from repro.power import simulated_backlight_savings
+from repro.streaming import (
+    MediaServer,
+    MobileClient,
+    NetworkPath,
+    TranscodingProxy,
+)
+
+
+@pytest.fixture
+def device():
+    return ipaq_5555()
+
+
+class TestServerToClientEquivalence:
+    def test_streamed_levels_equal_offline_pipeline(self, tiny_clip, fast_params, device):
+        """The server/client path must apply exactly the schedule the
+        offline pipeline computes — no drift through serialization,
+        packetization or playback."""
+        server = MediaServer(params=fast_params)
+        server.add_clip(tiny_clip)
+        client = MobileClient(device)
+        session = server.open_session(client.request("tiny", 0.05))
+        packets = list(server.stream(session))
+        result = client.play_stream(session, packets)
+
+        offline = AnnotationPipeline(fast_params.with_quality(0.05)).build_stream(
+            tiny_clip, device
+        )
+        assert np.array_equal(result.applied_levels, offline.backlight_levels())
+
+    def test_all_devices_end_to_end(self, tiny_clip, fast_params):
+        server = MediaServer(params=fast_params)
+        server.add_clip(tiny_clip)
+        for dev in (ipaq_5555(), ipaq_3650(), zaurus_sl5600()):
+            client = MobileClient(dev)
+            session = server.open_session(client.request("tiny", 0.10))
+            packets = list(server.stream(session))
+            result = client.play_stream(session, packets)
+            assert result.total_savings > 0.0, dev.name
+
+    def test_network_delivery_sustains_playback(self, tiny_clip, fast_params, device):
+        server = MediaServer(params=fast_params)
+        server.add_clip(tiny_clip)
+        client = MobileClient(device)
+        session = server.open_session(client.request("tiny", 0.05))
+        packets = list(server.stream(session))
+        schedule = NetworkPath().deliver(packets)
+        # every frame arrives before its presentation deadline (+ startup)
+        deadlines = 0.5 + np.arange(len(packets) - 1) / tiny_clip.fps
+        assert np.all(schedule.arrival_times_s[1:] <= deadlines)
+
+
+class TestProxyEquivalence:
+    def test_proxy_stream_plays_on_client(self, tiny_clip, fast_params, device):
+        server = MediaServer(params=fast_params)
+        server.add_clip(tiny_clip)
+        client = MobileClient(device)
+        session = server.open_session(client.request("tiny", 0.05))
+        proxy = TranscodingProxy(device, fast_params.with_quality(0.05), chunk_frames=12)
+        packets = list(proxy.process(iter(tiny_clip), fps=tiny_clip.fps))
+        result = client.play_stream(session, packets)
+        assert result.applied_levels.shape == (tiny_clip.frame_count,)
+
+
+class TestCameraClosesTheLoop:
+    def test_streamed_frames_validate_against_originals(self, tiny_clip, fast_params, device):
+        """Figure 2 end-to-end: photograph what the client displays and
+        compare to the original at full backlight."""
+        pipeline = AnnotationPipeline(fast_params.with_quality(0.05))
+        stream = pipeline.build_stream(tiny_clip, device)
+        validator = CompensationValidator(device, DigitalCamera(noise_sigma=0.002, seed=4))
+        checked = 0
+        for i in range(0, tiny_clip.frame_count, 6):
+            comp = stream.compensated_frame(i).frame
+            level = int(stream.backlight_levels()[i])
+            report = validator.validate(tiny_clip.frame(i), comp, level)
+            assert report.acceptable(), f"frame {i}: {report!r}"
+            checked += 1
+        assert checked >= 6
+
+    def test_validation_catches_wrong_device_annotations(self, tiny_clip, fast_params):
+        """Annotations bound to the wrong device's transfer produce a
+        visibly darker image — the validator must notice."""
+        pipeline = AnnotationPipeline(fast_params.with_quality(0.05))
+        target = ipaq_3650()  # convex transfer: level numbers mean less light
+        wrong_stream = pipeline.build_stream(tiny_clip, ipaq_5555())
+        validator = CompensationValidator(target, DigitalCamera(noise_sigma=0.0))
+        i = 3  # dark scene, deep dimming
+        comp = wrong_stream.compensated_frame(i).frame
+        level = int(wrong_stream.backlight_levels()[i])
+        report = validator.validate(tiny_clip.frame(i), comp, level)
+        assert not report.acceptable()
+
+
+class TestAnnotationPortability:
+    def test_one_track_many_devices(self, tiny_clip, fast_params):
+        """'same for all types of PDA clients': one luminance track binds
+        to every device, each getting its own levels."""
+        pipeline = AnnotationPipeline(fast_params.with_quality(0.10))
+        track = pipeline.annotate(tiny_clip)
+        levels = {}
+        for dev in (ipaq_5555(), ipaq_3650(), zaurus_sl5600()):
+            bound = track.bind(dev)
+            assert bound.frame_count == tiny_clip.frame_count
+            levels[dev.name] = tuple(bound.per_frame_levels())
+        assert len(set(levels.values())) == 3
+
+    def test_serialized_track_drives_playback(self, tiny_clip, fast_params, device):
+        pipeline = AnnotationPipeline(fast_params.with_quality(0.05))
+        bound = pipeline.annotate_for_device(tiny_clip, device)
+        data = bound.to_bytes()
+        restored = DeviceAnnotationTrack.from_bytes(data)
+        assert np.array_equal(restored.per_frame_levels(), bound.per_frame_levels())
+
+
+class TestPowerAccounting:
+    def test_playback_and_measurement_agree(self, library_clip, fast_params, device):
+        pipeline = AnnotationPipeline(fast_params.with_quality(0.10))
+        stream = pipeline.build_stream(library_clip, device)
+        result = PlaybackEngine(device).play(stream)
+        measured = result.measure().savings_vs(result.measure_baseline())
+        assert measured == pytest.approx(result.total_savings, abs=0.02)
+
+    def test_backlight_vs_total_savings_relation(self, library_clip, fast_params, device):
+        """Whole-device savings ~ backlight savings x backlight share of
+        this run's baseline power — Figure 10 vs Figure 9."""
+        pipeline = AnnotationPipeline(fast_params.with_quality(0.20))
+        stream = pipeline.build_stream(library_clip, device)
+        result = PlaybackEngine(device).play(stream)
+        bl_savings = simulated_backlight_savings(result.applied_levels, device)
+        share = float(device.backlight.power(255)) / result.baseline_mean_power_w
+        assert result.total_savings == pytest.approx(bl_savings * share, abs=0.02)
+
+    def test_battery_runtime_extension(self, library_clip, fast_params, device):
+        from repro.power import Battery
+        pipeline = AnnotationPipeline(fast_params.with_quality(0.20))
+        stream = pipeline.build_stream(library_clip, device)
+        result = PlaybackEngine(device).play(stream)
+        extension = Battery().runtime_extension(
+            result.baseline_mean_power_w, result.mean_power_w
+        )
+        assert extension > 0.05  # >5 % more playback time

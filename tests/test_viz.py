@@ -1,0 +1,97 @@
+"""Unit tests for repro.viz."""
+
+import numpy as np
+import pytest
+
+from repro.viz import bar, histogram_sketch, series_table, sparkline
+
+
+class TestSparkline:
+    def test_length_matches(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_monotone_input_monotone_glyphs(self):
+        line = sparkline(np.linspace(0, 1, 8))
+        order = [" ▁▂▃▄▅▆▇█".index(c) for c in line]
+        assert order == sorted(order)
+
+    def test_constant_series(self):
+        assert sparkline([5, 5, 5]) == "███"
+
+    def test_nan_renders_space(self):
+        assert sparkline([0.0, float("nan"), 1.0])[1] == " "
+
+    def test_all_nan(self):
+        assert sparkline([float("nan")] * 3) == "   "
+
+    def test_explicit_bounds_clamp(self):
+        line = sparkline([-10, 10], lo=0.0, hi=1.0)
+        assert line[0] == "▁" and line[1] == "█"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            sparkline([])
+
+
+class TestBar:
+    def test_full_and_empty(self):
+        assert bar(1.0, width=10) == "#" * 10
+        assert bar(0.0, width=10) == "." * 10
+
+    def test_half(self):
+        assert bar(0.5, width=10) == "#####....."
+
+    def test_clamped(self):
+        assert bar(2.0, width=4) == "####"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar(0.5, width=0)
+        with pytest.raises(ValueError):
+            bar(0.5, lo=1.0, hi=0.0)
+
+
+class TestSeriesTable:
+    def test_lines_per_series_plus_scale(self):
+        out = series_table({"a": [0, 1], "b": [1, 0]})
+        assert len(out.splitlines()) == 3
+
+    def test_labels_present(self):
+        out = series_table({"alpha": [0, 1], "b": [1, 0]})
+        assert "alpha" in out and "scale" in out
+
+    def test_long_series_decimated(self):
+        out = series_table({"x": np.linspace(0, 1, 500)}, width=40)
+        first = out.splitlines()[0]
+        assert len(first) < 60
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            series_table({})
+
+
+class TestHistogramSketch:
+    def test_shape(self):
+        out = histogram_sketch(np.ones(256), height=4, width=32)
+        lines = out.splitlines()
+        assert len(lines) == 5  # 4 rows + axis
+        assert all(len(line) == 32 for line in lines)
+
+    def test_peak_column_tallest(self):
+        counts = np.zeros(256)
+        counts[128] = 100
+        counts[10] = 10
+        out = histogram_sketch(counts, height=5, width=64)
+        top_row = out.splitlines()[0]
+        assert "#" in top_row
+        assert top_row.index("#") == 32  # the peak bin's column
+
+    def test_empty_histogram(self):
+        out = histogram_sketch(np.zeros(16), height=2, width=8)
+        assert "#" not in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            histogram_sketch([], height=2, width=8)
+        with pytest.raises(ValueError):
+            histogram_sketch([1.0], height=0, width=8)

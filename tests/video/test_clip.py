@@ -1,0 +1,140 @@
+"""Unit tests for repro.video.clip."""
+
+import numpy as np
+import pytest
+
+from repro.video import Frame, LazyClip, VideoClip, concatenate
+
+
+def _frames(n, level=50):
+    return [Frame.solid_gray(4, 4, level + i) for i in range(n)]
+
+
+class TestVideoClip:
+    def test_reindexes_frames(self):
+        frames = [Frame.solid_gray(2, 2, 0, index=99) for _ in range(3)]
+        clip = VideoClip(frames)
+        assert [f.index for f in clip] == [0, 1, 2]
+
+    def test_len_and_duration(self):
+        clip = VideoClip(_frames(60), fps=30.0)
+        assert len(clip) == 60
+        assert clip.duration == pytest.approx(2.0)
+        assert clip.frame_period == pytest.approx(1 / 30)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one frame"):
+            VideoClip([])
+
+    def test_bad_fps_rejected(self):
+        with pytest.raises(ValueError, match="fps"):
+            VideoClip(_frames(1), fps=0)
+
+    def test_frame_out_of_range(self):
+        clip = VideoClip(_frames(3))
+        with pytest.raises(IndexError):
+            clip.frame(3)
+        with pytest.raises(IndexError):
+            clip.frame(-1)
+
+    def test_accepts_raw_arrays(self):
+        clip = VideoClip([np.zeros((2, 2, 3), dtype=np.uint8)])
+        assert isinstance(clip.frame(0), Frame)
+
+    def test_timestamps(self):
+        clip = VideoClip(_frames(3), fps=10.0)
+        assert clip.timestamps() == pytest.approx([0.0, 0.1, 0.2])
+
+    def test_subclip(self):
+        clip = VideoClip(_frames(10, level=0))
+        sub = clip.subclip(2, 5)
+        assert sub.frame_count == 3
+        assert sub.frame(0).pixels[0, 0, 0] == 2
+        assert sub.frame(0).index == 0
+
+    def test_subclip_invalid_range(self):
+        clip = VideoClip(_frames(5))
+        with pytest.raises(ValueError):
+            clip.subclip(3, 3)
+        with pytest.raises(ValueError):
+            clip.subclip(0, 6)
+
+    def test_subclip_copies(self):
+        clip = VideoClip(_frames(4))
+        sub = clip.subclip(0, 2)
+        sub.frame(0).pixels[0, 0, 0] = 200
+        assert clip.frame(0).pixels[0, 0, 0] != 200
+
+    def test_repr(self):
+        clip = VideoClip(_frames(5), fps=25.0, name="demo")
+        assert "demo" in repr(clip)
+        assert "frames=5" in repr(clip)
+
+
+class TestLazyClip:
+    def test_factory_called_per_access(self):
+        calls = []
+
+        def factory(i):
+            calls.append(i)
+            return Frame.solid_gray(2, 2, i)
+
+        clip = LazyClip(factory, frame_count=4)
+        clip.frame(2)
+        clip.frame(2)
+        assert calls == [2, 2]  # no caching, by design
+
+    def test_index_set_on_frames(self):
+        clip = LazyClip(lambda i: Frame.solid_gray(2, 2, 0), frame_count=3)
+        assert clip.frame(2).index == 2
+
+    def test_out_of_range(self):
+        clip = LazyClip(lambda i: Frame.solid_gray(2, 2, 0), frame_count=2)
+        with pytest.raises(IndexError):
+            clip.frame(2)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            LazyClip(lambda i: None, frame_count=0)
+        with pytest.raises(ValueError):
+            LazyClip(lambda i: None, frame_count=1, fps=-1)
+
+    def test_materialize_preserves_content(self, tiny_clip):
+        eager = tiny_clip.materialize()
+        assert eager.frame_count == tiny_clip.frame_count
+        assert eager.fps == tiny_clip.fps
+        assert eager.name == tiny_clip.name
+        for i in (0, 15, tiny_clip.frame_count - 1):
+            assert eager.frame(i) == tiny_clip.frame(i)
+
+    def test_deterministic_re_reads(self, tiny_clip):
+        assert tiny_clip.frame(5) == tiny_clip.frame(5)
+
+    def test_resolution_advertised(self, tiny_clip):
+        assert tiny_clip.resolution == (48, 36)
+
+
+class TestConcatenate:
+    def test_basic(self):
+        a = VideoClip(_frames(3, level=0), fps=30.0)
+        b = VideoClip(_frames(2, level=100), fps=30.0)
+        joined = concatenate([a, b], name="ab")
+        assert joined.frame_count == 5
+        assert joined.frame(3).pixels[0, 0, 0] == 100
+        assert joined.name == "ab"
+
+    def test_fps_mismatch(self):
+        a = VideoClip(_frames(1), fps=30.0)
+        b = VideoClip(_frames(1), fps=25.0)
+        with pytest.raises(ValueError, match="fps"):
+            concatenate([a, b])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            concatenate([])
+
+    def test_source_frames_copied(self):
+        a = VideoClip(_frames(1))
+        joined = concatenate([a])
+        joined.frame(0).pixels[0, 0, 0] = 250
+        assert a.frame(0).pixels[0, 0, 0] != 250

@@ -1,0 +1,152 @@
+"""Unit tests for repro.video.codec."""
+
+import numpy as np
+import pytest
+
+from repro.video import CodecModel, Frame, GopPattern, VideoClip
+
+
+class TestGopPattern:
+    def test_default_n12_m3(self):
+        gop = GopPattern()
+        assert gop.length == 12
+        assert gop.frame_type(0) == "I"
+        assert gop.frame_type(3) == "P"
+        assert gop.frame_type(1) == "B"
+
+    def test_repeats(self):
+        gop = GopPattern("IPP")
+        assert gop.frame_type(3) == "I"
+        assert gop.frame_type(4) == "P"
+
+    def test_from_n_m_ippp(self):
+        gop = GopPattern.from_n_m(4, 1)
+        assert gop.structure == "IPPP"
+
+    def test_from_n_m_with_b(self):
+        gop = GopPattern.from_n_m(6, 3)
+        assert gop.structure == "IBBPBB"
+
+    @pytest.mark.parametrize("structure", ["", "PIB", "IXB"])
+    def test_invalid_structure(self, structure):
+        with pytest.raises(ValueError):
+            GopPattern(structure)
+
+    def test_from_n_m_validation(self):
+        with pytest.raises(ValueError):
+            GopPattern.from_n_m(2, 3)
+
+    def test_negative_index(self):
+        with pytest.raises(ValueError):
+            GopPattern().frame_type(-1)
+
+
+class TestFrameSizeEstimation:
+    @pytest.fixture
+    def codec(self):
+        return CodecModel()
+
+    def test_i_larger_than_p_larger_than_b(self, codec, dark_frame):
+        sizes = {
+            ftype: codec.estimate_frame_bytes(dark_frame, dark_frame, ftype)
+            for ftype in "IPB"
+        }
+        assert sizes["I"] > sizes["P"] > sizes["B"]
+
+    def test_complex_content_costs_more(self, codec):
+        flat = Frame.solid_gray(48, 48, 100)
+        rng = np.random.default_rng(1)
+        busy = Frame.from_luminance(rng.random((48, 48)))
+        assert codec.estimate_frame_bytes(busy, None, "I") > codec.estimate_frame_bytes(
+            flat, None, "I"
+        )
+
+    def test_motion_costs_more(self, codec, dark_frame):
+        still = codec.estimate_frame_bytes(dark_frame, dark_frame, "P")
+        cut = codec.estimate_frame_bytes(dark_frame, Frame.solid_gray(
+            dark_frame.height, dark_frame.width, 255), "P")
+        assert cut > still
+
+    def test_minimum_size_floor(self, codec):
+        tiny = Frame.solid_gray(2, 2, 0)
+        assert codec.estimate_frame_bytes(tiny, tiny, "B") == codec.min_frame_bytes
+
+    def test_invalid_type(self, codec, dark_frame):
+        with pytest.raises(ValueError):
+            codec.estimate_frame_bytes(dark_frame, None, "X")
+
+    def test_decode_factors_ordered(self, codec):
+        assert (codec.decode_cycles_factor("B") > codec.decode_cycles_factor("P")
+                > codec.decode_cycles_factor("I"))
+
+    @pytest.mark.parametrize("kwargs", [
+        {"bpp_i": 0}, {"complexity_gain": -1}, {"min_frame_bytes": 0},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            CodecModel(**kwargs)
+
+
+class TestEncodeClip:
+    def test_encoded_metadata(self, tiny_clip):
+        enc = CodecModel().encode(tiny_clip)
+        assert enc.frame_bytes.shape == (tiny_clip.frame_count,)
+        assert enc.frame_types[0] == "I"
+        assert enc.total_bytes == enc.frame_bytes.sum()
+
+    def test_substantial_compression(self, tiny_clip):
+        enc = CodecModel().encode(tiny_clip)
+        raw = tiny_clip.frame(0).pixels.nbytes
+        assert enc.compression_ratio(raw) > 5
+
+    def test_bitrate_plausible(self, library_clip):
+        """Small-resolution 2005-era streams ran tens to hundreds of kbps."""
+        enc = CodecModel().encode(library_clip)
+        assert 10e3 < enc.bitrate_bps < 2e6
+
+    def test_mean_bytes_by_type_ordering(self, library_clip):
+        enc = CodecModel().encode(library_clip)
+        by_type = enc.mean_bytes_by_type()
+        assert by_type["I"] > by_type["P"] > by_type["B"]
+
+    def test_intra_only_pattern(self, tiny_clip):
+        enc = CodecModel(gop=GopPattern("I")).encode(tiny_clip)
+        assert set(enc.frame_types) == {"I"}
+
+
+class TestServerCodecIntegration:
+    def test_wire_size_uses_encoded_bytes(self, tiny_clip, fast_params):
+        from repro.streaming import MediaServer, MobileClient, PacketType
+        from repro.display import ipaq_5555
+        codec = CodecModel()
+        server = MediaServer(params=fast_params, codec=codec)
+        server.add_clip(tiny_clip)
+        client = MobileClient(ipaq_5555())
+        session = server.open_session(client.request("tiny", 0.05))
+        packets = [p for p in server.stream(session) if p.ptype is PacketType.FRAME]
+        enc = server.encoded_clip("tiny")
+        for i, packet in enumerate(packets):
+            assert packet.size_bytes == int(enc.frame_bytes[i]) + 32
+
+    def test_codecless_server_rejects_query(self, tiny_clip, fast_params):
+        from repro.streaming import MediaServer, NegotiationError
+        server = MediaServer(params=fast_params)
+        server.add_clip(tiny_clip)
+        with pytest.raises(NegotiationError, match="codec"):
+            server.encoded_clip("tiny")
+
+    def test_encoded_transport_lowers_radio_power(self, tiny_clip, fast_params):
+        from repro.streaming import MediaServer, MobileClient, NetworkPath
+        from repro.display import ipaq_5555
+        results = {}
+        for codec in (None, CodecModel()):
+            server = MediaServer(params=fast_params, codec=codec)
+            server.add_clip(tiny_clip)
+            client = MobileClient(ipaq_5555())
+            session = server.open_session(client.request("tiny", 0.05))
+            packets = list(server.stream(session))
+            delivery = NetworkPath().deliver(packets)
+            results[codec is not None] = client.play_stream(
+                session, packets, delivery=delivery
+            ).mean_power_w
+        assert results[True] < results[False]

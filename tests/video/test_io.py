@@ -1,0 +1,64 @@
+"""Unit tests for repro.video.io (clip serialization)."""
+
+import numpy as np
+import pytest
+
+from repro.video import Frame, VideoClip, clip_nbytes, load_clip, save_clip
+
+
+@pytest.fixture
+def small_clip():
+    frames = [Frame.solid_gray(4, 6, 10 * i) for i in range(5)]
+    return VideoClip(frames, fps=24.0, name="small")
+
+
+class TestRoundTrip:
+    def test_exact_pixels(self, small_clip, tmp_path):
+        path = tmp_path / "clip.npz"
+        save_clip(small_clip, path)
+        loaded = load_clip(path)
+        assert loaded.frame_count == 5
+        for i in range(5):
+            assert loaded.frame(i) == small_clip.frame(i)
+
+    def test_metadata(self, small_clip, tmp_path):
+        path = tmp_path / "clip.npz"
+        save_clip(small_clip, path)
+        loaded = load_clip(path)
+        assert loaded.fps == 24.0
+        assert loaded.name == "small"
+
+    def test_lazy_clip_saved(self, tiny_clip, tmp_path):
+        path = tmp_path / "lazy.npz"
+        save_clip(tiny_clip, path)
+        loaded = load_clip(path)
+        assert loaded.frame_count == tiny_clip.frame_count
+        assert loaded.frame(7) == tiny_clip.frame(7)
+
+
+class TestCorruption:
+    def test_bad_version(self, small_clip, tmp_path):
+        path = tmp_path / "clip.npz"
+        frames = np.stack([f.pixels for f in small_clip])
+        np.savez(path, frames=frames, fps=np.float64(30), name=np.str_("x"),
+                 version=np.int64(99))
+        with pytest.raises(ValueError, match="version"):
+            load_clip(path)
+
+    def test_bad_shape(self, tmp_path):
+        path = tmp_path / "clip.npz"
+        np.savez(path, frames=np.zeros((3, 4, 4)), fps=np.float64(30),
+                 name=np.str_("x"), version=np.int64(1))
+        with pytest.raises(ValueError, match="frames shape"):
+            load_clip(path)
+
+
+class TestClipNbytes:
+    def test_counts_raw_pixels(self, small_clip):
+        assert clip_nbytes(small_clip) == 5 * 4 * 6 * 3
+
+    def test_library_clip_megabyte_scale(self):
+        """At QVGA the paper's clips are MB-scale, dwarfing annotations."""
+        from repro.video import make_clip
+        clip = make_clip("officexp", resolution=(240, 320), duration_scale=0.05)
+        assert clip_nbytes(clip) > 1_000_000

@@ -1,0 +1,110 @@
+"""Unit tests for repro.video.library (the ten paper titles)."""
+
+import numpy as np
+import pytest
+
+from repro.video import PAPER_CLIP_NAMES, clip_script, make_clip, paper_library
+
+RES = (32, 24)
+
+
+class TestCatalog:
+    def test_ten_titles(self):
+        assert len(PAPER_CLIP_NAMES) == 10
+
+    def test_expected_names(self):
+        assert "ice_age" in PAPER_CLIP_NAMES
+        assert "hunter_subres" in PAPER_CLIP_NAMES
+        assert "theincredibles-tlr2" in PAPER_CLIP_NAMES
+
+    def test_every_title_has_script(self):
+        for name in PAPER_CLIP_NAMES:
+            assert clip_script(name)
+
+    def test_unknown_title(self):
+        with pytest.raises(KeyError, match="unknown clip"):
+            clip_script("nosferatu")
+
+    def test_script_returns_copy(self):
+        a = clip_script("ice_age")
+        a.pop()
+        assert len(clip_script("ice_age")) != len(a)
+
+
+class TestMakeClip:
+    def test_basic_construction(self):
+        clip = make_clip("shrek2", resolution=RES, duration_scale=0.1)
+        assert clip.name == "shrek2"
+        assert clip.frame_count > 0
+        assert clip.frame(0).resolution == RES
+
+    def test_duration_scale(self):
+        full = make_clip("shrek2", resolution=RES)
+        half = make_clip("shrek2", resolution=RES, duration_scale=0.5)
+        assert half.frame_count < full.frame_count
+        assert half.frame_count >= full.frame_count // 2  # ceil per scene
+
+    def test_duration_scale_floor(self):
+        tiny = make_clip("shrek2", resolution=RES, duration_scale=0.001)
+        # 4-frame floor per scene keeps the scene mix intact.
+        assert tiny.frame_count == 4 * len(clip_script("shrek2"))
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            make_clip("shrek2", duration_scale=0.0)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            make_clip("not_a_movie")
+
+    def test_deterministic(self):
+        a = make_clip("i_robot", resolution=RES, duration_scale=0.1)
+        b = make_clip("i_robot", resolution=RES, duration_scale=0.1)
+        assert a.frame(3) == b.frame(3)
+
+    def test_titles_differ(self):
+        a = make_clip("i_robot", resolution=RES, duration_scale=0.1)
+        b = make_clip("shrek2", resolution=RES, duration_scale=0.1)
+        assert a.frame(0) != b.frame(0)
+
+
+class TestPaperLibrary:
+    def test_full_library(self):
+        clips = paper_library(resolution=RES, duration_scale=0.05)
+        assert [c.name for c in clips] == list(PAPER_CLIP_NAMES)
+
+    def test_subset(self):
+        clips = paper_library(resolution=RES, duration_scale=0.05,
+                              names=("ice_age", "catwoman"))
+        assert [c.name for c in clips] == ["ice_age", "catwoman"]
+
+
+class TestLuminanceStructure:
+    """The library must reproduce the paper's per-title behaviour."""
+
+    @pytest.fixture(scope="class")
+    def mean_lum(self):
+        def compute(name):
+            clip = make_clip(name, resolution=RES, duration_scale=0.08)
+            return float(np.mean([f.mean_luminance for f in clip]))
+        return compute
+
+    def test_ice_age_bright(self, mean_lum):
+        assert mean_lum("ice_age") > 0.6
+
+    def test_hunter_bright(self, mean_lum):
+        assert mean_lum("hunter_subres") > 0.5
+
+    def test_dark_titles_dark(self, mean_lum):
+        for name in ("catwoman", "spiderman2", "returnoftheking"):
+            assert mean_lum(name) < 0.45, name
+
+    def test_bright_titles_brighter_than_dark(self, mean_lum):
+        assert mean_lum("ice_age") > mean_lum("catwoman") + 0.2
+
+    def test_dark_titles_have_high_max(self):
+        """Dark scenes still carry highlights (spots), so the lossless
+        scheme alone saves little on the brightest frames."""
+        clip = make_clip("spiderman2", resolution=RES, duration_scale=0.08)
+        max_lum = max(f.max_luminance for f in clip)
+        assert max_lum > 0.7
