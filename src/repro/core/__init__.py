@@ -1,7 +1,14 @@
 """Core technique: stream analysis, scenes, clipping, compensation, annotations."""
 
 from .policy import QUALITY_LABELS, QUALITY_LEVELS, SchemeParameters, quality_label
-from .analyzer import FrameStats, StreamAnalyzer
+from .analyzer import FrameStats, StreamAnalyzer, chunk_frame_stats
+from .engine import ENGINE_KINDS, EngineConfig, map_chunks, resolve_engine
+from .profile_cache import (
+    ProfileCache,
+    clip_fingerprint,
+    profile_params_key,
+    shared_profile_cache,
+)
 from .scene import Scene, SceneDetector
 from .scene_histogram import HistogramSceneDetector
 from .clipping import (
@@ -16,6 +23,7 @@ from .compensation import (
     brightness_compensation,
     compensate_for_backlight,
     contrast_enhancement,
+    contrast_enhancement_batch,
 )
 from .annotation import (
     AnnotationTrack,
@@ -35,6 +43,7 @@ from .rle import (
 from .pipeline import (
     AnnotatedStream,
     AnnotationPipeline,
+    CompensatedChunk,
     ProfileResult,
     sweep_quality_levels,
 )
@@ -54,6 +63,15 @@ __all__ = [
     "SchemeParameters",
     "FrameStats",
     "StreamAnalyzer",
+    "chunk_frame_stats",
+    "ENGINE_KINDS",
+    "EngineConfig",
+    "resolve_engine",
+    "map_chunks",
+    "ProfileCache",
+    "clip_fingerprint",
+    "profile_params_key",
+    "shared_profile_cache",
     "Scene",
     "SceneDetector",
     "HistogramSceneDetector",
@@ -65,6 +83,7 @@ __all__ = [
     "CompensationResult",
     "brightness_compensation",
     "contrast_enhancement",
+    "contrast_enhancement_batch",
     "compensate_for_backlight",
     "SceneAnnotation",
     "DeviceSceneAnnotation",
@@ -79,6 +98,7 @@ __all__ = [
     "compression_ratio",
     "AnnotationPipeline",
     "AnnotatedStream",
+    "CompensatedChunk",
     "ProfileResult",
     "sweep_quality_levels",
     "DvfsAnnotator",

@@ -17,10 +17,11 @@ quality loss (clipping) happens.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Tuple, Union
 
 import numpy as np
 
-from ..video.frame import Frame
+from ..video.frame import Frame, MAX_CHANNEL
 
 
 @dataclass(frozen=True)
@@ -67,6 +68,76 @@ def contrast_enhancement(frame: Frame, gain: float) -> CompensationResult:
     clipped = np.any(values > 1.0 + 1e-12, axis=-1)
     result = Frame(np.minimum(values, 1.0), index=frame.index)
     return CompensationResult(frame=result, clipped_fraction=float(clipped.mean()))
+
+
+def contrast_enhancement_batch(
+    pixels: np.ndarray, gains: Union[float, np.ndarray]
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Batched contrast enhancement over an ``(N, H, W, 3)`` uint8 chunk.
+
+    Bit-identical to running :func:`contrast_enhancement` on each frame:
+    the same normalize → scale → clip → quantize float operations are
+    applied elementwise, just across the whole batch at once.
+
+    Parameters
+    ----------
+    pixels:
+        ``(N, H, W, 3)`` uint8 batch.
+    gains:
+        Scalar or per-frame ``(N,)`` gain vector.  Gains must be positive;
+        frames with ``gain <= 1`` pass through unchanged with zero
+        clipping, mirroring the annotated stream's full-backlight
+        short-circuit (a gain of exactly 1 round-trips uint8 pixels).
+
+    Returns
+    -------
+    (compensated, fractions):
+        A new ``(N, H, W, 3)`` uint8 batch and the per-frame clipped
+        fraction as an ``(N,)`` float array.
+    """
+    pixels = np.asarray(pixels)
+    if pixels.ndim != 4 or pixels.shape[3] != 3:
+        raise ValueError(f"batch pixels must be (N, H, W, 3), got {pixels.shape}")
+    if pixels.dtype != np.uint8:
+        raise ValueError(f"batch pixels must be uint8, got {pixels.dtype}")
+    n = pixels.shape[0]
+    g = np.asarray(gains, dtype=np.float64)
+    if g.ndim == 0:
+        g = np.full(n, float(g))
+    if g.shape != (n,):
+        raise ValueError(f"gains must be scalar or shape ({n},), got {g.shape}")
+    if np.any(g <= 0):
+        raise ValueError("compensation gains must be positive")
+
+    fractions = np.zeros(n)
+    active = g > 1.0
+    if not active.any():
+        return pixels.copy(), fractions
+
+    sub = pixels if active.all() else pixels[active]
+    values = sub.astype(np.float64)
+    values /= MAX_CHANNEL
+    values *= g[active][:, None, None, None]
+    threshold = 1.0 + 1e-12
+    # Chained per-channel comparisons instead of np.any(..., axis=-1):
+    # same booleans, far cheaper than a reduction over the strided axis.
+    clipped = (
+        (values[..., 0] > threshold)
+        | (values[..., 1] > threshold)
+        | (values[..., 2] > threshold)
+    )
+    active_fractions = clipped.mean(axis=(1, 2))
+    np.minimum(values, 1.0, out=values)
+    values *= MAX_CHANNEL
+    np.rint(values, out=values)
+    compensated_active = values.astype(np.uint8)
+
+    if active.all():
+        return compensated_active, active_fractions
+    compensated = pixels.copy()
+    compensated[active] = compensated_active
+    fractions[active] = active_fractions
+    return compensated, fractions
 
 
 def compensate_for_backlight(frame: Frame, backlight_luminance: float) -> CompensationResult:

@@ -18,19 +18,22 @@ exact thing the client plays back.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..display.devices import DeviceProfile
 from ..power.measurement import simulated_backlight_savings
+from ..video.chunks import DEFAULT_CHUNK_SIZE, HeterogeneousFrameError
 from ..video.clip import ClipBase
 from ..video.frame import Frame
 from .analyzer import FrameStats, StreamAnalyzer
 from .annotation import AnnotationTrack, DeviceAnnotationTrack, SceneAnnotation
 from .clipping import ClippingPolicy, policy_for_quality
-from .compensation import CompensationResult, contrast_enhancement
+from .compensation import CompensationResult, contrast_enhancement, contrast_enhancement_batch
+from .engine import EngineSpec
 from .policy import SchemeParameters
+from .profile_cache import ProfileCache, shared_profile_cache
 from .scene import Scene, SceneDetector
 
 
@@ -64,13 +67,24 @@ class AnnotationPipeline:
         Optional region-of-interest weighting (user-supervised
         annotation, Section 3).  When given, the quality level bounds the
         clipped *importance mass* instead of the raw pixel count.
+    engine:
+        Execution engine for the profiling pass (``None``, a kind name, or
+        an :class:`~repro.core.engine.EngineConfig`); forwarded to
+        :class:`~repro.core.analyzer.StreamAnalyzer`.  Ignored for
+        importance-weighted analysis.
+    profile_cache:
+        Optional content-keyed :class:`~repro.core.profile_cache.ProfileCache`
+        consulted by :meth:`profile`.  Only plain (unweighted) analysis is
+        cached — importance maps are not part of the cache key.
     """
 
     def __init__(self, params: SchemeParameters = SchemeParameters(),
-                 per_scene_clipping: bool = False, importance=None):
+                 per_scene_clipping: bool = False, importance=None,
+                 engine: EngineSpec = None,
+                 profile_cache: Optional[ProfileCache] = None):
         self.params = params
         if importance is None:
-            self.analyzer = StreamAnalyzer()
+            self.analyzer = StreamAnalyzer(engine=engine)
         else:
             from .roi import RoiStreamAnalyzer
 
@@ -79,10 +93,24 @@ class AnnotationPipeline:
         self.clipping: ClippingPolicy = policy_for_quality(
             params.quality, per_scene=per_scene_clipping, color_safe=params.color_safe
         )
+        self.profile_cache = profile_cache
 
     # ------------------------------------------------------------------
     def profile(self, clip: ClipBase) -> ProfileResult:
-        """Run the analysis + scene-detection stages only."""
+        """Run the analysis + scene-detection stages only.
+
+        When a profile cache is attached (and the analyzer is the plain
+        :class:`StreamAnalyzer`), the result is shared by content: every
+        quality variant, device binding, and cache-sharing server reuses
+        one profiling pass per clip.  Treat cached results as read-only.
+        """
+        if self.profile_cache is not None and type(self.analyzer) is StreamAnalyzer:
+            return self.profile_cache.get_or_compute(
+                clip, self.params, lambda: self._profile_uncached(clip)
+            )
+        return self._profile_uncached(clip)
+
+    def _profile_uncached(self, clip: ClipBase) -> ProfileResult:
         stats = self.analyzer.analyze(clip)
         scenes = self.detector.detect(stats)
         SceneDetector.validate_partition(scenes, len(stats))
@@ -121,14 +149,59 @@ class AnnotationPipeline:
         return AnnotatedStream(clip=clip, track=track, device=device)
 
 
+@dataclass(frozen=True)
+class CompensatedChunk:
+    """A batch of compensated frames plus their playback annotations.
+
+    Attributes
+    ----------
+    pixels:
+        Compensated ``(N, H, W, 3)`` uint8 batch.
+    start:
+        Global index of the first frame in the batch.
+    levels:
+        Per-frame backlight levels, ``(N,)``.
+    gains:
+        Per-frame compensation gains applied, ``(N,)``.
+    clipped_fractions:
+        Per-frame fraction of pixels that clipped, ``(N,)``.
+    """
+
+    pixels: np.ndarray
+    start: int
+    levels: np.ndarray
+    gains: np.ndarray
+    clipped_fractions: np.ndarray
+
+    def __len__(self) -> int:
+        return self.pixels.shape[0]
+
+    @property
+    def stop(self) -> int:
+        """Global index one past the last frame in the chunk."""
+        return self.start + len(self)
+
+    def frame(self, offset: int) -> Frame:
+        """Materialize compensated frame ``offset`` (chunk-local)."""
+        if not 0 <= offset < len(self):
+            raise IndexError(f"chunk offset {offset} out of range [0, {len(self)})")
+        return Frame(self.pixels[offset], index=self.start + offset)
+
+    def frames(self) -> List[Frame]:
+        """Materialize every compensated frame in the chunk."""
+        return [self.frame(k) for k in range(len(self))]
+
+
 class AnnotatedStream:
     """A clip bundled with its device annotation track.
 
     Iterating yields ``(compensated_frame, backlight_level)`` pairs —
-    compensation is applied lazily, frame by frame, which is how the
-    server/proxy streams ("the compensation of the frames in the video
-    stream is performed at either the server or the intermediary proxy
-    node").
+    compensation is applied lazily, which is how the server/proxy streams
+    ("the compensation of the frames in the video stream is performed at
+    either the server or the intermediary proxy node").  Internally the
+    stream compensates whole chunks at a time via
+    :func:`~repro.core.compensation.contrast_enhancement_batch`;
+    :meth:`iter_chunks` exposes the batched form directly.
     """
 
     def __init__(self, clip: ClipBase, track: DeviceAnnotationTrack, device: DeviceProfile):
@@ -141,6 +214,8 @@ class AnnotatedStream:
         self.device = device
         self._levels = track.per_frame_levels()
         self._gains = track.per_frame_gains()
+        self._clipped_fractions: Optional[np.ndarray] = None
+        self._fraction_cache: Dict[int, float] = {}
 
     # ------------------------------------------------------------------
     @property
@@ -163,9 +238,36 @@ class AnnotatedStream:
             return CompensationResult(frame=frame.copy(), clipped_fraction=0.0)
         return contrast_enhancement(frame, gain)
 
+    def iter_chunks(self, chunk_size: int = DEFAULT_CHUNK_SIZE) -> Iterator[CompensatedChunk]:
+        """Yield the compensated stream as :class:`CompensatedChunk` batches.
+
+        Bit-identical to calling :meth:`compensated_frame` per frame, but
+        the normalize → scale → clip → quantize math runs once per chunk.
+        Raises :class:`~repro.video.chunks.HeterogeneousFrameError` for
+        clips that mix frame resolutions (use the per-frame API there).
+        """
+        for chunk in self.clip.iter_chunks(chunk_size):
+            gains = self._gains[chunk.start : chunk.stop]
+            pixels, fractions = contrast_enhancement_batch(chunk.pixels, gains)
+            yield CompensatedChunk(
+                pixels=pixels,
+                start=chunk.start,
+                levels=self._levels[chunk.start : chunk.stop],
+                gains=gains,
+                clipped_fractions=fractions,
+            )
+
     def __iter__(self) -> Iterator[Tuple[Frame, int]]:
-        for i in range(self.frame_count):
-            yield self.compensated_frame(i).frame, int(self._levels[i])
+        produced = 0
+        try:
+            for chunk in self.iter_chunks():
+                for k in range(len(chunk)):
+                    yield chunk.frame(k), int(chunk.levels[k])
+                    produced += 1
+        except HeterogeneousFrameError:
+            # Mixed-resolution clip: finish with the per-frame path.
+            for i in range(produced, self.frame_count):
+                yield self.compensated_frame(i).frame, int(self._levels[i])
 
     # ------------------------------------------------------------------
     def predicted_backlight_savings(self) -> float:
@@ -177,12 +279,47 @@ class AnnotatedStream:
         backlight = self.device.backlight
         return np.asarray(backlight.savings_fraction(self._levels))
 
+    def _clipped_fraction_at(self, index: int) -> float:
+        # A pixel clips iff its *peak channel* exceeds 1/gain, so the
+        # fraction needs only the cached peak-channel plane — no
+        # compensated frame is materialized.  Exact: x -> (x/255) * gain
+        # is monotone, so the per-channel "any" reduces to the peak.
+        cached = self._fraction_cache.get(index)
+        if cached is None:
+            gain = float(self._gains[index])
+            plane = self.clip.peak_channel_plane(index)
+            cached = float((plane * gain > 1.0 + 1e-12).mean())
+            self._fraction_cache[index] = cached
+        return cached
+
+    def _all_clipped_fractions(self) -> np.ndarray:
+        if self._clipped_fractions is None:
+            try:
+                parts = []
+                for chunk in self.clip.iter_chunks():
+                    gains = self._gains[chunk.start : chunk.stop]
+                    values = chunk.peak_channel * gains[:, None, None]
+                    parts.append((values > 1.0 + 1e-12).mean(axis=(1, 2)))
+                self._clipped_fractions = np.concatenate(parts)
+            except HeterogeneousFrameError:
+                self._clipped_fractions = np.array(
+                    [self._clipped_fraction_at(i) for i in range(self.frame_count)]
+                )
+        return self._clipped_fractions
+
     def mean_clipped_fraction(self, sample_every: int = 1) -> float:
-        """Average fraction of clipped pixels over (sampled) frames."""
+        """Average fraction of clipped pixels over (sampled) frames.
+
+        Computed from the batched peak-channel planes (cached after the
+        first call), so quality metrics no longer re-compensate frames
+        that the playback path already compensated.
+        """
         if sample_every < 1:
             raise ValueError("sample_every must be >= 1")
+        if sample_every == 1 or self._clipped_fractions is not None:
+            return float(np.mean(self._all_clipped_fractions()[::sample_every]))
         fractions = [
-            self.compensated_frame(i).clipped_fraction
+            self._clipped_fraction_at(i)
             for i in range(0, self.frame_count, sample_every)
         ]
         return float(np.mean(fractions))
@@ -200,14 +337,23 @@ def sweep_quality_levels(
     device: DeviceProfile,
     qualities: Sequence[float],
     params: SchemeParameters = SchemeParameters(),
+    engine: EngineSpec = None,
+    profile_cache: Optional[ProfileCache] = None,
 ) -> List[AnnotatedStream]:
     """Annotate one clip at several quality levels, reusing the profile.
 
     The profiling pass (the expensive part) runs once; only clipping and
     binding differ per quality level.  This mirrors the server preparing
-    its five quality variants of each clip.
+    its five quality variants of each clip.  By default the profile is
+    also shared through the process-wide content-keyed cache, so repeated
+    sweeps (or a co-resident :class:`~repro.streaming.server.MediaServer`)
+    do not re-profile the same pixels; pass a dedicated
+    :class:`~repro.core.profile_cache.ProfileCache` (or one with
+    ``max_entries=0``) to isolate.
     """
-    pipeline = AnnotationPipeline(params)
+    if profile_cache is None:
+        profile_cache = shared_profile_cache()
+    pipeline = AnnotationPipeline(params, engine=engine, profile_cache=profile_cache)
     profile = pipeline.profile(clip)
     streams = []
     for q in qualities:

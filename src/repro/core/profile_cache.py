@@ -1,0 +1,187 @@
+"""Content-keyed caching of profiling results.
+
+Profiling (per-frame histograms + scene detection) is by far the most
+expensive stage of the pipeline, and its output depends only on the
+clip's *pixels* and the scene-relevant scheme parameters — not on the
+quality level, the device, or which server object happens to hold the
+clip.  The :class:`ProfileCache` therefore keys entries by a fingerprint
+of the clip content plus those parameters, so the five quality variants
+of a clip (and every device binding, and every server sharing the cache)
+reuse one profiling pass.
+
+Keying by content rather than by clip name also fixes a latent staleness
+bug: re-registering a name with different pixels can never serve the old
+profile, because the fingerprint changes with the pixels.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Any, Callable, Hashable, Optional, Tuple
+
+import numpy as np
+
+from ..video.clip import ArrayClip, ClipBase, VideoClip
+from .policy import SchemeParameters
+
+#: Frames hashed when fingerprinting a lazily synthesized clip.
+FINGERPRINT_SAMPLE_FRAMES = 16
+
+#: Default number of cached profiles (a profile holds two 256-bin float64
+#: histograms per frame, ~1.5 MB for a 360-frame clip).
+DEFAULT_PROFILE_CACHE_ENTRIES = 32
+
+
+def clip_fingerprint(clip: ClipBase) -> str:
+    """A content fingerprint for a clip, stable across object identity.
+
+    Eager clips (:class:`~repro.video.clip.ArrayClip`,
+    :class:`~repro.video.clip.VideoClip`) hash every pixel, so any content
+    change is guaranteed to change the key.  Lazy clips hash
+    :data:`FINGERPRINT_SAMPLE_FRAMES` evenly spaced frames plus the clip
+    metadata — synthesizing every frame just to fingerprint would cost as
+    much as profiling.  The prefix records which flavour was used.
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(type(clip).__name__.encode())
+    digest.update(repr((clip.name, clip.frame_count, float(clip.fps))).encode())
+
+    if isinstance(clip, ArrayClip):
+        pixels = clip.pixels
+        digest.update(repr(pixels.shape).encode())
+        digest.update(np.ascontiguousarray(pixels).tobytes())
+        mode = "full"
+    elif isinstance(clip, VideoClip):
+        for i in range(clip.frame_count):
+            pixels = clip.frame(i).pixels
+            digest.update(repr(pixels.shape).encode())
+            digest.update(np.ascontiguousarray(pixels).tobytes())
+        mode = "full"
+    else:
+        count = min(FINGERPRINT_SAMPLE_FRAMES, clip.frame_count)
+        indices = np.unique(
+            np.linspace(0, clip.frame_count - 1, count).astype(np.int64)
+        )
+        for i in indices:
+            pixels = clip.frame(int(i)).pixels
+            digest.update(np.int64(i).tobytes())
+            digest.update(repr(pixels.shape).encode())
+            digest.update(np.ascontiguousarray(pixels).tobytes())
+        mode = "sampled"
+    return f"{mode}:{digest.hexdigest()}"
+
+
+def profile_params_key(params: SchemeParameters) -> Tuple:
+    """The scheme parameters a profile depends on.
+
+    Quality is deliberately excluded: stats and scene boundaries are
+    identical across quality levels (that is what makes the cache shared
+    across a server's quality variants).
+    """
+    return (
+        params.scene_change_threshold,
+        params.min_scene_interval_frames,
+        params.per_frame,
+        params.color_safe,
+    )
+
+
+class ProfileCache:
+    """Thread-safe LRU cache of profiling results, keyed by content.
+
+    Parameters
+    ----------
+    max_entries:
+        Profiles retained; least-recently-used entries are evicted first.
+        ``0`` disables caching entirely (every lookup misses).
+    """
+
+    def __init__(self, max_entries: int = DEFAULT_PROFILE_CACHE_ENTRIES):
+        if max_entries < 0:
+            raise ValueError(f"max_entries must be non-negative, got {max_entries}")
+        self.max_entries = int(max_entries)
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @staticmethod
+    def key_for(clip: ClipBase, params: SchemeParameters) -> Tuple:
+        """Cache key for a (clip content, scheme parameters) pair."""
+        return (clip_fingerprint(clip), profile_params_key(params))
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        """Return the cached profile for ``key``, or ``None``."""
+        with self._lock:
+            value = self._entries.get(key)
+            if value is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Retain a profile, evicting the least-recently-used to fit."""
+        if self.max_entries == 0:
+            return
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+
+    def get_or_compute(
+        self,
+        clip: ClipBase,
+        params: SchemeParameters,
+        compute: Callable[[], Any],
+    ) -> Any:
+        """Return the cached profile for the clip, computing it on a miss.
+
+        ``compute`` runs outside the lock (profiling is slow; concurrent
+        misses on the same key simply race to fill it, last write wins —
+        both results are identical by construction).
+        """
+        key = self.key_for(clip, params)
+        cached = self.get(key)
+        if cached is not None:
+            return cached
+        value = compute()
+        self.put(key, value)
+        return value
+
+    def clear(self) -> None:
+        """Drop every cached profile (counters are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"ProfileCache(entries={len(self)}/{self.max_entries}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )
+
+
+_SHARED_CACHE: Optional[ProfileCache] = None
+_SHARED_LOCK = threading.Lock()
+
+
+def shared_profile_cache() -> ProfileCache:
+    """The process-wide profile cache (lazily created singleton).
+
+    Used by default by :class:`~repro.streaming.server.MediaServer` and
+    :func:`~repro.core.pipeline.sweep_quality_levels`, so that any number
+    of servers and sweeps profile a given clip's content exactly once.
+    """
+    global _SHARED_CACHE
+    with _SHARED_LOCK:
+        if _SHARED_CACHE is None:
+            _SHARED_CACHE = ProfileCache()
+        return _SHARED_CACHE

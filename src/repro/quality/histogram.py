@@ -86,6 +86,19 @@ class LuminanceHistogram:
             counts = np.bincount(codes.ravel(), weights=w.ravel(), minlength=NUM_BINS)
         return cls(counts)
 
+    @classmethod
+    def _trusted(cls, counts: np.ndarray) -> "LuminanceHistogram":
+        """Wrap pre-validated float64 counts without re-checking them.
+
+        Internal fast path for the chunked analyzer, which produces
+        thousands of histograms per clip from ``np.bincount`` output that
+        is non-negative and correctly shaped by construction.  The
+        resulting object is indistinguishable from one built normally.
+        """
+        hist = object.__new__(cls)
+        object.__setattr__(hist, "counts", counts)
+        return hist
+
     # ------------------------------------------------------------------
     @property
     def total(self) -> float:

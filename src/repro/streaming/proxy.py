@@ -16,10 +16,12 @@ quantifies.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Tuple
+from typing import Iterable, Iterator, List, Optional, Tuple
 
+from ..core.engine import EngineSpec
 from ..core.pipeline import AnnotatedStream, AnnotationPipeline
 from ..core.policy import SchemeParameters
+from ..core.profile_cache import ProfileCache, shared_profile_cache
 from ..display.devices import DeviceProfile
 from ..video.clip import VideoClip
 from ..video.frame import Frame
@@ -38,6 +40,13 @@ class TranscodingProxy:
     chunk_frames:
         Buffered window length.  Must be at least the scene interval or
         every chunk degenerates to a single scene.
+    engine:
+        Execution engine for the per-window profiling pass (``None``, a
+        kind name, or an :class:`~repro.core.engine.EngineConfig`).
+    profile_cache:
+        Content-keyed profile cache; defaults to the process-wide shared
+        cache so that re-streaming identical content (or a co-resident
+        server holding the same pixels) reuses the profiling pass.
     """
 
     def __init__(
@@ -45,13 +54,19 @@ class TranscodingProxy:
         device: DeviceProfile,
         params: SchemeParameters = SchemeParameters(),
         chunk_frames: int = 60,
+        engine: EngineSpec = None,
+        profile_cache: Optional[ProfileCache] = None,
     ):
         if chunk_frames < 1:
             raise ValueError("chunk_frames must be >= 1")
         self.device = device
         self.params = params
         self.chunk_frames = chunk_frames
-        self._pipeline = AnnotationPipeline(params)
+        if profile_cache is None:
+            profile_cache = shared_profile_cache()
+        self._pipeline = AnnotationPipeline(
+            params, engine=engine, profile_cache=profile_cache
+        )
 
     # ------------------------------------------------------------------
     def _chunks(self, frames: Iterable[Frame]) -> Iterator[List[Frame]]:

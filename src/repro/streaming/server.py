@@ -16,10 +16,13 @@ from typing import Dict, Iterator, Optional, Tuple
 
 from ..core.annotation import AnnotationTrack
 from ..core.dvfs_annotation import DvfsAnnotator, DvfsTrack
+from ..core.engine import EngineSpec
 from ..core.pipeline import AnnotatedStream, AnnotationPipeline, ProfileResult
 from ..core.policy import QUALITY_LEVELS, SchemeParameters
+from ..core.profile_cache import ProfileCache, shared_profile_cache
 from ..display.devices import get_device
 from ..video.clip import ClipBase
+from ..video.codec import CodecModel
 from .packets import MediaPacket, annotation_packet, frame_packet
 from .session import (
     NegotiationError,
@@ -47,14 +50,24 @@ class MediaServer:
         Optional :class:`~repro.video.codec.CodecModel`; when given,
         frame packets are charged their *encoded* wire size on the
         network (the pixels still travel in-process for display).
+    engine:
+        Execution engine for the profiling pass (``None``, a kind name,
+        or an :class:`~repro.core.engine.EngineConfig`).
+    profile_cache:
+        Content-keyed cache of profiling results.  Defaults to the
+        process-wide shared cache, so every server (and quality sweep)
+        profiles a given clip's pixels exactly once; pass a dedicated
+        :class:`~repro.core.profile_cache.ProfileCache` to isolate.
     """
 
     def __init__(
         self,
         params: SchemeParameters = SchemeParameters(),
         qualities: Tuple[float, ...] = QUALITY_LEVELS,
-        dvfs_annotator: DvfsAnnotator = None,
-        codec=None,
+        dvfs_annotator: Optional[DvfsAnnotator] = None,
+        codec: Optional[CodecModel] = None,
+        engine: EngineSpec = None,
+        profile_cache: Optional[ProfileCache] = None,
     ):
         if not qualities:
             raise ValueError("server needs at least one quality level")
@@ -62,6 +75,10 @@ class MediaServer:
         self.qualities = tuple(sorted(qualities))
         self.dvfs_annotator = dvfs_annotator
         self.codec = codec
+        self.engine = engine
+        self.profile_cache = (
+            profile_cache if profile_cache is not None else shared_profile_cache()
+        )
         self._clips: Dict[str, ClipBase] = {}
         self._encoded: Dict[str, object] = {}
         self._profiles: Dict[str, ProfileResult] = {}
@@ -73,7 +90,21 @@ class MediaServer:
     # Catalog management
     # ------------------------------------------------------------------
     def add_clip(self, clip: ClipBase) -> None:
-        """Register a clip in the catalog (idempotent by name)."""
+        """Register a clip in the catalog (idempotent by name).
+
+        Re-registering a name with a *different* clip object drops every
+        name-keyed derivative (profile, tracks, encoded sizes), so stale
+        annotations can never be served for replaced content.  The shared
+        content-keyed profile cache makes the common same-pixels case
+        cheap: the fresh profile lookup hits by fingerprint.
+        """
+        existing = self._clips.get(clip.name)
+        if existing is not None and existing is not clip:
+            self._profiles.pop(clip.name, None)
+            self._dvfs_tracks.pop(clip.name, None)
+            self._encoded.pop(clip.name, None)
+            for key in [k for k in self._tracks if k[0] == clip.name]:
+                del self._tracks[key]
         self._clips[clip.name] = clip
 
     def catalog(self) -> Tuple[str, ...]:
@@ -91,10 +122,18 @@ class MediaServer:
     # Annotation preparation (cached)
     # ------------------------------------------------------------------
     def profile(self, clip_name: str) -> ProfileResult:
-        """Profile a clip once; later calls hit the cache."""
+        """Profile a clip once; later calls hit the cache.
+
+        Two cache tiers: a name-keyed dict for repeat lookups on this
+        server (no hashing), backed by the content-keyed
+        :attr:`profile_cache` shared across quality variants, device
+        bindings, servers and sweeps.
+        """
         if clip_name not in self._profiles:
             clip = self.get_clip(clip_name)
-            pipeline = AnnotationPipeline(self.params)
+            pipeline = AnnotationPipeline(
+                self.params, engine=self.engine, profile_cache=self.profile_cache
+            )
             self._profiles[clip_name] = pipeline.profile(clip)
         return self._profiles[clip_name]
 
@@ -108,7 +147,9 @@ class MediaServer:
         if key not in self._tracks:
             clip = self.get_clip(clip_name)
             profile = self.profile(clip_name)
-            pipeline = AnnotationPipeline(self.params.with_quality(quality))
+            pipeline = AnnotationPipeline(
+                self.params.with_quality(quality), engine=self.engine
+            )
             self._tracks[key] = pipeline.annotate(clip, profile=profile)
         return self._tracks[key]
 

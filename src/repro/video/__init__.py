@@ -1,7 +1,15 @@
 """Video substrate: frames, clips, synthetic scenes and the clip library."""
 
 from .frame import Frame, LUMA_COEFFS, MAX_CHANNEL, luminance_to_gray_rgb, rgb_to_luminance
-from .clip import ClipBase, LazyClip, VideoClip, concatenate
+from .chunks import (
+    DEFAULT_CHUNK_SIZE,
+    DEFAULT_PLANE_CACHE_BYTES,
+    FrameChunk,
+    HeterogeneousFrameError,
+    PlaneCache,
+    chunk_spans,
+)
+from .clip import ArrayClip, ClipBase, LazyClip, VideoClip, concatenate
 from .synthesis import (
     DEFAULT_RESOLUTION,
     ActionScene,
@@ -34,7 +42,14 @@ __all__ = [
     "ClipBase",
     "VideoClip",
     "LazyClip",
+    "ArrayClip",
     "concatenate",
+    "DEFAULT_CHUNK_SIZE",
+    "DEFAULT_PLANE_CACHE_BYTES",
+    "FrameChunk",
+    "HeterogeneousFrameError",
+    "PlaneCache",
+    "chunk_spans",
     "DEFAULT_RESOLUTION",
     "SceneGenerator",
     "SceneSpec",

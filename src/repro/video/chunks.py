@@ -1,0 +1,298 @@
+"""Frame-plane chunks: the batched substrate of the execution engine.
+
+The per-frame API (:class:`~repro.video.frame.Frame`) is convenient but
+slow at scale: every consumer that walks a clip frame by frame pays numpy
+dispatch overhead per frame and materializes a fresh float64 luminance
+plane per frame.  A :class:`FrameChunk` instead carries ``(N, H, W, 3)``
+uint8 batches through the pipeline, so the luminance and peak-channel
+math runs once per *chunk* with vectorized operations.
+
+Bit-exactness contract
+----------------------
+Every derived quantity on a chunk is computed with the *same elementwise
+floating-point operations, in the same order*, as the per-frame path in
+:mod:`repro.video.frame` — numpy ufuncs are elementwise, so reshaping the
+work from ``(H, W)`` to ``(N, H, W)`` cannot change a single bit.  The
+luminance tables below encode ``coeff * (code / MAX_CHANNEL)`` per 8-bit
+code, which is exactly what ``rgb_to_luminance`` computes per pixel.
+
+:class:`PlaneCache` is the companion piece: a byte-bounded LRU of derived
+per-frame planes, attached to a clip so that luminance/peak-channel maps
+are computed once per frame no matter how many consumers (profiling,
+compensation metrics, quality evaluation) touch the clip.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from .frame import Frame, LUMA_COEFFS, MAX_CHANNEL
+
+#: Default number of frames per chunk.  At QVGA-class resolutions a chunk
+#: of 64 frames keeps the float64 working set a few megabytes — large
+#: enough to amortize numpy dispatch, small enough to stay cache-friendly.
+DEFAULT_CHUNK_SIZE = 64
+
+#: Default byte budget of a clip's :class:`PlaneCache` (per plane kind the
+#: effective budget is shared; 32 MiB holds ~580 planes at 96x72).
+DEFAULT_PLANE_CACHE_BYTES = 32 << 20
+
+
+class HeterogeneousFrameError(ValueError):
+    """Raised when a chunk would mix frames of different resolutions.
+
+    The batched engine requires a uniform ``(H, W)`` within a chunk;
+    callers catch this to fall back to the per-frame path.
+    """
+
+
+# ---------------------------------------------------------------------------
+# Luminance lookup tables
+# ---------------------------------------------------------------------------
+# _LUM_TABLES[c][code] == LUMA_COEFFS[c] * (code / MAX_CHANNEL), computed
+# with the exact operations of rgb_to_luminance, so gathering through the
+# tables is bit-identical to the per-frame float math.
+_CODES = np.arange(MAX_CHANNEL + 1, dtype=np.float64) / MAX_CHANNEL
+_LUM_TABLES: Tuple[np.ndarray, np.ndarray, np.ndarray] = (
+    LUMA_COEFFS[0] * _CODES,
+    LUMA_COEFFS[1] * _CODES,
+    LUMA_COEFFS[2] * _CODES,
+)
+
+# The largest luminance any uint8 pixel can reach.  Proves that skipping
+# the defensive np.clip before quantization cannot change a code: codes
+# only diverge once the sum exceeds ~1.002 (rounding to 256), far above
+# any float error on a <= 1.0 sum.
+_MAX_LUM_SUM = float(_LUM_TABLES[0][-1] + _LUM_TABLES[1][-1] + _LUM_TABLES[2][-1])
+assert _MAX_LUM_SUM < 1.0 + 1e-9, _MAX_LUM_SUM
+
+
+def chunk_spans(frame_count: int, chunk_size: int) -> Iterator[Tuple[int, int]]:
+    """Yield ``(start, stop)`` index spans covering ``[0, frame_count)``.
+
+    The last span carries the remainder; ``chunk_size > frame_count``
+    degenerates to a single span.
+    """
+    if frame_count < 0:
+        raise ValueError(f"frame_count must be non-negative, got {frame_count}")
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    for start in range(0, frame_count, chunk_size):
+        yield start, min(start + chunk_size, frame_count)
+
+
+class FrameChunk:
+    """A batch of ``N`` consecutive frames as one ``(N, H, W, 3)`` array.
+
+    Parameters
+    ----------
+    pixels:
+        ``(N, H, W, 3)`` uint8 batch.  Views are used as-is (no copy), so
+        array-backed clips can hand out chunks for free.
+    start:
+        Global index of the first frame in the batch.
+    """
+
+    __slots__ = ("pixels", "start", "_luminance", "_peak_u8", "_peak_channel")
+
+    def __init__(self, pixels: np.ndarray, start: int = 0):
+        arr = np.asarray(pixels)
+        if arr.ndim != 4 or arr.shape[3] != 3:
+            raise ValueError(f"chunk pixels must be (N, H, W, 3), got {arr.shape}")
+        if arr.dtype != np.uint8:
+            raise ValueError(f"chunk pixels must be uint8, got {arr.dtype}")
+        if arr.shape[0] == 0:
+            raise ValueError("a chunk must contain at least one frame")
+        self.pixels = arr
+        self.start = int(start)
+        self._luminance: Optional[np.ndarray] = None
+        self._peak_u8: Optional[np.ndarray] = None
+        self._peak_channel: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_frames(cls, frames: List[Frame], start: int = 0) -> "FrameChunk":
+        """Stack per-frame pixel arrays into one chunk.
+
+        Raises :class:`HeterogeneousFrameError` when the frames do not
+        share a resolution (the batched engine cannot represent them).
+        """
+        if not frames:
+            raise ValueError("cannot build a chunk from zero frames")
+        shape = frames[0].pixels.shape
+        if any(f.pixels.shape != shape for f in frames):
+            raise HeterogeneousFrameError(
+                f"frames mix resolutions within one chunk (first is {shape})"
+            )
+        return cls(np.stack([f.pixels for f in frames]), start=start)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.pixels.shape[0]
+
+    @property
+    def stop(self) -> int:
+        """Global index one past the last frame in the chunk."""
+        return self.start + len(self)
+
+    @property
+    def indices(self) -> range:
+        """Global frame indices covered by the chunk."""
+        return range(self.start, self.stop)
+
+    @property
+    def frame_shape(self) -> Tuple[int, int]:
+        """``(height, width)`` of every frame in the chunk."""
+        return (self.pixels.shape[1], self.pixels.shape[2])
+
+    # ------------------------------------------------------------------
+    # Derived planes (vectorized, bit-identical to the per-frame math)
+    # ------------------------------------------------------------------
+    def _lum_f64(self) -> np.ndarray:
+        # Gather per-channel contributions through the tables; np.take is
+        # markedly faster than fancy indexing on the strided channel views.
+        lum = np.take(_LUM_TABLES[0], self.pixels[..., 0])
+        lum += np.take(_LUM_TABLES[1], self.pixels[..., 1])
+        lum += np.take(_LUM_TABLES[2], self.pixels[..., 2])
+        return lum
+
+    @property
+    def luminance(self) -> np.ndarray:
+        """Normalized BT.601 luminance, ``(N, H, W)`` float64 (cached)."""
+        if self._luminance is None:
+            self._luminance = self._lum_f64()
+        return self._luminance
+
+    def luminance_codes(self) -> np.ndarray:
+        """Per-pixel 8-bit luma codes, ``(N, H, W)`` int32.
+
+        Identical to quantizing :attr:`luminance` with the histogram
+        layer's ``round(clip(y, 0, 1) * 255)`` — the clip is skipped
+        because the import-time guard above proves it is a no-op.
+        """
+        if self._luminance is not None:
+            work = self._luminance * float(MAX_CHANNEL)
+        else:
+            work = self._lum_f64()
+            work *= float(MAX_CHANNEL)
+        np.rint(work, out=work)
+        return work.astype(np.int32)
+
+    @property
+    def peak_channel_u8(self) -> np.ndarray:
+        """Per-pixel max of R, G, B as raw uint8 codes, ``(N, H, W)``."""
+        if self._peak_u8 is None:
+            # Chained np.maximum is ~30x faster than max(axis=-1) here.
+            self._peak_u8 = np.maximum(
+                np.maximum(self.pixels[..., 0], self.pixels[..., 1]),
+                self.pixels[..., 2],
+            )
+        return self._peak_u8
+
+    @property
+    def peak_channel(self) -> np.ndarray:
+        """Normalized peak-channel plane, ``(N, H, W)`` float64 (cached)."""
+        if self._peak_channel is None:
+            self._peak_channel = (
+                self.peak_channel_u8.astype(np.float64) / MAX_CHANNEL
+            )
+        return self._peak_channel
+
+    # ------------------------------------------------------------------
+    def frame(self, offset: int) -> Frame:
+        """Materialize frame ``offset`` (chunk-local) as a :class:`Frame`.
+
+        Derived planes already computed for the chunk are injected into
+        the frame's own cache, so downstream per-frame consumers do not
+        recompute them.
+        """
+        if not 0 <= offset < len(self):
+            raise IndexError(f"chunk offset {offset} out of range [0, {len(self)})")
+        frame = Frame(self.pixels[offset], index=self.start + offset)
+        if self._luminance is not None:
+            frame._luminance = self._luminance[offset]
+        if self._peak_channel is not None:
+            frame._peak_channel = self._peak_channel[offset]
+        return frame
+
+    def frames(self) -> List[Frame]:
+        """Materialize every frame in the chunk."""
+        return [self.frame(k) for k in range(len(self))]
+
+    def __repr__(self) -> str:
+        h, w = self.frame_shape
+        return f"FrameChunk(frames=[{self.start}:{self.stop}), {w}x{h})"
+
+
+class PlaneCache:
+    """Byte-bounded LRU cache of derived per-frame planes.
+
+    Keys are ``(frame_index, kind)`` pairs (``kind`` is ``"lum"`` or
+    ``"peak"``); values are standalone float64 planes.  A clip owns one
+    cache so that a plane is computed once per frame even when several
+    consumers (profiling, clipped-fraction metrics, quality evaluation)
+    each walk the clip.
+
+    Parameters
+    ----------
+    max_bytes:
+        Total plane bytes retained; least-recently-used planes are
+        evicted first.  ``0`` disables retention entirely.
+    """
+
+    def __init__(self, max_bytes: int = DEFAULT_PLANE_CACHE_BYTES):
+        if max_bytes < 0:
+            raise ValueError(f"max_bytes must be non-negative, got {max_bytes}")
+        self.max_bytes = int(max_bytes)
+        self._planes: "OrderedDict[Tuple[int, str], np.ndarray]" = OrderedDict()
+        self._nbytes = 0
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._planes)
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes currently retained."""
+        return self._nbytes
+
+    def get(self, index: int, kind: str) -> Optional[np.ndarray]:
+        """Return the cached plane for ``(index, kind)``, or ``None``."""
+        key = (index, kind)
+        plane = self._planes.get(key)
+        if plane is None:
+            self.misses += 1
+            return None
+        self._planes.move_to_end(key)
+        self.hits += 1
+        return plane
+
+    def put(self, index: int, kind: str, plane: np.ndarray) -> None:
+        """Retain a plane, evicting least-recently-used entries to fit."""
+        if self.max_bytes == 0 or plane.nbytes > self.max_bytes:
+            return
+        key = (index, kind)
+        old = self._planes.pop(key, None)
+        if old is not None:
+            self._nbytes -= old.nbytes
+        self._planes[key] = plane
+        self._nbytes += plane.nbytes
+        while self._nbytes > self.max_bytes:
+            _, evicted = self._planes.popitem(last=False)
+            self._nbytes -= evicted.nbytes
+
+    def clear(self) -> None:
+        """Drop every cached plane (counters are kept)."""
+        self._planes.clear()
+        self._nbytes = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"PlaneCache(planes={len(self)}, {self._nbytes / 1024:.0f} KiB, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

@@ -1,6 +1,6 @@
 """Video clips: ordered frame sequences with playback timing.
 
-Two concrete containers are provided:
+Three concrete containers are provided:
 
 * :class:`VideoClip` — an eager, in-memory list of frames.  Convenient for
   tests and short sequences.
@@ -8,10 +8,12 @@ Two concrete containers are provided:
   callable.  This is how the clip library keeps ten multi-hundred-frame
   titles cheap: a frame only exists while someone is looking at it, exactly
   like a streaming decoder.
+* :class:`ArrayClip` — a single ``(N, H, W, 3)`` uint8 array.  The fastest
+  substrate for the chunked execution engine: chunks are zero-copy slices.
 
-Both share the :class:`ClipBase` interface (``name``, ``fps``,
-``frame_count``, ``frame(i)``, iteration), which is the only surface the
-rest of the system depends on.
+All share the :class:`ClipBase` interface (``name``, ``fps``,
+``frame_count``, ``frame(i)``, iteration, ``iter_chunks``), which is the
+only surface the rest of the system depends on.
 """
 
 from __future__ import annotations
@@ -20,6 +22,12 @@ from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .chunks import (
+    DEFAULT_CHUNK_SIZE,
+    FrameChunk,
+    PlaneCache,
+    chunk_spans,
+)
 from .frame import Frame
 
 
@@ -36,6 +44,56 @@ class ClipBase:
     def frame(self, index: int) -> Frame:
         """Return frame ``index`` (0-based)."""
         raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Chunked access (the batched execution engine's entry point)
+    # ------------------------------------------------------------------
+    def iter_chunks(self, chunk_size: int = DEFAULT_CHUNK_SIZE) -> Iterator[FrameChunk]:
+        """Yield the clip as ``(N, H, W, 3)`` uint8 batches.
+
+        The default implementation stacks ``frame(i)`` pixels; array- and
+        list-backed clips override it with cheaper fast paths.  The last
+        chunk carries the remainder, and ``chunk_size > frame_count``
+        yields a single chunk.  Raises
+        :class:`~repro.video.chunks.HeterogeneousFrameError` if frames
+        within one chunk mix resolutions.
+        """
+        for start, stop in chunk_spans(self.frame_count, chunk_size):
+            frames = [self.frame(i) for i in range(start, stop)]
+            yield FrameChunk.from_frames(frames, start=start)
+
+    @property
+    def plane_cache(self) -> PlaneCache:
+        """The clip's LRU cache of derived per-frame planes (lazy).
+
+        Assign a differently sized :class:`~repro.video.chunks.PlaneCache`
+        to change the retention budget.
+        """
+        cache = self.__dict__.get("_plane_cache")
+        if cache is None:
+            cache = PlaneCache()
+            self.__dict__["_plane_cache"] = cache
+        return cache
+
+    @plane_cache.setter
+    def plane_cache(self, cache: PlaneCache) -> None:
+        self.__dict__["_plane_cache"] = cache
+
+    def luminance_plane(self, index: int) -> np.ndarray:
+        """Frame ``index``'s normalized luminance map, via the plane cache."""
+        plane = self.plane_cache.get(index, "lum")
+        if plane is None:
+            plane = self.frame(index).luminance
+            self.plane_cache.put(index, "lum", plane)
+        return plane
+
+    def peak_channel_plane(self, index: int) -> np.ndarray:
+        """Frame ``index``'s normalized peak-channel map, via the plane cache."""
+        plane = self.plane_cache.get(index, "peak")
+        if plane is None:
+            plane = self.frame(index).peak_channel
+            self.plane_cache.put(index, "peak", plane)
+        return plane
 
     # ------------------------------------------------------------------
     @property
@@ -113,6 +171,11 @@ class VideoClip(ClipBase):
         frames = [self._frames[i].copy() for i in range(start, stop)]
         return VideoClip(frames, fps=self.fps, name=name or f"{self.name}[{start}:{stop}]")
 
+    def iter_chunks(self, chunk_size: int = DEFAULT_CHUNK_SIZE) -> Iterator[FrameChunk]:
+        """Chunk the stored frame list directly (no index round-trips)."""
+        for start, stop in chunk_spans(self.frame_count, chunk_size):
+            yield FrameChunk.from_frames(self._frames[start:stop], start=start)
+
 
 class LazyClip(ClipBase):
     """A clip whose frames are produced on demand by a factory callable.
@@ -165,6 +228,76 @@ class LazyClip(ClipBase):
     def materialize(self) -> VideoClip:
         """Render every frame into an eager :class:`VideoClip`."""
         return VideoClip(list(self), fps=self.fps, name=self.name)
+
+
+class ArrayClip(ClipBase):
+    """A clip backed by one contiguous ``(N, H, W, 3)`` uint8 array.
+
+    The natural container for the chunked execution engine:
+    :meth:`iter_chunks` hands out zero-copy slices of the backing array,
+    and :meth:`frame` wraps a view (mutating a frame's pixels mutates the
+    clip, exactly like the shared :class:`Frame` objects of a
+    :class:`VideoClip`).
+
+    Parameters
+    ----------
+    pixels:
+        ``(N, H, W, 3)`` array.  ``uint8`` input is used as-is; float
+        input in ``[0, 1]`` is quantized with the same rule as
+        :class:`~repro.video.frame.Frame`.
+    fps, name:
+        Clip metadata.
+    """
+
+    def __init__(self, pixels: np.ndarray, fps: float = 30.0, name: str = "clip"):
+        arr = np.asarray(pixels)
+        if arr.ndim != 4 or arr.shape[3] != 3:
+            raise ValueError(f"clip pixels must be (N, H, W, 3), got {arr.shape}")
+        if arr.shape[0] == 0:
+            raise ValueError("a clip must contain at least one frame")
+        if np.issubdtype(arr.dtype, np.floating):
+            arr = np.round(np.clip(arr, 0.0, 1.0) * 255).astype(np.uint8)
+        elif arr.dtype != np.uint8:
+            arr = np.clip(arr, 0, 255).astype(np.uint8)
+        if fps <= 0:
+            raise ValueError(f"fps must be positive, got {fps}")
+        self._pixels = arr
+        self.fps = float(fps)
+        self.name = name
+
+    @classmethod
+    def from_clip(cls, clip: ClipBase, name: Optional[str] = None) -> "ArrayClip":
+        """Materialize any clip into one contiguous pixel array."""
+        batches = [chunk.pixels for chunk in clip.iter_chunks()]
+        pixels = batches[0] if len(batches) == 1 else np.concatenate(batches)
+        return cls(pixels, fps=clip.fps, name=name or clip.name)
+
+    # ------------------------------------------------------------------
+    @property
+    def frame_count(self) -> int:
+        return self._pixels.shape[0]
+
+    @property
+    def pixels(self) -> np.ndarray:
+        """The backing ``(N, H, W, 3)`` uint8 array (not a copy)."""
+        return self._pixels
+
+    @property
+    def resolution(self) -> Tuple[int, int]:
+        """``(width, height)`` shared by every frame."""
+        return (self._pixels.shape[2], self._pixels.shape[1])
+
+    def frame(self, index: int) -> Frame:
+        if not 0 <= index < self.frame_count:
+            raise IndexError(
+                f"frame index {index} out of range [0, {self.frame_count})"
+            )
+        return Frame(self._pixels[index], index=index)
+
+    def iter_chunks(self, chunk_size: int = DEFAULT_CHUNK_SIZE) -> Iterator[FrameChunk]:
+        """Slice the backing array — no stacking, no copies."""
+        for start, stop in chunk_spans(self.frame_count, chunk_size):
+            yield FrameChunk(self._pixels[start:stop], start=start)
 
 
 def concatenate(clips: Sequence[ClipBase], name: str = "concat") -> VideoClip:

@@ -1,0 +1,217 @@
+"""Engine equivalence: every execution engine is bit-identical.
+
+The chunked engine is only allowed to be the default because it produces
+byte-for-byte the same FrameStats, histograms, compensated pixels and
+clipped fractions as the paper-literal per-frame path.  These tests pin
+that contract, including the awkward geometries: chunk_size 1, odd
+remainders, and chunk_size larger than the clip.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core import (
+    AnnotationPipeline,
+    EngineConfig,
+    SchemeParameters,
+    StreamAnalyzer,
+    contrast_enhancement,
+    contrast_enhancement_batch,
+    resolve_engine,
+)
+from repro.display import ipaq_5555
+from repro.video import ArrayClip, Frame, FrameChunk, VideoClip
+
+# Small random clips: N frames of identical (H, W), arbitrary uint8 content.
+clip_batches = arrays(
+    dtype=np.uint8,
+    shape=st.tuples(st.integers(1, 12), st.integers(2, 10), st.integers(2, 10), st.just(3)),
+    elements=st.integers(0, 255),
+)
+
+chunk_sizes = st.integers(1, 20)
+
+
+def assert_stats_identical(a, b):
+    assert a.index == b.index
+    assert a.max_luminance == b.max_luminance
+    assert a.max_channel_value == b.max_channel_value
+    assert a.mean_luminance == b.mean_luminance
+    assert np.array_equal(a.histogram.counts, b.histogram.counts)
+    assert np.array_equal(a.channel_histogram.counts, b.channel_histogram.counts)
+
+
+class TestAnalyzerEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(batch=clip_batches, chunk_size=chunk_sizes)
+    def test_chunked_bit_identical_to_perframe(self, batch, chunk_size):
+        clip = ArrayClip(batch, name="prop")
+        reference = StreamAnalyzer("perframe").analyze(clip)
+        chunked = StreamAnalyzer(EngineConfig(kind="chunked", chunk_size=chunk_size)).analyze(clip)
+        assert len(chunked) == len(reference)
+        for ref, got in zip(reference, chunked):
+            assert_stats_identical(ref, got)
+
+    @settings(max_examples=10, deadline=None)
+    @given(batch=clip_batches)
+    def test_threads_bit_identical_to_perframe(self, batch):
+        clip = ArrayClip(batch, name="prop")
+        reference = StreamAnalyzer("perframe").analyze(clip)
+        threaded = StreamAnalyzer(
+            EngineConfig(kind="threads", chunk_size=3, max_workers=2)
+        ).analyze(clip)
+        for ref, got in zip(reference, threaded):
+            assert_stats_identical(ref, got)
+
+    def test_chunk_size_larger_than_clip(self):
+        rng = np.random.default_rng(0)
+        clip = ArrayClip(rng.integers(0, 256, (5, 6, 6, 3), dtype=np.uint8))
+        reference = StreamAnalyzer("perframe").analyze(clip)
+        got = StreamAnalyzer(EngineConfig(chunk_size=1000)).analyze(clip)
+        for ref, g in zip(reference, got):
+            assert_stats_identical(ref, g)
+
+    def test_analyze_frames_preserves_indices(self):
+        rng = np.random.default_rng(1)
+        frames = [
+            Frame(rng.integers(0, 256, (5, 5, 3), dtype=np.uint8), index=i)
+            for i in (7, 2, 19, 4)
+        ]
+        stats = StreamAnalyzer().analyze_frames(frames)
+        assert [s.index for s in stats] == [7, 2, 19, 4]
+        reference = StreamAnalyzer("perframe").analyze_frames(frames)
+        for ref, got in zip(reference, stats):
+            assert_stats_identical(ref, got)
+
+    def test_heterogeneous_stream_falls_back(self):
+        rng = np.random.default_rng(2)
+        frames = [
+            Frame(rng.integers(0, 256, (4, 4, 3), dtype=np.uint8), index=0),
+            Frame(rng.integers(0, 256, (6, 5, 3), dtype=np.uint8), index=1),
+        ]
+        stats = StreamAnalyzer().analyze_frames(frames)
+        reference = StreamAnalyzer("perframe").analyze_frames(frames)
+        for ref, got in zip(reference, stats):
+            assert_stats_identical(ref, got)
+
+    def test_empty_stream_raises_for_all_engines(self):
+        for engine in ("perframe", "chunked", "threads"):
+            with pytest.raises(ValueError):
+                StreamAnalyzer(engine).analyze_frames([])
+
+    def test_library_clip_matches(self, library_clip):
+        reference = StreamAnalyzer("perframe").analyze(library_clip)
+        chunked = StreamAnalyzer().analyze(library_clip)
+        for ref, got in zip(reference, chunked):
+            assert_stats_identical(ref, got)
+
+
+class TestEngineResolution:
+    def test_default_is_chunked(self):
+        assert resolve_engine(None).kind == "chunked"
+
+    def test_string_and_config_pass_through(self):
+        assert resolve_engine("threads").kind == "threads"
+        config = EngineConfig(kind="perframe")
+        assert resolve_engine(config) is config
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            resolve_engine("warp")
+        with pytest.raises(TypeError):
+            resolve_engine(42)
+        with pytest.raises(ValueError):
+            EngineConfig(chunk_size=0)
+        with pytest.raises(ValueError):
+            EngineConfig(kind="threads", max_workers=0)
+
+
+class TestBatchedCompensation:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        batch=clip_batches,
+        gain=st.floats(min_value=1.0, max_value=8.0, allow_nan=False),
+    )
+    def test_batch_matches_per_frame(self, batch, gain):
+        pixels, fractions = contrast_enhancement_batch(batch, gain)
+        for k in range(batch.shape[0]):
+            reference = contrast_enhancement(Frame(batch[k]), gain)
+            assert np.array_equal(pixels[k], reference.frame.pixels)
+            assert fractions[k] == reference.clipped_fraction
+
+    def test_per_frame_gains_and_passthrough(self):
+        rng = np.random.default_rng(3)
+        batch = rng.integers(0, 256, (4, 6, 6, 3), dtype=np.uint8)
+        gains = np.array([1.0, 2.0, 0.5, 3.0])
+        pixels, fractions = contrast_enhancement_batch(batch, gains)
+        # gain <= 1 rows pass through untouched with zero clipping
+        assert np.array_equal(pixels[0], batch[0])
+        assert np.array_equal(pixels[2], batch[2])
+        assert fractions[0] == 0.0 and fractions[2] == 0.0
+        for k in (1, 3):
+            reference = contrast_enhancement(Frame(batch[k]), float(gains[k]))
+            assert np.array_equal(pixels[k], reference.frame.pixels)
+            assert fractions[k] == reference.clipped_fraction
+
+    def test_rejects_bad_inputs(self):
+        batch = np.zeros((2, 4, 4, 3), dtype=np.uint8)
+        with pytest.raises(ValueError):
+            contrast_enhancement_batch(batch, 0.0)
+        with pytest.raises(ValueError):
+            contrast_enhancement_batch(batch, np.array([1.0, 2.0, 3.0]))
+        with pytest.raises(ValueError):
+            contrast_enhancement_batch(batch.astype(np.float64), 2.0)
+        with pytest.raises(ValueError):
+            contrast_enhancement_batch(batch[0], 2.0)
+
+    def test_output_is_fresh_memory(self):
+        batch = np.full((2, 4, 4, 3), 100, dtype=np.uint8)
+        pixels, _ = contrast_enhancement_batch(batch, 1.0)
+        pixels[...] = 0
+        assert batch[0, 0, 0, 0] == 100
+
+
+class TestAnnotatedStreamEquivalence:
+    def build_streams(self, clip):
+        device = ipaq_5555()
+        params = SchemeParameters(quality=0.05, min_scene_interval_frames=5)
+        chunked = AnnotationPipeline(params).build_stream(clip, device)
+        perframe = AnnotationPipeline(params, engine="perframe").build_stream(clip, device)
+        return chunked, perframe
+
+    def test_iteration_matches_per_frame_api(self, library_clip):
+        clip = ArrayClip.from_clip(library_clip)
+        stream, reference = self.build_streams(clip)
+        for i, (frame, level) in enumerate(stream):
+            ref = reference.compensated_frame(i)
+            assert frame.index == i
+            assert np.array_equal(frame.pixels, ref.frame.pixels)
+            assert level == int(reference.backlight_levels()[i])
+
+    def test_iter_chunks_fractions_match(self, library_clip):
+        clip = ArrayClip.from_clip(library_clip)
+        stream, reference = self.build_streams(clip)
+        for chunk in stream.iter_chunks(chunk_size=7):
+            for k in range(len(chunk)):
+                ref = reference.compensated_frame(chunk.start + k)
+                assert chunk.clipped_fractions[k] == ref.clipped_fraction
+                assert np.array_equal(chunk.frame(k).pixels, ref.frame.pixels)
+
+    def test_mean_clipped_fraction_matches_reference(self, library_clip):
+        clip = ArrayClip.from_clip(library_clip)
+        stream, reference = self.build_streams(clip)
+        for sample_every in (1, 3):
+            expected = float(
+                np.mean(
+                    [
+                        reference.compensated_frame(i).clipped_fraction
+                        for i in range(0, clip.frame_count, sample_every)
+                    ]
+                )
+            )
+            assert stream.mean_clipped_fraction(sample_every) == expected
+        # Second call must hit the caches and agree
+        assert stream.mean_clipped_fraction(3) == stream.mean_clipped_fraction(3)

@@ -1,0 +1,187 @@
+"""Unit tests for repro.video.chunks — batched frame planes and caches."""
+
+import numpy as np
+import pytest
+
+from repro.video import (
+    ArrayClip,
+    DEFAULT_CHUNK_SIZE,
+    Frame,
+    FrameChunk,
+    HeterogeneousFrameError,
+    PlaneCache,
+    VideoClip,
+    chunk_spans,
+)
+
+
+def random_batch(n, h=9, w=7, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 256, (n, h, w, 3), dtype=np.uint8)
+
+
+class TestChunkSpans:
+    def test_exact_division(self):
+        assert list(chunk_spans(8, 4)) == [(0, 4), (4, 8)]
+
+    def test_remainder(self):
+        assert list(chunk_spans(10, 4)) == [(0, 4), (4, 8), (8, 10)]
+
+    def test_oversized_chunk(self):
+        assert list(chunk_spans(3, 100)) == [(0, 3)]
+
+    def test_empty(self):
+        assert list(chunk_spans(0, 4)) == []
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            list(chunk_spans(-1, 4))
+        with pytest.raises(ValueError):
+            list(chunk_spans(4, 0))
+
+
+class TestFrameChunk:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FrameChunk(np.zeros((4, 4, 3), dtype=np.uint8))
+        with pytest.raises(ValueError):
+            FrameChunk(np.zeros((2, 4, 4, 3), dtype=np.float64))
+        with pytest.raises(ValueError):
+            FrameChunk(np.zeros((0, 4, 4, 3), dtype=np.uint8))
+
+    def test_geometry(self):
+        chunk = FrameChunk(random_batch(5, h=9, w=7), start=12)
+        assert len(chunk) == 5
+        assert chunk.stop == 17
+        assert list(chunk.indices) == [12, 13, 14, 15, 16]
+        assert chunk.frame_shape == (9, 7)
+
+    def test_planes_match_per_frame(self):
+        batch = random_batch(6)
+        chunk = FrameChunk(batch, start=3)
+        for k in range(6):
+            frame = Frame(batch[k])
+            assert np.array_equal(chunk.luminance[k], frame.luminance)
+            assert np.array_equal(chunk.peak_channel[k], frame.peak_channel)
+
+    def test_luminance_codes_match_quantization(self):
+        batch = random_batch(4, seed=5)
+        chunk = FrameChunk(batch)
+        codes = chunk.luminance_codes()
+        for k in range(4):
+            frame = Frame(batch[k])
+            expected = np.round(np.clip(frame.luminance, 0.0, 1.0) * 255)
+            assert np.array_equal(codes[k], expected.astype(np.int64))
+
+    def test_from_frames_roundtrip(self):
+        batch = random_batch(3)
+        frames = [Frame(batch[k], index=10 + k) for k in range(3)]
+        chunk = FrameChunk.from_frames(frames, start=10)
+        assert np.array_equal(chunk.pixels, batch)
+        out = chunk.frames()
+        assert [f.index for f in out] == [10, 11, 12]
+        assert np.array_equal(out[1].pixels, batch[1])
+
+    def test_from_frames_mixed_resolutions(self):
+        frames = [
+            Frame(np.zeros((4, 4, 3), dtype=np.uint8)),
+            Frame(np.zeros((4, 5, 3), dtype=np.uint8)),
+        ]
+        with pytest.raises(HeterogeneousFrameError):
+            FrameChunk.from_frames(frames)
+
+    def test_frame_inherits_computed_planes(self):
+        chunk = FrameChunk(random_batch(2))
+        lum = chunk.luminance
+        frame = chunk.frame(0)
+        assert frame._luminance is not None
+        assert np.array_equal(frame.luminance, lum[0])
+
+    def test_frame_offset_bounds(self):
+        chunk = FrameChunk(random_batch(2))
+        with pytest.raises(IndexError):
+            chunk.frame(2)
+
+
+class TestClipChunking:
+    def test_videoclip_chunks_cover_clip(self):
+        batch = random_batch(11)
+        clip = VideoClip([Frame(batch[k]) for k in range(11)], name="v")
+        chunks = list(clip.iter_chunks(chunk_size=4))
+        assert [c.start for c in chunks] == [0, 4, 8]
+        assert np.array_equal(np.concatenate([c.pixels for c in chunks]), batch)
+
+    def test_arrayclip_chunks_are_views(self):
+        batch = random_batch(10)
+        clip = ArrayClip(batch, name="a")
+        chunk = next(clip.iter_chunks(chunk_size=4))
+        assert chunk.pixels.base is clip.pixels
+
+    def test_arrayclip_from_clip(self):
+        batch = random_batch(7)
+        eager = VideoClip([Frame(batch[k]) for k in range(7)], fps=24.0, name="v")
+        arr = ArrayClip.from_clip(eager)
+        assert arr.fps == 24.0
+        assert arr.name == "v"
+        assert np.array_equal(arr.pixels, batch)
+        assert arr.resolution == (7, 9)
+
+    def test_arrayclip_float_quantization(self):
+        floats = np.full((2, 3, 3, 3), 0.5)
+        clip = ArrayClip(floats)
+        assert np.array_equal(clip.pixels, Frame(floats[0]).pixels[None].repeat(2, 0))
+
+    def test_default_iter_chunks_on_lazy(self, tiny_clip):
+        chunks = list(tiny_clip.iter_chunks(chunk_size=10))
+        assert sum(len(c) for c in chunks) == tiny_clip.frame_count
+        assert np.array_equal(chunks[0].pixels[3], tiny_clip.frame(3).pixels)
+
+
+class TestPlaneCache:
+    def test_hit_and_miss_counters(self):
+        cache = PlaneCache()
+        assert cache.get(0, "lum") is None
+        plane = np.zeros((4, 4))
+        cache.put(0, "lum", plane)
+        assert cache.get(0, "lum") is plane
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_byte_bound_evicts_lru(self):
+        plane = np.zeros((4, 4))  # 128 bytes
+        cache = PlaneCache(max_bytes=3 * plane.nbytes)
+        for i in range(4):
+            cache.put(i, "lum", np.full((4, 4), float(i)))
+        assert cache.get(0, "lum") is None  # oldest evicted
+        assert cache.get(3, "lum") is not None
+        assert cache.nbytes <= cache.max_bytes
+        assert len(cache) == 3
+
+    def test_zero_budget_disables(self):
+        cache = PlaneCache(max_bytes=0)
+        cache.put(0, "lum", np.zeros((4, 4)))
+        assert len(cache) == 0
+
+    def test_clear(self):
+        cache = PlaneCache()
+        cache.put(0, "lum", np.zeros((4, 4)))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.nbytes == 0
+
+    def test_clip_plane_accessors_cache(self):
+        batch = random_batch(5)
+        clip = ArrayClip(batch, name="a")
+        first = clip.luminance_plane(2)
+        second = clip.luminance_plane(2)
+        assert first is second
+        assert clip.plane_cache.hits == 1
+        assert np.array_equal(first, Frame(batch[2]).luminance)
+        peak = clip.peak_channel_plane(2)
+        assert np.array_equal(peak, Frame(batch[2]).peak_channel)
+
+    def test_plane_cache_is_assignable(self):
+        clip = ArrayClip(random_batch(2))
+        replacement = PlaneCache(max_bytes=1024)
+        clip.plane_cache = replacement
+        assert clip.plane_cache is replacement
