@@ -51,3 +51,15 @@ def device():
     from repro.display import ipaq_5555
 
     return ipaq_5555()
+
+
+@pytest.fixture(autouse=True)
+def _telemetry_isolation():
+    """Fresh, enabled global metrics registry around every benchmark."""
+    from repro import telemetry
+
+    telemetry.enable()
+    telemetry.reset_registry()
+    yield
+    telemetry.enable()
+    telemetry.reset_registry()

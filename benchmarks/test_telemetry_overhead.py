@@ -1,0 +1,95 @@
+"""Telemetry overhead: the instrumented hot path with telemetry on vs off.
+
+The subsystem is designed to be default-on: counters are plain attribute
+adds, spans pay two ``perf_counter`` calls, and the chunked engine only
+touches the registry once per chunk.  This benchmark runs the full
+profile -> clip -> compensate hot path with telemetry enabled and
+disabled and asserts the enabled run costs at most
+``OVERHEAD_THRESHOLD`` extra wall time.
+
+Results go to ``results/BENCH_telemetry.json`` (machine-readable; CI
+gates regressions on it) and ``results/telemetry_overhead.txt``.
+"""
+
+import json
+import os
+import time
+
+from repro import telemetry
+from repro.core import AnnotationPipeline, SchemeParameters
+from repro.video import ArrayClip, make_clip
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+CLIP_NAME = "themovie"
+MIN_FRAMES = 300
+ROUNDS = 5
+
+#: Maximum tolerated fractional slowdown with telemetry enabled.
+OVERHEAD_THRESHOLD = 0.05
+
+
+def hot_path(clip, device, params):
+    """One full annotation pass: profile, clip, compensate every chunk."""
+    # a fresh pipeline per run so the profile cache never hides the work
+    pipeline = AnnotationPipeline(params, profile_cache=None)
+    stream = pipeline.build_stream(clip, device)
+    for chunk in stream.iter_chunks():
+        chunk.clipped_fractions
+    return stream
+
+
+def best_time(fn, rounds=ROUNDS):
+    times = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return min(times)
+
+
+def test_telemetry_overhead(report, device):
+    clip = ArrayClip.from_clip(make_clip(CLIP_NAME, resolution=(96, 72)))
+    assert clip.frame_count >= MIN_FRAMES
+    params = SchemeParameters(quality=0.05)
+
+    telemetry.enable()
+    telemetry.reset_registry()
+    run = lambda: hot_path(clip, device, params)
+    try:
+        on_seconds = best_time(run)
+        telemetry.disable()
+        off_seconds = best_time(run)
+    finally:
+        telemetry.enable()
+
+    overhead = on_seconds / off_seconds - 1.0
+
+    payload = {
+        "benchmark": "telemetry_overhead",
+        "clip": clip.name,
+        "frames": clip.frame_count,
+        "resolution": list(clip.resolution),
+        "rounds": ROUNDS,
+        "enabled_seconds": on_seconds,
+        "disabled_seconds": off_seconds,
+        "overhead_fraction": overhead,
+        "threshold": OVERHEAD_THRESHOLD,
+    }
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    json_path = os.path.join(RESULTS_DIR, "BENCH_telemetry.json")
+    with open(json_path, "w") as fh:
+        json.dump(payload, fh, indent=2)
+
+    lines = [
+        f"telemetry overhead on {clip.name!r} "
+        f"({clip.frame_count} frames @ {clip.resolution[0]}x{clip.resolution[1]}, "
+        f"best of {ROUNDS})",
+        f"enabled  : {on_seconds:.4f}s",
+        f"disabled : {off_seconds:.4f}s",
+        f"overhead : {overhead:+.2%} (threshold {OVERHEAD_THRESHOLD:.0%})",
+        f"json -> {json_path}",
+    ]
+    report("telemetry_overhead", lines)
+
+    assert overhead < OVERHEAD_THRESHOLD, payload

@@ -25,6 +25,8 @@ Subpackages
     Decoder timing, backlight controller, playback engine.
 ``repro.baselines``
     Comparison strategies (static, history, per-frame, QABS, DLS).
+``repro.telemetry``
+    Observability: metrics registry, span tracing, exporters.
 """
 
 __version__ = "1.0.0"
@@ -39,6 +41,7 @@ from . import (
     power,
     quality,
     streaming,
+    telemetry,
     video,
     viz,
 )
@@ -53,6 +56,7 @@ __all__ = [
     "streaming",
     "player",
     "baselines",
+    "telemetry",
     "viz",
     "experiments",
     "__version__",

@@ -7,7 +7,12 @@ Subcommands map to the library's main workflows:
 * ``savings``   — backlight + total-device savings for one clip;
 * ``sweep``     — the Figure 9 table (clips x quality levels);
 * ``calibrate`` — camera characterization of a device (Figures 7/8);
-* ``trace``     — Figure 6 sparklines for one clip.
+* ``trace``     — Figure 6 sparklines for one clip;
+* ``telemetry`` — run a demo pipeline and dump the metrics registry.
+
+The annotation workflows (``annotate``, ``savings``, ``sweep``) accept
+``--stats`` (human table) and ``--stats-json`` (JSON-lines) to print the
+process-wide telemetry snapshot after the run.
 """
 
 from __future__ import annotations
@@ -15,6 +20,8 @@ from __future__ import annotations
 import argparse
 import sys
 from typing import List, Optional
+
+import numpy as np
 
 from .core import (
     QUALITY_LEVELS,
@@ -25,7 +32,7 @@ from .core import (
 )
 from .display import DEVICE_REGISTRY, get_device
 from .video import EXTENDED_CLIP_NAMES, PAPER_CLIP_NAMES, make_clip
-from . import viz
+from . import telemetry, viz
 
 
 ALL_CLIP_NAMES = PAPER_CLIP_NAMES + EXTENDED_CLIP_NAMES
@@ -42,6 +49,13 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="clip fraction allowed to saturate (0-1)")
     parser.add_argument("--scale", type=float, default=0.5,
                         help="duration scale for the synthetic clip")
+
+
+def _add_stats(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--stats", action="store_true",
+                        help="print the telemetry snapshot after the run")
+    parser.add_argument("--stats-json", action="store_true",
+                        help="print the telemetry snapshot as JSON-lines")
 
 
 def cmd_catalog(args: argparse.Namespace) -> int:
@@ -97,15 +111,68 @@ def cmd_savings(args: argparse.Namespace) -> int:
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
-    """Print the Figure 9 savings table."""
+    """Print the Figure 9 savings table.
+
+    With ``--stats``/``--stats-json`` the sweep also streams each clip's
+    most aggressive variant through the batched compensation path, so
+    the telemetry snapshot covers the full profile → clip → compensate
+    hot path and the table gains a clipped-pixels column.
+    """
     device = get_device(args.device)
-    clips = args.clips if args.clips else list(PAPER_CLIP_NAMES)
-    print(f"{'clip':<22}" + "".join(f"{quality_label(q):>8}" for q in QUALITY_LEVELS))
+    clips = list(args.clip_names) + list(args.clips or [])
+    for name in clips:
+        if name not in ALL_CLIP_NAMES:
+            print(f"error: unknown clip {name!r}", file=sys.stderr)
+            return 2
+    if not clips:
+        clips = list(PAPER_CLIP_NAMES)
+    with_stats = args.stats or args.stats_json
+    header = f"{'clip':<22}" + "".join(f"{quality_label(q):>8}" for q in QUALITY_LEVELS)
+    if with_stats:
+        header += f"{'clipped':>9}"
+    print(header)
     for name in clips:
         clip = make_clip(name, duration_scale=args.scale)
         streams = sweep_quality_levels(clip, device, QUALITY_LEVELS)
         row = [s.predicted_backlight_savings() for s in streams]
-        print(f"{name:<22}" + "".join(f"{v:>8.1%}" for v in row))
+        line = f"{name:<22}" + "".join(f"{v:>8.1%}" for v in row)
+        if with_stats:
+            line += f"{_mean_clipped_fraction(streams[-1]):>9.2%}"
+        print(line)
+    return 0
+
+
+def _mean_clipped_fraction(stream) -> float:
+    """Clipped-pixel fraction via the batched compensation pass."""
+    from repro.video.chunks import HeterogeneousFrameError
+
+    try:
+        fractions = [chunk.clipped_fractions for chunk in stream.iter_chunks()]
+        return float(np.mean(np.concatenate(fractions)))
+    except HeterogeneousFrameError:
+        return stream.mean_clipped_fraction()
+
+
+def cmd_telemetry(args: argparse.Namespace) -> int:
+    """Exercise the pipeline end to end, then dump the metrics registry."""
+    from .core import shared_profile_cache
+    from .player import PlaybackEngine
+
+    clip = make_clip(args.clip, duration_scale=args.scale)
+    device = get_device(args.device)
+    pipeline = AnnotationPipeline(
+        SchemeParameters(quality=args.quality), profile_cache=shared_profile_cache()
+    )
+    stream = pipeline.build_stream(clip, device)
+    for _chunk in stream.iter_chunks():
+        pass
+    PlaybackEngine(device).play(stream)
+    if args.format == "jsonl":
+        sys.stdout.write(telemetry.to_jsonl())
+    elif args.format == "prometheus":
+        sys.stdout.write(telemetry.to_prometheus())
+    else:
+        print(telemetry.format_table())
     return 0
 
 
@@ -173,19 +240,36 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("annotate", help="annotate a clip for a device")
     _add_clip_arg(p)
     _add_common(p)
+    _add_stats(p)
     p.add_argument("-o", "--output", help="write the binary track to a file")
     p.set_defaults(fn=cmd_annotate)
 
     p = sub.add_parser("savings", help="power savings for one clip")
     _add_clip_arg(p)
     _add_common(p)
+    _add_stats(p)
     p.set_defaults(fn=cmd_savings)
 
     p = sub.add_parser("sweep", help="Figure 9 table across clips and qualities")
+    # no choices= here: argparse rejects the empty default of a positional
+    # nargs="*" against a choices list, so cmd_sweep validates names itself
+    p.add_argument("clip_names", nargs="*", metavar="clip",
+                   help="clips to sweep (default: the paper's ten)")
     _add_common(p)
+    _add_stats(p)
     p.add_argument("--clips", nargs="*", choices=ALL_CLIP_NAMES,
                    help="subset of clips (default: the paper's ten)")
     p.set_defaults(fn=cmd_sweep)
+
+    p = sub.add_parser("telemetry", help="demo run + metrics registry dump")
+    p.add_argument("clip", nargs="?", default="themovie", choices=ALL_CLIP_NAMES,
+                   help="library clip name (default: themovie)")
+    _add_common(p)
+    p.set_defaults(scale=0.15)
+    p.add_argument("--format", default="table",
+                   choices=("table", "jsonl", "prometheus"),
+                   help="registry dump format")
+    p.set_defaults(fn=cmd_telemetry)
 
     p = sub.add_parser("calibrate", help="camera characterization of a device")
     p.add_argument("--device", default="ipaq5555", choices=sorted(DEVICE_REGISTRY))
@@ -213,7 +297,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     if getattr(args, "scale", 1.0) <= 0:
         print("error: --scale must be positive", file=sys.stderr)
         return 2
-    return args.fn(args)
+    rc = args.fn(args)
+    if rc == 0 and getattr(args, "stats", False):
+        print()
+        print(telemetry.format_table())
+    if rc == 0 and getattr(args, "stats_json", False):
+        sys.stdout.write(telemetry.to_jsonl())
+    return rc
 
 
 if __name__ == "__main__":  # pragma: no cover

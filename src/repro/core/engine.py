@@ -23,8 +23,10 @@ from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Callable, Iterable, List, Optional, TypeVar, Union
 
+from .. import telemetry
 from ..video.chunks import DEFAULT_CHUNK_SIZE
 
 #: Engine names accepted wherever an ``engine=`` knob is exposed.
@@ -89,8 +91,61 @@ def map_chunks(
     Order is preserved.  For ``"threads"``, chunks are processed by a
     thread pool (the numpy kernels release the GIL); otherwise the map is
     a plain loop.
+
+    When telemetry is enabled, every kernel invocation is timed into the
+    ``repro_engine_chunk_seconds{kind=...}`` histogram and the pass as a
+    whole updates chunk/frame counters plus the
+    ``repro_engine_frames_per_sec{kind=...}`` gauge (frames over the
+    pass's wall-clock time; sized chunks only).
     """
+    if not telemetry.enabled():
+        if config.kind == "threads":
+            with ThreadPoolExecutor(max_workers=config.max_workers) as pool:
+                return list(pool.map(kernel, chunks))
+        return [kernel(chunk) for chunk in chunks]
+
+    reg = telemetry.registry()
+    labels = {"kind": config.kind}
+    chunk_seconds = reg.histogram(
+        "repro_engine_chunk_seconds",
+        help="Per-chunk kernel time under the execution engine.",
+        labels=labels,
+    )
+    durations: List[float] = []
+    frames = [0]
+
+    def timed(chunk: T) -> R:
+        start = perf_counter()
+        out = kernel(chunk)
+        durations.append(perf_counter() - start)
+        try:
+            frames[0] += len(chunk)  # type: ignore[arg-type]
+        except TypeError:
+            pass
+        return out
+
+    wall_start = perf_counter()
     if config.kind == "threads":
         with ThreadPoolExecutor(max_workers=config.max_workers) as pool:
-            return list(pool.map(kernel, chunks))
-    return [kernel(chunk) for chunk in chunks]
+            results = list(pool.map(timed, chunks))
+    else:
+        results = [timed(chunk) for chunk in chunks]
+    wall = perf_counter() - wall_start
+
+    chunk_seconds.observe_many(durations)
+    reg.counter(
+        "repro_engine_chunks_total", help="Chunks processed by the execution engine.",
+        labels=labels,
+    ).inc(len(durations))
+    if frames[0]:
+        reg.counter(
+            "repro_engine_frames_total", help="Frames processed by the execution engine.",
+            labels=labels,
+        ).inc(frames[0])
+        if wall > 0.0:
+            reg.gauge(
+                "repro_engine_frames_per_sec",
+                help="Throughput of the most recent engine pass.",
+                labels=labels,
+            ).set(frames[0] / wall)
+    return results

@@ -24,6 +24,7 @@ import numpy as np
 
 from ..display.devices import DeviceProfile
 from ..power.measurement import simulated_backlight_savings
+from ..telemetry import trace
 from ..video.chunks import DEFAULT_CHUNK_SIZE, HeterogeneousFrameError
 from ..video.clip import ClipBase
 from ..video.frame import Frame
@@ -111,23 +112,27 @@ class AnnotationPipeline:
         return self._profile_uncached(clip)
 
     def _profile_uncached(self, clip: ClipBase) -> ProfileResult:
-        stats = self.analyzer.analyze(clip)
-        scenes = self.detector.detect(stats)
-        SceneDetector.validate_partition(scenes, len(stats))
+        with trace("pipeline.profile"):
+            with trace("pipeline.analyze"):
+                stats = self.analyzer.analyze(clip)
+            with trace("pipeline.scene_grouping"):
+                scenes = self.detector.detect(stats)
+                SceneDetector.validate_partition(scenes, len(stats))
         return ProfileResult(stats=stats, scenes=scenes)
 
     def annotate(self, clip: ClipBase, profile: Optional[ProfileResult] = None) -> AnnotationTrack:
         """Produce the device-independent annotation track for a clip."""
         if profile is None:
             profile = self.profile(clip)
-        scenes = [
-            SceneAnnotation(
-                start=scene.start,
-                end=scene.end,
-                effective_max_luminance=self.clipping.effective_max(scene, profile.stats),
-            )
-            for scene in profile.scenes
-        ]
+        with trace("pipeline.clip"):
+            scenes = [
+                SceneAnnotation(
+                    start=scene.start,
+                    end=scene.end,
+                    effective_max_luminance=self.clipping.effective_max(scene, profile.stats),
+                )
+                for scene in profile.scenes
+            ]
         return AnnotationTrack(
             clip_name=clip.name,
             frame_count=clip.frame_count,
@@ -248,7 +253,8 @@ class AnnotatedStream:
         """
         for chunk in self.clip.iter_chunks(chunk_size):
             gains = self._gains[chunk.start : chunk.stop]
-            pixels, fractions = contrast_enhancement_batch(chunk.pixels, gains)
+            with trace("pipeline.compensate"):
+                pixels, fractions = contrast_enhancement_batch(chunk.pixels, gains)
             yield CompensatedChunk(
                 pixels=pixels,
                 start=chunk.start,

@@ -17,14 +17,18 @@ profile, because the fingerprint changes with the pixels.
 from __future__ import annotations
 
 import hashlib
+import itertools
 import threading
 from collections import OrderedDict
-from typing import Any, Callable, Hashable, Optional, Tuple
+from typing import Any, Callable, Dict, Hashable, Optional, Tuple
 
 import numpy as np
 
+from ..telemetry import registry as telemetry_registry
 from ..video.clip import ArrayClip, ClipBase, VideoClip
 from .policy import SchemeParameters
+
+_CACHE_SEQ = itertools.count(1)
 
 #: Frames hashed when fingerprinting a lazily synthesized clip.
 FINGERPRINT_SAMPLE_FRAMES = 16
@@ -104,10 +108,71 @@ class ProfileCache:
         self.max_entries = int(max_entries)
         self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
         self._lock = threading.Lock()
-        self.hits = 0
-        self.misses = 0
+        # Per-instance telemetry series: a unique cache label keeps fresh
+        # instances at zero while the shared registry aggregates them all.
+        reg = telemetry_registry()
+        labels = {"cache": f"profile-{next(_CACHE_SEQ)}"}
+        self._hit_counter = reg.counter(
+            "repro_cache_hits_total", help="Cache lookups served from the cache.",
+            labels=labels,
+        )
+        self._miss_counter = reg.counter(
+            "repro_cache_misses_total", help="Cache lookups that missed.",
+            labels=labels,
+        )
+        self._eviction_counter = reg.counter(
+            "repro_cache_evictions_total", help="Entries evicted to respect the bound.",
+            labels=labels,
+        )
+        self._entries_gauge = reg.gauge(
+            "repro_cache_entries", help="Entries currently retained.", labels=labels,
+        )
+
+    def _ensure_registered(self) -> None:
+        """Re-attach this cache's series after a registry reset.
+
+        Long-lived caches (the process-wide shared instance) outlive
+        test-isolation resets; idempotent re-registration keeps their
+        series visible in snapshots.  Cheap: one lock + dict hit each.
+        """
+        reg = telemetry_registry()
+        for metric in (self._hit_counter, self._miss_counter,
+                       self._eviction_counter, self._entries_gauge):
+            reg.register(metric)
 
     # ------------------------------------------------------------------
+    @property
+    def hits(self) -> int:
+        """Lookups served from the cache (reads the telemetry counter)."""
+        return self._hit_counter.value
+
+    @property
+    def misses(self) -> int:
+        """Lookups that missed (reads the telemetry counter)."""
+        return self._miss_counter.value
+
+    @property
+    def evictions(self) -> int:
+        """Entries evicted to respect ``max_entries``."""
+        return self._eviction_counter.value
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, Any]:
+        """One-call summary of the cache's telemetry series."""
+        return {
+            "entries": len(self),
+            "max_entries": self.max_entries,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_ratio": self.hit_ratio,
+        }
+
     def __len__(self) -> int:
         return len(self._entries)
 
@@ -118,13 +183,14 @@ class ProfileCache:
 
     def get(self, key: Hashable) -> Optional[Any]:
         """Return the cached profile for ``key``, or ``None``."""
+        self._ensure_registered()
         with self._lock:
             value = self._entries.get(key)
             if value is None:
-                self.misses += 1
+                self._miss_counter.inc()
                 return None
             self._entries.move_to_end(key)
-            self.hits += 1
+            self._hit_counter.inc()
             return value
 
     def put(self, key: Hashable, value: Any) -> None:
@@ -136,6 +202,8 @@ class ProfileCache:
             self._entries.move_to_end(key)
             while len(self._entries) > self.max_entries:
                 self._entries.popitem(last=False)
+                self._eviction_counter.inc()
+            self._entries_gauge.set(len(self._entries))
 
     def get_or_compute(
         self,
@@ -161,6 +229,7 @@ class ProfileCache:
         """Drop every cached profile (counters are kept)."""
         with self._lock:
             self._entries.clear()
+            self._entries_gauge.set(0)
 
     def __repr__(self) -> str:
         return (

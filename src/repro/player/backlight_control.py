@@ -22,6 +22,7 @@ import numpy as np
 
 from ..display.backlight import BacklightModel
 from ..display.transfer import MAX_BACKLIGHT_LEVEL
+from ..telemetry import registry as telemetry_registry
 
 
 @dataclass
@@ -57,6 +58,10 @@ class BacklightController:
         self.current_level = MAX_BACKLIGHT_LEVEL
         self._last_switch_time: float = -np.inf
         self.events: List[SwitchEvent] = []
+        self._switch_counter = telemetry_registry().counter(
+            "repro_backlight_switches_total",
+            help="Backlight level changes applied during playback.",
+        )
 
     # ------------------------------------------------------------------
     def request(self, time_s: float, level: int) -> int:
@@ -79,6 +84,7 @@ class BacklightController:
             self.current_level = level
             self._last_switch_time = time_s
             self.events.append(SwitchEvent(time_s=time_s, level=level))
+            self._switch_counter.inc()
 
     # ------------------------------------------------------------------
     @property

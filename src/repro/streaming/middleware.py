@@ -23,6 +23,7 @@ from ..display.transfer import MAX_BACKLIGHT_LEVEL
 from ..power.battery import Battery
 from ..power.measurement import simulated_backlight_savings
 from ..power.model import PLAYBACK_ACTIVITY, ActivityState, DevicePowerModel
+from ..telemetry import registry as telemetry_registry
 from .server import MediaServer
 from .session import NegotiationError
 
@@ -155,6 +156,15 @@ class BatteryAwareMiddleware:
         self.battery = battery
         self.advisor = QualityAdvisor(device, activity=activity)
         self.reserve_fraction = reserve_fraction
+        reg = telemetry_registry()
+        self._adaptations_counter = reg.counter(
+            "repro_middleware_adaptations_total",
+            help="Quality decisions taken by the battery-aware middleware.",
+        )
+        self._renegotiations_counter = reg.counter(
+            "repro_middleware_renegotiations_total",
+            help="Middleware decisions that changed the quality level mid-session.",
+        )
 
     # ------------------------------------------------------------------
     def plan_session(self, playlist: Sequence[str],
@@ -198,6 +208,9 @@ class BatteryAwareMiddleware:
             hints = publish_power_hints(self.server, name, self.device)
             choice = self.advisor.choose(hints, budget_w)
             power = self.advisor.predicted_power_w(choice)
+            self._adaptations_counter.inc()
+            if events and events[-1].quality != choice.quality:
+                self._renegotiations_counter.inc()
             events.append(AdaptationEvent(
                 clip_name=name,
                 quality=choice.quality,

@@ -23,6 +23,7 @@ from ..core.pipeline import AnnotatedStream, AnnotationPipeline
 from ..core.policy import SchemeParameters
 from ..core.profile_cache import ProfileCache, shared_profile_cache
 from ..display.devices import DeviceProfile
+from ..telemetry import registry as telemetry_registry, trace
 from ..video.clip import VideoClip
 from ..video.frame import Frame
 from .packets import MediaPacket, annotation_packet, frame_packet
@@ -67,6 +68,13 @@ class TranscodingProxy:
         self._pipeline = AnnotationPipeline(
             params, engine=engine, profile_cache=profile_cache
         )
+        reg = telemetry_registry()
+        self._windows_counter = reg.counter(
+            "repro_proxy_windows_total", help="Live windows annotated by proxies.",
+        )
+        self._frames_counter = reg.counter(
+            "repro_proxy_frames_total", help="Live frames transcoded by proxies.",
+        )
 
     # ------------------------------------------------------------------
     def _chunks(self, frames: Iterable[Frame]) -> Iterator[List[Frame]]:
@@ -89,8 +97,11 @@ class TranscodingProxy:
         """
         out_index = 0
         for chunk in self._chunks(frames):
-            clip = VideoClip(chunk, fps=fps, name=name)
-            stream = self._pipeline.build_stream(clip, self.device)
+            with trace("proxy.window"):
+                clip = VideoClip(chunk, fps=fps, name=name)
+                stream = self._pipeline.build_stream(clip, self.device)
+            self._windows_counter.inc()
+            self._frames_counter.inc(len(chunk))
             gains = stream.track.per_frame_gains()
             for local, (frame, level) in enumerate(stream):
                 frame.index = out_index
@@ -109,8 +120,11 @@ class TranscodingProxy:
         seq = 0
         out_index = 0
         for chunk in self._chunks(frames):
-            clip = VideoClip(chunk, fps=fps, name=name)
-            stream = self._pipeline.build_stream(clip, self.device)
+            with trace("proxy.window"):
+                clip = VideoClip(chunk, fps=fps, name=name)
+                stream = self._pipeline.build_stream(clip, self.device)
+            self._windows_counter.inc()
+            self._frames_counter.inc(len(chunk))
             yield annotation_packet(seq, stream.track.to_bytes())
             seq += 1
             for frame, _level in stream:

@@ -21,6 +21,7 @@ from ..core.pipeline import AnnotatedStream, AnnotationPipeline, ProfileResult
 from ..core.policy import QUALITY_LEVELS, SchemeParameters
 from ..core.profile_cache import ProfileCache, shared_profile_cache
 from ..display.devices import get_device
+from ..telemetry import registry as telemetry_registry, trace
 from ..video.clip import ClipBase
 from ..video.codec import CodecModel
 from .packets import MediaPacket, annotation_packet, frame_packet
@@ -85,6 +86,21 @@ class MediaServer:
         self._tracks: Dict[Tuple[str, float], AnnotationTrack] = {}
         self._dvfs_tracks: Dict[str, DvfsTrack] = {}
         self._session_ids = itertools.count(1)
+        reg = telemetry_registry()
+        self._sessions_counter = reg.counter(
+            "repro_server_sessions_total", help="Sessions negotiated by media servers.",
+        )
+        self._track_requests_counter = reg.counter(
+            "repro_server_track_requests_total",
+            help="Annotation-track requests served (cached or computed).",
+        )
+        self._streams_counter = reg.counter(
+            "repro_server_streams_total", help="Annotated streams emitted to clients.",
+        )
+        self._frames_streamed_counter = reg.counter(
+            "repro_server_frames_streamed_total",
+            help="Compensated frame packets emitted to clients.",
+        )
 
     # ------------------------------------------------------------------
     # Catalog management
@@ -143,6 +159,7 @@ class MediaServer:
             raise NegotiationError(
                 f"quality {quality} is not a prepared variant {self.qualities}"
             )
+        self._track_requests_counter.inc()
         key = (clip_name, quality)
         if key not in self._tracks:
             clip = self.get_clip(clip_name)
@@ -208,6 +225,7 @@ class MediaServer:
         """Negotiate a session: validate, snap quality, assign an id."""
         clip = self.get_clip(request.clip_name)
         quality = snap_quality(request.quality, self.qualities)
+        self._sessions_counter.inc()
         return SessionDescription(
             session_id=next(self._session_ids),
             clip_name=clip.name,
@@ -231,7 +249,9 @@ class MediaServer:
         client device at runtime, the compensation of the frames ... is
         performed at either the server or the intermediary proxy node").
         """
-        annotated = self.build_stream(session)
+        with trace("server.stream"):
+            annotated = self.build_stream(session)
+        self._streams_counter.inc()
         yield annotation_packet(0, annotated.track.to_bytes())
         seq = 1
         has_dvfs = (
@@ -247,4 +267,5 @@ class MediaServer:
         for i in range(annotated.frame_count):
             compensated = annotated.compensated_frame(i).frame
             wire = int(wire_sizes[i]) if wire_sizes is not None else None
+            self._frames_streamed_counter.inc()
             yield frame_packet(seq + i, compensated, frame_index=i, wire_bytes=wire)

@@ -1,0 +1,79 @@
+"""Telemetry: metrics registry, span tracing, exporters.
+
+The observability layer for the annotation/streaming stack.  Everything
+records into one process-wide :class:`~repro.telemetry.metrics.MetricsRegistry`:
+
+* the annotation pipeline emits stage spans (``pipeline.profile``,
+  ``pipeline.scene_grouping``, ``pipeline.clip``, ``pipeline.compensate``);
+* the execution engine times every chunk kernel and publishes frames/sec;
+* the profile and plane caches expose hit/miss/eviction/byte-size series;
+* the streaming stack counts sessions, track requests, proxy windows,
+  middleware renegotiations and applied backlight switches.
+
+Snapshots export as JSON-lines (:func:`~repro.telemetry.export.to_jsonl`),
+Prometheus text (:func:`~repro.telemetry.export.to_prometheus`) or a human
+table (:func:`~repro.telemetry.export.format_table`) — the ``--stats`` CLI
+flag and the ``telemetry`` subcommand wire these up.
+
+The layer is on by default and engineered for near-zero overhead
+(counters are plain attribute adds; spans pay two ``perf_counter`` calls);
+:func:`disable` turns every record path into a single flag check.
+"""
+
+from .metrics import (
+    DEFAULT_TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    Metric,
+    MetricsRegistry,
+    disable,
+    enable,
+    enabled,
+    registry,
+    reset_registry,
+)
+from .tracing import (
+    SPAN_ERRORS,
+    SPAN_SECONDS,
+    Span,
+    active_span,
+    span_stack,
+    trace,
+)
+from .export import (
+    format_table,
+    from_jsonl,
+    metric_to_dict,
+    parse_prometheus,
+    snapshot,
+    to_jsonl,
+    to_prometheus,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Metric",
+    "MetricsRegistry",
+    "DEFAULT_TIME_BUCKETS",
+    "enable",
+    "disable",
+    "enabled",
+    "registry",
+    "reset_registry",
+    "Span",
+    "trace",
+    "active_span",
+    "span_stack",
+    "SPAN_SECONDS",
+    "SPAN_ERRORS",
+    "snapshot",
+    "metric_to_dict",
+    "to_jsonl",
+    "from_jsonl",
+    "to_prometheus",
+    "parse_prometheus",
+    "format_table",
+]

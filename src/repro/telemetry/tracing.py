@@ -1,0 +1,151 @@
+"""Span tracing: nested, thread-safe timing of pipeline stages.
+
+A :class:`trace` context manager times one stage with the monotonic
+clock (``time.perf_counter``) and records the duration into the
+process-wide registry as the ``repro_span_seconds`` histogram, labeled
+by span name.  Each thread keeps its own active-span stack, so the
+``threads`` execution engine and concurrent servers nest correctly
+without locks: a span's parent is whatever span is active *on the same
+thread* when it opens.
+
+Span names are dotted stage identifiers (``pipeline.profile``,
+``engine.chunk``, ``server.stream``); the hierarchy of one particular
+run is captured on the :class:`Span` objects (``parent``, ``path``)
+while the registry aggregates by name, keeping label cardinality
+bounded no matter how deep traces nest.
+"""
+
+from __future__ import annotations
+
+import threading
+from time import perf_counter
+from typing import List, Optional
+
+from .metrics import MetricsRegistry, registry
+from . import metrics as _metrics
+
+#: Histogram receiving every span duration, labeled ``span=<name>``.
+SPAN_SECONDS = "repro_span_seconds"
+
+#: Counter of spans that exited with an exception, labeled ``span=<name>``.
+SPAN_ERRORS = "repro_span_errors_total"
+
+_STACKS = threading.local()
+
+
+def _stack() -> List["Span"]:
+    stack = getattr(_STACKS, "spans", None)
+    if stack is None:
+        stack = []
+        _STACKS.spans = stack
+    return stack
+
+
+class Span:
+    """One timed region: name, hierarchy position, and duration.
+
+    Attributes
+    ----------
+    name:
+        The stage identifier given to :class:`trace`.
+    parent:
+        The span active on this thread when this one opened (or ``None``).
+    path:
+        ``/``-joined names from the root span down to this one.
+    duration_s:
+        Elapsed monotonic seconds; ``None`` until the span closes.
+    """
+
+    __slots__ = ("name", "parent", "path", "duration_s", "_started")
+
+    def __init__(self, name: str, parent: Optional["Span"] = None):
+        self.name = name
+        self.parent = parent
+        self.path = name if parent is None else f"{parent.path}/{name}"
+        self.duration_s: Optional[float] = None
+        self._started = 0.0
+
+    @property
+    def depth(self) -> int:
+        """Nesting depth (0 for a root span)."""
+        depth, span = 0, self.parent
+        while span is not None:
+            depth, span = depth + 1, span.parent
+        return depth
+
+    def __repr__(self) -> str:
+        dur = f"{self.duration_s:.6f}s" if self.duration_s is not None else "open"
+        return f"Span({self.path}, {dur})"
+
+
+class trace:
+    """Context manager timing one stage as a :class:`Span`.
+
+    ``with trace("pipeline.profile") as span:`` opens a span on the
+    current thread's stack, times the body with ``perf_counter``, and on
+    exit records the duration into ``repro_span_seconds{span=<name>}``.
+    When telemetry is disabled the body runs untimed and untracked
+    (``span`` is ``None``), so a disabled trace costs one flag check.
+
+    Parameters
+    ----------
+    name:
+        Dotted stage identifier; becomes the ``span`` label value.
+    registry:
+        Registry to record into (the process-wide one by default).
+    """
+
+    __slots__ = ("name", "span", "_registry")
+
+    def __init__(self, name: str, registry: Optional[MetricsRegistry] = None):
+        self.name = name
+        self.span: Optional[Span] = None
+        self._registry = registry
+
+    def __enter__(self) -> Optional[Span]:
+        """Open the span; returns ``None`` when telemetry is disabled."""
+        if not _metrics._ENABLED:
+            return None
+        stack = _stack()
+        parent = stack[-1] if stack else None
+        span = Span(self.name, parent=parent)
+        stack.append(span)
+        self.span = span
+        span._started = perf_counter()
+        return span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        """Close the span, record its duration, and pop the stack."""
+        span = self.span
+        if span is None:
+            return False
+        span.duration_s = perf_counter() - span._started
+        stack = _stack()
+        # Pop back to (and including) this span; spans the body leaked
+        # open are discarded so the stack cannot corrupt later traces.
+        while stack:
+            if stack.pop() is span:
+                break
+        reg = self._registry if self._registry is not None else registry()
+        reg.histogram(
+            SPAN_SECONDS, help="Stage span durations in seconds.",
+            labels={"span": span.name},
+        ).observe(span.duration_s)
+        if exc_type is not None:
+            reg.counter(
+                SPAN_ERRORS, help="Spans that exited with an exception.",
+                labels={"span": span.name},
+            ).inc()
+        self.span = None
+        return False
+
+
+def active_span() -> Optional[Span]:
+    """The innermost open span on the current thread, or ``None``."""
+    stack = _stack()
+    return stack[-1] if stack else None
+
+
+def span_stack() -> List[Span]:
+    """The current thread's open spans, outermost first (copy)."""
+    return list(_stack())

@@ -24,12 +24,16 @@ compensation metrics, quality evaluation) touch the clip.
 
 from __future__ import annotations
 
+import itertools
 from collections import OrderedDict
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
+from ..telemetry import registry as telemetry_registry
 from .frame import Frame, LUMA_COEFFS, MAX_CHANNEL
+
+_PLANE_CACHE_SEQ = itertools.count(1)
 
 #: Default number of frames per chunk.  At QVGA-class resolutions a chunk
 #: of 64 frames keeps the float64 working set a few megabytes — large
@@ -249,8 +253,36 @@ class PlaneCache:
         self.max_bytes = int(max_bytes)
         self._planes: "OrderedDict[Tuple[int, str], np.ndarray]" = OrderedDict()
         self._nbytes = 0
-        self.hits = 0
-        self.misses = 0
+        # Per-instance telemetry series: a unique cache label keeps fresh
+        # instances at zero while the shared registry aggregates them all.
+        reg = telemetry_registry()
+        labels = {"cache": f"plane-{next(_PLANE_CACHE_SEQ)}"}
+        self._hit_counter = reg.counter(
+            "repro_cache_hits_total", help="Cache lookups served from the cache.",
+            labels=labels,
+        )
+        self._miss_counter = reg.counter(
+            "repro_cache_misses_total", help="Cache lookups that missed.",
+            labels=labels,
+        )
+        self._eviction_counter = reg.counter(
+            "repro_cache_evictions_total", help="Entries evicted to respect the bound.",
+            labels=labels,
+        )
+        self._bytes_gauge = reg.gauge(
+            "repro_cache_bytes", help="Plane bytes currently retained.", labels=labels,
+        )
+
+    def _ensure_registered(self) -> None:
+        """Re-attach this cache's series after a registry reset.
+
+        Long-lived caches outlive test-isolation resets; idempotent
+        re-registration keeps their series visible in snapshots.
+        """
+        reg = telemetry_registry()
+        for metric in (self._hit_counter, self._miss_counter,
+                       self._eviction_counter, self._bytes_gauge):
+            reg.register(metric)
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -261,15 +293,49 @@ class PlaneCache:
         """Bytes currently retained."""
         return self._nbytes
 
+    @property
+    def hits(self) -> int:
+        """Lookups served from the cache (reads the telemetry counter)."""
+        return self._hit_counter.value
+
+    @property
+    def misses(self) -> int:
+        """Lookups that missed (reads the telemetry counter)."""
+        return self._miss_counter.value
+
+    @property
+    def evictions(self) -> int:
+        """Planes evicted to respect ``max_bytes``."""
+        return self._eviction_counter.value
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, Any]:
+        """One-call summary of the cache's telemetry series."""
+        return {
+            "planes": len(self),
+            "bytes": self._nbytes,
+            "max_bytes": self.max_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_ratio": self.hit_ratio,
+        }
+
     def get(self, index: int, kind: str) -> Optional[np.ndarray]:
         """Return the cached plane for ``(index, kind)``, or ``None``."""
+        self._ensure_registered()
         key = (index, kind)
         plane = self._planes.get(key)
         if plane is None:
-            self.misses += 1
+            self._miss_counter.inc()
             return None
         self._planes.move_to_end(key)
-        self.hits += 1
+        self._hit_counter.inc()
         return plane
 
     def put(self, index: int, kind: str, plane: np.ndarray) -> None:
@@ -285,11 +351,14 @@ class PlaneCache:
         while self._nbytes > self.max_bytes:
             _, evicted = self._planes.popitem(last=False)
             self._nbytes -= evicted.nbytes
+            self._eviction_counter.inc()
+        self._bytes_gauge.set(self._nbytes)
 
     def clear(self) -> None:
         """Drop every cached plane (counters are kept)."""
         self._planes.clear()
         self._nbytes = 0
+        self._bytes_gauge.set(0)
 
     def __repr__(self) -> str:
         return (

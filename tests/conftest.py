@@ -26,6 +26,18 @@ from repro.video import (
 TEST_RESOLUTION = (48, 36)
 
 
+@pytest.fixture(autouse=True)
+def _telemetry_isolation():
+    """Fresh, enabled global metrics registry around every test."""
+    from repro import telemetry
+
+    telemetry.enable()
+    telemetry.reset_registry()
+    yield
+    telemetry.enable()
+    telemetry.reset_registry()
+
+
 @pytest.fixture
 def device():
     """The paper's measurement device (transflective LED iPAQ 5555)."""

@@ -1,0 +1,124 @@
+"""Exporter round-trips: JSON-lines parse-back and Prometheus grammar."""
+
+import json
+
+import pytest
+
+from repro.telemetry import (
+    MetricsRegistry,
+    format_table,
+    from_jsonl,
+    metric_to_dict,
+    parse_prometheus,
+    snapshot,
+    to_jsonl,
+    to_prometheus,
+)
+
+
+def populated_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("repro_requests_total", help="Requests served.",
+                labels={"route": "annotate"}).inc(7)
+    reg.counter("repro_requests_total", labels={"route": "sweep"}).inc(2)
+    reg.gauge("repro_queue_depth", help="Pending work items.").set(3.5)
+    hist = reg.histogram("repro_latency_seconds", help="Request latency.",
+                         buckets=(0.01, 0.1, 1.0))
+    for v in (0.005, 0.05, 0.5, 5.0):
+        hist.observe(v)
+    return reg
+
+
+class TestJsonLines:
+    def test_round_trip_is_lossless(self):
+        reg = populated_registry()
+        jl = to_jsonl(reg)
+        rebuilt = from_jsonl(jl)
+        assert to_jsonl(rebuilt) == jl
+        assert snapshot(rebuilt) == snapshot(reg)
+
+    def test_every_line_is_valid_json(self):
+        for line in to_jsonl(populated_registry()).splitlines():
+            record = json.loads(line)
+            assert {"name", "kind"} <= set(record)
+
+    def test_histogram_state_survives(self):
+        rebuilt = from_jsonl(to_jsonl(populated_registry()))
+        hist = rebuilt.get("repro_latency_seconds")
+        assert hist.count == 4
+        assert hist.sum == pytest.approx(5.555)
+        assert hist.min == pytest.approx(0.005)
+        assert hist.max == pytest.approx(5.0)
+        assert list(hist.cumulative_counts()) == [1, 2, 3, 4]
+
+    def test_metric_to_dict_keys(self):
+        reg = populated_registry()
+        record = metric_to_dict(reg.get("repro_queue_depth"))
+        assert record["kind"] == "gauge"
+        assert record["value"] == pytest.approx(3.5)
+
+    def test_from_jsonl_rejects_garbage(self):
+        with pytest.raises((ValueError, KeyError)):
+            from_jsonl('{"kind": "counter"}\n')
+
+
+class TestPrometheus:
+    def test_output_parses_under_its_own_grammar(self):
+        reg = populated_registry()
+        text = to_prometheus(reg)
+        samples = parse_prometheus(text)
+        assert samples[("repro_requests_total", (("route", "annotate"),))] == 7
+        assert samples[("repro_requests_total", (("route", "sweep"),))] == 2
+        assert samples[("repro_queue_depth", ())] == pytest.approx(3.5)
+
+    def test_histogram_exposition_is_cumulative(self):
+        samples = parse_prometheus(to_prometheus(populated_registry()))
+        assert samples[("repro_latency_seconds_bucket", (("le", "0.01"),))] == 1
+        assert samples[("repro_latency_seconds_bucket", (("le", "0.1"),))] == 2
+        assert samples[("repro_latency_seconds_bucket", (("le", "1.0"),))] == 3
+        assert samples[("repro_latency_seconds_bucket", (("le", "+Inf"),))] == 4
+        assert samples[("repro_latency_seconds_count", ())] == 4
+        assert samples[("repro_latency_seconds_sum", ())] == pytest.approx(5.555)
+
+    def test_help_and_type_headers_present(self):
+        text = to_prometheus(populated_registry())
+        assert "# HELP repro_requests_total Requests served." in text
+        assert "# TYPE repro_requests_total counter" in text
+        assert "# TYPE repro_queue_depth gauge" in text
+        assert "# TYPE repro_latency_seconds histogram" in text
+
+    def test_parse_rejects_malformed_lines(self):
+        for bad in (
+            "no_value_here",
+            'metric{unclosed="x} 1',
+            "metric{} 1 extra",
+            '9metric 1',
+        ):
+            with pytest.raises(ValueError):
+                parse_prometheus(bad)
+
+    def test_escaped_label_values_round_trip(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_odd_total", labels={"path": 'a"b\\c'}).inc()
+        samples = parse_prometheus(to_prometheus(reg))
+        assert any(name == "repro_odd_total" for name, _ in samples)
+
+
+class TestFormatTable:
+    def test_empty_registry_message(self):
+        assert "no metrics" in format_table(MetricsRegistry())
+
+    def test_sections_render(self):
+        table = format_table(populated_registry())
+        assert "counters:" in table
+        assert "gauges:" in table
+        assert "histograms:" in table
+        assert "repro_requests_total{route=annotate}" in table
+
+    def test_cache_hit_ratio_derived(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_cache_hits_total", labels={"cache": "profile-9"}).inc(3)
+        reg.counter("repro_cache_misses_total", labels={"cache": "profile-9"}).inc(1)
+        table = format_table(reg)
+        assert "caches:" in table
+        assert "75.0%" in table

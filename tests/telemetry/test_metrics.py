@@ -1,0 +1,172 @@
+"""Metrics primitives: counters, gauges, histograms, the registry."""
+
+import numpy as np
+import pytest
+
+from repro.telemetry import (
+    DEFAULT_TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    disable,
+    enable,
+    enabled,
+    registry,
+    reset_registry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("repro_test_total")
+        assert c.value == 0
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_negative_increment_rejected(self):
+        c = Counter("repro_test_total")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_invalid_names_rejected(self):
+        for bad in ("", "9starts_with_digit", "has space", "has-dash"):
+            with pytest.raises(ValueError):
+                Counter(bad)
+
+    def test_disabled_counter_is_frozen(self):
+        c = Counter("repro_test_total")
+        c.inc()
+        disable()
+        try:
+            c.inc(100)
+            assert not enabled()
+        finally:
+            enable()
+        assert c.value == 1
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("repro_test_level")
+        g.set(7.5)
+        g.inc(0.5)
+        g.dec(3.0)
+        assert g.value == pytest.approx(5.0)
+
+    def test_disabled_gauge_is_frozen(self):
+        g = Gauge("repro_test_level")
+        g.set(2.0)
+        disable()
+        try:
+            g.set(99.0)
+        finally:
+            enable()
+        assert g.value == 2.0
+
+
+class TestHistogram:
+    def test_observe_places_values_in_buckets(self):
+        h = Histogram("repro_test_seconds", buckets=(1.0, 10.0, 100.0))
+        for v in (0.5, 5.0, 50.0, 500.0):
+            h.observe(v)
+        assert h.count == 4
+        assert list(h.bucket_counts()) == [1, 1, 1, 1]
+        assert list(h.cumulative_counts()) == [1, 2, 3, 4]
+        assert h.sum == pytest.approx(555.5)
+        assert h.min == pytest.approx(0.5)
+        assert h.max == pytest.approx(500.0)
+        assert h.mean == pytest.approx(555.5 / 4)
+
+    def test_boundary_value_goes_to_its_le_bucket(self):
+        h = Histogram("repro_test_seconds", buckets=(1.0, 10.0))
+        h.observe(1.0)
+        assert list(h.bucket_counts()) == [1, 0, 0]
+
+    def test_observe_many_matches_repeated_observe(self):
+        values = np.linspace(0.0001, 40.0, 997)
+        one = Histogram("repro_test_seconds")
+        many = Histogram("repro_test_seconds")
+        for v in values:
+            one.observe(float(v))
+        many.observe_many(values)
+        assert list(one.bucket_counts()) == list(many.bucket_counts())
+        assert one.count == many.count == 997
+        assert one.sum == pytest.approx(many.sum)
+        assert one.min == pytest.approx(many.min)
+        assert one.max == pytest.approx(many.max)
+
+    def test_observe_many_empty_is_noop(self):
+        h = Histogram("repro_test_seconds")
+        h.observe_many([])
+        assert h.count == 0
+
+    def test_bad_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("repro_test_seconds", buckets=())
+        with pytest.raises(ValueError):
+            Histogram("repro_test_seconds", buckets=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("repro_test_seconds", buckets=(1.0, float("inf")))
+
+    def test_default_buckets_span_microseconds_to_minutes(self):
+        assert DEFAULT_TIME_BUCKETS[0] == pytest.approx(1e-5)
+        assert DEFAULT_TIME_BUCKETS[-1] == pytest.approx(50.0)
+        assert list(DEFAULT_TIME_BUCKETS) == sorted(DEFAULT_TIME_BUCKETS)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instance(self):
+        reg = MetricsRegistry()
+        a = reg.counter("repro_x_total")
+        b = reg.counter("repro_x_total")
+        assert a is b
+        assert len(reg) == 1
+
+    def test_labels_distinguish_series(self):
+        reg = MetricsRegistry()
+        a = reg.counter("repro_x_total", labels={"kind": "a"})
+        b = reg.counter("repro_x_total", labels={"kind": "b"})
+        assert a is not b
+        assert len(reg.series("repro_x_total")) == 2
+
+    def test_label_order_does_not_matter(self):
+        reg = MetricsRegistry()
+        a = reg.gauge("repro_x", labels={"a": "1", "b": "2"})
+        b = reg.gauge("repro_x", labels={"b": "2", "a": "1"})
+        assert a is b
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_x_total")
+        with pytest.raises(TypeError):
+            reg.gauge("repro_x_total")
+
+    def test_reset_clears_everything(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_x_total").inc()
+        reg.reset()
+        assert len(reg) == 0
+        assert reg.counter("repro_x_total").value == 0
+
+    def test_register_external_metric(self):
+        reg = MetricsRegistry()
+        c = Counter("repro_y_total", labels={"cache": "t-1"})
+        reg.register(c)
+        assert reg.get("repro_y_total", labels={"cache": "t-1"}) is c
+
+    def test_global_registry_reset_between_tests(self):
+        # the autouse conftest fixture must hand every test a clean slate
+        assert len(registry()) == 0
+        registry().counter("repro_leak_total").inc()
+
+    def test_global_registry_reset_between_tests_second_probe(self):
+        # companion to the probe above: whichever runs second sees no leak
+        assert registry().get("repro_leak_total") is None
+        registry().counter("repro_leak_total").inc()
+
+    def test_reset_registry_function(self):
+        registry().counter("repro_z_total").inc()
+        reset_registry()
+        assert len(registry()) == 0

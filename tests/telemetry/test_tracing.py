@@ -1,0 +1,102 @@
+"""Span tracing: nesting, thread isolation, error accounting, disable."""
+
+import threading
+
+import pytest
+
+from repro.telemetry import (
+    SPAN_ERRORS,
+    SPAN_SECONDS,
+    active_span,
+    disable,
+    enable,
+    registry,
+    span_stack,
+    trace,
+)
+
+
+class TestNesting:
+    def test_single_span_records_duration(self):
+        with trace("unit.work") as span:
+            pass
+        assert span.duration_s >= 0.0
+        hist = registry().get(SPAN_SECONDS, labels={"span": "unit.work"})
+        assert hist is not None and hist.count == 1
+        assert hist.sum == pytest.approx(span.duration_s)
+
+    def test_nested_spans_build_paths(self):
+        with trace("outer") as outer:
+            assert active_span() is outer
+            with trace("inner") as inner:
+                assert inner.parent is outer
+                assert inner.path == "outer/inner"
+                assert inner.depth == 1
+                assert [s.name for s in span_stack()] == ["outer", "inner"]
+            assert active_span() is outer
+        assert active_span() is None
+        assert span_stack() == []
+
+    def test_inner_duration_bounded_by_outer(self):
+        with trace("outer") as outer:
+            with trace("inner") as inner:
+                pass
+        assert inner.duration_s <= outer.duration_s
+
+    def test_exception_still_records_and_counts_error(self):
+        with pytest.raises(RuntimeError):
+            with trace("unit.fails"):
+                raise RuntimeError("boom")
+        assert active_span() is None
+        hist = registry().get(SPAN_SECONDS, labels={"span": "unit.fails"})
+        assert hist is not None and hist.count == 1
+        errors = registry().get(SPAN_ERRORS, labels={"span": "unit.fails"})
+        assert errors is not None and errors.value == 1
+
+    def test_sibling_spans_share_a_series(self):
+        for _ in range(3):
+            with trace("unit.repeat"):
+                pass
+        hist = registry().get(SPAN_SECONDS, labels={"span": "unit.repeat"})
+        assert hist.count == 3
+
+
+class TestDisable:
+    def test_disabled_trace_yields_none_and_records_nothing(self):
+        disable()
+        try:
+            with trace("unit.dark") as span:
+                assert span is None
+                assert active_span() is None
+        finally:
+            enable()
+        assert registry().get(SPAN_SECONDS, labels={"span": "unit.dark"}) is None
+
+
+class TestThreads:
+    def test_span_stacks_are_thread_local(self):
+        barrier = threading.Barrier(4)
+        failures = []
+
+        def worker(tag):
+            try:
+                with trace(f"thread.{tag}") as span:
+                    barrier.wait(timeout=10)
+                    # every thread sees only its own stack
+                    assert span_stack() == [span]
+                    with trace("leaf") as leaf:
+                        assert leaf.path == f"thread.{tag}/leaf"
+            except Exception as exc:  # pragma: no cover - surfaced below
+                failures.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert failures == []
+        leaf = registry().get(SPAN_SECONDS, labels={"span": "leaf"})
+        assert leaf.count == 4
+        for i in range(4):
+            per = registry().get(SPAN_SECONDS, labels={"span": f"thread.{i}"})
+            assert per is not None and per.count == 1

@@ -19,6 +19,7 @@ PACKAGES = [
     "repro.streaming",
     "repro.player",
     "repro.baselines",
+    "repro.telemetry",
 ]
 
 

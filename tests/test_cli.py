@@ -65,6 +65,61 @@ class TestSweep:
         out = capsys.readouterr().out
         assert len([l for l in out.splitlines() if l.strip()]) == 3  # header + 2
 
+    def test_positional_clips(self, capsys):
+        assert main(["sweep", "ice_age", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "ice_age" in out
+
+    def test_positional_and_flag_clips_merge(self, capsys):
+        main(["sweep", "ice_age", "--clips", "catwoman", "--scale", "0.1"])
+        out = capsys.readouterr().out
+        assert "ice_age" in out and "catwoman" in out
+
+    def test_unknown_positional_clip_rejected(self, capsys):
+        assert main(["sweep", "nosferatu"]) == 2
+        assert "unknown clip" in capsys.readouterr().err
+
+
+class TestStatsFlags:
+    def test_sweep_stats_adds_clipped_column_and_snapshot(self, capsys):
+        assert main(["sweep", "ice_age", "--scale", "0.1", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "clipped" in out
+        assert "telemetry snapshot" in out
+        assert "pipeline.compensate" in out
+
+    def test_annotate_stats_json_is_parseable(self, capsys):
+        import json
+
+        assert main(["annotate", "ice_age", "--scale", "0.1", "--stats-json"]) == 0
+        out = capsys.readouterr().out
+        records = [json.loads(l) for l in out.splitlines() if l.startswith("{")]
+        assert any(r["name"] == "repro_span_seconds" for r in records)
+
+    def test_no_stats_flag_prints_no_snapshot(self, capsys):
+        assert main(["savings", "ice_age", "--scale", "0.1"]) == 0
+        assert "telemetry snapshot" not in capsys.readouterr().out
+
+
+class TestTelemetryCommand:
+    def test_table_dump(self, capsys):
+        assert main(["telemetry"]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry snapshot" in out
+        assert "repro_backlight_switches_total" in out
+
+    def test_prometheus_dump(self, capsys):
+        assert main(["telemetry", "--format", "prometheus"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_span_seconds histogram" in out
+
+    def test_jsonl_dump(self, capsys):
+        import json
+
+        assert main(["telemetry", "--format", "jsonl"]) == 0
+        for line in capsys.readouterr().out.splitlines():
+            json.loads(line)
+
 
 class TestCalibrate:
     def test_prints_transfer(self, capsys):
