@@ -85,6 +85,22 @@ def best_time(fn, rounds=ROUNDS):
     return min(times)
 
 
+def best_times_interleaved(legs, rounds=ROUNDS):
+    """Best-of-N per leg, with rounds interleaved across legs.
+
+    Timing each leg's rounds back-to-back lets slow drift (thermal
+    throttling, noisy neighbours) systematically penalize whichever leg
+    runs last; round-robin spreads the drift evenly.
+    """
+    times = {name: [] for name in legs}
+    for _ in range(rounds):
+        for name, fn in legs.items():
+            start = time.perf_counter()
+            fn()
+            times[name].append(time.perf_counter() - start)
+    return {name: min(ts) for name, ts in times.items()}
+
+
 def test_engine_throughput(report, device, workload):
     params = SchemeParameters(quality=0.05)
     clip = workload
@@ -106,7 +122,7 @@ def test_engine_throughput(report, device, workload):
             clip, device, params, engine=EngineConfig(kind="threads")
         ),
     }
-    seconds = {name: best_time(fn) for name, fn in legs.items()}
+    seconds = best_times_interleaved(legs)
     fps = {name: n / s for name, s in seconds.items()}
     speedup = {name: seconds["perframe"] / s for name, s in seconds.items()}
 
@@ -160,6 +176,7 @@ def test_engine_throughput(report, device, workload):
 
     # Acceptance: batched engine at least 3x the per-frame hot path.
     assert speedup["chunked"] >= 3.0, speedup
-    # Threads must never lose to chunked by more than scheduling noise
-    # (on a single core it degrades to chunked throughput).
-    assert speedup["chunked_threads"] >= 0.8 * speedup["chunked"], speedup
+    # The persistent shared pool means threads never pays executor setup
+    # per pass; with one effective worker it runs the chunks inline, so it
+    # must match chunked to within timing noise instead of trailing it.
+    assert speedup["chunked_threads"] >= 0.95 * speedup["chunked"], speedup

@@ -1,0 +1,155 @@
+"""Multi-session serving throughput per execution engine.
+
+Drives K concurrent sessions of one library title through a
+:class:`MediaServer` per engine kind and times the full serving loop:
+session negotiation, the (first-session) profile + annotate pass, and
+chunked compensation + packet emission for every session.  This is the
+ROADMAP's north-star shape — many clients pulling annotated streams from
+one server — so the number that matters is sessions/sec, with frames/sec
+alongside.
+
+Each server gets a *dedicated* profile cache: the process-wide shared
+cache would let one engine serve another engine's profiling results and
+flatten the comparison.  Within a server, sessions 2..K hitting the
+name-keyed profile cache is the measured scenario (annotate once, serve
+many), identical for every engine.
+
+Acceptance: chunked serving >= 2x per-frame serving.  Results go to
+``results/BENCH_serving.json`` and ``results/serving_throughput.txt``.
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import ENGINE_KINDS, ProfileCache, SchemeParameters
+from repro.streaming import (
+    ClientCapabilities,
+    MediaServer,
+    PacketType,
+    SessionRequest,
+)
+from repro.video import ArrayClip, make_clip
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+CLIP_NAME = "themovie"
+SESSIONS = 4
+ROUNDS = 2
+QUALITY = 0.05
+
+
+@pytest.fixture(scope="module")
+def workload():
+    clip = ArrayClip.from_clip(make_clip(CLIP_NAME, resolution=(96, 72)))
+    assert clip.frame_count >= 300
+    return clip
+
+
+def _make_server(clip, engine):
+    server = MediaServer(
+        params=SchemeParameters(quality=QUALITY),
+        engine=engine,
+        profile_cache=ProfileCache(max_entries=4),
+    )
+    server.add_clip(clip)
+    return server
+
+
+def _serve_sessions(server, clip, sessions=SESSIONS):
+    """Open and fully drain ``sessions`` streams; returns frames served."""
+    frames = 0
+    for _ in range(sessions):
+        request = SessionRequest(
+            clip.name, QUALITY, ClientCapabilities("ipaq5555")
+        )
+        session = server.open_session(request)
+        for packet in server.stream(session):
+            if packet.ptype is PacketType.FRAME:
+                frames += 1
+    return frames
+
+
+def test_serving_throughput(report, workload):
+    clip = workload
+    n = clip.frame_count
+
+    # Correctness gate before timing: every engine's first session must
+    # emit the per-frame reference packets byte-for-byte.
+    reference = None
+    for kind in ENGINE_KINDS:
+        server = _make_server(clip, kind)
+        request = SessionRequest(clip.name, QUALITY, ClientCapabilities("ipaq5555"))
+        packets = list(server.stream(server.open_session(request)))
+        sample = [
+            (p.seq, p.frame_index, p.frame.pixels[::7, ::5].copy())
+            for p in packets
+            if p.ptype is PacketType.FRAME
+        ][::31]
+        payloads = [p.payload for p in packets if p.ptype is PacketType.ANNOTATION]
+        if reference is None:
+            reference = (sample, payloads)
+        else:
+            assert payloads == reference[1], kind
+            for (seq, idx, pix), (rseq, ridx, rpix) in zip(sample, reference[0]):
+                assert (seq, idx) == (rseq, ridx), kind
+                assert np.array_equal(pix, rpix), kind
+
+    seconds = {}
+    frames_served = {}
+    for kind in ENGINE_KINDS:
+        times = []
+        for _ in range(ROUNDS):
+            server = _make_server(clip, kind)  # cold caches every round
+            start = time.perf_counter()
+            frames_served[kind] = _serve_sessions(server, clip)
+            times.append(time.perf_counter() - start)
+        seconds[kind] = min(times)
+        assert frames_served[kind] == SESSIONS * n
+
+    sessions_per_sec = {k: SESSIONS / s for k, s in seconds.items()}
+    frames_per_sec = {k: frames_served[k] / s for k, s in seconds.items()}
+    speedup = {k: seconds["perframe"] / s for k, s in seconds.items()}
+
+    payload = {
+        "benchmark": "serving_throughput",
+        "clip": clip.name,
+        "frames": n,
+        "resolution": list(clip.resolution),
+        "sessions": SESSIONS,
+        "rounds": ROUNDS,
+        "engines": {
+            kind: {
+                "seconds": seconds[kind],
+                "sessions_per_sec": sessions_per_sec[kind],
+                "frames_per_sec": frames_per_sec[kind],
+                "speedup_vs_perframe": speedup[kind],
+            }
+            for kind in ENGINE_KINDS
+        },
+    }
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    json_path = os.path.join(RESULTS_DIR, "BENCH_serving.json")
+    with open(json_path, "w") as fh:
+        json.dump(payload, fh, indent=2)
+
+    lines = [
+        f"serving throughput on {clip.name!r} "
+        f"({SESSIONS} sessions x {n} frames @ "
+        f"{clip.resolution[0]}x{clip.resolution[1]}, best of {ROUNDS})",
+        f"{'engine':<12}{'seconds':>10}{'sessions/s':>12}{'frames/s':>11}{'speedup':>10}",
+    ]
+    for kind in ENGINE_KINDS:
+        lines.append(
+            f"{kind:<12}{seconds[kind]:>10.3f}{sessions_per_sec[kind]:>12.2f}"
+            f"{frames_per_sec[kind]:>11.0f}{speedup[kind]:>9.2f}x"
+        )
+    lines.append(f"json -> {json_path}")
+    report("serving_throughput", lines)
+
+    # Acceptance: chunked packet emission serves sessions at least twice
+    # as fast as the per-frame reference path.
+    assert speedup["chunked"] >= 2.0, speedup

@@ -24,6 +24,7 @@ from typing import List, Optional
 import numpy as np
 
 from .core import (
+    ENGINE_KINDS,
     QUALITY_LEVELS,
     AnnotationPipeline,
     SchemeParameters,
@@ -49,6 +50,9 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="clip fraction allowed to saturate (0-1)")
     parser.add_argument("--scale", type=float, default=0.5,
                         help="duration scale for the synthetic clip")
+    parser.add_argument("--engine", default=None, choices=ENGINE_KINDS,
+                        help="execution engine for the profiling pass "
+                             "(default: chunked)")
 
 
 def _add_stats(parser: argparse.ArgumentParser) -> None:
@@ -78,7 +82,9 @@ def cmd_annotate(args: argparse.Namespace) -> int:
     """Annotate one clip for a device; print or save the track."""
     clip = make_clip(args.clip, duration_scale=args.scale)
     device = get_device(args.device)
-    pipeline = AnnotationPipeline(SchemeParameters(quality=args.quality))
+    pipeline = AnnotationPipeline(
+        SchemeParameters(quality=args.quality), engine=args.engine
+    )
     track = pipeline.annotate_for_device(clip, device)
     print(f"{args.clip} on {args.device} at quality {quality_label(args.quality)}: "
           f"{len(track.scenes)} scenes, {track.nbytes} bytes")
@@ -97,7 +103,9 @@ def cmd_savings(args: argparse.Namespace) -> int:
     """Backlight and total-device savings for one clip."""
     clip = make_clip(args.clip, duration_scale=args.scale)
     device = get_device(args.device)
-    pipeline = AnnotationPipeline(SchemeParameters(quality=args.quality))
+    pipeline = AnnotationPipeline(
+        SchemeParameters(quality=args.quality), engine=args.engine
+    )
     stream = pipeline.build_stream(clip, device)
 
     from .player import PlaybackEngine
@@ -133,7 +141,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     print(header)
     for name in clips:
         clip = make_clip(name, duration_scale=args.scale)
-        streams = sweep_quality_levels(clip, device, QUALITY_LEVELS)
+        streams = sweep_quality_levels(clip, device, QUALITY_LEVELS, engine=args.engine)
         row = [s.predicted_backlight_savings() for s in streams]
         line = f"{name:<22}" + "".join(f"{v:>8.1%}" for v in row)
         if with_stats:
@@ -161,7 +169,9 @@ def cmd_telemetry(args: argparse.Namespace) -> int:
     clip = make_clip(args.clip, duration_scale=args.scale)
     device = get_device(args.device)
     pipeline = AnnotationPipeline(
-        SchemeParameters(quality=args.quality), profile_cache=shared_profile_cache()
+        SchemeParameters(quality=args.quality),
+        engine=args.engine,
+        profile_cache=shared_profile_cache(),
     )
     stream = pipeline.build_stream(clip, device)
     for _chunk in stream.iter_chunks():
@@ -215,7 +225,9 @@ def cmd_trace(args: argparse.Namespace) -> int:
     """Print the Figure 6 series as sparklines."""
     clip = make_clip(args.clip, duration_scale=args.scale)
     device = get_device(args.device)
-    pipeline = AnnotationPipeline(SchemeParameters(quality=args.quality))
+    pipeline = AnnotationPipeline(
+        SchemeParameters(quality=args.quality), engine=args.engine
+    )
     profile = pipeline.profile(clip)
     stream = pipeline.build_stream(clip, device)
     print(f"{args.clip} at quality {quality_label(args.quality)} (Figure 6 series):")

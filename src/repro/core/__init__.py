@@ -2,7 +2,15 @@
 
 from .policy import QUALITY_LABELS, QUALITY_LEVELS, SchemeParameters, quality_label
 from .analyzer import FrameStats, StreamAnalyzer, chunk_frame_stats
-from .engine import ENGINE_KINDS, EngineConfig, map_chunks, resolve_engine
+from .engine import (
+    ENGINE_KINDS,
+    EngineConfig,
+    EngineSpec,
+    map_chunks,
+    resolve_engine,
+    shutdown_pools,
+)
+from .procpool import ProcessEngineUnavailable, analyze_clip_processes
 from .profile_cache import (
     ProfileCache,
     clip_fingerprint,
@@ -66,8 +74,12 @@ __all__ = [
     "chunk_frame_stats",
     "ENGINE_KINDS",
     "EngineConfig",
+    "EngineSpec",
     "resolve_engine",
     "map_chunks",
+    "shutdown_pools",
+    "ProcessEngineUnavailable",
+    "analyze_clip_processes",
     "ProfileCache",
     "clip_fingerprint",
     "profile_params_key",

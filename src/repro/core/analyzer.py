@@ -191,10 +191,12 @@ class StreamAnalyzer:
     ----------
     engine:
         Execution engine: ``None`` (default, chunked), an engine kind name
-        (``"perframe"``, ``"chunked"``, ``"threads"``) or a full
-        :class:`~repro.core.engine.EngineConfig`.  Every engine produces
-        bit-identical statistics; clips that mix frame resolutions fall
-        back to the per-frame path automatically.
+        (``"perframe"``, ``"chunked"``, ``"threads"``, ``"processes"``) or
+        a full :class:`~repro.core.engine.EngineConfig`.  Every engine
+        produces bit-identical statistics; clips that mix frame
+        resolutions fall back to the per-frame path automatically, and
+        ``"processes"`` degrades to chunked where process pools are
+        unavailable.
     """
 
     def __init__(self, engine: EngineSpec = None):
@@ -204,11 +206,20 @@ class StreamAnalyzer:
         """Profile every frame of a clip."""
         if self.engine.kind == "perframe":
             return self.analyze_perframe(clip)
+        if self.engine.kind == "processes":
+            from .procpool import ProcessEngineUnavailable, analyze_clip_processes
+
+            try:
+                return analyze_clip_processes(clip, self.engine)
+            except HeterogeneousFrameError:
+                return self.analyze_perframe(clip)
+            except ProcessEngineUnavailable:
+                pass  # degrade to the inline chunked path below
         try:
             chunked = map_chunks(
                 self.engine,
                 chunk_frame_stats,
-                clip.iter_chunks(self.engine.chunk_size),
+                clip.iter_chunks(self.engine.resolved_chunk_size(clip.frame_shape())),
             )
         except HeterogeneousFrameError:
             return self.analyze_perframe(clip)
@@ -223,9 +234,13 @@ class StreamAnalyzer:
             return self.analyze_perframe(frames)
         stats: List[FrameStats] = []
         buffer: List[Frame] = []
+        target = 0
         for frame in frames:
             buffer.append(frame)
-            if len(buffer) >= self.engine.chunk_size:
+            if target == 0:
+                shape = frame.pixels.shape
+                target = self.engine.resolved_chunk_size((shape[0], shape[1]))
+            if len(buffer) >= target:
                 stats.extend(self._buffered_stats(buffer))
                 buffer = []
         if buffer:

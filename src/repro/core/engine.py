@@ -1,6 +1,6 @@
 """Execution-engine selection for the profile→clip→compensate hot path.
 
-The annotation pipeline can walk a clip three ways:
+The annotation pipeline can walk a clip four ways:
 
 * ``"perframe"`` — the paper-literal scalar loop: one :class:`Frame` at a
   time.  Kept as the reference implementation and as the fallback for
@@ -9,28 +9,51 @@ The annotation pipeline can walk a clip three ways:
   vectorized luminance/histogram kernels
   (:func:`~repro.core.analyzer.chunk_frame_stats`).  Bit-identical to the
   per-frame path, several times faster.
-* ``"threads"`` — chunked, with chunks fanned out over a
-  ``ThreadPoolExecutor``.  The numpy kernels release the GIL, so on
-  multi-core servers this scales the profiling pass with core count; on a
-  single core it degrades gracefully to ``"chunked"`` throughput.
+* ``"threads"`` — chunked, with chunks fanned out over a *persistent*
+  ``ThreadPoolExecutor`` shared by every pass in the process.  The numpy
+  kernels release the GIL, so on multi-core servers this scales the
+  profiling pass with core count; with a single effective worker the
+  chunks run inline, so it degrades *exactly* to ``"chunked"`` throughput
+  instead of paying pool overhead for nothing.
+* ``"processes"`` — chunked, with chunk batches fanned out over a
+  persistent ``ProcessPoolExecutor`` and the pixel planes shipped through
+  ``multiprocessing.shared_memory`` (see :mod:`repro.core.procpool`).
+  Sidesteps the GIL entirely for CPU-bound profiling of large catalogs;
+  falls back to ``"chunked"`` wherever process pools are unavailable.
 
-All three produce byte-for-byte identical :class:`FrameStats`, so engine
+All four produce byte-for-byte identical :class:`FrameStats`, so engine
 choice is purely a throughput knob — the property tests in
-``tests/core/test_engine.py`` hold the engines to that contract.
+``tests/core/test_engine.py`` and
+``tests/streaming/test_serving_equivalence.py`` hold the engines to that
+contract.
+
+Worker pools are created lazily at first use and then *reused for the
+lifetime of the process* — re-creating an executor per pass is exactly
+the regression that made ``threads`` slower than ``chunked`` in early
+benchmarks.  :func:`shutdown_pools` tears them down (tests, forking
+servers).
+
+Chunk sizing is autotuned from frame geometry by default
+(:func:`~repro.video.chunks.autotune_chunk_size`): small frames get long
+chunks, large frames get short ones, keeping the batched float64 working
+set near a fixed byte budget.  Pass an explicit ``chunk_size`` to pin it.
 """
 
 from __future__ import annotations
 
+import atexit
+import os
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from time import perf_counter
-from typing import Callable, Iterable, List, Optional, TypeVar, Union
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, TypeVar, Union
 
 from .. import telemetry
-from ..video.chunks import DEFAULT_CHUNK_SIZE
+from ..video.chunks import DEFAULT_CHUNK_SIZE, autotune_chunk_size
 
 #: Engine names accepted wherever an ``engine=`` knob is exposed.
-ENGINE_KINDS = ("perframe", "chunked", "threads")
+ENGINE_KINDS = ("perframe", "chunked", "threads", "processes")
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -45,13 +68,16 @@ class EngineConfig:
     kind:
         One of :data:`ENGINE_KINDS`.
     chunk_size:
-        Frames per batch for the chunked engines.
+        Frames per batch for the chunked engines.  ``None`` (the default)
+        autotunes the span from frame geometry via
+        :meth:`resolved_chunk_size`.
     max_workers:
-        Thread count for ``"threads"`` (``None`` lets the executor pick).
+        Worker count for ``"threads"`` / ``"processes"`` (``None`` uses
+        the CPU count).
     """
 
     kind: str = "chunked"
-    chunk_size: int = DEFAULT_CHUNK_SIZE
+    chunk_size: Optional[int] = None
     max_workers: Optional[int] = None
 
     def __post_init__(self):
@@ -59,10 +85,32 @@ class EngineConfig:
             raise ValueError(
                 f"unknown engine kind {self.kind!r}, expected one of {ENGINE_KINDS}"
             )
-        if self.chunk_size < 1:
+        if self.chunk_size is not None and self.chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {self.chunk_size}")
         if self.max_workers is not None and self.max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {self.max_workers}")
+
+    # ------------------------------------------------------------------
+    def resolved_chunk_size(self, frame_shape: Optional[Tuple[int, int]] = None) -> int:
+        """The chunk span to use for a given ``(height, width)``.
+
+        An explicit ``chunk_size`` wins; otherwise the autotuner picks the
+        span from the frame geometry, falling back to
+        :data:`~repro.video.chunks.DEFAULT_CHUNK_SIZE` when no geometry
+        is known (e.g. an incremental frame stream before the first
+        frame arrives).
+        """
+        if self.chunk_size is not None:
+            return self.chunk_size
+        if frame_shape is None:
+            return DEFAULT_CHUNK_SIZE
+        return autotune_chunk_size(int(frame_shape[0]), int(frame_shape[1]))
+
+    def resolved_workers(self) -> int:
+        """Effective worker count for the pooled engines."""
+        if self.max_workers is not None:
+            return self.max_workers
+        return max(1, os.cpu_count() or 1)
 
 
 #: Anything an ``engine=`` knob accepts: a kind name, a full config, or
@@ -83,14 +131,66 @@ def resolve_engine(spec: EngineSpec) -> EngineConfig:
     )
 
 
+# ---------------------------------------------------------------------------
+# Persistent worker pools
+# ---------------------------------------------------------------------------
+_POOL_LOCK = threading.Lock()
+_THREAD_POOLS: Dict[int, ThreadPoolExecutor] = {}
+
+
+def shared_thread_pool(max_workers: int) -> ThreadPoolExecutor:
+    """The process-wide thread pool for ``max_workers``, created lazily.
+
+    One pool per worker count is kept for the lifetime of the process and
+    shared by every ``"threads"`` pass — executor construction and thread
+    spin-up happen once, not per call.
+    """
+    if max_workers < 1:
+        raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+    with _POOL_LOCK:
+        pool = _THREAD_POOLS.get(max_workers)
+        if pool is None:
+            pool = ThreadPoolExecutor(
+                max_workers=max_workers,
+                thread_name_prefix=f"repro-engine-{max_workers}",
+            )
+            _THREAD_POOLS[max_workers] = pool
+        return pool
+
+
+def shutdown_pools(wait: bool = True) -> None:
+    """Tear down every persistent engine pool (threads and processes).
+
+    Mainly for tests and for parents about to fork; the pools re-create
+    themselves lazily on next use.
+    """
+    with _POOL_LOCK:
+        pools = list(_THREAD_POOLS.values())
+        _THREAD_POOLS.clear()
+    for pool in pools:
+        pool.shutdown(wait=wait)
+    from . import procpool
+
+    procpool.shutdown_process_pool(wait=wait)
+
+
+atexit.register(shutdown_pools)
+
+
 def map_chunks(
     config: EngineConfig, kernel: Callable[[T], R], chunks: Iterable[T]
 ) -> List[R]:
     """Apply ``kernel`` to every chunk under the configured engine.
 
-    Order is preserved.  For ``"threads"``, chunks are processed by a
-    thread pool (the numpy kernels release the GIL); otherwise the map is
-    a plain loop.
+    Order is preserved.  For ``"threads"`` with more than one effective
+    worker, chunks are processed by the persistent shared thread pool
+    (the numpy kernels release the GIL); with a single worker — or for
+    any other kind — the map is a plain loop.  ``"processes"`` is
+    intentionally inline here: arbitrary kernels/chunks would have to be
+    pickled per call, which costs more than it saves.  The process-pool
+    fan-out lives in :mod:`repro.core.procpool`, where the profiling
+    kernel's inputs travel through shared memory instead; callers that
+    can use it (the analyzer) route there before reaching this function.
 
     When telemetry is enabled, every kernel invocation is timed into the
     ``repro_engine_chunk_seconds{kind=...}`` histogram and the pass as a
@@ -98,10 +198,11 @@ def map_chunks(
     ``repro_engine_frames_per_sec{kind=...}`` gauge (frames over the
     pass's wall-clock time; sized chunks only).
     """
+    use_threads = config.kind == "threads" and config.resolved_workers() > 1
     if not telemetry.enabled():
-        if config.kind == "threads":
-            with ThreadPoolExecutor(max_workers=config.max_workers) as pool:
-                return list(pool.map(kernel, chunks))
+        if use_threads:
+            pool = shared_thread_pool(config.resolved_workers())
+            return list(pool.map(kernel, chunks))
         return [kernel(chunk) for chunk in chunks]
 
     reg = telemetry.registry()
@@ -125,9 +226,9 @@ def map_chunks(
         return out
 
     wall_start = perf_counter()
-    if config.kind == "threads":
-        with ThreadPoolExecutor(max_workers=config.max_workers) as pool:
-            results = list(pool.map(timed, chunks))
+    if use_threads:
+        pool = shared_thread_pool(config.resolved_workers())
+        results = list(pool.map(timed, chunks))
     else:
         results = [timed(chunk) for chunk in chunks]
     wall = perf_counter() - wall_start
@@ -149,3 +250,38 @@ def map_chunks(
                 labels=labels,
             ).set(frames[0] / wall)
     return results
+
+
+def record_engine_pass(
+    kind: str, durations: List[float], frames: int, wall: float
+) -> None:
+    """Publish one engine pass's telemetry (shared with the process path).
+
+    Mirrors the metrics :func:`map_chunks` records, so
+    ``repro_engine_*{kind="processes"}`` series line up with the other
+    engine kinds even though the process fan-out bypasses ``map_chunks``.
+    """
+    if not telemetry.enabled():
+        return
+    reg = telemetry.registry()
+    labels = {"kind": kind}
+    reg.histogram(
+        "repro_engine_chunk_seconds",
+        help="Per-chunk kernel time under the execution engine.",
+        labels=labels,
+    ).observe_many(durations)
+    reg.counter(
+        "repro_engine_chunks_total", help="Chunks processed by the execution engine.",
+        labels=labels,
+    ).inc(len(durations))
+    if frames:
+        reg.counter(
+            "repro_engine_frames_total", help="Frames processed by the execution engine.",
+            labels=labels,
+        ).inc(frames)
+        if wall > 0.0:
+            reg.gauge(
+                "repro_engine_frames_per_sec",
+                help="Throughput of the most recent engine pass.",
+                labels=labels,
+            ).set(frames / wall)

@@ -25,7 +25,7 @@ import numpy as np
 from ..display.devices import DeviceProfile
 from ..power.measurement import simulated_backlight_savings
 from ..telemetry import trace
-from ..video.chunks import DEFAULT_CHUNK_SIZE, HeterogeneousFrameError
+from ..video.chunks import DEFAULT_CHUNK_SIZE, HeterogeneousFrameError, autotune_chunk_size
 from ..video.clip import ClipBase
 from ..video.frame import Frame
 from .analyzer import FrameStats, StreamAnalyzer
@@ -243,14 +243,23 @@ class AnnotatedStream:
             return CompensationResult(frame=frame.copy(), clipped_fraction=0.0)
         return contrast_enhancement(frame, gain)
 
-    def iter_chunks(self, chunk_size: int = DEFAULT_CHUNK_SIZE) -> Iterator[CompensatedChunk]:
+    def iter_chunks(self, chunk_size: Optional[int] = None) -> Iterator[CompensatedChunk]:
         """Yield the compensated stream as :class:`CompensatedChunk` batches.
 
         Bit-identical to calling :meth:`compensated_frame` per frame, but
         the normalize → scale → clip → quantize math runs once per chunk.
-        Raises :class:`~repro.video.chunks.HeterogeneousFrameError` for
-        clips that mix frame resolutions (use the per-frame API there).
+        ``chunk_size=None`` (the default) autotunes the span from the
+        clip's frame geometry, matching the profiling pass.  Raises
+        :class:`~repro.video.chunks.HeterogeneousFrameError` for clips
+        that mix frame resolutions (use the per-frame API there).
         """
+        if chunk_size is None:
+            shape = self.clip.frame_shape()
+            chunk_size = (
+                autotune_chunk_size(shape[0], shape[1])
+                if shape is not None
+                else DEFAULT_CHUNK_SIZE
+            )
         for chunk in self.clip.iter_chunks(chunk_size):
             gains = self._gains[chunk.start : chunk.stop]
             with trace("pipeline.compensate"):

@@ -1,0 +1,189 @@
+"""Process-pool profiling: shared-memory fan-out for the ``"processes"`` engine.
+
+The thread engine scales the profiling pass only as far as the GIL lets
+the numpy kernels overlap.  This module sidesteps the GIL entirely: the
+clip's pixels are copied once into a ``multiprocessing.shared_memory``
+block, chunk spans are fanned out over a persistent
+``ProcessPoolExecutor``, and each worker attaches the block by name,
+builds a zero-copy :class:`~repro.video.chunks.FrameChunk` view over its
+span, and returns the picklable :class:`~repro.core.analyzer.FrameStats`
+list.  Only histogram-sized results cross the process boundary — pixels
+never travel through a pipe.
+
+Shared-memory layout: one block per pass, holding the clip's
+``(N, H, W, 3)`` uint8 planes contiguously (exactly the
+:class:`~repro.video.clip.ArrayClip` layout).  Workers reconstruct the
+view from ``(name, shape)`` and slice ``[start:stop]``; the parent
+unlinks the block as soon as the pass completes.
+
+The pool is created lazily on first use and kept for the lifetime of the
+process (same persistence contract as the thread pools in
+:mod:`repro.core.engine`).  Environments without working process pools —
+sandboxes that forbid ``fork``, missing ``/dev/shm`` — raise
+:class:`ProcessEngineUnavailable`, which callers treat as "use the
+chunked path instead": the ``"processes"`` kind degrades, never fails.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor
+from multiprocessing import shared_memory
+from time import perf_counter
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..video.chunks import FrameChunk, HeterogeneousFrameError, chunk_spans
+from ..video.clip import ArrayClip, ClipBase
+
+__all__ = [
+    "ProcessEngineUnavailable",
+    "analyze_clip_processes",
+    "shared_process_pool",
+    "shutdown_process_pool",
+]
+
+
+class ProcessEngineUnavailable(RuntimeError):
+    """Raised when the ``"processes"`` engine cannot run in this environment.
+
+    Callers fall back to the chunked path — the engines are bit-identical,
+    so degrading is always safe.
+    """
+
+
+_POOL_LOCK = threading.Lock()
+_PROCESS_POOL: Optional[ProcessPoolExecutor] = None
+_PROCESS_POOL_WORKERS = 0
+
+
+def shared_process_pool(max_workers: int) -> ProcessPoolExecutor:
+    """The process-wide ``ProcessPoolExecutor``, created lazily.
+
+    A single pool is kept alive across passes; asking for a different
+    worker count replaces it (worker processes are expensive, so exactly
+    one pool exists at a time — unlike the per-count thread pools).
+    """
+    global _PROCESS_POOL, _PROCESS_POOL_WORKERS
+    if max_workers < 1:
+        raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+    with _POOL_LOCK:
+        if _PROCESS_POOL is not None and _PROCESS_POOL_WORKERS == max_workers:
+            return _PROCESS_POOL
+        stale = _PROCESS_POOL
+        try:
+            pool = ProcessPoolExecutor(max_workers=max_workers)
+        except (OSError, ValueError, ImportError) as exc:
+            raise ProcessEngineUnavailable(
+                f"cannot start a process pool here: {exc}"
+            ) from exc
+        _PROCESS_POOL = pool
+        _PROCESS_POOL_WORKERS = max_workers
+    if stale is not None:
+        stale.shutdown(wait=False)
+    return pool
+
+
+def shutdown_process_pool(wait: bool = True) -> None:
+    """Tear down the persistent process pool (it re-creates lazily)."""
+    global _PROCESS_POOL, _PROCESS_POOL_WORKERS
+    with _POOL_LOCK:
+        pool = _PROCESS_POOL
+        _PROCESS_POOL = None
+        _PROCESS_POOL_WORKERS = 0
+    if pool is not None:
+        pool.shutdown(wait=wait)
+
+
+def _profile_span(shm_name: str, shape: Tuple[int, ...], start: int, stop: int):
+    """Worker-side kernel: profile frames ``[start, stop)`` of a shared clip.
+
+    Runs in the pool worker.  Attaches the parent's shared-memory block,
+    slices its span as a zero-copy :class:`FrameChunk`, and returns the
+    batched stats.  ``np.bincount`` allocates fresh result arrays, so the
+    returned :class:`FrameStats` hold no references into the block — it
+    is safe to close before returning.
+    """
+    from .analyzer import chunk_frame_stats
+
+    shm = shared_memory.SharedMemory(name=shm_name)
+    try:
+        pixels = np.ndarray(shape, dtype=np.uint8, buffer=shm.buf)
+        chunk = FrameChunk(pixels[start:stop], start=start)
+        return chunk_frame_stats(chunk)
+    finally:
+        shm.close()
+
+
+def _fill_shared_block(clip: ClipBase, shm: shared_memory.SharedMemory,
+                       shape: Tuple[int, ...], chunk_size: int) -> None:
+    """Copy the clip's pixels into the shared block, chunk by chunk.
+
+    Raises :class:`HeterogeneousFrameError` for mixed-resolution clips —
+    the caller's fallback handles those.
+    """
+    dest = np.ndarray(shape, dtype=np.uint8, buffer=shm.buf)
+    if isinstance(clip, ArrayClip):
+        dest[:] = clip.pixels
+        return
+    for chunk in clip.iter_chunks(chunk_size):
+        if chunk.pixels.shape[1:] != shape[1:]:
+            raise HeterogeneousFrameError(
+                f"clip mixes frame shapes: {chunk.pixels.shape[1:]} vs {shape[1:]}"
+            )
+        dest[chunk.start:chunk.stop] = chunk.pixels
+
+
+def analyze_clip_processes(clip: ClipBase, config) -> List["FrameStats"]:  # noqa: F821
+    """Profile a clip by fanning chunk spans over the process pool.
+
+    Bit-identical to :func:`~repro.core.analyzer.chunk_frame_stats` over
+    the same spans (it *is* that kernel, run in workers).  Raises
+    :class:`ProcessEngineUnavailable` when pools or shared memory do not
+    work here, and :class:`HeterogeneousFrameError` for mixed-resolution
+    clips; callers degrade to the chunked / per-frame paths respectively.
+    """
+    from .engine import record_engine_pass
+
+    frame_shape = clip.frame_shape()
+    if frame_shape is None:
+        raise ValueError("stream produced no frames to analyze")
+    chunk_size = config.resolved_chunk_size(frame_shape)
+    n = clip.frame_count
+    shape = (n, int(frame_shape[0]), int(frame_shape[1]), 3)
+
+    pool = shared_process_pool(config.resolved_workers())
+    try:
+        shm = shared_memory.SharedMemory(create=True, size=int(np.prod(shape)))
+    except OSError as exc:
+        raise ProcessEngineUnavailable(f"cannot allocate shared memory: {exc}") from exc
+
+    wall_start = perf_counter()
+    try:
+        _fill_shared_block(clip, shm, shape, chunk_size)
+        futures: List[Future] = [
+            pool.submit(_profile_span, shm.name, shape, start, stop)
+            for start, stop in chunk_spans(n, chunk_size)
+        ]
+        try:
+            chunked = [future.result() for future in futures]
+        except (BrokenExecutor, OSError) as exc:
+            shutdown_process_pool(wait=False)
+            raise ProcessEngineUnavailable(f"process pool failed: {exc}") from exc
+    finally:
+        shm.close()
+        shm.unlink()
+    wall = perf_counter() - wall_start
+
+    stats = [s for chunk_stats in chunked for s in chunk_stats]
+    # Workers time only their own span; the parent attributes the whole
+    # pass (copy-in + fan-out + collect) so the processes series is
+    # comparable with the inline engines.
+    record_engine_pass(
+        "processes",
+        durations=[wall / max(1, len(chunked))] * len(chunked),
+        frames=len(stats),
+        wall=wall,
+    )
+    return stats

@@ -21,8 +21,7 @@ import numpy as np
 
 from ..core.annotation import AnnotationTrack
 from ..core.dvfs_annotation import DvfsTrack
-from ..video.clip import VideoClip, ClipBase
-from ..video.frame import Frame
+from ..video.clip import ArrayClip, ClipBase
 
 #: Archive format tag.
 ARCHIVE_VERSION = 1
@@ -59,8 +58,12 @@ def save_archive(
     if dvfs_track is not None and dvfs_track.frame_count != clip.frame_count:
         raise ValueError("DVFS track does not cover the clip")
 
+    if isinstance(clip, ArrayClip):
+        frames = clip.pixels  # already one contiguous (N, H, W, 3) block
+    else:
+        frames = np.stack([frame.pixels for frame in clip])
     payload = {
-        "frames": np.stack([frame.pixels for frame in clip]),
+        "frames": frames,
         "fps": np.float64(clip.fps),
         "name": np.str_(clip.name),
         "version": np.int64(ARCHIVE_VERSION),
@@ -77,8 +80,14 @@ def save_archive(
 
 def load_archive(
     path: Union[str, os.PathLike],
-) -> Tuple[VideoClip, Dict[float, AnnotationTrack], Optional[DvfsTrack]]:
-    """Load an archive written by :func:`save_archive`."""
+) -> Tuple[ArrayClip, Dict[float, AnnotationTrack], Optional[DvfsTrack]]:
+    """Load an archive written by :func:`save_archive`.
+
+    The clip comes back as an :class:`~repro.video.clip.ArrayClip`
+    wrapping the archive's pixel tensor directly: no per-frame
+    :class:`Frame` objects are materialized at load time — frames (and
+    zero-copy chunks) are produced lazily as the stream is read.
+    """
     with np.load(path, allow_pickle=False) as data:
         version = int(data["version"])
         if version != ARCHIVE_VERSION:
@@ -100,8 +109,7 @@ def load_archive(
         dvfs = None
         if "dvfs" in data:
             dvfs = DvfsTrack.from_bytes(bytes(data["dvfs"].tobytes()), clip_name=name)
-    frames = [Frame(frames_arr[i], index=i) for i in range(frames_arr.shape[0])]
-    clip = VideoClip(frames, fps=fps, name=name)
+    clip = ArrayClip(frames_arr, fps=fps, name=name)
     for track in tracks.values():
         if track.frame_count != clip.frame_count:
             raise ValueError("corrupt archive: track does not cover the clip")

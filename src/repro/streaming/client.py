@@ -24,6 +24,7 @@ from ..player.decoder import DecoderModel
 from ..player.playback import PlaybackResult
 from ..power.dvfs import DvfsCpuModel
 from ..power.model import ActivityState, DevicePowerModel
+from ..telemetry import registry as telemetry_registry
 from .network import DeliverySchedule
 from .packets import MediaPacket, PacketType
 from .session import ClientCapabilities, SessionDescription, SessionRequest
@@ -56,6 +57,14 @@ class MobileClient:
         self.decoder = decoder if decoder is not None else DecoderModel()
         self.min_switch_interval_s = min_switch_interval_s
         self.power_model = DevicePowerModel(device)
+        reg = telemetry_registry()
+        self._packets_counter = reg.counter(
+            "repro_client_packets_total", help="Stream packets consumed by clients.",
+        )
+        self._frames_played_counter = reg.counter(
+            "repro_client_frames_played_total",
+            help="Frames played back by clients.",
+        )
 
     # ------------------------------------------------------------------
     def capabilities(self) -> ClientCapabilities:
@@ -127,8 +136,10 @@ class MobileClient:
         tracks: List[DeviceAnnotationTrack] = []
         dvfs_tracks: List[DvfsTrack] = []
         frames = []
+        packet_count = 0
         expected_index = 0
         for packet in packets:
+            packet_count += 1
             if packet.ptype is PacketType.ANNOTATION:
                 magic = packet.payload[:4]
                 if magic == b"AND1":
@@ -159,6 +170,10 @@ class MobileClient:
             raise StreamProtocolError("no annotation packet arrived before playback")
         if not frames:
             raise StreamProtocolError("stream carried no frames")
+        # One batched bump per stream, not one per packet — the playback
+        # loop below stays free of per-frame telemetry calls.
+        self._packets_counter.inc(packet_count)
+        self._frames_played_counter.inc(len(frames))
         levels = self._stitch_levels(tracks, len(frames))
 
         use_dvfs = cpu is not None and dvfs_tracks

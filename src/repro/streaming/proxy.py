@@ -24,6 +24,7 @@ from ..core.policy import SchemeParameters
 from ..core.profile_cache import ProfileCache, shared_profile_cache
 from ..display.devices import DeviceProfile
 from ..telemetry import registry as telemetry_registry, trace
+from ..video.chunks import HeterogeneousFrameError
 from ..video.clip import VideoClip
 from ..video.frame import Frame
 from .packets import MediaPacket, annotation_packet, frame_packet
@@ -87,6 +88,25 @@ class TranscodingProxy:
         if chunk:
             yield chunk
 
+    @staticmethod
+    def _compensated(stream: AnnotatedStream) -> Iterator[Tuple[Frame, int, float]]:
+        """``(frame, level, gain)`` triples, compensated chunk-at-a-time.
+
+        Windows that mix frame resolutions finish through the per-frame
+        reference path (same output, just unbatched).
+        """
+        produced = 0
+        try:
+            for chunk in stream.iter_chunks():
+                for k in range(len(chunk)):
+                    yield chunk.frame(k), int(chunk.levels[k]), float(chunk.gains[k])
+                produced = chunk.stop
+        except HeterogeneousFrameError:
+            levels = stream.backlight_levels()
+            gains = stream.track.per_frame_gains()
+            for i in range(produced, stream.frame_count):
+                yield stream.compensated_frame(i).frame, int(levels[i]), float(gains[i])
+
     def annotate_live(
         self, frames: Iterable[Frame], fps: float, name: str = "live"
     ) -> Iterator[Tuple[Frame, int, float]]:
@@ -102,10 +122,9 @@ class TranscodingProxy:
                 stream = self._pipeline.build_stream(clip, self.device)
             self._windows_counter.inc()
             self._frames_counter.inc(len(chunk))
-            gains = stream.track.per_frame_gains()
-            for local, (frame, level) in enumerate(stream):
+            for frame, level, gain in self._compensated(stream):
                 frame.index = out_index
-                yield frame, level, float(gains[local])
+                yield frame, level, gain
                 out_index += 1
 
     def process(
@@ -127,7 +146,7 @@ class TranscodingProxy:
             self._frames_counter.inc(len(chunk))
             yield annotation_packet(seq, stream.track.to_bytes())
             seq += 1
-            for frame, _level in stream:
+            for frame, _level, _gain in self._compensated(stream):
                 frame.index = out_index
                 yield frame_packet(seq, frame, frame_index=out_index)
                 seq += 1

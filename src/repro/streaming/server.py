@@ -16,12 +16,13 @@ from typing import Dict, Iterator, Optional, Tuple
 
 from ..core.annotation import AnnotationTrack
 from ..core.dvfs_annotation import DvfsAnnotator, DvfsTrack
-from ..core.engine import EngineSpec
+from ..core.engine import EngineSpec, resolve_engine
 from ..core.pipeline import AnnotatedStream, AnnotationPipeline, ProfileResult
 from ..core.policy import QUALITY_LEVELS, SchemeParameters
 from ..core.profile_cache import ProfileCache, shared_profile_cache
 from ..display.devices import get_device
 from ..telemetry import registry as telemetry_registry, trace
+from ..video.chunks import HeterogeneousFrameError
 from ..video.clip import ClipBase
 from ..video.codec import CodecModel
 from .packets import MediaPacket, annotation_packet, frame_packet
@@ -248,6 +249,11 @@ class MediaServer:
         Frames are compensated server-side ("to reduce the load on the
         client device at runtime, the compensation of the frames ... is
         performed at either the server or the intermediary proxy node").
+        Compensation runs chunk-at-a-time through the batched kernel —
+        each emitted frame is a zero-copy view into its chunk — and is
+        bit-identical to the per-frame reference emission (which the
+        ``"perframe"`` engine kind still uses, and which finishes the
+        stream for clips that mix frame resolutions).
         """
         with trace("server.stream"):
             annotated = self.build_stream(session)
@@ -264,7 +270,32 @@ class MediaServer:
         wire_sizes = None
         if self.codec is not None:
             wire_sizes = self.encoded_clip(session.clip_name).frame_bytes
-        for i in range(annotated.frame_count):
+        if resolve_engine(self.engine).kind == "perframe":
+            yield from self._emit_perframe(annotated, seq, wire_sizes)
+            return
+        produced = 0
+        try:
+            for chunk in annotated.iter_chunks():
+                self._frames_streamed_counter.inc(len(chunk))
+                for k in range(len(chunk)):
+                    i = chunk.start + k
+                    wire = int(wire_sizes[i]) if wire_sizes is not None else None
+                    yield frame_packet(
+                        seq + i, chunk.frame(k), frame_index=i, wire_bytes=wire
+                    )
+                produced = chunk.stop
+        except HeterogeneousFrameError:
+            yield from self._emit_perframe(annotated, seq, wire_sizes, start=produced)
+
+    def _emit_perframe(
+        self,
+        annotated: AnnotatedStream,
+        seq: int,
+        wire_sizes,
+        start: int = 0,
+    ) -> Iterator[MediaPacket]:
+        """Reference emission: one compensated frame packet at a time."""
+        for i in range(start, annotated.frame_count):
             compensated = annotated.compensated_frame(i).frame
             wire = int(wire_sizes[i]) if wire_sizes is not None else None
             self._frames_streamed_counter.inc()

@@ -3,10 +3,12 @@
 from .frame import Frame, LUMA_COEFFS, MAX_CHANNEL, luminance_to_gray_rgb, rgb_to_luminance
 from .chunks import (
     DEFAULT_CHUNK_SIZE,
+    DEFAULT_CHUNK_TARGET_BYTES,
     DEFAULT_PLANE_CACHE_BYTES,
     FrameChunk,
     HeterogeneousFrameError,
     PlaneCache,
+    autotune_chunk_size,
     chunk_spans,
 )
 from .clip import ArrayClip, ClipBase, LazyClip, VideoClip, concatenate
@@ -45,10 +47,12 @@ __all__ = [
     "ArrayClip",
     "concatenate",
     "DEFAULT_CHUNK_SIZE",
+    "DEFAULT_CHUNK_TARGET_BYTES",
     "DEFAULT_PLANE_CACHE_BYTES",
     "FrameChunk",
     "HeterogeneousFrameError",
     "PlaneCache",
+    "autotune_chunk_size",
     "chunk_spans",
     "DEFAULT_RESOLUTION",
     "SceneGenerator",

@@ -40,6 +40,19 @@ _PLANE_CACHE_SEQ = itertools.count(1)
 #: enough to amortize numpy dispatch, small enough to stay cache-friendly.
 DEFAULT_CHUNK_SIZE = 64
 
+#: Byte budget the chunk-size autotuner aims a chunk's float64 working set
+#: at.  The dominant transient is the ``(N, H, W, 3)`` float64 scratch of
+#: batched compensation (24 bytes per pixel); 24 MiB keeps that scratch
+#: comfortably inside a desktop L3 / small-container RSS while still
+#: amortizing numpy dispatch over hundreds of frames at QVGA sizes.
+DEFAULT_CHUNK_TARGET_BYTES = 24 << 20
+
+#: Bounds for the autotuned chunk span.  Below 8 frames per chunk the
+#: per-chunk numpy dispatch overhead dominates again; above 256 the
+#: working set stops fitting caches without buying more amortization.
+MIN_AUTOTUNE_CHUNK = 8
+MAX_AUTOTUNE_CHUNK = 256
+
 #: Default byte budget of a clip's :class:`PlaneCache` (per plane kind the
 #: effective budget is shared; 32 MiB holds ~580 planes at 96x72).
 DEFAULT_PLANE_CACHE_BYTES = 32 << 20
@@ -72,6 +85,26 @@ _LUM_TABLES: Tuple[np.ndarray, np.ndarray, np.ndarray] = (
 # any float error on a <= 1.0 sum.
 _MAX_LUM_SUM = float(_LUM_TABLES[0][-1] + _LUM_TABLES[1][-1] + _LUM_TABLES[2][-1])
 assert _MAX_LUM_SUM < 1.0 + 1e-9, _MAX_LUM_SUM
+
+
+def autotune_chunk_size(
+    height: int, width: int, target_bytes: int = DEFAULT_CHUNK_TARGET_BYTES
+) -> int:
+    """Pick a chunk span from frame geometry instead of a fixed constant.
+
+    Sizes the chunk so the batched float64 working set (24 bytes per RGB
+    pixel: the compensation scratch, the largest transient on the hot
+    path) stays near ``target_bytes``.  Small frames get long chunks
+    (more amortization), large frames get short ones (bounded memory);
+    the result is clamped to ``[MIN_AUTOTUNE_CHUNK, MAX_AUTOTUNE_CHUNK]``.
+    """
+    if height < 1 or width < 1:
+        raise ValueError(f"frame geometry must be positive, got {height}x{width}")
+    if target_bytes < 1:
+        raise ValueError(f"target_bytes must be positive, got {target_bytes}")
+    per_frame = height * width * 3 * 8  # float64 RGB scratch per frame
+    n = max(1, target_bytes // per_frame)
+    return int(min(MAX_AUTOTUNE_CHUNK, max(MIN_AUTOTUNE_CHUNK, n)))
 
 
 def chunk_spans(frame_count: int, chunk_size: int) -> Iterator[Tuple[int, int]]:

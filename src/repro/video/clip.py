@@ -45,6 +45,20 @@ class ClipBase:
         """Return frame ``index`` (0-based)."""
         raise NotImplementedError
 
+    def frame_shape(self) -> Optional[Tuple[int, int]]:
+        """``(height, width)`` of the first frame, probed as cheaply as
+        the container allows (array-backed clips read metadata; lazy
+        clips with a declared resolution never render a frame).  Returns
+        ``None`` only for empty containers.  Drives the chunk-size
+        autotuner; clips that mix resolutions are handled downstream by
+        the :class:`~repro.video.chunks.HeterogeneousFrameError`
+        fallback, so the first frame is a sufficient probe.
+        """
+        if self.frame_count < 1:
+            return None
+        shape = self.frame(0).pixels.shape
+        return (int(shape[0]), int(shape[1]))
+
     # ------------------------------------------------------------------
     # Chunked access (the batched execution engine's entry point)
     # ------------------------------------------------------------------
@@ -218,6 +232,13 @@ class LazyClip(ClipBase):
     def resolution(self) -> Optional[Tuple[int, int]]:
         return self._resolution
 
+    def frame_shape(self) -> Optional[Tuple[int, int]]:
+        """Use the declared resolution when given; render one frame otherwise."""
+        if self._resolution is not None:
+            width, height = self._resolution
+            return (int(height), int(width))
+        return super().frame_shape()
+
     def frame(self, index: int) -> Frame:
         if not 0 <= index < self._frame_count:
             raise IndexError(f"frame index {index} out of range [0, {self._frame_count})")
@@ -286,6 +307,10 @@ class ArrayClip(ClipBase):
     def resolution(self) -> Tuple[int, int]:
         """``(width, height)`` shared by every frame."""
         return (self._pixels.shape[2], self._pixels.shape[1])
+
+    def frame_shape(self) -> Tuple[int, int]:
+        """Read straight off the backing array — no Frame materialized."""
+        return (int(self._pixels.shape[1]), int(self._pixels.shape[2]))
 
     def frame(self, index: int) -> Frame:
         if not 0 <= index < self.frame_count:

@@ -1,0 +1,144 @@
+"""Tests for the process-pool engine, persistent pools and the autotuner."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    EngineConfig,
+    ProcessEngineUnavailable,
+    StreamAnalyzer,
+    analyze_clip_processes,
+    shutdown_pools,
+)
+from repro.core.engine import shared_thread_pool
+from repro.core.procpool import shared_process_pool, shutdown_process_pool
+from repro.video import (
+    DEFAULT_CHUNK_SIZE,
+    ArrayClip,
+    VideoClip,
+    autotune_chunk_size,
+)
+from repro.video.chunks import MAX_AUTOTUNE_CHUNK, MIN_AUTOTUNE_CHUNK
+
+
+@pytest.fixture
+def random_clip():
+    rng = np.random.default_rng(42)
+    pixels = rng.integers(0, 256, size=(37, 20, 28, 3), dtype=np.uint8)
+    return ArrayClip(pixels, fps=24.0, name="rand")
+
+
+def _assert_stats_equal(got, ref):
+    assert len(got) == len(ref)
+    for a, b in zip(got, ref):
+        assert a.index == b.index
+        assert np.array_equal(a.histogram.counts, b.histogram.counts)
+        assert np.array_equal(a.channel_histogram.counts, b.channel_histogram.counts)
+        assert a.max_luminance == b.max_luminance
+        assert a.max_channel_value == b.max_channel_value
+        assert a.mean_luminance == b.mean_luminance
+
+
+class TestProcessEngine:
+    def test_bit_identical_to_perframe(self, random_clip):
+        ref = StreamAnalyzer("perframe").analyze(random_clip)
+        got = StreamAnalyzer("processes").analyze(random_clip)
+        _assert_stats_equal(got, ref)
+
+    def test_non_array_clip(self, tiny_clip):
+        ref = StreamAnalyzer("perframe").analyze(tiny_clip)
+        got = StreamAnalyzer("processes").analyze(tiny_clip)
+        _assert_stats_equal(got, ref)
+
+    def test_small_chunks_many_spans(self, random_clip):
+        config = EngineConfig(kind="processes", chunk_size=5)
+        ref = StreamAnalyzer("chunked").analyze(random_clip)
+        got = analyze_clip_processes(random_clip, config)
+        _assert_stats_equal(got, ref)
+
+    def test_heterogeneous_clip_falls_back(self):
+        rng = np.random.default_rng(9)
+        frames = [rng.integers(0, 256, size=(10, 12, 3), dtype=np.uint8) for _ in range(3)]
+        frames += [rng.integers(0, 256, size=(6, 8, 3), dtype=np.uint8) for _ in range(3)]
+        clip = VideoClip(frames, fps=24.0, name="mixed")
+        ref = StreamAnalyzer("perframe").analyze(clip)
+        got = StreamAnalyzer("processes").analyze(clip)
+        _assert_stats_equal(got, ref)
+
+    def test_unavailable_pool_degrades_to_chunked(self, random_clip, monkeypatch):
+        import repro.core.procpool as procpool
+
+        def boom(clip, config):
+            raise ProcessEngineUnavailable("forced by test")
+
+        monkeypatch.setattr(procpool, "analyze_clip_processes", boom)
+        ref = StreamAnalyzer("chunked").analyze(random_clip)
+        got = StreamAnalyzer("processes").analyze(random_clip)
+        _assert_stats_equal(got, ref)
+
+
+class TestPersistentPools:
+    def test_thread_pool_reused_across_calls(self):
+        assert shared_thread_pool(2) is shared_thread_pool(2)
+        assert shared_thread_pool(2) is not shared_thread_pool(3)
+
+    def test_process_pool_reused_across_calls(self):
+        assert shared_process_pool(1) is shared_process_pool(1)
+
+    def test_shutdown_recreates_lazily(self):
+        before = shared_thread_pool(2)
+        shutdown_pools()
+        after = shared_thread_pool(2)
+        assert after is not before
+        assert after.submit(lambda: 21 * 2).result() == 42
+
+    def test_process_pool_survives_repeated_analyze(self, random_clip):
+        analyzer = StreamAnalyzer("processes")
+        analyzer.analyze(random_clip)
+        pool = shared_process_pool(EngineConfig(kind="processes").resolved_workers())
+        analyzer.analyze(random_clip)
+        assert (
+            shared_process_pool(EngineConfig(kind="processes").resolved_workers())
+            is pool
+        )
+
+    def test_invalid_worker_counts_rejected(self):
+        with pytest.raises(ValueError):
+            shared_thread_pool(0)
+        with pytest.raises(ValueError):
+            shared_process_pool(0)
+
+
+class TestAutotuner:
+    def test_bounds(self):
+        assert autotune_chunk_size(1, 1) == MAX_AUTOTUNE_CHUNK
+        assert autotune_chunk_size(4000, 4000) == MIN_AUTOTUNE_CHUNK
+
+    def test_monotone_in_frame_area(self):
+        sizes = [autotune_chunk_size(h, h) for h in (16, 64, 256, 1024, 4096)]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_explicit_target_bytes(self):
+        # 100x100x3 bytes/frame * 8 bytes of float64 scratch per byte
+        per_frame = 100 * 100 * 3 * 8
+        assert autotune_chunk_size(100, 100, target_bytes=per_frame * 20) == 20
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            autotune_chunk_size(0, 100)
+        with pytest.raises(ValueError):
+            autotune_chunk_size(100, 100, target_bytes=0)
+
+    def test_engine_config_resolution(self):
+        config = EngineConfig()
+        assert config.resolved_chunk_size(None) == DEFAULT_CHUNK_SIZE
+        assert config.resolved_chunk_size((24, 32)) == autotune_chunk_size(24, 32)
+        pinned = EngineConfig(chunk_size=7)
+        assert pinned.resolved_chunk_size((24, 32)) == 7
+        with pytest.raises(ValueError):
+            EngineConfig(chunk_size=0)
+
+
+def teardown_module(module):
+    # Leave no worker processes behind for the rest of the suite.
+    shutdown_process_pool()

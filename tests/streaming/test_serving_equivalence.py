@@ -1,0 +1,130 @@
+"""Bit-identity of the serving path across execution engines.
+
+The chunked packet emission in :meth:`MediaServer.stream` must be
+invisible on the wire: annotation payloads, frame pixels, sequence
+numbers, frame indices and wire sizes all byte-identical to the
+per-frame reference emission, for every engine kind.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ENGINE_KINDS, ProfileCache, SchemeParameters
+from repro.streaming import (
+    ClientCapabilities,
+    MediaServer,
+    PacketType,
+    SessionRequest,
+)
+from repro.video import ArrayClip, CodecModel, VideoClip
+
+FAST_PARAMS = SchemeParameters(quality=0.05, min_scene_interval_frames=5)
+
+
+def _server(clip, engine, **kwargs):
+    # Each engine gets its own cache: the content-keyed shared cache would
+    # let one engine serve another's profiling results, masking bugs.
+    server = MediaServer(
+        params=FAST_PARAMS,
+        engine=engine,
+        profile_cache=ProfileCache(max_entries=4),
+        **kwargs,
+    )
+    server.add_clip(clip)
+    return server
+
+
+def _packets(server, clip, quality=0.05):
+    request = SessionRequest(clip.name, quality, ClientCapabilities("ipaq5555"))
+    session = server.open_session(request)
+    return list(server.stream(session))
+
+
+def _assert_streams_identical(reference, candidate, kind):
+    assert len(candidate) == len(reference), kind
+    for ref, got in zip(reference, candidate):
+        assert got.ptype is ref.ptype, kind
+        assert got.seq == ref.seq, kind
+        if ref.ptype is PacketType.ANNOTATION:
+            assert got.payload == ref.payload, kind
+        elif ref.ptype is PacketType.FRAME:
+            assert got.frame_index == ref.frame_index, kind
+            assert got.wire_bytes == ref.wire_bytes, kind
+            assert got.frame.index == ref.frame.index, kind
+            assert np.array_equal(got.frame.pixels, ref.frame.pixels), kind
+
+
+clip_arrays = st.integers(0, 2**32 - 1).flatmap(
+    lambda seed: st.builds(
+        lambda n, h, w: np.random.default_rng(seed).integers(
+            0, 256, size=(n, h, w, 3), dtype=np.uint8
+        ),
+        st.integers(3, 40),
+        st.integers(4, 24),
+        st.integers(4, 24),
+    )
+)
+
+
+class TestServingBitIdentity:
+    @settings(max_examples=15, deadline=None)
+    @given(pixels=clip_arrays)
+    def test_all_engines_emit_identical_packets(self, pixels):
+        clips = {
+            kind: ArrayClip(pixels.copy(), fps=24.0, name="prop")
+            for kind in ENGINE_KINDS
+        }
+        reference = _packets(_server(clips["perframe"], "perframe"), clips["perframe"])
+        assert reference[0].ptype is PacketType.ANNOTATION
+        for kind in ENGINE_KINDS[1:]:
+            candidate = _packets(_server(clips[kind], kind), clips[kind])
+            _assert_streams_identical(reference, candidate, kind)
+
+    def test_library_clip_identical_with_codec(self, library_clip):
+        codec = CodecModel()
+        reference = _packets(
+            _server(library_clip, "perframe", codec=codec), library_clip
+        )
+        frame_packets = [p for p in reference if p.ptype is PacketType.FRAME]
+        assert frame_packets and all(p.wire_bytes is not None for p in frame_packets)
+        for kind in ENGINE_KINDS[1:]:
+            candidate = _packets(
+                _server(library_clip, kind, codec=codec), library_clip
+            )
+            _assert_streams_identical(reference, candidate, kind)
+
+    def test_heterogeneous_clip_falls_back_per_frame(self):
+        # Mixed resolutions cannot batch; the stream must still complete
+        # and match the reference emission exactly.
+        rng = np.random.default_rng(5)
+        frames = [rng.integers(0, 256, size=(12, 16, 3), dtype=np.uint8) for _ in range(4)]
+        frames += [rng.integers(0, 256, size=(8, 10, 3), dtype=np.uint8) for _ in range(4)]
+        clips = {
+            kind: VideoClip([f.copy() for f in frames], fps=24.0, name="mixed")
+            for kind in ("perframe", "chunked")
+        }
+        reference = _packets(_server(clips["perframe"], "perframe"), clips["perframe"])
+        candidate = _packets(_server(clips["chunked"], "chunked"), clips["chunked"])
+        _assert_streams_identical(reference, candidate, "chunked")
+        assert sum(p.ptype is PacketType.FRAME for p in candidate) == len(frames)
+
+    def test_frame_packets_are_views_into_chunks(self, tiny_clip):
+        # Chunked emission must not copy pixels per frame: consecutive
+        # frame packets share their chunk's base buffer.
+        packets = _packets(_server(tiny_clip, "chunked"), tiny_clip)
+        frames = [p.frame for p in packets if p.ptype is PacketType.FRAME]
+        assert len(frames) == tiny_clip.frame_count
+        bases = {id(f.pixels.base) for f in frames if f.pixels.base is not None}
+        assert bases, "expected zero-copy chunk views"
+        assert len(bases) < len(frames)
+
+    @pytest.mark.parametrize("kind", ENGINE_KINDS)
+    def test_counter_matches_frames(self, kind, tiny_clip):
+        from repro import telemetry
+
+        server = _server(tiny_clip, kind)
+        _packets(server, tiny_clip)
+        counter = telemetry.registry().get("repro_server_frames_streamed_total")
+        assert counter.value == tiny_clip.frame_count

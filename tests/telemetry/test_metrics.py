@@ -30,6 +30,26 @@ class TestCounter:
         with pytest.raises(ValueError):
             c.inc(-1)
 
+    def test_batched_increment_equals_repeated(self):
+        # The hot-loop fast path: one inc(n) per chunk must land on the
+        # same total as n unit increments.
+        batched = Counter("repro_test_total")
+        repeated = Counter("repro_test_total")
+        for n in (1, 7, 64, 256):
+            batched.inc(n)
+            for _ in range(n):
+                repeated.inc()
+        assert batched.value == repeated.value == 1 + 7 + 64 + 256
+
+    def test_batched_increment_disabled_is_noop(self):
+        c = Counter("repro_test_total")
+        disable()
+        try:
+            c.inc(1000)
+        finally:
+            enable()
+        assert c.value == 0
+
     def test_invalid_names_rejected(self):
         for bad in ("", "9starts_with_digit", "has space", "has-dash"):
             with pytest.raises(ValueError):
