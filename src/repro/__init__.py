@@ -3,8 +3,17 @@
 Reproduction of Cornea, Nicolau & Dutt, "Software Annotations for Power
 Optimization on Mobile Devices" (DATE 2006).
 
+The supported entry surface is :mod:`repro.api` — the
+:class:`~repro.api.AnnotationService` / :class:`~repro.api.StreamingService`
+facade plus :func:`~repro.api.configure_engine` — together with the
+subpackages below.  Pre-facade spellings (``repro.MediaServer``,
+``run_pipeline``, …) keep working but emit :class:`DeprecationWarning`.
+
 Subpackages
 -----------
+``repro.api``
+    The service facade: annotation, streaming (sync + async), engine
+    configuration.  Start here.
 ``repro.video``
     Frames, clips, synthetic scene generators, the ten-title clip library.
 ``repro.display``
@@ -20,7 +29,10 @@ Subpackages
     The paper's contribution: stream analysis, scene detection, clipping,
     compensation, annotation tracks, the end-to-end pipeline.
 ``repro.streaming``
-    Server / proxy / network / client system model.
+    Server / proxy / network-model / client system model (in-process).
+``repro.net``
+    Real asyncio TCP transport: wire codec, stream server with
+    backpressure, retrying client, fault injection.
 ``repro.player``
     Decoder timing, backlight controller, playback engine.
 ``repro.baselines``
@@ -29,7 +41,9 @@ Subpackages
     Observability: metrics registry, span tracing, exporters.
 """
 
-__version__ = "1.0.0"
+import warnings as _warnings
+
+__version__ = "1.1.0"
 
 from . import (
     baselines,
@@ -37,6 +51,7 @@ from . import (
     core,
     display,
     experiments,
+    net,
     player,
     power,
     quality,
@@ -45,8 +60,14 @@ from . import (
     video,
     viz,
 )
+from . import api
+from .api import AnnotationService, StreamingService, configure_engine
 
 __all__ = [
+    "api",
+    "AnnotationService",
+    "StreamingService",
+    "configure_engine",
     "video",
     "display",
     "power",
@@ -54,6 +75,7 @@ __all__ = [
     "quality",
     "core",
     "streaming",
+    "net",
     "player",
     "baselines",
     "telemetry",
@@ -61,3 +83,38 @@ __all__ = [
     "experiments",
     "__version__",
 ]
+
+#: Pre-facade spellings kept importable for one deprecation cycle.
+#: Each maps a legacy top-level name to ``(module, attribute)``.
+_DEPRECATED_ALIASES = {
+    "MediaServer": ("repro.streaming.server", "MediaServer"),
+    "MobileClient": ("repro.streaming.client", "MobileClient"),
+    "TranscodingProxy": ("repro.streaming.proxy", "TranscodingProxy"),
+    "AnnotationPipeline": ("repro.core.pipeline", "AnnotationPipeline"),
+    "run_pipeline": ("repro.core.pipeline", "run_pipeline"),
+    "sweep_quality_levels": ("repro.core.pipeline", "sweep_quality_levels"),
+    "EngineConfig": ("repro.core.engine", "EngineConfig"),
+}
+
+
+def __getattr__(name):
+    """Resolve deprecated top-level aliases with a :class:`DeprecationWarning`.
+
+    ``repro.MediaServer`` and friends predate the :mod:`repro.api`
+    facade; they forward to their canonical homes so existing scripts
+    keep working while the warning documents the replacement.
+    """
+    target = _DEPRECATED_ALIASES.get(name)
+    if target is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    module_name, attr = target
+    _warnings.warn(
+        f"repro.{name} is a deprecated entry point; use the repro.api facade "
+        f"(AnnotationService / StreamingService / configure_engine) or import "
+        f"{module_name}.{attr} directly",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)

@@ -1,0 +1,328 @@
+"""`repro.api`: the unified service facade — the supported entry surface.
+
+Historically the library grew several scattered entry points: build an
+:class:`~repro.core.pipeline.AnnotationPipeline` by hand, construct a
+:class:`~repro.streaming.server.MediaServer` ad hoc, call
+:func:`~repro.core.pipeline.sweep_quality_levels`, wire archives and
+engines yourself.  They all still work (the legacy spellings emit
+:class:`DeprecationWarning`\\s pointing here), but the **supported** way
+in is this module plus the names re-exported in ``repro.__all__``:
+
+* :class:`AnnotationService` — the offline side: profile a clip, produce
+  annotation tracks, build playable annotated streams, sweep quality
+  levels.
+* :class:`StreamingService` — the serving side: a catalog fronted by one
+  object, streamable in-process (sync) or over asyncio TCP via
+  :meth:`StreamingService.serve` / :meth:`StreamingService.fetch`.
+* :func:`configure_engine` — a process-wide default execution engine
+  picked up by every service (and the CLI) when no explicit ``engine=``
+  is given.
+
+The CLI routes every subcommand through this facade, so ``repro serve``
+and ``python -c "from repro.api import StreamingService"`` exercise the
+same code path.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import List, Optional, Sequence, Tuple
+
+from .core.annotation import AnnotationTrack, DeviceAnnotationTrack
+from .core.dvfs_annotation import DvfsAnnotator
+from .core.engine import EngineConfig, EngineSpec, resolve_engine
+from .core.pipeline import (
+    AnnotatedStream,
+    AnnotationPipeline,
+    ProfileResult,
+    sweep_quality_levels,
+)
+from .core.policy import QUALITY_LEVELS, SchemeParameters
+from .core.profile_cache import ProfileCache
+from .display.devices import DeviceProfile, get_device
+from .player.playback import PlaybackResult
+from .streaming.client import MobileClient
+from .streaming.network import NetworkPath
+from .streaming.packets import MediaPacket
+from .streaming.server import MediaServer
+from .streaming.session import SessionDescription
+from .video.clip import ClipBase
+
+__all__ = [
+    "AnnotationService",
+    "StreamingService",
+    "configure_engine",
+    "default_engine",
+    "fetch_stream",
+    "fetch_stream_sync",
+]
+
+#: Process-wide default engine, set by :func:`configure_engine`.
+_default_engine: EngineSpec = None
+_default_engine_lock = threading.Lock()
+
+
+def configure_engine(
+    engine: EngineSpec = None,
+    chunk_size: Optional[int] = None,
+    max_workers: Optional[int] = None,
+) -> EngineSpec:
+    """Set the process-wide default execution engine; returns the previous.
+
+    ``engine`` is a kind name (``"perframe"``, ``"chunked"``,
+    ``"threads"``, ``"processes"``), an
+    :class:`~repro.core.engine.EngineConfig`, or ``None`` to reset to the
+    library default.  ``chunk_size`` / ``max_workers`` refine a kind name
+    into a full config.  Every facade service (and the CLI) resolves
+    ``engine=None`` against this default.
+    """
+    global _default_engine
+    if engine is not None and (chunk_size is not None or max_workers is not None):
+        resolved = resolve_engine(engine)
+        engine = EngineConfig(
+            kind=resolved.kind,
+            chunk_size=chunk_size if chunk_size is not None else resolved.chunk_size,
+            max_workers=max_workers if max_workers is not None else resolved.max_workers,
+        )
+    elif engine is not None:
+        resolve_engine(engine)  # validate eagerly
+    with _default_engine_lock:
+        previous = _default_engine
+        _default_engine = engine
+    return previous
+
+
+def default_engine() -> EngineSpec:
+    """The engine used when a facade call passes ``engine=None``."""
+    return _default_engine
+
+
+def _effective_engine(engine: EngineSpec) -> EngineSpec:
+    return engine if engine is not None else _default_engine
+
+
+def _resolve_device(device) -> DeviceProfile:
+    """Accept a device profile object or a registry name."""
+    if isinstance(device, DeviceProfile):
+        return device
+    return get_device(device)
+
+
+class AnnotationService:
+    """Offline annotation workflows behind one object.
+
+    Wraps :class:`~repro.core.pipeline.AnnotationPipeline` with the
+    engine default from :func:`configure_engine` and device-name
+    resolution, so callers hold clips and strings, not pipeline plumbing.
+
+    Parameters
+    ----------
+    params:
+        Scheme parameters (quality level, scene thresholds).
+    engine:
+        Execution engine override; ``None`` uses the
+        :func:`configure_engine` default.
+    profile_cache:
+        Optional content-keyed profile cache shared across calls.
+    """
+
+    def __init__(
+        self,
+        params: SchemeParameters = SchemeParameters(),
+        engine: EngineSpec = None,
+        profile_cache: Optional[ProfileCache] = None,
+    ):
+        self.params = params
+        self.engine = _effective_engine(engine)
+        self.profile_cache = profile_cache
+
+    def _pipeline(self, params: Optional[SchemeParameters] = None) -> AnnotationPipeline:
+        return AnnotationPipeline(
+            params if params is not None else self.params,
+            engine=self.engine,
+            profile_cache=self.profile_cache,
+        )
+
+    def profile(self, clip: ClipBase) -> ProfileResult:
+        """Run the analysis + scene-detection stages for one clip."""
+        return self._pipeline().profile(clip)
+
+    def annotate(
+        self, clip: ClipBase, quality: Optional[float] = None
+    ) -> AnnotationTrack:
+        """Produce the device-independent annotation track."""
+        params = self.params if quality is None else self.params.with_quality(quality)
+        return self._pipeline(params).annotate(clip)
+
+    def annotate_for_device(
+        self, clip: ClipBase, device, quality: Optional[float] = None
+    ) -> DeviceAnnotationTrack:
+        """Annotate and bind to a device (object or registry name)."""
+        return self.annotate(clip, quality=quality).bind(_resolve_device(device))
+
+    def build_stream(self, clip: ClipBase, device) -> AnnotatedStream:
+        """Annotate, bind and wrap a clip as a playable annotated stream."""
+        profile_device = _resolve_device(device)
+        track = self.annotate(clip).bind(profile_device)
+        return AnnotatedStream(clip=clip, track=track, device=profile_device)
+
+    def sweep(
+        self,
+        clip: ClipBase,
+        device,
+        qualities: Sequence[float] = QUALITY_LEVELS,
+    ) -> List[AnnotatedStream]:
+        """Annotate one clip at several quality levels, sharing the profile."""
+        return sweep_quality_levels(
+            clip,
+            _resolve_device(device),
+            qualities,
+            params=self.params,
+            engine=self.engine,
+            profile_cache=self.profile_cache,
+        )
+
+
+class StreamingService:
+    """The serving side of Figure 1 behind one object.
+
+    Owns a :class:`~repro.streaming.server.MediaServer` (catalog,
+    annotation caches, packet emission) and layers the two delivery
+    modes on top:
+
+    * **in-process** — :meth:`stream` / :meth:`play` yield the packet
+      sequence directly (the pre-wire behavior);
+    * **wire** — :meth:`serve` hosts the catalog on asyncio TCP and
+      :meth:`fetch` / :meth:`fetch_sync` pull a stream back through a
+      retrying :class:`~repro.net.client.AsyncMobileClient`.
+
+    Parameters mirror :class:`~repro.streaming.server.MediaServer`;
+    ``engine=None`` uses the :func:`configure_engine` default.
+    """
+
+    def __init__(
+        self,
+        params: SchemeParameters = SchemeParameters(),
+        qualities: Tuple[float, ...] = QUALITY_LEVELS,
+        dvfs_annotator: Optional[DvfsAnnotator] = None,
+        codec=None,
+        engine: EngineSpec = None,
+        profile_cache: Optional[ProfileCache] = None,
+    ):
+        self.server = MediaServer(
+            params=params,
+            qualities=qualities,
+            dvfs_annotator=dvfs_annotator,
+            codec=codec,
+            engine=_effective_engine(engine),
+            profile_cache=profile_cache,
+        )
+
+    # -- catalog -------------------------------------------------------
+    def add_clip(self, clip: ClipBase) -> "StreamingService":
+        """Register a clip; returns self for chaining."""
+        self.server.add_clip(clip)
+        return self
+
+    def add_archive(self, path) -> str:
+        """Load annotated content from disk; returns the clip name."""
+        return self.server.add_archive(path)
+
+    def export_archive(self, clip_name: str, path) -> None:
+        """Write a clip plus all prepared annotation variants to disk."""
+        self.server.export_archive(clip_name, path)
+
+    def catalog(self) -> Tuple[str, ...]:
+        """Names of all registered clips, sorted."""
+        return self.server.catalog()
+
+    # -- in-process serving --------------------------------------------
+    def open_session(self, clip_name: str, device, quality: float) -> SessionDescription:
+        """Negotiate a session for a clip/device/quality triple."""
+        client = MobileClient(_resolve_device(device))
+        return self.server.open_session(client.request(clip_name, quality))
+
+    def stream(self, session: SessionDescription) -> "list[MediaPacket]":
+        """Materialize a session's packet sequence (annotation + frames)."""
+        return list(self.server.stream(session))
+
+    def play(
+        self,
+        clip_name: str,
+        device,
+        quality: float,
+        network: Optional[NetworkPath] = None,
+        **playback_kwargs,
+    ) -> PlaybackResult:
+        """End-to-end in-process run: negotiate, stream, deliver, play."""
+        profile = _resolve_device(device)
+        client = MobileClient(profile)
+        session = self.server.open_session(client.request(clip_name, quality))
+        packets = list(self.server.stream(session))
+        delivery = network.deliver(packets) if network is not None else None
+        return client.play_stream(
+            session, packets, delivery=delivery, **playback_kwargs
+        )
+
+    # -- wire serving --------------------------------------------------
+    def serve(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        queue_depth: int = 32,
+    ):
+        """Build an (unstarted) asyncio TCP server for this catalog.
+
+        Use as ``async with service.serve() as srv:`` or call
+        ``await srv.start()`` / ``await srv.serve_forever()``.
+        """
+        from .net.server import AnnotationStreamServer
+
+        return AnnotationStreamServer(
+            self.server, host=host, port=port, queue_depth=queue_depth
+        )
+
+    async def fetch(
+        self, host: str, port: int, clip_name: str, quality: float, device,
+        **client_kwargs,
+    ):
+        """Fetch one stream from a wire server (async, with retries)."""
+        return await fetch_stream(
+            host, port, clip_name, quality, device, **client_kwargs
+        )
+
+    def fetch_sync(
+        self, host: str, port: int, clip_name: str, quality: float, device,
+        **client_kwargs,
+    ):
+        """Blocking wrapper over :meth:`fetch` for sync callers."""
+        return fetch_stream_sync(
+            host, port, clip_name, quality, device, **client_kwargs
+        )
+
+
+async def fetch_stream(
+    host: str, port: int, clip_name: str, quality: float, device,
+    **client_kwargs,
+):
+    """Fetch one annotated stream from any wire server (async, retries).
+
+    ``device`` is a profile object or registry name; ``client_kwargs``
+    forward to :class:`~repro.net.client.AsyncMobileClient` (timeouts,
+    retry policy).  Returns a :class:`~repro.net.client.FetchResult`.
+    """
+    from .net.client import AsyncMobileClient
+
+    client = AsyncMobileClient(_resolve_device(device), **client_kwargs)
+    return await client.fetch(host, port, clip_name, quality)
+
+
+def fetch_stream_sync(
+    host: str, port: int, clip_name: str, quality: float, device,
+    **client_kwargs,
+):
+    """Blocking wrapper over :func:`fetch_stream` for sync callers."""
+    return asyncio.run(
+        fetch_stream(host, port, clip_name, quality, device, **client_kwargs)
+    )

@@ -1,11 +1,14 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Subcommands map to the library's main workflows:
+Subcommands map to the library's main workflows, all routed through the
+:mod:`repro.api` facade:
 
 * ``catalog``   — list the clip library and device registry;
 * ``annotate``  — annotate one clip for a device and show (or save) the track;
 * ``savings``   — backlight + total-device savings for one clip;
 * ``sweep``     — the Figure 9 table (clips x quality levels);
+* ``serve``     — host library clips on an asyncio TCP stream server;
+* ``fetch``     — pull a stream from a running server and play it;
 * ``calibrate`` — camera characterization of a device (Figures 7/8);
 * ``trace``     — Figure 6 sparklines for one clip;
 * ``telemetry`` — run a demo pipeline and dump the metrics registry.
@@ -18,18 +21,18 @@ process-wide telemetry snapshot after the run.
 from __future__ import annotations
 
 import argparse
+import asyncio
 import sys
 from typing import List, Optional
 
 import numpy as np
 
+from .api import AnnotationService, StreamingService, fetch_stream_sync
 from .core import (
     ENGINE_KINDS,
     QUALITY_LEVELS,
-    AnnotationPipeline,
     SchemeParameters,
     quality_label,
-    sweep_quality_levels,
 )
 from .display import DEVICE_REGISTRY, get_device
 from .video import EXTENDED_CLIP_NAMES, PAPER_CLIP_NAMES, make_clip
@@ -81,11 +84,10 @@ def cmd_catalog(args: argparse.Namespace) -> int:
 def cmd_annotate(args: argparse.Namespace) -> int:
     """Annotate one clip for a device; print or save the track."""
     clip = make_clip(args.clip, duration_scale=args.scale)
-    device = get_device(args.device)
-    pipeline = AnnotationPipeline(
+    service = AnnotationService(
         SchemeParameters(quality=args.quality), engine=args.engine
     )
-    track = pipeline.annotate_for_device(clip, device)
+    track = service.annotate_for_device(clip, args.device)
     print(f"{args.clip} on {args.device} at quality {quality_label(args.quality)}: "
           f"{len(track.scenes)} scenes, {track.nbytes} bytes")
     print(f"{'scene':>5} {'frames':>12} {'backlight':>9} {'gain':>7}")
@@ -103,10 +105,10 @@ def cmd_savings(args: argparse.Namespace) -> int:
     """Backlight and total-device savings for one clip."""
     clip = make_clip(args.clip, duration_scale=args.scale)
     device = get_device(args.device)
-    pipeline = AnnotationPipeline(
+    service = AnnotationService(
         SchemeParameters(quality=args.quality), engine=args.engine
     )
-    stream = pipeline.build_stream(clip, device)
+    stream = service.build_stream(clip, device)
 
     from .player import PlaybackEngine
     result = PlaybackEngine(device).play(stream)
@@ -139,9 +141,10 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     if with_stats:
         header += f"{'clipped':>9}"
     print(header)
+    service = AnnotationService(engine=args.engine)
     for name in clips:
         clip = make_clip(name, duration_scale=args.scale)
-        streams = sweep_quality_levels(clip, device, QUALITY_LEVELS, engine=args.engine)
+        streams = service.sweep(clip, device, QUALITY_LEVELS)
         row = [s.predicted_backlight_savings() for s in streams]
         line = f"{name:<22}" + "".join(f"{v:>8.1%}" for v in row)
         if with_stats:
@@ -168,12 +171,12 @@ def cmd_telemetry(args: argparse.Namespace) -> int:
 
     clip = make_clip(args.clip, duration_scale=args.scale)
     device = get_device(args.device)
-    pipeline = AnnotationPipeline(
+    service = AnnotationService(
         SchemeParameters(quality=args.quality),
         engine=args.engine,
         profile_cache=shared_profile_cache(),
     )
-    stream = pipeline.build_stream(clip, device)
+    stream = service.build_stream(clip, device)
     for _chunk in stream.iter_chunks():
         pass
     PlaybackEngine(device).play(stream)
@@ -183,6 +186,65 @@ def cmd_telemetry(args: argparse.Namespace) -> int:
         sys.stdout.write(telemetry.to_prometheus())
     else:
         print(telemetry.format_table())
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Host library clips on an asyncio TCP annotation-stream server."""
+    names = list(args.clip_names) or ["themovie"]
+    for name in names:
+        if name not in ALL_CLIP_NAMES:
+            print(f"error: unknown clip {name!r}", file=sys.stderr)
+            return 2
+    service = StreamingService(engine=args.engine)
+    for name in names:
+        service.add_clip(make_clip(name, duration_scale=args.scale))
+
+    async def run() -> None:
+        async with service.serve(
+            host=args.host, port=args.port, queue_depth=args.queue_depth
+        ) as srv:
+            host, port = srv.address
+            print(f"serving {len(names)} clip(s) on {host}:{port} "
+                  f"(queue depth {args.queue_depth})", flush=True)
+            if args.duration is not None:
+                try:
+                    await asyncio.wait_for(srv.serve_forever(), timeout=args.duration)
+                except asyncio.TimeoutError:
+                    pass
+            else:
+                await srv.serve_forever()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("server stopped")
+    return 0
+
+
+def cmd_fetch(args: argparse.Namespace) -> int:
+    """Fetch one stream from a running server and play it back."""
+    from .net import StreamFetchError
+    from .streaming import MobileClient, NegotiationError
+
+    try:
+        fetched = fetch_stream_sync(
+            args.host, args.port, args.clip, args.quality, args.device,
+            max_retries=args.retries,
+        )
+    except (StreamFetchError, NegotiationError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    result = MobileClient(get_device(args.device)).play_stream(
+        fetched.session, fetched.packets
+    )
+    session = fetched.session
+    print(f"{session.clip_name} on {args.device} at quality "
+          f"{quality_label(session.quality)} (session #{session.session_id}):")
+    print(f"  fetched           : {len(fetched.packets)} packets, "
+          f"{fetched.frame_count} frames, {fetched.attempts} attempt(s)")
+    print(f"  total savings     : {result.total_savings:.1%}")
+    print(f"  backlight switches: {result.switch_count}")
     return 0
 
 
@@ -225,11 +287,11 @@ def cmd_trace(args: argparse.Namespace) -> int:
     """Print the Figure 6 series as sparklines."""
     clip = make_clip(args.clip, duration_scale=args.scale)
     device = get_device(args.device)
-    pipeline = AnnotationPipeline(
+    service = AnnotationService(
         SchemeParameters(quality=args.quality), engine=args.engine
     )
-    profile = pipeline.profile(clip)
-    stream = pipeline.build_stream(clip, device)
+    profile = service.profile(clip)
+    stream = service.build_stream(clip, device)
     print(f"{args.clip} at quality {quality_label(args.quality)} (Figure 6 series):")
     print(viz.series_table({
         "frame max lum": profile.max_luminance_series(),
@@ -272,6 +334,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--clips", nargs="*", choices=ALL_CLIP_NAMES,
                    help="subset of clips (default: the paper's ten)")
     p.set_defaults(fn=cmd_sweep)
+
+    p = sub.add_parser("serve", help="host clips on an asyncio TCP stream server")
+    p.add_argument("clip_names", nargs="*", metavar="clip",
+                   help="clips to serve (default: themovie)")
+    p.add_argument("--host", default="127.0.0.1", help="bind address")
+    p.add_argument("--port", type=int, default=8765,
+                   help="bind port (0 picks a free port)")
+    p.add_argument("--queue-depth", type=int, default=32,
+                   help="per-session send-queue bound, in records")
+    p.add_argument("--duration", type=float, default=None,
+                   help="serve for N seconds then exit (default: forever)")
+    p.add_argument("--scale", type=float, default=0.5,
+                   help="duration scale for the synthetic clips")
+    p.add_argument("--engine", default=None, choices=ENGINE_KINDS,
+                   help="execution engine for the profiling pass")
+    p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser("fetch", help="fetch a stream from a server and play it")
+    p.add_argument("clip", help="clip name to request")
+    p.add_argument("--host", default="127.0.0.1", help="server address")
+    p.add_argument("--port", type=int, default=8765, help="server port")
+    p.add_argument("--device", default="ipaq5555", choices=sorted(DEVICE_REGISTRY),
+                   help="client device profile")
+    p.add_argument("--quality", type=float, default=0.10,
+                   help="requested quality level (0-1)")
+    p.add_argument("--retries", type=int, default=4,
+                   help="fetch retries after transient failures")
+    p.set_defaults(fn=cmd_fetch)
 
     p = sub.add_parser("telemetry", help="demo run + metrics registry dump")
     p.add_argument("clip", nargs="?", default="themovie", choices=ALL_CLIP_NAMES,

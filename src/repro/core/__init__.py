@@ -53,6 +53,7 @@ from .pipeline import (
     AnnotationPipeline,
     CompensatedChunk,
     ProfileResult,
+    run_pipeline,
     sweep_quality_levels,
 )
 from .dvfs_annotation import DvfsAnnotator, DvfsSceneAnnotation, DvfsTrack
@@ -112,6 +113,7 @@ __all__ = [
     "AnnotatedStream",
     "CompensatedChunk",
     "ProfileResult",
+    "run_pipeline",
     "sweep_quality_levels",
     "DvfsAnnotator",
     "DvfsSceneAnnotation",

@@ -347,6 +347,35 @@ class AnnotatedStream:
         )
 
 
+def run_pipeline(
+    clip: ClipBase,
+    device: DeviceProfile,
+    quality: float = 0.10,
+    params: Optional[SchemeParameters] = None,
+    engine: EngineSpec = None,
+) -> "AnnotatedStream":
+    """Deprecated one-shot pipeline runner; use :mod:`repro.api` instead.
+
+    The pre-facade spelling of "profile, annotate, bind, wrap".  Emits a
+    :class:`DeprecationWarning` and delegates to
+    :meth:`repro.api.AnnotationService.build_stream`, which adds the
+    process-wide engine default and device-name resolution.
+    """
+    import warnings
+
+    warnings.warn(
+        "run_pipeline() is deprecated; use "
+        "repro.api.AnnotationService(...).build_stream(clip, device)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from ..api import AnnotationService
+
+    if params is None:
+        params = SchemeParameters(quality=quality)
+    return AnnotationService(params=params, engine=engine).build_stream(clip, device)
+
+
 def sweep_quality_levels(
     clip: ClipBase,
     device: DeviceProfile,

@@ -1,0 +1,74 @@
+"""Real network transport for annotated streams (asyncio TCP).
+
+The paper's Figure 1 pipeline is server → proxy → wireless hop → PDA.
+Up to this layer the repo *models* that path (``repro.streaming`` computes
+delivery timing without moving bytes); ``repro.net`` puts the annotated
+stream on an actual socket:
+
+* :mod:`repro.net.codec` — binary wire format: length-prefixed records
+  with a fixed 32-byte header (the same ``PACKET_HEADER_BYTES`` the
+  network model charges), CRC32 integrity, zero-copy frame payloads.
+* :mod:`repro.net.messages` — the control-packet vocabulary (hello /
+  session / end / error) used for session negotiation on the wire.
+* :mod:`repro.net.server` — :class:`AnnotationStreamServer`: hosts many
+  concurrent sessions over ``asyncio.start_server`` with per-session
+  bounded send queues (backpressure) and clean cancellation.
+* :mod:`repro.net.client` — :class:`AsyncMobileClient`: timeouts,
+  exponential retry with jitter, protocol-error recovery.
+* :mod:`repro.net.fault` — :class:`LossyTransport`: a deterministic
+  fault-injecting TCP relay (delay / drop / truncate / corrupt),
+  parameterized from the :class:`~repro.streaming.network.Link` model.
+
+Everything is instrumented through :mod:`repro.telemetry`.
+"""
+
+from .codec import (
+    WIRE_HEADER_BYTES,
+    WIRE_MAGIC,
+    WIRE_VERSION,
+    WireFormatError,
+    decode_packet,
+    encode_packet,
+    encode_packet_bytes,
+    read_packet,
+    wire_size,
+)
+from .messages import (
+    ControlMessage,
+    EndInfo,
+    HelloInfo,
+    decode_control,
+    encode_end,
+    encode_error,
+    encode_hello,
+    encode_session,
+)
+from .fault import FaultSpec, LossyTransport
+from .server import AnnotationStreamServer
+from .client import AsyncMobileClient, FetchResult, StreamFetchError
+
+__all__ = [
+    "WIRE_HEADER_BYTES",
+    "WIRE_MAGIC",
+    "WIRE_VERSION",
+    "WireFormatError",
+    "encode_packet",
+    "encode_packet_bytes",
+    "decode_packet",
+    "read_packet",
+    "wire_size",
+    "ControlMessage",
+    "HelloInfo",
+    "EndInfo",
+    "decode_control",
+    "encode_hello",
+    "encode_session",
+    "encode_end",
+    "encode_error",
+    "FaultSpec",
+    "LossyTransport",
+    "AnnotationStreamServer",
+    "AsyncMobileClient",
+    "FetchResult",
+    "StreamFetchError",
+]

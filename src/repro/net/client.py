@@ -1,0 +1,245 @@
+"""`AsyncMobileClient`: fetch annotated streams over the wire, robustly.
+
+The receive side of :mod:`repro.net`.  A fetch opens a TCP connection,
+sends the hello, reads the session description, then drains annotation
+and frame records until the server's ``end`` control message.  Every
+failure mode maps to a retry:
+
+* connect/read **timeouts** (``connect_timeout_s`` / ``read_timeout_s``),
+* **transport errors** (reset, refused, mid-record close),
+* **protocol errors** (CRC mismatch, malformed records, missing frames,
+  wrong counts in ``end``).
+
+Retries re-request the stream from scratch — annotated streams are
+idempotent, so a clean attempt fully supersedes a corrupted one — with
+exponential backoff plus jitter (seedable for deterministic tests).
+Negotiation rejections (unknown clip/device) are *not* retried: the
+server answered authoritatively.
+
+Playback is unchanged from the in-process path: the fetched packets feed
+:meth:`~repro.streaming.client.MobileClient.play_stream`, so everything
+the paper's client does (backlight schedule, power accounting) applies
+byte-identically to wire-delivered streams.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..display.devices import DeviceProfile
+from ..player.playback import PlaybackResult
+from ..streaming.client import MobileClient, StreamProtocolError
+from ..streaming.packets import MediaPacket, PacketType
+from ..streaming.session import NegotiationError, SessionDescription
+from ..telemetry import registry as telemetry_registry, trace
+from .codec import WireFormatError, encode_packet_bytes, read_packet
+from .messages import decode_control, encode_hello, raise_for_error
+
+
+class StreamFetchError(ConnectionError):
+    """A fetch ran out of retries; carries the last underlying failure."""
+
+
+@dataclass(frozen=True)
+class FetchResult:
+    """One successfully fetched stream.
+
+    ``packets`` holds the data-plane sequence exactly as the in-process
+    :meth:`~repro.streaming.server.MediaServer.stream` would have yielded
+    it (annotation packets first, then frames in presentation order);
+    control traffic is consumed by the protocol and not included.
+    """
+
+    session: SessionDescription
+    packets: List[MediaPacket]
+    attempts: int
+
+    @property
+    def frame_count(self) -> int:
+        """Number of frame packets fetched."""
+        return sum(1 for p in self.packets if p.ptype is PacketType.FRAME)
+
+
+class AsyncMobileClient:
+    """Asyncio client fetching annotated streams from an
+    :class:`~repro.net.server.AnnotationStreamServer`.
+
+    Parameters
+    ----------
+    device:
+        The handheld's profile; advertised in the hello and used for
+        playback.
+    connect_timeout_s / read_timeout_s:
+        Deadline for establishing a connection / for each record read.
+    max_retries:
+        How many times a failed fetch is re-attempted (0 = single shot).
+    backoff_base_s / backoff_max_s / jitter_s:
+        Exponential backoff: attempt ``k`` sleeps
+        ``min(base * 2**k, max) + uniform(0, jitter)``.
+    rng:
+        Jitter source; pass a seeded :class:`random.Random` for
+        deterministic schedules in tests.
+    """
+
+    def __init__(
+        self,
+        device: DeviceProfile,
+        connect_timeout_s: float = 5.0,
+        read_timeout_s: float = 30.0,
+        max_retries: int = 4,
+        backoff_base_s: float = 0.05,
+        backoff_max_s: float = 2.0,
+        jitter_s: float = 0.05,
+        rng: Optional[random.Random] = None,
+    ):
+        if connect_timeout_s <= 0 or read_timeout_s <= 0:
+            raise ValueError("timeouts must be positive")
+        if max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if backoff_base_s < 0 or backoff_max_s < 0 or jitter_s < 0:
+            raise ValueError("backoff parameters must be non-negative")
+        self.device = device
+        self.connect_timeout_s = connect_timeout_s
+        self.read_timeout_s = read_timeout_s
+        self.max_retries = max_retries
+        self.backoff_base_s = backoff_base_s
+        self.backoff_max_s = backoff_max_s
+        self.jitter_s = jitter_s
+        self.rng = rng if rng is not None else random.Random()
+        self._player = MobileClient(device)
+        reg = telemetry_registry()
+        self._retries_counter = reg.counter(
+            "repro_net_client_retries_total",
+            help="Fetch attempts retried after a transport/protocol failure.",
+        )
+        self._protocol_errors_counter = reg.counter(
+            "repro_net_client_protocol_errors_total",
+            help="Wire protocol violations observed by clients.",
+        )
+        self._fetches_counter = reg.counter(
+            "repro_net_client_fetches_total", help="Streams fetched successfully.",
+        )
+
+    # ------------------------------------------------------------------
+    def backoff_s(self, attempt: int) -> float:
+        """Sleep before retry ``attempt`` (0-based): exponential + jitter."""
+        base = min(self.backoff_base_s * (2 ** attempt), self.backoff_max_s)
+        return base + self.rng.uniform(0.0, self.jitter_s)
+
+    async def _read(self, reader) -> Optional[MediaPacket]:
+        return await asyncio.wait_for(
+            read_packet(reader), timeout=self.read_timeout_s
+        )
+
+    async def _fetch_once(
+        self, host: str, port: int, clip_name: str, quality: float
+    ) -> FetchResult:
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(host, port), timeout=self.connect_timeout_s
+        )
+        try:
+            request = self._player.request(clip_name, quality)
+            writer.write(encode_packet_bytes(encode_hello(request)))
+            await writer.drain()
+
+            first = await self._read(reader)
+            if first is None:
+                raise WireFormatError("server closed before answering the hello")
+            message = raise_for_error(decode_control(first))
+            if message.kind != "session":
+                raise WireFormatError(
+                    f"expected a session message, got {message.kind!r}"
+                )
+            session = message.session
+
+            packets: List[MediaPacket] = []
+            frames_seen = 0
+            while True:
+                packet = await self._read(reader)
+                if packet is None:
+                    raise WireFormatError("server closed before end-of-stream")
+                if packet.ptype is PacketType.CONTROL:
+                    end = raise_for_error(decode_control(packet))
+                    if end.kind != "end":
+                        raise WireFormatError(
+                            f"unexpected control message {end.kind!r} mid-stream"
+                        )
+                    if len(packets) != end.end.packet_count:
+                        raise WireFormatError(
+                            f"stream carried {len(packets)} records, server "
+                            f"emitted {end.end.packet_count}"
+                        )
+                    if frames_seen != end.end.frame_count:
+                        raise WireFormatError(
+                            f"stream carried {frames_seen} frames, server "
+                            f"emitted {end.end.frame_count}"
+                        )
+                    break
+                if packet.ptype is PacketType.FRAME:
+                    if packet.frame_index != frames_seen:
+                        raise WireFormatError(
+                            f"frame {packet.frame_index} arrived, expected "
+                            f"{frames_seen} (record dropped in transit?)"
+                        )
+                    frames_seen += 1
+                elif frames_seen:
+                    raise WireFormatError("annotation record arrived after frames")
+                packets.append(packet)
+            return FetchResult(session=session, packets=packets, attempts=1)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def fetch(
+        self, host: str, port: int, clip_name: str, quality: float
+    ) -> FetchResult:
+        """Fetch one annotated stream, retrying on transient failures."""
+        last_error: Optional[BaseException] = None
+        with trace("net.fetch"):
+            for attempt in range(self.max_retries + 1):
+                if attempt:
+                    self._retries_counter.inc()
+                    await asyncio.sleep(self.backoff_s(attempt - 1))
+                try:
+                    result = await self._fetch_once(host, port, clip_name, quality)
+                    self._fetches_counter.inc()
+                    return FetchResult(
+                        session=result.session,
+                        packets=result.packets,
+                        attempts=attempt + 1,
+                    )
+                except NegotiationError:
+                    raise  # authoritative rejection; retrying cannot help
+                except (StreamProtocolError, asyncio.IncompleteReadError) as exc:
+                    self._protocol_errors_counter.inc()
+                    last_error = exc
+                except (ConnectionError, OSError, asyncio.TimeoutError) as exc:
+                    last_error = exc
+        raise StreamFetchError(
+            f"fetch of {clip_name!r} failed after {self.max_retries + 1} "
+            f"attempts: {last_error}"
+        ) from last_error
+
+    # ------------------------------------------------------------------
+    def play(self, fetched: FetchResult, **playback_kwargs) -> PlaybackResult:
+        """Play a fetched stream through the paper's client model."""
+        return self._player.play_stream(
+            fetched.session, fetched.packets, **playback_kwargs
+        )
+
+    async def fetch_and_play(
+        self, host: str, port: int, clip_name: str, quality: float,
+        **playback_kwargs,
+    ) -> PlaybackResult:
+        """Fetch then play in one call (playback runs off the event loop)."""
+        fetched = await self.fetch(host, port, clip_name, quality)
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            None, lambda: self.play(fetched, **playback_kwargs)
+        )

@@ -1,0 +1,262 @@
+"""Deterministic fault injection: a lossy TCP relay between client and server.
+
+Robustness of the transport (retry, CRC recovery, truncation handling)
+must be testable without a flaky network.  :class:`LossyTransport` listens
+on its own port, forwards every connection to an upstream
+:class:`~repro.net.server.AnnotationStreamServer`, and injects faults at
+*record* boundaries in the server→client direction:
+
+* **delay**    — sleep before forwarding a record (store-and-forward
+  serialization time, parameterized from a
+  :class:`~repro.streaming.network.Link`);
+* **drop**     — swallow a whole record (the client sees a seq/frame gap);
+* **corrupt**  — flip one body byte (the client sees a CRC mismatch);
+* **truncate** — forward a partial record and close the connection.
+
+Faults draw from a seeded :class:`random.Random` and honor a
+``max_faults`` budget, after which the relay becomes transparent — so a
+retrying client *always* converges, and a test run is reproducible from
+its seed.  Client→server bytes are forwarded untouched (the hello fits
+one record; faulting it only exercises the same retry path twice).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..streaming.network import Link
+from ..telemetry import registry as telemetry_registry
+from .codec import WIRE_HEADER_BYTES, _parse_header
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Per-record fault probabilities and delays for a lossy hop.
+
+    Rates are independent probabilities evaluated per forwarded record
+    (drop, then corrupt, then truncate).  ``delay_s`` is a fixed
+    store-and-forward latency per record and ``delay_per_byte_s`` scales
+    with record size — :meth:`from_link` derives both from a link model.
+    ``max_faults`` bounds the total number of injected faults (delays not
+    counted); ``None`` means unbounded.
+    """
+
+    drop_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    truncate_rate: float = 0.0
+    delay_s: float = 0.0
+    delay_per_byte_s: float = 0.0
+    max_faults: Optional[int] = None
+    seed: int = 0
+
+    def __post_init__(self):
+        for name in ("drop_rate", "corrupt_rate", "truncate_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        if self.delay_s < 0 or self.delay_per_byte_s < 0:
+            raise ValueError("delays must be non-negative")
+        if self.max_faults is not None and self.max_faults < 0:
+            raise ValueError("max_faults must be non-negative")
+
+    @classmethod
+    def from_link(
+        cls,
+        link: Link,
+        drop_rate: float = 0.0,
+        corrupt_rate: float = 0.0,
+        truncate_rate: float = 0.0,
+        max_faults: Optional[int] = None,
+        seed: int = 0,
+        time_scale: float = 1.0,
+    ) -> "FaultSpec":
+        """Derive delays from a link model's latency and bandwidth.
+
+        ``time_scale`` compresses simulated time so that an 802.11b hop
+        does not make a test take wall-clock minutes (0.01 charges 1% of
+        the modeled serialization delay).
+        """
+        if time_scale < 0:
+            raise ValueError("time_scale must be non-negative")
+        return cls(
+            drop_rate=drop_rate,
+            corrupt_rate=corrupt_rate,
+            truncate_rate=truncate_rate,
+            delay_s=link.latency_s * time_scale,
+            delay_per_byte_s=8.0 / link.bandwidth_bps * time_scale,
+            max_faults=max_faults,
+            seed=seed,
+        )
+
+
+class LossyTransport:
+    """A fault-injecting TCP relay in front of an upstream server.
+
+    Usage::
+
+        async with LossyTransport(host, port, spec) as lossy:
+            packets = await client.fetch(*lossy.address, "clip", 0.1)
+
+    The relay parses the server→client byte stream into wire records so
+    faults land on record boundaries (a dropped record, not a dropped TCP
+    segment), keeping every failure mode the codec can actually name.
+    """
+
+    def __init__(
+        self,
+        upstream_host: str,
+        upstream_port: int,
+        spec: FaultSpec = FaultSpec(),
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.upstream_host = upstream_host
+        self.upstream_port = upstream_port
+        self.spec = spec
+        self.host = host
+        self._port = port
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._rng = random.Random(spec.seed)
+        self._faults_injected = 0
+        self._faults_counter = telemetry_registry().counter(
+            "repro_net_faults_injected_total",
+            help="Faults injected by LossyTransport relays.",
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> Tuple[str, int]:
+        """``(host, port)`` clients should connect to."""
+        if self._server is None:
+            raise RuntimeError("transport is not started")
+        return self.host, self._port
+
+    @property
+    def faults_injected(self) -> int:
+        """Total faults injected so far (drops + corruptions + truncations)."""
+        return self._faults_injected
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind the relay socket; returns the client-facing address."""
+        self._server = await asyncio.start_server(
+            self._handle, host=self.host, port=self._port
+        )
+        self._port = self._server.sockets[0].getsockname()[1]
+        return self.address
+
+    async def close(self) -> None:
+        """Stop accepting and tear the relay down."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def __aenter__(self) -> "LossyTransport":
+        """Start the relay on ``async with`` entry."""
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        """Close the relay on ``async with`` exit."""
+        await self.close()
+
+    # ------------------------------------------------------------------
+    def _take_fault(self, rate: float) -> bool:
+        """Decide one fault, honoring the ``max_faults`` budget."""
+        budget = self.spec.max_faults
+        if budget is not None and self._faults_injected >= budget:
+            return False
+        if self._rng.random() >= rate:
+            return False
+        self._faults_injected += 1
+        self._faults_counter.inc()
+        return True
+
+    async def _delay(self, nbytes: int) -> None:
+        delay = self.spec.delay_s + self.spec.delay_per_byte_s * nbytes
+        if delay > 0:
+            await asyncio.sleep(delay)
+
+    async def _pump_client_to_server(self, reader, writer) -> None:
+        """Forward client bytes upstream verbatim."""
+        try:
+            while True:
+                data = await reader.read(65536)
+                if not data:
+                    break
+                writer.write(data)
+                await writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            try:
+                writer.write_eof()
+            except (ConnectionError, OSError, RuntimeError):
+                pass
+
+    async def _pump_server_to_client(self, reader, writer) -> bool:
+        """Forward server records with faults; returns False on truncation."""
+        while True:
+            header = await reader.read(WIRE_HEADER_BYTES)
+            if not header:
+                return True
+            while len(header) < WIRE_HEADER_BYTES:
+                more = await reader.read(WIRE_HEADER_BYTES - len(header))
+                if not more:  # upstream died mid-header; pass it through
+                    writer.write(header)
+                    await writer.drain()
+                    return True
+                header += more
+            head = _parse_header(header)
+            body = await reader.readexactly(head.body_len)
+            record = header + body
+            await self._delay(len(record))
+            if self._take_fault(self.spec.drop_rate):
+                continue
+            if self._take_fault(self.spec.corrupt_rate):
+                mutable = bytearray(record)
+                pos = self._rng.randrange(WIRE_HEADER_BYTES, len(record)) \
+                    if head.body_len else self._rng.randrange(len(record))
+                mutable[pos] ^= 0xFF
+                record = bytes(mutable)
+            if self._take_fault(self.spec.truncate_rate):
+                cut = self._rng.randrange(1, len(record))
+                writer.write(record[:cut])
+                await writer.drain()
+                return False
+            writer.write(record)
+            await writer.drain()
+
+    async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        try:
+            up_reader, up_writer = await asyncio.open_connection(
+                self.upstream_host, self.upstream_port
+            )
+        except OSError:
+            writer.close()
+            return
+        uplink = asyncio.ensure_future(
+            self._pump_client_to_server(reader, up_writer)
+        )
+        try:
+            await self._pump_server_to_client(up_reader, writer)
+        except (ConnectionError, asyncio.IncompleteReadError, OSError, ValueError):
+            pass  # upstream vanished or emitted garbage; drop the session
+        finally:
+            uplink.cancel()
+            try:
+                await uplink
+            except (asyncio.CancelledError, Exception):
+                pass
+            for w in (writer, up_writer):
+                try:
+                    w.close()
+                except Exception:
+                    pass
+            try:
+                await writer.wait_closed()
+            except Exception:
+                pass

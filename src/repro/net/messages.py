@@ -1,0 +1,154 @@
+"""Control-packet vocabulary for on-the-wire session negotiation.
+
+The in-process model negotiates with Python objects
+(:class:`~repro.streaming.session.SessionRequest` →
+:class:`~repro.streaming.session.SessionDescription`); on a socket those
+travel as CONTROL packets whose body is a compact JSON object with a
+``kind`` tag:
+
+* ``hello``   — client → server: clip name, requested quality, device.
+* ``session`` — server → client: the accepted session description.
+* ``end``     — server → client: stream complete; carries the emitted
+  packet/frame counts so the client can verify nothing was dropped.
+* ``error``   — server → client: negotiation or serving failure.
+
+JSON keeps the control plane debuggable (``tcpdump`` shows readable
+records); the data plane — annotation tracks and pixels — stays binary.
+Malformed control bodies raise
+:class:`~repro.net.codec.WireFormatError`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Optional
+
+from ..streaming.packets import MediaPacket, PacketType, control_packet
+from ..streaming.session import (
+    ClientCapabilities,
+    NegotiationError,
+    SessionDescription,
+    SessionRequest,
+)
+from .codec import WireFormatError
+
+
+@dataclass(frozen=True)
+class HelloInfo:
+    """Decoded ``hello`` message: what the client asked for."""
+
+    clip_name: str
+    quality: float
+    device_name: str
+
+    def to_request(self) -> SessionRequest:
+        """Rebuild the in-process session request (validates the device)."""
+        return SessionRequest(
+            clip_name=self.clip_name,
+            quality=self.quality,
+            capabilities=ClientCapabilities(device_name=self.device_name),
+        )
+
+
+@dataclass(frozen=True)
+class EndInfo:
+    """Decoded ``end`` message: the server's emitted-stream totals."""
+
+    packet_count: int
+    frame_count: int
+
+
+@dataclass(frozen=True)
+class ControlMessage:
+    """One decoded control packet; exactly one payload field is set."""
+
+    kind: str
+    hello: Optional[HelloInfo] = None
+    session: Optional[SessionDescription] = None
+    end: Optional[EndInfo] = None
+    error: Optional[str] = None
+
+
+def _dump(obj: dict) -> bytes:
+    return json.dumps(obj, separators=(",", ":"), sort_keys=True).encode("utf-8")
+
+
+def encode_hello(request: SessionRequest, seq: int = 0) -> MediaPacket:
+    """Build the client's opening control packet."""
+    return control_packet(seq, _dump({
+        "kind": "hello",
+        "clip": request.clip_name,
+        "quality": request.quality,
+        "device": request.capabilities.device_name,
+    }))
+
+
+def encode_session(session: SessionDescription, seq: int) -> MediaPacket:
+    """Build the server's accepted-session control packet."""
+    return control_packet(seq, _dump({
+        "kind": "session",
+        "session_id": session.session_id,
+        "clip": session.clip_name,
+        "quality": session.quality,
+        "device": session.device_name,
+        "fps": session.fps,
+        "frame_count": session.frame_count,
+    }))
+
+
+def encode_end(packet_count: int, frame_count: int, seq: int) -> MediaPacket:
+    """Build the server's end-of-stream control packet."""
+    return control_packet(seq, _dump({
+        "kind": "end",
+        "packet_count": packet_count,
+        "frame_count": frame_count,
+    }))
+
+
+def encode_error(message: str, seq: int) -> MediaPacket:
+    """Build the server's failure control packet."""
+    return control_packet(seq, _dump({"kind": "error", "message": message}))
+
+
+def decode_control(packet: MediaPacket) -> ControlMessage:
+    """Parse a CONTROL packet body into a :class:`ControlMessage`."""
+    if packet.ptype is not PacketType.CONTROL:
+        raise WireFormatError(f"expected a control packet, got {packet.ptype.value}")
+    try:
+        obj = json.loads(packet.payload.decode("utf-8"))
+        kind = obj["kind"]
+        if kind == "hello":
+            return ControlMessage(kind=kind, hello=HelloInfo(
+                clip_name=str(obj["clip"]),
+                quality=float(obj["quality"]),
+                device_name=str(obj["device"]),
+            ))
+        if kind == "session":
+            return ControlMessage(kind=kind, session=SessionDescription(
+                session_id=int(obj["session_id"]),
+                clip_name=str(obj["clip"]),
+                quality=float(obj["quality"]),
+                device_name=str(obj["device"]),
+                fps=float(obj["fps"]),
+                frame_count=int(obj["frame_count"]),
+            ))
+        if kind == "end":
+            return ControlMessage(kind=kind, end=EndInfo(
+                packet_count=int(obj["packet_count"]),
+                frame_count=int(obj["frame_count"]),
+            ))
+        if kind == "error":
+            return ControlMessage(kind=kind, error=str(obj["message"]))
+    except WireFormatError:
+        raise
+    except (ValueError, KeyError, TypeError, UnicodeDecodeError) as exc:
+        raise WireFormatError(f"malformed control body: {exc}") from exc
+    raise WireFormatError(f"unknown control message kind {kind!r}")
+
+
+def raise_for_error(message: ControlMessage) -> ControlMessage:
+    """Turn a server ``error`` message into a :class:`NegotiationError`."""
+    if message.kind == "error":
+        raise NegotiationError(f"server rejected the session: {message.error}")
+    return message

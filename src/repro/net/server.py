@@ -1,0 +1,321 @@
+"""`AnnotationStreamServer`: annotated streams over real asyncio TCP.
+
+Hosts many concurrent sessions on one ``asyncio.start_server`` socket.
+Each connection runs the wire protocol::
+
+    client                          server
+      | -- hello (control) ---------> |   negotiate via MediaServer
+      | <-------- session (control) - |
+      | <----- annotation record(s) - |   batched chunk emission
+      | <--------- frame records ---- |   (producer thread + queue)
+      | <------------ end (control) - |
+
+Packet production reuses :meth:`~repro.streaming.server.MediaServer.stream`
+— the chunked engine's batched compensation path — but runs it on a
+dedicated per-session thread so the event loop never blocks on numpy (and
+no shared executor caps how many sessions can stream at once).  Producer
+and socket are decoupled by a **bounded** per-session send queue: when a
+slow client (or a congested wireless hop) stops draining,
+``writer.drain()`` blocks the sender, the queue fills, and the producer
+thread parks on ``put`` — backpressure end to end, never unbounded
+buffering.  The async side never blocks a thread to read the queue: the
+producer nudges an :class:`asyncio.Event` through
+``loop.call_soon_threadsafe`` after each enqueue.  Disconnects cancel the
+session task, which signals and joins its producer cleanly.
+
+Telemetry: active-session gauge, per-session queue-depth histogram,
+records/bytes counters, disconnect counter, and a ``net.session`` span
+per connection.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import queue as queue_mod
+import threading
+from typing import Optional, Tuple
+
+from ..streaming.packets import MediaPacket, PacketType
+from ..streaming.server import MediaServer
+from ..streaming.session import NegotiationError
+from ..telemetry import registry as telemetry_registry, trace
+from .codec import WireFormatError, encode_packet, read_packet
+from .messages import decode_control, encode_end, encode_error, encode_session
+
+#: Sentinel closing a producer queue (normal completion).
+_DONE = object()
+
+#: Queue-depth histogram buckets (records waiting in a session queue).
+_QUEUE_BUCKETS = (0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
+
+
+class AnnotationStreamServer:
+    """Serve a :class:`~repro.streaming.server.MediaServer` catalog over TCP.
+
+    Parameters
+    ----------
+    media_server:
+        The catalog + annotation owner; one instance is shared by every
+        session (its caches make session 2..N cheap).
+    host / port:
+        Bind address; ``port=0`` picks a free port (see :attr:`address`).
+    queue_depth:
+        Bound of each session's send queue, in records.  Small values
+        couple the producer tightly to the socket; large values buffer
+        more chunks ahead.  Must be >= 1.
+    hello_timeout_s:
+        How long a fresh connection may take to present its hello before
+        the server hangs up (protects against idle sockets).
+    """
+
+    def __init__(
+        self,
+        media_server: MediaServer,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        queue_depth: int = 32,
+        hello_timeout_s: float = 10.0,
+    ):
+        if queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        if hello_timeout_s <= 0:
+            raise ValueError("hello_timeout_s must be positive")
+        self.media_server = media_server
+        self.host = host
+        self._port = port
+        self.queue_depth = queue_depth
+        self.hello_timeout_s = hello_timeout_s
+        self._server: Optional[asyncio.base_events.Server] = None
+        reg = telemetry_registry()
+        self._active_gauge = reg.gauge(
+            "repro_net_active_sessions", help="Wire sessions currently being served.",
+        )
+        self._queue_hist = reg.histogram(
+            "repro_net_send_queue_depth",
+            help="Send-queue depth sampled at each enqueue (records).",
+            buckets=_QUEUE_BUCKETS,
+        )
+        self._records_counter = reg.counter(
+            "repro_net_records_sent_total", help="Wire records written to clients.",
+        )
+        self._bytes_counter = reg.counter(
+            "repro_net_bytes_sent_total", help="Wire bytes written to clients.",
+        )
+        self._disconnects_counter = reg.counter(
+            "repro_net_disconnects_total",
+            help="Sessions that ended on a transport error or client hangup.",
+        )
+        self._rejects_counter = reg.counter(
+            "repro_net_rejected_sessions_total",
+            help="Connections rejected during negotiation.",
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def port(self) -> int:
+        """The bound port (resolved after :meth:`start` when ``port=0``)."""
+        if self._server is None:
+            raise RuntimeError("server is not started")
+        return self._port
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """``(host, port)`` clients should connect to."""
+        return self.host, self.port
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind the listening socket; returns the resolved address."""
+        if self._server is not None:
+            raise RuntimeError("server is already started")
+        self._server = await asyncio.start_server(
+            self._handle, host=self.host, port=self._port
+        )
+        self._port = self._server.sockets[0].getsockname()[1]
+        return self.address
+
+    async def close(self) -> None:
+        """Stop accepting connections and wait for the socket to close."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def serve_forever(self) -> None:
+        """Block serving sessions until cancelled (used by ``repro serve``)."""
+        if self._server is None:
+            await self.start()
+        await self._server.serve_forever()
+
+    async def __aenter__(self) -> "AnnotationStreamServer":
+        """Start on ``async with`` entry."""
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        """Close on ``async with`` exit."""
+        await self.close()
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _put(
+        out: "queue_mod.Queue",
+        item,
+        cancelled: threading.Event,
+        loop: asyncio.AbstractEventLoop,
+        wakeup: asyncio.Event,
+    ) -> bool:
+        """Bounded enqueue that gives up once the session is cancelled.
+
+        The short timeout makes the producer re-check ``cancelled`` while
+        parked on a full queue, so a dead connection never strands a
+        thread; a live slow connection just keeps it parked — that *is*
+        the backpressure.  Each successful enqueue nudges the session
+        task's ``wakeup`` event on the loop thread.
+        """
+        while not cancelled.is_set():
+            try:
+                out.put(item, timeout=0.1)
+            except queue_mod.Full:
+                continue
+            try:
+                loop.call_soon_threadsafe(wakeup.set)
+            except RuntimeError:
+                pass  # loop already closed; the session is gone anyway
+            return True
+        return False
+
+    @staticmethod
+    async def _take(out: "queue_mod.Queue", wakeup: asyncio.Event):
+        """Dequeue without blocking a thread: wait on the wakeup event.
+
+        The clear/re-check/wait dance closes the race where the producer
+        enqueues between our failed ``get_nowait`` and ``wakeup.clear``.
+        """
+        while True:
+            try:
+                return out.get_nowait()
+            except queue_mod.Empty:
+                wakeup.clear()
+            try:
+                return out.get_nowait()
+            except queue_mod.Empty:
+                await wakeup.wait()
+
+    def _produce(
+        self,
+        session,
+        out: "queue_mod.Queue",
+        cancelled: threading.Event,
+        loop: asyncio.AbstractEventLoop,
+        wakeup: asyncio.Event,
+    ) -> None:
+        """Producer thread: run the batched packet generator into the queue.
+
+        Enqueueing blocks when the queue is full (backpressure), so the
+        chunked compensation pass never runs further ahead of the socket
+        than ``queue_depth`` records.
+        """
+        packet_count = 0
+        frame_count = 0
+        try:
+            for packet in self.media_server.stream(session):
+                if not self._put(out, packet, cancelled, loop, wakeup):
+                    return
+                packet_count += 1
+                if packet.ptype is PacketType.FRAME:
+                    frame_count += 1
+            self._put(out, (_DONE, packet_count, frame_count), cancelled, loop, wakeup)
+        except Exception as exc:  # surfaced to the session task
+            self._put(out, exc, cancelled, loop, wakeup)
+
+    async def _send(self, writer: asyncio.StreamWriter, packet: MediaPacket) -> None:
+        header, body = encode_packet(packet)
+        writer.write(header)
+        if len(body):
+            writer.write(body)
+        await writer.drain()
+        self._records_counter.inc()
+        self._bytes_counter.inc(len(header) + len(body))
+
+    async def _negotiate(self, reader, writer):
+        """Read the hello and open a session; None when rejected."""
+        try:
+            first = await asyncio.wait_for(
+                read_packet(reader), timeout=self.hello_timeout_s
+            )
+        except asyncio.TimeoutError:
+            self._rejects_counter.inc()
+            return None
+        except WireFormatError as exc:
+            self._rejects_counter.inc()
+            with contextlib.suppress(ConnectionError, OSError):
+                await self._send(writer, encode_error(str(exc), seq=0))
+            return None
+        if first is None:
+            return None  # connected and left without asking anything
+        try:
+            message = decode_control(first)
+            if message.kind != "hello":
+                raise WireFormatError(f"expected hello, got {message.kind!r}")
+            request = message.hello.to_request()
+            return self.media_server.open_session(request)
+        except (WireFormatError, NegotiationError) as exc:
+            self._rejects_counter.inc()
+            with contextlib.suppress(ConnectionError, OSError):
+                await self._send(writer, encode_error(str(exc), seq=0))
+            return None
+
+    async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        self._active_gauge.inc()
+        out: "queue_mod.Queue" = queue_mod.Queue(maxsize=self.queue_depth)
+        cancelled = threading.Event()
+        wakeup = asyncio.Event()
+        producer: Optional[threading.Thread] = None
+        loop = asyncio.get_running_loop()
+        try:
+            with trace("net.session"):
+                session = await self._negotiate(reader, writer)
+                if session is None:
+                    return
+                await self._send(writer, encode_session(session, seq=0))
+                producer = threading.Thread(
+                    target=self._produce,
+                    args=(session, out, cancelled, loop, wakeup),
+                    name=f"net-session-{session.session_id}",
+                    daemon=True,
+                )
+                producer.start()
+                sent = 0
+                while True:
+                    self._queue_hist.observe(out.qsize())
+                    item = await self._take(out, wakeup)
+                    if isinstance(item, Exception):
+                        raise item
+                    if isinstance(item, tuple) and item[0] is _DONE:
+                        _, packet_count, frame_count = item
+                        await self._send(
+                            writer,
+                            encode_end(packet_count, frame_count, seq=sent + 1),
+                        )
+                        break
+                    await self._send(writer, item)
+                    sent += 1
+        except (ConnectionError, OSError):
+            self._disconnects_counter.inc()
+        except asyncio.CancelledError:
+            self._disconnects_counter.inc()
+            raise
+        finally:
+            cancelled.set()
+            if producer is not None:
+                # The producer re-checks ``cancelled`` within one 0.1 s
+                # put tick, so this join is bounded; run it off the loop
+                # thread is unnecessary for such a short wait.
+                with contextlib.suppress(asyncio.CancelledError):
+                    while producer.is_alive():
+                        await asyncio.sleep(0.02)
+            writer.close()
+            with contextlib.suppress(ConnectionError, OSError):
+                await writer.wait_closed()
+            self._active_gauge.dec()

@@ -15,7 +15,7 @@ from typing import Iterable, List, Sequence
 
 import numpy as np
 
-from .packets import MediaPacket
+from .packets import PACKET_HEADER_BYTES, MediaPacket
 
 
 @dataclass(frozen=True)
@@ -34,6 +34,8 @@ class Link:
 
     def transmit_time_s(self, size_bytes: int) -> float:
         """Serialization delay of a packet on this link."""
+        if size_bytes < 0:
+            raise ValueError("packet size must be non-negative")
         return size_bytes * 8.0 / self.bandwidth_bps
 
 
@@ -108,8 +110,24 @@ class NetworkPath:
             wireless_busy_s=wireless_busy,
         )
 
-    def sustainable_fps(self, frame_bytes: int) -> float:
-        """Frame rate the bottleneck hop can sustain for a frame size."""
-        if frame_bytes <= 0:
-            raise ValueError("frame size must be positive")
-        return self.bottleneck_bandwidth_bps() / (8.0 * frame_bytes)
+    def sustainable_fps(
+        self, frame_bytes: int, header_bytes: int = PACKET_HEADER_BYTES
+    ) -> float:
+        """Frame rate the bottleneck hop can sustain for a frame size.
+
+        Each frame travels as one packet, so the fixed per-packet header
+        is charged on top of the body — the same
+        :data:`~repro.streaming.packets.PACKET_HEADER_BYTES` that
+        :meth:`deliver` charges via ``MediaPacket.size_bytes`` and that
+        the wire codec's fixed record header occupies on a real socket.
+        ``frame_bytes=0`` is valid (a zero-payload control packet still
+        costs a header); a non-positive *total* is rejected.
+        """
+        if frame_bytes < 0:
+            raise ValueError("frame size must be non-negative")
+        if header_bytes < 0:
+            raise ValueError("header size must be non-negative")
+        total = frame_bytes + header_bytes
+        if total <= 0:
+            raise ValueError("packet must occupy at least one byte on the wire")
+        return self.bottleneck_bandwidth_bps() / (8.0 * total)

@@ -1,0 +1,1 @@
+"""Tests for the asyncio wire transport (:mod:`repro.net`)."""

@@ -1,0 +1,239 @@
+"""Property tests for the binary wire codec.
+
+Two invariants carry the whole transport:
+
+* **round trip** — ``decode(encode(p))`` reproduces every packet field
+  bit-identically, for all three packet types;
+* **no garbage in** — any truncated, corrupted or random byte string
+  raises :class:`~repro.net.codec.WireFormatError` (a
+  :class:`~repro.streaming.client.StreamProtocolError`), never a crash,
+  a hang or a silently wrong packet.
+"""
+
+import asyncio
+import struct
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.net.codec import (
+    MAX_BODY_BYTES,
+    WIRE_HEADER_BYTES,
+    WIRE_MAGIC,
+    WireFormatError,
+    decode_packet,
+    encode_packet,
+    encode_packet_bytes,
+    read_packet,
+    wire_size,
+)
+from repro.streaming import (
+    PACKET_HEADER_BYTES,
+    MediaPacket,
+    PacketType,
+    annotation_packet,
+    control_packet,
+    frame_packet,
+)
+from repro.streaming.client import StreamProtocolError
+from repro.video import Frame
+
+# -- strategies --------------------------------------------------------
+
+seqs = st.integers(0, 2**32 - 2)
+wire_hints = st.none() | st.integers(0, 2**32 - 2)
+
+
+@st.composite
+def frames(draw):
+    """A small random frame (geometry and pixels both fuzzed)."""
+    height = draw(st.integers(1, 16))
+    width = draw(st.integers(1, 16))
+    seed = draw(st.integers(0, 2**32 - 1))
+    pixels = np.random.default_rng(seed).integers(
+        0, 256, size=(height, width, 3), dtype=np.uint8
+    )
+    return Frame(pixels, index=draw(st.integers(0, 10_000)))
+
+
+@st.composite
+def packets(draw):
+    """Any of the three packet types with fuzzed fields."""
+    kind = draw(st.sampled_from(["control", "annotation", "frame"]))
+    seq = draw(seqs)
+    hint = draw(wire_hints)
+    if kind == "frame":
+        # The wire carries one index; frame.index == frame_index on the
+        # wire, exactly as MediaServer emits it.
+        frame = draw(frames())
+        return frame_packet(seq, frame, frame.index, wire_bytes=hint)
+    if kind == "annotation":
+        return MediaPacket(seq=seq, ptype=PacketType.ANNOTATION,
+                           payload=draw(st.binary(min_size=1, max_size=200)),
+                           wire_bytes=hint)
+    return MediaPacket(seq=seq, ptype=PacketType.CONTROL,
+                       payload=draw(st.binary(min_size=0, max_size=200)),
+                       wire_bytes=hint)
+
+
+def _assert_packets_equal(got: MediaPacket, ref: MediaPacket) -> None:
+    assert got.ptype is ref.ptype
+    assert got.seq == ref.seq
+    assert got.wire_bytes == ref.wire_bytes
+    if ref.ptype is PacketType.FRAME:
+        assert got.frame_index == ref.frame_index
+        assert got.frame.index == ref.frame.index
+        assert got.frame.pixels.dtype == np.uint8
+        assert np.array_equal(got.frame.pixels, ref.frame.pixels)
+    else:
+        assert got.payload == ref.payload
+
+
+# -- round trip --------------------------------------------------------
+
+class TestRoundTrip:
+    @settings(max_examples=120, deadline=None)
+    @given(packet=packets())
+    def test_encode_decode_bit_identity(self, packet):
+        _assert_packets_equal(decode_packet(encode_packet_bytes(packet)), packet)
+
+    @settings(max_examples=60, deadline=None)
+    @given(packet=packets())
+    def test_record_length_is_header_plus_body(self, packet):
+        encoded = encode_packet_bytes(packet)
+        header, body = encode_packet(packet)
+        assert len(header) == WIRE_HEADER_BYTES
+        assert len(encoded) == WIRE_HEADER_BYTES + len(body)
+        assert len(encoded) == wire_size(packet)
+
+    @settings(max_examples=60, deadline=None)
+    @given(packet=packets())
+    def test_wire_size_matches_model_charge(self, packet):
+        """The record occupies exactly what the network model charges
+        (unless ``wire_bytes`` models an encoded bitstream)."""
+        if packet.wire_bytes is None:
+            assert wire_size(packet) == packet.size_bytes
+
+    def test_header_parity_constant(self):
+        assert WIRE_HEADER_BYTES == PACKET_HEADER_BYTES == 32
+
+    def test_zero_payload_control_round_trips(self):
+        packet = control_packet(0, b"")
+        encoded = encode_packet_bytes(packet)
+        assert len(encoded) == WIRE_HEADER_BYTES
+        _assert_packets_equal(decode_packet(encoded), packet)
+
+    @settings(max_examples=40, deadline=None)
+    @given(packet=packets())
+    def test_async_reader_round_trips(self, packet):
+        async def run():
+            reader = asyncio.StreamReader()
+            reader.feed_data(encode_packet_bytes(packet))
+            reader.feed_eof()
+            got = await read_packet(reader)
+            assert await read_packet(reader) is None  # clean EOF after
+            return got
+
+        _assert_packets_equal(asyncio.run(run()), packet)
+
+    def test_async_reader_handles_back_to_back_records(self):
+        first = annotation_packet(0, b"track-bytes")
+        second = frame_packet(1, Frame.solid_gray(6, 4, 99), 0)
+
+        async def run():
+            reader = asyncio.StreamReader()
+            reader.feed_data(
+                encode_packet_bytes(first) + encode_packet_bytes(second)
+            )
+            reader.feed_eof()
+            return [await read_packet(reader), await read_packet(reader),
+                    await read_packet(reader)]
+
+        one, two, three = asyncio.run(run())
+        _assert_packets_equal(one, first)
+        _assert_packets_equal(two, second)
+        assert three is None
+
+
+# -- malformed input ---------------------------------------------------
+
+class TestMalformedInput:
+    @settings(max_examples=120, deadline=None)
+    @given(packet=packets(), data=st.data())
+    def test_any_truncation_raises(self, packet, data):
+        encoded = encode_packet_bytes(packet)
+        cut = data.draw(st.integers(0, len(encoded) - 1), label="cut")
+        with pytest.raises(WireFormatError):
+            decode_packet(encoded[:cut])
+
+    @settings(max_examples=120, deadline=None)
+    @given(packet=packets(), data=st.data())
+    def test_any_single_byte_corruption_raises(self, packet, data):
+        encoded = bytearray(encode_packet_bytes(packet))
+        pos = data.draw(st.integers(0, len(encoded) - 1), label="pos")
+        encoded[pos] ^= 0xFF
+        with pytest.raises(WireFormatError):
+            decode_packet(bytes(encoded))
+
+    @settings(max_examples=150, deadline=None)
+    @given(data=st.binary(min_size=0, max_size=300))
+    def test_random_garbage_raises(self, data):
+        # A random blob that happened to be a valid record would decode
+        # fine; it cannot (CRC32 + magic), but keep the test honest.
+        assume(not data.startswith(WIRE_MAGIC))
+        with pytest.raises(WireFormatError):
+            decode_packet(data)
+
+    def test_errors_are_stream_protocol_errors(self):
+        """The retry loop catches StreamProtocolError; codec errors must be."""
+        assert issubclass(WireFormatError, StreamProtocolError)
+        with pytest.raises(StreamProtocolError):
+            decode_packet(b"NOPE" + b"\x00" * 28)
+
+    def test_trailing_bytes_rejected(self):
+        encoded = encode_packet_bytes(annotation_packet(1, b"abc"))
+        with pytest.raises(WireFormatError):
+            decode_packet(encoded + b"x")
+
+    def test_huge_body_length_rejected_without_allocation(self):
+        header = bytearray(encode_packet_bytes(control_packet(0, b"")))
+        struct.pack_into("<I", header, 12, MAX_BODY_BYTES + 1)
+        with pytest.raises(WireFormatError):
+            decode_packet(bytes(header))
+
+    def test_frame_geometry_mismatch_rejected(self):
+        packet = frame_packet(0, Frame.solid_gray(4, 4, 10), 0)
+        header, body = encode_packet(packet)
+        header = bytearray(header)
+        struct.pack_into("<H", header, 20, 5)  # height lies about the body
+        with pytest.raises(WireFormatError):
+            decode_packet(bytes(header) + bytes(body))
+
+    def test_oversized_seq_rejected_at_encode(self):
+        with pytest.raises(WireFormatError):
+            encode_packet(control_packet(2**32 - 1, b""))
+
+    def test_oversized_wire_hint_rejected_at_encode(self):
+        with pytest.raises(WireFormatError):
+            encode_packet(
+                frame_packet(0, Frame.solid_gray(4, 4, 0), 0,
+                             wire_bytes=2**32 - 1)
+            )
+
+    @settings(max_examples=60, deadline=None)
+    @given(packet=packets(), data=st.data())
+    def test_async_reader_truncation_raises_not_hangs(self, packet, data):
+        encoded = encode_packet_bytes(packet)
+        cut = data.draw(st.integers(1, len(encoded) - 1), label="cut")
+
+        async def run():
+            reader = asyncio.StreamReader()
+            reader.feed_data(encoded[:cut])
+            reader.feed_eof()
+            # Bounded wait: a hang here is a test failure, not a stall.
+            return await asyncio.wait_for(read_packet(reader), timeout=5.0)
+
+        with pytest.raises(WireFormatError):
+            asyncio.run(run())

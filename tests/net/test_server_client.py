@@ -1,0 +1,352 @@
+"""AnnotationStreamServer + AsyncMobileClient over real sockets.
+
+Everything runs against ``127.0.0.1`` with OS-assigned ports inside
+``asyncio.run`` (no event-loop plugin needed).  The central claim: a
+stream fetched over TCP is bit-identical to the same session served
+in-process by :meth:`MediaServer.stream`.
+"""
+
+import asyncio
+import random
+
+import numpy as np
+import pytest
+
+from repro.core import ProfileCache, SchemeParameters
+from repro.net import (
+    AnnotationStreamServer,
+    AsyncMobileClient,
+    StreamFetchError,
+    encode_packet_bytes,
+)
+from repro.net.messages import decode_control, encode_end
+from repro.streaming import (
+    ClientCapabilities,
+    MediaServer,
+    PacketType,
+    SessionRequest,
+)
+from repro.streaming.session import NegotiationError
+from repro.telemetry import registry
+from repro.video import ArrayClip
+
+FAST_PARAMS = SchemeParameters(quality=0.05, min_scene_interval_frames=5)
+QUALITY = 0.05
+
+
+def _clip(name="wireclip", frames=24, height=16, width=12, seed=0):
+    pixels = np.random.default_rng(seed).integers(
+        0, 256, size=(frames, height, width, 3), dtype=np.uint8
+    )
+    return ArrayClip(pixels, fps=24.0, name=name)
+
+
+def _media_server(*clips):
+    server = MediaServer(
+        params=FAST_PARAMS, profile_cache=ProfileCache(max_entries=8)
+    )
+    for clip in clips:
+        server.add_clip(clip)
+    return server
+
+
+def _reference_packets(media, clip_name, quality=QUALITY):
+    request = SessionRequest(clip_name, quality, ClientCapabilities("ipaq5555"))
+    return list(media.stream(media.open_session(request)))
+
+
+def _client(device, **kwargs):
+    kwargs.setdefault("rng", random.Random(0))
+    kwargs.setdefault("backoff_base_s", 0.01)
+    kwargs.setdefault("backoff_max_s", 0.05)
+    kwargs.setdefault("jitter_s", 0.0)
+    return AsyncMobileClient(device, **kwargs)
+
+
+def _assert_streams_identical(fetched, reference):
+    assert len(fetched) == len(reference)
+    for got, ref in zip(fetched, reference):
+        assert got.ptype is ref.ptype
+        assert got.seq == ref.seq
+        if ref.ptype is PacketType.ANNOTATION:
+            assert got.payload == ref.payload
+        elif ref.ptype is PacketType.FRAME:
+            assert got.frame_index == ref.frame_index
+            assert got.wire_bytes == ref.wire_bytes
+            assert np.array_equal(got.frame.pixels, ref.frame.pixels)
+
+
+class TestFetch:
+    def test_wire_stream_bit_identical_to_in_process(self, device):
+        media = _media_server(_clip())
+        reference = _reference_packets(media, "wireclip")
+
+        async def run():
+            async with AnnotationStreamServer(media) as server:
+                return await _client(device).fetch(
+                    *server.address, "wireclip", QUALITY
+                )
+
+        fetched = asyncio.run(run())
+        assert fetched.attempts == 1
+        _assert_streams_identical(fetched.packets, reference)
+        assert fetched.frame_count == sum(
+            1 for p in reference if p.ptype is PacketType.FRAME
+        )
+
+    def test_session_description_travels_intact(self, device):
+        media = _media_server(_clip())
+
+        async def run():
+            async with AnnotationStreamServer(media) as server:
+                return await _client(device).fetch(
+                    *server.address, "wireclip", QUALITY
+                )
+
+        session = asyncio.run(run()).session
+        assert session.clip_name == "wireclip"
+        assert session.quality == pytest.approx(QUALITY)
+        assert session.device_name == "ipaq5555"
+        assert session.frame_count == 24
+        assert session.fps == pytest.approx(24.0)
+
+    def test_fetched_stream_plays_like_local_stream(self, device):
+        media = _media_server(_clip(frames=30))
+        reference = _reference_packets(media, "wireclip")
+
+        async def run():
+            async with AnnotationStreamServer(media) as server:
+                client = _client(device)
+                fetched = await client.fetch(*server.address, "wireclip", QUALITY)
+                return client, fetched
+
+        client, fetched = asyncio.run(run())
+        from repro.streaming.client import MobileClient
+
+        request = SessionRequest("wireclip", QUALITY, ClientCapabilities("ipaq5555"))
+        local = MobileClient(device).play_stream(
+            media.open_session(request), reference
+        )
+        wire = client.play(fetched)
+        assert wire.total_savings == pytest.approx(local.total_savings)
+
+    def test_concurrent_sessions_all_bit_identical(self, device):
+        clips = [_clip(name=f"clip{i}", seed=i) for i in range(4)]
+        media = _media_server(*clips)
+        references = {c.name: _reference_packets(media, c.name) for c in clips}
+
+        async def run():
+            async with AnnotationStreamServer(media) as server:
+                fetches = [
+                    _client(device).fetch(*server.address, c.name, QUALITY)
+                    for c in clips for _ in range(2)  # 8 concurrent sessions
+                ]
+                return await asyncio.gather(*fetches)
+
+        results = asyncio.run(run())
+        assert len(results) == 8
+        for result in results:
+            _assert_streams_identical(
+                result.packets, references[result.session.clip_name]
+            )
+        gauge = registry().get("repro_net_active_sessions")
+        assert gauge is not None and gauge.value == 0
+
+    def test_tiny_send_queue_still_bit_identical(self, device):
+        """queue_depth=1 exercises the producer parking on every record."""
+        media = _media_server(_clip())
+        reference = _reference_packets(media, "wireclip")
+
+        async def run():
+            async with AnnotationStreamServer(media, queue_depth=1) as server:
+                return await _client(device).fetch(
+                    *server.address, "wireclip", QUALITY
+                )
+
+        _assert_streams_identical(asyncio.run(run()).packets, reference)
+        hist = registry().get("repro_net_send_queue_depth")
+        assert hist is not None and hist.count > 0 and hist.max <= 1
+
+
+class TestNegotiation:
+    def test_unknown_clip_rejected_without_retry(self, device):
+        media = _media_server(_clip())
+
+        async def run():
+            async with AnnotationStreamServer(media) as server:
+                await _client(device).fetch(*server.address, "nosuch", QUALITY)
+
+        with pytest.raises(NegotiationError):
+            asyncio.run(run())
+        retries = registry().get("repro_net_client_retries_total")
+        assert retries is None or retries.value == 0
+        rejects = registry().get("repro_net_rejected_sessions_total")
+        assert rejects is not None and rejects.value == 1
+
+    def test_garbage_hello_answered_with_error_record(self, device):
+        media = _media_server(_clip())
+
+        async def run():
+            async with AnnotationStreamServer(media) as server:
+                reader, writer = await asyncio.open_connection(*server.address)
+                writer.write(b"\x00" * 64)  # not a wire record
+                await writer.drain()
+                from repro.net.codec import read_packet
+
+                packet = await asyncio.wait_for(read_packet(reader), timeout=5.0)
+                writer.close()
+                return packet
+
+        packet = asyncio.run(run())
+        message = decode_control(packet)
+        assert message.kind == "error"
+
+    def test_wrong_first_message_kind_rejected(self, device):
+        media = _media_server(_clip())
+
+        async def run():
+            async with AnnotationStreamServer(media) as server:
+                reader, writer = await asyncio.open_connection(*server.address)
+                # A structurally valid record, but not a hello.
+                writer.write(encode_packet_bytes(encode_end(1, 1, seq=0)))
+                await writer.drain()
+                from repro.net.codec import read_packet
+
+                packet = await asyncio.wait_for(read_packet(reader), timeout=5.0)
+                writer.close()
+                return packet
+
+        message = decode_control(asyncio.run(run()))
+        assert message.kind == "error"
+        assert "hello" in message.error
+
+    def test_idle_connection_reaped_by_hello_timeout(self, device):
+        media = _media_server(_clip())
+
+        async def run():
+            async with AnnotationStreamServer(
+                media, hello_timeout_s=0.2
+            ) as server:
+                reader, writer = await asyncio.open_connection(*server.address)
+                data = await asyncio.wait_for(reader.read(), timeout=5.0)
+                writer.close()
+                return data
+
+        assert asyncio.run(run()) == b""  # server hung up, sent nothing
+        rejects = registry().get("repro_net_rejected_sessions_total")
+        assert rejects is not None and rejects.value == 1
+
+
+class TestRobustness:
+    def test_connection_refused_exhausts_retries(self, device):
+        async def run():
+            # Bind-then-close guarantees a dead port.
+            server = await asyncio.start_server(
+                lambda r, w: None, host="127.0.0.1", port=0
+            )
+            port = server.sockets[0].getsockname()[1]
+            server.close()
+            await server.wait_closed()
+            client = _client(device, max_retries=2)
+            await client.fetch("127.0.0.1", port, "wireclip", QUALITY)
+
+        with pytest.raises(StreamFetchError):
+            asyncio.run(run())
+        retries = registry().get("repro_net_client_retries_total")
+        assert retries is not None and retries.value == 2
+
+    def test_abrupt_client_disconnect_cleans_up_server(self, device):
+        media = _media_server(_clip(frames=90, height=48, width=36))
+
+        async def run():
+            async with AnnotationStreamServer(media, queue_depth=2) as server:
+                client = _client(device)
+                request = client._player.request("wireclip", QUALITY)
+                from repro.net.messages import encode_hello
+
+                reader, writer = await asyncio.open_connection(*server.address)
+                writer.write(encode_packet_bytes(encode_hello(request)))
+                await writer.drain()
+                await reader.readexactly(32)  # session header arrives...
+                writer.transport.abort()  # ...then the client vanishes
+                # The session task must notice and tear down: gauge back
+                # to zero within a bounded wait.
+                gauge = registry().get("repro_net_active_sessions")
+                for _ in range(200):
+                    if gauge.value == 0:
+                        return True
+                    await asyncio.sleep(0.05)
+                return False
+
+        assert asyncio.run(run()), "session did not clean up after abort"
+        disconnects = registry().get("repro_net_disconnects_total")
+        assert disconnects is not None and disconnects.value >= 1
+
+    def test_server_survives_disconnect_and_serves_next_client(self, device):
+        media = _media_server(_clip())
+        reference = _reference_packets(media, "wireclip")
+
+        async def run():
+            async with AnnotationStreamServer(media) as server:
+                reader, writer = await asyncio.open_connection(*server.address)
+                writer.transport.abort()
+                return await _client(device).fetch(
+                    *server.address, "wireclip", QUALITY
+                )
+
+        _assert_streams_identical(asyncio.run(run()).packets, reference)
+
+
+class TestClientParameters:
+    def test_backoff_grows_and_caps(self, device):
+        client = AsyncMobileClient(
+            device, backoff_base_s=0.1, backoff_max_s=0.5, jitter_s=0.0
+        )
+        delays = [client.backoff_s(k) for k in range(6)]
+        assert delays[0] == pytest.approx(0.1)
+        assert delays == sorted(delays)
+        assert delays[-1] == pytest.approx(0.5)
+
+    def test_jitter_is_seedable(self, device):
+        a = AsyncMobileClient(device, rng=random.Random(7))
+        b = AsyncMobileClient(device, rng=random.Random(7))
+        assert [a.backoff_s(k) for k in range(4)] == [
+            b.backoff_s(k) for k in range(4)
+        ]
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"connect_timeout_s": 0},
+            {"read_timeout_s": -1},
+            {"max_retries": -1},
+            {"backoff_base_s": -0.1},
+            {"jitter_s": -0.1},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, device, kwargs):
+        with pytest.raises(ValueError):
+            AsyncMobileClient(device, **kwargs)
+
+
+class TestServerParameters:
+    def test_invalid_queue_depth_rejected(self):
+        with pytest.raises(ValueError):
+            AnnotationStreamServer(_media_server(_clip()), queue_depth=0)
+
+    def test_invalid_hello_timeout_rejected(self):
+        with pytest.raises(ValueError):
+            AnnotationStreamServer(_media_server(_clip()), hello_timeout_s=0)
+
+    def test_port_requires_started_server(self):
+        server = AnnotationStreamServer(_media_server(_clip()))
+        with pytest.raises(RuntimeError):
+            server.port
+
+    def test_double_start_rejected(self):
+        async def run():
+            async with AnnotationStreamServer(_media_server(_clip())) as server:
+                with pytest.raises(RuntimeError):
+                    await server.start()
+
+        asyncio.run(run())

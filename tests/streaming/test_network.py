@@ -101,12 +101,32 @@ class TestRadioDuty:
 class TestSustainability:
     def test_sustainable_fps(self):
         path = NetworkPath(hops=[Link("l", 8e6)])  # 1 MB/s
-        # 10 kB frames -> 100 fps.
-        assert path.sustainable_fps(10_000) == pytest.approx(100.0)
+        # 10 kB frames + the 32-byte packet header -> just under 100 fps.
+        assert path.sustainable_fps(10_000) == pytest.approx(1e6 / 10_032)
+        assert path.sustainable_fps(10_000, header_bytes=0) == pytest.approx(100.0)
+
+    def test_header_counted_like_delivery_schedule(self):
+        """sustainable_fps charges exactly what deliver() charges per packet."""
+        from repro.streaming import PACKET_HEADER_BYTES, frame_packet
+        from repro.video.frame import Frame
+
+        path = NetworkPath(hops=[Link("l", 8e6)])
+        frame = Frame.solid(12, 10, (40, 40, 40))
+        packet = frame_packet(0, frame, frame_index=0)
+        assert packet.size_bytes == frame.pixels.nbytes + PACKET_HEADER_BYTES
+        fps = path.sustainable_fps(frame.pixels.nbytes)
+        assert fps == pytest.approx(8e6 / (8.0 * packet.size_bytes))
+
+    def test_zero_payload_still_charged(self):
+        # A zero-payload control packet costs a header, never a free ride.
+        path = NetworkPath(hops=[Link("l", 8e6)])
+        assert path.sustainable_fps(0) == pytest.approx(1e6 / 32)
 
     def test_invalid_frame_size(self):
         with pytest.raises(ValueError):
-            NetworkPath().sustainable_fps(0)
+            NetworkPath().sustainable_fps(-1)
+        with pytest.raises(ValueError):
+            NetworkPath().sustainable_fps(0, header_bytes=0)
 
     def test_qvga_stream_sustainable_over_wlan(self):
         """Raw tiny-resolution frames fit 802.11b at 30 fps (sanity of the

@@ -1,0 +1,213 @@
+"""The `repro.api` facade: equivalence, engine defaults, deprecations.
+
+The facade is a thin routing layer — every service call must produce
+byte-identical results to the scattered pre-facade spellings it
+replaces, and those spellings must keep working behind a
+:class:`DeprecationWarning`.
+"""
+
+import asyncio
+import warnings
+
+import numpy as np
+import pytest
+
+import repro
+from repro import api
+from repro.core import EngineConfig, SchemeParameters
+from repro.core.pipeline import AnnotationPipeline, sweep_quality_levels
+from repro.streaming import (
+    ClientCapabilities,
+    MediaServer,
+    MobileClient,
+    PacketType,
+    SessionRequest,
+)
+
+
+@pytest.fixture(autouse=True)
+def _engine_default_isolation():
+    """Restore the process-wide engine default around every test."""
+    previous = api.default_engine()
+    yield
+    api.configure_engine(previous)
+
+
+class TestConfigureEngine:
+    def test_returns_previous_default(self):
+        assert api.configure_engine("perframe") is None
+        assert api.configure_engine("threads") == "perframe"
+        assert api.default_engine() == "threads"
+
+    def test_kind_refined_with_chunk_size(self):
+        api.configure_engine("chunked", chunk_size=7, max_workers=2)
+        engine = api.default_engine()
+        assert isinstance(engine, EngineConfig)
+        assert engine.kind == "chunked"
+        assert engine.chunk_size == 7
+        assert engine.max_workers == 2
+
+    def test_invalid_kind_rejected_eagerly(self):
+        with pytest.raises(ValueError):
+            api.configure_engine("warp-drive")
+        assert api.default_engine() is None
+
+    def test_services_pick_up_the_default(self):
+        api.configure_engine("perframe")
+        assert api.AnnotationService().engine == "perframe"
+        from repro.core.engine import resolve_engine
+
+        service = api.StreamingService()
+        assert resolve_engine(service.server.engine).kind == "perframe"
+
+    def test_explicit_engine_overrides_default(self):
+        api.configure_engine("perframe")
+        assert api.AnnotationService(engine="threads").engine == "threads"
+
+
+class TestAnnotationService:
+    def test_build_stream_matches_pipeline(self, tiny_clip, device, fast_params):
+        facade = api.AnnotationService(fast_params).build_stream(tiny_clip, device)
+        direct = AnnotationPipeline(fast_params).build_stream(tiny_clip, device)
+        assert facade.track.to_bytes() == direct.track.to_bytes()
+        assert facade.predicted_backlight_savings() == pytest.approx(
+            direct.predicted_backlight_savings()
+        )
+
+    def test_device_accepted_by_name(self, tiny_clip, device, fast_params):
+        service = api.AnnotationService(fast_params)
+        by_name = service.build_stream(tiny_clip, "ipaq5555")
+        by_profile = service.build_stream(tiny_clip, device)
+        assert by_name.track.to_bytes() == by_profile.track.to_bytes()
+
+    def test_annotate_quality_override(self, tiny_clip, fast_params):
+        service = api.AnnotationService(fast_params)
+        track = service.annotate(tiny_clip, quality=0.2)
+        direct = AnnotationPipeline(fast_params.with_quality(0.2)).annotate(
+            tiny_clip
+        )
+        assert track.to_bytes() == direct.to_bytes()
+
+    def test_annotate_for_device_binds(self, tiny_clip, device, fast_params):
+        bound = api.AnnotationService(fast_params).annotate_for_device(
+            tiny_clip, "ipaq5555"
+        )
+        assert bound.device_name == device.name
+
+    def test_profile_covers_clip(self, tiny_clip, fast_params):
+        profile = api.AnnotationService(fast_params).profile(tiny_clip)
+        assert profile.max_luminance_series().size == tiny_clip.frame_count
+
+    def test_sweep_matches_legacy_helper(self, tiny_clip, device, fast_params):
+        qualities = (0.05, 0.2)
+        facade = api.AnnotationService(fast_params).sweep(
+            tiny_clip, "ipaq5555", qualities
+        )
+        direct = sweep_quality_levels(
+            tiny_clip, device, qualities, params=fast_params
+        )
+        assert len(facade) == len(direct) == 2
+        for got, ref in zip(facade, direct):
+            assert got.track.to_bytes() == ref.track.to_bytes()
+
+
+class TestStreamingService:
+    def test_play_matches_manual_serving_path(self, tiny_clip, device, fast_params):
+        service = api.StreamingService(fast_params).add_clip(tiny_clip)
+        facade = service.play(tiny_clip.name, "ipaq5555", 0.05)
+
+        manual_server = MediaServer(params=fast_params)
+        manual_server.add_clip(tiny_clip)
+        client = MobileClient(device)
+        session = manual_server.open_session(client.request(tiny_clip.name, 0.05))
+        manual = client.play_stream(
+            session, list(manual_server.stream(session))
+        )
+        assert facade.total_savings == pytest.approx(manual.total_savings)
+        assert np.array_equal(facade.applied_levels, manual.applied_levels)
+
+    def test_catalog_and_chaining(self, tiny_clip, fast_params):
+        service = api.StreamingService(fast_params).add_clip(tiny_clip)
+        assert service.catalog() == (tiny_clip.name,)
+
+    def test_open_session_and_stream(self, tiny_clip, fast_params):
+        service = api.StreamingService(fast_params).add_clip(tiny_clip)
+        session = service.open_session(tiny_clip.name, "ipaq5555", 0.05)
+        packets = service.stream(session)
+        frames = [p for p in packets if p.ptype is PacketType.FRAME]
+        assert len(frames) == tiny_clip.frame_count
+        assert packets[0].ptype is PacketType.ANNOTATION
+
+    def test_serve_and_fetch_round_trip(self, tiny_clip, device, fast_params):
+        service = api.StreamingService(fast_params).add_clip(tiny_clip)
+        reference = service.stream(
+            service.open_session(tiny_clip.name, "ipaq5555", 0.05)
+        )
+
+        async def run():
+            async with service.serve() as server:
+                return await service.fetch(
+                    *server.address, tiny_clip.name, 0.05, "ipaq5555"
+                )
+
+        fetched = asyncio.run(run())
+        assert fetched.attempts == 1
+        assert len(fetched.packets) == len(reference)
+        for got, ref in zip(fetched.packets, reference):
+            assert got.ptype is ref.ptype and got.seq == ref.seq
+            if ref.ptype is PacketType.FRAME:
+                assert np.array_equal(got.frame.pixels, ref.frame.pixels)
+
+    def test_archive_round_trip(self, tiny_clip, fast_params, tmp_path):
+        service = api.StreamingService(fast_params).add_clip(tiny_clip)
+        service.open_session(tiny_clip.name, "ipaq5555", 0.05)
+        path = tmp_path / "clip.npz"
+        service.export_archive(tiny_clip.name, path)
+        fresh = api.StreamingService(fast_params)
+        assert fresh.add_archive(path) == tiny_clip.name
+        assert fresh.catalog() == (tiny_clip.name,)
+
+
+class TestDeprecatedSpellings:
+    def test_top_level_aliases_warn_and_resolve(self):
+        from repro.streaming.server import MediaServer as canonical
+
+        with pytest.warns(DeprecationWarning, match="repro.api"):
+            alias = repro.MediaServer
+        assert alias is canonical
+
+    @pytest.mark.parametrize(
+        "name", ["MobileClient", "TranscodingProxy", "AnnotationPipeline",
+                 "sweep_quality_levels", "EngineConfig", "run_pipeline"]
+    )
+    def test_every_documented_alias_still_importable(self, name):
+        with pytest.warns(DeprecationWarning):
+            assert getattr(repro, name) is not None
+
+    def test_unknown_attribute_still_raises(self):
+        with pytest.raises(AttributeError):
+            repro.definitely_not_an_api
+
+    def test_deprecated_names_not_in_all(self):
+        for name in ("MediaServer", "AnnotationPipeline", "run_pipeline"):
+            assert name not in repro.__all__
+
+    def test_run_pipeline_warns_and_matches_facade(self, tiny_clip, fast_params):
+        from repro.core import run_pipeline
+
+        with pytest.warns(DeprecationWarning, match="AnnotationService"):
+            legacy = run_pipeline(
+                tiny_clip, "ipaq5555", quality=0.05, params=fast_params
+            )
+        facade = api.AnnotationService(fast_params.with_quality(0.05)).build_stream(
+            tiny_clip, "ipaq5555"
+        )
+        assert legacy.track.to_bytes() == facade.track.to_bytes()
+
+    def test_supported_surface_importable_without_warning(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            _ = repro.AnnotationService
+            _ = repro.StreamingService
+            _ = repro.configure_engine
+            _ = repro.api

@@ -20,6 +20,7 @@ PACKAGES = [
     "repro.player",
     "repro.baselines",
     "repro.telemetry",
+    "repro.net",
 ]
 
 
@@ -34,7 +35,7 @@ def _walk_modules():
                     continue
                 seen.append(importlib.import_module(f"{name}.{info.name}"))
     # top-level single modules
-    for name in ("repro.cli", "repro.viz", "repro.experiments"):
+    for name in ("repro.api", "repro.cli", "repro.viz", "repro.experiments"):
         seen.append(importlib.import_module(name))
     return seen
 

@@ -154,3 +154,78 @@ class TestReport:
         assert "Figure 9" in out
         assert "Figure 10" in out
         assert "headline" in out
+
+
+class TestServe:
+    def test_unknown_clip_rejected(self, capsys):
+        assert main(["serve", "nosferatu"]) == 2
+        assert "unknown clip" in capsys.readouterr().err
+
+    def test_serves_for_duration_then_exits(self, capsys):
+        assert main(["serve", "themovie", "--port", "0", "--scale", "0.05",
+                     "--duration", "0.3"]) == 0
+        out = capsys.readouterr().out
+        assert "serving 1 clip(s) on 127.0.0.1:" in out
+
+
+class TestFetch:
+    @staticmethod
+    def _serve_in_thread(service):
+        """Host a StreamingService on a daemon thread; yields (addr, stop)."""
+        import asyncio
+        import threading
+
+        ready = threading.Event()
+        stop = threading.Event()
+        box = {}
+
+        async def run():
+            async with service.serve() as srv:
+                box["address"] = srv.address
+                ready.set()
+                while not stop.is_set():
+                    await asyncio.sleep(0.02)
+
+        thread = threading.Thread(target=lambda: asyncio.run(run()), daemon=True)
+        thread.start()
+        assert ready.wait(10), "server thread did not come up"
+        return box["address"], stop, thread
+
+    def test_round_trip_against_live_server(self, capsys, tiny_clip, fast_params):
+        from repro.api import StreamingService
+
+        service = StreamingService(fast_params).add_clip(tiny_clip)
+        (host, port), stop, thread = self._serve_in_thread(service)
+        try:
+            assert main(["fetch", tiny_clip.name, "--host", host,
+                         "--port", str(port), "--quality", "0.05"]) == 0
+        finally:
+            stop.set()
+            thread.join(10)
+        out = capsys.readouterr().out
+        assert "fetched" in out
+        assert "total savings" in out
+        assert "attempt(s)" in out
+
+    def test_unknown_clip_is_negotiation_error(self, capsys, tiny_clip, fast_params):
+        from repro.api import StreamingService
+
+        service = StreamingService(fast_params).add_clip(tiny_clip)
+        (host, port), stop, thread = self._serve_in_thread(service)
+        try:
+            assert main(["fetch", "nosuch", "--host", host,
+                         "--port", str(port), "--retries", "0"]) == 1
+        finally:
+            stop.set()
+            thread.join(10)
+        assert "rejected" in capsys.readouterr().err
+
+    def test_dead_port_reports_error(self, capsys):
+        import socket
+
+        with socket.socket() as sock:
+            sock.bind(("127.0.0.1", 0))
+            port = sock.getsockname()[1]
+        assert main(["fetch", "themovie", "--port", str(port),
+                     "--retries", "0"]) == 1
+        assert "error" in capsys.readouterr().err
