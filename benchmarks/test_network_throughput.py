@@ -9,6 +9,9 @@ decode + CRC verification on the client side.
 
 Acceptance: every session is served completely (bit-counted frames) and
 every engine sustains at least real-time delivery for the whole fleet.
+A second timed run pushes the same fleet through a **capped** server
+(admission control with a wide accept queue) to price the resilience
+layer's slot bookkeeping; it must clear the same real-time floor.
 Results go to ``results/BENCH_network.json`` and
 ``results/network_throughput.txt``.
 """
@@ -56,8 +59,9 @@ def _make_server(clip, engine):
     return server
 
 
-async def _fetch_fleet(media, device, sessions):
-    async with AnnotationStreamServer(media, queue_depth=32) as server:
+async def _fetch_fleet(media, device, sessions, **server_kwargs):
+    server_kwargs.setdefault("queue_depth", 32)
+    async with AnnotationStreamServer(media, **server_kwargs) as server:
         clients = [AsyncMobileClient(device) for _ in range(sessions)]
         start = time.perf_counter()
         results = await asyncio.gather(*[
@@ -94,6 +98,29 @@ def test_network_throughput(report, workload, device):
     frames_per_sec = {k: frames_served[k] / s for k, s in seconds.items()}
     mbytes_per_sec = {k: wire_bytes[k] / seconds[k] / 1e6 for k in ENGINES}
 
+    # Admission-control path: the same fleet through a capped server.
+    # With an accept queue wide enough for everyone, over-cap sessions
+    # park for a slot instead of being shed, so completeness still holds
+    # on first attempts — this measures what the slot bookkeeping and
+    # bounded concurrency cost relative to the uncapped run above.
+    media = _make_server(clip, "chunked")
+    capped_results, capped_elapsed = asyncio.run(_fetch_fleet(
+        media, device, SESSIONS,
+        max_sessions=max(2, SESSIONS // 4),
+        accept_queue=SESSIONS,
+        accept_timeout_s=120.0,
+    ))
+    assert sum(r.frame_count for r in capped_results) == SESSIONS * n
+    assert all(r.attempts == 1 for r in capped_results)
+    admission = {
+        "max_sessions": max(2, SESSIONS // 4),
+        "accept_queue": SESSIONS,
+        "seconds": capped_elapsed,
+        "sessions_per_sec": SESSIONS / capped_elapsed,
+        "frames_per_sec": SESSIONS * n / capped_elapsed,
+        "slowdown_vs_uncapped": capped_elapsed / seconds["chunked"],
+    }
+
     payload = {
         "benchmark": "network_throughput",
         "clip": clip.name,
@@ -111,6 +138,7 @@ def test_network_throughput(report, workload, device):
             }
             for kind in ENGINES
         },
+        "admission": admission,
     }
     os.makedirs(RESULTS_DIR, exist_ok=True)
     json_path = os.path.join(RESULTS_DIR, "BENCH_network.json")
@@ -128,8 +156,21 @@ def test_network_throughput(report, workload, device):
             f"{kind:<12}{seconds[kind]:>10.3f}{sessions_per_sec[kind]:>12.2f}"
             f"{frames_per_sec[kind]:>11.0f}{mbytes_per_sec[kind]:>9.1f}"
         )
+    lines.append(
+        f"{'admission':<12}{capped_elapsed:>10.3f}"
+        f"{admission['sessions_per_sec']:>12.2f}"
+        f"{admission['frames_per_sec']:>11.0f}{'':>9} "
+        f"(cap {admission['max_sessions']}, "
+        f"{admission['slowdown_vs_uncapped']:.2f}x uncapped chunked)"
+    )
     lines.append(f"json -> {json_path}")
     report("network_throughput", lines)
+
+    # The capped run serves at most max_sessions streams at once, so it
+    # is necessarily slower end to end — but it must still beat the
+    # fleet-wide real-time floor, or admission control would be trading
+    # overload protection for missed deadlines.
+    assert admission["frames_per_sec"] >= SESSIONS * clip.fps, admission
 
     # Acceptance: the whole fleet streams faster than the clips play.
     # 8 sessions x 24 fps = 192 aggregate frames/sec is the real-time

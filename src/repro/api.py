@@ -56,6 +56,8 @@ __all__ = [
     "default_engine",
     "fetch_stream",
     "fetch_stream_sync",
+    "server_status",
+    "server_status_sync",
 ]
 
 #: Process-wide default engine, set by :func:`configure_engine`.
@@ -151,18 +153,31 @@ class AnnotationService:
     def annotate(
         self, clip: ClipBase, quality: Optional[float] = None
     ) -> AnnotationTrack:
-        """Produce the device-independent annotation track."""
+        """Produce the device-independent annotation track for ``clip``.
+
+        ``quality`` overrides the service's clipped-pixel budget for
+        this call; ``None`` keeps ``self.params.quality``.  Returns an
+        :class:`~repro.core.annotation.AnnotationTrack`.
+        """
         params = self.params if quality is None else self.params.with_quality(quality)
         return self._pipeline(params).annotate(clip)
 
     def annotate_for_device(
         self, clip: ClipBase, device, quality: Optional[float] = None
     ) -> DeviceAnnotationTrack:
-        """Annotate and bind to a device (object or registry name)."""
+        """Annotate ``clip`` and bind the track to ``device``.
+
+        ``device`` is a :class:`~repro.display.devices.DeviceProfile`
+        or a registry name; ``quality`` optionally overrides the
+        clipped-pixel budget.  Returns a
+        :class:`~repro.core.annotation.DeviceAnnotationTrack`.
+        """
         return self.annotate(clip, quality=quality).bind(_resolve_device(device))
 
     def build_stream(self, clip: ClipBase, device) -> AnnotatedStream:
-        """Annotate, bind and wrap a clip as a playable annotated stream."""
+        """Annotate ``clip``, bind it to ``device`` (object or registry
+        name) and wrap both as a playable
+        :class:`~repro.core.pipeline.AnnotatedStream`."""
         profile_device = _resolve_device(device)
         track = self.annotate(clip).bind(profile_device)
         return AnnotatedStream(clip=clip, track=track, device=profile_device)
@@ -173,7 +188,11 @@ class AnnotationService:
         device,
         qualities: Sequence[float] = QUALITY_LEVELS,
     ) -> List[AnnotatedStream]:
-        """Annotate one clip at several quality levels, sharing the profile."""
+        """Annotate ``clip`` for ``device`` at each quality level in
+        ``qualities`` (default: the paper's 0/5/10/15/20 % ladder),
+        profiling the pixels only once.  Returns one
+        :class:`~repro.core.pipeline.AnnotatedStream` per level.
+        """
         return sweep_quality_levels(
             clip,
             _resolve_device(device),
@@ -197,8 +216,24 @@ class StreamingService:
       :meth:`fetch` / :meth:`fetch_sync` pull a stream back through a
       retrying :class:`~repro.net.client.AsyncMobileClient`.
 
-    Parameters mirror :class:`~repro.streaming.server.MediaServer`;
-    ``engine=None`` uses the :func:`configure_engine` default.
+    Parameters
+    ----------
+    params:
+        Scheme parameters (quality level, scene thresholds) used when
+        annotating catalog content.
+    qualities:
+        The quality ladder offered during session negotiation.
+    dvfs_annotator:
+        Optional :class:`~repro.core.dvfs_annotation.DvfsAnnotator`; when
+        set, sessions also carry DVFS annotation packets.
+    codec:
+        Optional :class:`~repro.video.codec.CodecModel` providing
+        compressed wire sizes for frame packets.
+    engine:
+        Execution engine override; ``None`` uses the
+        :func:`configure_engine` default.
+    profile_cache:
+        Optional content-keyed profile cache shared across sessions.
     """
 
     def __init__(
@@ -226,11 +261,12 @@ class StreamingService:
         return self
 
     def add_archive(self, path) -> str:
-        """Load annotated content from disk; returns the clip name."""
+        """Load an annotated archive from ``path``; returns the clip name."""
         return self.server.add_archive(path)
 
     def export_archive(self, clip_name: str, path) -> None:
-        """Write a clip plus all prepared annotation variants to disk."""
+        """Write the clip named ``clip_name`` plus all prepared
+        annotation variants to ``path`` as an archive."""
         self.server.export_archive(clip_name, path)
 
     def catalog(self) -> Tuple[str, ...]:
@@ -239,7 +275,10 @@ class StreamingService:
 
     # -- in-process serving --------------------------------------------
     def open_session(self, clip_name: str, device, quality: float) -> SessionDescription:
-        """Negotiate a session for a clip/device/quality triple."""
+        """Negotiate a session: ``clip_name`` from the catalog, a
+        ``device`` (object or registry name) and a ``quality`` budget.
+        Returns the :class:`~repro.streaming.session.SessionDescription`.
+        """
         client = MobileClient(_resolve_device(device))
         return self.server.open_session(client.request(clip_name, quality))
 
@@ -255,7 +294,12 @@ class StreamingService:
         network: Optional[NetworkPath] = None,
         **playback_kwargs,
     ) -> PlaybackResult:
-        """End-to-end in-process run: negotiate, stream, deliver, play."""
+        """End-to-end in-process run: negotiate ``clip_name`` at
+        ``quality`` for ``device``, stream the packets, deliver them over
+        the optional ``network`` path model, and play them back
+        (``playback_kwargs`` forward to the playback engine).  Returns
+        the :class:`~repro.player.playback.PlaybackResult`.
+        """
         profile = _resolve_device(device)
         client = MobileClient(profile)
         session = self.server.open_session(client.request(clip_name, quality))
@@ -271,23 +315,62 @@ class StreamingService:
         host: str = "127.0.0.1",
         port: int = 0,
         queue_depth: int = 32,
+        max_sessions: Optional[int] = None,
+        accept_queue: int = 0,
+        resume_window_s: float = 60.0,
+        drain_timeout_s: float = 10.0,
     ):
         """Build an (unstarted) asyncio TCP server for this catalog.
 
         Use as ``async with service.serve() as srv:`` or call
         ``await srv.start()`` / ``await srv.serve_forever()``.
+
+        Parameters
+        ----------
+        host / port:
+            Bind address; ``port=0`` picks a free port.
+        queue_depth:
+            Per-session send-queue bound, in records (backpressure).
+        max_sessions:
+            Admission-control cap on concurrent sessions; ``None``
+            means uncapped.  Over-cap connections wait in a bounded
+            queue of ``accept_queue`` slots, then are shed with a
+            ``busy`` message.
+        accept_queue:
+            How many over-cap connections may wait for a slot.
+        resume_window_s:
+            How long a dropped session stays resumable via its token
+            (0 disables resume).
+        drain_timeout_s:
+            Default deadline for the server's graceful
+            :meth:`~repro.net.server.AnnotationStreamServer.drain`.
+
+        Returns
+        -------
+        :class:`~repro.net.server.AnnotationStreamServer`
+            The unstarted server bound to this catalog.
         """
         from .net.server import AnnotationStreamServer
 
         return AnnotationStreamServer(
-            self.server, host=host, port=port, queue_depth=queue_depth
+            self.server,
+            host=host,
+            port=port,
+            queue_depth=queue_depth,
+            max_sessions=max_sessions,
+            accept_queue=accept_queue,
+            resume_window_s=resume_window_s,
+            drain_timeout_s=drain_timeout_s,
         )
 
     async def fetch(
         self, host: str, port: int, clip_name: str, quality: float, device,
         **client_kwargs,
     ):
-        """Fetch one stream from a wire server (async, with retries)."""
+        """Fetch ``clip_name`` at ``quality`` for ``device`` from the wire
+        server at ``host``:``port`` (async, with retries);
+        ``client_kwargs`` forward to
+        :class:`~repro.net.client.AsyncMobileClient`."""
         return await fetch_stream(
             host, port, clip_name, quality, device, **client_kwargs
         )
@@ -296,7 +379,9 @@ class StreamingService:
         self, host: str, port: int, clip_name: str, quality: float, device,
         **client_kwargs,
     ):
-        """Blocking wrapper over :meth:`fetch` for sync callers."""
+        """Blocking wrapper over :meth:`fetch` for sync callers: same
+        ``host`` / ``port`` / ``clip_name`` / ``quality`` / ``device`` /
+        ``client_kwargs`` arguments and return value."""
         return fetch_stream_sync(
             host, port, clip_name, quality, device, **client_kwargs
         )
@@ -308,9 +393,12 @@ async def fetch_stream(
 ):
     """Fetch one annotated stream from any wire server (async, retries).
 
-    ``device`` is a profile object or registry name; ``client_kwargs``
-    forward to :class:`~repro.net.client.AsyncMobileClient` (timeouts,
-    retry policy).  Returns a :class:`~repro.net.client.FetchResult`.
+    Requests ``clip_name`` at the ``quality`` clipping budget from the
+    server at ``host``:``port``.  ``device`` is a profile object or
+    registry name; ``client_kwargs`` forward to
+    :class:`~repro.net.client.AsyncMobileClient` (timeouts, retry
+    policy, resume, circuit breaker).  Returns a
+    :class:`~repro.net.client.FetchResult`.
     """
     from .net.client import AsyncMobileClient
 
@@ -322,7 +410,39 @@ def fetch_stream_sync(
     host: str, port: int, clip_name: str, quality: float, device,
     **client_kwargs,
 ):
-    """Blocking wrapper over :func:`fetch_stream` for sync callers."""
+    """Blocking wrapper over :func:`fetch_stream` for sync callers.
+
+    Takes the same arguments as :func:`fetch_stream` — ``host``,
+    ``port``, ``clip_name``, ``quality``, ``device``, and any
+    ``client_kwargs`` — and returns the same
+    :class:`~repro.net.client.FetchResult`; raises whatever the
+    underlying fetch raises.
+    """
     return asyncio.run(
         fetch_stream(host, port, clip_name, quality, device, **client_kwargs)
     )
+
+
+async def server_status(host: str, port: int, timeout_s: float = 5.0):
+    """Probe a wire server's health/readiness (async).
+
+    ``host`` / ``port`` locate the server; ``timeout_s`` bounds connect
+    and read.  Returns a :class:`~repro.net.messages.StatusInfo` with
+    the server's state, accepting flag and session counts.  Health
+    probes bypass admission control, so this works against a saturated
+    or draining server.  Raises ``OSError`` / ``asyncio.TimeoutError``
+    when the server is unreachable.
+    """
+    from .net.client import fetch_status
+
+    return await fetch_status(host, port, timeout_s=timeout_s)
+
+
+def server_status_sync(host: str, port: int, timeout_s: float = 5.0):
+    """Blocking wrapper over :func:`server_status` for sync callers.
+
+    Same ``host`` / ``port`` / ``timeout_s`` arguments and
+    :class:`~repro.net.messages.StatusInfo` return value as
+    :func:`server_status`.
+    """
+    return asyncio.run(server_status(host, port, timeout_s=timeout_s))

@@ -7,8 +7,11 @@ Subcommands map to the library's main workflows, all routed through the
 * ``annotate``  — annotate one clip for a device and show (or save) the track;
 * ``savings``   — backlight + total-device savings for one clip;
 * ``sweep``     — the Figure 9 table (clips x quality levels);
-* ``serve``     — host library clips on an asyncio TCP stream server;
+* ``serve``     — host library clips on an asyncio TCP stream server
+  (admission control via ``--max-sessions``/``--accept-queue``, session
+  resume via ``--resume-window``, graceful drain via ``--drain-timeout``);
 * ``fetch``     — pull a stream from a running server and play it;
+* ``status``    — probe a running server's health/readiness;
 * ``calibrate`` — camera characterization of a device (Figures 7/8);
 * ``trace``     — Figure 6 sparklines for one clip;
 * ``telemetry`` — run a demo pipeline and dump the metrics registry.
@@ -196,17 +199,30 @@ def cmd_serve(args: argparse.Namespace) -> int:
         if name not in ALL_CLIP_NAMES:
             print(f"error: unknown clip {name!r}", file=sys.stderr)
             return 2
+    if args.max_sessions is not None and args.max_sessions < 1:
+        print("error: --max-sessions must be >= 1", file=sys.stderr)
+        return 2
     service = StreamingService(engine=args.engine)
     for name in names:
         service.add_clip(make_clip(name, duration_scale=args.scale))
 
     async def run() -> None:
-        async with service.serve(
-            host=args.host, port=args.port, queue_depth=args.queue_depth
-        ) as srv:
-            host, port = srv.address
-            print(f"serving {len(names)} clip(s) on {host}:{port} "
-                  f"(queue depth {args.queue_depth})", flush=True)
+        srv = service.serve(
+            host=args.host,
+            port=args.port,
+            queue_depth=args.queue_depth,
+            max_sessions=args.max_sessions,
+            accept_queue=args.accept_queue,
+            resume_window_s=args.resume_window,
+            drain_timeout_s=args.drain_timeout,
+        )
+        await srv.start()
+        host, port = srv.address
+        cap = args.max_sessions if args.max_sessions is not None else "unlimited"
+        print(f"serving {len(names)} clip(s) on {host}:{port} "
+              f"(queue depth {args.queue_depth}, max sessions {cap})",
+              flush=True)
+        try:
             if args.duration is not None:
                 try:
                     await asyncio.wait_for(srv.serve_forever(), timeout=args.duration)
@@ -214,12 +230,34 @@ def cmd_serve(args: argparse.Namespace) -> int:
                     pass
             else:
                 await srv.serve_forever()
+        finally:
+            completed = await srv.drain(args.drain_timeout)
+            print("drained cleanly" if completed
+                  else "drain deadline hit; stragglers cancelled", flush=True)
 
     try:
         asyncio.run(run())
     except KeyboardInterrupt:
         print("server stopped")
     return 0
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    """Probe a running server's health/readiness (/healthz over the wire)."""
+    from .api import server_status_sync
+
+    try:
+        status = server_status_sync(args.host, args.port, timeout_s=args.timeout)
+    except (OSError, asyncio.TimeoutError) as exc:
+        print(f"error: server unreachable: {exc}", file=sys.stderr)
+        return 1
+    cap = status.max_sessions if status.max_sessions is not None else "unlimited"
+    print(f"state             : {status.state}")
+    print(f"accepting         : {'yes' if status.accepting else 'no'}")
+    print(f"active sessions   : {status.active_sessions} (cap {cap})")
+    print(f"waiting sessions  : {status.waiting_sessions}")
+    print(f"resumable sessions: {status.resumable_sessions}")
+    return 0 if status.accepting else 1
 
 
 def cmd_fetch(args: argparse.Namespace) -> int:
@@ -343,6 +381,17 @@ def build_parser() -> argparse.ArgumentParser:
                    help="bind port (0 picks a free port)")
     p.add_argument("--queue-depth", type=int, default=32,
                    help="per-session send-queue bound, in records")
+    p.add_argument("--max-sessions", type=int, default=None,
+                   help="admission-control cap on concurrent sessions "
+                        "(default: unlimited)")
+    p.add_argument("--accept-queue", type=int, default=8,
+                   help="over-cap connections that may wait for a slot "
+                        "before being shed with BUSY")
+    p.add_argument("--drain-timeout", type=float, default=10.0,
+                   help="graceful-drain deadline on shutdown, in seconds")
+    p.add_argument("--resume-window", type=float, default=60.0,
+                   help="seconds a dropped session stays resumable "
+                        "(0 disables resume tokens)")
     p.add_argument("--duration", type=float, default=None,
                    help="serve for N seconds then exit (default: forever)")
     p.add_argument("--scale", type=float, default=0.5,
@@ -350,6 +399,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--engine", default=None, choices=ENGINE_KINDS,
                    help="execution engine for the profiling pass")
     p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser("status", help="probe a running server's health/readiness")
+    p.add_argument("--host", default="127.0.0.1", help="server address")
+    p.add_argument("--port", type=int, default=8765, help="server port")
+    p.add_argument("--timeout", type=float, default=5.0,
+                   help="probe connect/read timeout, in seconds")
+    p.set_defaults(fn=cmd_status)
 
     p = sub.add_parser("fetch", help="fetch a stream from a server and play it")
     p.add_argument("clip", help="clip name to request")

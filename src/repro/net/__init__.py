@@ -9,15 +9,20 @@ stream on an actual socket:
   with a fixed 32-byte header (the same ``PACKET_HEADER_BYTES`` the
   network model charges), CRC32 integrity, zero-copy frame payloads.
 * :mod:`repro.net.messages` — the control-packet vocabulary (hello /
-  session / end / error) used for session negotiation on the wire.
+  resume / session / end / busy / health / status / error) used for
+  session negotiation, load shedding and health probing on the wire.
 * :mod:`repro.net.server` — :class:`AnnotationStreamServer`: hosts many
   concurrent sessions over ``asyncio.start_server`` with per-session
-  bounded send queues (backpressure) and clean cancellation.
+  bounded send queues (backpressure), admission control with a bounded
+  accept queue and busy-shedding, token-based session resume, graceful
+  drain and clean cancellation.
 * :mod:`repro.net.client` — :class:`AsyncMobileClient`: timeouts,
-  exponential retry with jitter, protocol-error recovery.
+  exponential retry with jitter, protocol-error recovery,
+  reconnect-with-resume and an optional :class:`CircuitBreaker`.
 * :mod:`repro.net.fault` — :class:`LossyTransport`: a deterministic
-  fault-injecting TCP relay (delay / drop / truncate / corrupt),
-  parameterized from the :class:`~repro.streaming.network.Link` model.
+  fault-injecting TCP relay (delay / drop / truncate / corrupt /
+  connection-kill / stall), parameterized from the
+  :class:`~repro.streaming.network.Link` model.
 
 Everything is instrumented through :mod:`repro.telemetry`.
 """
@@ -34,18 +39,39 @@ from .codec import (
     wire_size,
 )
 from .messages import (
+    BusyInfo,
     ControlMessage,
     EndInfo,
     HelloInfo,
+    ResumeInfo,
+    StatusInfo,
     decode_control,
+    encode_busy,
     encode_end,
     encode_error,
+    encode_health,
     encode_hello,
+    encode_resume,
     encode_session,
+    encode_status,
 )
 from .fault import FaultSpec, LossyTransport
-from .server import AnnotationStreamServer
-from .client import AsyncMobileClient, FetchResult, StreamFetchError
+from .server import (
+    STATE_DRAINING,
+    STATE_READY,
+    STATE_STOPPED,
+    AnnotationStreamServer,
+)
+from .client import (
+    AsyncMobileClient,
+    CircuitBreaker,
+    CircuitOpenError,
+    FetchResult,
+    ServerBusyError,
+    StreamFetchError,
+    fetch_status,
+    fetch_status_sync,
+)
 
 __all__ = [
     "WIRE_HEADER_BYTES",
@@ -59,16 +85,31 @@ __all__ = [
     "wire_size",
     "ControlMessage",
     "HelloInfo",
+    "ResumeInfo",
     "EndInfo",
+    "BusyInfo",
+    "StatusInfo",
     "decode_control",
     "encode_hello",
+    "encode_resume",
     "encode_session",
     "encode_end",
+    "encode_busy",
+    "encode_health",
+    "encode_status",
     "encode_error",
     "FaultSpec",
     "LossyTransport",
     "AnnotationStreamServer",
+    "STATE_READY",
+    "STATE_DRAINING",
+    "STATE_STOPPED",
     "AsyncMobileClient",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "ServerBusyError",
     "FetchResult",
     "StreamFetchError",
+    "fetch_status",
+    "fetch_status_sync",
 ]

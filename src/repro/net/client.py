@@ -3,18 +3,27 @@
 The receive side of :mod:`repro.net`.  A fetch opens a TCP connection,
 sends the hello, reads the session description, then drains annotation
 and frame records until the server's ``end`` control message.  Every
-failure mode maps to a retry:
+failure mode maps to a recovery path:
 
 * connect/read **timeouts** (``connect_timeout_s`` / ``read_timeout_s``),
 * **transport errors** (reset, refused, mid-record close),
 * **protocol errors** (CRC mismatch, malformed records, missing frames,
-  wrong counts in ``end``).
+  wrong counts in ``end``),
+* **load shedding** — a server ``busy`` message makes the client honor
+  the carried retry-after hint before reconnecting,
+* **mid-stream drops** — when the server issued a resume token, the
+  retry loop becomes a *reconnect-with-resume* state machine: the next
+  attempt presents the token plus the count of records already received
+  and continues from that offset instead of starting over.  If the
+  server rejects the token (window expired, restart), the client falls
+  back to a fresh fetch.  Annotated streams are deterministic, so a
+  resumed stream is byte-identical to an uninterrupted one.
 
-Retries re-request the stream from scratch — annotated streams are
-idempotent, so a clean attempt fully supersedes a corrupted one — with
-exponential backoff plus jitter (seedable for deterministic tests).
-Negotiation rejections (unknown clip/device) are *not* retried: the
-server answered authoritatively.
+Attempts back off exponentially with jitter (seedable for deterministic
+tests).  An optional :class:`CircuitBreaker` trips after a configurable
+run of consecutive failures, failing fast for a cooldown period instead
+of hammering a dead server.  Negotiation rejections (unknown
+clip/device) are *not* retried: the server answered authoritatively.
 
 Playback is unchanged from the in-process path: the fetched packets feed
 :meth:`~repro.streaming.client.MobileClient.play_stream`, so everything
@@ -26,8 +35,9 @@ from __future__ import annotations
 
 import asyncio
 import random
-from dataclasses import dataclass
-from typing import List, Optional
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
 
 from ..display.devices import DeviceProfile
 from ..player.playback import PlaybackResult
@@ -36,11 +46,104 @@ from ..streaming.packets import MediaPacket, PacketType
 from ..streaming.session import NegotiationError, SessionDescription
 from ..telemetry import registry as telemetry_registry, trace
 from .codec import WireFormatError, encode_packet_bytes, read_packet
-from .messages import decode_control, encode_hello, raise_for_error
+from .messages import (
+    StatusInfo,
+    decode_control,
+    encode_health,
+    encode_hello,
+    encode_resume,
+    raise_for_error,
+)
 
 
 class StreamFetchError(ConnectionError):
     """A fetch ran out of retries; carries the last underlying failure."""
+
+
+class ServerBusyError(ConnectionError):
+    """The server shed the connection with a busy message.
+
+    ``retry_after_s`` is the server's minimum-backoff hint; the retry
+    loop sleeps at least that long before reconnecting.
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 0.0):
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class CircuitOpenError(StreamFetchError):
+    """The circuit breaker is open: failing fast instead of connecting."""
+
+
+class CircuitBreaker:
+    """Trip after N consecutive failures, fail fast for a cooldown.
+
+    States follow the classic pattern: *closed* (attempts flow),
+    *open* (attempts raise :class:`CircuitOpenError` until
+    ``reset_after_s`` has elapsed), then *half-open* (one trial attempt
+    is allowed; success closes the circuit, failure re-opens it).
+
+    Parameters
+    ----------
+    failure_threshold:
+        Consecutive failures that trip the breaker.  Must be >= 1.
+    reset_after_s:
+        Cooldown before a trial attempt is allowed.
+    clock:
+        Monotonic time source; injectable for deterministic tests.
+
+    Raises
+    ------
+    ValueError
+        If ``failure_threshold`` < 1 or ``reset_after_s`` < 0.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_after_s: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if reset_after_s < 0:
+            raise ValueError("reset_after_s must be non-negative")
+        self.failure_threshold = failure_threshold
+        self.reset_after_s = reset_after_s
+        self._clock = clock
+        self._failures = 0
+        self._open_until: Optional[float] = None
+
+    @property
+    def consecutive_failures(self) -> int:
+        """Failures recorded since the last success."""
+        return self._failures
+
+    @property
+    def is_open(self) -> bool:
+        """True while attempts would fail fast (cooldown not elapsed)."""
+        return self._open_until is not None and self._clock() < self._open_until
+
+    def before_attempt(self) -> None:
+        """Gate an attempt: raises :class:`CircuitOpenError` while open."""
+        if self.is_open:
+            remaining = self._open_until - self._clock()
+            raise CircuitOpenError(
+                f"circuit breaker open after {self._failures} consecutive "
+                f"failures; retry allowed in {remaining:.2f}s"
+            )
+
+    def record_failure(self) -> None:
+        """Count a failed attempt; trips the breaker at the threshold."""
+        self._failures += 1
+        if self._failures >= self.failure_threshold:
+            self._open_until = self._clock() + self.reset_after_s
+
+    def record_success(self) -> None:
+        """Close the circuit and forget the failure run."""
+        self._failures = 0
+        self._open_until = None
 
 
 @dataclass(frozen=True)
@@ -51,16 +154,46 @@ class FetchResult:
     :meth:`~repro.streaming.server.MediaServer.stream` would have yielded
     it (annotation packets first, then frames in presentation order);
     control traffic is consumed by the protocol and not included.
+    ``attempts`` counts connections made and ``resumes`` how many of
+    them continued mid-stream via a resume token.
     """
 
     session: SessionDescription
     packets: List[MediaPacket]
     attempts: int
+    resumes: int = 0
 
     @property
     def frame_count(self) -> int:
         """Number of frame packets fetched."""
         return sum(1 for p in self.packets if p.ptype is PacketType.FRAME)
+
+
+@dataclass
+class _FetchProgress:
+    """Mutable reconnect state threaded through the retry loop."""
+
+    session: Optional[SessionDescription] = None
+    token: Optional[str] = None
+    packets: List[MediaPacket] = field(default_factory=list)
+    frames_seen: int = 0
+    resumes: int = 0
+
+    @property
+    def resumable(self) -> bool:
+        """Whether the next attempt can present a resume token."""
+        return self.token is not None and self.session is not None
+
+    def reset(self) -> None:
+        """Discard partial state; the next attempt starts fresh."""
+        self.session = None
+        self.token = None
+        self.packets = []
+        self.frames_seen = 0
+
+
+class _ResumeRejected(Exception):
+    """The server refused our resume token; retry from scratch."""
 
 
 class AsyncMobileClient:
@@ -82,6 +215,19 @@ class AsyncMobileClient:
     rng:
         Jitter source; pass a seeded :class:`random.Random` for
         deterministic schedules in tests.
+    resume:
+        When True (default), a mid-stream drop reconnects with the
+        server-issued resume token and continues from the last received
+        record instead of refetching from scratch.
+    circuit_breaker:
+        Optional :class:`CircuitBreaker` shared across fetches; when
+        open, :meth:`fetch` raises :class:`CircuitOpenError`
+        immediately.  ``None`` disables fail-fast behavior.
+
+    Raises
+    ------
+    ValueError
+        If any timeout/backoff parameter is out of range.
     """
 
     def __init__(
@@ -94,6 +240,8 @@ class AsyncMobileClient:
         backoff_max_s: float = 2.0,
         jitter_s: float = 0.05,
         rng: Optional[random.Random] = None,
+        resume: bool = True,
+        circuit_breaker: Optional[CircuitBreaker] = None,
     ):
         if connect_timeout_s <= 0 or read_timeout_s <= 0:
             raise ValueError("timeouts must be positive")
@@ -109,6 +257,8 @@ class AsyncMobileClient:
         self.backoff_max_s = backoff_max_s
         self.jitter_s = jitter_s
         self.rng = rng if rng is not None else random.Random()
+        self.resume = resume
+        self.circuit_breaker = circuit_breaker
         self._player = MobileClient(device)
         reg = telemetry_registry()
         self._retries_counter = reg.counter(
@@ -122,6 +272,18 @@ class AsyncMobileClient:
         self._fetches_counter = reg.counter(
             "repro_net_client_fetches_total", help="Streams fetched successfully.",
         )
+        self._resumes_counter = reg.counter(
+            "repro_net_client_resumes_total",
+            help="Reconnects that continued a stream via a resume token.",
+        )
+        self._busy_counter = reg.counter(
+            "repro_net_client_busy_total",
+            help="Connections shed by a busy server (client backed off).",
+        )
+        self._circuit_open_counter = reg.counter(
+            "repro_net_client_circuit_open_total",
+            help="Fetches failed fast because the circuit breaker was open.",
+        )
 
     # ------------------------------------------------------------------
     def backoff_s(self, attempt: int) -> float:
@@ -134,29 +296,75 @@ class AsyncMobileClient:
             read_packet(reader), timeout=self.read_timeout_s
         )
 
-    async def _fetch_once(
-        self, host: str, port: int, clip_name: str, quality: float
-    ) -> FetchResult:
+    async def _open_stream(self, host, port, clip_name, quality, progress):
+        """Connect and negotiate; returns (reader, writer) mid-protocol.
+
+        Presents a resume token when ``progress`` carries one, a fresh
+        hello otherwise.  Raises :class:`ServerBusyError` on load shed
+        and :class:`_ResumeRejected` when the server refuses the token.
+        """
+        resuming = self.resume and progress.resumable
         reader, writer = await asyncio.wait_for(
             asyncio.open_connection(host, port), timeout=self.connect_timeout_s
         )
         try:
-            request = self._player.request(clip_name, quality)
-            writer.write(encode_packet_bytes(encode_hello(request)))
+            if resuming:
+                opening = encode_resume(progress.token, len(progress.packets))
+            else:
+                progress.reset()
+                request = self._player.request(clip_name, quality)
+                opening = encode_hello(request)
+            writer.write(encode_packet_bytes(opening))
             await writer.drain()
 
             first = await self._read(reader)
             if first is None:
                 raise WireFormatError("server closed before answering the hello")
-            message = raise_for_error(decode_control(first))
+            message = decode_control(first)
+            if message.kind == "busy":
+                busy = message.busy
+                raise ServerBusyError(
+                    f"server busy ({busy.active_sessions} active"
+                    + (f" of {busy.max_sessions}" if busy.max_sessions else "")
+                    + f"); retry after {busy.retry_after_s:.2f}s",
+                    retry_after_s=busy.retry_after_s,
+                )
+            try:
+                message = raise_for_error(message)
+            except NegotiationError:
+                if resuming:
+                    raise _ResumeRejected() from None
+                raise
             if message.kind != "session":
                 raise WireFormatError(
                     f"expected a session message, got {message.kind!r}"
                 )
-            session = message.session
+            if resuming:
+                if message.resumed_at != len(progress.packets):
+                    raise WireFormatError(
+                        f"server resumed at {message.resumed_at}, client "
+                        f"holds {len(progress.packets)} records"
+                    )
+                progress.resumes += 1
+                self._resumes_counter.inc()
+            else:
+                progress.session = message.session
+                progress.token = message.token if self.resume else None
+            return reader, writer
+        except BaseException:
+            await self._close_writer(writer)
+            raise
 
-            packets: List[MediaPacket] = []
-            frames_seen = 0
+    async def _fetch_once(
+        self, host: str, port: int, clip_name: str, quality: float,
+        progress: _FetchProgress,
+    ) -> FetchResult:
+        """One connection's worth of fetching, continuing ``progress``."""
+        reader, writer = await self._open_stream(
+            host, port, clip_name, quality, progress
+        )
+        try:
+            packets = progress.packets
             while True:
                 packet = await self._read(reader)
                 if packet is None:
@@ -172,54 +380,104 @@ class AsyncMobileClient:
                             f"stream carried {len(packets)} records, server "
                             f"emitted {end.end.packet_count}"
                         )
-                    if frames_seen != end.end.frame_count:
+                    if progress.frames_seen != end.end.frame_count:
                         raise WireFormatError(
-                            f"stream carried {frames_seen} frames, server "
-                            f"emitted {end.end.frame_count}"
+                            f"stream carried {progress.frames_seen} frames, "
+                            f"server emitted {end.end.frame_count}"
                         )
                     break
                 if packet.ptype is PacketType.FRAME:
-                    if packet.frame_index != frames_seen:
+                    if packet.frame_index != progress.frames_seen:
                         raise WireFormatError(
                             f"frame {packet.frame_index} arrived, expected "
-                            f"{frames_seen} (record dropped in transit?)"
+                            f"{progress.frames_seen} (record dropped in transit?)"
                         )
-                    frames_seen += 1
-                elif frames_seen:
+                    progress.frames_seen += 1
+                elif progress.frames_seen:
                     raise WireFormatError("annotation record arrived after frames")
                 packets.append(packet)
-            return FetchResult(session=session, packets=packets, attempts=1)
+            return FetchResult(
+                session=progress.session,
+                packets=packets,
+                attempts=1,
+                resumes=progress.resumes,
+            )
         finally:
-            writer.close()
-            try:
-                await writer.wait_closed()
-            except (ConnectionError, OSError):
-                pass
+            await self._close_writer(writer)
+
+    @staticmethod
+    async def _close_writer(writer: asyncio.StreamWriter) -> None:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
 
     async def fetch(
         self, host: str, port: int, clip_name: str, quality: float
     ) -> FetchResult:
-        """Fetch one annotated stream, retrying on transient failures."""
+        """Fetch one annotated stream, retrying on transient failures.
+
+        Transport and protocol failures retry with exponential backoff;
+        a mid-stream drop resumes from the last received record when the
+        server issued a token; ``busy`` sheds honor the server's
+        retry-after hint.  Raises
+        :class:`~repro.streaming.session.NegotiationError` on
+        authoritative rejection, :class:`CircuitOpenError` when the
+        breaker is open, and :class:`StreamFetchError` after exhausting
+        ``max_retries``.
+        """
         last_error: Optional[BaseException] = None
+        progress = _FetchProgress()
+        breaker = self.circuit_breaker
         with trace("net.fetch"):
             for attempt in range(self.max_retries + 1):
                 if attempt:
                     self._retries_counter.inc()
-                    await asyncio.sleep(self.backoff_s(attempt - 1))
+                    delay = self.backoff_s(attempt - 1)
+                    if isinstance(last_error, ServerBusyError):
+                        delay = max(delay, last_error.retry_after_s)
+                    await asyncio.sleep(delay)
+                if breaker is not None:
+                    try:
+                        breaker.before_attempt()
+                    except CircuitOpenError:
+                        self._circuit_open_counter.inc()
+                        raise
                 try:
-                    result = await self._fetch_once(host, port, clip_name, quality)
+                    result = await self._fetch_once(
+                        host, port, clip_name, quality, progress
+                    )
                     self._fetches_counter.inc()
+                    if breaker is not None:
+                        breaker.record_success()
                     return FetchResult(
                         session=result.session,
                         packets=result.packets,
                         attempts=attempt + 1,
+                        resumes=result.resumes,
                     )
                 except NegotiationError:
                     raise  # authoritative rejection; retrying cannot help
+                except _ResumeRejected:
+                    # Token expired or the server restarted: start over.
+                    progress.reset()
+                    last_error = StreamProtocolError(
+                        "server refused the resume token; refetching"
+                    )
+                except ServerBusyError as exc:
+                    # Load shed, not a failure of the server: back off
+                    # without tripping the breaker.
+                    self._busy_counter.inc()
+                    last_error = exc
                 except (StreamProtocolError, asyncio.IncompleteReadError) as exc:
                     self._protocol_errors_counter.inc()
+                    if breaker is not None:
+                        breaker.record_failure()
                     last_error = exc
                 except (ConnectionError, OSError, asyncio.TimeoutError) as exc:
+                    if breaker is not None:
+                        breaker.record_failure()
                     last_error = exc
         raise StreamFetchError(
             f"fetch of {clip_name!r} failed after {self.max_retries + 1} "
@@ -243,3 +501,43 @@ class AsyncMobileClient:
         return await loop.run_in_executor(
             None, lambda: self.play(fetched, **playback_kwargs)
         )
+
+
+async def fetch_status(
+    host: str, port: int, timeout_s: float = 5.0
+) -> StatusInfo:
+    """Probe a server's ``/healthz``-style status over the wire.
+
+    Opens a connection, sends a ``health`` control message and returns
+    the decoded :class:`~repro.net.messages.StatusInfo` answer.  Health
+    probes bypass admission control, so this works against a saturated
+    or draining server.  Raises :class:`WireFormatError` on a malformed
+    answer and ``OSError`` / ``asyncio.TimeoutError`` when the server is
+    unreachable.
+    """
+    reader, writer = await asyncio.wait_for(
+        asyncio.open_connection(host, port), timeout=timeout_s
+    )
+    try:
+        writer.write(encode_packet_bytes(encode_health()))
+        await writer.drain()
+        packet = await asyncio.wait_for(read_packet(reader), timeout=timeout_s)
+        if packet is None:
+            raise WireFormatError("server closed before answering the probe")
+        message = raise_for_error(decode_control(packet))
+        if message.kind != "status":
+            raise WireFormatError(
+                f"expected a status message, got {message.kind!r}"
+            )
+        return message.status
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+def fetch_status_sync(host: str, port: int, timeout_s: float = 5.0) -> StatusInfo:
+    """Blocking wrapper over :func:`fetch_status` for sync callers."""
+    return asyncio.run(fetch_status(host, port, timeout_s=timeout_s))

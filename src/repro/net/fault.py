@@ -11,7 +11,13 @@ on its own port, forwards every connection to an upstream
   :class:`~repro.streaming.network.Link`);
 * **drop**     — swallow a whole record (the client sees a seq/frame gap);
 * **corrupt**  — flip one body byte (the client sees a CRC mismatch);
-* **truncate** — forward a partial record and close the connection.
+* **truncate** — forward a partial record and close the connection;
+* **kill**     — abort the connection at a record boundary (the client
+  sees a reset mid-stream and must reconnect — the scenario session
+  resume exists for).  ``kill_after_records`` kills deterministically
+  after exactly N forwarded records; ``kill_rate`` kills randomly;
+* **stall**    — stop forwarding for ``stall_s`` before a record (the
+  client's read timeout fires on a connection that is still "open").
 
 Faults draw from a seeded :class:`random.Random` and honor a
 ``max_faults`` budget, after which the relay becomes transparent — so a
@@ -37,28 +43,40 @@ class FaultSpec:
     """Per-record fault probabilities and delays for a lossy hop.
 
     Rates are independent probabilities evaluated per forwarded record
-    (drop, then corrupt, then truncate).  ``delay_s`` is a fixed
-    store-and-forward latency per record and ``delay_per_byte_s`` scales
-    with record size — :meth:`from_link` derives both from a link model.
-    ``max_faults`` bounds the total number of injected faults (delays not
-    counted); ``None`` means unbounded.
+    (kill, then stall, then drop, then corrupt, then truncate).
+    ``delay_s`` is a fixed store-and-forward latency per record and
+    ``delay_per_byte_s`` scales with record size — :meth:`from_link`
+    derives both from a link model.  ``kill_after_records`` aborts each
+    connection deterministically after exactly N forwarded records (the
+    reconnect-with-resume scenario); ``stall_s`` is how long a stall
+    fault freezes the relay.  ``max_faults`` bounds the total number of
+    injected faults (delays not counted); ``None`` means unbounded.
     """
 
     drop_rate: float = 0.0
     corrupt_rate: float = 0.0
     truncate_rate: float = 0.0
+    kill_rate: float = 0.0
+    stall_rate: float = 0.0
+    stall_s: float = 0.0
+    kill_after_records: Optional[int] = None
     delay_s: float = 0.0
     delay_per_byte_s: float = 0.0
     max_faults: Optional[int] = None
     seed: int = 0
 
     def __post_init__(self):
-        for name in ("drop_rate", "corrupt_rate", "truncate_rate"):
+        for name in ("drop_rate", "corrupt_rate", "truncate_rate",
+                     "kill_rate", "stall_rate"):
             rate = getattr(self, name)
             if not 0.0 <= rate <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1], got {rate}")
         if self.delay_s < 0 or self.delay_per_byte_s < 0:
             raise ValueError("delays must be non-negative")
+        if self.stall_s < 0:
+            raise ValueError("stall_s must be non-negative")
+        if self.kill_after_records is not None and self.kill_after_records < 0:
+            raise ValueError("kill_after_records must be non-negative")
         if self.max_faults is not None and self.max_faults < 0:
             raise ValueError("max_faults must be non-negative")
 
@@ -198,7 +216,9 @@ class LossyTransport:
                 pass
 
     async def _pump_server_to_client(self, reader, writer) -> bool:
-        """Forward server records with faults; returns False on truncation."""
+        """Forward server records with faults; returns False when the
+        relay cut the connection (truncation or kill)."""
+        forwarded = 0
         while True:
             header = await reader.read(WIRE_HEADER_BYTES)
             if not header:
@@ -214,6 +234,18 @@ class LossyTransport:
             body = await reader.readexactly(head.body_len)
             record = header + body
             await self._delay(len(record))
+            if (
+                self.spec.kill_after_records is not None
+                and forwarded >= self.spec.kill_after_records
+                and self._take_fault(1.0)
+            ):
+                writer.transport.abort()
+                return False
+            if self._take_fault(self.spec.kill_rate):
+                writer.transport.abort()
+                return False
+            if self._take_fault(self.spec.stall_rate):
+                await asyncio.sleep(self.spec.stall_s)
             if self._take_fault(self.spec.drop_rate):
                 continue
             if self._take_fault(self.spec.corrupt_rate):
@@ -229,6 +261,7 @@ class LossyTransport:
                 return False
             writer.write(record)
             await writer.drain()
+            forwarded += 1
 
     async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
         try:

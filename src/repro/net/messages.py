@@ -7,9 +7,20 @@ travel as CONTROL packets whose body is a compact JSON object with a
 ``kind`` tag:
 
 * ``hello``   — client → server: clip name, requested quality, device.
-* ``session`` — server → client: the accepted session description.
+* ``resume``  — client → server: a resume token plus how many data
+  records the client already holds; the server continues the stream
+  from that offset instead of starting over.
+* ``session`` — server → client: the accepted session description,
+  plus a resume token and (on resume) the offset being continued from.
 * ``end``     — server → client: stream complete; carries the emitted
   packet/frame counts so the client can verify nothing was dropped.
+* ``busy``    — server → client: load shed; the server is at its
+  session cap (or draining) and the client should back off for at
+  least ``retry_after_s`` before reconnecting.
+* ``health``  — client → server: a ``/healthz``-style probe; answered
+  with ``status`` and a close, bypassing admission control.
+* ``status``  — server → client: liveness/readiness snapshot (state,
+  accepting flag, active/waiting session counts, cap).
 * ``error``   — server → client: negotiation or serving failure.
 
 JSON keeps the control plane debuggable (``tcpdump`` shows readable
@@ -52,6 +63,19 @@ class HelloInfo:
 
 
 @dataclass(frozen=True)
+class ResumeInfo:
+    """Decoded ``resume`` message: where the client wants to continue.
+
+    ``received_packets`` is the number of *data* records (annotation +
+    frame) the client already holds from previous connections — the
+    implicit ack up to which the server may skip.
+    """
+
+    token: str
+    received_packets: int
+
+
+@dataclass(frozen=True)
 class EndInfo:
     """Decoded ``end`` message: the server's emitted-stream totals."""
 
@@ -60,14 +84,51 @@ class EndInfo:
 
 
 @dataclass(frozen=True)
+class BusyInfo:
+    """Decoded ``busy`` message: the server shed this connection.
+
+    ``retry_after_s`` is the server's backoff hint; ``active_sessions``
+    and ``max_sessions`` describe the load that triggered the shed
+    (``max_sessions`` is ``None`` when shedding was caused by a drain
+    rather than the cap).
+    """
+
+    retry_after_s: float
+    active_sessions: int
+    max_sessions: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class StatusInfo:
+    """Decoded ``status`` message: a server health/readiness snapshot."""
+
+    state: str
+    accepting: bool
+    active_sessions: int
+    waiting_sessions: int
+    max_sessions: Optional[int] = None
+    resumable_sessions: int = 0
+
+
+@dataclass(frozen=True)
 class ControlMessage:
-    """One decoded control packet; exactly one payload field is set."""
+    """One decoded control packet; exactly one payload field is set.
+
+    For ``session`` messages, ``token`` carries the server-issued resume
+    token and ``resumed_at`` the data-record offset the stream continues
+    from (0 for a fresh session).
+    """
 
     kind: str
     hello: Optional[HelloInfo] = None
     session: Optional[SessionDescription] = None
     end: Optional[EndInfo] = None
     error: Optional[str] = None
+    resume: Optional[ResumeInfo] = None
+    busy: Optional[BusyInfo] = None
+    status: Optional[StatusInfo] = None
+    token: Optional[str] = None
+    resumed_at: int = 0
 
 
 def _dump(obj: dict) -> bytes:
@@ -84,9 +145,35 @@ def encode_hello(request: SessionRequest, seq: int = 0) -> MediaPacket:
     }))
 
 
-def encode_session(session: SessionDescription, seq: int) -> MediaPacket:
-    """Build the server's accepted-session control packet."""
+def encode_resume(token: str, received_packets: int, seq: int = 0) -> MediaPacket:
+    """Build the client's reconnect-with-resume control packet.
+
+    ``token`` is the server-issued resume token from the original
+    session message; ``received_packets`` is how many data records the
+    client already holds (the server skips exactly that many).
+    """
+    if received_packets < 0:
+        raise ValueError("received_packets must be non-negative")
     return control_packet(seq, _dump({
+        "kind": "resume",
+        "token": token,
+        "received": received_packets,
+    }))
+
+
+def encode_session(
+    session: SessionDescription,
+    seq: int,
+    token: Optional[str] = None,
+    resumed_at: int = 0,
+) -> MediaPacket:
+    """Build the server's accepted-session control packet.
+
+    ``token`` (when the server supports resume) lets the client
+    reconnect after a drop; ``resumed_at`` tells a resuming client the
+    data-record offset the stream continues from.
+    """
+    body = {
         "kind": "session",
         "session_id": session.session_id,
         "clip": session.clip_name,
@@ -94,7 +181,12 @@ def encode_session(session: SessionDescription, seq: int) -> MediaPacket:
         "device": session.device_name,
         "fps": session.fps,
         "frame_count": session.frame_count,
-    }))
+    }
+    if token is not None:
+        body["token"] = token
+    if resumed_at:
+        body["resumed_at"] = resumed_at
+    return control_packet(seq, _dump(body))
 
 
 def encode_end(packet_count: int, frame_count: int, seq: int) -> MediaPacket:
@@ -103,6 +195,49 @@ def encode_end(packet_count: int, frame_count: int, seq: int) -> MediaPacket:
         "kind": "end",
         "packet_count": packet_count,
         "frame_count": frame_count,
+    }))
+
+
+def encode_busy(
+    retry_after_s: float,
+    active_sessions: int,
+    max_sessions: Optional[int] = None,
+    seq: int = 0,
+) -> MediaPacket:
+    """Build the server's load-shed (BUSY / RETRY_AFTER) control packet."""
+    if retry_after_s < 0:
+        raise ValueError("retry_after_s must be non-negative")
+    return control_packet(seq, _dump({
+        "kind": "busy",
+        "retry_after_s": retry_after_s,
+        "active": active_sessions,
+        "max": max_sessions,
+    }))
+
+
+def encode_health(seq: int = 0) -> MediaPacket:
+    """Build the client's ``/healthz``-style probe control packet."""
+    return control_packet(seq, _dump({"kind": "health"}))
+
+
+def encode_status(
+    state: str,
+    accepting: bool,
+    active_sessions: int,
+    waiting_sessions: int,
+    max_sessions: Optional[int] = None,
+    resumable_sessions: int = 0,
+    seq: int = 0,
+) -> MediaPacket:
+    """Build the server's health/readiness answer to a ``health`` probe."""
+    return control_packet(seq, _dump({
+        "kind": "status",
+        "state": state,
+        "accepting": bool(accepting),
+        "active": active_sessions,
+        "waiting": waiting_sessions,
+        "max": max_sessions,
+        "resumable": resumable_sessions,
     }))
 
 
@@ -124,14 +259,48 @@ def decode_control(packet: MediaPacket) -> ControlMessage:
                 quality=float(obj["quality"]),
                 device_name=str(obj["device"]),
             ))
+        if kind == "resume":
+            received = int(obj["received"])
+            if received < 0:
+                raise WireFormatError("resume with a negative received count")
+            return ControlMessage(kind=kind, resume=ResumeInfo(
+                token=str(obj["token"]),
+                received_packets=received,
+            ))
         if kind == "session":
-            return ControlMessage(kind=kind, session=SessionDescription(
-                session_id=int(obj["session_id"]),
-                clip_name=str(obj["clip"]),
-                quality=float(obj["quality"]),
-                device_name=str(obj["device"]),
-                fps=float(obj["fps"]),
-                frame_count=int(obj["frame_count"]),
+            resumed_at = int(obj.get("resumed_at", 0))
+            token = obj.get("token")
+            return ControlMessage(
+                kind=kind,
+                session=SessionDescription(
+                    session_id=int(obj["session_id"]),
+                    clip_name=str(obj["clip"]),
+                    quality=float(obj["quality"]),
+                    device_name=str(obj["device"]),
+                    fps=float(obj["fps"]),
+                    frame_count=int(obj["frame_count"]),
+                ),
+                token=None if token is None else str(token),
+                resumed_at=resumed_at,
+            )
+        if kind == "busy":
+            max_sessions = obj.get("max")
+            return ControlMessage(kind=kind, busy=BusyInfo(
+                retry_after_s=float(obj["retry_after_s"]),
+                active_sessions=int(obj["active"]),
+                max_sessions=None if max_sessions is None else int(max_sessions),
+            ))
+        if kind == "health":
+            return ControlMessage(kind=kind)
+        if kind == "status":
+            max_sessions = obj.get("max")
+            return ControlMessage(kind=kind, status=StatusInfo(
+                state=str(obj["state"]),
+                accepting=bool(obj["accepting"]),
+                active_sessions=int(obj["active"]),
+                waiting_sessions=int(obj["waiting"]),
+                max_sessions=None if max_sessions is None else int(max_sessions),
+                resumable_sessions=int(obj.get("resumable", 0)),
             ))
         if kind == "end":
             return ControlMessage(kind=kind, end=EndInfo(

@@ -4,8 +4,8 @@ Hosts many concurrent sessions on one ``asyncio.start_server`` socket.
 Each connection runs the wire protocol::
 
     client                          server
-      | -- hello (control) ---------> |   negotiate via MediaServer
-      | <-------- session (control) - |
+      | -- hello (control) ---------> |   admission control, then
+      | <-------- session (control) - |   negotiate via MediaServer
       | <----- annotation record(s) - |   batched chunk emission
       | <--------- frame records ---- |   (producer thread + queue)
       | <------------ end (control) - |
@@ -23,9 +23,29 @@ producer nudges an :class:`asyncio.Event` through
 ``loop.call_soon_threadsafe`` after each enqueue.  Disconnects cancel the
 session task, which signals and joins its producer cleanly.
 
-Telemetry: active-session gauge, per-session queue-depth histogram,
-records/bytes counters, disconnect counter, and a ``net.session`` span
-per connection.
+Operational resilience on top of the happy path:
+
+* **Admission control** — ``max_sessions`` caps concurrently served
+  streams.  Overflow connections wait in a bounded accept queue
+  (``accept_queue`` waiters, ``accept_timeout_s`` each); beyond that the
+  server *sheds load*: it answers the hello with a ``busy`` control
+  message carrying a retry-after hint and closes, instead of queueing
+  unboundedly and collapsing.
+* **Session resume** — every accepted session gets a resume token.  If
+  the connection drops mid-stream, the server remembers the session for
+  ``resume_window_s``; a client reconnecting with ``resume`` + the count
+  of data records it already holds continues from exactly that offset.
+  Streams are deterministic, so a resumed stream is bit-identical to an
+  uninterrupted one.
+* **Graceful drain** — :meth:`drain` flips the server to *draining*
+  (new hellos are shed with ``busy``), lets in-flight sessions finish
+  within a deadline, cancels stragglers, then closes the socket.
+  :meth:`healthz` and the ``health`` probe message expose
+  liveness/readiness without consuming an admission slot.
+
+Telemetry: active/waiting-session and readiness gauges, per-session
+queue-depth histogram, records/bytes counters, disconnect / shed /
+resumed counters, and a ``net.session`` span per connection.
 """
 
 from __future__ import annotations
@@ -33,21 +53,45 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import queue as queue_mod
+import secrets
 import threading
-from typing import Optional, Tuple
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set, Tuple
 
 from ..streaming.packets import MediaPacket, PacketType
 from ..streaming.server import MediaServer
-from ..streaming.session import NegotiationError
+from ..streaming.session import NegotiationError, SessionDescription
 from ..telemetry import registry as telemetry_registry, trace
 from .codec import WireFormatError, encode_packet, read_packet
-from .messages import decode_control, encode_end, encode_error, encode_session
+from .messages import (
+    decode_control,
+    encode_busy,
+    encode_end,
+    encode_error,
+    encode_session,
+    encode_status,
+)
 
 #: Sentinel closing a producer queue (normal completion).
 _DONE = object()
 
 #: Queue-depth histogram buckets (records waiting in a session queue).
 _QUEUE_BUCKETS = (0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
+
+#: Server lifecycle states reported by :meth:`AnnotationStreamServer.healthz`.
+STATE_READY = "ready"
+STATE_DRAINING = "draining"
+STATE_STOPPED = "stopped"
+
+
+@dataclass
+class _ResumeState:
+    """Server-side memory of an interrupted (or in-flight) session."""
+
+    session: SessionDescription
+    deadline: float
+    active: bool = field(default=False)
 
 
 class AnnotationStreamServer:
@@ -67,6 +111,28 @@ class AnnotationStreamServer:
     hello_timeout_s:
         How long a fresh connection may take to present its hello before
         the server hangs up (protects against idle sockets).
+    max_sessions:
+        Admission-control cap on concurrently *served* sessions.
+        ``None`` (the default) means uncapped — the pre-resilience
+        behavior.  Must be >= 1 when set.
+    accept_queue:
+        How many over-cap connections may wait for a slot before the
+        server starts shedding load with ``busy`` messages.  0 sheds
+        immediately at the cap.
+    accept_timeout_s:
+        How long a queued connection waits for a slot before being shed.
+    busy_retry_after_s:
+        The retry-after hint carried by ``busy`` messages.
+    resume_window_s:
+        How long after a disconnect a session stays resumable via its
+        token.  0 disables resume (no tokens are issued).
+    drain_timeout_s:
+        Default deadline for :meth:`drain`.
+
+    Raises
+    ------
+    ValueError
+        If any numeric parameter is out of range.
     """
 
     def __init__(
@@ -76,20 +142,62 @@ class AnnotationStreamServer:
         port: int = 0,
         queue_depth: int = 32,
         hello_timeout_s: float = 10.0,
+        max_sessions: Optional[int] = None,
+        accept_queue: int = 0,
+        accept_timeout_s: float = 5.0,
+        busy_retry_after_s: float = 0.25,
+        resume_window_s: float = 60.0,
+        drain_timeout_s: float = 10.0,
     ):
         if queue_depth < 1:
             raise ValueError("queue_depth must be >= 1")
         if hello_timeout_s <= 0:
             raise ValueError("hello_timeout_s must be positive")
+        if max_sessions is not None and max_sessions < 1:
+            raise ValueError("max_sessions must be >= 1 when set")
+        if accept_queue < 0:
+            raise ValueError("accept_queue must be non-negative")
+        if accept_timeout_s <= 0:
+            raise ValueError("accept_timeout_s must be positive")
+        if busy_retry_after_s < 0:
+            raise ValueError("busy_retry_after_s must be non-negative")
+        if resume_window_s < 0:
+            raise ValueError("resume_window_s must be non-negative")
+        if drain_timeout_s <= 0:
+            raise ValueError("drain_timeout_s must be positive")
         self.media_server = media_server
         self.host = host
         self._port = port
         self.queue_depth = queue_depth
         self.hello_timeout_s = hello_timeout_s
+        self.max_sessions = max_sessions
+        self.accept_queue = accept_queue
+        self.accept_timeout_s = accept_timeout_s
+        self.busy_retry_after_s = busy_retry_after_s
+        self.resume_window_s = resume_window_s
+        self.drain_timeout_s = drain_timeout_s
         self._server: Optional[asyncio.base_events.Server] = None
+        self._state = STATE_STOPPED
+        self._active_count = 0
+        self._waiting_count = 0
+        self._slot_available: Optional[asyncio.Condition] = None
+        self._tasks: Set["asyncio.Task"] = set()
+        self._resume_states: Dict[str, _ResumeState] = {}
         reg = telemetry_registry()
         self._active_gauge = reg.gauge(
             "repro_net_active_sessions", help="Wire sessions currently being served.",
+        )
+        self._waiting_gauge = reg.gauge(
+            "repro_net_waiting_sessions",
+            help="Connections parked in the admission accept queue.",
+        )
+        self._ready_gauge = reg.gauge(
+            "repro_net_server_ready",
+            help="1 while the server accepts new sessions, else 0.",
+        )
+        self._draining_gauge = reg.gauge(
+            "repro_net_server_draining",
+            help="1 while the server is draining in-flight sessions, else 0.",
         )
         self._queue_hist = reg.histogram(
             "repro_net_send_queue_depth",
@@ -110,6 +218,18 @@ class AnnotationStreamServer:
             "repro_net_rejected_sessions_total",
             help="Connections rejected during negotiation.",
         )
+        self._shed_counter = reg.counter(
+            "repro_net_shed_sessions_total",
+            help="Connections shed with a busy message (cap reached or draining).",
+        )
+        self._resumed_counter = reg.counter(
+            "repro_net_resumed_sessions_total",
+            help="Sessions continued from a resume token after a drop.",
+        )
+        self._health_counter = reg.counter(
+            "repro_net_health_probes_total",
+            help="health probes answered with a status message.",
+        )
 
     # ------------------------------------------------------------------
     @property
@@ -124,22 +244,99 @@ class AnnotationStreamServer:
         """``(host, port)`` clients should connect to."""
         return self.host, self.port
 
+    @property
+    def state(self) -> str:
+        """Lifecycle state: ``ready``, ``draining`` or ``stopped``."""
+        return self._state
+
+    @property
+    def active_sessions(self) -> int:
+        """Sessions currently holding an admission slot."""
+        return self._active_count
+
+    def healthz(self) -> dict:
+        """A ``/healthz``-style snapshot of liveness and readiness.
+
+        Returns a dict with ``state``, ``accepting`` (readiness),
+        ``active_sessions``, ``waiting_sessions``, ``max_sessions`` and
+        ``resumable_sessions`` — the same fields the wire ``status``
+        message carries, for in-process health checks.
+        """
+        self._purge_expired_tokens()
+        return {
+            "state": self._state,
+            "accepting": self._state == STATE_READY,
+            "active_sessions": self._active_count,
+            "waiting_sessions": self._waiting_count,
+            "max_sessions": self.max_sessions,
+            "resumable_sessions": sum(
+                1 for s in self._resume_states.values() if not s.active
+            ),
+        }
+
     async def start(self) -> Tuple[str, int]:
         """Bind the listening socket; returns the resolved address."""
         if self._server is not None:
             raise RuntimeError("server is already started")
+        self._slot_available = asyncio.Condition()
         self._server = await asyncio.start_server(
             self._handle, host=self.host, port=self._port
         )
         self._port = self._server.sockets[0].getsockname()[1]
+        self._state = STATE_READY
+        self._ready_gauge.set(1)
+        self._draining_gauge.set(0)
         return self.address
 
     async def close(self) -> None:
-        """Stop accepting connections and wait for the socket to close."""
+        """Stop accepting connections and wait for the socket to close.
+
+        A hard stop: in-flight session tasks are cancelled.  Use
+        :meth:`drain` first for a graceful shutdown.
+        """
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        for task in list(self._tasks):
+            task.cancel()
+        await self._wait_tasks()
+        self._state = STATE_STOPPED
+        self._ready_gauge.set(0)
+        self._draining_gauge.set(0)
+
+    async def drain(self, timeout_s: Optional[float] = None) -> bool:
+        """Gracefully shut down: stop admitting, finish in-flight sessions.
+
+        Flips the server to *draining* — new hellos are shed with
+        ``busy`` while health probes keep being answered — then waits up
+        to ``timeout_s`` (default ``drain_timeout_s``) for in-flight
+        sessions to complete.  Sessions still running at the deadline
+        are cancelled (their resume tokens survive for
+        ``resume_window_s``, so clients can resume against a restarted
+        server process holding the same state).  Finally closes the
+        listening socket.
+
+        Returns ``True`` when every session finished within the
+        deadline, ``False`` when stragglers had to be cancelled.
+        """
+        deadline = time.monotonic() + (
+            timeout_s if timeout_s is not None else self.drain_timeout_s
+        )
+        if self._state == STATE_READY:
+            self._state = STATE_DRAINING
+            self._ready_gauge.set(0)
+            self._draining_gauge.set(1)
+        # Wake queued waiters so they shed immediately instead of
+        # sitting out their accept timeout against a draining server.
+        if self._slot_available is not None:
+            async with self._slot_available:
+                self._slot_available.notify_all()
+        while self._tasks and time.monotonic() < deadline:
+            await asyncio.sleep(0.02)
+        completed = not self._tasks
+        await self.close()
+        return completed
 
     async def serve_forever(self) -> None:
         """Block serving sessions until cancelled (used by ``repro serve``)."""
@@ -155,6 +352,117 @@ class AnnotationStreamServer:
     async def __aexit__(self, *exc) -> None:
         """Close on ``async with`` exit."""
         await self.close()
+
+    # ------------------------------------------------------------------
+    # Admission control
+    # ------------------------------------------------------------------
+    async def _admit(self) -> bool:
+        """Try to claim an admission slot; False means shed with busy.
+
+        Uncapped servers admit unconditionally while ready.  At the cap,
+        up to ``accept_queue`` connections park on the slot condition for
+        ``accept_timeout_s``; everything beyond that is shed.
+        """
+        if self._state != STATE_READY:
+            return False
+        if self.max_sessions is None:
+            self._active_count += 1
+            return True
+        async with self._slot_available:
+            if self._active_count < self.max_sessions:
+                self._active_count += 1
+                return True
+            if self._waiting_count >= self.accept_queue:
+                return False
+            self._waiting_count += 1
+            self._waiting_gauge.inc()
+            deadline = time.monotonic() + self.accept_timeout_s
+            try:
+                while True:
+                    if self._state != STATE_READY:
+                        return False
+                    if self._active_count < self.max_sessions:
+                        self._active_count += 1
+                        return True
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                    try:
+                        await asyncio.wait_for(
+                            self._slot_available.wait(), timeout=remaining
+                        )
+                    except asyncio.TimeoutError:
+                        return False
+            finally:
+                self._waiting_count -= 1
+                self._waiting_gauge.dec()
+
+    async def _release_slot(self) -> None:
+        """Return an admission slot and wake one queued waiter."""
+        self._active_count -= 1
+        if self._slot_available is not None:
+            async with self._slot_available:
+                self._slot_available.notify()
+
+    # ------------------------------------------------------------------
+    # Resume registry
+    # ------------------------------------------------------------------
+    def _purge_expired_tokens(self) -> None:
+        now = time.monotonic()
+        expired = [
+            token
+            for token, state in self._resume_states.items()
+            if not state.active and state.deadline <= now
+        ]
+        for token in expired:
+            del self._resume_states[token]
+
+    def _register_token(self, session: SessionDescription) -> Optional[str]:
+        """Issue a resume token for a fresh session (None when disabled)."""
+        if self.resume_window_s <= 0:
+            return None
+        self._purge_expired_tokens()
+        token = secrets.token_hex(16)
+        self._resume_states[token] = _ResumeState(
+            session=session,
+            deadline=time.monotonic() + self.resume_window_s,
+            active=True,
+        )
+        return token
+
+    def _lookup_token(self, token: str) -> Optional[SessionDescription]:
+        """Resolve a resume token; None when unknown or expired.
+
+        A token whose previous connection is still tearing down is
+        *taken over* — newest connection wins.  A client often
+        reconnects before the server's old session task has noticed the
+        dead socket; rejecting the token for that window would downgrade
+        every prompt resume to a full refetch.  The old task streams
+        into a dead socket until its next write fails, which is
+        harmless: sessions are deterministic and share no mutable state.
+        """
+        self._purge_expired_tokens()
+        state = self._resume_states.get(token)
+        if state is None:
+            return None
+        state.active = True
+        state.deadline = time.monotonic() + self.resume_window_s
+        return state.session
+
+    def _token_disconnected(self, token: Optional[str]) -> None:
+        """Keep an ended session resumable for the resume window.
+
+        Deliberately also called after *clean* completion: under TCP,
+        "clean" only means every write was accepted by local buffers —
+        the peer may have vanished with the tail (end message included)
+        still in flight.  A client that reconnects with the token simply
+        has the missing records replayed; tokens age out of the registry
+        after ``resume_window_s`` either way.
+        """
+        state = self._resume_states.get(token) if token else None
+        if state is not None:
+            state.active = False
+            state.deadline = time.monotonic() + self.resume_window_s
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -209,19 +517,24 @@ class AnnotationStreamServer:
         cancelled: threading.Event,
         loop: asyncio.AbstractEventLoop,
         wakeup: asyncio.Event,
+        skip: int = 0,
     ) -> None:
         """Producer thread: run the batched packet generator into the queue.
 
         Enqueueing blocks when the queue is full (backpressure), so the
         chunked compensation pass never runs further ahead of the socket
-        than ``queue_depth`` records.
+        than ``queue_depth`` records.  ``skip`` suppresses emission of
+        the first N data records (resume: the client already holds
+        them) while still counting them, so the ``end`` totals always
+        describe the complete stream.
         """
         packet_count = 0
         frame_count = 0
         try:
             for packet in self.media_server.stream(session):
-                if not self._put(out, packet, cancelled, loop, wakeup):
-                    return
+                if packet_count >= skip:
+                    if not self._put(out, packet, cancelled, loop, wakeup):
+                        return
                 packet_count += 1
                 if packet.ptype is PacketType.FRAME:
                     frame_count += 1
@@ -238,8 +551,34 @@ class AnnotationStreamServer:
         self._records_counter.inc()
         self._bytes_counter.inc(len(header) + len(body))
 
-    async def _negotiate(self, reader, writer):
-        """Read the hello and open a session; None when rejected."""
+    async def _send_busy(self, writer: asyncio.StreamWriter) -> None:
+        """Shed the connection with a busy message (best effort)."""
+        self._shed_counter.inc()
+        with contextlib.suppress(ConnectionError, OSError):
+            await self._send(writer, encode_busy(
+                self.busy_retry_after_s,
+                self._active_count,
+                self.max_sessions,
+                seq=0,
+            ))
+
+    async def _send_status(self, writer: asyncio.StreamWriter) -> None:
+        """Answer a health probe with the current status snapshot."""
+        self._health_counter.inc()
+        health = self.healthz()
+        with contextlib.suppress(ConnectionError, OSError):
+            await self._send(writer, encode_status(
+                state=health["state"],
+                accepting=health["accepting"],
+                active_sessions=health["active_sessions"],
+                waiting_sessions=health["waiting_sessions"],
+                max_sessions=health["max_sessions"],
+                resumable_sessions=health["resumable_sessions"],
+                seq=0,
+            ))
+
+    async def _read_first(self, reader, writer):
+        """Read and decode the connection's opening control message."""
         try:
             first = await asyncio.wait_for(
                 read_packet(reader), timeout=self.hello_timeout_s
@@ -255,33 +594,93 @@ class AnnotationStreamServer:
         if first is None:
             return None  # connected and left without asking anything
         try:
-            message = decode_control(first)
-            if message.kind != "hello":
-                raise WireFormatError(f"expected hello, got {message.kind!r}")
-            request = message.hello.to_request()
-            return self.media_server.open_session(request)
-        except (WireFormatError, NegotiationError) as exc:
+            return decode_control(first)
+        except WireFormatError as exc:
             self._rejects_counter.inc()
             with contextlib.suppress(ConnectionError, OSError):
                 await self._send(writer, encode_error(str(exc), seq=0))
             return None
 
+    def _open_session(self, message):
+        """Resolve a hello or resume message into (session, token, skip).
+
+        Raises :class:`~repro.streaming.session.NegotiationError` when
+        the request cannot be served (bad clip/device, dead token).
+        """
+        if message.kind == "resume":
+            session = self._lookup_token(message.resume.token)
+            if session is None:
+                raise NegotiationError("unknown or expired resume token")
+            self._resumed_counter.inc()
+            return session, message.resume.token, message.resume.received_packets
+        request = message.hello.to_request()
+        session = self.media_server.open_session(request)
+        return session, self._register_token(session), 0
+
     async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._tasks.add(task)
+        try:
+            await self._handle_connection(reader, writer)
+        finally:
+            if task is not None:
+                self._tasks.discard(task)
+
+    async def _handle_connection(self, reader, writer) -> None:
+        message = await self._read_first(reader, writer)
+        if message is None:
+            await self._close_writer(writer)
+            return
+        if message.kind == "health":
+            await self._send_status(writer)
+            await self._close_writer(writer)
+            return
+        if message.kind not in ("hello", "resume"):
+            self._rejects_counter.inc()
+            with contextlib.suppress(ConnectionError, OSError):
+                await self._send(writer, encode_error(
+                    f"expected hello, resume or health, got {message.kind!r}",
+                    seq=0,
+                ))
+            await self._close_writer(writer)
+            return
+        if not await self._admit():
+            await self._send_busy(writer)
+            await self._close_writer(writer)
+            return
+        try:
+            await self._serve_session(message, reader, writer)
+        finally:
+            await self._release_slot()
+
+    async def _serve_session(self, message, reader, writer) -> None:
+        """Run one admitted session to completion (or disconnect)."""
         self._active_gauge.inc()
         out: "queue_mod.Queue" = queue_mod.Queue(maxsize=self.queue_depth)
         cancelled = threading.Event()
         wakeup = asyncio.Event()
         producer: Optional[threading.Thread] = None
         loop = asyncio.get_running_loop()
+        token: Optional[str] = None
+        clean = False
         try:
             with trace("net.session"):
-                session = await self._negotiate(reader, writer)
-                if session is None:
+                try:
+                    session, token, skip = self._open_session(message)
+                except (WireFormatError, NegotiationError) as exc:
+                    self._rejects_counter.inc()
+                    with contextlib.suppress(ConnectionError, OSError):
+                        await self._send(writer, encode_error(str(exc), seq=0))
+                    clean = True
                     return
-                await self._send(writer, encode_session(session, seq=0))
+                await self._send(
+                    writer,
+                    encode_session(session, seq=0, token=token, resumed_at=skip),
+                )
                 producer = threading.Thread(
                     target=self._produce,
-                    args=(session, out, cancelled, loop, wakeup),
+                    args=(session, out, cancelled, loop, wakeup, skip),
                     name=f"net-session-{session.session_id}",
                     daemon=True,
                 )
@@ -298,6 +697,7 @@ class AnnotationStreamServer:
                             writer,
                             encode_end(packet_count, frame_count, seq=sent + 1),
                         )
+                        clean = True
                         break
                     await self._send(writer, item)
                     sent += 1
@@ -307,15 +707,35 @@ class AnnotationStreamServer:
             self._disconnects_counter.inc()
             raise
         finally:
+            self._token_disconnected(token)
             cancelled.set()
             if producer is not None:
                 # The producer re-checks ``cancelled`` within one 0.1 s
-                # put tick, so this join is bounded; run it off the loop
-                # thread is unnecessary for such a short wait.
+                # put tick, so this join is bounded; running it off the
+                # loop thread is unnecessary for such a short wait.
                 with contextlib.suppress(asyncio.CancelledError):
                     while producer.is_alive():
                         await asyncio.sleep(0.02)
-            writer.close()
-            with contextlib.suppress(ConnectionError, OSError):
-                await writer.wait_closed()
+            if not clean and writer.transport is not None:
+                # A graceful close would wait to flush buffered records
+                # to a peer that is gone (or cancelled us by never
+                # reading); drop the buffer so the close is bounded.
+                writer.transport.abort()
+            await self._close_writer(writer)
             self._active_gauge.dec()
+
+    @staticmethod
+    async def _close_writer(writer: asyncio.StreamWriter) -> None:
+        writer.close()
+        try:
+            await asyncio.wait_for(writer.wait_closed(), timeout=5.0)
+        except (ConnectionError, OSError):
+            pass
+        except asyncio.TimeoutError:
+            if writer.transport is not None:  # peer never drained; force it
+                writer.transport.abort()
+
+    async def _wait_tasks(self) -> None:
+        """Wait for all session tasks to unwind after cancellation."""
+        while self._tasks:
+            await asyncio.sleep(0.01)

@@ -167,6 +167,44 @@ class TestServe:
         out = capsys.readouterr().out
         assert "serving 1 clip(s) on 127.0.0.1:" in out
 
+    def test_capped_serve_prints_admission_and_drains(self, capsys):
+        assert main(["serve", "themovie", "--port", "0", "--scale", "0.05",
+                     "--duration", "0.3", "--max-sessions", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "max sessions 2" in out
+        assert "drained cleanly" in out
+
+    def test_invalid_max_sessions_rejected(self, capsys):
+        assert main(["serve", "themovie", "--port", "0",
+                     "--max-sessions", "0"]) == 2
+        assert "max-sessions" in capsys.readouterr().err
+
+
+class TestStatus:
+    def test_probes_live_server(self, capsys, tiny_clip, fast_params):
+        from repro.api import StreamingService
+
+        service = StreamingService(fast_params).add_clip(tiny_clip)
+        (host, port), stop, thread = TestFetch._serve_in_thread(service)
+        try:
+            assert main(["status", "--host", host, "--port", str(port)]) == 0
+        finally:
+            stop.set()
+            thread.join(10)
+        out = capsys.readouterr().out
+        assert ": ready" in out
+        assert ": yes" in out
+        assert "resumable sessions" in out
+
+    def test_unreachable_server_exits_nonzero(self, capsys):
+        import socket
+
+        with socket.socket() as sock:
+            sock.bind(("127.0.0.1", 0))
+            port = sock.getsockname()[1]
+        assert main(["status", "--port", str(port), "--timeout", "1"]) == 1
+        assert "unreachable" in capsys.readouterr().err
+
 
 class TestFetch:
     @staticmethod

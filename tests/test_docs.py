@@ -1,0 +1,86 @@
+"""Docs gate: the markdown tree must not rot.
+
+Checks every markdown file at the repo root and under ``docs/`` for
+broken *relative* links (files that moved or were renamed) and keeps the
+docs site's required pages present.  External links are not fetched —
+this gate must pass offline.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: ``[text](target)`` markdown links; images share the syntax.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+#: Inline ``code spans`` are stripped first so example snippets like
+#: ``[a](b)`` inside backticks do not count as links.
+_CODE_SPAN = re.compile(r"`[^`]*`")
+
+_FENCE = re.compile(r"^(```|~~~)")
+
+
+def _markdown_files():
+    files = sorted(REPO_ROOT.glob("*.md")) + sorted(
+        (REPO_ROOT / "docs").glob("**/*.md")
+    )
+    assert files, "no markdown files found — wrong repo root?"
+    return files
+
+
+def _links(path: Path):
+    """Yield (line_number, target) for every link outside code blocks."""
+    in_fence = False
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        if _FENCE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in _LINK.finditer(_CODE_SPAN.sub("", line)):
+            yield lineno, match.group(1)
+
+
+def _is_external(target: str) -> bool:
+    return target.startswith(("http://", "https://", "mailto:", "#"))
+
+
+@pytest.mark.parametrize("path", _markdown_files(), ids=lambda p: p.name)
+def test_relative_links_resolve(path):
+    """Every relative link in every markdown file points at a real file."""
+    broken = []
+    for lineno, target in _links(path):
+        if _is_external(target):
+            continue
+        resolved = (path.parent / target.split("#", 1)[0]).resolve()
+        if not resolved.exists():
+            broken.append(f"{path.name}:{lineno}: {target}")
+    assert not broken, "broken relative links:\n" + "\n".join(broken)
+
+
+def test_docs_site_pages_present():
+    """The documented docs tree exists with non-trivial content."""
+    for name in ("architecture.md", "operations.md", "protocol.md"):
+        page = REPO_ROOT / "docs" / name
+        assert page.is_file(), f"docs/{name} is missing"
+        assert len(page.read_text()) > 500, f"docs/{name} looks like a stub"
+
+
+def test_readme_links_docs_site():
+    """The README routes readers to the docs tree."""
+    readme = (REPO_ROOT / "README.md").read_text()
+    for name in ("docs/architecture.md", "docs/operations.md", "docs/protocol.md"):
+        assert name in readme, f"README does not link {name}"
+
+
+def test_roadmap_open_items_populated():
+    """ROADMAP's 'Open items' section must list real directions, not the
+    placeholder it shipped with."""
+    roadmap = (REPO_ROOT / "ROADMAP.md").read_text()
+    assert "Open items" in roadmap
+    assert "populated by the first re-anchor" not in roadmap
+    section = roadmap.split("Open items", 1)[1]
+    assert section.count("- ") >= 3, "Open items should list concrete directions"
