@@ -1,0 +1,153 @@
+"""Benchmark trend check: fail CI when a committed metric regresses.
+
+Compares the freshly generated ``benchmarks/results/BENCH_*.json`` files
+against the baselines committed in git (``git show <ref>:<path>``) and
+exits non-zero when a gated metric regresses beyond tolerance.
+
+Two metric classes, because the files mix deterministic quantities with
+machine-speed-dependent rates:
+
+* **quality keys** (deterministic: savings fractions, Pareto frontier
+  size, speedup ratios, telemetry overhead) — tight default tolerance,
+  ``--tolerance`` (0.10);
+* **rate keys** (sessions/s, frames/s, MB/s — vary with the host) —
+  loose default tolerance, ``--rate-tolerance`` (0.5).
+
+Files without a committed baseline are skipped with a note, so a brand
+new benchmark passes its first CI run and becomes a baseline once its
+results are committed.
+
+Usage::
+
+    python benchmarks/trend_check.py [--ref HEAD] [files...]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+from typing import Dict, List, Tuple
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+RESULTS_DIR = os.path.join(REPO_ROOT, "benchmarks", "results")
+
+#: Deterministic metrics; higher is better unless listed in LOWER_IS_BETTER.
+QUALITY_KEYS = {"speedup_vs_perframe", "savings", "frontier_size", "overhead_fraction"}
+#: Host-speed-dependent throughput metrics; higher is better.
+RATE_KEYS = {"sessions_per_sec", "frames_per_sec", "wire_mbytes_per_sec"}
+#: Keys where a *rise* is the regression.
+LOWER_IS_BETTER = {"overhead_fraction"}
+
+
+def flatten(node, path="") -> Dict[str, float]:
+    """Numeric leaves of a JSON tree, keyed by slash-joined path."""
+    leaves: Dict[str, float] = {}
+    if isinstance(node, dict):
+        for key, value in node.items():
+            leaves.update(flatten(value, f"{path}/{key}" if path else str(key)))
+    elif isinstance(node, list):
+        for i, value in enumerate(node):
+            leaves.update(flatten(value, f"{path}[{i}]"))
+    elif isinstance(node, bool):
+        pass  # bools are ints in Python; never a gated metric
+    elif isinstance(node, (int, float)):
+        leaves[path] = float(node)
+    return leaves
+
+
+def metric_key(path: str) -> str:
+    """The final key component of a flattened path (list indices stripped)."""
+    tail = path.rsplit("/", 1)[-1]
+    return tail.split("[", 1)[0]
+
+
+def compare(fresh: dict, baseline: dict, tolerance: float,
+            rate_tolerance: float) -> Tuple[List[str], List[str]]:
+    """Gated-metric comparison: (regressions, notes)."""
+    fresh_leaves = flatten(fresh)
+    base_leaves = flatten(baseline)
+    regressions, notes = [], []
+    for path, base in sorted(base_leaves.items()):
+        key = metric_key(path)
+        if key in RATE_KEYS:
+            tol = rate_tolerance
+        elif key in QUALITY_KEYS:
+            tol = tolerance
+        else:
+            continue
+        if path not in fresh_leaves:
+            notes.append(f"  gone: {path} (baseline {base:g})")
+            continue
+        now = fresh_leaves[path]
+        # abs() keeps the band on the correct side for negative baselines
+        # (e.g. a telemetry overhead measured slightly below zero).
+        if key in LOWER_IS_BETTER:
+            regressed = now > base + tol * abs(base) + 1e-12
+        else:
+            regressed = now < base - tol * abs(base) - 1e-12
+        if regressed:
+            regressions.append(
+                f"  REGRESSED {path}: {base:g} -> {now:g} "
+                f"(tolerance {tol:.0%})"
+            )
+    return regressions, notes
+
+
+def baseline_from_git(relpath: str, ref: str) -> dict:
+    """The committed version of a results file, or None when absent."""
+    proc = subprocess.run(
+        ["git", "-C", REPO_ROOT, "show", f"{ref}:{relpath}"],
+        capture_output=True,
+    )
+    if proc.returncode != 0:
+        return None
+    return json.loads(proc.stdout.decode())
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="*",
+                        help="BENCH_*.json files (default: all in results/)")
+    parser.add_argument("--ref", default="HEAD",
+                        help="git ref holding the baselines (default HEAD)")
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        help="relative tolerance for deterministic metrics")
+    parser.add_argument("--rate-tolerance", type=float, default=0.5,
+                        help="relative tolerance for throughput metrics")
+    args = parser.parse_args(argv)
+
+    files = args.files or sorted(
+        os.path.join(RESULTS_DIR, name)
+        for name in os.listdir(RESULTS_DIR)
+        if name.startswith("BENCH_") and name.endswith(".json")
+    )
+    if not files:
+        print("trend-check: no BENCH_*.json files found")
+        return 1
+
+    failed = False
+    for path in files:
+        relpath = os.path.relpath(os.path.abspath(path), REPO_ROOT)
+        name = os.path.basename(path)
+        with open(path) as fh:
+            fresh = json.load(fh)
+        baseline = baseline_from_git(relpath, args.ref)
+        if baseline is None:
+            print(f"{name}: no baseline at {args.ref}, skipped")
+            continue
+        regressions, notes = compare(
+            fresh, baseline, args.tolerance, args.rate_tolerance
+        )
+        status = "FAIL" if regressions else "ok"
+        print(f"{name}: {status}")
+        for line in regressions + notes:
+            print(line)
+        failed = failed or bool(regressions)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

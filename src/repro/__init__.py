@@ -6,8 +6,11 @@ Optimization on Mobile Devices" (DATE 2006).
 The supported entry surface is :mod:`repro.api` — the
 :class:`~repro.api.AnnotationService` / :class:`~repro.api.StreamingService`
 facade plus :func:`~repro.api.configure_engine` — together with the
-subpackages below.  Pre-facade spellings (``repro.MediaServer``,
-``run_pipeline``, …) keep working but emit :class:`DeprecationWarning`.
+subpackages below.  The pre-facade top-level aliases
+(``repro.MediaServer``, ``run_pipeline``, …) completed their deprecation
+cycle and were removed; import the building blocks from their home
+modules (``repro.streaming``, ``repro.core``) when the facade does not
+fit.
 
 Subpackages
 -----------
@@ -41,9 +44,7 @@ Subpackages
     Observability: metrics registry, span tracing, exporters.
 """
 
-import warnings as _warnings
-
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 from . import (
     baselines,
@@ -83,38 +84,3 @@ __all__ = [
     "experiments",
     "__version__",
 ]
-
-#: Pre-facade spellings kept importable for one deprecation cycle.
-#: Each maps a legacy top-level name to ``(module, attribute)``.
-_DEPRECATED_ALIASES = {
-    "MediaServer": ("repro.streaming.server", "MediaServer"),
-    "MobileClient": ("repro.streaming.client", "MobileClient"),
-    "TranscodingProxy": ("repro.streaming.proxy", "TranscodingProxy"),
-    "AnnotationPipeline": ("repro.core.pipeline", "AnnotationPipeline"),
-    "run_pipeline": ("repro.core.pipeline", "run_pipeline"),
-    "sweep_quality_levels": ("repro.core.pipeline", "sweep_quality_levels"),
-    "EngineConfig": ("repro.core.engine", "EngineConfig"),
-}
-
-
-def __getattr__(name):
-    """Resolve deprecated top-level aliases with a :class:`DeprecationWarning`.
-
-    ``repro.MediaServer`` and friends predate the :mod:`repro.api`
-    facade; they forward to their canonical homes so existing scripts
-    keep working while the warning documents the replacement.
-    """
-    target = _DEPRECATED_ALIASES.get(name)
-    if target is None:
-        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
-    module_name, attr = target
-    _warnings.warn(
-        f"repro.{name} is a deprecated entry point; use the repro.api facade "
-        f"(AnnotationService / StreamingService / configure_engine) or import "
-        f"{module_name}.{attr} directly",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    import importlib
-
-    return getattr(importlib.import_module(module_name), attr)

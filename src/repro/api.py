@@ -4,9 +4,11 @@ Historically the library grew several scattered entry points: build an
 :class:`~repro.core.pipeline.AnnotationPipeline` by hand, construct a
 :class:`~repro.streaming.server.MediaServer` ad hoc, call
 :func:`~repro.core.pipeline.sweep_quality_levels`, wire archives and
-engines yourself.  They all still work (the legacy spellings emit
-:class:`DeprecationWarning`\\s pointing here), but the **supported** way
-in is this module plus the names re-exported in ``repro.__all__``:
+engines yourself.  The building blocks remain importable from their
+home modules, but the pre-facade top-level aliases (and the one-shot
+``run_pipeline`` helper) are gone after a full deprecation cycle; the
+**supported** way in is this module plus the names re-exported in
+``repro.__all__``:
 
 * :class:`AnnotationService` — the offline side: profile a clip, produce
   annotation tracks, build playable annotated streams, sweep quality
@@ -38,6 +40,7 @@ from .core.pipeline import (
     ProfileResult,
     sweep_quality_levels,
 )
+from .core.policies import PolicySpec
 from .core.policy import QUALITY_LEVELS, SchemeParameters
 from .core.profile_cache import ProfileCache
 from .display.devices import DeviceProfile, get_device
@@ -127,6 +130,10 @@ class AnnotationService:
         :func:`configure_engine` default.
     profile_cache:
         Optional content-keyed profile cache shared across calls.
+    policy:
+        Backlight policy used for annotation (``None``, a registered
+        name such as ``"hebs"``, or a
+        :class:`~repro.core.policies.BacklightPolicy` instance).
     """
 
     def __init__(
@@ -134,16 +141,19 @@ class AnnotationService:
         params: SchemeParameters = SchemeParameters(),
         engine: EngineSpec = None,
         profile_cache: Optional[ProfileCache] = None,
+        policy: PolicySpec = None,
     ):
         self.params = params
         self.engine = _effective_engine(engine)
         self.profile_cache = profile_cache
+        self.policy = policy
 
     def _pipeline(self, params: Optional[SchemeParameters] = None) -> AnnotationPipeline:
         return AnnotationPipeline(
             params if params is not None else self.params,
             engine=self.engine,
             profile_cache=self.profile_cache,
+            policy=self.policy,
         )
 
     def profile(self, clip: ClipBase) -> ProfileResult:
@@ -200,6 +210,7 @@ class AnnotationService:
             params=self.params,
             engine=self.engine,
             profile_cache=self.profile_cache,
+            policy=self.policy,
         )
 
 
@@ -234,6 +245,9 @@ class StreamingService:
         :func:`configure_engine` default.
     profile_cache:
         Optional content-keyed profile cache shared across sessions.
+    policy:
+        Backlight policy used when annotating catalog content (``None``,
+        a registered name, or an instance).
     """
 
     def __init__(
@@ -244,6 +258,7 @@ class StreamingService:
         codec=None,
         engine: EngineSpec = None,
         profile_cache: Optional[ProfileCache] = None,
+        policy: PolicySpec = None,
     ):
         self.server = MediaServer(
             params=params,
@@ -252,6 +267,7 @@ class StreamingService:
             codec=codec,
             engine=_effective_engine(engine),
             profile_cache=profile_cache,
+            policy=policy,
         )
 
     # -- catalog -------------------------------------------------------

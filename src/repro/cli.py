@@ -18,7 +18,8 @@ Subcommands map to the library's main workflows, all routed through the
 
 The annotation workflows (``annotate``, ``savings``, ``sweep``) accept
 ``--stats`` (human table) and ``--stats-json`` (JSON-lines) to print the
-process-wide telemetry snapshot after the run.
+process-wide telemetry snapshot after the run, and ``--policy`` to pick
+the backlight policy (``clip-quality``, ``hebs``, ``spatial``).
 """
 
 from __future__ import annotations
@@ -33,6 +34,7 @@ import numpy as np
 from .api import AnnotationService, StreamingService, fetch_stream_sync
 from .core import (
     ENGINE_KINDS,
+    POLICY_NAMES,
     QUALITY_LEVELS,
     SchemeParameters,
     quality_label,
@@ -59,6 +61,9 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--engine", default=None, choices=ENGINE_KINDS,
                         help="execution engine for the profiling pass "
                              "(default: chunked)")
+    parser.add_argument("--policy", default=None, choices=POLICY_NAMES,
+                        help="backlight policy for annotation "
+                             "(default: clip-quality)")
 
 
 def _add_stats(parser: argparse.ArgumentParser) -> None:
@@ -88,7 +93,8 @@ def cmd_annotate(args: argparse.Namespace) -> int:
     """Annotate one clip for a device; print or save the track."""
     clip = make_clip(args.clip, duration_scale=args.scale)
     service = AnnotationService(
-        SchemeParameters(quality=args.quality), engine=args.engine
+        SchemeParameters(quality=args.quality), engine=args.engine,
+        policy=args.policy,
     )
     track = service.annotate_for_device(clip, args.device)
     print(f"{args.clip} on {args.device} at quality {quality_label(args.quality)}: "
@@ -109,7 +115,8 @@ def cmd_savings(args: argparse.Namespace) -> int:
     clip = make_clip(args.clip, duration_scale=args.scale)
     device = get_device(args.device)
     service = AnnotationService(
-        SchemeParameters(quality=args.quality), engine=args.engine
+        SchemeParameters(quality=args.quality), engine=args.engine,
+        policy=args.policy,
     )
     stream = service.build_stream(clip, device)
 
@@ -144,7 +151,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     if with_stats:
         header += f"{'clipped':>9}"
     print(header)
-    service = AnnotationService(engine=args.engine)
+    service = AnnotationService(engine=args.engine, policy=args.policy)
     for name in clips:
         clip = make_clip(name, duration_scale=args.scale)
         streams = service.sweep(clip, device, QUALITY_LEVELS)
@@ -178,6 +185,7 @@ def cmd_telemetry(args: argparse.Namespace) -> int:
         SchemeParameters(quality=args.quality),
         engine=args.engine,
         profile_cache=shared_profile_cache(),
+        policy=args.policy,
     )
     stream = service.build_stream(clip, device)
     for _chunk in stream.iter_chunks():
@@ -202,7 +210,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     if args.max_sessions is not None and args.max_sessions < 1:
         print("error: --max-sessions must be >= 1", file=sys.stderr)
         return 2
-    service = StreamingService(engine=args.engine)
+    service = StreamingService(engine=args.engine, policy=args.policy)
     for name in names:
         service.add_clip(make_clip(name, duration_scale=args.scale))
 
@@ -326,7 +334,8 @@ def cmd_trace(args: argparse.Namespace) -> int:
     clip = make_clip(args.clip, duration_scale=args.scale)
     device = get_device(args.device)
     service = AnnotationService(
-        SchemeParameters(quality=args.quality), engine=args.engine
+        SchemeParameters(quality=args.quality), engine=args.engine,
+        policy=args.policy,
     )
     profile = service.profile(clip)
     stream = service.build_stream(clip, device)
@@ -398,6 +407,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="duration scale for the synthetic clips")
     p.add_argument("--engine", default=None, choices=ENGINE_KINDS,
                    help="execution engine for the profiling pass")
+    p.add_argument("--policy", default=None, choices=POLICY_NAMES,
+                   help="backlight policy for annotation "
+                        "(default: clip-quality)")
     p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser("status", help="probe a running server's health/readiness")

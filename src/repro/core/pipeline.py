@@ -4,11 +4,12 @@ Ties the stages of Section 4 together:
 
 1. profile the clip (:class:`~repro.core.analyzer.StreamAnalyzer`),
 2. group frames into scenes (:class:`~repro.core.scene.SceneDetector`),
-3. apply the clipping heuristic per scene
-   (:mod:`repro.core.clipping`),
+3. let the active :class:`~repro.core.policies.BacklightPolicy` annotate
+   each scene (the default, :class:`~repro.core.policies.ClipQualityPolicy`,
+   is the paper's clipping heuristic),
 4. emit the device-independent :class:`~repro.core.annotation.AnnotationTrack`,
 5. optionally bind it to a device (backlight levels + gains) and
-   compensate frames for streaming.
+   compensate frames for streaming with the policy's pixel transform.
 
 :class:`AnnotatedStream` is the shippable artifact: the clip plus its
 device track, iterable as (compensated frame, backlight level) pairs — the
@@ -24,15 +25,20 @@ import numpy as np
 
 from ..display.devices import DeviceProfile
 from ..power.measurement import simulated_backlight_savings
-from ..telemetry import trace
+from ..telemetry import registry, trace
 from ..video.chunks import DEFAULT_CHUNK_SIZE, HeterogeneousFrameError, autotune_chunk_size
 from ..video.clip import ClipBase
 from ..video.frame import Frame
 from .analyzer import FrameStats, StreamAnalyzer
-from .annotation import AnnotationTrack, DeviceAnnotationTrack, SceneAnnotation
-from .clipping import ClippingPolicy, policy_for_quality
+from .annotation import (
+    CLIP_QUALITY_POLICY,
+    AnnotationTrack,
+    DeviceAnnotationTrack,
+    SceneAnnotation,
+)
 from .compensation import CompensationResult, contrast_enhancement, contrast_enhancement_batch
 from .engine import EngineSpec
+from .policies import BacklightPolicy, ClipQualityPolicy, PolicySpec, get_policy, resolve_policy
 from .policy import SchemeParameters
 from .profile_cache import ProfileCache, shared_profile_cache
 from .scene import Scene, SceneDetector
@@ -77,12 +83,18 @@ class AnnotationPipeline:
         Optional content-keyed :class:`~repro.core.profile_cache.ProfileCache`
         consulted by :meth:`profile`.  Only plain (unweighted) analysis is
         cached — importance maps are not part of the cache key.
+    policy:
+        The :class:`~repro.core.policies.BacklightPolicy` deciding how
+        scenes become annotations (``None``, a registered name, or an
+        instance).  ``None`` and ``"clip-quality"`` select the paper's
+        default scheme, honoring ``per_scene_clipping``.
     """
 
     def __init__(self, params: SchemeParameters = SchemeParameters(),
                  per_scene_clipping: bool = False, importance=None,
                  engine: EngineSpec = None,
-                 profile_cache: Optional[ProfileCache] = None):
+                 profile_cache: Optional[ProfileCache] = None,
+                 policy: PolicySpec = None):
         self.params = params
         if importance is None:
             self.analyzer = StreamAnalyzer(engine=engine)
@@ -91,9 +103,12 @@ class AnnotationPipeline:
 
             self.analyzer = RoiStreamAnalyzer(importance)
         self.detector = SceneDetector(params)
-        self.clipping: ClippingPolicy = policy_for_quality(
-            params.quality, per_scene=per_scene_clipping, color_safe=params.color_safe
-        )
+        if policy is None or policy == CLIP_QUALITY_POLICY:
+            self.policy: BacklightPolicy = ClipQualityPolicy(
+                per_scene_clipping=per_scene_clipping
+            )
+        else:
+            self.policy = resolve_policy(policy)
         self.profile_cache = profile_cache
 
     # ------------------------------------------------------------------
@@ -107,7 +122,10 @@ class AnnotationPipeline:
         """
         if self.profile_cache is not None and type(self.analyzer) is StreamAnalyzer:
             return self.profile_cache.get_or_compute(
-                clip, self.params, lambda: self._profile_uncached(clip)
+                clip,
+                self.params,
+                lambda: self._profile_uncached(clip),
+                policy=self.policy,
             )
         return self._profile_uncached(clip)
 
@@ -125,14 +143,15 @@ class AnnotationPipeline:
         if profile is None:
             profile = self.profile(clip)
         with trace("pipeline.clip"):
-            scenes = [
-                SceneAnnotation(
-                    start=scene.start,
-                    end=scene.end,
-                    effective_max_luminance=self.clipping.effective_max(scene, profile.stats),
+            with trace(f"policy.{self.policy.name}"):
+                scenes = self.policy.annotate_scenes(
+                    profile.scenes, profile.stats, self.params
                 )
-                for scene in profile.scenes
-            ]
+        registry().counter(
+            "repro_policy_scenes_total",
+            "Scenes annotated, by backlight policy",
+            labels={"policy": self.policy.name},
+        ).inc(len(scenes))
         return AnnotationTrack(
             clip_name=clip.name,
             frame_count=clip.frame_count,
@@ -219,8 +238,31 @@ class AnnotatedStream:
         self.device = device
         self._levels = track.per_frame_levels()
         self._gains = track.per_frame_gains()
+        self.policy = get_policy(track.policy)
+        self._transforms = [
+            self.policy.transform_for_scene(scene) for scene in track.scenes
+        ]
+        # Gain-only tracks (the default scheme) keep the historical
+        # vectorized path: one batched kernel call per chunk, driven by
+        # the per-frame gain vector — bit-identical to the pre-policy
+        # stream.  Other transforms apply per scene run.
+        self._all_gain = all(t.is_gain for t in self._transforms)
+        self._scene_starts = np.array([s.start for s in track.scenes], dtype=np.int64)
         self._clipped_fractions: Optional[np.ndarray] = None
         self._fraction_cache: Dict[int, float] = {}
+
+    def _transform_at(self, index: int):
+        """The pixel transform covering frame ``index``."""
+        scene = int(np.searchsorted(self._scene_starts, index, side="right")) - 1
+        return self._transforms[scene]
+
+    def _scene_runs(self, start: int, stop: int) -> Iterator[Tuple[int, int, "object"]]:
+        """Split ``[start, stop)`` into per-scene (lo, hi, transform) runs."""
+        for scene, transform in zip(self.track.scenes, self._transforms):
+            lo = max(scene.start, start)
+            hi = min(scene.end, stop)
+            if lo < hi:
+                yield lo, hi, transform
 
     # ------------------------------------------------------------------
     @property
@@ -238,10 +280,12 @@ class AnnotatedStream:
     def compensated_frame(self, index: int) -> CompensationResult:
         """Compensate frame ``index`` for its annotated backlight level."""
         frame = self.clip.frame(index)
-        gain = float(self._gains[index])
-        if gain <= 1.0:
-            return CompensationResult(frame=frame.copy(), clipped_fraction=0.0)
-        return contrast_enhancement(frame, gain)
+        if self._all_gain:
+            gain = float(self._gains[index])
+            if gain <= 1.0:
+                return CompensationResult(frame=frame.copy(), clipped_fraction=0.0)
+            return contrast_enhancement(frame, gain)
+        return self._transform_at(index).apply_frame(frame)
 
     def iter_chunks(self, chunk_size: Optional[int] = None) -> Iterator[CompensatedChunk]:
         """Yield the compensated stream as :class:`CompensatedChunk` batches.
@@ -260,10 +304,18 @@ class AnnotatedStream:
                 if shape is not None
                 else DEFAULT_CHUNK_SIZE
             )
+        frames_counter = registry().counter(
+            "repro_policy_frames_total",
+            "Frames compensated, by backlight policy",
+            labels={"policy": self.policy.name},
+        )
         for chunk in self.clip.iter_chunks(chunk_size):
             gains = self._gains[chunk.start : chunk.stop]
             with trace("pipeline.compensate"):
-                pixels, fractions = contrast_enhancement_batch(chunk.pixels, gains)
+                pixels, fractions = self._compensate_pixels(
+                    chunk.pixels, chunk.start, chunk.stop, gains
+                )
+            frames_counter.inc(chunk.stop - chunk.start)
             yield CompensatedChunk(
                 pixels=pixels,
                 start=chunk.start,
@@ -271,6 +323,20 @@ class AnnotatedStream:
                 gains=gains,
                 clipped_fractions=fractions,
             )
+
+    def _compensate_pixels(
+        self, pixels: np.ndarray, start: int, stop: int, gains: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Compensate one raw chunk: vectorized gains or per-scene runs."""
+        if self._all_gain:
+            return contrast_enhancement_batch(pixels, gains)
+        out_parts = []
+        fraction_parts = []
+        for lo, hi, transform in self._scene_runs(start, stop):
+            part, fractions = transform.apply_batch(pixels[lo - start : hi - start])
+            out_parts.append(part)
+            fraction_parts.append(fractions)
+        return np.concatenate(out_parts), np.concatenate(fraction_parts)
 
     def __iter__(self) -> Iterator[Tuple[Frame, int]]:
         produced = 0
@@ -299,11 +365,15 @@ class AnnotatedStream:
         # fraction needs only the cached peak-channel plane — no
         # compensated frame is materialized.  Exact: x -> (x/255) * gain
         # is monotone, so the per-channel "any" reduces to the peak.
+        # Non-gain transforms define their own clipping criterion.
         cached = self._fraction_cache.get(index)
         if cached is None:
-            gain = float(self._gains[index])
-            plane = self.clip.peak_channel_plane(index)
-            cached = float((plane * gain > 1.0 + 1e-12).mean())
+            if self._all_gain:
+                gain = float(self._gains[index])
+                plane = self.clip.peak_channel_plane(index)
+                cached = float((plane * gain > 1.0 + 1e-12).mean())
+            else:
+                cached = self.compensated_frame(index).clipped_fraction
             self._fraction_cache[index] = cached
         return cached
 
@@ -312,9 +382,19 @@ class AnnotatedStream:
             try:
                 parts = []
                 for chunk in self.clip.iter_chunks():
-                    gains = self._gains[chunk.start : chunk.stop]
-                    values = chunk.peak_channel * gains[:, None, None]
-                    parts.append((values > 1.0 + 1e-12).mean(axis=(1, 2)))
+                    if self._all_gain:
+                        gains = self._gains[chunk.start : chunk.stop]
+                        values = chunk.peak_channel * gains[:, None, None]
+                        parts.append((values > 1.0 + 1e-12).mean(axis=(1, 2)))
+                    else:
+                        for lo, hi, transform in self._scene_runs(
+                            chunk.start, chunk.stop
+                        ):
+                            parts.append(
+                                transform.batch_clipped_fractions(
+                                    chunk.pixels[lo - chunk.start : hi - chunk.start]
+                                )
+                            )
                 self._clipped_fractions = np.concatenate(parts)
             except HeterogeneousFrameError:
                 self._clipped_fractions = np.array(
@@ -347,35 +427,6 @@ class AnnotatedStream:
         )
 
 
-def run_pipeline(
-    clip: ClipBase,
-    device: DeviceProfile,
-    quality: float = 0.10,
-    params: Optional[SchemeParameters] = None,
-    engine: EngineSpec = None,
-) -> "AnnotatedStream":
-    """Deprecated one-shot pipeline runner; use :mod:`repro.api` instead.
-
-    The pre-facade spelling of "profile, annotate, bind, wrap".  Emits a
-    :class:`DeprecationWarning` and delegates to
-    :meth:`repro.api.AnnotationService.build_stream`, which adds the
-    process-wide engine default and device-name resolution.
-    """
-    import warnings
-
-    warnings.warn(
-        "run_pipeline() is deprecated; use "
-        "repro.api.AnnotationService(...).build_stream(clip, device)",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    from ..api import AnnotationService
-
-    if params is None:
-        params = SchemeParameters(quality=quality)
-    return AnnotationService(params=params, engine=engine).build_stream(clip, device)
-
-
 def sweep_quality_levels(
     clip: ClipBase,
     device: DeviceProfile,
@@ -383,6 +434,7 @@ def sweep_quality_levels(
     params: SchemeParameters = SchemeParameters(),
     engine: EngineSpec = None,
     profile_cache: Optional[ProfileCache] = None,
+    policy: PolicySpec = None,
 ) -> List[AnnotatedStream]:
     """Annotate one clip at several quality levels, reusing the profile.
 
@@ -397,11 +449,13 @@ def sweep_quality_levels(
     """
     if profile_cache is None:
         profile_cache = shared_profile_cache()
-    pipeline = AnnotationPipeline(params, engine=engine, profile_cache=profile_cache)
+    pipeline = AnnotationPipeline(
+        params, engine=engine, profile_cache=profile_cache, policy=policy
+    )
     profile = pipeline.profile(clip)
     streams = []
     for q in qualities:
-        q_pipeline = AnnotationPipeline(params.with_quality(q))
+        q_pipeline = AnnotationPipeline(params.with_quality(q), policy=policy)
         track = q_pipeline.annotate(clip, profile=profile).bind(device)
         streams.append(AnnotatedStream(clip=clip, track=track, device=device))
     return streams

@@ -1,0 +1,48 @@
+"""Pluggable backlight policies (the policy-testbed layer).
+
+The paper's clip-at-quality scheme, HEBS tone mapping, and spatial
+scaling all implement one :class:`BacklightPolicy` interface: consume
+per-scene histogram statistics, emit annotations, bind them to a device,
+and hand the streaming path a batch-applicable pixel transform.  See
+:mod:`repro.core.policies.base` for the contract.
+"""
+
+from .base import (
+    BacklightPolicy,
+    PolicySpec,
+    available_policies,
+    get_policy,
+    policy_profile_key,
+    register_policy,
+    resolve_policy,
+)
+from .clip_quality import ClipQualityPolicy
+from .hebs import HebsPolicy
+from .spatial import SpatialScalingPolicy
+from .transforms import (
+    GainTransform,
+    LutTransform,
+    PixelTransform,
+    SpatialTransform,
+)
+
+#: Registered policy names (stable, sorted) — e.g. for CLI choices.
+POLICY_NAMES = available_policies()
+
+__all__ = [
+    "BacklightPolicy",
+    "ClipQualityPolicy",
+    "GainTransform",
+    "HebsPolicy",
+    "LutTransform",
+    "POLICY_NAMES",
+    "PixelTransform",
+    "PolicySpec",
+    "SpatialScalingPolicy",
+    "SpatialTransform",
+    "available_policies",
+    "get_policy",
+    "policy_profile_key",
+    "register_policy",
+    "resolve_policy",
+]

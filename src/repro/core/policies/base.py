@@ -1,0 +1,198 @@
+"""The :class:`BacklightPolicy` interface and policy registry.
+
+The paper's scheme — clip the histogram at quality ``q``, dim the
+backlight to the surviving maximum, multiply the pixels back up — is one
+point in a *policy space*.  A :class:`BacklightPolicy` makes the whole
+analyze → annotate → bind → compensate contract explicit so that
+alternatives (HEBS tone mapping, spatial scaling) plug into the same
+pipeline, servers, caches and CLI:
+
+* :meth:`BacklightPolicy.annotate_scenes` consumes the profiling output
+  (scenes plus per-frame :class:`~repro.core.analyzer.FrameStats`) and
+  emits device-independent :class:`~repro.core.annotation.SceneAnnotation`
+  records.  Policies that need more than the effective max luminance
+  (e.g. a tone-curve LUT) carry it in the annotation ``payload`` —
+  annotations stay self-describing, so binding and playback never need
+  the policy's configuration.
+* :meth:`BacklightPolicy.bind_scene` turns one scene annotation into a
+  device-bound ``(backlight_level, compensation_gain)`` record for a
+  concrete :class:`~repro.display.devices.DeviceProfile`.
+* :meth:`BacklightPolicy.transform_for_scene` produces the
+  :class:`~repro.core.policies.transforms.PixelTransform` that the
+  streaming path applies batch-wise to the scene's frames.
+
+Policies register by name; :func:`resolve_policy` accepts a name, an
+instance, or ``None`` (the paper's default scheme), mirroring
+:func:`~repro.core.engine.resolve_engine`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Type, Union
+
+from ...display.devices import DeviceProfile
+from ...quality.histogram import LuminanceHistogram
+from ..analyzer import FrameStats
+from ..annotation import (
+    CLIP_QUALITY_POLICY,
+    DeviceSceneAnnotation,
+    SceneAnnotation,
+)
+from ..policy import SchemeParameters
+from ..scene import Scene
+from .transforms import PixelTransform
+
+
+class BacklightPolicy:
+    """Interface: scene statistics -> annotation -> (level, transform).
+
+    Subclasses set :attr:`name` (the registry key, also recorded in every
+    annotation they produce) and implement the three stage methods.
+    ``bind_scene`` and ``transform_for_scene`` must rely only on the
+    annotation contents (including ``payload``), never on constructor
+    state: tracks are decoded on machines that only know the policy name.
+    """
+
+    #: Registry key; also stamped into produced annotations.
+    name: str = "abstract"
+
+    # ------------------------------------------------------------------
+    def annotate_scenes(
+        self,
+        scenes: Sequence[Scene],
+        stats: Sequence[FrameStats],
+        params: SchemeParameters,
+    ) -> List[SceneAnnotation]:
+        """Annotate every scene of a profiled clip (default: per scene)."""
+        return [self.annotate_scene(scene, stats, params) for scene in scenes]
+
+    def annotate_scene(
+        self, scene: Scene, stats: Sequence[FrameStats], params: SchemeParameters
+    ) -> SceneAnnotation:
+        """Produce the device-independent annotation for one scene."""
+        raise NotImplementedError
+
+    def bind_scene(
+        self, scene: SceneAnnotation, device: DeviceProfile
+    ) -> DeviceSceneAnnotation:
+        """Bind one scene annotation to a device (level + gain)."""
+        raise NotImplementedError
+
+    def transform_for_scene(self, scene: DeviceSceneAnnotation) -> PixelTransform:
+        """The pixel transform the streaming path applies to the scene."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def key(self) -> Tuple:
+        """Hashable full-configuration identity (track caches)."""
+        return (self.name,)
+
+    def profile_key(self) -> Tuple:
+        """Hashable identity for profile caches.
+
+        Profiling output is statistics-only, so by default only the
+        policy *name* partitions the cache (two configurations of one
+        policy share the profiling pass).
+        """
+        return (self.name,)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _scene_stats(
+        scene: Union[Scene, SceneAnnotation], stats: Sequence[FrameStats]
+    ) -> Sequence[FrameStats]:
+        """The stats slice covered by a scene, bounds-checked."""
+        if scene.end > len(stats):
+            raise ValueError(
+                f"scene [{scene.start}, {scene.end}) exceeds stream length {len(stats)}"
+            )
+        return stats[scene.start : scene.end]
+
+    @staticmethod
+    def _pooled_histogram(
+        members: Sequence[FrameStats], color_safe: bool
+    ) -> LuminanceHistogram:
+        """Merge the member frames' histograms into one scene histogram."""
+        hists = [
+            (m.channel_histogram if color_safe else m.histogram) for m in members
+        ]
+        merged = hists[0]
+        for hist in hists[1:]:
+            merged = merged.merge(hist)
+        return merged
+
+    def _bind_level_and_gain(
+        self, effective_max_luminance: float, device: DeviceProfile
+    ) -> Tuple[int, float]:
+        """The paper's binding: smallest sufficient level, exact gain."""
+        transfer = device.transfer
+        level = transfer.level_for_scene(effective_max_luminance)
+        gain = transfer.compensation_gain_for_level(level) if level > 0 else 1.0
+        return level, max(gain, 1.0)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+#: A policy argument: ``None`` (default scheme), a registry name, or an
+#: instance.
+PolicySpec = Union[None, str, BacklightPolicy]
+
+_REGISTRY: Dict[str, Type[BacklightPolicy]] = {}
+_DEFAULT_INSTANCES: Dict[str, BacklightPolicy] = {}
+
+
+def register_policy(cls: Type[BacklightPolicy]) -> Type[BacklightPolicy]:
+    """Class decorator: add a policy class to the registry by its name."""
+    if not cls.name or cls.name == BacklightPolicy.name:
+        raise ValueError(f"policy class {cls.__name__} needs a concrete name")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def available_policies() -> Tuple[str, ...]:
+    """Registered policy names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_policy(name: str) -> BacklightPolicy:
+    """The default-configured instance for a registered policy name."""
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown backlight policy {name!r}; known: {available_policies()}"
+        ) from None
+    if name not in _DEFAULT_INSTANCES:
+        _DEFAULT_INSTANCES[name] = cls()
+    return _DEFAULT_INSTANCES[name]
+
+
+def resolve_policy(policy: PolicySpec) -> BacklightPolicy:
+    """Normalize a policy argument to a :class:`BacklightPolicy` instance.
+
+    ``None`` resolves to the paper's default scheme
+    (:data:`~repro.core.annotation.CLIP_QUALITY_POLICY`); strings resolve
+    through the registry; instances pass through.
+    """
+    if policy is None:
+        return get_policy(CLIP_QUALITY_POLICY)
+    if isinstance(policy, str):
+        return get_policy(policy)
+    if isinstance(policy, BacklightPolicy):
+        return policy
+    raise TypeError(
+        f"policy must be None, a name, or a BacklightPolicy, got {type(policy).__name__}"
+    )
+
+
+def policy_profile_key(policy: Union[PolicySpec, Tuple]) -> Tuple:
+    """The profile-cache identity of a policy argument.
+
+    Accepts everything :func:`resolve_policy` accepts, plus an already
+    computed key tuple (passed through unchanged) so cache callers can
+    precompute identities.
+    """
+    if isinstance(policy, tuple):
+        return policy
+    return resolve_policy(policy).profile_key()

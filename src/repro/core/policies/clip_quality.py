@@ -1,0 +1,85 @@
+"""The paper's scheme as a :class:`BacklightPolicy`.
+
+Clip the scene's luminance distribution at quality ``q`` (per-frame
+budget by default, pooled-histogram variant optionally), dim the
+backlight to the surviving effective maximum, and multiply the pixels
+back up with one gain per scene.  This is the default policy and is
+bit-identical to the pre-policy pipeline — the equivalence tests in
+``tests/core/test_policy_equivalence.py`` hold it to that.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ...display.devices import DeviceProfile
+from ..analyzer import FrameStats
+from ..annotation import CLIP_QUALITY_POLICY, DeviceSceneAnnotation, SceneAnnotation
+from ..clipping import policy_for_quality
+from ..policy import SchemeParameters
+from ..scene import Scene
+from .base import BacklightPolicy, register_policy
+from .transforms import GainTransform, PixelTransform
+
+
+@register_policy
+class ClipQualityPolicy(BacklightPolicy):
+    """Clip-at-quality-q backlight scaling with gain compensation."""
+
+    name = CLIP_QUALITY_POLICY
+
+    def __init__(self, per_scene_clipping: bool = False):
+        self.per_scene_clipping = bool(per_scene_clipping)
+
+    # ------------------------------------------------------------------
+    def annotate_scenes(
+        self,
+        scenes: Sequence[Scene],
+        stats: Sequence[FrameStats],
+        params: SchemeParameters,
+    ) -> List[SceneAnnotation]:
+        """Apply the clipping heuristic to every scene."""
+        clipping = policy_for_quality(
+            params.quality,
+            per_scene=self.per_scene_clipping,
+            color_safe=params.color_safe,
+        )
+        return [
+            SceneAnnotation(
+                start=scene.start,
+                end=scene.end,
+                effective_max_luminance=clipping.effective_max(scene, stats),
+            )
+            for scene in scenes
+        ]
+
+    def annotate_scene(
+        self, scene: Scene, stats: Sequence[FrameStats], params: SchemeParameters
+    ) -> SceneAnnotation:
+        """Single-scene form of :meth:`annotate_scenes`."""
+        return self.annotate_scenes([scene], stats, params)[0]
+
+    def bind_scene(
+        self, scene: SceneAnnotation, device: DeviceProfile
+    ) -> DeviceSceneAnnotation:
+        """Smallest sufficient backlight level plus the exact gain."""
+        level, gain = self._bind_level_and_gain(
+            scene.effective_max_luminance, device
+        )
+        return DeviceSceneAnnotation(
+            start=scene.start,
+            end=scene.end,
+            backlight_level=level,
+            compensation_gain=gain,
+        )
+
+    def transform_for_scene(self, scene: DeviceSceneAnnotation) -> PixelTransform:
+        """One multiplicative gain for the whole scene."""
+        return GainTransform(scene.compensation_gain)
+
+    # ------------------------------------------------------------------
+    def key(self):
+        return (self.name, self.per_scene_clipping)
+
+    def __repr__(self) -> str:
+        return f"ClipQualityPolicy(per_scene_clipping={self.per_scene_clipping})"

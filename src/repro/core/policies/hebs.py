@@ -1,0 +1,139 @@
+"""Histogram-equalization backlight scaling (HEBS).
+
+Instead of clipping everything above the quality budget, HEBS derives a
+*tone curve* from the scene's luminance histogram: the bulk of the
+distribution is stretched linearly, while the sparse highlight band
+between the "deep" clip point and the quality clip point is compressed by
+histogram equalization into a reserved top slice of the output range.
+Highlights keep some separation instead of flattening to white, which
+lets the policy dim the backlight past the plain clipping scheme's level
+at comparable distortion — the trade explored by the cross-policy Pareto
+benchmark.
+
+The curve ships in the scene annotation payload (clip code + 256-entry
+LUT, 257 bytes), so binding and playback need only the histogram work
+done once at annotation time.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ...display.devices import DeviceProfile
+from ...quality.histogram import NUM_BINS
+from ..analyzer import FrameStats
+from ..annotation import DeviceSceneAnnotation, SceneAnnotation
+from ..policy import SchemeParameters
+from ..scene import Scene
+from .base import BacklightPolicy, register_policy
+from .transforms import LutTransform, PixelTransform
+
+
+@register_policy
+class HebsPolicy(BacklightPolicy):
+    """Tone-curve backlight scaling driven by the scene histogram.
+
+    Parameters
+    ----------
+    dim_factor:
+        How much more aggressively than the quality budget the *bulk*
+        clip point is chosen: the deep clip point tolerates
+        ``min(1, quality * dim_factor)`` clipped mass.  Larger values dim
+        further and push more codes into the equalized band.
+    reserve:
+        Fraction of the output range reserved for the equalized highlight
+        band.  The bulk stretches into ``[0, (1 - reserve) * 255]``.
+    """
+
+    name = "hebs"
+
+    def __init__(self, dim_factor: float = 3.0, reserve: float = 0.12):
+        if dim_factor < 1.0:
+            raise ValueError(f"dim_factor must be >= 1, got {dim_factor}")
+        if not 0.0 <= reserve < 1.0:
+            raise ValueError(f"reserve must be in [0, 1), got {reserve}")
+        self.dim_factor = float(dim_factor)
+        self.reserve = float(reserve)
+
+    # ------------------------------------------------------------------
+    def annotate_scene(
+        self, scene: Scene, stats: Sequence[FrameStats], params: SchemeParameters
+    ) -> SceneAnnotation:
+        """Build the scene's tone curve and effective backlight target."""
+        members = self._scene_stats(scene, stats)
+        hist = self._pooled_histogram(members, params.color_safe)
+        q = params.quality
+
+        # Quality clip point: codes above it may clip outright (same
+        # budget semantics as the default scheme's per-scene variant).
+        t_hi = int(hist.clip_point(q))
+        # Deep clip point: where the bulk of the distribution ends if we
+        # were willing to clip dim_factor times the budget.
+        q_lo = min(1.0, q * self.dim_factor) if q > 0 else 0.0
+        t_lo = max(int(hist.clip_point(q_lo)), 1)
+        t_hi = max(t_hi, t_lo)
+        top = round((NUM_BINS - 1) * (1.0 - (self.reserve if t_hi > t_lo else 0.0)))
+
+        lut = np.empty(NUM_BINS, dtype=np.float64)
+        codes = np.arange(NUM_BINS, dtype=np.float64)
+        # Bulk: linear stretch of [0, t_lo] onto [0, top].
+        lut[: t_lo + 1] = np.round(codes[: t_lo + 1] * (top / t_lo))
+        if t_hi > t_lo:
+            # Highlight band: CDF-equalized into (top, 255].
+            cum = np.cumsum(hist.counts)
+            mass = max(cum[t_hi] - cum[t_lo], 1e-12)
+            cdf = (cum[t_lo + 1 : t_hi + 1] - cum[t_lo]) / mass
+            lut[t_lo + 1 : t_hi + 1] = np.round(top + cdf * (NUM_BINS - 1 - top))
+        lut[t_hi + 1 :] = NUM_BINS - 1
+        lut = np.maximum.accumulate(lut)  # monotone despite rounding
+        lut = np.clip(lut, 0, NUM_BINS - 1).astype(np.uint8)
+
+        # The brightest code the curve must reproduce faithfully is t_lo,
+        # which the display renders at output code `top`; dimming so that
+        # `top` at full gain lands where t_lo used to means the backlight
+        # target is t_lo / top.  Valid for any power-law white transfer:
+        # the compensation gain the binding derives undoes the same curve.
+        effective = min(1.0, t_lo / max(top, 1))
+        payload = bytes([t_hi]) + lut.tobytes()
+        return SceneAnnotation(
+            start=scene.start,
+            end=scene.end,
+            effective_max_luminance=effective,
+            policy=self.name,
+            payload=payload,
+        )
+
+    def bind_scene(
+        self, scene: SceneAnnotation, device: DeviceProfile
+    ) -> DeviceSceneAnnotation:
+        """Pick the backlight level; the tone curve rides along."""
+        level, gain = self._bind_level_and_gain(
+            scene.effective_max_luminance, device
+        )
+        return DeviceSceneAnnotation(
+            start=scene.start,
+            end=scene.end,
+            backlight_level=level,
+            compensation_gain=gain,
+            policy=self.name,
+            payload=scene.payload,
+        )
+
+    def transform_for_scene(self, scene: DeviceSceneAnnotation) -> PixelTransform:
+        """Decode the payload back into a LUT transform."""
+        payload = scene.payload
+        if len(payload) != 1 + NUM_BINS:
+            raise ValueError(
+                f"hebs payload must be {1 + NUM_BINS} bytes, got {len(payload)}"
+            )
+        lut = np.frombuffer(payload[1:], dtype=np.uint8)
+        return LutTransform(lut, clip_code=payload[0])
+
+    # ------------------------------------------------------------------
+    def key(self):
+        return (self.name, self.dim_factor, self.reserve)
+
+    def __repr__(self) -> str:
+        return f"HebsPolicy(dim_factor={self.dim_factor}, reserve={self.reserve})"

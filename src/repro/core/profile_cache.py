@@ -177,9 +177,22 @@ class ProfileCache:
         return len(self._entries)
 
     @staticmethod
-    def key_for(clip: ClipBase, params: SchemeParameters) -> Tuple:
-        """Cache key for a (clip content, scheme parameters) pair."""
-        return (clip_fingerprint(clip), profile_params_key(params))
+    def key_for(clip: ClipBase, params: SchemeParameters, policy=None) -> Tuple:
+        """Cache key for a (clip content, parameters, policy) triple.
+
+        ``policy`` takes anything
+        :func:`~repro.core.policies.policy_profile_key` accepts: ``None``
+        (the default scheme), a name, an instance, or a precomputed key
+        tuple.  Policies whose profiling identity matches share entries;
+        distinct policies on the same clip can never collide.
+        """
+        from .policies import policy_profile_key  # local: policies use core
+
+        return (
+            clip_fingerprint(clip),
+            profile_params_key(params),
+            policy_profile_key(policy),
+        )
 
     def get(self, key: Hashable) -> Optional[Any]:
         """Return the cached profile for ``key``, or ``None``."""
@@ -210,6 +223,7 @@ class ProfileCache:
         clip: ClipBase,
         params: SchemeParameters,
         compute: Callable[[], Any],
+        policy=None,
     ) -> Any:
         """Return the cached profile for the clip, computing it on a miss.
 
@@ -217,7 +231,7 @@ class ProfileCache:
         misses on the same key simply race to fill it, last write wins —
         both results are identical by construction).
         """
-        key = self.key_for(clip, params)
+        key = self.key_for(clip, params, policy=policy)
         cached = self.get(key)
         if cached is not None:
             return cached

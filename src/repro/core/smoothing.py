@@ -22,7 +22,11 @@ from typing import List
 import numpy as np
 
 from ..display.devices import DeviceProfile
-from .annotation import DeviceAnnotationTrack, DeviceSceneAnnotation
+from .annotation import (
+    CLIP_QUALITY_POLICY,
+    DeviceAnnotationTrack,
+    DeviceSceneAnnotation,
+)
 
 
 def ramped_levels(levels: np.ndarray, ramp_frames: int) -> np.ndarray:
@@ -70,6 +74,14 @@ def smooth_track(
         raise ValueError(
             f"track is bound to {track.device_name!r}, smoothing against "
             f"{device.name!r}"
+        )
+    if track.policy != CLIP_QUALITY_POLICY:
+        # Ramping recomputes gains from levels, which only holds for the
+        # default gain-compensation scheme — a ramped LUT or downscale
+        # has no per-frame re-derivation.
+        raise ValueError(
+            f"smoothing supports only {CLIP_QUALITY_POLICY!r} tracks, "
+            f"got {track.policy!r}"
         )
     levels = ramped_levels(track.per_frame_levels(), ramp_frames)
     transfer = device.transfer

@@ -115,7 +115,7 @@ class MobileClient:
             Annotation packet(s) and frame packets.  Annotation packets
             must precede the frames they cover; frame packets must arrive
             in presentation order.  Annotation payloads are dispatched on
-            their magic: backlight tracks (``AND1``) are mandatory;
+            their magic: backlight tracks (``AND1``/``AND2``) are mandatory;
             decode-complexity tracks (``ANC1``) are honored when a DVFS
             CPU model is supplied and ignored otherwise.
         delivery:
@@ -142,7 +142,7 @@ class MobileClient:
             packet_count += 1
             if packet.ptype is PacketType.ANNOTATION:
                 magic = packet.payload[:4]
-                if magic == b"AND1":
+                if magic in (b"AND1", b"AND2"):
                     tracks.append(
                         DeviceAnnotationTrack.from_bytes(
                             packet.payload,

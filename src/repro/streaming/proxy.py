@@ -20,6 +20,7 @@ from typing import Iterable, Iterator, List, Optional, Tuple
 
 from ..core.engine import EngineSpec
 from ..core.pipeline import AnnotatedStream, AnnotationPipeline
+from ..core.policies import PolicySpec
 from ..core.policy import SchemeParameters
 from ..core.profile_cache import ProfileCache, shared_profile_cache
 from ..display.devices import DeviceProfile
@@ -49,6 +50,9 @@ class TranscodingProxy:
         Content-keyed profile cache; defaults to the process-wide shared
         cache so that re-streaming identical content (or a co-resident
         server holding the same pixels) reuses the profiling pass.
+    policy:
+        The :class:`~repro.core.policies.BacklightPolicy` used per window
+        (``None``, a registered name, or an instance).
     """
 
     def __init__(
@@ -58,6 +62,7 @@ class TranscodingProxy:
         chunk_frames: int = 60,
         engine: EngineSpec = None,
         profile_cache: Optional[ProfileCache] = None,
+        policy: PolicySpec = None,
     ):
         if chunk_frames < 1:
             raise ValueError("chunk_frames must be >= 1")
@@ -67,7 +72,7 @@ class TranscodingProxy:
         if profile_cache is None:
             profile_cache = shared_profile_cache()
         self._pipeline = AnnotationPipeline(
-            params, engine=engine, profile_cache=profile_cache
+            params, engine=engine, profile_cache=profile_cache, policy=policy
         )
         reg = telemetry_registry()
         self._windows_counter = reg.counter(

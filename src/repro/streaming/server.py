@@ -18,6 +18,7 @@ from ..core.annotation import AnnotationTrack
 from ..core.dvfs_annotation import DvfsAnnotator, DvfsTrack
 from ..core.engine import EngineSpec, resolve_engine
 from ..core.pipeline import AnnotatedStream, AnnotationPipeline, ProfileResult
+from ..core.policies import PolicySpec, get_policy, resolve_policy
 from ..core.policy import QUALITY_LEVELS, SchemeParameters
 from ..core.profile_cache import ProfileCache, shared_profile_cache
 from ..display.devices import get_device
@@ -60,6 +61,11 @@ class MediaServer:
         process-wide shared cache, so every server (and quality sweep)
         profiles a given clip's pixels exactly once; pass a dedicated
         :class:`~repro.core.profile_cache.ProfileCache` to isolate.
+    policy:
+        The :class:`~repro.core.policies.BacklightPolicy` this server
+        annotates with (``None``, a registered name, or an instance).
+        Part of every track and profile cache key, so two servers running
+        different policies on the same content never cross-serve.
     """
 
     def __init__(
@@ -70,6 +76,7 @@ class MediaServer:
         codec: Optional[CodecModel] = None,
         engine: EngineSpec = None,
         profile_cache: Optional[ProfileCache] = None,
+        policy: PolicySpec = None,
     ):
         if not qualities:
             raise ValueError("server needs at least one quality level")
@@ -81,10 +88,11 @@ class MediaServer:
         self.profile_cache = (
             profile_cache if profile_cache is not None else shared_profile_cache()
         )
+        self.policy = resolve_policy(policy)
         self._clips: Dict[str, ClipBase] = {}
         self._encoded: Dict[str, object] = {}
         self._profiles: Dict[str, ProfileResult] = {}
-        self._tracks: Dict[Tuple[str, float], AnnotationTrack] = {}
+        self._tracks: Dict[Tuple, AnnotationTrack] = {}
         self._dvfs_tracks: Dict[str, DvfsTrack] = {}
         self._session_ids = itertools.count(1)
         reg = telemetry_registry()
@@ -149,7 +157,10 @@ class MediaServer:
         if clip_name not in self._profiles:
             clip = self.get_clip(clip_name)
             pipeline = AnnotationPipeline(
-                self.params, engine=self.engine, profile_cache=self.profile_cache
+                self.params,
+                engine=self.engine,
+                profile_cache=self.profile_cache,
+                policy=self.policy,
             )
             self._profiles[clip_name] = pipeline.profile(clip)
         return self._profiles[clip_name]
@@ -161,12 +172,14 @@ class MediaServer:
                 f"quality {quality} is not a prepared variant {self.qualities}"
             )
         self._track_requests_counter.inc()
-        key = (clip_name, quality)
+        key = (clip_name, quality, self.policy.key())
         if key not in self._tracks:
             clip = self.get_clip(clip_name)
             profile = self.profile(clip_name)
             pipeline = AnnotationPipeline(
-                self.params.with_quality(quality), engine=self.engine
+                self.params.with_quality(quality),
+                engine=self.engine,
+                policy=self.policy,
             )
             self._tracks[key] = pipeline.annotate(clip, profile=profile)
         return self._tracks[key]
@@ -214,7 +227,9 @@ class MediaServer:
         clip, tracks, dvfs = load_archive(path)
         self.add_clip(clip)
         for quality, track in tracks.items():
-            self._tracks[(clip.name, quality)] = track
+            # Keyed under the *producing* policy (recorded in the track),
+            # which may differ from this server's own policy.
+            self._tracks[(clip.name, quality, get_policy(track.policy).key())] = track
         if dvfs is not None:
             self._dvfs_tracks[clip.name] = dvfs
         return clip.name

@@ -1,0 +1,197 @@
+"""ClipQualityPolicy must be bit-identical to the pre-policy pipeline.
+
+The policy refactor moved the paper's scheme behind the
+:class:`~repro.core.policies.BacklightPolicy` interface.  These tests
+pin the default policy to an inline transcription of the *pre-refactor*
+pipeline — analyze, detect scenes, clip, bind, per-frame contrast
+enhancement — on both fixture clips and hypothesis-generated pixel
+batches, across every execution engine.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core import SchemeParameters
+from repro.core.analyzer import StreamAnalyzer
+from repro.core.annotation import (
+    AnnotationTrack,
+    DeviceAnnotationTrack,
+    DeviceSceneAnnotation,
+    SceneAnnotation,
+)
+from repro.core.clipping import policy_for_quality
+from repro.core.compensation import CompensationResult, contrast_enhancement
+from repro.core.engine import ENGINE_KINDS
+from repro.core.pipeline import AnnotationPipeline, sweep_quality_levels
+from repro.core.scene import SceneDetector
+from repro.display import ipaq_3650, ipaq_5555
+from repro.video import VideoClip
+
+
+def reference_device_track(clip, device, params, per_scene_clipping=False):
+    """The pre-refactor pipeline, transcribed stage by stage."""
+    stats = StreamAnalyzer().analyze(clip)
+    scenes = SceneDetector(params).detect(stats)
+    clipping = policy_for_quality(
+        params.quality, per_scene=per_scene_clipping, color_safe=params.color_safe
+    )
+    annotations = [
+        SceneAnnotation(
+            start=scene.start,
+            end=scene.end,
+            effective_max_luminance=clipping.effective_max(scene, stats),
+        )
+        for scene in scenes
+    ]
+    transfer = device.transfer
+    bound = []
+    for scene in annotations:
+        level = transfer.level_for_scene(scene.effective_max_luminance)
+        gain = transfer.compensation_gain_for_level(level) if level > 0 else 1.0
+        bound.append(
+            DeviceSceneAnnotation(
+                start=scene.start,
+                end=scene.end,
+                backlight_level=level,
+                compensation_gain=max(gain, 1.0),
+            )
+        )
+    return DeviceAnnotationTrack(
+        clip_name=clip.name,
+        device_name=device.name,
+        frame_count=clip.frame_count,
+        fps=clip.fps,
+        quality=params.quality,
+        scenes=bound,
+    )
+
+
+def reference_compensated(clip, track):
+    """Pre-refactor per-frame compensation for a bound track."""
+    gains = track.per_frame_gains()
+    results = []
+    for i in range(clip.frame_count):
+        frame = clip.frame(i)
+        gain = float(gains[i])
+        if gain <= 1.0:
+            results.append(CompensationResult(frame=frame.copy(), clipped_fraction=0.0))
+        else:
+            results.append(contrast_enhancement(frame, gain))
+    return results
+
+
+def assert_stream_matches_reference(clip, device, params, engine=None,
+                                    per_scene_clipping=False):
+    pipeline = AnnotationPipeline(
+        params, per_scene_clipping=per_scene_clipping, engine=engine
+    )
+    stream = pipeline.build_stream(clip, device)
+    reference = reference_device_track(
+        clip, device, params, per_scene_clipping=per_scene_clipping
+    )
+    assert stream.track.to_bytes() == reference.to_bytes()
+    assert np.array_equal(stream.track.per_frame_levels(),
+                          reference.per_frame_levels())
+    assert np.array_equal(stream.track.per_frame_gains(),
+                          reference.per_frame_gains())
+
+    expected = reference_compensated(clip, reference)
+    for i in (0, clip.frame_count // 2, clip.frame_count - 1):
+        got = stream.compensated_frame(i)
+        assert np.array_equal(got.frame.pixels, expected[i].frame.pixels)
+        assert got.clipped_fraction == pytest.approx(expected[i].clipped_fraction)
+    for chunk in stream.iter_chunks(chunk_size=5):
+        for offset in range(len(chunk)):
+            i = chunk.start + offset
+            assert np.array_equal(chunk.pixels[offset], expected[i].frame.pixels), (
+                f"frame {i} diverges from the pre-refactor pipeline"
+            )
+            assert chunk.clipped_fractions[offset] == pytest.approx(
+                expected[i].clipped_fraction
+            )
+
+
+CLIP_PIXELS = arrays(
+    dtype=np.uint8,
+    shape=st.tuples(
+        st.integers(min_value=6, max_value=14),   # frames
+        st.just(12), st.just(16), st.just(3),     # H, W, C
+    ),
+    elements=st.integers(min_value=0, max_value=255),
+)
+
+
+class TestHypothesisEquivalence:
+    @given(pixels=CLIP_PIXELS, quality=st.sampled_from([0.0, 0.01, 0.05, 0.2]))
+    @settings(max_examples=10, deadline=None)
+    def test_random_clips_bit_identical(self, pixels, quality):
+        clip = VideoClip(list(pixels), fps=24.0, name="hypo")
+        params = SchemeParameters(quality=quality, min_scene_interval_frames=3)
+        assert_stream_matches_reference(clip, ipaq_5555(), params)
+
+    @given(pixels=CLIP_PIXELS)
+    @settings(max_examples=6, deadline=None)
+    def test_per_scene_variant_bit_identical(self, pixels):
+        clip = VideoClip(list(pixels), fps=24.0, name="hypo")
+        params = SchemeParameters(quality=0.05, min_scene_interval_frames=3)
+        assert_stream_matches_reference(
+            clip, ipaq_3650(), params, per_scene_clipping=True
+        )
+
+
+class TestEngineEquivalence:
+    @pytest.mark.parametrize("engine", ENGINE_KINDS)
+    def test_every_engine_bit_identical(self, tiny_clip, fast_params, device, engine):
+        assert_stream_matches_reference(
+            tiny_clip, device, fast_params, engine=engine
+        )
+
+
+class TestSweepEquivalence:
+    def test_sweep_matches_reference_per_quality(self, tiny_clip, device, fast_params):
+        qualities = (0.01, 0.1)
+        streams = sweep_quality_levels(
+            tiny_clip, device, qualities, params=fast_params
+        )
+        for q, stream in zip(qualities, streams):
+            reference = reference_device_track(
+                tiny_clip, device, fast_params.with_quality(q)
+            )
+            assert stream.track.to_bytes() == reference.to_bytes()
+
+    def test_explicit_policy_name_matches_default(self, tiny_clip, device, fast_params):
+        by_name = AnnotationPipeline(fast_params, policy="clip-quality").build_stream(
+            tiny_clip, device
+        )
+        by_default = AnnotationPipeline(fast_params).build_stream(tiny_clip, device)
+        assert by_name.track.to_bytes() == by_default.track.to_bytes()
+
+
+class TestTrackBytesUnchanged:
+    """The device-independent track stays byte-stable too."""
+
+    def test_annotation_track_bytes(self, tiny_clip, fast_params):
+        track = AnnotationPipeline(fast_params).annotate(tiny_clip)
+        stats = StreamAnalyzer().analyze(tiny_clip)
+        scenes = SceneDetector(fast_params).detect(stats)
+        clipping = policy_for_quality(
+            fast_params.quality, per_scene=False, color_safe=fast_params.color_safe
+        )
+        reference = AnnotationTrack(
+            clip_name=tiny_clip.name,
+            frame_count=tiny_clip.frame_count,
+            fps=tiny_clip.fps,
+            quality=fast_params.quality,
+            scenes=[
+                SceneAnnotation(
+                    start=s.start,
+                    end=s.end,
+                    effective_max_luminance=clipping.effective_max(s, stats),
+                )
+                for s in scenes
+            ],
+        )
+        assert track.to_bytes() == reference.to_bytes()

@@ -167,3 +167,73 @@ class TestServerProfilesOnce:
         )
         assert len(streams) == 2
         assert analyze_calls == ["movie"]
+
+
+class TestPolicyIdentityInCacheKeys:
+    """Regression: two policies over one clip must never collide.
+
+    Profiling is statistics-only and identical across today's shipped
+    policies, but the key must carry the policy identity so a future
+    policy with its own profiling pass (e.g. one that needs spatial
+    stats) cannot silently read another policy's entry.
+    """
+
+    def test_key_for_differs_by_policy(self):
+        clip = random_clip(seed=20)
+        params = SchemeParameters()
+        default_key = ProfileCache.key_for(clip, params)
+        assert default_key == ProfileCache.key_for(clip, params, policy=None)
+        assert default_key == ProfileCache.key_for(
+            clip, params, policy="clip-quality"
+        )
+        assert default_key != ProfileCache.key_for(clip, params, policy="hebs")
+        assert ProfileCache.key_for(clip, params, policy="hebs") != (
+            ProfileCache.key_for(clip, params, policy="spatial")
+        )
+
+    def test_same_policy_different_config_shares_profiles(self):
+        from repro.core import HebsPolicy
+
+        clip = random_clip(seed=21)
+        params = SchemeParameters()
+        assert ProfileCache.key_for(
+            clip, params, policy=HebsPolicy(dim_factor=2.0)
+        ) == ProfileCache.key_for(clip, params, policy=HebsPolicy(dim_factor=9.0))
+
+    def test_get_or_compute_partitions_by_policy(self):
+        cache = ProfileCache()
+        clip = random_clip(seed=22)
+        params = SchemeParameters()
+        computes = []
+
+        def compute(tag):
+            return lambda: computes.append(tag) or tag
+
+        assert cache.get_or_compute(clip, params, compute("default")) == "default"
+        assert cache.get_or_compute(
+            clip, params, compute("hebs"), policy="hebs"
+        ) == "hebs"
+        # Both entries now live side by side.
+        assert cache.get_or_compute(
+            clip, params, compute("again"), policy=None
+        ) == "default"
+        assert cache.get_or_compute(
+            clip, params, compute("again"), policy="hebs"
+        ) == "hebs"
+        assert computes == ["default", "hebs"]
+
+    def test_pipelines_with_different_policies_share_one_cache(self, analyze_calls):
+        from repro.core.pipeline import AnnotationPipeline
+
+        cache = ProfileCache()
+        clip = random_clip(seed=23, name="movie")
+        params = SchemeParameters()
+        for policy in (None, "hebs", "spatial"):
+            AnnotationPipeline(
+                params, profile_cache=cache, policy=policy
+            ).annotate(clip)
+        # Each policy name gets its own entry (defensive partitioning) …
+        assert analyze_calls == ["movie", "movie", "movie"]
+        # … but re-running any of them is a pure cache hit.
+        AnnotationPipeline(params, profile_cache=cache, policy="hebs").annotate(clip)
+        assert analyze_calls == ["movie", "movie", "movie"]

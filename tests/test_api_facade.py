@@ -2,8 +2,8 @@
 
 The facade is a thin routing layer — every service call must produce
 byte-identical results to the scattered pre-facade spellings it
-replaces, and those spellings must keep working behind a
-:class:`DeprecationWarning`.
+replaces.  The pre-facade top-level aliases finished their deprecation
+cycle and must now be gone.
 """
 
 import asyncio
@@ -168,41 +168,37 @@ class TestStreamingService:
         assert fresh.catalog() == (tiny_clip.name,)
 
 
-class TestDeprecatedSpellings:
-    def test_top_level_aliases_warn_and_resolve(self):
-        from repro.streaming.server import MediaServer as canonical
-
-        with pytest.warns(DeprecationWarning, match="repro.api"):
-            alias = repro.MediaServer
-        assert alias is canonical
+class TestRetiredSpellings:
+    """The pre-facade shims completed their deprecation cycle and are gone."""
 
     @pytest.mark.parametrize(
-        "name", ["MobileClient", "TranscodingProxy", "AnnotationPipeline",
-                 "sweep_quality_levels", "EngineConfig", "run_pipeline"]
+        "name", ["MediaServer", "MobileClient", "TranscodingProxy",
+                 "AnnotationPipeline", "sweep_quality_levels", "EngineConfig",
+                 "run_pipeline"]
     )
-    def test_every_documented_alias_still_importable(self, name):
-        with pytest.warns(DeprecationWarning):
-            assert getattr(repro, name) is not None
+    def test_retired_top_level_aliases_raise(self, name):
+        with pytest.raises(AttributeError):
+            getattr(repro, name)
 
     def test_unknown_attribute_still_raises(self):
         with pytest.raises(AttributeError):
             repro.definitely_not_an_api
 
-    def test_deprecated_names_not_in_all(self):
+    def test_retired_names_not_in_all(self):
         for name in ("MediaServer", "AnnotationPipeline", "run_pipeline"):
             assert name not in repro.__all__
 
-    def test_run_pipeline_warns_and_matches_facade(self, tiny_clip, fast_params):
-        from repro.core import run_pipeline
+    def test_run_pipeline_removed_from_core(self):
+        with pytest.raises(ImportError):
+            from repro.core import run_pipeline  # noqa: F401
+        import repro.core as core
 
-        with pytest.warns(DeprecationWarning, match="AnnotationService"):
-            legacy = run_pipeline(
-                tiny_clip, "ipaq5555", quality=0.05, params=fast_params
-            )
-        facade = api.AnnotationService(fast_params.with_quality(0.05)).build_stream(
-            tiny_clip, "ipaq5555"
-        )
-        assert legacy.track.to_bytes() == facade.track.to_bytes()
+        assert "run_pipeline" not in core.__all__
+
+    def test_canonical_homes_still_export_the_building_blocks(self):
+        from repro.core.pipeline import AnnotationPipeline  # noqa: F401
+        from repro.core.pipeline import sweep_quality_levels  # noqa: F401
+        from repro.streaming import MediaServer, MobileClient  # noqa: F401
 
     def test_supported_surface_importable_without_warning(self):
         with warnings.catch_warnings():

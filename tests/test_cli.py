@@ -44,6 +44,36 @@ class TestAnnotate:
         assert track.frame_count > 0
 
 
+class TestPolicyFlag:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["annotate", "catwoman", "--policy", "warp"])
+
+    def test_annotate_with_alternative_policy(self, capsys):
+        assert main(["annotate", "catwoman", "--scale", "0.2",
+                     "--policy", "hebs"]) == 0
+        out = capsys.readouterr().out
+        assert "scenes" in out
+
+    def test_stats_snapshot_distinguishes_policies(self, capsys):
+        assert main(["annotate", "ice_age", "--scale", "0.1",
+                     "--policy", "spatial", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "policy.spatial" in out
+        assert "repro_policy_scenes_total{policy=spatial}" in out
+
+    def test_policy_changes_the_annotation(self, capsys, tmp_path):
+        tracks = {}
+        for policy in ("clip-quality", "hebs"):
+            path = tmp_path / f"{policy}.bin"
+            assert main(["annotate", "catwoman", "--scale", "0.2",
+                         "--policy", policy, "-o", str(path)]) == 0
+            tracks[policy] = path.read_bytes()
+        assert tracks["clip-quality"] != tracks["hebs"]
+        assert tracks["clip-quality"][:4] == b"AND1"
+        assert tracks["hebs"][:4] == b"AND2"
+
+
 class TestSavings:
     def test_reports_both_savings(self, capsys):
         assert main(["savings", "spiderman2", "--scale", "0.15",
