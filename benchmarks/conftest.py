@@ -60,6 +60,10 @@ def _telemetry_isolation():
 
     telemetry.enable()
     telemetry.reset_registry()
+    telemetry.clear_spans()
+    telemetry.clear_flight_events()
     yield
     telemetry.enable()
     telemetry.reset_registry()
+    telemetry.clear_spans()
+    telemetry.clear_flight_events()

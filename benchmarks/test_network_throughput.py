@@ -12,8 +12,13 @@ every engine sustains at least real-time delivery for the whole fleet.
 A second timed run pushes the same fleet through a **capped** server
 (admission control with a wide accept queue) to price the resilience
 layer's slot bookkeeping; it must clear the same real-time floor.
-Results go to ``results/BENCH_network.json`` and
-``results/network_throughput.txt``.
+
+Each fetch also reports its latency SLO profile (time-to-first-frame,
+inter-frame gaps, deadline misses against the clip's delivery schedule),
+aggregated per engine into the JSON payload, and one session's full
+distributed trace (client + server spans, one linked tree) is exported
+to ``results/trace_sample.jsonl`` as a CI artifact.  Results go to
+``results/BENCH_network.json`` and ``results/network_throughput.txt``.
 """
 
 import asyncio
@@ -26,7 +31,7 @@ import pytest
 from repro.core import ProfileCache, SchemeParameters
 from repro.net import AnnotationStreamServer, AsyncMobileClient
 from repro.streaming import ClientCapabilities, MediaServer, SessionRequest
-from repro.telemetry import registry
+from repro.telemetry import registry, span_events, spans_to_jsonl
 from repro.video import ArrayClip, make_clip
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
@@ -72,6 +77,26 @@ async def _fetch_fleet(media, device, sessions, **server_kwargs):
     return results, elapsed
 
 
+def _latency_summary(results):
+    """Aggregate the fleet's per-session latency SLO stats."""
+    stats = [r.latency for r in results if r.latency is not None]
+    if not stats:
+        return None
+    frames = sum(s.frame_count for s in stats)
+    return {
+        "sessions": len(stats),
+        "frames": frames,
+        "ttff_mean_s": sum(s.ttff_s for s in stats) / len(stats),
+        "ttff_max_s": max(s.ttff_s for s in stats),
+        "frame_gap_mean_s": sum(s.mean_gap_s for s in stats) / len(stats),
+        "frame_gap_max_s": max(s.max_gap_s for s in stats),
+        "deadline_misses": sum(s.deadline_misses for s in stats),
+        "deadline_miss_fraction": (
+            sum(s.deadline_misses for s in stats) / frames if frames else 0.0
+        ),
+    }
+
+
 def test_network_throughput(report, workload, device):
     clip = workload
     n = clip.frame_count
@@ -79,6 +104,8 @@ def test_network_throughput(report, workload, device):
     seconds = {}
     frames_served = {}
     wire_bytes = {}
+    latency = {}
+    sample_trace_id = None
     for kind in ENGINES:
         media = _make_server(clip, kind)
         bytes_before = registry().get("repro_net_bytes_sent_total")
@@ -89,6 +116,9 @@ def test_network_throughput(report, workload, device):
         wire_bytes[kind] = registry().get(
             "repro_net_bytes_sent_total"
         ).value - bytes_before
+        latency[kind] = _latency_summary(results)
+        if kind == "chunked":
+            sample_trace_id = results[0].trace_id
         # Completeness gate: every session delivered the whole clip on
         # the first attempt (loopback, no injected faults).
         assert frames_served[kind] == SESSIONS * n, kind
@@ -135,6 +165,7 @@ def test_network_throughput(report, workload, device):
                 "frames_per_sec": frames_per_sec[kind],
                 "wire_bytes": int(wire_bytes[kind]),
                 "wire_mbytes_per_sec": mbytes_per_sec[kind],
+                "latency": latency[kind],
             }
             for kind in ENGINES
         },
@@ -144,6 +175,18 @@ def test_network_throughput(report, workload, device):
     json_path = os.path.join(RESULTS_DIR, "BENCH_network.json")
     with open(json_path, "w") as fh:
         json.dump(payload, fh, indent=2)
+
+    # Export one session's full distributed trace (client + server spans
+    # share the in-process collector here) as a JSON-lines CI artifact.
+    trace_path = os.path.join(RESULTS_DIR, "trace_sample.jsonl")
+    assert sample_trace_id is not None
+    trace_spans = span_events(trace_id=sample_trace_id)
+    assert len(trace_spans) >= 5, trace_spans
+    roots = [e for e in trace_spans
+             if e["parent_id"] not in {s["span_id"] for s in trace_spans}]
+    assert len(roots) == 1, roots  # one fetch -> one linked tree
+    with open(trace_path, "w") as fh:
+        fh.write(spans_to_jsonl(trace_spans))
 
     lines = [
         f"wire throughput on {clip.name!r} "
@@ -163,8 +206,26 @@ def test_network_throughput(report, workload, device):
         f"(cap {admission['max_sessions']}, "
         f"{admission['slowdown_vs_uncapped']:.2f}x uncapped chunked)"
     )
+    for kind in ENGINES:
+        slo = latency[kind]
+        lines.append(
+            f"{kind:<12} SLO: ttff {slo['ttff_mean_s'] * 1e3:.1f} ms mean "
+            f"/ {slo['ttff_max_s'] * 1e3:.1f} ms max, "
+            f"gap {slo['frame_gap_mean_s'] * 1e3:.2f} ms mean, "
+            f"{slo['deadline_misses']} deadline misses "
+            f"({slo['deadline_miss_fraction']:.2%} of {slo['frames']} frames)"
+        )
+    lines.append(f"trace sample ({len(trace_spans)} spans) -> {trace_path}")
     lines.append(f"json -> {json_path}")
     report("network_throughput", lines)
+
+    # SLO gate: on loopback the server streams far faster than playback,
+    # so virtually no frame may arrive after its schedule slot.  A small
+    # allowance absorbs scheduler jitter under 8-way concurrency.
+    for kind in ENGINES:
+        assert latency[kind] is not None, kind
+        assert latency[kind]["sessions"] == SESSIONS, kind
+        assert latency[kind]["deadline_miss_fraction"] <= 0.05, latency[kind]
 
     # The capped run serves at most max_sessions streams at once, so it
     # is necessarily slower end to end — but it must still beat the

@@ -61,6 +61,8 @@ __all__ = [
     "fetch_stream_sync",
     "server_status",
     "server_status_sync",
+    "server_stats",
+    "server_stats_sync",
 ]
 
 #: Process-wide default engine, set by :func:`configure_engine`.
@@ -462,3 +464,57 @@ def server_status_sync(host: str, port: int, timeout_s: float = 5.0):
     :func:`server_status`.
     """
     return asyncio.run(server_status(host, port, timeout_s=timeout_s))
+
+
+async def server_stats(
+    host: str,
+    port: int,
+    timeout_s: float = 5.0,
+    format: str = "json",
+    include_events: bool = False,
+    include_spans: bool = False,
+    limit: Optional[int] = None,
+):
+    """Scrape a wire server's live observability snapshot (async).
+
+    ``host`` / ``port`` locate the server; ``timeout_s`` bounds connect
+    and read.  ``format`` selects the metrics rendering (``json``
+    embeds the full snapshot dict under ``metrics``; ``prometheus``
+    embeds exposition text under ``prometheus``).  ``include_events``
+    attaches the server's flight-recorder tail, ``include_spans`` its
+    collected trace spans, and ``limit`` caps how many of each come
+    back.  Like :func:`server_status`, the probe bypasses admission
+    control, so it answers from a saturated or draining server.
+    Returns the statsdump payload dict (always includes the server's
+    ``health`` snapshot).  Raises ``OSError`` /
+    ``asyncio.TimeoutError`` when the server is unreachable.
+    """
+    from .net.client import fetch_stats
+
+    return await fetch_stats(
+        host, port, timeout_s=timeout_s, format=format,
+        include_events=include_events, include_spans=include_spans,
+        limit=limit,
+    )
+
+
+def server_stats_sync(
+    host: str,
+    port: int,
+    timeout_s: float = 5.0,
+    format: str = "json",
+    include_events: bool = False,
+    include_spans: bool = False,
+    limit: Optional[int] = None,
+):
+    """Blocking wrapper over :func:`server_stats` for sync callers.
+
+    Same ``host`` / ``port`` / ``timeout_s`` / ``format`` /
+    ``include_events`` / ``include_spans`` / ``limit`` arguments and
+    statsdump payload dict return value as :func:`server_stats`.
+    """
+    return asyncio.run(server_stats(
+        host, port, timeout_s=timeout_s, format=format,
+        include_events=include_events, include_spans=include_spans,
+        limit=limit,
+    ))

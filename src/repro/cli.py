@@ -11,9 +11,15 @@ Subcommands map to the library's main workflows, all routed through the
   (admission control via ``--max-sessions``/``--accept-queue``, session
   resume via ``--resume-window``, graceful drain via ``--drain-timeout``);
 * ``fetch``     — pull a stream from a running server and play it;
-* ``status``    — probe a running server's health/readiness;
+* ``status``    — probe a running server's health/readiness (exit code 0
+  when the server is accepting sessions, 1 otherwise);
+* ``stats``     — scrape a running server's live metrics snapshot and
+  flight-recorder tail over the admission-bypassing ``stats`` probe
+  (``--watch`` re-polls on an interval);
 * ``calibrate`` — camera characterization of a device (Figures 7/8);
-* ``trace``     — Figure 6 sparklines for one clip;
+* ``trace``     — Figure 6 sparklines for one clip, or with ``--wire``
+  fetch the clip from a running server and print the linked
+  client+server distributed trace (``--jsonl`` for machine output);
 * ``telemetry`` — run a demo pipeline and dump the metrics registry.
 
 The annotation workflows (``annotate``, ``savings``, ``sweep``) accept
@@ -26,7 +32,9 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+import json
 import sys
+import time
 from typing import List, Optional
 
 import numpy as np
@@ -242,6 +250,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
             completed = await srv.drain(args.drain_timeout)
             print("drained cleanly" if completed
                   else "drain deadline hit; stragglers cancelled", flush=True)
+            tail = (telemetry.flight_events(limit=args.flight_tail)
+                    if args.flight_tail > 0 else [])
+            if tail:
+                print(f"flight recorder (last {len(tail)} events):", flush=True)
+                for event in tail:
+                    print(f"  {_format_flight_event(event)}", flush=True)
 
     try:
         asyncio.run(run())
@@ -266,6 +280,61 @@ def cmd_status(args: argparse.Namespace) -> int:
     print(f"waiting sessions  : {status.waiting_sessions}")
     print(f"resumable sessions: {status.resumable_sessions}")
     return 0 if status.accepting else 1
+
+
+def _format_flight_event(event: dict) -> str:
+    """One flight-recorder event as a single log-style line."""
+    fields = {k: v for k, v in event.items() if k not in ("ts", "kind")}
+    detail = " ".join(f"{k}={v}" for k, v in sorted(fields.items()))
+    return f"{event.get('ts', 0.0):.3f} {event.get('kind', '?'):<18} {detail}".rstrip()
+
+
+def _print_stats_payload(payload: dict, fmt: str) -> None:
+    """Render one statsdump payload in the selected format."""
+    if fmt == "prometheus":
+        sys.stdout.write(payload.get("prometheus", ""))
+        return
+    if fmt == "json":
+        print(json.dumps(payload, sort_keys=True))
+        return
+    health = payload.get("health", {})
+    print("server health:")
+    for key in sorted(health):
+        print(f"  {key:<18}: {health[key]}")
+    metrics = payload.get("metrics")
+    if metrics is not None:
+        print(telemetry.format_table(telemetry.registry_from_snapshot(metrics)))
+    events = payload.get("events")
+    if events:
+        print(f"flight recorder (last {len(events)} events):")
+        for event in events:
+            print(f"  {_format_flight_event(event)}")
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Scrape a running server's live observability snapshot."""
+    from .api import server_stats_sync
+
+    wire_format = "prometheus" if args.format == "prometheus" else "json"
+    polls = 0
+    while True:
+        try:
+            payload = server_stats_sync(
+                args.host, args.port, timeout_s=args.timeout,
+                format=wire_format, include_events=args.events,
+                include_spans=args.spans, limit=args.limit,
+            )
+        except (OSError, asyncio.TimeoutError) as exc:
+            print(f"error: server unreachable: {exc}", file=sys.stderr)
+            return 1
+        polls += 1
+        if args.watch is not None and polls > 1:
+            print()
+        _print_stats_payload(payload, args.format)
+        if args.watch is None or (args.count is not None and polls >= args.count):
+            return 0
+        sys.stdout.flush()
+        time.sleep(args.watch)
 
 
 def cmd_fetch(args: argparse.Namespace) -> int:
@@ -329,8 +398,58 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace_wire(args: argparse.Namespace) -> int:
+    """Fetch a clip over the wire and print the linked distributed trace.
+
+    One fetch yields one trace: the client's ``net.fetch`` tree plus the
+    server-side spans scraped back over the ``stats`` probe, merged by
+    trace id into a single parent→child tree (or JSON-lines with
+    ``--jsonl``).
+    """
+    from .api import server_stats_sync
+    from .net import StreamFetchError
+    from .streaming import NegotiationError
+
+    try:
+        fetched = fetch_stream_sync(
+            args.host, args.port, args.clip, args.quality, args.device,
+            max_retries=args.retries,
+        )
+    except (StreamFetchError, NegotiationError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    trace_id = fetched.trace_id
+    if trace_id is None:
+        print("error: tracing is disabled; enable telemetry to record a "
+              "wire trace", file=sys.stderr)
+        return 1
+    events = list(telemetry.span_events(trace_id=trace_id))
+    try:
+        payload = server_stats_sync(
+            args.host, args.port, timeout_s=5.0, include_spans=True,
+        )
+    except (OSError, asyncio.TimeoutError) as exc:
+        print(f"warning: stats probe failed ({exc}); showing client spans only",
+              file=sys.stderr)
+        payload = {}
+    seen = {event.get("span_id") for event in events}
+    for event in payload.get("spans", []):
+        if event.get("trace_id") == trace_id and event.get("span_id") not in seen:
+            events.append(event)
+    if args.jsonl:
+        sys.stdout.write(telemetry.spans_to_jsonl(events, trace_id=trace_id))
+    else:
+        print(f"{args.clip} fetched in {fetched.attempts} attempt(s), "
+              f"{len(events)} spans:")
+        print(telemetry.format_trace_tree(events, trace_id=trace_id))
+    return 0
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
-    """Print the Figure 6 series as sparklines."""
+    """Print the Figure 6 series as sparklines (or, with ``--wire``,
+    fetch the clip from a server and print the distributed trace)."""
+    if args.wire:
+        return _cmd_trace_wire(args)
     clip = make_clip(args.clip, duration_scale=args.scale)
     device = get_device(args.device)
     service = AnnotationService(
@@ -403,6 +522,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "(0 disables resume tokens)")
     p.add_argument("--duration", type=float, default=None,
                    help="serve for N seconds then exit (default: forever)")
+    p.add_argument("--flight-tail", type=int, default=16,
+                   help="flight-recorder events to dump after drain "
+                        "(0 disables the dump)")
     p.add_argument("--scale", type=float, default=0.5,
                    help="duration scale for the synthetic clips")
     p.add_argument("--engine", default=None, choices=ENGINE_KINDS,
@@ -418,6 +540,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--timeout", type=float, default=5.0,
                    help="probe connect/read timeout, in seconds")
     p.set_defaults(fn=cmd_status)
+
+    p = sub.add_parser("stats", help="scrape a running server's live metrics")
+    p.add_argument("--host", default="127.0.0.1", help="server address")
+    p.add_argument("--port", type=int, default=8765, help="server port")
+    p.add_argument("--timeout", type=float, default=5.0,
+                   help="probe connect/read timeout, in seconds")
+    p.add_argument("--format", default="table",
+                   choices=("table", "json", "prometheus"),
+                   help="snapshot rendering (default: table)")
+    p.add_argument("--events", action="store_true",
+                   help="include the server's flight-recorder tail")
+    p.add_argument("--spans", action="store_true",
+                   help="include the server's collected trace spans")
+    p.add_argument("--limit", type=int, default=None,
+                   help="cap the events/spans returned per probe")
+    p.add_argument("--watch", type=float, default=None, metavar="SECONDS",
+                   help="re-poll every SECONDS instead of probing once")
+    p.add_argument("--count", type=int, default=None,
+                   help="with --watch, stop after N polls (default: forever)")
+    p.set_defaults(fn=cmd_stats)
 
     p = sub.add_parser("fetch", help="fetch a stream from a server and play it")
     p.add_argument("clip", help="clip name to request")
@@ -445,9 +587,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--device", default="ipaq5555", choices=sorted(DEVICE_REGISTRY))
     p.set_defaults(fn=cmd_calibrate)
 
-    p = sub.add_parser("trace", help="Figure 6 sparklines for one clip")
+    p = sub.add_parser("trace",
+                       help="Figure 6 sparklines, or --wire distributed trace")
     _add_clip_arg(p)
     _add_common(p)
+    p.add_argument("--wire", action="store_true",
+                   help="fetch the clip from a running server and print the "
+                        "linked client+server trace instead of sparklines")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="server address (with --wire)")
+    p.add_argument("--port", type=int, default=8765,
+                   help="server port (with --wire)")
+    p.add_argument("--retries", type=int, default=4,
+                   help="fetch retries after transient failures (with --wire)")
+    p.add_argument("--jsonl", action="store_true",
+                   help="emit the trace as JSON-lines instead of a tree "
+                        "(with --wire)")
     p.set_defaults(fn=cmd_trace)
 
     p = sub.add_parser("report", help="run the full reproduction sweep")

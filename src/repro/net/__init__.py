@@ -9,8 +9,10 @@ stream on an actual socket:
   with a fixed 32-byte header (the same ``PACKET_HEADER_BYTES`` the
   network model charges), CRC32 integrity, zero-copy frame payloads.
 * :mod:`repro.net.messages` — the control-packet vocabulary (hello /
-  resume / session / end / busy / health / status / error) used for
-  session negotiation, load shedding and health probing on the wire.
+  resume / session / end / busy / health / status / stats / statsdump /
+  error) used for session negotiation, load shedding, health probing
+  and live stats scraping on the wire; hello/resume carry distributed-
+  trace ids so server spans link under the client's fetch trace.
 * :mod:`repro.net.server` — :class:`AnnotationStreamServer`: hosts many
   concurrent sessions over ``asyncio.start_server`` with per-session
   bounded send queues (backpressure), admission control with a bounded
@@ -44,6 +46,7 @@ from .messages import (
     EndInfo,
     HelloInfo,
     ResumeInfo,
+    StatsRequest,
     StatusInfo,
     decode_control,
     encode_busy,
@@ -53,6 +56,8 @@ from .messages import (
     encode_hello,
     encode_resume,
     encode_session,
+    encode_stats_request,
+    encode_statsdump,
     encode_status,
 )
 from .fault import FaultSpec, LossyTransport
@@ -67,8 +72,11 @@ from .client import (
     CircuitBreaker,
     CircuitOpenError,
     FetchResult,
+    LatencyStats,
     ServerBusyError,
     StreamFetchError,
+    fetch_stats,
+    fetch_stats_sync,
     fetch_status,
     fetch_status_sync,
 )
@@ -89,6 +97,7 @@ __all__ = [
     "EndInfo",
     "BusyInfo",
     "StatusInfo",
+    "StatsRequest",
     "decode_control",
     "encode_hello",
     "encode_resume",
@@ -97,6 +106,8 @@ __all__ = [
     "encode_busy",
     "encode_health",
     "encode_status",
+    "encode_stats_request",
+    "encode_statsdump",
     "encode_error",
     "FaultSpec",
     "LossyTransport",
@@ -109,7 +120,10 @@ __all__ = [
     "CircuitOpenError",
     "ServerBusyError",
     "FetchResult",
+    "LatencyStats",
     "StreamFetchError",
     "fetch_status",
     "fetch_status_sync",
+    "fetch_stats",
+    "fetch_stats_sync",
 ]

@@ -37,6 +37,7 @@ import asyncio
 import random
 import time
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Callable, List, Optional
 
 from ..display.devices import DeviceProfile
@@ -44,7 +45,12 @@ from ..player.playback import PlaybackResult
 from ..streaming.client import MobileClient, StreamProtocolError
 from ..streaming.packets import MediaPacket, PacketType
 from ..streaming.session import NegotiationError, SessionDescription
-from ..telemetry import registry as telemetry_registry, trace
+from ..telemetry import (
+    emit_span,
+    record_event,
+    registry as telemetry_registry,
+    trace,
+)
 from .codec import WireFormatError, encode_packet_bytes, read_packet
 from .messages import (
     StatusInfo,
@@ -52,6 +58,7 @@ from .messages import (
     encode_health,
     encode_hello,
     encode_resume,
+    encode_stats_request,
     raise_for_error,
 )
 
@@ -138,12 +145,74 @@ class CircuitBreaker:
         """Count a failed attempt; trips the breaker at the threshold."""
         self._failures += 1
         if self._failures >= self.failure_threshold:
+            if self._open_until is None:
+                record_event("breaker_open", failures=self._failures,
+                             reset_after_s=self.reset_after_s)
             self._open_until = self._clock() + self.reset_after_s
 
     def record_success(self) -> None:
         """Close the circuit and forget the failure run."""
+        if self._open_until is not None:
+            record_event("breaker_close", failures=self._failures)
         self._failures = 0
         self._open_until = None
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Per-session delivery latency measured against the playout clock.
+
+    ``ttff_s`` is time-to-first-frame from the start of :meth:`fetch`
+    (connection setup, retries and annotation records included — the
+    user-visible startup delay).  ``mean_gap_s``/``max_gap_s``
+    summarize inter-frame arrival gaps.  ``deadline_misses`` counts
+    frames that arrived after their playout deadline under the model
+    used by :class:`~repro.streaming.network.DeliverySchedule`:
+    playback starts when the first frame lands, frame ``i`` is due at
+    ``first_arrival + i / fps``.
+    """
+
+    ttff_s: float
+    mean_gap_s: float
+    max_gap_s: float
+    deadline_misses: int
+    frame_count: int
+
+    @classmethod
+    def from_arrivals(
+        cls, start_s: float, arrivals: List[float], fps: float
+    ) -> Optional["LatencyStats"]:
+        """Derive the stats from raw arrival timestamps.
+
+        Parameters
+        ----------
+        start_s:
+            ``perf_counter`` timestamp when the fetch began.
+        arrivals:
+            Per-frame ``perf_counter`` arrival timestamps, in
+            presentation order.
+        fps:
+            The clip's playout rate (deadline spacing).  Must be > 0.
+
+        Returns ``None`` when no frames arrived.
+        """
+        if not arrivals:
+            return None
+        if fps <= 0:
+            raise ValueError("fps must be positive")
+        gaps = [b - a for a, b in zip(arrivals, arrivals[1:])]
+        first = arrivals[0]
+        interval = 1.0 / fps
+        misses = sum(
+            1 for i, t in enumerate(arrivals) if t - first > i * interval
+        )
+        return cls(
+            ttff_s=first - start_s,
+            mean_gap_s=(sum(gaps) / len(gaps)) if gaps else 0.0,
+            max_gap_s=max(gaps) if gaps else 0.0,
+            deadline_misses=misses,
+            frame_count=len(arrivals),
+        )
 
 
 @dataclass(frozen=True)
@@ -155,13 +224,18 @@ class FetchResult:
     it (annotation packets first, then frames in presentation order);
     control traffic is consumed by the protocol and not included.
     ``attempts`` counts connections made and ``resumes`` how many of
-    them continued mid-stream via a resume token.
+    them continued mid-stream via a resume token.  ``latency`` carries
+    the per-session :class:`LatencyStats` (``None`` with telemetry
+    disabled) and ``trace_id`` the distributed trace the fetch's spans
+    were recorded under (``None`` with telemetry disabled).
     """
 
     session: SessionDescription
     packets: List[MediaPacket]
     attempts: int
     resumes: int = 0
+    latency: Optional[LatencyStats] = None
+    trace_id: Optional[str] = None
 
     @property
     def frame_count(self) -> int:
@@ -178,6 +252,9 @@ class _FetchProgress:
     packets: List[MediaPacket] = field(default_factory=list)
     frames_seen: int = 0
     resumes: int = 0
+    started_s: float = 0.0
+    frame_arrivals: List[float] = field(default_factory=list)
+    decode_s: float = 0.0
 
     @property
     def resumable(self) -> bool:
@@ -185,11 +262,17 @@ class _FetchProgress:
         return self.token is not None and self.session is not None
 
     def reset(self) -> None:
-        """Discard partial state; the next attempt starts fresh."""
+        """Discard partial state; the next attempt starts fresh.
+
+        ``started_s`` and ``decode_s`` survive: time-to-first-frame is
+        measured from the original fetch start, and decode cost
+        aggregates across attempts.
+        """
         self.session = None
         self.token = None
         self.packets = []
         self.frames_seen = 0
+        self.frame_arrivals = []
 
 
 class _ResumeRejected(Exception):
@@ -284,6 +367,19 @@ class AsyncMobileClient:
             "repro_net_client_circuit_open_total",
             help="Fetches failed fast because the circuit breaker was open.",
         )
+        self._ttff_hist = reg.histogram(
+            "repro_net_client_ttff_seconds",
+            help="Time from fetch start to the first frame record.",
+        )
+        self._frame_gap_hist = reg.histogram(
+            "repro_net_client_frame_gap_seconds",
+            help="Inter-frame arrival gaps observed by clients.",
+        )
+        self._deadline_miss_counter = reg.counter(
+            "repro_net_client_deadline_misses_total",
+            help="Frames that arrived after their playout deadline "
+                 "(playback anchored at first-frame arrival, 1/fps spacing).",
+        )
 
     # ------------------------------------------------------------------
     def backoff_s(self, attempt: int) -> float:
@@ -296,77 +392,97 @@ class AsyncMobileClient:
             read_packet(reader), timeout=self.read_timeout_s
         )
 
-    async def _open_stream(self, host, port, clip_name, quality, progress):
+    async def _open_stream(self, host, port, clip_name, quality, progress,
+                           attempt: int = 0):
         """Connect and negotiate; returns (reader, writer) mid-protocol.
 
         Presents a resume token when ``progress`` carries one, a fresh
-        hello otherwise.  Raises :class:`ServerBusyError` on load shed
-        and :class:`_ResumeRejected` when the server refuses the token.
+        hello otherwise.  The opening message carries the active trace
+        id plus this connect span's id, so the server's spans link
+        under this attempt.  Raises :class:`ServerBusyError` on load
+        shed and :class:`_ResumeRejected` when the server refuses the
+        token.
         """
         resuming = self.resume and progress.resumable
-        reader, writer = await asyncio.wait_for(
-            asyncio.open_connection(host, port), timeout=self.connect_timeout_s
-        )
-        try:
-            if resuming:
-                opening = encode_resume(progress.token, len(progress.packets))
-            else:
-                progress.reset()
-                request = self._player.request(clip_name, quality)
-                opening = encode_hello(request)
-            writer.write(encode_packet_bytes(opening))
-            await writer.drain()
-
-            first = await self._read(reader)
-            if first is None:
-                raise WireFormatError("server closed before answering the hello")
-            message = decode_control(first)
-            if message.kind == "busy":
-                busy = message.busy
-                raise ServerBusyError(
-                    f"server busy ({busy.active_sessions} active"
-                    + (f" of {busy.max_sessions}" if busy.max_sessions else "")
-                    + f"); retry after {busy.retry_after_s:.2f}s",
-                    retry_after_s=busy.retry_after_s,
-                )
-            try:
-                message = raise_for_error(message)
-            except NegotiationError:
+        with trace("net.connect") as span:
+            if span is not None:
+                span.set_tag("attempt", attempt)
                 if resuming:
-                    raise _ResumeRejected() from None
-                raise
-            if message.kind != "session":
-                raise WireFormatError(
-                    f"expected a session message, got {message.kind!r}"
-                )
-            if resuming:
-                if message.resumed_at != len(progress.packets):
-                    raise WireFormatError(
-                        f"server resumed at {message.resumed_at}, client "
-                        f"holds {len(progress.packets)} records"
+                    span.set_tag("resuming", True)
+            trace_id = None if span is None else span.trace_id
+            span_id = None if span is None else span.span_id
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(host, port), timeout=self.connect_timeout_s
+            )
+            try:
+                if resuming:
+                    opening = encode_resume(progress.token, len(progress.packets),
+                                            trace_id=trace_id,
+                                            parent_span_id=span_id)
+                else:
+                    progress.reset()
+                    request = self._player.request(clip_name, quality)
+                    opening = encode_hello(request, trace_id=trace_id,
+                                           parent_span_id=span_id)
+                writer.write(encode_packet_bytes(opening))
+                await writer.drain()
+
+                first = await self._read(reader)
+                if first is None:
+                    raise WireFormatError("server closed before answering the hello")
+                message = decode_control(first)
+                if message.kind == "busy":
+                    busy = message.busy
+                    raise ServerBusyError(
+                        f"server busy ({busy.active_sessions} active"
+                        + (f" of {busy.max_sessions}" if busy.max_sessions else "")
+                        + f"); retry after {busy.retry_after_s:.2f}s",
+                        retry_after_s=busy.retry_after_s,
                     )
-                progress.resumes += 1
-                self._resumes_counter.inc()
-            else:
-                progress.session = message.session
-                progress.token = message.token if self.resume else None
-            return reader, writer
-        except BaseException:
-            await self._close_writer(writer)
-            raise
+                try:
+                    message = raise_for_error(message)
+                except NegotiationError:
+                    if resuming:
+                        raise _ResumeRejected() from None
+                    raise
+                if message.kind != "session":
+                    raise WireFormatError(
+                        f"expected a session message, got {message.kind!r}"
+                    )
+                if resuming:
+                    if message.resumed_at != len(progress.packets):
+                        raise WireFormatError(
+                            f"server resumed at {message.resumed_at}, client "
+                            f"holds {len(progress.packets)} records"
+                        )
+                    progress.resumes += 1
+                    self._resumes_counter.inc()
+                else:
+                    progress.session = message.session
+                    progress.token = message.token if self.resume else None
+                if span is not None and progress.session is not None:
+                    span.set_tag("session_id", progress.session.session_id)
+                return reader, writer
+            except BaseException:
+                await self._close_writer(writer)
+                raise
 
     async def _fetch_once(
         self, host: str, port: int, clip_name: str, quality: float,
-        progress: _FetchProgress,
+        progress: _FetchProgress, attempt: int = 0,
     ) -> FetchResult:
         """One connection's worth of fetching, continuing ``progress``."""
         reader, writer = await self._open_stream(
-            host, port, clip_name, quality, progress
+            host, port, clip_name, quality, progress, attempt=attempt
         )
+        timings = {"decode_s": 0.0}
         try:
             packets = progress.packets
             while True:
-                packet = await self._read(reader)
+                packet = await asyncio.wait_for(
+                    read_packet(reader, timings=timings),
+                    timeout=self.read_timeout_s,
+                )
                 if packet is None:
                     raise WireFormatError("server closed before end-of-stream")
                 if packet.ptype is PacketType.CONTROL:
@@ -393,6 +509,7 @@ class AsyncMobileClient:
                             f"{progress.frames_seen} (record dropped in transit?)"
                         )
                     progress.frames_seen += 1
+                    progress.frame_arrivals.append(perf_counter())
                 elif progress.frames_seen:
                     raise WireFormatError("annotation record arrived after frames")
                 packets.append(packet)
@@ -403,6 +520,7 @@ class AsyncMobileClient:
                 resumes=progress.resumes,
             )
         finally:
+            progress.decode_s += timings["decode_s"]
             await self._close_writer(writer)
 
     @staticmethod
@@ -428,9 +546,12 @@ class AsyncMobileClient:
         ``max_retries``.
         """
         last_error: Optional[BaseException] = None
-        progress = _FetchProgress()
+        progress = _FetchProgress(started_s=perf_counter())
         breaker = self.circuit_breaker
-        with trace("net.fetch"):
+        with trace("net.fetch") as fetch_span:
+            if fetch_span is not None:
+                fetch_span.set_tag("clip", clip_name)
+                fetch_span.set_tag("quality", quality)
             for attempt in range(self.max_retries + 1):
                 if attempt:
                     self._retries_counter.inc()
@@ -438,6 +559,9 @@ class AsyncMobileClient:
                     if isinstance(last_error, ServerBusyError):
                         delay = max(delay, last_error.retry_after_s)
                     await asyncio.sleep(delay)
+                    emit_span("net.retry", delay,
+                              tags={"attempt": attempt,
+                                    "cause": type(last_error).__name__})
                 if breaker is not None:
                     try:
                         breaker.before_attempt()
@@ -446,16 +570,28 @@ class AsyncMobileClient:
                         raise
                 try:
                     result = await self._fetch_once(
-                        host, port, clip_name, quality, progress
+                        host, port, clip_name, quality, progress,
+                        attempt=attempt,
                     )
                     self._fetches_counter.inc()
                     if breaker is not None:
                         breaker.record_success()
+                    latency = self._finish_latency(progress, result.session)
+                    if fetch_span is not None:
+                        fetch_span.set_tag("session_id",
+                                           result.session.session_id)
+                        fetch_span.set_tag("attempts", attempt + 1)
+                        emit_span("net.decode", progress.decode_s,
+                                  tags={"session_id":
+                                        result.session.session_id})
                     return FetchResult(
                         session=result.session,
                         packets=result.packets,
                         attempts=attempt + 1,
                         resumes=result.resumes,
+                        latency=latency,
+                        trace_id=(None if fetch_span is None
+                                  else fetch_span.trace_id),
                     )
                 except NegotiationError:
                     raise  # authoritative rejection; retrying cannot help
@@ -472,6 +608,8 @@ class AsyncMobileClient:
                     last_error = exc
                 except (StreamProtocolError, asyncio.IncompleteReadError) as exc:
                     self._protocol_errors_counter.inc()
+                    record_event("client_protocol_error", clip=clip_name,
+                                 reason=str(exc))
                     if breaker is not None:
                         breaker.record_failure()
                     last_error = exc
@@ -483,6 +621,25 @@ class AsyncMobileClient:
             f"fetch of {clip_name!r} failed after {self.max_retries + 1} "
             f"attempts: {last_error}"
         ) from last_error
+
+    def _finish_latency(
+        self, progress: _FetchProgress, session: SessionDescription
+    ) -> Optional[LatencyStats]:
+        """Fold a completed fetch's arrivals into the latency metrics."""
+        stats = LatencyStats.from_arrivals(
+            progress.started_s, progress.frame_arrivals, session.fps
+        )
+        if stats is None:
+            return None
+        self._ttff_hist.observe(stats.ttff_s)
+        if len(progress.frame_arrivals) > 1:
+            self._frame_gap_hist.observe_many(
+                [b - a for a, b in zip(progress.frame_arrivals,
+                                       progress.frame_arrivals[1:])]
+            )
+        if stats.deadline_misses:
+            self._deadline_miss_counter.inc(stats.deadline_misses)
+        return stats
 
     # ------------------------------------------------------------------
     def play(self, fetched: FetchResult, **playback_kwargs) -> PlaybackResult:
@@ -541,3 +698,103 @@ async def fetch_status(
 def fetch_status_sync(host: str, port: int, timeout_s: float = 5.0) -> StatusInfo:
     """Blocking wrapper over :func:`fetch_status` for sync callers."""
     return asyncio.run(fetch_status(host, port, timeout_s=timeout_s))
+
+
+async def fetch_stats(
+    host: str,
+    port: int,
+    timeout_s: float = 5.0,
+    format: str = "json",
+    include_events: bool = False,
+    include_spans: bool = False,
+    limit: Optional[int] = None,
+) -> dict:
+    """Probe a server's live observability snapshot over the wire.
+
+    Sends a ``stats`` control message — admission-bypassing like the
+    ``health`` probe, so it answers from a saturated or draining server
+    — and returns the decoded ``statsdump`` payload dict: the server's
+    ``health`` snapshot plus its full metrics registry (under
+    ``metrics`` for ``format="json"``, Prometheus exposition text under
+    ``prometheus`` for ``format="prometheus"``), optionally with the
+    flight-recorder tail (``events``) and collected spans (``spans``).
+
+    Parameters
+    ----------
+    host / port:
+        The server address to probe.
+    timeout_s:
+        Deadline for connecting and for reading the answer.
+    format:
+        Metrics rendering: ``json`` or ``prometheus``.
+    include_events:
+        Also request the flight-recorder tail.
+    include_spans:
+        Also request collected span events.
+    limit:
+        Cap on returned events/spans (``None`` = server defaults).
+
+    Raises :class:`WireFormatError` on a malformed answer and
+    ``OSError`` / ``asyncio.TimeoutError`` when the server is
+    unreachable.
+    """
+    reader, writer = await asyncio.wait_for(
+        asyncio.open_connection(host, port), timeout=timeout_s
+    )
+    try:
+        probe = encode_stats_request(
+            format=format,
+            include_events=include_events,
+            include_spans=include_spans,
+            limit=limit,
+        )
+        writer.write(encode_packet_bytes(probe))
+        await writer.drain()
+        packet = await asyncio.wait_for(read_packet(reader), timeout=timeout_s)
+        if packet is None:
+            raise WireFormatError("server closed before answering the probe")
+        message = raise_for_error(decode_control(packet))
+        if message.kind != "statsdump":
+            raise WireFormatError(
+                f"expected a statsdump message, got {message.kind!r}"
+            )
+        return message.statsdump
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+def fetch_stats_sync(
+    host: str,
+    port: int,
+    timeout_s: float = 5.0,
+    format: str = "json",
+    include_events: bool = False,
+    include_spans: bool = False,
+    limit: Optional[int] = None,
+) -> dict:
+    """Blocking wrapper over :func:`fetch_stats` for sync callers.
+
+    Parameters
+    ----------
+    host / port:
+        The server address to probe.
+    timeout_s:
+        Deadline for connecting and for reading the answer.
+    format:
+        Metrics rendering: ``json`` or ``prometheus``.
+    include_events:
+        Also request the flight-recorder tail.
+    include_spans:
+        Also request collected span events.
+    limit:
+        Cap on returned events/spans (``None`` = server defaults).
+    """
+    return asyncio.run(fetch_stats(
+        host, port, timeout_s=timeout_s, format=format,
+        include_events=include_events, include_spans=include_spans,
+        limit=limit,
+    ))

@@ -39,6 +39,7 @@ import asyncio
 import struct
 import zlib
 from dataclasses import dataclass
+from time import perf_counter
 from typing import List, Optional, Union
 
 import numpy as np
@@ -252,12 +253,20 @@ def decode_packet(data: Union[bytes, memoryview]) -> MediaPacket:
     return _build_packet(head, body)
 
 
-async def read_packet(reader: asyncio.StreamReader) -> Optional[MediaPacket]:
+async def read_packet(
+    reader: asyncio.StreamReader,
+    timings: Optional[dict] = None,
+) -> Optional[MediaPacket]:
     """Read one record from an asyncio stream.
 
     Returns ``None`` on a clean EOF at a record boundary; raises
     :class:`WireFormatError` on truncation mid-record or any header/CRC
     violation.  Callers own read timeouts (``asyncio.wait_for``).
+
+    ``timings`` (when given) receives a ``decode_s`` increment covering
+    the CPU cost of header parsing, CRC verification and packet
+    construction — the socket wait itself is excluded — so callers can
+    aggregate per-record decode cost into one ``net.decode`` span.
     """
     try:
         header = await reader.readexactly(WIRE_HEADER_BYTES)
@@ -267,7 +276,12 @@ async def read_packet(reader: asyncio.StreamReader) -> Optional[MediaPacket]:
         raise WireFormatError(
             f"connection closed mid-header ({len(exc.partial)} bytes)"
         ) from exc
-    head = _parse_header(header)
+    if timings is None:
+        head = _parse_header(header)
+    else:
+        t0 = perf_counter()
+        head = _parse_header(header)
+        timings["decode_s"] = timings.get("decode_s", 0.0) + perf_counter() - t0
     try:
         body = await reader.readexactly(head.body_len)
     except asyncio.IncompleteReadError as exc:
@@ -275,4 +289,9 @@ async def read_packet(reader: asyncio.StreamReader) -> Optional[MediaPacket]:
             f"connection closed mid-body ({len(exc.partial)} of "
             f"{head.body_len} bytes)"
         ) from exc
-    return _build_packet(head, body)
+    if timings is None:
+        return _build_packet(head, body)
+    t0 = perf_counter()
+    packet = _build_packet(head, body)
+    timings["decode_s"] += perf_counter() - t0
+    return packet

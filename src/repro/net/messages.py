@@ -21,7 +21,17 @@ travel as CONTROL packets whose body is a compact JSON object with a
   with ``status`` and a close, bypassing admission control.
 * ``status``  — server → client: liveness/readiness snapshot (state,
   accepting flag, active/waiting session counts, cap).
+* ``stats``   — client → server: a live-observability probe; like
+  ``health`` it bypasses admission control, but the answer is a full
+  metrics snapshot (JSON or Prometheus text), optionally with recent
+  flight-recorder events and collected spans.
+* ``statsdump`` — server → client: the ``stats`` answer (health dict,
+  metrics snapshot, events, spans).
 * ``error``   — server → client: negotiation or serving failure.
+
+``hello`` and ``resume`` optionally carry a ``trace`` id and the
+client's open ``span`` id, so server-side spans join the client's
+trace (one fetch, one linked tree across the wire).
 
 JSON keeps the control plane debuggable (``tcpdump`` shows readable
 records); the data plane — annotation tracks and pixels — stays binary.
@@ -47,11 +57,18 @@ from .codec import WireFormatError
 
 @dataclass(frozen=True)
 class HelloInfo:
-    """Decoded ``hello`` message: what the client asked for."""
+    """Decoded ``hello`` message: what the client asked for.
+
+    ``trace_id``/``parent_span_id`` (both optional) carry the client's
+    distributed-trace context so server-side spans link under the
+    client span that opened the connection.
+    """
 
     clip_name: str
     quality: float
     device_name: str
+    trace_id: Optional[str] = None
+    parent_span_id: Optional[str] = None
 
     def to_request(self) -> SessionRequest:
         """Rebuild the in-process session request (validates the device)."""
@@ -69,10 +86,14 @@ class ResumeInfo:
     ``received_packets`` is the number of *data* records (annotation +
     frame) the client already holds from previous connections — the
     implicit ack up to which the server may skip.
+    ``trace_id``/``parent_span_id`` relink the resumed server session
+    into the same client trace as the original attempt.
     """
 
     token: str
     received_packets: int
+    trace_id: Optional[str] = None
+    parent_span_id: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -111,12 +132,30 @@ class StatusInfo:
 
 
 @dataclass(frozen=True)
+class StatsRequest:
+    """Decoded ``stats`` probe: what snapshot shape the client wants.
+
+    ``format`` selects the metrics rendering (``json`` or
+    ``prometheus``); ``include_events``/``include_spans`` additionally
+    request the flight-recorder tail and the collected span events, and
+    ``limit`` caps how many of each are returned (``None`` = server
+    default).
+    """
+
+    format: str = "json"
+    include_events: bool = False
+    include_spans: bool = False
+    limit: Optional[int] = None
+
+
+@dataclass(frozen=True)
 class ControlMessage:
     """One decoded control packet; exactly one payload field is set.
 
     For ``session`` messages, ``token`` carries the server-issued resume
     token and ``resumed_at`` the data-record offset the stream continues
-    from (0 for a fresh session).
+    from (0 for a fresh session).  For ``statsdump`` messages,
+    ``statsdump`` holds the server's observability snapshot dict.
     """
 
     kind: str
@@ -127,6 +166,8 @@ class ControlMessage:
     resume: Optional[ResumeInfo] = None
     busy: Optional[BusyInfo] = None
     status: Optional[StatusInfo] = None
+    stats: Optional[StatsRequest] = None
+    statsdump: Optional[dict] = None
     token: Optional[str] = None
     resumed_at: int = 0
 
@@ -135,30 +176,57 @@ def _dump(obj: dict) -> bytes:
     return json.dumps(obj, separators=(",", ":"), sort_keys=True).encode("utf-8")
 
 
-def encode_hello(request: SessionRequest, seq: int = 0) -> MediaPacket:
-    """Build the client's opening control packet."""
-    return control_packet(seq, _dump({
+def encode_hello(
+    request: SessionRequest,
+    seq: int = 0,
+    trace_id: Optional[str] = None,
+    parent_span_id: Optional[str] = None,
+) -> MediaPacket:
+    """Build the client's opening control packet.
+
+    ``trace_id``/``parent_span_id`` (optional) propagate the client's
+    distributed-trace context so the server session links under it.
+    """
+    body = {
         "kind": "hello",
         "clip": request.clip_name,
         "quality": request.quality,
         "device": request.capabilities.device_name,
-    }))
+    }
+    if trace_id is not None:
+        body["trace"] = trace_id
+    if parent_span_id is not None:
+        body["span"] = parent_span_id
+    return control_packet(seq, _dump(body))
 
 
-def encode_resume(token: str, received_packets: int, seq: int = 0) -> MediaPacket:
+def encode_resume(
+    token: str,
+    received_packets: int,
+    seq: int = 0,
+    trace_id: Optional[str] = None,
+    parent_span_id: Optional[str] = None,
+) -> MediaPacket:
     """Build the client's reconnect-with-resume control packet.
 
     ``token`` is the server-issued resume token from the original
     session message; ``received_packets`` is how many data records the
     client already holds (the server skips exactly that many).
+    ``trace_id``/``parent_span_id`` relink the resumed server session
+    into the client's trace.
     """
     if received_packets < 0:
         raise ValueError("received_packets must be non-negative")
-    return control_packet(seq, _dump({
+    body = {
         "kind": "resume",
         "token": token,
         "received": received_packets,
-    }))
+    }
+    if trace_id is not None:
+        body["trace"] = trace_id
+    if parent_span_id is not None:
+        body["span"] = parent_span_id
+    return control_packet(seq, _dump(body))
 
 
 def encode_session(
@@ -241,6 +309,45 @@ def encode_status(
     }))
 
 
+def encode_stats_request(
+    format: str = "json",
+    include_events: bool = False,
+    include_spans: bool = False,
+    limit: Optional[int] = None,
+    seq: int = 0,
+) -> MediaPacket:
+    """Build the client's live-observability probe control packet.
+
+    ``format`` selects the metrics rendering (``json``/``prometheus``);
+    ``include_events``/``include_spans`` request the flight-recorder
+    tail and collected spans, ``limit`` caps how many of each come back.
+    """
+    if format not in ("json", "prometheus"):
+        raise ValueError(f"unknown stats format {format!r}")
+    body: dict = {"kind": "stats", "format": format}
+    if include_events:
+        body["events"] = True
+    if include_spans:
+        body["spans"] = True
+    if limit is not None:
+        if limit < 0:
+            raise ValueError("limit must be non-negative")
+        body["limit"] = int(limit)
+    return control_packet(seq, _dump(body))
+
+
+def encode_statsdump(payload: dict, seq: int = 0) -> MediaPacket:
+    """Build the server's answer to a ``stats`` probe.
+
+    ``payload`` is the JSON-serializable observability snapshot
+    (``health``, ``metrics``/``prometheus``, optional ``events`` and
+    ``spans`` keys).
+    """
+    body = {"kind": "statsdump"}
+    body.update(payload)
+    return control_packet(seq, _dump(body))
+
+
 def encode_error(message: str, seq: int) -> MediaPacket:
     """Build the server's failure control packet."""
     return control_packet(seq, _dump({"kind": "error", "message": message}))
@@ -254,18 +361,26 @@ def decode_control(packet: MediaPacket) -> ControlMessage:
         obj = json.loads(packet.payload.decode("utf-8"))
         kind = obj["kind"]
         if kind == "hello":
+            trace_id = obj.get("trace")
+            span_id = obj.get("span")
             return ControlMessage(kind=kind, hello=HelloInfo(
                 clip_name=str(obj["clip"]),
                 quality=float(obj["quality"]),
                 device_name=str(obj["device"]),
+                trace_id=None if trace_id is None else str(trace_id),
+                parent_span_id=None if span_id is None else str(span_id),
             ))
         if kind == "resume":
             received = int(obj["received"])
             if received < 0:
                 raise WireFormatError("resume with a negative received count")
+            trace_id = obj.get("trace")
+            span_id = obj.get("span")
             return ControlMessage(kind=kind, resume=ResumeInfo(
                 token=str(obj["token"]),
                 received_packets=received,
+                trace_id=None if trace_id is None else str(trace_id),
+                parent_span_id=None if span_id is None else str(span_id),
             ))
         if kind == "session":
             resumed_at = int(obj.get("resumed_at", 0))
@@ -292,6 +407,24 @@ def decode_control(packet: MediaPacket) -> ControlMessage:
             ))
         if kind == "health":
             return ControlMessage(kind=kind)
+        if kind == "stats":
+            fmt = str(obj.get("format", "json"))
+            if fmt not in ("json", "prometheus"):
+                raise WireFormatError(f"unknown stats format {fmt!r}")
+            limit = obj.get("limit")
+            if limit is not None:
+                limit = int(limit)
+                if limit < 0:
+                    raise WireFormatError("stats with a negative limit")
+            return ControlMessage(kind=kind, stats=StatsRequest(
+                format=fmt,
+                include_events=bool(obj.get("events", False)),
+                include_spans=bool(obj.get("spans", False)),
+                limit=limit,
+            ))
+        if kind == "statsdump":
+            payload = {k: v for k, v in obj.items() if k != "kind"}
+            return ControlMessage(kind=kind, statsdump=payload)
         if kind == "status":
             max_sessions = obj.get("max")
             return ControlMessage(kind=kind, status=StatusInfo(

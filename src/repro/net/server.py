@@ -42,34 +42,60 @@ Operational resilience on top of the happy path:
   within a deadline, cancels stragglers, then closes the socket.
   :meth:`healthz` and the ``health`` probe message expose
   liveness/readiness without consuming an admission slot.
+* **Live observability** — the ``stats`` probe message (admission-
+  bypassing like ``health``) answers with a full metrics snapshot
+  (JSON or Prometheus text), optionally plus the flight-recorder tail
+  and collected spans, so a running server's registry is reachable
+  from outside the process (:meth:`stats_snapshot`).
 
 Telemetry: active/waiting-session and readiness gauges, per-session
 queue-depth histogram, records/bytes counters, disconnect / shed /
-resumed counters, and a ``net.session`` span per connection.
+resumed counters, and a linked span tree per connection —
+``net.admission`` and ``net.session`` join the client's trace via the
+ids carried in ``hello``/``resume``, the producer thread's
+``net.produce`` span (and the engine spans under it) nests inside the
+session via context propagation, and per-stage aggregates
+(``net.encode``, ``net.queue.wait``, ``net.write``) break the send
+path down without per-packet span cost.  Session lifecycle lands in
+the flight recorder (open/resume/shed/reject/end/disconnect/drain).
 """
 
 from __future__ import annotations
 
 import asyncio
 import contextlib
+import contextvars
 import queue as queue_mod
 import secrets
 import threading
 import time
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Dict, Optional, Set, Tuple
 
 from ..streaming.packets import MediaPacket, PacketType
 from ..streaming.server import MediaServer
 from ..streaming.session import NegotiationError, SessionDescription
-from ..telemetry import registry as telemetry_registry, trace
+from ..telemetry import (
+    emit_span,
+    record_event,
+    flight_events,
+    registry as telemetry_registry,
+    snapshot as telemetry_snapshot,
+    span_events,
+    to_prometheus,
+    trace,
+    trace_context,
+)
 from .codec import WireFormatError, encode_packet, read_packet
 from .messages import (
+    StatsRequest,
     decode_control,
     encode_busy,
     encode_end,
     encode_error,
     encode_session,
+    encode_statsdump,
     encode_status,
 )
 
@@ -230,6 +256,10 @@ class AnnotationStreamServer:
             "repro_net_health_probes_total",
             help="health probes answered with a status message.",
         )
+        self._stats_counter = reg.counter(
+            "repro_net_stats_probes_total",
+            help="stats probes answered with a statsdump message.",
+        )
 
     # ------------------------------------------------------------------
     @property
@@ -273,6 +303,48 @@ class AnnotationStreamServer:
                 1 for s in self._resume_states.values() if not s.active
             ),
         }
+
+    def stats_snapshot(
+        self,
+        format: str = "json",
+        include_events: bool = False,
+        include_spans: bool = False,
+        limit: Optional[int] = None,
+    ) -> dict:
+        """The live-observability payload answered to a ``stats`` probe.
+
+        Parameters
+        ----------
+        format:
+            ``json`` embeds the full metrics snapshot dict under
+            ``metrics``; ``prometheus`` embeds the text exposition under
+            ``prometheus``.
+        include_events:
+            Also attach the flight-recorder tail under ``events``.
+        include_spans:
+            Also attach collected span events under ``spans``.
+        limit:
+            Cap on attached events/spans (defaults: 128 events,
+            512 spans).
+
+        Always includes the :meth:`healthz` dict under ``health``.
+        """
+        if format not in ("json", "prometheus"):
+            raise ValueError(f"unknown stats format {format!r}")
+        payload: dict = {"format": format, "health": self.healthz()}
+        if format == "prometheus":
+            payload["prometheus"] = to_prometheus()
+        else:
+            payload["metrics"] = telemetry_snapshot()
+        if include_events:
+            payload["events"] = flight_events(
+                limit=limit if limit is not None else 128
+            )
+        if include_spans:
+            payload["spans"] = span_events(
+                limit=limit if limit is not None else 512
+            )
+        return payload
 
     async def start(self) -> Tuple[str, int]:
         """Bind the listening socket; returns the resolved address."""
@@ -327,6 +399,8 @@ class AnnotationStreamServer:
             self._state = STATE_DRAINING
             self._ready_gauge.set(0)
             self._draining_gauge.set(1)
+            record_event("drain_begin", active=self._active_count,
+                         waiting=self._waiting_count)
         # Wake queued waiters so they shed immediately instead of
         # sitting out their accept timeout against a draining server.
         if self._slot_available is not None:
@@ -335,6 +409,8 @@ class AnnotationStreamServer:
         while self._tasks and time.monotonic() < deadline:
             await asyncio.sleep(0.02)
         completed = not self._tasks
+        record_event("drain_end", completed=completed,
+                     cancelled=len(self._tasks))
         await self.close()
         return completed
 
@@ -531,29 +607,57 @@ class AnnotationStreamServer:
         packet_count = 0
         frame_count = 0
         try:
-            for packet in self.media_server.stream(session):
-                if packet_count >= skip:
-                    if not self._put(out, packet, cancelled, loop, wakeup):
-                        return
-                packet_count += 1
-                if packet.ptype is PacketType.FRAME:
-                    frame_count += 1
+            with trace("net.produce") as span:
+                if span is not None:
+                    span.set_tag("session_id", session.session_id)
+                for packet in self.media_server.stream(session):
+                    if packet_count >= skip:
+                        if not self._put(out, packet, cancelled, loop, wakeup):
+                            return
+                    packet_count += 1
+                    if packet.ptype is PacketType.FRAME:
+                        frame_count += 1
             self._put(out, (_DONE, packet_count, frame_count), cancelled, loop, wakeup)
         except Exception as exc:  # surfaced to the session task
             self._put(out, exc, cancelled, loop, wakeup)
 
-    async def _send(self, writer: asyncio.StreamWriter, packet: MediaPacket) -> None:
-        header, body = encode_packet(packet)
-        writer.write(header)
-        if len(body):
-            writer.write(body)
-        await writer.drain()
+    async def _send(
+        self,
+        writer: asyncio.StreamWriter,
+        packet: MediaPacket,
+        timings: Optional[dict] = None,
+    ) -> None:
+        """Encode and write one packet; optionally accumulate stage times.
+
+        ``timings`` (when given) receives ``encode_s`` / ``write_s``
+        increments — plain float adds per record, aggregated into
+        ``net.encode`` / ``net.write`` spans once per session.
+        """
+        if timings is None:
+            header, body = encode_packet(packet)
+            writer.write(header)
+            if len(body):
+                writer.write(body)
+            await writer.drain()
+        else:
+            t0 = perf_counter()
+            header, body = encode_packet(packet)
+            t1 = perf_counter()
+            writer.write(header)
+            if len(body):
+                writer.write(body)
+            await writer.drain()
+            t2 = perf_counter()
+            timings["encode_s"] += t1 - t0
+            timings["write_s"] += t2 - t1
         self._records_counter.inc()
         self._bytes_counter.inc(len(header) + len(body))
 
     async def _send_busy(self, writer: asyncio.StreamWriter) -> None:
         """Shed the connection with a busy message (best effort)."""
         self._shed_counter.inc()
+        record_event("session_shed", active=self._active_count,
+                     max=self.max_sessions, state=self._state)
         with contextlib.suppress(ConnectionError, OSError):
             await self._send(writer, encode_busy(
                 self.busy_retry_after_s,
@@ -561,6 +665,19 @@ class AnnotationStreamServer:
                 self.max_sessions,
                 seq=0,
             ))
+
+    async def _send_stats(self, writer: asyncio.StreamWriter,
+                          request: StatsRequest) -> None:
+        """Answer a stats probe with the observability snapshot."""
+        self._stats_counter.inc()
+        payload = self.stats_snapshot(
+            format=request.format,
+            include_events=request.include_events,
+            include_spans=request.include_spans,
+            limit=request.limit,
+        )
+        with contextlib.suppress(ConnectionError, OSError):
+            await self._send(writer, encode_statsdump(payload, seq=0))
 
     async def _send_status(self, writer: asyncio.StreamWriter) -> None:
         """Answer a health probe with the current status snapshot."""
@@ -612,9 +729,15 @@ class AnnotationStreamServer:
             if session is None:
                 raise NegotiationError("unknown or expired resume token")
             self._resumed_counter.inc()
+            record_event("session_resume", session_id=session.session_id,
+                         clip=session.clip_name,
+                         received=message.resume.received_packets)
             return session, message.resume.token, message.resume.received_packets
         request = message.hello.to_request()
         session = self.media_server.open_session(request)
+        record_event("session_open", session_id=session.session_id,
+                     clip=session.clip_name, quality=session.quality,
+                     device=session.device_name)
         return session, self._register_token(session), 0
 
     async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
@@ -636,23 +759,37 @@ class AnnotationStreamServer:
             await self._send_status(writer)
             await self._close_writer(writer)
             return
+        if message.kind == "stats":
+            await self._send_stats(writer, message.stats)
+            await self._close_writer(writer)
+            return
         if message.kind not in ("hello", "resume"):
             self._rejects_counter.inc()
             with contextlib.suppress(ConnectionError, OSError):
                 await self._send(writer, encode_error(
-                    f"expected hello, resume or health, got {message.kind!r}",
+                    f"expected hello, resume, health or stats, got {message.kind!r}",
                     seq=0,
                 ))
             await self._close_writer(writer)
             return
-        if not await self._admit():
-            await self._send_busy(writer)
-            await self._close_writer(writer)
-            return
-        try:
-            await self._serve_session(message, reader, writer)
-        finally:
-            await self._release_slot()
+        # Join the client's distributed trace (ids ride in the
+        # hello/resume body); absent ids start a fresh server-side trace
+        # so admission and session spans still form one tree.
+        info = message.hello if message.kind == "hello" else message.resume
+        with trace_context(trace_id=info.trace_id,
+                           parent_id=info.parent_span_id):
+            with trace("net.admission") as admission_span:
+                admitted = await self._admit()
+                if admission_span is not None:
+                    admission_span.set_tag("admitted", admitted)
+            if not admitted:
+                await self._send_busy(writer)
+                await self._close_writer(writer)
+                return
+            try:
+                await self._serve_session(message, reader, writer)
+            finally:
+                await self._release_slot()
 
     async def _serve_session(self, message, reader, writer) -> None:
         """Run one admitted session to completion (or disconnect)."""
@@ -664,48 +801,85 @@ class AnnotationStreamServer:
         loop = asyncio.get_running_loop()
         token: Optional[str] = None
         clean = False
+        session: Optional[SessionDescription] = None
+        timings = {"encode_s": 0.0, "queue_wait_s": 0.0, "write_s": 0.0}
         try:
-            with trace("net.session"):
+            with trace("net.session") as session_span:
                 try:
                     session, token, skip = self._open_session(message)
                 except (WireFormatError, NegotiationError) as exc:
                     self._rejects_counter.inc()
+                    record_event("session_reject", reason=str(exc))
                     with contextlib.suppress(ConnectionError, OSError):
                         await self._send(writer, encode_error(str(exc), seq=0))
                     clean = True
                     return
+                if session_span is not None:
+                    session_span.set_tag("session_id", session.session_id)
+                    session_span.set_tag("clip", session.clip_name)
+                    if skip:
+                        session_span.set_tag("resumed_at", skip)
                 await self._send(
                     writer,
                     encode_session(session, seq=0, token=token, resumed_at=skip),
                 )
+                # Copy this task's context so the producer's spans
+                # (net.produce, server.stream, engine stages) nest under
+                # net.session instead of forming an orphan thread trace.
+                producer_ctx = contextvars.copy_context()
                 producer = threading.Thread(
-                    target=self._produce,
-                    args=(session, out, cancelled, loop, wakeup, skip),
+                    target=producer_ctx.run,
+                    args=(self._produce, session, out, cancelled, loop,
+                          wakeup, skip),
                     name=f"net-session-{session.session_id}",
                     daemon=True,
                 )
                 producer.start()
                 sent = 0
-                while True:
-                    self._queue_hist.observe(out.qsize())
-                    item = await self._take(out, wakeup)
-                    if isinstance(item, Exception):
-                        raise item
-                    if isinstance(item, tuple) and item[0] is _DONE:
-                        _, packet_count, frame_count = item
-                        await self._send(
-                            writer,
-                            encode_end(packet_count, frame_count, seq=sent + 1),
-                        )
-                        clean = True
-                        break
-                    await self._send(writer, item)
-                    sent += 1
+                try:
+                    while True:
+                        self._queue_hist.observe(out.qsize())
+                        t0 = perf_counter()
+                        item = await self._take(out, wakeup)
+                        timings["queue_wait_s"] += perf_counter() - t0
+                        if isinstance(item, Exception):
+                            raise item
+                        if isinstance(item, tuple) and item[0] is _DONE:
+                            _, packet_count, frame_count = item
+                            await self._send(
+                                writer,
+                                encode_end(packet_count, frame_count, seq=sent + 1),
+                                timings=timings,
+                            )
+                            clean = True
+                            break
+                        await self._send(writer, item, timings=timings)
+                        sent += 1
+                finally:
+                    if session_span is not None:
+                        tags = {"session_id": session.session_id}
+                        emit_span("net.encode", timings["encode_s"], tags=tags)
+                        emit_span("net.queue.wait", timings["queue_wait_s"],
+                                  tags=tags)
+                        emit_span("net.write", timings["write_s"], tags=tags)
         except (ConnectionError, OSError):
             self._disconnects_counter.inc()
+            record_event(
+                "session_disconnect",
+                session_id=None if session is None else session.session_id,
+            )
         except asyncio.CancelledError:
             self._disconnects_counter.inc()
+            record_event(
+                "session_disconnect",
+                session_id=None if session is None else session.session_id,
+                cancelled=True,
+            )
             raise
+        else:
+            if session is not None and clean:
+                record_event("session_end", session_id=session.session_id,
+                             clip=session.clip_name)
         finally:
             self._token_disconnected(token)
             cancelled.set()

@@ -22,7 +22,7 @@ from ..core.policies import PolicySpec, get_policy, resolve_policy
 from ..core.policy import QUALITY_LEVELS, SchemeParameters
 from ..core.profile_cache import ProfileCache, shared_profile_cache
 from ..display.devices import get_device
-from ..telemetry import registry as telemetry_registry, trace
+from ..telemetry import record_event, registry as telemetry_registry, trace
 from ..video.chunks import HeterogeneousFrameError
 from ..video.clip import ClipBase
 from ..video.codec import CodecModel
@@ -256,6 +256,8 @@ class MediaServer:
         clip = self.get_clip(session.clip_name)
         device = get_device(session.device_name)
         track = self.annotation_track(session.clip_name, session.quality).bind(device)
+        record_event("policy_bind", session_id=session.session_id,
+                     policy=self.policy.name, device=session.device_name)
         return AnnotatedStream(clip=clip, track=track, device=device)
 
     def stream(self, session: SessionDescription) -> Iterator[MediaPacket]:

@@ -85,21 +85,45 @@ def from_jsonl(text: str) -> MetricsRegistry:
         line = line.strip()
         if not line:
             continue
-        record = json.loads(line)
-        kind = record["kind"]
-        name, labels, help_ = record["name"], record["labels"], record.get("help", "")
-        if kind == "counter":
-            reg.counter(name, help=help_, labels=labels)._restore(record["value"])
-        elif kind == "gauge":
-            reg.gauge(name, help=help_, labels=labels)._restore(record["value"])
-        elif kind == "histogram":
-            hist = reg.histogram(name, help=help_, labels=labels,
-                                 buckets=record["buckets"])
-            minimum = record["min"] if record["min"] is not None else math.inf
-            maximum = record["max"] if record["max"] is not None else -math.inf
-            hist._restore(record["counts"], record["sum"], minimum, maximum)
-        else:
-            raise ValueError(f"unknown metric kind {kind!r} in snapshot")
+        _restore_metric(reg, json.loads(line))
+    return reg
+
+
+def _restore_metric(reg: MetricsRegistry, record: Dict) -> None:
+    """Materialize one :func:`metric_to_dict` record into ``reg``."""
+    kind = record["kind"]
+    name, labels, help_ = record["name"], record["labels"], record.get("help", "")
+    if kind == "counter":
+        reg.counter(name, help=help_, labels=labels)._restore(record["value"])
+    elif kind == "gauge":
+        reg.gauge(name, help=help_, labels=labels)._restore(record["value"])
+    elif kind == "histogram":
+        hist = reg.histogram(name, help=help_, labels=labels,
+                             buckets=record["buckets"])
+        minimum = record["min"] if record["min"] is not None else math.inf
+        maximum = record["max"] if record["max"] is not None else -math.inf
+        hist._restore(record["counts"], record["sum"], minimum, maximum)
+    else:
+        raise ValueError(f"unknown metric kind {kind!r} in snapshot")
+
+
+def registry_from_snapshot(data: Dict) -> MetricsRegistry:
+    """Rebuild a registry from a :func:`snapshot` dict.
+
+    The inverse of :func:`snapshot`: every metric record under
+    ``data["metrics"]`` is materialized with its value/bucket state, so
+    a snapshot fetched over the wire (the ``stats`` probe) can be
+    rendered with :func:`format_table` or :func:`to_prometheus` exactly
+    as if it were local.
+
+    Parameters
+    ----------
+    data:
+        A dict of the :func:`snapshot` shape (``{"metrics": [...]}``).
+    """
+    reg = MetricsRegistry()
+    for record in data.get("metrics", []):
+        _restore_metric(reg, record)
     return reg
 
 
@@ -279,4 +303,62 @@ def format_table(registry: Optional[MetricsRegistry] = None) -> str:
                 f"    {series_label(hist):<52}"
                 f"count={hist.count} mean={hist.mean:.5f} max={hist.max:.5f}"
             )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Trace tree rendering
+# ---------------------------------------------------------------------------
+def format_trace_tree(events: List[Dict], trace_id: Optional[str] = None) -> str:
+    """Render span events as an indented parent→child tree.
+
+    Spans whose ``parent_id`` is absent from the event set (the trace
+    root, or spans whose parent lives in an unreachable process) become
+    top-level rows.  Children sort by wall-clock start, so the tree
+    reads in causal order.  Each row shows the span name, duration,
+    and any tags; one fetch's client and server spans interleave into
+    a single tree when both halves are present.
+
+    Parameters
+    ----------
+    events:
+        Span event dicts (the :func:`~repro.telemetry.tracing.span_events`
+        / ``Span.to_dict`` shape).
+    trace_id:
+        Filter to one trace before rendering, or ``None`` for all.
+    """
+    if trace_id is not None:
+        events = [e for e in events if e.get("trace_id") == trace_id]
+    if not events:
+        return "trace: no spans recorded"
+
+    by_id = {e["span_id"]: e for e in events if e.get("span_id")}
+    children: Dict[Optional[str], List[Dict]] = {}
+    for event in events:
+        parent = event.get("parent_id")
+        key = parent if parent in by_id else None
+        children.setdefault(key, []).append(event)
+    for bucket in children.values():
+        bucket.sort(key=lambda e: (e.get("start_time") or 0.0, e.get("name", "")))
+
+    lines: List[str] = []
+    trace_ids = sorted({e.get("trace_id") for e in events if e.get("trace_id")})
+    for tid in trace_ids:
+        lines.append(f"trace {tid}")
+
+    def walk(event: Dict, depth: int) -> None:
+        dur = event.get("duration_s")
+        dur_text = f"{dur * 1e3:9.3f} ms" if dur is not None else "     open"
+        tags = event.get("tags") or {}
+        tag_text = ""
+        if tags:
+            inner = ",".join(f"{k}={v}" for k, v in sorted(tags.items()))
+            tag_text = f"  [{inner}]"
+        lines.append(f"  {'  ' * depth}{event.get('name', '?'):<{max(4, 30 - 2 * depth)}}"
+                     f"{dur_text}{tag_text}")
+        for child in children.get(event.get("span_id"), []):
+            walk(child, depth + 1)
+
+    for root in children.get(None, []):
+        walk(root, 0)
     return "\n".join(lines)

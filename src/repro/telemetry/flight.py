@@ -1,0 +1,146 @@
+"""Flight recorder: a bounded ring of structured operational events.
+
+Metrics aggregate (how many sessions were shed?); the flight recorder
+remembers *which* (session ids, clip names, reasons, timestamps).  It
+is the post-mortem complement to the metrics registry: a fixed-size
+in-memory ring of small dict events — session opens/resumes/sheds,
+drain transitions, policy binds, breaker trips, codec errors — cheap
+enough to leave on in production and dumpable from a *running* server
+over the ``stats`` wire probe or on drain.
+
+Events are plain dicts ``{"ts": <posix>, "kind": <str>, ...fields}``.
+Recording is a no-op while telemetry is disabled, mirroring metrics
+and spans.  The ring is process-wide (like the metrics registry) and
+guarded by a short lock; capacity bounds memory for arbitrarily
+long-running servers.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from time import time as wall_time
+from typing import Dict, List, Optional
+
+from . import metrics as _metrics
+
+#: Default number of retained events.
+DEFAULT_CAPACITY = 512
+
+
+class FlightRecorder:
+    """Bounded ring of structured events, oldest dropped first.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum retained events (must be >= 1).
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self._events: "deque[Dict]" = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._recorded = 0
+
+    @property
+    def capacity(self) -> int:
+        """Maximum retained events."""
+        return self._events.maxlen
+
+    @property
+    def recorded_total(self) -> int:
+        """Events recorded over the recorder's lifetime (incl. evicted)."""
+        with self._lock:
+            return self._recorded
+
+    def record(self, kind: str, **fields) -> Optional[Dict]:
+        """Append one event; returns it, or ``None`` if telemetry is off.
+
+        Parameters
+        ----------
+        kind:
+            Short event type tag (``session_open``, ``breaker_open`` ...).
+        **fields:
+            JSON-serializable context (session ids, clip names, reasons).
+        """
+        if not _metrics._ENABLED:
+            return None
+        event = {"ts": wall_time(), "kind": str(kind)}
+        event.update(fields)
+        with self._lock:
+            self._events.append(event)
+            self._recorded += 1
+        return event
+
+    def events(self, kind: Optional[str] = None,
+               limit: Optional[int] = None) -> List[Dict]:
+        """Retained events, oldest first (copies).
+
+        Parameters
+        ----------
+        kind:
+            Filter to one event type, or ``None`` for all.
+        limit:
+            Keep only the newest N after filtering, or ``None`` for all.
+        """
+        with self._lock:
+            events = list(self._events)
+        if kind is not None:
+            events = [e for e in events if e.get("kind") == kind]
+        if limit is not None:
+            events = events[-limit:] if limit > 0 else []
+        return [dict(e) for e in events]
+
+    def clear(self) -> None:
+        """Drop every retained event (lifetime counter is kept)."""
+        with self._lock:
+            self._events.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    def __repr__(self) -> str:
+        return f"FlightRecorder({len(self)}/{self.capacity} events)"
+
+
+_RECORDER = FlightRecorder()
+
+
+def flight_recorder() -> FlightRecorder:
+    """The process-wide flight recorder."""
+    return _RECORDER
+
+
+def record_event(kind: str, **fields) -> Optional[Dict]:
+    """Record one event into the process-wide flight recorder.
+
+    Parameters
+    ----------
+    kind:
+        Short event type tag (``session_open``, ``breaker_open`` ...).
+    **fields:
+        JSON-serializable context fields.
+    """
+    return _RECORDER.record(kind, **fields)
+
+
+def flight_events(kind: Optional[str] = None,
+                  limit: Optional[int] = None) -> List[Dict]:
+    """Retained events from the process-wide recorder, oldest first.
+
+    Parameters
+    ----------
+    kind:
+        Filter to one event type, or ``None`` for all.
+    limit:
+        Keep only the newest N after filtering, or ``None`` for all.
+    """
+    return _RECORDER.events(kind=kind, limit=limit)
+
+
+def clear_flight_events() -> None:
+    """Drop all recorded events (test isolation helper)."""
+    _RECORDER.clear()

@@ -1,0 +1,81 @@
+"""Flight recorder: bounded retention, filtering, disable, isolation."""
+
+import threading
+
+import pytest
+
+from repro.telemetry import (
+    FlightRecorder,
+    clear_flight_events,
+    disable,
+    enable,
+    flight_events,
+    flight_recorder,
+    record_event,
+)
+
+
+class TestRecorder:
+    def test_record_and_read_back(self):
+        event = record_event("session_open", session_id=7, clip="movie")
+        assert event["kind"] == "session_open"
+        assert event["session_id"] == 7
+        assert event["ts"] > 0
+        events = flight_events()
+        assert events[-1]["clip"] == "movie"
+
+    def test_kind_filter_and_limit(self):
+        for i in range(4):
+            record_event("tick", i=i)
+        record_event("tock")
+        ticks = flight_events(kind="tick")
+        assert [e["i"] for e in ticks] == [0, 1, 2, 3]
+        assert [e["i"] for e in flight_events(kind="tick", limit=2)] == [2, 3]
+        assert flight_events(kind="tick", limit=0) == []
+
+    def test_capacity_bounds_retention(self):
+        recorder = FlightRecorder(capacity=3)
+        for i in range(10):
+            recorder.record("e", i=i)
+        assert len(recorder) == 3
+        assert [e["i"] for e in recorder.events()] == [7, 8, 9]
+        assert recorder.recorded_total == 10
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+    def test_disabled_recording_is_noop(self):
+        disable()
+        try:
+            assert record_event("dark") is None
+        finally:
+            enable()
+        assert flight_events(kind="dark") == []
+
+    def test_clear_keeps_lifetime_counter(self):
+        record_event("gone")
+        before = flight_recorder().recorded_total
+        clear_flight_events()
+        assert flight_events() == []
+        assert flight_recorder().recorded_total == before
+
+    def test_events_are_copies(self):
+        record_event("frozen", value=1)
+        flight_events()[-1]["value"] = 2
+        assert flight_events()[-1]["value"] == 1
+
+    def test_thread_safety_under_concurrent_records(self):
+        recorder = FlightRecorder(capacity=64)
+
+        def worker(tag):
+            for i in range(50):
+                recorder.record("w", tag=tag, i=i)
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert recorder.recorded_total == 200
+        assert len(recorder) == 64

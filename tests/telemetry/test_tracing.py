@@ -100,3 +100,177 @@ class TestThreads:
         for i in range(4):
             per = registry().get(SPAN_SECONDS, labels={"span": f"thread.{i}"})
             assert per is not None and per.count == 1
+
+
+class TestTraceIdentity:
+    def test_root_span_gets_fresh_ids(self):
+        from repro.telemetry import trace
+
+        with trace("id.root") as span:
+            assert len(span.trace_id) == 32
+            assert len(span.span_id) == 16
+            assert span.parent_id is None
+
+    def test_children_inherit_trace_id(self):
+        from repro.telemetry import trace
+
+        with trace("id.outer") as outer:
+            with trace("id.inner") as inner:
+                assert inner.trace_id == outer.trace_id
+                assert inner.parent_id == outer.span_id
+                assert inner.span_id != outer.span_id
+
+    def test_trace_context_links_root_spans(self):
+        """The server-side half of cross-wire linking: an ambient trace
+        context makes new roots join the remote caller's trace."""
+        from repro.telemetry import trace, trace_context
+
+        with trace_context(trace_id="ab" * 16, parent_id="cd" * 8):
+            with trace("ctx.root") as span:
+                assert span.trace_id == "ab" * 16
+                assert span.parent_id == "cd" * 8
+        with trace("ctx.after") as span:
+            assert span.trace_id != "ab" * 16
+
+    def test_trace_context_generates_ids_when_missing(self):
+        from repro.telemetry import trace, trace_context
+
+        with trace_context() as ctx:
+            assert len(ctx.trace_id) == 32
+            with trace("ctx.fresh") as span:
+                assert span.trace_id == ctx.trace_id
+
+    def test_emit_span_nests_and_validates(self):
+        from repro.telemetry import emit_span, trace
+
+        with trace("agg.parent") as parent:
+            span = emit_span("agg.stage", 0.25, tags={"n": 3})
+            assert span.parent_id == parent.span_id
+            assert span.trace_id == parent.trace_id
+            assert span.duration_s == 0.25
+        hist = registry().get(SPAN_SECONDS, labels={"span": "agg.stage"})
+        assert hist is not None and hist.sum == pytest.approx(0.25)
+        with pytest.raises(ValueError):
+            emit_span("agg.bad", -1.0)
+
+
+class TestCollector:
+    def test_finished_spans_land_in_collector(self):
+        from repro.telemetry import span_events, trace
+
+        with trace("col.outer") as outer:
+            with trace("col.inner"):
+                pass
+        events = span_events(trace_id=outer.trace_id)
+        assert [e["name"] for e in events] == ["col.inner", "col.outer"]
+        inner = events[0]
+        assert inner["parent_id"] == outer.span_id
+        assert inner["path"] == "col.outer/col.inner"
+
+    def test_limit_and_capacity(self):
+        from repro.telemetry import SpanCollector, Span
+
+        collector = SpanCollector(capacity=4)
+        for i in range(8):
+            span = Span(f"s{i}")
+            span.duration_s = 0.0
+            collector.record(span.to_dict())
+        assert len(collector) == 4
+        assert [e["name"] for e in collector.events()] == ["s4", "s5", "s6", "s7"]
+        assert [e["name"] for e in collector.events(limit=2)] == ["s6", "s7"]
+        assert collector.events(limit=0) == []
+
+    def test_jsonl_roundtrip(self):
+        import json
+
+        from repro.telemetry import spans_to_jsonl, trace
+
+        with trace("jl.a") as a:
+            pass
+        text = spans_to_jsonl(trace_id=a.trace_id)
+        rows = [json.loads(line) for line in text.splitlines()]
+        assert [r["name"] for r in rows] == ["jl.a"]
+        assert rows[0]["trace_id"] == a.trace_id
+
+
+class TestAsyncioIsolation:
+    def test_concurrent_tasks_do_not_share_span_stacks(self):
+        """Two interleaving tasks must each see only their own spans —
+        the contextvars fix for async span nesting."""
+        import asyncio
+
+        from repro.telemetry import active_span, trace
+
+        async def session(tag, started, release):
+            with trace(f"task.{tag}") as span:
+                started.set()
+                await release.wait()
+                assert active_span() is span
+                with trace("task.leaf") as leaf:
+                    assert leaf.parent is span
+                    assert leaf.path == f"task.{tag}/task.leaf"
+                return span.trace_id
+
+        async def run():
+            a_started, b_started = asyncio.Event(), asyncio.Event()
+            release = asyncio.Event()
+            task_a = asyncio.create_task(session("a", a_started, release))
+            task_b = asyncio.create_task(session("b", b_started, release))
+            await a_started.wait()
+            await b_started.wait()
+            release.set()
+            return await asyncio.gather(task_a, task_b)
+
+        trace_a, trace_b = asyncio.run(run())
+        assert trace_a != trace_b  # concurrent sessions stay distinct traces
+
+    def test_task_spans_do_not_leak_into_parent(self):
+        import asyncio
+
+        from repro.telemetry import active_span, trace
+
+        async def run():
+            with trace("loop.outer") as outer:
+                async def child():
+                    with trace("loop.child"):
+                        pass
+                await asyncio.create_task(child())
+                assert active_span() is outer
+            assert active_span() is None
+
+        asyncio.run(run())
+
+
+class TestSyncOutputPin:
+    def test_span_metric_series_shape_is_unchanged(self):
+        """Regression pin: trace ids live in the collector, never in the
+        metric labels, so the synchronous pipeline's exported span series
+        are byte-identical to the pre-tracing format."""
+        from repro.telemetry import to_prometheus, trace
+
+        with trace("pin.outer"):
+            with trace("pin.inner"):
+                pass
+        text = to_prometheus()
+        assert 'repro_span_seconds_count{span="pin.outer"} 1' in text
+        assert 'repro_span_seconds_count{span="pin.inner"} 1' in text
+        assert "trace_id" not in text
+        assert "span_id" not in text
+
+    def test_pipeline_span_table_format_is_unchanged(self, tiny_clip, device):
+        """The --stats table for a sync pipeline run lists the same span
+        rows (name, count, totals) as before the tracing rework."""
+        from repro.core import AnnotationPipeline, SchemeParameters
+        from repro.telemetry import format_table
+
+        pipeline = AnnotationPipeline(SchemeParameters(quality=0.1))
+        pipeline.build_stream(tiny_clip, device)
+        table = format_table()
+        lines = [line.strip() for line in table.splitlines()]
+        span_rows = [line.split()[0] for line in lines
+                     if line.startswith("pipeline.")]
+        assert "pipeline.profile" in span_rows
+        assert "pipeline.analyze" in span_rows
+        assert "pipeline.scene_grouping" in span_rows
+        for line in lines:
+            assert "trace" not in line.split()[0]

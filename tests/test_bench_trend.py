@@ -79,6 +79,17 @@ class TestCompare:
         worse = {"overhead_fraction": 0.05}
         assert len(trend.compare(worse, base, 0.10, 0.5)[0]) == 1
 
+    def test_overhead_band_is_absolute_around_zero(self, trend):
+        # A lucky below-zero baseline must not fail an honest re-measure
+        # that lands a hair above zero; only a rise past the absolute
+        # band regresses.
+        base = {"overhead_fraction": -0.0195}
+        noisy = {"overhead_fraction": 0.011}
+        past_band = {"overhead_fraction": base["overhead_fraction"]
+                     + trend.LOWER_ABS_BAND + 0.025}
+        assert trend.compare(noisy, base, 0.10, 0.5)[0] == []
+        assert len(trend.compare(past_band, base, 0.10, 0.5)[0]) == 1
+
     def test_untracked_keys_never_gate(self, trend):
         base = {"seconds": 1.0, "distortion_emd": 5.0}
         fresh = {"seconds": 100.0, "distortion_emd": 50.0}

@@ -297,3 +297,141 @@ class TestFetch:
         assert main(["fetch", "themovie", "--port", str(port),
                      "--retries", "0"]) == 1
         assert "error" in capsys.readouterr().err
+
+
+class TestStatusExitCode:
+    def test_accepting_server_exits_zero(self, tiny_clip, fast_params):
+        from repro.api import StreamingService
+
+        service = StreamingService(fast_params).add_clip(tiny_clip)
+        (host, port), stop, thread = TestFetch._serve_in_thread(service)
+        try:
+            assert main(["status", "--host", host, "--port", str(port)]) == 0
+        finally:
+            stop.set()
+            thread.join(10)
+
+    def test_non_accepting_server_exits_one(self, capsys, monkeypatch):
+        """Exit-code contract: 0 only while the server accepts sessions,
+        so shell scripts can gate deploys on `repro status`."""
+        from repro import api
+        from repro.net.messages import StatusInfo
+
+        monkeypatch.setattr(
+            api, "server_status_sync",
+            lambda host, port, timeout_s=5.0: StatusInfo(
+                state="draining", accepting=False,
+                active_sessions=3, waiting_sessions=0,
+            ),
+        )
+        assert main(["status", "--port", "1"]) == 1
+        out = capsys.readouterr().out
+        assert ": draining" in out
+        assert ": no" in out
+
+
+class TestStats:
+    def test_table_snapshot_from_live_server(self, capsys, tiny_clip, fast_params):
+        from repro.api import StreamingService
+
+        service = StreamingService(fast_params).add_clip(tiny_clip)
+        (host, port), stop, thread = TestFetch._serve_in_thread(service)
+        try:
+            assert main(["stats", "--host", host, "--port", str(port)]) == 0
+        finally:
+            stop.set()
+            thread.join(10)
+        out = capsys.readouterr().out
+        assert "server health:" in out
+        assert "accepting" in out
+        assert "repro_net_stats_probes_total" in out
+
+    def test_json_and_prometheus_formats(self, capsys, tiny_clip, fast_params):
+        import json
+
+        from repro.api import StreamingService
+
+        service = StreamingService(fast_params).add_clip(tiny_clip)
+        (host, port), stop, thread = TestFetch._serve_in_thread(service)
+        try:
+            assert main(["stats", "--host", host, "--port", str(port),
+                         "--format", "json", "--events"]) == 0
+            payload = json.loads(capsys.readouterr().out)
+            assert payload["health"]["accepting"] is True
+            assert "metrics" in payload
+            assert main(["stats", "--host", host, "--port", str(port),
+                         "--format", "prometheus"]) == 0
+            out = capsys.readouterr().out
+            assert "# TYPE repro_net_stats_probes_total counter" in out
+        finally:
+            stop.set()
+            thread.join(10)
+
+    def test_watch_polls_count_times(self, capsys, tiny_clip, fast_params):
+        from repro.api import StreamingService
+
+        service = StreamingService(fast_params).add_clip(tiny_clip)
+        (host, port), stop, thread = TestFetch._serve_in_thread(service)
+        try:
+            assert main(["stats", "--host", host, "--port", str(port),
+                         "--watch", "0.01", "--count", "2",
+                         "--format", "json"]) == 0
+        finally:
+            stop.set()
+            thread.join(10)
+        lines = [l for l in capsys.readouterr().out.splitlines() if l.strip()]
+        assert len(lines) == 2
+
+    def test_unreachable_server_exits_one(self, capsys):
+        import socket
+
+        with socket.socket() as sock:
+            sock.bind(("127.0.0.1", 0))
+            port = sock.getsockname()[1]
+        assert main(["stats", "--port", str(port), "--timeout", "1"]) == 1
+        assert "unreachable" in capsys.readouterr().err
+
+
+class TestTraceWire:
+    @pytest.fixture
+    def served_library_clip(self, fast_params):
+        from repro.api import StreamingService
+        from repro.video import make_clip
+
+        clip = make_clip("spiderman2", resolution=(32, 24), duration_scale=0.1)
+        service = StreamingService(fast_params).add_clip(clip)
+        (host, port), stop, thread = TestFetch._serve_in_thread(service)
+        yield clip, host, port
+        stop.set()
+        thread.join(10)
+
+    def test_wire_trace_prints_linked_tree(self, capsys, served_library_clip):
+        clip, host, port = served_library_clip
+        assert main(["trace", clip.name, "--wire", "--host", host,
+                     "--port", str(port), "--quality", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "trace " in out
+        assert "net.fetch" in out
+        assert "net.connect" in out
+        # server-side spans came back over the stats probe
+        assert "net.session" in out
+
+    def test_wire_trace_jsonl_output(self, capsys, served_library_clip):
+        import json
+
+        clip, host, port = served_library_clip
+        assert main(["trace", clip.name, "--wire", "--host", host,
+                     "--port", str(port), "--quality", "0.05",
+                     "--jsonl"]) == 0
+        rows = [json.loads(line)
+                for line in capsys.readouterr().out.splitlines() if line]
+        assert len(rows) >= 5
+        assert len({r["trace_id"] for r in rows}) == 1
+        names = {r["name"] for r in rows}
+        assert "net.fetch" in names and "net.session" in names
+
+    def test_sparkline_mode_unchanged_without_wire(self, capsys):
+        assert main(["trace", "themovie", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 6 series" in out
+        assert "net.fetch" not in out
