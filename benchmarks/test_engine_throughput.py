@@ -131,6 +131,33 @@ def test_engine_throughput(report, device, workload):
         "chunked": best_time(lambda: StreamAnalyzer().analyze(clip)),
     }
 
+    # Compensate-only microbenchmark: the fused 256-entry LUT kernel
+    # against the float64 reference it replaced, on one autotuned chunk
+    # with per-scene gains.  Bit-identity is asserted before the timing
+    # is trusted; the speedup is the "additional compensate speedup"
+    # the wire path banks on.
+    from repro.core import (
+        contrast_enhancement_batch,
+        contrast_enhancement_batch_reference,
+    )
+
+    chunk = next(iter(clip.iter_chunks(128)))
+    gains = np.repeat([1.4, 2.1, 1.0, 1.7], 32)[: len(chunk)]
+    lut_px, lut_fr = contrast_enhancement_batch(chunk.pixels, gains)
+    ref_px, ref_fr = contrast_enhancement_batch_reference(chunk.pixels, gains)
+    assert np.array_equal(lut_px, ref_px)
+    assert np.array_equal(lut_fr, ref_fr)
+    compensate_seconds = best_times_interleaved(
+        {
+            "lut": lambda: contrast_enhancement_batch(chunk.pixels, gains),
+            "float": lambda: contrast_enhancement_batch_reference(
+                chunk.pixels, gains
+            ),
+        },
+        rounds=5,
+    )
+    lut_speedup = compensate_seconds["float"] / compensate_seconds["lut"]
+
     payload = {
         "benchmark": "engine_throughput",
         "clip": clip.name,
@@ -149,6 +176,12 @@ def test_engine_throughput(report, device, workload):
             "perframe_seconds": analyze_only["perframe"],
             "chunked_seconds": analyze_only["chunked"],
             "speedup": analyze_only["perframe"] / analyze_only["chunked"],
+        },
+        "compensate_only": {
+            "chunk_frames": len(chunk),
+            "float_seconds": compensate_seconds["float"],
+            "lut_seconds": compensate_seconds["lut"],
+            "lut_speedup_vs_float": lut_speedup,
         },
     }
     os.makedirs(RESULTS_DIR, exist_ok=True)
@@ -171,11 +204,20 @@ def test_engine_throughput(report, device, workload):
         f"chunked {analyze_only['chunked']:.3f}s "
         f"({payload['analyze_only']['speedup']:.2f}x)"
     )
+    lines.append(
+        "compensate only: "
+        f"float {compensate_seconds['float'] * 1e3:.2f} ms, "
+        f"LUT {compensate_seconds['lut'] * 1e3:.2f} ms "
+        f"({lut_speedup:.2f}x) on {len(chunk)} frames"
+    )
     lines.append(f"json -> {json_path}")
     report("engine_throughput", lines)
 
     # Acceptance: batched engine at least 3x the per-frame hot path.
     assert speedup["chunked"] >= 3.0, speedup
+    # The fused LUT compensate must beat the float64 kernel it replaced
+    # by a wide margin — it's the wire path's compute headroom.
+    assert lut_speedup >= 1.5, compensate_seconds
     # The persistent shared pool means threads never pays executor setup
     # per pass; with one effective worker it runs the chunks inline, so it
     # must match chunked to within timing noise instead of trailing it.

@@ -35,11 +35,32 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 RESULTS_DIR = os.path.join(REPO_ROOT, "benchmarks", "results")
 
 #: Deterministic metrics; higher is better unless listed in LOWER_IS_BETTER.
-QUALITY_KEYS = {"speedup_vs_perframe", "savings", "frontier_size", "overhead_fraction"}
+QUALITY_KEYS = {
+    "speedup_vs_perframe",
+    "lut_speedup_vs_float",
+    "savings",
+    "frontier_size",
+    "overhead_fraction",
+}
 #: Host-speed-dependent throughput metrics; higher is better.
 RATE_KEYS = {"sessions_per_sec", "frames_per_sec", "wire_mbytes_per_sec"}
 #: Keys where a *rise* is the regression.
 LOWER_IS_BETTER = {"overhead_fraction"}
+#: Comparative gates: within one fresh results file, the metric at the
+#: first path must be >= ``ratio`` times the metric at the second path.
+#: Unlike the regression bands (which compare against a committed
+#: baseline and so drift with it), these encode *structural* claims —
+#: the chunked engine beating per-frame emission over the wire is the
+#: repo's headline result, and both sides of the ratio are measured in
+#: the same run on the same host, so a tight band is fair.
+COMPARATIVE_GATES = {
+    "BENCH_network.json": [
+        ("engines/chunked/sessions_per_sec",
+         "engines/perframe/sessions_per_sec", 0.95),
+        ("engines/chunked/frames_per_sec",
+         "engines/perframe/frames_per_sec", 0.95),
+    ],
+}
 #: Absolute band for LOWER_IS_BETTER fractions.  These hover around
 #: zero, where a relative band degenerates: a lucky -2% baseline sample
 #: would fail any honest re-measurement.  A rise only regresses when it
@@ -100,6 +121,22 @@ def compare(fresh: dict, baseline: dict, tolerance: float,
     return regressions, notes
 
 
+def comparative(fresh: dict, name: str) -> List[str]:
+    """Within-file comparative gate failures for one results file."""
+    failures: List[str] = []
+    leaves = flatten(fresh)
+    for winner, loser, ratio in COMPARATIVE_GATES.get(name, ()):
+        if winner not in leaves or loser not in leaves:
+            failures.append(f"  MISSING comparative metric: {winner} vs {loser}")
+            continue
+        if leaves[winner] < ratio * leaves[loser] - 1e-12:
+            failures.append(
+                f"  COMPARATIVE {winner} ({leaves[winner]:g}) < "
+                f"{ratio:g} x {loser} ({leaves[loser]:g})"
+            )
+    return failures
+
+
 def baseline_from_git(relpath: str, ref: str) -> dict:
     """The committed version of a results file, or None when absent."""
     proc = subprocess.run(
@@ -138,13 +175,21 @@ def main(argv=None) -> int:
         name = os.path.basename(path)
         with open(path) as fh:
             fresh = json.load(fh)
+        # Within-file comparative gates run even without a baseline:
+        # both sides come from the fresh measurement.
+        comparative_failures = comparative(fresh, name)
         baseline = baseline_from_git(relpath, args.ref)
         if baseline is None:
-            print(f"{name}: no baseline at {args.ref}, skipped")
+            status = "FAIL" if comparative_failures else "no baseline, skipped"
+            print(f"{name}: {status}")
+            for line in comparative_failures:
+                print(line)
+            failed = failed or bool(comparative_failures)
             continue
         regressions, notes = compare(
             fresh, baseline, args.tolerance, args.rate_tolerance
         )
+        regressions = comparative_failures + regressions
         status = "FAIL" if regressions else "ok"
         print(f"{name}: {status}")
         for line in regressions + notes:

@@ -11,6 +11,9 @@ Subcommands map to the library's main workflows, all routed through the
   (admission control via ``--max-sessions``/``--accept-queue``, session
   resume via ``--resume-window``, graceful drain via ``--drain-timeout``);
 * ``fetch``     — pull a stream from a running server and play it;
+  both ``serve`` and ``fetch`` accept ``--profile [FILE]`` to dump a
+  sorted-by-cumtime profile of the run (yappi when installed, else
+  cProfile);
 * ``status``    — probe a running server's health/readiness (exit code 0
   when the server is accepting sessions, 1 otherwise);
 * ``stats``     — scrape a running server's live metrics snapshot and
@@ -53,6 +56,82 @@ from . import telemetry, viz
 
 
 ALL_CLIP_NAMES = PAPER_CLIP_NAMES + EXTENDED_CLIP_NAMES
+
+#: Rows printed by ``--profile`` (sorted by cumulative time).
+_PROFILE_ROWS = 30
+
+
+class _maybe_profile:
+    """Context manager behind ``--profile``: collect and dump a profile.
+
+    ``destination`` is ``None`` (disabled), ``"-"`` (print the table to
+    stderr) or a path.  Prefers ``yappi`` when importable — it follows
+    the producer threads the wire server compensates on — and falls back
+    to :mod:`cProfile`, which only sees the calling thread (for
+    ``serve``/``fetch`` that is the asyncio event loop: the send/receive
+    path, not the compensation workers).  Either way the dump is a
+    sorted-by-cumulative-time :mod:`pstats` table of the top
+    ``_PROFILE_ROWS`` functions.
+    """
+
+    def __init__(self, destination: Optional[str]):
+        self.destination = destination
+        self._yappi = None
+        self._profile = None
+
+    def __enter__(self):
+        if self.destination is None:
+            return self
+        try:
+            import yappi
+
+            self._yappi = yappi
+            yappi.set_clock_type("wall")
+            yappi.start()
+        except ImportError:
+            import cProfile
+
+            self._profile = cProfile.Profile()
+            self._profile.enable()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        if self.destination is None:
+            return False
+        import pstats
+
+        if self._yappi is not None:
+            self._yappi.stop()
+            stats = self._yappi.convert2pstats(self._yappi.get_func_stats())
+            engine = "yappi (all threads)"
+        else:
+            self._profile.disable()
+            stats = pstats.Stats(self._profile)
+            engine = "cProfile (main thread only)"
+        if self.destination == "-":
+            stream = sys.stderr
+            close = False
+        else:
+            stream = open(self.destination, "w")
+            close = True
+        try:
+            stream.write(f"profile: {engine}, sorted by cumulative time\n")
+            stats.stream = stream
+            stats.sort_stats("cumulative").print_stats(_PROFILE_ROWS)
+        finally:
+            if close:
+                stream.close()
+                print(f"profile written to {self.destination}", file=sys.stderr)
+        return False
+
+
+def _add_profile_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--profile", nargs="?", const="-", default=None, metavar="FILE",
+        help="dump a sorted-by-cumtime profile after the run "
+             "(to FILE, or stderr when the path is omitted; uses yappi "
+             "when installed, else cProfile)",
+    )
 
 
 def _add_clip_arg(parser: argparse.ArgumentParser) -> None:
@@ -258,7 +337,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
                     print(f"  {_format_flight_event(event)}", flush=True)
 
     try:
-        asyncio.run(run())
+        with _maybe_profile(args.profile):
+            asyncio.run(run())
     except KeyboardInterrupt:
         print("server stopped")
     return 0
@@ -343,10 +423,11 @@ def cmd_fetch(args: argparse.Namespace) -> int:
     from .streaming import MobileClient, NegotiationError
 
     try:
-        fetched = fetch_stream_sync(
-            args.host, args.port, args.clip, args.quality, args.device,
-            max_retries=args.retries,
-        )
+        with _maybe_profile(args.profile):
+            fetched = fetch_stream_sync(
+                args.host, args.port, args.clip, args.quality, args.device,
+                max_retries=args.retries,
+            )
     except (StreamFetchError, NegotiationError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -532,6 +613,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--policy", default=None, choices=POLICY_NAMES,
                    help="backlight policy for annotation "
                         "(default: clip-quality)")
+    _add_profile_arg(p)
     p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser("status", help="probe a running server's health/readiness")
@@ -571,6 +653,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="requested quality level (0-1)")
     p.add_argument("--retries", type=int, default=4,
                    help="fetch retries after transient failures")
+    _add_profile_arg(p)
     p.set_defaults(fn=cmd_fetch)
 
     p = sub.add_parser("telemetry", help="demo run + metrics registry dump")

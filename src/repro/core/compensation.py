@@ -16,8 +16,9 @@ quality loss (clipping) happens.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
-from typing import Tuple, Union
+from typing import Optional, Tuple, Union
 
 import numpy as np
 
@@ -70,31 +71,102 @@ def contrast_enhancement(frame: Frame, gain: float) -> CompensationResult:
     return CompensationResult(frame=result, clipped_fraction=float(clipped.mean()))
 
 
-def contrast_enhancement_batch(
+#: Byte codes 0..255 as float64, the domain of a compensation LUT.
+_LUT_CODES = np.arange(int(MAX_CHANNEL) + 1, dtype=np.float64)
+
+#: ``clip_code`` sentinel for "no byte code clips at this gain".
+_NEVER_CLIPS = int(MAX_CHANNEL) + 1
+
+_GAIN_LUT_LOCK = threading.Lock()
+_GAIN_LUT_CACHE = None
+
+
+def gain_lut_cache():
+    """The process-wide cache of per-gain compensation LUTs.
+
+    Backed by a :class:`~repro.core.profile_cache.ProfileCache` (lazily
+    created, imported lazily to keep this module dependency-light), so
+    LUT reuse shows up in the same cache telemetry series as profile
+    reuse.  A LUT is 256 bytes; a distinct gain exists per annotated
+    scene, so even a large catalog fits comfortably in the bound.
+    """
+    global _GAIN_LUT_CACHE
+    with _GAIN_LUT_LOCK:
+        if _GAIN_LUT_CACHE is None:
+            from .profile_cache import ProfileCache
+
+            _GAIN_LUT_CACHE = ProfileCache(max_entries=256)
+        return _GAIN_LUT_CACHE
+
+
+def _build_gain_lut(gain: float) -> Tuple[np.ndarray, int]:
+    # The exact float operation sequence of the reference kernel, applied
+    # to every possible byte code instead of every pixel: normalize,
+    # scale, saturate, re-quantize.  Elementwise ops on the same inputs in
+    # the same order produce the same bits, so looking pixels up through
+    # this table is provably identical to the per-pixel float path.
+    values = _LUT_CODES / MAX_CHANNEL
+    values *= gain
+    clipped = values > 1.0 + 1e-12
+    np.minimum(values, 1.0, out=values)
+    values *= MAX_CHANNEL
+    np.rint(values, out=values)
+    lut = values.astype(np.uint8)
+    lut.setflags(write=False)
+    hits = np.nonzero(clipped)[0]
+    clip_code = int(hits[0]) if hits.size else _NEVER_CLIPS
+    return lut, clip_code
+
+
+def gain_lut(gain: float) -> Tuple[np.ndarray, int]:
+    """The 256-entry compensation LUT for one gain, plus its clip code.
+
+    Returns ``(lut, clip_code)``: ``lut[x]`` is the compensated byte for
+    input byte ``x`` — bit-identical to the float path's
+    ``rint(min(x / 255 * gain, 1) * 255)`` — and ``clip_code`` is the
+    smallest byte code that saturates (``256`` when none does; the scale
+    ``x / 255 * gain`` is monotone in ``x``, so the clipping codes form
+    the up-set ``[clip_code, 255]``).  LUTs are cached process-wide via
+    :func:`gain_lut_cache`.
+    """
+    key = ("gain-lut", float(gain))
+    cache = gain_lut_cache()
+    entry = cache.get(key)
+    if entry is None:
+        entry = _build_gain_lut(float(gain))
+        cache.put(key, entry)
+    return entry
+
+
+class ChunkArena:
+    """A reusable uint8 output buffer for batched compensation.
+
+    Repeated :func:`contrast_enhancement_batch` calls over equally sized
+    chunks each allocate a fresh ``(N, H, W, 3)`` output; an arena lets a
+    streaming loop reuse one allocation across batches instead.
+    **Aliasing caveat**: a view handed out by :meth:`request` is
+    invalidated by the next ``request`` of a compatible size — only use
+    an arena when each batch is fully consumed (copied, encoded, written)
+    before the next one is produced.
+    """
+
+    def __init__(self):
+        self._buffer: Optional[np.ndarray] = None
+
+    def request(self, shape: Tuple[int, ...]) -> np.ndarray:
+        """A writable uint8 array of ``shape``, reusing prior capacity."""
+        size = 1
+        for dim in shape:
+            size *= int(dim)
+        if self._buffer is None or self._buffer.size < size:
+            self._buffer = np.empty(size, dtype=np.uint8)
+        return self._buffer[:size].reshape(shape)
+
+
+def _check_batch_args(
     pixels: np.ndarray, gains: Union[float, np.ndarray]
 ) -> Tuple[np.ndarray, np.ndarray]:
-    """Batched contrast enhancement over an ``(N, H, W, 3)`` uint8 chunk.
-
-    Bit-identical to running :func:`contrast_enhancement` on each frame:
-    the same normalize → scale → clip → quantize float operations are
-    applied elementwise, just across the whole batch at once.
-
-    Parameters
-    ----------
-    pixels:
-        ``(N, H, W, 3)`` uint8 batch.
-    gains:
-        Scalar or per-frame ``(N,)`` gain vector.  Gains must be positive;
-        frames with ``gain <= 1`` pass through unchanged with zero
-        clipping, mirroring the annotated stream's full-backlight
-        short-circuit (a gain of exactly 1 round-trips uint8 pixels).
-
-    Returns
-    -------
-    (compensated, fractions):
-        A new ``(N, H, W, 3)`` uint8 batch and the per-frame clipped
-        fraction as an ``(N,)`` float array.
-    """
+    """Shared validation for the batched kernels; returns (pixels, (N,) gains)."""
     pixels = np.asarray(pixels)
     if pixels.ndim != 4 or pixels.shape[3] != 3:
         raise ValueError(f"batch pixels must be (N, H, W, 3), got {pixels.shape}")
@@ -108,6 +180,119 @@ def contrast_enhancement_batch(
         raise ValueError(f"gains must be scalar or shape ({n},), got {g.shape}")
     if np.any(g <= 0):
         raise ValueError("compensation gains must be positive")
+    return pixels, g
+
+
+def contrast_enhancement_batch(
+    pixels: np.ndarray,
+    gains: Union[float, np.ndarray],
+    out: Optional[np.ndarray] = None,
+    fractions: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Batched contrast enhancement over an ``(N, H, W, 3)`` uint8 chunk.
+
+    Bit-identical to running :func:`contrast_enhancement` on each frame.
+    The hot loop is *fused*: instead of materializing a float64 scratch
+    copy of the chunk (24 bytes per pixel) and running the normalize →
+    scale → clip → quantize sequence per pixel, each distinct gain's
+    mapping is precomputed once into a 256-entry uint8 LUT
+    (:func:`gain_lut`) and pixels are gathered through it — the float
+    math runs 256 times per gain instead of once per channel sample.
+    Clipped fractions come from the peak channel against the LUT's clip
+    code, which selects exactly the pixels the float path flags (the
+    gain scale is monotone per byte code).
+    :func:`contrast_enhancement_batch_reference` keeps the direct float
+    implementation as the equivalence oracle.
+
+    Parameters
+    ----------
+    pixels:
+        ``(N, H, W, 3)`` uint8 batch.
+    gains:
+        Scalar or per-frame ``(N,)`` gain vector.  Gains must be positive;
+        frames with ``gain <= 1`` pass through unchanged with zero
+        clipping, mirroring the annotated stream's full-backlight
+        short-circuit (a gain of exactly 1 round-trips uint8 pixels).
+    out:
+        Optional preallocated ``(N, H, W, 3)`` uint8 output (e.g. from a
+        :class:`ChunkArena`); a fresh array is allocated when omitted.
+    fractions:
+        Optional precomputed per-frame clipped fractions, ``(N,)`` float.
+        When given, the kernel skips the peak-channel reduction entirely
+        and returns this array as-is — the caller asserts the values
+        equal what the kernel would compute (e.g. derived from the
+        profiling pass's exact peak-channel histograms, as
+        :class:`~repro.core.pipeline.AnnotatedStream` does).  This keeps
+        the hot loop down to pure LUT gathers, which matters under
+        thread contention: the gather holds the GIL while the large
+        reduction ufuncs release and reacquire it around every op,
+        inviting preemption mid-chunk.
+
+    Returns
+    -------
+    (compensated, fractions):
+        The compensated ``(N, H, W, 3)`` uint8 batch (``out`` when given)
+        and the per-frame clipped fraction as an ``(N,)`` float array.
+    """
+    pixels, g = _check_batch_args(pixels, gains)
+    n = pixels.shape[0]
+    if out is None:
+        out = np.empty_like(pixels)
+    elif (
+        not isinstance(out, np.ndarray)
+        or out.shape != pixels.shape
+        or out.dtype != np.uint8
+    ):
+        raise ValueError(
+            f"out must be a uint8 array of shape {pixels.shape}"
+        )
+    if fractions is not None:
+        fractions = np.asarray(fractions, dtype=np.float64)
+        if fractions.shape != (n,):
+            raise ValueError(
+                f"fractions must have shape ({n},), got {fractions.shape}"
+            )
+        compute_fractions = False
+    else:
+        fractions = np.zeros(n)
+        compute_fractions = True
+    # Gains are per-scene, so equal-gain frames form contiguous runs;
+    # each run is one LUT gather plus one peak-channel reduction.
+    lo = 0
+    while lo < n:
+        hi = lo + 1
+        while hi < n and g[hi] == g[lo]:
+            hi += 1
+        gain = float(g[lo])
+        run = pixels[lo:hi]
+        if gain <= 1.0:
+            out[lo:hi] = run
+        else:
+            lut, clip_code = gain_lut(gain)
+            np.take(lut, run, out=out[lo:hi])
+            if compute_fractions and clip_code <= int(MAX_CHANNEL):
+                # Chained np.maximum over the channel views — same idiom
+                # (and same speedup) as FrameChunk.peak_channel_u8.
+                peak = np.maximum(
+                    np.maximum(run[..., 0], run[..., 1]), run[..., 2]
+                )
+                fractions[lo:hi] = (peak >= clip_code).mean(axis=(1, 2))
+        lo = hi
+    return out, fractions
+
+
+def contrast_enhancement_batch_reference(
+    pixels: np.ndarray, gains: Union[float, np.ndarray]
+) -> Tuple[np.ndarray, np.ndarray]:
+    """The direct float implementation of :func:`contrast_enhancement_batch`.
+
+    Applies the normalize → scale → clip → quantize sequence to a float64
+    copy of the whole batch — the pre-LUT hot loop, kept as the oracle
+    the fused kernel is pinned against (and as the measurement baseline
+    for the LUT speedup benchmark).
+    """
+    pixels, g = _check_batch_args(pixels, gains)
+    n = pixels.shape[0]
 
     fractions = np.zeros(n)
     active = g > 1.0

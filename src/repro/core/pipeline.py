@@ -36,7 +36,13 @@ from .annotation import (
     DeviceAnnotationTrack,
     SceneAnnotation,
 )
-from .compensation import CompensationResult, contrast_enhancement, contrast_enhancement_batch
+from .compensation import (
+    ChunkArena,
+    CompensationResult,
+    contrast_enhancement,
+    contrast_enhancement_batch,
+    gain_lut,
+)
 from .engine import EngineSpec
 from .policies import BacklightPolicy, ClipQualityPolicy, PolicySpec, get_policy, resolve_policy
 from .policy import SchemeParameters
@@ -169,8 +175,16 @@ class AnnotationPipeline:
 
     def build_stream(self, clip: ClipBase, device: DeviceProfile) -> "AnnotatedStream":
         """Full server-side processing: annotate, bind, wrap for shipping."""
-        track = self.annotate_for_device(clip, device)
-        return AnnotatedStream(clip=clip, track=track, device=device)
+        profile = self.profile(clip)
+        track = self.annotate_for_device(clip, device, profile=profile)
+        # Importance-weighted analysis produces *weighted* histograms, so
+        # only the plain analyzer's exact peak-channel counts may seed
+        # the stream's precomputed clipped fractions.
+        if type(self.analyzer) is not StreamAnalyzer:
+            profile = None
+        return AnnotatedStream(
+            clip=clip, track=track, device=device, profile=profile
+        )
 
 
 @dataclass(frozen=True)
@@ -228,7 +242,13 @@ class AnnotatedStream:
     :meth:`iter_chunks` exposes the batched form directly.
     """
 
-    def __init__(self, clip: ClipBase, track: DeviceAnnotationTrack, device: DeviceProfile):
+    def __init__(
+        self,
+        clip: ClipBase,
+        track: DeviceAnnotationTrack,
+        device: DeviceProfile,
+        profile: Optional[ProfileResult] = None,
+    ):
         if track.frame_count != clip.frame_count:
             raise ValueError(
                 f"track covers {track.frame_count} frames, clip has {clip.frame_count}"
@@ -236,6 +256,14 @@ class AnnotatedStream:
         self.clip = clip
         self.track = track
         self.device = device
+        # Per-frame FrameStats from the (plain-analyzer) profiling pass,
+        # when the builder had them: their exact peak-channel histograms
+        # let clipped fractions be derived without touching pixels.
+        self._profile_stats = (
+            profile.stats
+            if profile is not None and len(profile.stats) == clip.frame_count
+            else None
+        )
         self._levels = track.per_frame_levels()
         self._gains = track.per_frame_gains()
         self.policy = get_policy(track.policy)
@@ -287,13 +315,25 @@ class AnnotatedStream:
             return contrast_enhancement(frame, gain)
         return self._transform_at(index).apply_frame(frame)
 
-    def iter_chunks(self, chunk_size: Optional[int] = None) -> Iterator[CompensatedChunk]:
+    def iter_chunks(
+        self,
+        chunk_size: Optional[int] = None,
+        lead: Optional[int] = None,
+        reuse_output: bool = False,
+    ) -> Iterator[CompensatedChunk]:
         """Yield the compensated stream as :class:`CompensatedChunk` batches.
 
         Bit-identical to calling :meth:`compensated_frame` per frame, but
         the normalize → scale → clip → quantize math runs once per chunk.
         ``chunk_size=None`` (the default) autotunes the span from the
-        clip's frame geometry, matching the profiling pass.  Raises
+        clip's frame geometry, matching the profiling pass.  A positive
+        ``lead`` shrinks only the first chunk so the opening frames are
+        ready before the first full-size chunk finishes (streaming's
+        time-to-first-frame lever).  ``reuse_output=True`` compensates
+        into a reused :class:`~repro.core.compensation.ChunkArena`
+        buffer: each yielded chunk's pixels are overwritten by the next
+        iteration, so the consumer must fully copy/encode a chunk before
+        advancing.  Raises
         :class:`~repro.video.chunks.HeterogeneousFrameError` for clips
         that mix frame resolutions (use the per-frame API there).
         """
@@ -309,11 +349,12 @@ class AnnotatedStream:
             "Frames compensated, by backlight policy",
             labels={"policy": self.policy.name},
         )
-        for chunk in self.clip.iter_chunks(chunk_size):
+        arena = ChunkArena() if reuse_output else None
+        for chunk in self.clip.iter_chunks(chunk_size, lead=lead):
             gains = self._gains[chunk.start : chunk.stop]
             with trace("pipeline.compensate"):
                 pixels, fractions = self._compensate_pixels(
-                    chunk.pixels, chunk.start, chunk.stop, gains
+                    chunk.pixels, chunk.start, chunk.stop, gains, arena=arena
                 )
             frames_counter.inc(chunk.stop - chunk.start)
             yield CompensatedChunk(
@@ -324,12 +365,57 @@ class AnnotatedStream:
                 clipped_fractions=fractions,
             )
 
+    def _histogram_fractions(self) -> Optional[np.ndarray]:
+        """Per-frame clipped fractions from the profile's histograms.
+
+        The analyzer's ``channel_histogram`` counts each frame's peak
+        channel bytes exactly, and a pixel clips at gain ``g`` iff its
+        peak byte is >= the LUT's clip code — so the clipped fraction is
+        a histogram tail sum over total pixels, bit-identical to the
+        pixel-path reduction (both divide the same integer count by the
+        same pixel total in float64).  Computed once per stream, O(256)
+        per frame; returns ``None`` when profile stats are unavailable
+        or the track is not gain-only.  Fills the same
+        ``_clipped_fractions`` cache the quality metrics use.
+        """
+        if not self._all_gain or self._profile_stats is None:
+            return None
+        if self._clipped_fractions is None:
+            shape = self.clip.frame_shape()
+            if shape is None:
+                return None  # mixed resolutions: per-frame path handles it
+            npix = int(shape[0]) * int(shape[1])
+            fractions = np.zeros(self.frame_count)
+            for i, stats in enumerate(self._profile_stats):
+                gain = float(self._gains[i])
+                if gain <= 1.0:
+                    continue
+                counts = stats.channel_histogram.counts
+                if int(counts.sum()) != npix:
+                    return None  # weighted/partial histograms: no shortcut
+                _, clip_code = gain_lut(gain)
+                if clip_code < len(counts):
+                    fractions[i] = int(counts[clip_code:].sum()) / npix
+            self._clipped_fractions = fractions
+        return self._clipped_fractions
+
     def _compensate_pixels(
-        self, pixels: np.ndarray, start: int, stop: int, gains: np.ndarray
+        self,
+        pixels: np.ndarray,
+        start: int,
+        stop: int,
+        gains: np.ndarray,
+        arena: Optional[ChunkArena] = None,
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Compensate one raw chunk: vectorized gains or per-scene runs."""
         if self._all_gain:
-            return contrast_enhancement_batch(pixels, gains)
+            out = arena.request(pixels.shape) if arena is not None else None
+            fractions = self._histogram_fractions()
+            if fractions is not None:
+                fractions = fractions[start:stop]
+            return contrast_enhancement_batch(
+                pixels, gains, out=out, fractions=fractions
+            )
         out_parts = []
         fraction_parts = []
         for lo, hi, transform in self._scene_runs(start, stop):

@@ -10,10 +10,15 @@ Each connection runs the wire protocol::
       | <--------- frame records ---- |   (producer thread + queue)
       | <------------ end (control) - |
 
-Packet production reuses :meth:`~repro.streaming.server.MediaServer.stream`
-— the chunked engine's batched compensation path — but runs it on a
-dedicated per-session thread so the event loop never blocks on numpy (and
-no shared executor caps how many sessions can stream at once).  Producer
+Packet production reuses the media server's batched emission path and
+runs it on a dedicated per-session thread so the event loop never blocks
+on numpy.  Threads are per-session so no shared executor caps how many
+sessions can *stream* at once, but the CPU-bound part (compensation +
+encode) is gated by a server-wide ``compute_slots`` semaphore sized to
+the host's cores: running more numpy-heavy threads than cores just adds
+GIL convoy — every thread stalls behind every other thread's long
+non-GIL-releasing kernel — which starves the event loop and inflates
+frame gaps without adding any throughput.  Producer
 and socket are decoupled by a **bounded** per-session send queue: when a
 slow client (or a congested wireless hop) stops draining,
 ``writer.drain()`` blocks the sender, the queue fills, and the producer
@@ -65,6 +70,7 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import contextvars
+import os
 import queue as queue_mod
 import secrets
 import threading
@@ -101,6 +107,22 @@ from .messages import (
 
 #: Sentinel closing a producer queue (normal completion).
 _DONE = object()
+
+
+@dataclass
+class _WireBatch:
+    """A coalesced run of encoded records crossing the producer queue.
+
+    The producer thread encodes packets straight into one contiguous
+    buffer (header + payload, repeated) and hands the whole run to the
+    event loop as a single queue item — one ``call_soon_threadsafe``
+    wakeup and one ``writer.write`` + ``drain`` per batch instead of one
+    per record.  Encoding copies every payload into the buffer, so a
+    batch holds no references into producer-side (reused) pixel arenas.
+    """
+
+    buffer: bytearray
+    records: int
 
 #: Queue-depth histogram buckets (records waiting in a session queue).
 _QUEUE_BUCKETS = (0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
@@ -154,6 +176,19 @@ class AnnotationStreamServer:
         token.  0 disables resume (no tokens are issued).
     drain_timeout_s:
         Default deadline for :meth:`drain`.
+    batch_records / batch_bytes:
+        Flush thresholds for the producer's coalesced wire batches: a
+        batch is handed to the event loop once it holds this many
+        records or this many buffered bytes (and always at chunk
+        boundaries).  ``batch_records=1`` degenerates to the old
+        one-record-per-queue-item behavior.  Both must be >= 1.
+    compute_slots:
+        How many producer threads may run their CPU-bound stage
+        (compensation + packet encode) at once, across all sessions.
+        Defaults to the host's core count.  Socket concurrency is
+        unaffected — every admitted session streams simultaneously;
+        only the numpy-heavy compute is prevented from oversubscribing
+        the cores into a GIL convoy.  Must be >= 1 when set.
 
     Raises
     ------
@@ -174,9 +209,18 @@ class AnnotationStreamServer:
         busy_retry_after_s: float = 0.25,
         resume_window_s: float = 60.0,
         drain_timeout_s: float = 10.0,
+        batch_records: int = 32,
+        batch_bytes: int = 1 << 20,
+        compute_slots: Optional[int] = None,
     ):
         if queue_depth < 1:
             raise ValueError("queue_depth must be >= 1")
+        if batch_records < 1:
+            raise ValueError("batch_records must be >= 1")
+        if batch_bytes < 1:
+            raise ValueError("batch_bytes must be >= 1")
+        if compute_slots is not None and compute_slots < 1:
+            raise ValueError("compute_slots must be >= 1 when set")
         if hello_timeout_s <= 0:
             raise ValueError("hello_timeout_s must be positive")
         if max_sessions is not None and max_sessions < 1:
@@ -202,6 +246,13 @@ class AnnotationStreamServer:
         self.busy_retry_after_s = busy_retry_after_s
         self.resume_window_s = resume_window_s
         self.drain_timeout_s = drain_timeout_s
+        self.batch_records = batch_records
+        self.batch_bytes = batch_bytes
+        self.compute_slots = (
+            compute_slots if compute_slots is not None
+            else max(1, os.cpu_count() or 1)
+        )
+        self._compute_slots = threading.Semaphore(self.compute_slots)
         self._server: Optional[asyncio.base_events.Server] = None
         self._state = STATE_STOPPED
         self._active_count = 0
@@ -595,29 +646,105 @@ class AnnotationStreamServer:
         wakeup: asyncio.Event,
         skip: int = 0,
     ) -> None:
-        """Producer thread: run the batched packet generator into the queue.
+        """Producer thread: encode the stream into coalesced wire batches.
 
-        Enqueueing blocks when the queue is full (backpressure), so the
-        chunked compensation pass never runs further ahead of the socket
-        than ``queue_depth`` records.  ``skip`` suppresses emission of
-        the first N data records (resume: the client already holds
-        them) while still counting them, so the ``end`` totals always
-        describe the complete stream.
+        Packets are encoded (headers and payloads copied) into one
+        contiguous buffer per batch; the buffer crosses the queue as a
+        single :class:`_WireBatch`, so the event loop pays one wakeup and
+        one write per batch instead of per record.  Batches flush at the
+        ``batch_records`` / ``batch_bytes`` thresholds and at every
+        generator group boundary — the head (annotation) group therefore
+        reaches the socket while the first frame chunk is still
+        compensating, and reused chunk arenas are fully consumed before
+        the generator advances.
+
+        The CPU-bound stage — advancing the batch generator (which runs
+        compensation) and encoding — executes under the server-wide
+        ``compute_slots`` semaphore; flushed batches are enqueued *after*
+        the slot is released, so a full queue (slow client) parks this
+        thread on ``put`` without holding a compute slot hostage.
+        Enqueueing blocks when the queue is full (backpressure), so
+        compensation never runs further ahead of the socket than
+        ``queue_depth`` batches.  ``skip`` suppresses emission of the
+        first N data records (resume: the client already holds them)
+        while still counting them, so the ``end`` totals always describe
+        the complete stream.
         """
         packet_count = 0
         frame_count = 0
+        encode_s = 0.0
+        produce_t0 = perf_counter()
+        buffer = bytearray()
+        records = 0
+        pending = []  # flushed batches awaiting enqueue outside the slot
+        first_flushed = False
+
+        def flush() -> None:
+            nonlocal buffer, records
+            if records:
+                pending.append(_WireBatch(buffer=buffer, records=records))
+                buffer = bytearray()
+                records = 0
+
+        def drain_pending() -> bool:
+            nonlocal first_flushed
+            while pending:
+                if not self._put(out, pending[0], cancelled, loop, wakeup):
+                    return False
+                pending.pop(0)
+                if not first_flushed:
+                    first_flushed = True
+                    compute_s = perf_counter() - produce_t0
+                    emit_span(
+                        "net.first_byte_enqueued",
+                        compute_s,
+                        tags={"session_id": session.session_id},
+                    )
+                    record_event(
+                        "first_byte_enqueued",
+                        session_id=session.session_id,
+                        compute_s=compute_s,
+                    )
+            return True
+
         try:
             with trace("net.produce") as span:
                 if span is not None:
                     span.set_tag("session_id", session.session_id)
-                for packet in self.media_server.stream(session):
-                    if packet_count >= skip:
-                        if not self._put(out, packet, cancelled, loop, wakeup):
-                            return
-                    packet_count += 1
-                    if packet.ptype is PacketType.FRAME:
-                        frame_count += 1
-            self._put(out, (_DONE, packet_count, frame_count), cancelled, loop, wakeup)
+                groups = self.media_server.stream_batches(session)
+                while True:
+                    with self._compute_slots:
+                        try:
+                            group = next(groups)
+                        except StopIteration:
+                            break
+                        for packet in group:
+                            if packet_count >= skip:
+                                t0 = perf_counter()
+                                header, body = encode_packet(packet)
+                                buffer += header
+                                if len(body):
+                                    buffer += body  # copies the payload out of the arena
+                                encode_s += perf_counter() - t0
+                                records += 1
+                                if (
+                                    records >= self.batch_records
+                                    or len(buffer) >= self.batch_bytes
+                                ):
+                                    flush()
+                            packet_count += 1
+                            if packet.ptype is PacketType.FRAME:
+                                frame_count += 1
+                        flush()
+                    if not drain_pending():
+                        return
+            self._put(
+                out,
+                (_DONE, packet_count, frame_count, encode_s),
+                cancelled,
+                loop,
+                wakeup,
+            )
         except Exception as exc:  # surfaced to the session task
             self._put(out, exc, cancelled, loop, wakeup)
 
@@ -844,8 +971,18 @@ class AnnotationStreamServer:
                         timings["queue_wait_s"] += perf_counter() - t0
                         if isinstance(item, Exception):
                             raise item
+                        if isinstance(item, _WireBatch):
+                            t1 = perf_counter()
+                            writer.write(item.buffer)
+                            await writer.drain()
+                            timings["write_s"] += perf_counter() - t1
+                            self._records_counter.inc(item.records)
+                            self._bytes_counter.inc(len(item.buffer))
+                            sent += item.records
+                            continue
                         if isinstance(item, tuple) and item[0] is _DONE:
-                            _, packet_count, frame_count = item
+                            _, packet_count, frame_count, encode_s = item
+                            timings["encode_s"] += encode_s
                             await self._send(
                                 writer,
                                 encode_end(packet_count, frame_count, seq=sent + 1),

@@ -12,7 +12,7 @@ by compensated frame packets.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Iterator, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..core.annotation import AnnotationTrack
 from ..core.dvfs_annotation import DvfsAnnotator, DvfsTrack
@@ -33,6 +33,26 @@ from .session import (
     SessionRequest,
     snap_quality,
 )
+
+
+#: Frames in the shrunken first chunk of :meth:`MediaServer.stream_batches`.
+#: Small enough that the opening compensate is a few milliseconds, large
+#: enough that the per-batch overhead stays amortized.
+LEAD_CHUNK_FRAMES = 8
+
+#: Frame packets per batch when the per-frame engine feeds
+#: :meth:`MediaServer.stream_batches` (there is no natural chunk boundary
+#: to group by, so batches are cut every this many records).
+PERFRAME_BATCH_RECORDS = 32
+
+#: Compensation chunk span used by :meth:`MediaServer.stream_batches`.
+#: The in-process autotune targets float64-scratch residency and picks
+#: long chunks; on the wire a chunk is also the unit a producer computes
+#: before its session's socket sees any of it, so long chunks turn into
+#: head-of-line bubbles (and long compute-slot holds under contention).
+#: Matching the wire server's default batch_records keeps one chunk ≈ one
+#: coalesced write.
+WIRE_CHUNK_FRAMES = 32
 
 
 class MediaServer:
@@ -258,7 +278,38 @@ class MediaServer:
         track = self.annotation_track(session.clip_name, session.quality).bind(device)
         record_event("policy_bind", session_id=session.session_id,
                      policy=self.policy.name, device=session.device_name)
-        return AnnotatedStream(clip=clip, track=track, device=device)
+        # The cached profile's exact histograms let the stream derive
+        # clipped fractions without per-chunk pixel reductions.
+        return AnnotatedStream(
+            clip=clip, track=track, device=device,
+            profile=self._profiles.get(session.clip_name),
+        )
+
+    def _stream_setup(self, session: SessionDescription):
+        """Shared stream preamble: ``(annotated, head_packets, seq, wire_sizes)``.
+
+        ``head_packets`` is the annotation packet (plus the DVFS track
+        when present) and ``seq`` the first frame packet's sequence
+        number.  Used by both :meth:`stream` and :meth:`stream_batches`.
+        """
+        with trace("server.stream"):
+            annotated = self.build_stream(session)
+        self._streams_counter.inc()
+        head = [annotation_packet(0, annotated.track.to_bytes())]
+        seq = 1
+        has_dvfs = (
+            self.dvfs_annotator is not None
+            or session.clip_name in self._dvfs_tracks
+        )
+        if has_dvfs:
+            head.append(
+                annotation_packet(seq, self.dvfs_track(session.clip_name).to_bytes())
+            )
+            seq += 1
+        wire_sizes = None
+        if self.codec is not None:
+            wire_sizes = self.encoded_clip(session.clip_name).frame_bytes
+        return annotated, head, seq, wire_sizes
 
     def stream(self, session: SessionDescription) -> Iterator[MediaPacket]:
         """Emit the session's packets: annotation first, then frames.
@@ -270,23 +321,14 @@ class MediaServer:
         each emitted frame is a zero-copy view into its chunk — and is
         bit-identical to the per-frame reference emission (which the
         ``"perframe"`` engine kind still uses, and which finishes the
-        stream for clips that mix frame resolutions).
+        stream for clips that mix frame resolutions).  Yielded packets
+        stay valid indefinitely; the wire server uses
+        :meth:`stream_batches` instead, which trades that guarantee for
+        buffer reuse and an eager first chunk.
         """
-        with trace("server.stream"):
-            annotated = self.build_stream(session)
-        self._streams_counter.inc()
-        yield annotation_packet(0, annotated.track.to_bytes())
-        seq = 1
-        has_dvfs = (
-            self.dvfs_annotator is not None
-            or session.clip_name in self._dvfs_tracks
-        )
-        if has_dvfs:
-            yield annotation_packet(seq, self.dvfs_track(session.clip_name).to_bytes())
-            seq += 1
-        wire_sizes = None
-        if self.codec is not None:
-            wire_sizes = self.encoded_clip(session.clip_name).frame_bytes
+        annotated, head, seq, wire_sizes = self._stream_setup(session)
+        for packet in head:
+            yield packet
         if resolve_engine(self.engine).kind == "perframe":
             yield from self._emit_perframe(annotated, seq, wire_sizes)
             return
@@ -303,6 +345,78 @@ class MediaServer:
                 produced = chunk.stop
         except HeterogeneousFrameError:
             yield from self._emit_perframe(annotated, seq, wire_sizes, start=produced)
+
+    def stream_batches(
+        self,
+        session: SessionDescription,
+        lead_chunk_frames: Optional[int] = LEAD_CHUNK_FRAMES,
+        wire_chunk_frames: Optional[int] = WIRE_CHUNK_FRAMES,
+    ) -> Iterator[List[MediaPacket]]:
+        """Emit the session's packets as wire-oriented batches.
+
+        Same packet sequence as :meth:`stream` (same payload bytes, same
+        sequence numbers), grouped for the network send path: the head
+        (annotation packets) is yielded first on its own, so it can hit
+        the wire while the first frame chunk is still compensating; each
+        subsequent batch is one compensated chunk's frame packets (or a
+        bounded group for the per-frame engine).  The first chunk is
+        shrunk to ``lead_chunk_frames`` frames so time-to-first-frame is
+        bounded by a small compensate, not a full chunk.  Chunks span
+        ``wire_chunk_frames`` frames (``None`` falls back to the
+        in-process autotune): short spans keep the compute a producer
+        runs between socket writes — and its compute-slot hold under
+        contention — bounded, trading a little batching amortization for
+        pipeline smoothness.
+
+        **Aliasing contract**: chunked batches compensate into a reused
+        arena buffer, so a batch's frame payloads are only valid until
+        the generator is advanced — consumers must fully encode/copy a
+        batch before requesting the next.  (The wire producer copies
+        each packet into its coalesced send buffer immediately, so this
+        holds by construction there.)
+        """
+        annotated, head, seq, wire_sizes = self._stream_setup(session)
+        yield head
+        if resolve_engine(self.engine).kind == "perframe":
+            batch: List[MediaPacket] = []
+            for packet in self._emit_perframe(annotated, seq, wire_sizes):
+                batch.append(packet)
+                if len(batch) >= PERFRAME_BATCH_RECORDS:
+                    yield batch
+                    batch = []
+            if batch:
+                yield batch
+            return
+        produced = 0
+        try:
+            for chunk in annotated.iter_chunks(
+                chunk_size=wire_chunk_frames,
+                lead=lead_chunk_frames,
+                reuse_output=True,
+            ):
+                self._frames_streamed_counter.inc(len(chunk))
+                batch = []
+                for k in range(len(chunk)):
+                    i = chunk.start + k
+                    wire = int(wire_sizes[i]) if wire_sizes is not None else None
+                    batch.append(
+                        frame_packet(
+                            seq + i, chunk.frame(k), frame_index=i, wire_bytes=wire
+                        )
+                    )
+                yield batch
+                produced = chunk.stop
+        except HeterogeneousFrameError:
+            batch = []
+            for packet in self._emit_perframe(
+                annotated, seq, wire_sizes, start=produced
+            ):
+                batch.append(packet)
+                if len(batch) >= PERFRAME_BATCH_RECORDS:
+                    yield batch
+                    batch = []
+            if batch:
+                yield batch
 
     def _emit_perframe(
         self,

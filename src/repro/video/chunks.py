@@ -107,17 +107,31 @@ def autotune_chunk_size(
     return int(min(MAX_AUTOTUNE_CHUNK, max(MIN_AUTOTUNE_CHUNK, n)))
 
 
-def chunk_spans(frame_count: int, chunk_size: int) -> Iterator[Tuple[int, int]]:
+def chunk_spans(
+    frame_count: int, chunk_size: int, lead: Optional[int] = None
+) -> Iterator[Tuple[int, int]]:
     """Yield ``(start, stop)`` index spans covering ``[0, frame_count)``.
 
     The last span carries the remainder; ``chunk_size > frame_count``
-    degenerates to a single span.
+    degenerates to a single span.  A positive ``lead`` shrinks only the
+    *first* span to ``min(lead, frame_count)`` frames — streaming callers
+    use this to get the opening frames onto the wire before the first
+    full-size chunk finishes compensating.  Compensation is elementwise
+    per frame, so re-slicing the span boundaries never changes any
+    frame's bytes.
     """
     if frame_count < 0:
         raise ValueError(f"frame_count must be non-negative, got {frame_count}")
     if chunk_size < 1:
         raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
-    for start in range(0, frame_count, chunk_size):
+    first = 0
+    if lead is not None:
+        if lead < 1:
+            raise ValueError(f"lead must be >= 1, got {lead}")
+        first = min(int(lead), frame_count)
+        if first:
+            yield 0, first
+    for start in range(first, frame_count, chunk_size):
         yield start, min(start + chunk_size, frame_count)
 
 

@@ -62,17 +62,23 @@ class ClipBase:
     # ------------------------------------------------------------------
     # Chunked access (the batched execution engine's entry point)
     # ------------------------------------------------------------------
-    def iter_chunks(self, chunk_size: int = DEFAULT_CHUNK_SIZE) -> Iterator[FrameChunk]:
+    def iter_chunks(
+        self,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        lead: Optional[int] = None,
+    ) -> Iterator[FrameChunk]:
         """Yield the clip as ``(N, H, W, 3)`` uint8 batches.
 
         The default implementation stacks ``frame(i)`` pixels; array- and
         list-backed clips override it with cheaper fast paths.  The last
         chunk carries the remainder, and ``chunk_size > frame_count``
-        yields a single chunk.  Raises
+        yields a single chunk.  A positive ``lead`` shrinks only the
+        first chunk (see :func:`~repro.video.chunks.chunk_spans`), which
+        streaming uses to cut time-to-first-frame.  Raises
         :class:`~repro.video.chunks.HeterogeneousFrameError` if frames
         within one chunk mix resolutions.
         """
-        for start, stop in chunk_spans(self.frame_count, chunk_size):
+        for start, stop in chunk_spans(self.frame_count, chunk_size, lead=lead):
             frames = [self.frame(i) for i in range(start, stop)]
             yield FrameChunk.from_frames(frames, start=start)
 
@@ -185,9 +191,13 @@ class VideoClip(ClipBase):
         frames = [self._frames[i].copy() for i in range(start, stop)]
         return VideoClip(frames, fps=self.fps, name=name or f"{self.name}[{start}:{stop}]")
 
-    def iter_chunks(self, chunk_size: int = DEFAULT_CHUNK_SIZE) -> Iterator[FrameChunk]:
+    def iter_chunks(
+        self,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        lead: Optional[int] = None,
+    ) -> Iterator[FrameChunk]:
         """Chunk the stored frame list directly (no index round-trips)."""
-        for start, stop in chunk_spans(self.frame_count, chunk_size):
+        for start, stop in chunk_spans(self.frame_count, chunk_size, lead=lead):
             yield FrameChunk.from_frames(self._frames[start:stop], start=start)
 
 
@@ -319,9 +329,13 @@ class ArrayClip(ClipBase):
             )
         return Frame(self._pixels[index], index=index)
 
-    def iter_chunks(self, chunk_size: int = DEFAULT_CHUNK_SIZE) -> Iterator[FrameChunk]:
+    def iter_chunks(
+        self,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        lead: Optional[int] = None,
+    ) -> Iterator[FrameChunk]:
         """Slice the backing array — no stacking, no copies."""
-        for start, stop in chunk_spans(self.frame_count, chunk_size):
+        for start, stop in chunk_spans(self.frame_count, chunk_size, lead=lead):
             yield FrameChunk(self._pixels[start:stop], start=start)
 
 

@@ -114,3 +114,164 @@ class TestCompensationResult:
         from repro.core import CompensationResult
         with pytest.raises(ValueError):
             CompensationResult(frame=Frame.solid_gray(1, 1, 0), clipped_fraction=1.5)
+
+
+class TestGainLut:
+    """The fused LUT kernel against the float reference, bit for bit."""
+
+    def _batch(self, n=12, h=10, w=8, seed=3):
+        rng = np.random.default_rng(seed)
+        return rng.integers(0, 256, size=(n, h, w, 3), dtype=np.uint8)
+
+    def test_lut_matches_float_path_for_every_code(self):
+        from repro.core import gain_lut
+        from repro.video.frame import MAX_CHANNEL
+
+        for gain in (1.0 + 1e-9, 1.1, 1.33333, 2.0, 3.7, 17.0):
+            lut, clip_code = gain_lut(gain)
+            codes = np.arange(256, dtype=np.float64) / MAX_CHANNEL
+            scaled = codes * gain
+            expected = np.rint(np.minimum(scaled, 1.0) * MAX_CHANNEL)
+            assert np.array_equal(lut, expected.astype(np.uint8)), gain
+            clipped = scaled > 1.0 + 1e-12
+            expected_code = int(np.argmax(clipped)) if clipped.any() else 256
+            assert clip_code == expected_code, gain
+
+    def test_lut_is_cached_and_immutable(self):
+        from repro.core import gain_lut
+
+        first, _ = gain_lut(1.44)
+        again, _ = gain_lut(1.44)
+        assert first is again
+        with pytest.raises(ValueError):
+            first[0] = 1
+
+    def test_batch_matches_reference_mixed_gains(self):
+        from repro.core import (
+            contrast_enhancement_batch,
+            contrast_enhancement_batch_reference,
+        )
+
+        pixels = self._batch()
+        gains = np.array([0.5, 0.5, 1.0, 1.3, 1.3, 1.3, 2.4, 1.3,
+                          1.0, 5.0, 5.0, 1.7])
+        got_px, got_fr = contrast_enhancement_batch(pixels, gains)
+        ref_px, ref_fr = contrast_enhancement_batch_reference(pixels, gains)
+        assert np.array_equal(got_px, ref_px)
+        assert np.array_equal(got_fr, ref_fr)
+
+    def test_batch_matches_reference_scalar_gain(self):
+        from repro.core import (
+            contrast_enhancement_batch,
+            contrast_enhancement_batch_reference,
+        )
+
+        pixels = self._batch()
+        for gain in (0.7, 1.0, 1.9):
+            got_px, got_fr = contrast_enhancement_batch(pixels, gain)
+            ref_px, ref_fr = contrast_enhancement_batch_reference(pixels, gain)
+            assert np.array_equal(got_px, ref_px), gain
+            assert np.array_equal(got_fr, ref_fr), gain
+
+    def test_reference_validates_like_the_lut_kernel(self):
+        from repro.core import (
+            contrast_enhancement_batch,
+            contrast_enhancement_batch_reference,
+        )
+
+        pixels = self._batch(n=3)
+        for kernel in (contrast_enhancement_batch,
+                       contrast_enhancement_batch_reference):
+            with pytest.raises(ValueError):
+                kernel(pixels, 0.0)
+            with pytest.raises(ValueError):
+                kernel(pixels, np.ones(2))
+            with pytest.raises(ValueError):
+                kernel(pixels.astype(np.float64), 1.2)
+            with pytest.raises(ValueError):
+                kernel(pixels[0], 1.2)
+
+    def test_out_parameter_is_used_and_returned(self):
+        from repro.core import contrast_enhancement_batch
+
+        pixels = self._batch(n=4)
+        out = np.zeros_like(pixels)
+        got, _ = contrast_enhancement_batch(pixels, 1.5, out=out)
+        assert got is out
+
+    def test_out_shape_and_dtype_validated(self):
+        from repro.core import contrast_enhancement_batch
+
+        pixels = self._batch(n=4)
+        with pytest.raises(ValueError):
+            contrast_enhancement_batch(pixels, 1.5, out=np.zeros((3, 10, 8, 3),
+                                                                 dtype=np.uint8))
+        with pytest.raises(ValueError):
+            contrast_enhancement_batch(
+                pixels, 1.5, out=np.zeros_like(pixels, dtype=np.uint16)
+            )
+
+    def test_default_out_is_fresh_memory(self):
+        from repro.core import contrast_enhancement_batch
+
+        pixels = self._batch(n=4)
+        got, _ = contrast_enhancement_batch(pixels, 1.5)
+        before = pixels.copy()
+        got[:] = 0
+        assert np.array_equal(pixels, before)
+
+    def test_precomputed_fractions_skip_reduction_and_pass_through(self):
+        from repro.core import contrast_enhancement_batch
+
+        pixels = self._batch(n=6)
+        gains = np.array([1.0, 1.4, 2.0, 1.4, 3.3, 1.0])
+        ref_px, ref_fr = contrast_enhancement_batch(pixels, gains)
+        got_px, got_fr = contrast_enhancement_batch(
+            pixels, gains, fractions=ref_fr
+        )
+        assert np.array_equal(got_px, ref_px)
+        assert got_fr.dtype == np.float64
+        assert np.array_equal(got_fr, ref_fr)
+
+    def test_fractions_shape_validated(self):
+        from repro.core import contrast_enhancement_batch
+
+        pixels = self._batch(n=4)
+        with pytest.raises(ValueError):
+            contrast_enhancement_batch(pixels, 1.5, fractions=np.zeros(3))
+
+
+class TestChunkArena:
+    def test_reuses_buffer_for_equal_or_smaller_requests(self):
+        from repro.core import ChunkArena
+
+        arena = ChunkArena()
+        a = arena.request((4, 6, 5, 3))
+        a_base = a.base
+        b = arena.request((4, 6, 5, 3))
+        assert b.base is a_base
+        smaller = arena.request((2, 6, 5, 3))
+        assert smaller.base is a_base
+
+    def test_grows_for_larger_requests(self):
+        from repro.core import ChunkArena
+
+        arena = ChunkArena()
+        small = arena.request((2, 4, 4, 3))
+        big = arena.request((8, 4, 4, 3))
+        assert big.size > small.size
+        assert big.shape == (8, 4, 4, 3)
+
+    def test_arena_output_bit_identical_to_fresh(self):
+        from repro.core import ChunkArena, contrast_enhancement_batch
+
+        rng = np.random.default_rng(9)
+        arena = ChunkArena()
+        for seed in range(3):
+            pixels = rng.integers(0, 256, size=(6, 9, 7, 3), dtype=np.uint8)
+            fresh_px, fresh_fr = contrast_enhancement_batch(pixels, 1.8)
+            arena_px, arena_fr = contrast_enhancement_batch(
+                pixels, 1.8, out=arena.request(pixels.shape)
+            )
+            assert np.array_equal(arena_px, fresh_px)
+            assert np.array_equal(arena_fr, fresh_fr)

@@ -122,6 +122,43 @@ class TestAnnotatedStream:
         assert "tiny" in repr(pipeline.build_stream(tiny_clip, device))
 
 
+class TestHistogramFractions:
+    """Clipped fractions derived from profile histograms (the wire-path
+    hot loop's shortcut) must match the pixel-path reduction bit for
+    bit, and only the plain analyzer's exact counts may seed them."""
+
+    def test_bit_identical_to_pixel_path(self, pipeline, tiny_clip, device):
+        stream = pipeline.build_stream(tiny_clip, device)
+        via_hist = stream._histogram_fractions()
+        assert via_hist is not None, "plain-analyzer stream carries stats"
+        assert via_hist.max() > 0.0, "a clipping scene exercises the sums"
+
+        bare = AnnotatedStream(
+            clip=tiny_clip, track=stream.track, device=device
+        )
+        assert bare._histogram_fractions() is None
+        assert np.array_equal(via_hist, bare._all_clipped_fractions())
+
+    def test_quality_metrics_share_the_cache(self, pipeline, tiny_clip, device):
+        stream = pipeline.build_stream(tiny_clip, device)
+        bare = AnnotatedStream(
+            clip=tiny_clip, track=stream.track, device=device
+        )
+        assert stream.mean_clipped_fraction() == bare.mean_clipped_fraction()
+
+    def test_weighted_analyzer_never_seeds_histograms(self, tiny_clip, device,
+                                                      fast_params):
+        from repro.core import ImportanceMap
+
+        shape = tiny_clip.frame_shape()
+        roi = AnnotationPipeline(
+            fast_params, importance=ImportanceMap.uniform(*shape)
+        )
+        stream = roi.build_stream(tiny_clip, device)
+        assert stream._profile_stats is None
+        assert stream._histogram_fractions() is None
+
+
 class TestQualitySweep:
     def test_savings_monotone_in_quality(self, device, library_clip, fast_params):
         """More clipping budget can never save less power (Figure 9)."""

@@ -128,3 +128,90 @@ class TestServingBitIdentity:
         _packets(server, tiny_clip)
         counter = telemetry.registry().get("repro_server_frames_streamed_total")
         assert counter.value == tiny_clip.frame_count
+
+
+def _materialize(packet):
+    """Snapshot a packet's identity + payload bytes (frames copied).
+
+    ``stream_batches`` reuses its compensation arena, so frame pixels
+    must be copied before the generator is advanced — exactly the
+    consumption contract the wire producer follows.
+    """
+    if packet.ptype is PacketType.FRAME:
+        return (
+            packet.ptype,
+            packet.seq,
+            packet.frame_index,
+            packet.wire_bytes,
+            packet.frame.pixels.copy(),
+        )
+    return (packet.ptype, packet.seq, packet.payload)
+
+
+def _collect_batches(server, clip, quality=0.05, **kwargs):
+    request = SessionRequest(clip.name, quality, ClientCapabilities("ipaq5555"))
+    session = server.open_session(request)
+    batches = []
+    for batch in server.stream_batches(session, **kwargs):
+        batches.append([_materialize(p) for p in batch])
+    return batches
+
+
+def _assert_same_packets(flat, reference, kind):
+    assert len(flat) == len(reference), kind
+    for got, ref_packet in zip(flat, reference):
+        ref = _materialize(ref_packet)
+        assert got[:4] == ref[:4] if ref[0] is PacketType.FRAME else got == ref, kind
+        if ref[0] is PacketType.FRAME:
+            assert np.array_equal(got[4], ref[4]), kind
+
+
+class TestStreamBatches:
+    """The wire-oriented batch emission against the per-packet reference."""
+
+    @pytest.mark.parametrize("kind", ENGINE_KINDS)
+    def test_batches_flatten_to_stream(self, kind, tiny_clip):
+        reference = _packets(_server(tiny_clip, kind), tiny_clip)
+        flat = [
+            p
+            for batch in _collect_batches(_server(tiny_clip, kind), tiny_clip)
+            for p in batch
+        ]
+        _assert_same_packets(flat, reference, kind)
+
+    def test_head_batch_is_annotation_only(self, tiny_clip):
+        batches = _collect_batches(_server(tiny_clip, "chunked"), tiny_clip)
+        assert batches[0], "head batch must not be empty"
+        assert all(p[0] is PacketType.ANNOTATION for p in batches[0])
+        assert all(
+            p[0] is PacketType.FRAME for batch in batches[1:] for p in batch
+        )
+
+    def test_lead_chunk_bounds_first_frame_batch(self, tiny_clip):
+        from repro.streaming.server import LEAD_CHUNK_FRAMES
+
+        batches = _collect_batches(_server(tiny_clip, "chunked"), tiny_clip)
+        assert len(batches[1]) <= LEAD_CHUNK_FRAMES
+        # Custom leads are honored, and lead=None restores full chunks.
+        batches = _collect_batches(
+            _server(tiny_clip, "chunked"), tiny_clip, lead_chunk_frames=3
+        )
+        assert len(batches[1]) == 3
+        batches = _collect_batches(
+            _server(tiny_clip, "chunked"), tiny_clip, lead_chunk_frames=None
+        )
+        assert len(batches[1]) > LEAD_CHUNK_FRAMES
+
+    def test_heterogeneous_clip_batches_fall_back(self):
+        rng = np.random.default_rng(5)
+        frames = [rng.integers(0, 256, size=(12, 16, 3), dtype=np.uint8) for _ in range(4)]
+        frames += [rng.integers(0, 256, size=(8, 10, 3), dtype=np.uint8) for _ in range(4)]
+        clip_a = VideoClip([f.copy() for f in frames], fps=24.0, name="mixed")
+        clip_b = VideoClip([f.copy() for f in frames], fps=24.0, name="mixed")
+        reference = _packets(_server(clip_a, "chunked"), clip_a)
+        flat = [
+            p
+            for batch in _collect_batches(_server(clip_b, "chunked"), clip_b)
+            for p in batch
+        ]
+        _assert_same_packets(flat, reference, "chunked-mixed")

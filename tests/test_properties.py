@@ -105,6 +105,33 @@ class TestCompensationProperties:
         result = contrast_enhancement(frame, gain)
         assert np.all(result.frame.pixels.astype(int) >= frame.pixels.astype(int) - 1)
 
+    @given(
+        arrays(
+            dtype=np.uint8,
+            shape=st.tuples(
+                st.integers(1, 8), st.integers(2, 10), st.integers(2, 10),
+                st.just(3),
+            ),
+            elements=st.integers(0, 255),
+        ),
+        st.lists(st.floats(0.1, 20.0), min_size=8, max_size=8),
+    )
+    @settings(deadline=None)
+    def test_lut_batch_bit_identical_to_float_reference(self, pixels, gains):
+        """The fused 256-entry LUT kernel is pinned to the direct float
+        implementation: same output bytes, same clipped fractions, for
+        arbitrary batches and per-frame gain vectors."""
+        from repro.core import (
+            contrast_enhancement_batch,
+            contrast_enhancement_batch_reference,
+        )
+
+        g = np.array(gains[: pixels.shape[0]])
+        lut_px, lut_fr = contrast_enhancement_batch(pixels, g)
+        ref_px, ref_fr = contrast_enhancement_batch_reference(pixels, g)
+        assert np.array_equal(lut_px, ref_px)
+        assert np.array_equal(lut_fr, ref_fr)
+
 
 # ---------------------------------------------------------------------------
 # Histograms

@@ -39,6 +39,35 @@ class TestChunkSpans:
         with pytest.raises(ValueError):
             list(chunk_spans(4, 0))
 
+    def test_lead_shrinks_first_span_only(self):
+        assert list(chunk_spans(10, 4, lead=2)) == [(0, 2), (2, 6), (6, 10)]
+
+    def test_lead_covers_every_frame_exactly_once(self):
+        for n in (0, 1, 5, 17):
+            for lead in (1, 3, 8, 100):
+                spans = list(chunk_spans(n, 4, lead=lead))
+                covered = [i for lo, hi in spans for i in range(lo, hi)]
+                assert covered == list(range(n)), (n, lead)
+
+    def test_lead_larger_than_clip_degenerates(self):
+        assert list(chunk_spans(3, 4, lead=100)) == [(0, 3)]
+
+    def test_lead_none_is_identity(self):
+        assert list(chunk_spans(10, 4, lead=None)) == list(chunk_spans(10, 4))
+
+    def test_lead_invalid(self):
+        with pytest.raises(ValueError):
+            list(chunk_spans(10, 4, lead=0))
+
+    def test_clip_iter_chunks_honors_lead(self):
+        pixels = random_batch(10)
+        clip = ArrayClip(pixels, fps=24.0, name="lead")
+        chunks = list(clip.iter_chunks(4, lead=2))
+        assert [(c.start, c.stop) for c in chunks] == [(0, 2), (2, 6), (6, 10)]
+        assert np.array_equal(
+            np.concatenate([c.pixels for c in chunks]), pixels
+        )
+
 
 class TestFrameChunk:
     def test_validation(self):
