@@ -41,6 +41,7 @@ QUALITY_KEYS = {
     "savings",
     "frontier_size",
     "overhead_fraction",
+    "recovered_session_rate",
 }
 #: Host-speed-dependent throughput metrics; higher is better.
 RATE_KEYS = {"sessions_per_sec", "frames_per_sec", "wire_mbytes_per_sec"}
@@ -53,12 +54,30 @@ LOWER_IS_BETTER = {"overhead_fraction"}
 #: the chunked engine beating per-frame emission over the wire is the
 #: repo's headline result, and both sides of the ratio are measured in
 #: the same run on the same host, so a tight band is fair.
+#: A gate may carry an optional fourth element ``(condition_path, min)``:
+#: it only applies when the fresh file's value at ``condition_path`` is
+#: >= ``min``.  The fleet speedup claim needs real parallelism, so its
+#: gate is conditioned on the pinned ``cpus`` field — a single-core host
+#: records the ratio but is not held to it.
 COMPARATIVE_GATES = {
     "BENCH_network.json": [
         ("engines/chunked/sessions_per_sec",
          "engines/perframe/sessions_per_sec", 0.95),
         ("engines/chunked/frames_per_sec",
          "engines/perframe/frames_per_sec", 0.95),
+    ],
+    "BENCH_fleet.json": [
+        ("fleet/sessions_per_sec",
+         "single/sessions_per_sec", 1.5, ("cpus", 2)),
+    ],
+}
+#: Absolute floors: within one fresh results file, the metric at the
+#: path must meet the floor outright — no baseline involved.  Encodes
+#: hard acceptance claims (a fleet that loses sessions on failover is
+#: broken no matter what the committed baseline says).
+ABSOLUTE_FLOORS = {
+    "BENCH_fleet.json": [
+        ("chaos/recovered_session_rate", 0.99),
     ],
 }
 #: Absolute band for LOWER_IS_BETTER fractions.  These hover around
@@ -121,11 +140,19 @@ def compare(fresh: dict, baseline: dict, tolerance: float,
     return regressions, notes
 
 
-def comparative(fresh: dict, name: str) -> List[str]:
-    """Within-file comparative gate failures for one results file."""
+def comparative(fresh: dict, name: str) -> Tuple[List[str], List[str]]:
+    """Within-file comparative and absolute gates: (failures, notes)."""
     failures: List[str] = []
+    notes: List[str] = []
     leaves = flatten(fresh)
-    for winner, loser, ratio in COMPARATIVE_GATES.get(name, ()):
+    for gate in COMPARATIVE_GATES.get(name, ()):
+        winner, loser, ratio = gate[:3]
+        if len(gate) == 4:
+            condition_path, minimum = gate[3]
+            if leaves.get(condition_path, 0.0) < minimum:
+                notes.append(f"  skipped gate {winner}: "
+                             f"{condition_path} < {minimum:g}")
+                continue
         if winner not in leaves or loser not in leaves:
             failures.append(f"  MISSING comparative metric: {winner} vs {loser}")
             continue
@@ -134,7 +161,14 @@ def comparative(fresh: dict, name: str) -> List[str]:
                 f"  COMPARATIVE {winner} ({leaves[winner]:g}) < "
                 f"{ratio:g} x {loser} ({leaves[loser]:g})"
             )
-    return failures
+    for path, floor in ABSOLUTE_FLOORS.get(name, ()):
+        if path not in leaves:
+            failures.append(f"  MISSING floor metric: {path}")
+        elif leaves[path] < floor - 1e-12:
+            failures.append(
+                f"  FLOOR {path} ({leaves[path]:g}) < {floor:g}"
+            )
+    return failures, notes
 
 
 def baseline_from_git(relpath: str, ref: str) -> dict:
@@ -177,12 +211,12 @@ def main(argv=None) -> int:
             fresh = json.load(fh)
         # Within-file comparative gates run even without a baseline:
         # both sides come from the fresh measurement.
-        comparative_failures = comparative(fresh, name)
+        comparative_failures, gate_notes = comparative(fresh, name)
         baseline = baseline_from_git(relpath, args.ref)
         if baseline is None:
             status = "FAIL" if comparative_failures else "no baseline, skipped"
             print(f"{name}: {status}")
-            for line in comparative_failures:
+            for line in comparative_failures + gate_notes:
                 print(line)
             failed = failed or bool(comparative_failures)
             continue
@@ -190,6 +224,7 @@ def main(argv=None) -> int:
             fresh, baseline, args.tolerance, args.rate_tolerance
         )
         regressions = comparative_failures + regressions
+        notes = gate_notes + notes
         status = "FAIL" if regressions else "ok"
         print(f"{name}: {status}")
         for line in regressions + notes:

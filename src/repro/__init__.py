@@ -35,7 +35,13 @@ Subpackages
     Server / proxy / network-model / client system model (in-process).
 ``repro.net``
     Real asyncio TCP transport: wire codec, stream server with
-    backpressure, retrying client, fault injection.
+    backpressure, retrying client, fault injection, serve/fetch config
+    objects (:class:`~repro.net.config.ServeConfig`,
+    :class:`~repro.net.config.FetchOptions`).
+``repro.fleet``
+    Sharded multi-process serving: consistent-hash routing over N
+    worker servers, health checks, spillover load balancing and
+    portable-token failover.
 ``repro.player``
     Decoder timing, backlight controller, playback engine.
 ``repro.baselines``
@@ -52,6 +58,7 @@ from . import (
     core,
     display,
     experiments,
+    fleet,
     net,
     player,
     power,
@@ -62,12 +69,20 @@ from . import (
     viz,
 )
 from . import api
-from .api import AnnotationService, StreamingService, configure_engine
+from .api import (
+    AnnotationService,
+    FetchOptions,
+    ServeConfig,
+    StreamingService,
+    configure_engine,
+)
 
 __all__ = [
     "api",
     "AnnotationService",
     "StreamingService",
+    "ServeConfig",
+    "FetchOptions",
     "configure_engine",
     "video",
     "display",
@@ -77,6 +92,7 @@ __all__ = [
     "core",
     "streaming",
     "net",
+    "fleet",
     "player",
     "baselines",
     "telemetry",

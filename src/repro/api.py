@@ -28,7 +28,9 @@ same code path.
 from __future__ import annotations
 
 import asyncio
+import dataclasses
 import threading
+import warnings
 from typing import List, Optional, Sequence, Tuple
 
 from .core.annotation import AnnotationTrack, DeviceAnnotationTrack
@@ -44,6 +46,7 @@ from .core.policies import PolicySpec
 from .core.policy import QUALITY_LEVELS, SchemeParameters
 from .core.profile_cache import ProfileCache
 from .display.devices import DeviceProfile, get_device
+from .net.config import FetchOptions, ServeConfig
 from .player.playback import PlaybackResult
 from .streaming.client import MobileClient
 from .streaming.network import NetworkPath
@@ -54,6 +57,8 @@ from .video.clip import ClipBase
 
 __all__ = [
     "AnnotationService",
+    "FetchOptions",
+    "ServeConfig",
     "StreamingService",
     "configure_engine",
     "default_engine",
@@ -64,6 +69,31 @@ __all__ = [
     "server_stats",
     "server_stats_sync",
 ]
+
+#: Keyword names accepted by the legacy per-call fetch spelling.
+_LEGACY_FETCH_KWARGS = frozenset(
+    f.name for f in dataclasses.fields(FetchOptions)
+)
+
+
+def _resolve_fetch_options(options, legacy_kwargs) -> FetchOptions:
+    """Fold deprecated loose fetch kwargs into a :class:`FetchOptions`."""
+    if legacy_kwargs:
+        unknown = set(legacy_kwargs) - _LEGACY_FETCH_KWARGS
+        if unknown:
+            raise TypeError(
+                "unknown fetch parameter(s): " + ", ".join(sorted(unknown))
+            )
+        warnings.warn(
+            "passing fetch knobs as loose keyword arguments is deprecated; "
+            "build a repro.FetchOptions and pass it as options=",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        options = (options if options is not None else FetchOptions()).replace(
+            **legacy_kwargs
+        )
+    return options if options is not None else FetchOptions()
 
 #: Process-wide default engine, set by :func:`configure_engine`.
 _default_engine: EngineSpec = None
@@ -332,11 +362,8 @@ class StreamingService:
         self,
         host: str = "127.0.0.1",
         port: int = 0,
-        queue_depth: int = 32,
-        max_sessions: Optional[int] = None,
-        accept_queue: int = 0,
-        resume_window_s: float = 60.0,
-        drain_timeout_s: float = 10.0,
+        config: Optional[ServeConfig] = None,
+        **legacy_kwargs,
     ):
         """Build an (unstarted) asyncio TCP server for this catalog.
 
@@ -346,22 +373,17 @@ class StreamingService:
         Parameters
         ----------
         host / port:
-            Bind address; ``port=0`` picks a free port.
-        queue_depth:
-            Per-session send-queue bound, in records (backpressure).
-        max_sessions:
-            Admission-control cap on concurrent sessions; ``None``
-            means uncapped.  Over-cap connections wait in a bounded
-            queue of ``accept_queue`` slots, then are shed with a
-            ``busy`` message.
-        accept_queue:
-            How many over-cap connections may wait for a slot.
-        resume_window_s:
-            How long a dropped session stays resumable via its token
-            (0 disables resume).
-        drain_timeout_s:
-            Default deadline for the server's graceful
-            :meth:`~repro.net.server.AnnotationStreamServer.drain`.
+            Bind address; ``port=0`` picks a free port (read the bound
+            one from ``srv.address`` after start).
+        config:
+            The serving policy, a :class:`ServeConfig` (admission,
+            resume, drain, batching, compute slots).  ``None`` uses the
+            defaults.
+        **legacy_kwargs:
+            Deprecated: any :class:`ServeConfig` field passed as a
+            loose keyword (``queue_depth=...``, ``max_sessions=...``,
+            ...).  Folded into ``config`` with a
+            :class:`DeprecationWarning`.
 
         Returns
         -------
@@ -371,73 +393,74 @@ class StreamingService:
         from .net.server import AnnotationStreamServer
 
         return AnnotationStreamServer(
-            self.server,
-            host=host,
-            port=port,
-            queue_depth=queue_depth,
-            max_sessions=max_sessions,
-            accept_queue=accept_queue,
-            resume_window_s=resume_window_s,
-            drain_timeout_s=drain_timeout_s,
+            self.server, host=host, port=port, config=config, **legacy_kwargs
         )
 
     async def fetch(
         self, host: str, port: int, clip_name: str, quality: float, device,
-        **client_kwargs,
+        options: Optional[FetchOptions] = None, **legacy_kwargs,
     ):
         """Fetch ``clip_name`` at ``quality`` for ``device`` from the wire
-        server at ``host``:``port`` (async, with retries);
-        ``client_kwargs`` forward to
-        :class:`~repro.net.client.AsyncMobileClient`."""
+        server at ``host``:``port`` (async, with retries); ``options``
+        is the :class:`FetchOptions` policy (``legacy_kwargs`` are the
+        deprecated loose spelling of its fields)."""
         return await fetch_stream(
-            host, port, clip_name, quality, device, **client_kwargs
+            host, port, clip_name, quality, device,
+            options=options, **legacy_kwargs,
         )
 
     def fetch_sync(
         self, host: str, port: int, clip_name: str, quality: float, device,
-        **client_kwargs,
+        options: Optional[FetchOptions] = None, **legacy_kwargs,
     ):
         """Blocking wrapper over :meth:`fetch` for sync callers: same
         ``host`` / ``port`` / ``clip_name`` / ``quality`` / ``device`` /
-        ``client_kwargs`` arguments and return value."""
+        ``options`` / ``legacy_kwargs`` arguments and return value."""
         return fetch_stream_sync(
-            host, port, clip_name, quality, device, **client_kwargs
+            host, port, clip_name, quality, device,
+            options=options, **legacy_kwargs,
         )
 
 
 async def fetch_stream(
     host: str, port: int, clip_name: str, quality: float, device,
-    **client_kwargs,
+    options: Optional[FetchOptions] = None, **legacy_kwargs,
 ):
     """Fetch one annotated stream from any wire server (async, retries).
 
+    The single implementation behind the whole facade fetch family —
+    :func:`fetch_stream_sync`, :meth:`StreamingService.fetch` and
+    :meth:`StreamingService.fetch_sync` are thin wrappers over this.
     Requests ``clip_name`` at the ``quality`` clipping budget from the
     server at ``host``:``port``.  ``device`` is a profile object or
-    registry name; ``client_kwargs`` forward to
-    :class:`~repro.net.client.AsyncMobileClient` (timeouts, retry
-    policy, resume, circuit breaker).  Returns a
+    registry name; ``options`` is a :class:`FetchOptions` (timeouts,
+    retry policy, resume, circuit breaker; ``None`` uses the defaults).
+    ``legacy_kwargs`` — :class:`FetchOptions` fields passed as loose
+    keywords — still work but are deprecated.  Returns a
     :class:`~repro.net.client.FetchResult`.
     """
-    from .net.client import AsyncMobileClient
-
-    client = AsyncMobileClient(_resolve_device(device), **client_kwargs)
+    opts = _resolve_fetch_options(options, legacy_kwargs)
+    client = opts.client(_resolve_device(device))
     return await client.fetch(host, port, clip_name, quality)
 
 
 def fetch_stream_sync(
     host: str, port: int, clip_name: str, quality: float, device,
-    **client_kwargs,
+    options: Optional[FetchOptions] = None, **legacy_kwargs,
 ):
     """Blocking wrapper over :func:`fetch_stream` for sync callers.
 
     Takes the same arguments as :func:`fetch_stream` — ``host``,
-    ``port``, ``clip_name``, ``quality``, ``device``, and any
-    ``client_kwargs`` — and returns the same
+    ``port``, ``clip_name``, ``quality``, ``device``, ``options``, and
+    any ``legacy_kwargs`` — and returns the same
     :class:`~repro.net.client.FetchResult`; raises whatever the
     underlying fetch raises.
     """
     return asyncio.run(
-        fetch_stream(host, port, clip_name, quality, device, **client_kwargs)
+        fetch_stream(
+            host, port, clip_name, quality, device,
+            options=options, **legacy_kwargs,
+        )
     )
 
 

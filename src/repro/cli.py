@@ -10,12 +10,18 @@ Subcommands map to the library's main workflows, all routed through the
 * ``serve``     — host library clips on an asyncio TCP stream server
   (admission control via ``--max-sessions``/``--accept-queue``, session
   resume via ``--resume-window``, graceful drain via ``--drain-timeout``);
+  with ``--shards N`` it runs a sharded multi-process fleet instead —
+  N worker servers behind one consistent-hash router address — and
+  prints every shard's actually-bound port;
 * ``fetch``     — pull a stream from a running server and play it;
   both ``serve`` and ``fetch`` accept ``--profile [FILE]`` to dump a
   sorted-by-cumtime profile of the run (yappi when installed, else
   cProfile);
 * ``status``    — probe a running server's health/readiness (exit code 0
   when the server is accepting sessions, 1 otherwise);
+* ``fleet``     — fleet operations against a running router;
+  ``fleet status`` prints the topology (per-shard bound ports,
+  liveness, load) from the router's ``stats`` probe;
 * ``stats``     — scrape a running server's live metrics snapshot and
   flight-recorder tail over the admission-bypassing ``stats`` probe
   (``--watch`` re-polls on an interval);
@@ -35,6 +41,7 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+import functools
 import json
 import sys
 import time
@@ -42,7 +49,13 @@ from typing import List, Optional
 
 import numpy as np
 
-from .api import AnnotationService, StreamingService, fetch_stream_sync
+from .api import (
+    AnnotationService,
+    FetchOptions,
+    ServeConfig,
+    StreamingService,
+    fetch_stream_sync,
+)
 from .core import (
     ENGINE_KINDS,
     POLICY_NAMES,
@@ -287,8 +300,46 @@ def cmd_telemetry(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_catalog(names: List[str], scale: float, engine, policy):
+    """Build the MediaServer behind ``repro serve`` / every fleet shard.
+
+    Module-level (used through :func:`functools.partial`) so the fleet's
+    :class:`~repro.fleet.worker.WorkerSpec` can pickle it into worker
+    processes.
+    """
+    service = StreamingService(engine=engine, policy=policy)
+    for name in names:
+        service.add_clip(make_clip(name, duration_scale=scale))
+    return service.server
+
+
+def _flight_tail_dump(limit: int) -> None:
+    """Print the flight-recorder tail after a serve run."""
+    tail = telemetry.flight_events(limit=limit) if limit > 0 else []
+    if tail:
+        print(f"flight recorder (last {len(tail)} events):", flush=True)
+        for event in tail:
+            print(f"  {_format_flight_event(event)}", flush=True)
+
+
+def _serve_config(args: argparse.Namespace) -> ServeConfig:
+    """The :class:`ServeConfig` shared by single-serve and fleet paths."""
+    return ServeConfig(
+        queue_depth=args.queue_depth,
+        max_sessions=args.max_sessions,
+        accept_queue=args.accept_queue,
+        resume_window_s=args.resume_window,
+        drain_timeout_s=args.drain_timeout,
+    )
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
-    """Host library clips on an asyncio TCP annotation-stream server."""
+    """Host library clips on an asyncio TCP annotation-stream server.
+
+    With ``--shards N`` (N >= 2) this runs the multi-process fleet:
+    N worker servers over the same catalog behind one consistent-hash
+    router address.
+    """
     names = list(args.clip_names) or ["themovie"]
     for name in names:
         if name not in ALL_CLIP_NAMES:
@@ -297,20 +348,18 @@ def cmd_serve(args: argparse.Namespace) -> int:
     if args.max_sessions is not None and args.max_sessions < 1:
         print("error: --max-sessions must be >= 1", file=sys.stderr)
         return 2
+    if args.shards < 1:
+        print("error: --shards must be >= 1", file=sys.stderr)
+        return 2
+    config = _serve_config(args)
+    if args.shards > 1:
+        return _serve_fleet(args, names, config)
     service = StreamingService(engine=args.engine, policy=args.policy)
     for name in names:
         service.add_clip(make_clip(name, duration_scale=args.scale))
 
     async def run() -> None:
-        srv = service.serve(
-            host=args.host,
-            port=args.port,
-            queue_depth=args.queue_depth,
-            max_sessions=args.max_sessions,
-            accept_queue=args.accept_queue,
-            resume_window_s=args.resume_window,
-            drain_timeout_s=args.drain_timeout,
-        )
+        srv = service.serve(host=args.host, port=args.port, config=config)
         await srv.start()
         host, port = srv.address
         cap = args.max_sessions if args.max_sessions is not None else "unlimited"
@@ -329,12 +378,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             completed = await srv.drain(args.drain_timeout)
             print("drained cleanly" if completed
                   else "drain deadline hit; stragglers cancelled", flush=True)
-            tail = (telemetry.flight_events(limit=args.flight_tail)
-                    if args.flight_tail > 0 else [])
-            if tail:
-                print(f"flight recorder (last {len(tail)} events):", flush=True)
-                for event in tail:
-                    print(f"  {_format_flight_event(event)}", flush=True)
+            _flight_tail_dump(args.flight_tail)
 
     try:
         with _maybe_profile(args.profile):
@@ -342,6 +386,97 @@ def cmd_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         print("server stopped")
     return 0
+
+
+def _serve_fleet(args: argparse.Namespace, names: List[str],
+                 config: ServeConfig) -> int:
+    """The ``repro serve --shards N`` path: coordinator + router."""
+    from .fleet import FleetCoordinator, FleetError
+
+    factory = functools.partial(
+        _build_catalog, names, args.scale, args.engine, args.policy
+    )
+    coordinator = FleetCoordinator(
+        factory,
+        shards=args.shards,
+        config=config,
+        host=args.host,
+        port=args.port,
+    )
+
+    async def run() -> None:
+        host, port = await coordinator.start()
+        try:
+            print(f"fleet of {args.shards} shard(s) serving {len(names)} "
+                  f"clip(s); router on {host}:{port}", flush=True)
+            for shard in coordinator.status()["shards"]:
+                print(f"  {shard['shard']}: {host}:{shard['port']} "
+                      f"(pid {shard['pid']})", flush=True)
+            if args.duration is not None:
+                try:
+                    await asyncio.wait_for(
+                        coordinator.router.serve_forever(),
+                        timeout=args.duration,
+                    )
+                except asyncio.TimeoutError:
+                    pass
+            else:
+                await coordinator.router.serve_forever()
+        finally:
+            await coordinator.stop()
+            print("fleet stopped", flush=True)
+            _flight_tail_dump(args.flight_tail)
+
+    try:
+        with _maybe_profile(args.profile):
+            asyncio.run(run())
+    except KeyboardInterrupt:
+        print("fleet stopped")
+    except FleetError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_fleet_status(args: argparse.Namespace) -> int:
+    """Print a running fleet's topology from the router's stats probe.
+
+    Exit code 0 when at least one shard is alive and the fleet is
+    accepting sessions, 1 otherwise (or when the router is unreachable).
+    """
+    from .api import server_stats_sync
+
+    try:
+        payload = server_stats_sync(args.host, args.port,
+                                    timeout_s=args.timeout)
+    except (OSError, asyncio.TimeoutError) as exc:
+        print(f"error: router unreachable: {exc}", file=sys.stderr)
+        return 1
+    fleet = payload.get("fleet")
+    if fleet is None:
+        print("error: server did not report a fleet section "
+              "(single-process server?)", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(fleet, sort_keys=True))
+        health = payload.get("health", {})
+        return 0 if health.get("accepting") else 1
+    router = fleet.get("router", {})
+    health = payload.get("health", {})
+    print(f"router    : {router.get('host')}:{router.get('port')}")
+    print(f"accepting : {'yes' if health.get('accepting') else 'no'}")
+    print(f"active    : {health.get('active_sessions', 0)} session(s)")
+    print(f"{'shard':<12} {'address':<22} {'alive':<6} {'state':<9} "
+          f"{'inflight':>8} {'active':>7}")
+    for shard in fleet.get("shards", []):
+        address = f"{shard.get('host')}:{shard.get('port')}"
+        active = shard.get("active_sessions")
+        print(f"{shard.get('shard', '?'):<12} {address:<22} "
+              f"{'yes' if shard.get('alive') else 'no':<6} "
+              f"{str(shard.get('state')):<9} "
+              f"{shard.get('inflight', 0):>8} "
+              f"{'-' if active is None else active:>7}")
+    return 0 if health.get("accepting") else 1
 
 
 def cmd_status(args: argparse.Namespace) -> int:
@@ -426,7 +561,7 @@ def cmd_fetch(args: argparse.Namespace) -> int:
         with _maybe_profile(args.profile):
             fetched = fetch_stream_sync(
                 args.host, args.port, args.clip, args.quality, args.device,
-                max_retries=args.retries,
+                options=FetchOptions(max_retries=args.retries),
             )
     except (StreamFetchError, NegotiationError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -494,7 +629,7 @@ def _cmd_trace_wire(args: argparse.Namespace) -> int:
     try:
         fetched = fetch_stream_sync(
             args.host, args.port, args.clip, args.quality, args.device,
-            max_retries=args.retries,
+            options=FetchOptions(max_retries=args.retries),
         )
     except (StreamFetchError, NegotiationError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -601,6 +736,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--resume-window", type=float, default=60.0,
                    help="seconds a dropped session stays resumable "
                         "(0 disables resume tokens)")
+    p.add_argument("--shards", type=int, default=1,
+                   help="run N worker server processes behind a "
+                        "consistent-hash router (default: 1, no fleet)")
     p.add_argument("--duration", type=float, default=None,
                    help="serve for N seconds then exit (default: forever)")
     p.add_argument("--flight-tail", type=int, default=16,
@@ -622,6 +760,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--timeout", type=float, default=5.0,
                    help="probe connect/read timeout, in seconds")
     p.set_defaults(fn=cmd_status)
+
+    p = sub.add_parser("fleet", help="operate on a running serving fleet")
+    fleet_sub = p.add_subparsers(dest="fleet_command", required=True)
+    fp = fleet_sub.add_parser("status",
+                              help="print the fleet topology from the router")
+    fp.add_argument("--host", default="127.0.0.1", help="router address")
+    fp.add_argument("--port", type=int, default=8765, help="router port")
+    fp.add_argument("--timeout", type=float, default=5.0,
+                    help="probe connect/read timeout, in seconds")
+    fp.add_argument("--json", action="store_true",
+                    help="emit the fleet section as JSON instead of a table")
+    fp.set_defaults(fn=cmd_fleet_status)
 
     p = sub.add_parser("stats", help="scrape a running server's live metrics")
     p.add_argument("--host", default="127.0.0.1", help="server address")

@@ -1,0 +1,134 @@
+"""Consistent-hash ring: stable clip → shard placement.
+
+The fleet router must send every request for a given clip to the same
+shard, because a shard's value is its warmth: the
+:class:`~repro.streaming.server.MediaServer` behind it caches profiles
+and compensation planes per clip, so the second session for a clip is
+far cheaper than the first — but only on the shard that served the
+first.  A modulo hash (``hash(clip) % n``) gives that affinity until the
+fleet resizes, at which point *every* clip moves and every cache goes
+cold at once.
+
+A consistent-hash ring fixes the resize behavior: each shard is hashed
+onto a circle at many pseudo-random points (*virtual nodes*), and a key
+is owned by the first shard point clockwise from the key's own hash.
+Adding or removing one shard of N only moves the ~1/N of keys whose arc
+changed hands; everything else keeps its warm shard.  Virtual nodes
+(``vnodes`` per shard, default 64) smooth the arc lengths so load
+spreads evenly even with a handful of shards.
+
+Hashing uses :func:`hashlib.blake2b` (stable across processes and
+Python runs, unlike builtin ``hash`` under ``PYTHONHASHSEED``), so the
+router, tests and any external tooling agree on placement.
+
+:meth:`HashRing.preference` yields the owner followed by the distinct
+successor shards in ring order — the replica sequence the router walks
+on failover and admission spillover.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, Iterator, List, Tuple
+
+__all__ = ["HashRing"]
+
+
+def _hash(value: str) -> int:
+    """Stable 64-bit position on the ring for ``value``."""
+    digest = hashlib.blake2b(value.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class HashRing:
+    """Consistent-hash ring mapping string keys onto shard ids.
+
+    Parameters
+    ----------
+    shards:
+        Initial shard ids to place on the ring (order-insensitive — the
+        ring's layout depends only on the set of ids and ``vnodes``).
+    vnodes:
+        Virtual nodes per shard; more vnodes → more even key
+        distribution at the cost of a larger ring.  Must be >= 1.
+
+    Raises
+    ------
+    ValueError
+        If ``vnodes`` < 1 or a shard id is added twice.
+    """
+
+    def __init__(self, shards: Tuple[str, ...] = (), vnodes: int = 64):
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.vnodes = vnodes
+        self._points: List[int] = []        # sorted vnode positions
+        self._owners: Dict[int, str] = {}   # position -> shard id
+        self._shards: List[str] = []
+        for shard in shards:
+            self.add(shard)
+
+    @property
+    def shards(self) -> Tuple[str, ...]:
+        """The shard ids currently on the ring, in insertion order."""
+        return tuple(self._shards)
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    def __contains__(self, shard_id: str) -> bool:
+        return shard_id in self._shards
+
+    def add(self, shard_id: str) -> None:
+        """Place ``shard_id`` on the ring (``vnodes`` points)."""
+        if shard_id in self._shards:
+            raise ValueError(f"shard {shard_id!r} is already on the ring")
+        self._shards.append(shard_id)
+        for v in range(self.vnodes):
+            point = _hash(f"{shard_id}#{v}")
+            # blake2b collisions across distinct vnode labels are
+            # vanishingly rare; deterministic re-probe keeps the ring
+            # well-defined if one ever occurs.
+            while point in self._owners:
+                point = (point + 1) % (1 << 64)
+            self._owners[point] = shard_id
+            bisect.insort(self._points, point)
+
+    def remove(self, shard_id: str) -> None:
+        """Take ``shard_id`` off the ring; its arcs fall to successors."""
+        if shard_id not in self._shards:
+            raise ValueError(f"shard {shard_id!r} is not on the ring")
+        self._shards.remove(shard_id)
+        dropped = [p for p, owner in self._owners.items() if owner == shard_id]
+        for point in dropped:
+            del self._owners[point]
+        dropped_set = set(dropped)
+        self._points = [p for p in self._points if p not in dropped_set]
+
+    def lookup(self, key: str) -> str:
+        """The shard owning ``key``: first vnode clockwise from its hash."""
+        if not self._points:
+            raise LookupError("ring is empty")
+        idx = bisect.bisect_right(self._points, _hash(key))
+        if idx == len(self._points):
+            idx = 0  # wrap around the top of the ring
+        return self._owners[self._points[idx]]
+
+    def preference(self, key: str) -> Iterator[str]:
+        """Yield distinct shards in ring order starting at ``key``'s owner.
+
+        The first shard yielded is :meth:`lookup`'s answer; the rest are
+        the successive *distinct* shards walking clockwise — the failover
+        / spillover order.  Yields each shard exactly once.
+        """
+        if not self._points:
+            return
+        idx = bisect.bisect_right(self._points, _hash(key))
+        seen = set()
+        for step in range(len(self._points)):
+            point = self._points[(idx + step) % len(self._points)]
+            owner = self._owners[point]
+            if owner not in seen:
+                seen.add(owner)
+                yield owner

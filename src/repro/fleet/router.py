@@ -1,0 +1,624 @@
+"""Fleet front door: an asyncio L7 router over the shard servers.
+
+Clients speak the ordinary wire protocol to one address; the router
+reads each connection's *first* control packet, decides which shard
+should serve it, and then gets out of the way — the rest of the
+connection is a transparent byte relay, so the data plane stays the
+shards' fused wire path with no re-encoding in the middle.
+
+Routing policy, per first-packet kind:
+
+* ``hello`` — consistent-hash the clip name onto the ring
+  (:class:`~repro.fleet.ring.HashRing`), so every session for a clip
+  lands on the shard whose profile/plane caches are already warm for
+  it.  If the owner is dead or full (its last ``status`` probe reports
+  not-accepting, or the router's own in-flight count has reached the
+  shard's session cap), *spill over* to the next distinct shard in ring
+  order.
+* ``resume`` — shards issue **portable** resume tokens
+  (:mod:`repro.net.messages`), so the router decodes the token itself,
+  recovers the clip name, and walks the same preference order: the
+  owner if it is still alive, otherwise a replica.  The replica has
+  never seen the session, but the token carries everything needed to
+  rebuild it over the shared deterministic catalog, and the replay is
+  byte-identical — this is the fleet's failover path.
+* ``health`` / ``stats`` — answered by the router itself: an aggregate
+  readiness snapshot, or a ``statsdump`` whose ``fleet`` section lists
+  every shard's bound port, liveness and load (what ``repro fleet
+  status`` prints).
+
+Failure handling is deliberately *retriable*: when no shard can take a
+connection the router answers ``busy`` (clients back off and retry),
+never ``error`` (which clients treat as authoritative rejection).  A
+connect failure to a shard marks it dead immediately — faster than the
+background health loop — and the health loop later revives it when the
+``status`` probe answers again.
+
+Telemetry: ``fleet.route`` spans per routed connection,
+``repro_fleet_*`` gauges/counters (alive shards, per-shard in-flight
+relays, routed/spillover/failover/unroutable totals) and flight-recorder
+events for shard death, revival, spillover and failover.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..net.codec import WireFormatError, encode_packet_bytes, read_packet
+from ..net.messages import (
+    StatusInfo,
+    decode_control,
+    decode_portable_token,
+    encode_busy,
+    encode_error,
+    encode_statsdump,
+    encode_status,
+)
+from ..telemetry import (
+    flight_events,
+    record_event,
+    registry as telemetry_registry,
+    snapshot as telemetry_snapshot,
+    span_events,
+    to_prometheus,
+    trace,
+)
+from .ring import HashRing
+
+__all__ = ["FleetRouter", "ShardLink"]
+
+#: Router lifecycle states mirrored from the single-server vocabulary.
+_STATE_READY = "ready"
+_STATE_STOPPED = "stopped"
+
+_RELAY_CHUNK = 1 << 16
+
+
+@dataclass
+class ShardLink:
+    """The router's live view of one shard.
+
+    Parameters
+    ----------
+    shard_id:
+        The shard's stable name (its position on the hash ring).
+    host / port:
+        Where the shard's :class:`~repro.net.server.AnnotationStreamServer`
+        actually listens — the *bound* port reported by the worker, not
+        the requested one.
+    """
+
+    shard_id: str
+    host: str
+    port: int
+    alive: bool = True
+    inflight: int = 0
+    status: Optional[StatusInfo] = field(default=None)
+
+    def accepting(self) -> bool:
+        """Best-knowledge admission headroom check for spillover.
+
+        False when the last health probe reported not-accepting, or when
+        the router itself is already relaying as many sessions into this
+        shard as the shard's advertised cap.
+        """
+        if self.status is not None:
+            if not self.status.accepting:
+                return False
+            if (self.status.max_sessions is not None
+                    and self.inflight >= self.status.max_sessions):
+                return False
+        return True
+
+
+class FleetRouter:
+    """Single-address front door routing wire sessions onto shards.
+
+    Parameters
+    ----------
+    shards:
+        ``(shard_id, host, port)`` triples for every shard, with the
+        shard's *bound* port (workers report it after listening).
+    host / port:
+        Router bind address; ``port=0`` picks a free port.
+    vnodes:
+        Virtual nodes per shard on the consistent-hash ring.
+    health_interval_s:
+        Period of the background ``status``-probe loop.
+    probe_timeout_s:
+        Per-probe connect+read deadline; a shard missing it is marked
+        dead (until a later probe answers).
+    hello_timeout_s:
+        How long a client connection may take to present its first
+        control packet.
+    busy_retry_after_s:
+        Retry-after hint on ``busy`` answers when no shard is routable.
+
+    Raises
+    ------
+    ValueError
+        If ``shards`` is empty or a timing parameter is out of range.
+    """
+
+    def __init__(
+        self,
+        shards: Sequence[Tuple[str, str, int]],
+        host: str = "127.0.0.1",
+        port: int = 0,
+        vnodes: int = 64,
+        health_interval_s: float = 1.0,
+        probe_timeout_s: float = 2.0,
+        hello_timeout_s: float = 10.0,
+        busy_retry_after_s: float = 0.25,
+    ):
+        if not shards:
+            raise ValueError("a fleet needs at least one shard")
+        if health_interval_s <= 0:
+            raise ValueError("health_interval_s must be positive")
+        if probe_timeout_s <= 0:
+            raise ValueError("probe_timeout_s must be positive")
+        if hello_timeout_s <= 0:
+            raise ValueError("hello_timeout_s must be positive")
+        if busy_retry_after_s < 0:
+            raise ValueError("busy_retry_after_s must be non-negative")
+        self.host = host
+        self._port = port
+        self.health_interval_s = health_interval_s
+        self.probe_timeout_s = probe_timeout_s
+        self.hello_timeout_s = hello_timeout_s
+        self.busy_retry_after_s = busy_retry_after_s
+        self._links: Dict[str, ShardLink] = {}
+        for shard_id, shard_host, shard_port in shards:
+            if shard_id in self._links:
+                raise ValueError(f"duplicate shard id {shard_id!r}")
+            self._links[shard_id] = ShardLink(shard_id, shard_host, shard_port)
+        self.ring = HashRing(tuple(self._links), vnodes=vnodes)
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._health_task: Optional[asyncio.Task] = None
+        self._tasks: set = set()
+        self._state = _STATE_STOPPED
+        reg = telemetry_registry()
+        self._alive_gauge = reg.gauge(
+            "repro_fleet_shards_alive",
+            help="Shards currently believed reachable by the router.",
+        )
+        self._inflight_gauges = {
+            shard_id: reg.gauge(
+                "repro_fleet_inflight_sessions",
+                help="Connections the router is currently relaying, per shard.",
+                labels={"shard": shard_id},
+            )
+            for shard_id in self._links
+        }
+        self._routed_counters = {
+            shard_id: reg.counter(
+                "repro_fleet_routed_sessions_total",
+                help="Connections relayed onto each shard.",
+                labels={"shard": shard_id},
+            )
+            for shard_id in self._links
+        }
+        self._spillover_counter = reg.counter(
+            "repro_fleet_spillover_sessions_total",
+            help="hello connections routed off their ring owner (dead/full).",
+        )
+        self._failover_counter = reg.counter(
+            "repro_fleet_failover_sessions_total",
+            help="resume connections re-routed to a replica shard.",
+        )
+        self._unroutable_counter = reg.counter(
+            "repro_fleet_unroutable_total",
+            help="Connections answered busy because no shard was routable.",
+        )
+        self._probe_counter = reg.counter(
+            "repro_fleet_health_probes_total",
+            help="Aggregate health/stats probes answered by the router.",
+        )
+        self._alive_gauge.set(len(self._links))
+
+    # ------------------------------------------------------------------
+    @property
+    def port(self) -> int:
+        """The bound port (resolved after :meth:`start` when ``port=0``)."""
+        if self._server is None:
+            raise RuntimeError("router is not started")
+        return self._port
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """``(host, port)`` clients should connect to."""
+        return self.host, self.port
+
+    @property
+    def state(self) -> str:
+        """Lifecycle state: ``ready`` or ``stopped``."""
+        return self._state
+
+    def links(self) -> List[ShardLink]:
+        """Snapshot of every shard link, in ring insertion order."""
+        return [self._links[s] for s in self.ring.shards]
+
+    # ------------------------------------------------------------------
+    async def start(self) -> Tuple[str, int]:
+        """Bind the front door and start the health loop."""
+        if self._server is not None:
+            raise RuntimeError("router is already started")
+        self._server = await asyncio.start_server(
+            self._handle, host=self.host, port=self._port
+        )
+        self._port = self._server.sockets[0].getsockname()[1]
+        self._state = _STATE_READY
+        self._health_task = asyncio.ensure_future(self._health_loop())
+        return self.address
+
+    async def close(self) -> None:
+        """Stop the front door: cancel relays and the health loop."""
+        if self._health_task is not None:
+            self._health_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._health_task
+            self._health_task = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._tasks):
+            task.cancel()
+        if self._tasks:
+            await asyncio.gather(*self._tasks, return_exceptions=True)
+        self._state = _STATE_STOPPED
+
+    async def serve_forever(self) -> None:
+        """Block routing sessions until cancelled (used by ``repro serve``)."""
+        if self._server is None:
+            await self.start()
+        await self._server.serve_forever()
+
+    async def __aenter__(self) -> "FleetRouter":
+        """Start on ``async with`` entry."""
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        """Close on ``async with`` exit."""
+        await self.close()
+
+    # ------------------------------------------------------------------
+    # Health
+    # ------------------------------------------------------------------
+    async def _health_loop(self) -> None:
+        while True:
+            await self.probe_shards()
+            await asyncio.sleep(self.health_interval_s)
+
+    async def probe_shards(self) -> Dict[str, bool]:
+        """Probe every shard's ``status`` once; returns shard → alive.
+
+        Dead shards are probed too — a shard that answers again is
+        revived (the health loop calls this periodically, so a restarted
+        or recovered shard rejoins the routable set automatically).
+        """
+        from ..net.client import fetch_status
+
+        async def probe(link: ShardLink) -> None:
+            try:
+                link.status = await fetch_status(
+                    link.host, link.port, timeout_s=self.probe_timeout_s
+                )
+            except (OSError, asyncio.TimeoutError, WireFormatError):
+                self._mark_dead(link, reason="health_probe")
+            else:
+                self._mark_alive(link)
+
+        await asyncio.gather(*(probe(l) for l in self._links.values()))
+        self._alive_gauge.set(
+            sum(1 for l in self._links.values() if l.alive)
+        )
+        return {s: l.alive for s, l in self._links.items()}
+
+    def _mark_dead(self, link: ShardLink, reason: str) -> None:
+        if link.alive:
+            link.alive = False
+            record_event("fleet_shard_down", shard=link.shard_id,
+                         port=link.port, reason=reason)
+        link.status = None
+
+    def _mark_alive(self, link: ShardLink) -> None:
+        if not link.alive:
+            link.alive = True
+            record_event("fleet_shard_up", shard=link.shard_id,
+                         port=link.port)
+
+    # ------------------------------------------------------------------
+    # Aggregate probes
+    # ------------------------------------------------------------------
+    def healthz(self) -> dict:
+        """Aggregate fleet health in the single-server ``healthz`` shape.
+
+        ``state``/``accepting`` reflect whether *any* shard is routable;
+        session counts are sums over the live shard statuses.
+        """
+        statuses = [l.status for l in self._links.values() if l.status]
+        accepting = any(
+            l.alive and l.accepting() for l in self._links.values()
+        )
+        max_sessions: Optional[int] = 0
+        for status in statuses:
+            if status.max_sessions is None:
+                max_sessions = None
+                break
+            max_sessions += status.max_sessions
+        if not statuses:
+            max_sessions = None
+        return {
+            "state": _STATE_READY if accepting else "draining",
+            "accepting": accepting,
+            "active_sessions": sum(s.active_sessions for s in statuses),
+            "waiting_sessions": sum(s.waiting_sessions for s in statuses),
+            "max_sessions": max_sessions,
+            "resumable_sessions": sum(s.resumable_sessions for s in statuses),
+        }
+
+    def fleet_snapshot(self) -> dict:
+        """The ``fleet`` section of the router's ``statsdump`` answer."""
+        return {
+            "router": {"host": self.host, "port": self._port},
+            "shards": [
+                {
+                    "shard": link.shard_id,
+                    "host": link.host,
+                    "port": link.port,
+                    "alive": link.alive,
+                    "inflight": link.inflight,
+                    "active_sessions": (
+                        link.status.active_sessions if link.status else None
+                    ),
+                    "max_sessions": (
+                        link.status.max_sessions if link.status else None
+                    ),
+                    "state": link.status.state if link.status else None,
+                }
+                for link in self.links()
+            ],
+        }
+
+    def stats_snapshot(
+        self,
+        format: str = "json",
+        include_events: bool = False,
+        include_spans: bool = False,
+        limit: Optional[int] = None,
+    ) -> dict:
+        """The router's answer to a ``stats`` probe.
+
+        Same shape as the single server's
+        :meth:`~repro.net.server.AnnotationStreamServer.stats_snapshot`
+        (``format`` selects json/prometheus metrics, ``include_events``
+        / ``include_spans`` attach the flight tail and spans, ``limit``
+        caps both), plus a ``fleet`` section with per-shard bound
+        ports, liveness and load.
+        """
+        if format not in ("json", "prometheus"):
+            raise ValueError(f"unknown stats format {format!r}")
+        payload: dict = {
+            "format": format,
+            "health": self.healthz(),
+            "fleet": self.fleet_snapshot(),
+        }
+        if format == "prometheus":
+            payload["prometheus"] = to_prometheus()
+        else:
+            payload["metrics"] = telemetry_snapshot()
+        if include_events:
+            payload["events"] = flight_events(
+                limit=limit if limit is not None else 128
+            )
+        if include_spans:
+            payload["spans"] = span_events(
+                limit=limit if limit is not None else 512
+            )
+        return payload
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._tasks.add(task)
+        try:
+            await self._handle_connection(reader, writer)
+        except asyncio.CancelledError:
+            # Router shutdown cancels in-flight relays; the finally
+            # blocks have already closed both sockets, so complete
+            # quietly instead of tripping asyncio's noisy
+            # cancelled-handler logging.
+            await self._hangup(writer)
+        finally:
+            if task is not None:
+                self._tasks.discard(task)
+
+    async def _handle_connection(self, reader, writer) -> None:
+        try:
+            first = await asyncio.wait_for(
+                read_packet(reader), timeout=self.hello_timeout_s
+            )
+        except (asyncio.TimeoutError, WireFormatError, OSError):
+            await self._hangup(writer)
+            return
+        if first is None:
+            await self._hangup(writer)
+            return
+        try:
+            message = decode_control(first)
+        except WireFormatError as exc:
+            with contextlib.suppress(ConnectionError, OSError):
+                writer.write(encode_packet_bytes(encode_error(str(exc), seq=0)))
+                await writer.drain()
+            await self._hangup(writer)
+            return
+        if message.kind == "health":
+            self._probe_counter.inc()
+            await self._answer_health(writer)
+            return
+        if message.kind == "stats":
+            self._probe_counter.inc()
+            payload = self.stats_snapshot(
+                format=message.stats.format,
+                include_events=message.stats.include_events,
+                include_spans=message.stats.include_spans,
+                limit=message.stats.limit,
+            )
+            with contextlib.suppress(ConnectionError, OSError):
+                writer.write(encode_packet_bytes(encode_statsdump(payload, seq=0)))
+                await writer.drain()
+            await self._hangup(writer)
+            return
+        if message.kind == "hello":
+            clip = message.hello.clip_name
+        elif message.kind == "resume":
+            info = decode_portable_token(message.resume.token)
+            clip = info.clip_name if info is not None else None
+        else:
+            with contextlib.suppress(ConnectionError, OSError):
+                writer.write(encode_packet_bytes(encode_error(
+                    f"unroutable first message kind {message.kind!r}", seq=0
+                )))
+                await writer.drain()
+            await self._hangup(writer)
+            return
+        await self._route(message.kind, clip, encode_packet_bytes(first),
+                          reader, writer)
+
+    async def _answer_health(self, writer) -> None:
+        health = self.healthz()
+        with contextlib.suppress(ConnectionError, OSError):
+            writer.write(encode_packet_bytes(encode_status(
+                state=health["state"],
+                accepting=health["accepting"],
+                active_sessions=health["active_sessions"],
+                waiting_sessions=health["waiting_sessions"],
+                max_sessions=health["max_sessions"],
+                resumable_sessions=health["resumable_sessions"],
+                seq=0,
+            )))
+            await writer.drain()
+        await self._hangup(writer)
+
+    def _candidates(self, clip: Optional[str]) -> Iterable[str]:
+        """Shard preference order for ``clip`` (ring order when unknown).
+
+        ``clip`` is None for resumes whose token the router cannot
+        decode (an opaque token from outside the fleet): any live shard
+        will answer those authoritatively.
+        """
+        if clip is not None:
+            return self.ring.preference(clip)
+        return self.ring.shards
+
+    async def _route(self, kind, clip, raw, reader, writer) -> None:
+        owner: Optional[str] = None
+        with trace("fleet.route", tags={"kind": kind, "clip": clip}):
+            for shard_id in self._candidates(clip):
+                if owner is None:
+                    owner = shard_id
+                link = self._links[shard_id]
+                if not link.alive:
+                    continue
+                if kind == "hello" and not link.accepting():
+                    continue
+                try:
+                    shard_reader, shard_writer = await asyncio.wait_for(
+                        asyncio.open_connection(link.host, link.port),
+                        timeout=self.probe_timeout_s,
+                    )
+                except (OSError, asyncio.TimeoutError):
+                    # Faster than waiting for the health loop: a shard
+                    # refusing connections is dead right now.
+                    self._mark_dead(link, reason="connect")
+                    self._alive_gauge.set(
+                        sum(1 for l in self._links.values() if l.alive)
+                    )
+                    continue
+                if shard_id != owner:
+                    if kind == "resume":
+                        self._failover_counter.inc()
+                        record_event("fleet_failover", shard=shard_id,
+                                     owner=owner, clip=clip)
+                    else:
+                        self._spillover_counter.inc()
+                        record_event("fleet_spillover", shard=shard_id,
+                                     owner=owner, clip=clip)
+                self._routed_counters[shard_id].inc()
+                await self._relay(link, raw, reader, writer,
+                                  shard_reader, shard_writer)
+                return
+        # No routable shard: shed retriably, exactly like a saturated
+        # single server — clients back off and try again.
+        self._unroutable_counter.inc()
+        record_event("fleet_unroutable", request=kind, clip=clip)
+        with contextlib.suppress(ConnectionError, OSError):
+            writer.write(encode_packet_bytes(encode_busy(
+                retry_after_s=self.busy_retry_after_s,
+                active_sessions=sum(
+                    l.inflight for l in self._links.values()
+                ),
+                seq=0,
+            )))
+            await writer.drain()
+        await self._hangup(writer)
+
+    async def _relay(self, link, raw, client_reader, client_writer,
+                     shard_reader, shard_writer) -> None:
+        """Forward ``raw`` then pump bytes both ways until either side ends."""
+        link.inflight += 1
+        self._inflight_gauges[link.shard_id].inc()
+        try:
+            shard_writer.write(raw)
+            await shard_writer.drain()
+            upstream = asyncio.ensure_future(
+                self._pump(client_reader, shard_writer)
+            )
+            downstream = asyncio.ensure_future(
+                self._pump(shard_reader, client_writer)
+            )
+            try:
+                done, pending = await asyncio.wait(
+                    {upstream, downstream},
+                    return_when=asyncio.FIRST_COMPLETED,
+                )
+                for task in pending:
+                    task.cancel()
+                if pending:
+                    await asyncio.gather(*pending, return_exceptions=True)
+            finally:
+                for task in (upstream, downstream):
+                    task.cancel()
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            link.inflight -= 1
+            self._inflight_gauges[link.shard_id].dec()
+            await self._hangup(shard_writer)
+            await self._hangup(client_writer)
+
+    @staticmethod
+    async def _pump(src_reader, dst_writer) -> None:
+        try:
+            while True:
+                data = await src_reader.read(_RELAY_CHUNK)
+                if not data:
+                    break
+                dst_writer.write(data)
+                await dst_writer.drain()
+        except (ConnectionError, OSError):
+            pass
+
+    @staticmethod
+    async def _hangup(writer) -> None:
+        with contextlib.suppress(ConnectionError, OSError):
+            writer.close()
+            await writer.wait_closed()

@@ -1,0 +1,119 @@
+"""Fleet worker: one :class:`AnnotationStreamServer` in a child process.
+
+A shard is an ordinary wire server over its own copy of the catalog.
+Because the catalog is a deterministic function of the clips — and the
+clips themselves are deterministic (synthetic generators, archives) —
+every shard built from the same :class:`WorkerSpec` serves byte-
+identical streams, which is what makes failover trivial: there is no
+shard-local state worth replicating.
+
+The spec crosses the process boundary by pickling, so the catalog
+travels as a zero-argument *factory* (a module-level function or
+``functools.partial``), not as live clip objects: the child calls it
+once to build its :class:`~repro.streaming.server.MediaServer`.  The
+worker forces ``portable_tokens=True`` regardless of the spec's config —
+portable resume tokens are the fleet's failover mechanism
+(:mod:`repro.net.messages`), so a shard must never issue a token only it
+can honor.
+
+Lifecycle runs over a :class:`multiprocessing.Pipe`: the child reports
+``("ready", bound_port)`` once listening (``port=0`` in the spec means
+each shard picks its own free port — the parent learns the real one
+here), then blocks until the parent sends ``"stop"`` (graceful: drain,
+then close) or dies (pipe EOF, same path).  Chaos tests and real crashes
+skip the protocol entirely: the coordinator SIGKILLs the process and the
+router's health loop notices.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..net.config import ServeConfig
+from ..net.server import AnnotationStreamServer
+from ..streaming.server import MediaServer
+
+__all__ = ["WorkerSpec"]
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """Everything a shard process needs, in picklable form.
+
+    Parameters
+    ----------
+    shard_id:
+        Stable name of this shard (the id placed on the router's hash
+        ring and stamped on its telemetry labels).
+    catalog_factory:
+        Zero-argument picklable callable returning the shard's
+        :class:`~repro.streaming.server.MediaServer`.  Called once,
+        inside the child process.  Every shard of a fleet must be given
+        a factory producing the *same* deterministic catalog — that
+        equivalence is what failover relies on.
+    host:
+        Interface the shard binds.
+    port:
+        Requested port; 0 (default) lets the shard pick a free one and
+        report it back through the lifecycle pipe.
+    config:
+        The shard's :class:`~repro.net.config.ServeConfig`.  ``None``
+        uses the defaults.  ``portable_tokens`` is forced on either way.
+    """
+
+    shard_id: str
+    catalog_factory: Callable[[], MediaServer]
+    host: str = "127.0.0.1"
+    port: int = 0
+    config: Optional[ServeConfig] = field(default=None)
+
+    def effective_config(self) -> ServeConfig:
+        """The spec's config with ``portable_tokens`` forced on."""
+        base = self.config if self.config is not None else ServeConfig()
+        return base.replace(portable_tokens=True)
+
+
+def worker_main(spec: WorkerSpec, conn) -> None:
+    """Child-process entry point: serve ``spec`` until told to stop.
+
+    ``conn`` is the child end of a :class:`multiprocessing.Pipe`; the
+    protocol is described in the module docstring.  Never raises — a
+    failure to build or bind is reported as ``("error", message)`` and
+    the process exits.
+    """
+    try:
+        asyncio.run(_serve(spec, conn))
+    except Exception as exc:  # noqa: BLE001 - report, don't traceback-spam
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        except (OSError, BrokenPipeError):
+            pass
+    finally:
+        conn.close()
+
+
+async def _serve(spec: WorkerSpec, conn) -> None:
+    media = spec.catalog_factory()
+    server = AnnotationStreamServer(
+        media, host=spec.host, port=spec.port, config=spec.effective_config()
+    )
+    await server.start()
+    conn.send(("ready", server.port))
+    loop = asyncio.get_running_loop()
+    try:
+        while True:
+            try:
+                command = await loop.run_in_executor(None, conn.recv)
+            except (EOFError, OSError):
+                command = "stop"  # parent died; shut down with it
+            if command == "stop":
+                break
+    finally:
+        await server.drain()
+        await server.close()
+    try:
+        conn.send(("stopped", spec.shard_id))
+    except (OSError, BrokenPipeError):
+        pass

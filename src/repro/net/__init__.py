@@ -12,7 +12,12 @@ stream on an actual socket:
   resume / session / end / busy / health / status / stats / statsdump /
   error) used for session negotiation, load shedding, health probing
   and live stats scraping on the wire; hello/resume carry distributed-
-  trace ids so server spans link under the client's fetch trace.
+  trace ids so server spans link under the client's fetch trace.  Also
+  the *portable* resume-token format that lets any server over the same
+  deterministic catalog adopt another server's session (fleet failover).
+* :mod:`repro.net.config` — :class:`ServeConfig` / :class:`FetchOptions`,
+  the frozen config objects behind the serve and fetch entry points
+  (shared by the facade, the CLI and every :mod:`repro.fleet` worker).
 * :mod:`repro.net.server` — :class:`AnnotationStreamServer`: hosts many
   concurrent sessions over ``asyncio.start_server`` with per-session
   bounded send queues (backpressure), admission control with a bounded
@@ -40,15 +45,19 @@ from .codec import (
     read_packet,
     wire_size,
 )
+from .config import FetchOptions, ServeConfig
 from .messages import (
     BusyInfo,
     ControlMessage,
     EndInfo,
     HelloInfo,
+    PortableTokenInfo,
     ResumeInfo,
     StatsRequest,
     StatusInfo,
     decode_control,
+    decode_portable_token,
+    encode_portable_token,
     encode_busy,
     encode_end,
     encode_error,
@@ -91,6 +100,8 @@ __all__ = [
     "decode_packet",
     "read_packet",
     "wire_size",
+    "ServeConfig",
+    "FetchOptions",
     "ControlMessage",
     "HelloInfo",
     "ResumeInfo",
@@ -98,6 +109,9 @@ __all__ = [
     "BusyInfo",
     "StatusInfo",
     "StatsRequest",
+    "PortableTokenInfo",
+    "decode_portable_token",
+    "encode_portable_token",
     "decode_control",
     "encode_hello",
     "encode_resume",

@@ -41,7 +41,10 @@ Malformed control bodies raise
 
 from __future__ import annotations
 
+import base64
+import binascii
 import json
+import secrets
 from dataclasses import dataclass
 from typing import Optional
 
@@ -454,3 +457,84 @@ def raise_for_error(message: ControlMessage) -> ControlMessage:
     if message.kind == "error":
         raise NegotiationError(f"server rejected the session: {message.error}")
     return message
+
+
+# ----------------------------------------------------------------------
+# Portable resume tokens
+# ----------------------------------------------------------------------
+#: Version prefix of portable resume tokens.
+PORTABLE_TOKEN_PREFIX = "p1"
+
+
+@dataclass(frozen=True)
+class PortableTokenInfo:
+    """The session request embedded in a portable resume token.
+
+    Plain random tokens only resolve in the process that issued them; a
+    *portable* token additionally carries the (clip, quality, device)
+    triple that opened the session.  Because annotated streams are
+    deterministic functions of that triple, **any** server holding the
+    same catalog can adopt the token and replay the stream
+    byte-identically — which is how the sharded fleet
+    (:mod:`repro.fleet`) survives a shard death: the router re-routes
+    the client's resume to a replica shard and the replica rebuilds the
+    session from the token alone.
+    """
+
+    clip_name: str
+    quality: float
+    device_name: str
+
+    def to_request(self) -> SessionRequest:
+        """Rebuild the session request the token was issued for."""
+        return SessionRequest(
+            clip_name=self.clip_name,
+            quality=self.quality,
+            capabilities=ClientCapabilities(device_name=self.device_name),
+        )
+
+
+def encode_portable_token(
+    clip_name: str, quality: float, device_name: str
+) -> str:
+    """Issue a fresh portable resume token for one session.
+
+    The token is ``p1.<base64 session request>.<random suffix>``: the
+    middle section makes it adoptable by any replica holding the same
+    catalog (see :class:`PortableTokenInfo`), the 64-bit random suffix
+    keeps every issued token unique so per-token server state (resume
+    registries, takeover semantics) behaves exactly like it does for
+    opaque tokens.
+    """
+    body = _dump({
+        "c": clip_name,
+        "q": quality,
+        "d": device_name,
+    })
+    encoded = base64.urlsafe_b64encode(body).decode("ascii").rstrip("=")
+    return f"{PORTABLE_TOKEN_PREFIX}.{encoded}.{secrets.token_hex(8)}"
+
+
+def decode_portable_token(token: str) -> Optional[PortableTokenInfo]:
+    """Parse a portable resume token; ``None`` for anything else.
+
+    Opaque random tokens, truncated or tampered portable tokens, and
+    tokens from future format versions all return ``None`` — the caller
+    falls back to its local resume registry (and ultimately to a
+    fresh-fetch rejection), never raises.
+    """
+    parts = token.split(".")
+    if len(parts) != 3 or parts[0] != PORTABLE_TOKEN_PREFIX:
+        return None
+    encoded = parts[1]
+    try:
+        padded = encoded + "=" * (-len(encoded) % 4)
+        obj = json.loads(base64.urlsafe_b64decode(padded.encode("ascii")))
+        return PortableTokenInfo(
+            clip_name=str(obj["c"]),
+            quality=float(obj["q"]),
+            device_name=str(obj["d"]),
+        )
+    except (ValueError, KeyError, TypeError, binascii.Error,
+            UnicodeDecodeError):
+        return None

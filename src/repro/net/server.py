@@ -70,11 +70,12 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import contextvars
-import os
+import dataclasses
 import queue as queue_mod
 import secrets
 import threading
 import time
+import warnings
 from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Dict, Optional, Set, Tuple
@@ -94,15 +95,23 @@ from ..telemetry import (
     trace_context,
 )
 from .codec import WireFormatError, encode_packet, read_packet
+from .config import ServeConfig
 from .messages import (
     StatsRequest,
     decode_control,
+    decode_portable_token,
     encode_busy,
     encode_end,
     encode_error,
+    encode_portable_token,
     encode_session,
     encode_statsdump,
     encode_status,
+)
+
+#: Keyword names accepted by the legacy (pre-``ServeConfig``) signature.
+_LEGACY_SERVE_KWARGS = frozenset(
+    f.name for f in dataclasses.fields(ServeConfig)
 )
 
 #: Sentinel closing a producer queue (normal completion).
@@ -152,48 +161,28 @@ class AnnotationStreamServer:
         session (its caches make session 2..N cheap).
     host / port:
         Bind address; ``port=0`` picks a free port (see :attr:`address`).
-    queue_depth:
-        Bound of each session's send queue, in records.  Small values
-        couple the producer tightly to the socket; large values buffer
-        more chunks ahead.  Must be >= 1.
-    hello_timeout_s:
-        How long a fresh connection may take to present its hello before
-        the server hangs up (protects against idle sockets).
-    max_sessions:
-        Admission-control cap on concurrently *served* sessions.
-        ``None`` (the default) means uncapped — the pre-resilience
-        behavior.  Must be >= 1 when set.
-    accept_queue:
-        How many over-cap connections may wait for a slot before the
-        server starts shedding load with ``busy`` messages.  0 sheds
-        immediately at the cap.
-    accept_timeout_s:
-        How long a queued connection waits for a slot before being shed.
-    busy_retry_after_s:
-        The retry-after hint carried by ``busy`` messages.
-    resume_window_s:
-        How long after a disconnect a session stays resumable via its
-        token.  0 disables resume (no tokens are issued).
-    drain_timeout_s:
-        Default deadline for :meth:`drain`.
-    batch_records / batch_bytes:
-        Flush thresholds for the producer's coalesced wire batches: a
-        batch is handed to the event loop once it holds this many
-        records or this many buffered bytes (and always at chunk
-        boundaries).  ``batch_records=1`` degenerates to the old
-        one-record-per-queue-item behavior.  Both must be >= 1.
-    compute_slots:
-        How many producer threads may run their CPU-bound stage
-        (compensation + packet encode) at once, across all sessions.
-        Defaults to the host's core count.  Socket concurrency is
-        unaffected — every admitted session streams simultaneously;
-        only the numpy-heavy compute is prevented from oversubscribing
-        the cores into a GIL convoy.  Must be >= 1 when set.
+    config:
+        The serving policy, a :class:`~repro.net.config.ServeConfig`:
+        admission control (``max_sessions`` / ``accept_queue`` /
+        ``accept_timeout_s`` / ``busy_retry_after_s``), session resume
+        (``resume_window_s`` / ``portable_tokens``), graceful drain
+        (``drain_timeout_s``), producer batching (``queue_depth`` /
+        ``batch_records`` / ``batch_bytes``), the CPU gate
+        (``compute_slots``) and the hello deadline
+        (``hello_timeout_s``).  ``None`` uses the defaults.
+    **legacy_kwargs:
+        Deprecated: the pre-``ServeConfig`` spelling, any
+        :class:`~repro.net.config.ServeConfig` field passed as a loose
+        keyword (``queue_depth=...``, ``max_sessions=...``, ...).
+        Still honored — folded into ``config`` — but emits a
+        :class:`DeprecationWarning`; construct a config object instead.
 
     Raises
     ------
     ValueError
-        If any numeric parameter is out of range.
+        If any numeric config parameter is out of range.
+    TypeError
+        If an unknown keyword argument is passed.
     """
 
     def __init__(
@@ -201,57 +190,45 @@ class AnnotationStreamServer:
         media_server: MediaServer,
         host: str = "127.0.0.1",
         port: int = 0,
-        queue_depth: int = 32,
-        hello_timeout_s: float = 10.0,
-        max_sessions: Optional[int] = None,
-        accept_queue: int = 0,
-        accept_timeout_s: float = 5.0,
-        busy_retry_after_s: float = 0.25,
-        resume_window_s: float = 60.0,
-        drain_timeout_s: float = 10.0,
-        batch_records: int = 32,
-        batch_bytes: int = 1 << 20,
-        compute_slots: Optional[int] = None,
+        config: Optional[ServeConfig] = None,
+        **legacy_kwargs,
     ):
-        if queue_depth < 1:
-            raise ValueError("queue_depth must be >= 1")
-        if batch_records < 1:
-            raise ValueError("batch_records must be >= 1")
-        if batch_bytes < 1:
-            raise ValueError("batch_bytes must be >= 1")
-        if compute_slots is not None and compute_slots < 1:
-            raise ValueError("compute_slots must be >= 1 when set")
-        if hello_timeout_s <= 0:
-            raise ValueError("hello_timeout_s must be positive")
-        if max_sessions is not None and max_sessions < 1:
-            raise ValueError("max_sessions must be >= 1 when set")
-        if accept_queue < 0:
-            raise ValueError("accept_queue must be non-negative")
-        if accept_timeout_s <= 0:
-            raise ValueError("accept_timeout_s must be positive")
-        if busy_retry_after_s < 0:
-            raise ValueError("busy_retry_after_s must be non-negative")
-        if resume_window_s < 0:
-            raise ValueError("resume_window_s must be non-negative")
-        if drain_timeout_s <= 0:
-            raise ValueError("drain_timeout_s must be positive")
+        if legacy_kwargs:
+            unknown = set(legacy_kwargs) - _LEGACY_SERVE_KWARGS
+            if unknown:
+                raise TypeError(
+                    "unknown serve parameter(s): "
+                    + ", ".join(sorted(unknown))
+                )
+            warnings.warn(
+                "passing serve knobs as loose keyword arguments is "
+                "deprecated; build a repro.net.ServeConfig and pass it "
+                "as config=",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            config = (config if config is not None else ServeConfig()).replace(
+                **legacy_kwargs
+            )
+        if config is None:
+            config = ServeConfig()
+        #: The immutable serving policy this server was built from.
+        self.config = config
         self.media_server = media_server
         self.host = host
         self._port = port
-        self.queue_depth = queue_depth
-        self.hello_timeout_s = hello_timeout_s
-        self.max_sessions = max_sessions
-        self.accept_queue = accept_queue
-        self.accept_timeout_s = accept_timeout_s
-        self.busy_retry_after_s = busy_retry_after_s
-        self.resume_window_s = resume_window_s
-        self.drain_timeout_s = drain_timeout_s
-        self.batch_records = batch_records
-        self.batch_bytes = batch_bytes
-        self.compute_slots = (
-            compute_slots if compute_slots is not None
-            else max(1, os.cpu_count() or 1)
-        )
+        self.queue_depth = config.queue_depth
+        self.hello_timeout_s = config.hello_timeout_s
+        self.max_sessions = config.max_sessions
+        self.accept_queue = config.accept_queue
+        self.accept_timeout_s = config.accept_timeout_s
+        self.busy_retry_after_s = config.busy_retry_after_s
+        self.resume_window_s = config.resume_window_s
+        self.portable_tokens = config.portable_tokens
+        self.drain_timeout_s = config.drain_timeout_s
+        self.batch_records = config.batch_records
+        self.batch_bytes = config.batch_bytes
+        self.compute_slots = config.resolved_compute_slots()
         self._compute_slots = threading.Semaphore(self.compute_slots)
         self._server: Optional[asyncio.base_events.Server] = None
         self._state = STATE_STOPPED
@@ -302,6 +279,10 @@ class AnnotationStreamServer:
         self._resumed_counter = reg.counter(
             "repro_net_resumed_sessions_total",
             help="Sessions continued from a resume token after a drop.",
+        )
+        self._adopted_counter = reg.counter(
+            "repro_net_adopted_sessions_total",
+            help="Portable tokens issued elsewhere adopted by this server.",
         )
         self._health_counter = reg.counter(
             "repro_net_health_probes_total",
@@ -545,17 +526,58 @@ class AnnotationStreamServer:
             del self._resume_states[token]
 
     def _register_token(self, session: SessionDescription) -> Optional[str]:
-        """Issue a resume token for a fresh session (None when disabled)."""
+        """Issue a resume token for a fresh session (None when disabled).
+
+        With ``portable_tokens`` the token embeds the session request
+        (clip, quality, device) so any server over the same
+        deterministic catalog can honor it — see :meth:`_lookup_token`.
+        """
         if self.resume_window_s <= 0:
             return None
         self._purge_expired_tokens()
-        token = secrets.token_hex(16)
+        if self.portable_tokens:
+            token = encode_portable_token(
+                session.clip_name, session.quality, session.device_name
+            )
+        else:
+            token = secrets.token_hex(16)
         self._resume_states[token] = _ResumeState(
             session=session,
             deadline=time.monotonic() + self.resume_window_s,
             active=True,
         )
         return token
+
+    def _adopt_portable_token(self, token: str) -> Optional[SessionDescription]:
+        """Honor a portable token this server never issued.
+
+        Decodes the embedded (clip, quality, device) request and opens a
+        fresh session for it — the catalog is deterministic, so the new
+        session replays the issuing server's stream byte-identically.
+        This is the fleet failover path: when a shard dies, the router
+        replays its clients' portable tokens against a replica shard.
+        Returns None when the token is malformed or names a clip/device
+        this catalog cannot serve.
+        """
+        if not self.portable_tokens:
+            return None
+        info = decode_portable_token(token)
+        if info is None:
+            return None
+        try:
+            session = self.media_server.open_session(info.to_request())
+        except NegotiationError:
+            return None
+        self._resume_states[token] = _ResumeState(
+            session=session,
+            deadline=time.monotonic() + self.resume_window_s,
+            active=True,
+        )
+        self._adopted_counter.inc()
+        record_event("session_adopt", session_id=session.session_id,
+                     clip=session.clip_name, quality=session.quality,
+                     device=session.device_name)
+        return session
 
     def _lookup_token(self, token: str) -> Optional[SessionDescription]:
         """Resolve a resume token; None when unknown or expired.
@@ -567,11 +589,15 @@ class AnnotationStreamServer:
         every prompt resume to a full refetch.  The old task streams
         into a dead socket until its next write fails, which is
         harmless: sessions are deterministic and share no mutable state.
+
+        A portable token not found in the local registry is *adopted*:
+        decoded back into a session request and opened fresh against the
+        shared deterministic catalog (:meth:`_adopt_portable_token`).
         """
         self._purge_expired_tokens()
         state = self._resume_states.get(token)
         if state is None:
-            return None
+            return self._adopt_portable_token(token)
         state.active = True
         state.deadline = time.monotonic() + self.resume_window_s
         return state.session

@@ -1,0 +1,1 @@
+"""Tests for the sharded serving fleet (:mod:`repro.fleet`)."""

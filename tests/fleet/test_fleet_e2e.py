@@ -1,0 +1,237 @@
+"""End-to-end fleet tests: real worker processes behind the router.
+
+Each test spawns a small :class:`~repro.fleet.FleetCoordinator` (two
+shard processes over the same deterministic catalog) and talks to it
+through the router's single address, exactly as a client would.  Covers
+the acceptance path of the fleet tentpole:
+
+* streams served through the router are byte-identical to streaming the
+  catalog directly;
+* ``port=0`` shards report their actually-bound ports through both the
+  coordinator and the router's fleet snapshot;
+* killing a shard mid-stream re-routes the portable resume token to the
+  replica, which replays the remainder byte-identically;
+* with no routable shard the router answers ``busy`` (retriable), never
+  a fabricated authoritative error.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.api import fetch_stream, server_stats
+from repro.core import ProfileCache, SchemeParameters
+from repro.fleet import FleetCoordinator
+from repro.net import FetchOptions, decode_portable_token, encode_packet_bytes
+from repro.net.codec import read_packet
+from repro.net.messages import decode_control, encode_hello, encode_resume
+from repro.streaming import (
+    ClientCapabilities,
+    MediaServer,
+    PacketType,
+    SessionRequest,
+)
+from repro.telemetry import registry
+from repro.video import ArrayClip
+
+FAST_PARAMS = SchemeParameters(quality=0.05, min_scene_interval_frames=5)
+QUALITY = 0.05
+DEVICE = "ipaq5555"
+CLIPS = (("alpha", 1), ("bravo", 2), ("charlie", 3))
+
+
+def _fleet_catalog():
+    """Picklable catalog factory shared by every worker process.
+
+    Must be a module-level function: the coordinator ships it to each
+    shard inside a :class:`~repro.fleet.WorkerSpec`, and byte-identical
+    failover relies on every call producing the same catalog.
+    """
+    server = MediaServer(
+        params=FAST_PARAMS, profile_cache=ProfileCache(max_entries=8)
+    )
+    for name, seed in CLIPS:
+        pixels = np.random.default_rng(seed).integers(
+            0, 256, size=(36, 24, 18, 3), dtype=np.uint8
+        )
+        server.add_clip(ArrayClip(pixels, fps=24.0, name=name))
+    return server
+
+
+def _reference(clip_name):
+    media = _fleet_catalog()
+    request = SessionRequest(clip_name, QUALITY, ClientCapabilities(DEVICE))
+    return list(media.stream(media.open_session(request)))
+
+
+def _assert_streams_identical(packets, reference):
+    assert len(packets) == len(reference)
+    for mine, ref in zip(packets, reference):
+        assert mine.ptype is ref.ptype
+        assert mine.seq == ref.seq
+        if ref.ptype is PacketType.ANNOTATION:
+            assert mine.payload == ref.payload
+        elif ref.ptype is PacketType.FRAME:
+            assert np.array_equal(mine.frame.pixels, ref.frame.pixels)
+
+
+def _counter(name):
+    metric = registry().get(name)
+    return 0 if metric is None else metric.value
+
+
+def _options():
+    return FetchOptions(backoff_base_s=0.01, backoff_max_s=0.2, jitter_s=0.0)
+
+
+async def _drain_stream(reader):
+    """Read media packets until the server's ``end`` control packet."""
+    packets = []
+    while True:
+        packet = await asyncio.wait_for(read_packet(reader), timeout=15.0)
+        if packet is None:
+            break
+        if packet.ptype is PacketType.CONTROL:
+            if decode_control(packet).kind == "end":
+                break
+            continue
+        packets.append(packet)
+    return packets
+
+
+def test_fleet_streams_byte_identical_to_direct():
+    """Every clip fetched through the router matches a direct stream."""
+
+    async def run():
+        results = {}
+        async with FleetCoordinator(_fleet_catalog, shards=2,
+                                    health_interval_s=0.2) as fleet:
+            host, port = fleet.address
+            for name, _ in CLIPS:
+                result = await fetch_stream(host, port, name, QUALITY,
+                                            DEVICE, options=_options())
+                results[name] = result.packets
+        return results
+
+    results = asyncio.run(run())
+    for name, _ in CLIPS:
+        _assert_streams_identical(results[name], _reference(name))
+
+
+def test_fleet_reports_actually_bound_ports():
+    """port=0 everywhere, yet status and stats expose the real ports."""
+
+    async def run():
+        async with FleetCoordinator(_fleet_catalog, shards=2,
+                                    health_interval_s=0.2) as fleet:
+            status = fleet.status()
+            stats = await server_stats(*fleet.address)
+            health = fleet.router.healthz()
+            return status, stats, health
+
+    status, stats, health = asyncio.run(run())
+    assert status["router"]["port"] != 0
+    coord_ports = {s["shard"]: s["port"] for s in status["shards"]}
+    assert all(p not in (None, 0) for p in coord_ports.values())
+    assert len(set(coord_ports.values())) == 2  # distinct sockets
+    fleet_section = stats["fleet"]
+    router_ports = {s["shard"]: s["port"] for s in fleet_section["shards"]}
+    assert router_ports == coord_ports  # router agrees with coordinator
+    assert all(s["alive"] for s in fleet_section["shards"])
+    assert health["accepting"]
+    assert health["state"] == "ready"
+
+
+def test_mid_stream_kill_fails_over_byte_identically():
+    """The tentpole: kill the owner mid-stream, resume on the replica."""
+    reference = _reference("alpha")
+    received = 6
+
+    async def run():
+        async with FleetCoordinator(_fleet_catalog, shards=2,
+                                    health_interval_s=0.2) as fleet:
+            reader, writer = await asyncio.open_connection(*fleet.address)
+            request = SessionRequest(
+                "alpha", QUALITY, ClientCapabilities(DEVICE)
+            )
+            writer.write(encode_packet_bytes(encode_hello(request)))
+            await writer.drain()
+            session_msg = decode_control(
+                await asyncio.wait_for(read_packet(reader), timeout=15.0)
+            )
+            assert session_msg.kind == "session"
+            token = session_msg.token
+            assert decode_portable_token(token) is not None
+            head = []
+            while len(head) < received:
+                packet = await asyncio.wait_for(read_packet(reader),
+                                                timeout=15.0)
+                if packet.ptype is not PacketType.CONTROL:
+                    head.append(packet)
+
+            owner = fleet.router.ring.lookup("alpha")
+            fleet.kill_shard(owner)
+            writer.transport.abort()
+
+            reader, writer = await asyncio.open_connection(*fleet.address)
+            writer.write(encode_packet_bytes(encode_resume(token, received)))
+            await writer.drain()
+            resumed = decode_control(
+                await asyncio.wait_for(read_packet(reader), timeout=15.0)
+            )
+            assert resumed.kind == "session"
+            assert resumed.resumed_at == received
+            tail = await _drain_stream(reader)
+            writer.close()
+            return head, tail
+
+    head, tail = asyncio.run(run())
+    _assert_streams_identical(head + tail, reference)
+    assert _counter("repro_fleet_failover_sessions_total") >= 1
+
+
+def test_refetch_after_kill_spills_over_to_replica():
+    """A fresh hello for a dead shard's clip lands on the replica and
+    still produces the identical stream (deterministic catalog)."""
+
+    async def run():
+        async with FleetCoordinator(_fleet_catalog, shards=2,
+                                    health_interval_s=0.2) as fleet:
+            host, port = fleet.address
+            before = await fetch_stream(host, port, "bravo", QUALITY,
+                                        DEVICE, options=_options())
+            fleet.kill_shard(fleet.router.ring.lookup("bravo"))
+            after = await fetch_stream(host, port, "bravo", QUALITY,
+                                       DEVICE, options=_options())
+            return before.packets, after.packets
+
+    before, after = asyncio.run(run())
+    _assert_streams_identical(after, before)
+    assert _counter("repro_fleet_spillover_sessions_total") >= 1
+
+
+def test_no_routable_shard_answers_busy_not_error():
+    """With every shard dead the router must answer retriable busy."""
+
+    async def run():
+        async with FleetCoordinator(_fleet_catalog, shards=2,
+                                    health_interval_s=0.2) as fleet:
+            for shard_id in fleet.shard_ids():
+                fleet.kill_shard(shard_id)
+            reader, writer = await asyncio.open_connection(*fleet.address)
+            request = SessionRequest(
+                "alpha", QUALITY, ClientCapabilities(DEVICE)
+            )
+            writer.write(encode_packet_bytes(encode_hello(request)))
+            await writer.drain()
+            message = decode_control(
+                await asyncio.wait_for(read_packet(reader), timeout=15.0)
+            )
+            writer.close()
+            return message
+
+    message = asyncio.run(run())
+    assert message.kind == "busy"
+    assert message.busy.retry_after_s > 0
+    assert _counter("repro_fleet_unroutable_total") >= 1

@@ -1,0 +1,124 @@
+"""Consistent-hash ring properties: distribution, stability, movement.
+
+The ring is the routing contract of the fleet: the router, every test,
+and any external tooling must agree on clip → shard placement, and a
+fleet resize must only re-home ~1/N of the catalog (the rest keeps its
+warm shard).  These tests pin those properties numerically.
+"""
+
+import pytest
+
+from repro.fleet import HashRing
+
+KEYS = [f"clip-{i:04d}" for i in range(3000)]
+
+
+def _placement(ring):
+    return {key: ring.lookup(key) for key in KEYS}
+
+
+class TestRingBasics:
+    def test_empty_ring_lookup_raises(self):
+        ring = HashRing()
+        with pytest.raises(LookupError):
+            ring.lookup("anything")
+
+    def test_vnodes_validated(self):
+        with pytest.raises(ValueError):
+            HashRing(vnodes=0)
+
+    def test_duplicate_add_rejected(self):
+        ring = HashRing(("a",))
+        with pytest.raises(ValueError):
+            ring.add("a")
+
+    def test_remove_unknown_rejected(self):
+        ring = HashRing(("a",))
+        with pytest.raises(ValueError):
+            ring.remove("b")
+
+    def test_len_contains_shards(self):
+        ring = HashRing(("a", "b"))
+        assert len(ring) == 2
+        assert "a" in ring and "c" not in ring
+        assert ring.shards == ("a", "b")
+        ring.remove("a")
+        assert ring.shards == ("b",)
+
+    def test_single_shard_owns_everything(self):
+        ring = HashRing(("only",))
+        assert all(ring.lookup(key) == "only" for key in KEYS[:100])
+
+
+class TestRingDeterminism:
+    def test_placement_is_instance_independent(self):
+        """Two rings built separately (different insertion order) agree —
+        the property the router and worker processes rely on."""
+        a = HashRing(("s0", "s1", "s2"))
+        b = HashRing(("s2", "s0", "s1"))
+        assert _placement(a) == _placement(b)
+
+    def test_lookup_is_stable(self):
+        ring = HashRing(("s0", "s1"))
+        for key in KEYS[:50]:
+            assert ring.lookup(key) == ring.lookup(key)
+
+
+class TestRingDistribution:
+    @pytest.mark.parametrize("n", [2, 3, 5])
+    def test_load_is_roughly_even(self, n):
+        shards = tuple(f"shard-{i}" for i in range(n))
+        ring = HashRing(shards)
+        counts = {s: 0 for s in shards}
+        for key in KEYS:
+            counts[ring.lookup(key)] += 1
+        expected = len(KEYS) / n
+        for shard, count in counts.items():
+            # 64 vnodes keeps every shard within 50% of fair share.
+            assert 0.5 * expected <= count <= 1.5 * expected, (shard, counts)
+
+
+class TestRingMovement:
+    def test_removal_moves_only_the_dead_shards_keys(self):
+        ring = HashRing(("s0", "s1", "s2"))
+        before = _placement(ring)
+        ring.remove("s1")
+        after = _placement(ring)
+        moved = [k for k in KEYS if before[k] != after[k]]
+        # Exactly the removed shard's keys moved; survivors kept theirs.
+        assert all(before[k] == "s1" for k in moved)
+        assert len(moved) == sum(1 for k in KEYS if before[k] == "s1")
+
+    def test_addition_moves_about_one_over_n(self):
+        ring = HashRing(("s0", "s1", "s2"))
+        before = _placement(ring)
+        ring.add("s3")
+        after = _placement(ring)
+        moved = [k for k in KEYS if before[k] != after[k]]
+        # Only keys that landed on the new shard moved.
+        assert all(after[k] == "s3" for k in moved)
+        # ~1/4 of keys, with generous slack for vnode unevenness.
+        assert 0.10 * len(KEYS) <= len(moved) <= 0.40 * len(KEYS)
+
+
+class TestPreference:
+    def test_preference_starts_with_owner_and_covers_all(self):
+        shards = ("s0", "s1", "s2", "s3")
+        ring = HashRing(shards)
+        for key in KEYS[:200]:
+            order = list(ring.preference(key))
+            assert order[0] == ring.lookup(key)
+            assert sorted(order) == sorted(shards)  # each exactly once
+
+    def test_preference_is_failover_consistent(self):
+        """The second preference equals the owner after removing the
+        first — a dead shard's sessions land where the resized ring
+        would have put them."""
+        ring = HashRing(("s0", "s1", "s2"))
+        for key in KEYS[:200]:
+            order = list(ring.preference(key))
+            shrunk = HashRing(tuple(s for s in ring.shards if s != order[0]))
+            assert shrunk.lookup(key) == order[1]
+
+    def test_preference_on_empty_ring_is_empty(self):
+        assert list(HashRing().preference("x")) == []

@@ -1,0 +1,377 @@
+"""The config-object API: ServeConfig / FetchOptions, shims, portable tokens.
+
+Pins the redesigned serve/fetch surface:
+
+* :class:`~repro.net.config.ServeConfig` validates once, is frozen and
+  picklable, and parameterizes the server exactly like the old kwargs;
+* the legacy loose-kwarg spellings still work but emit
+  ``DeprecationWarning`` (the shim this suite pins in place);
+* :class:`~repro.net.config.FetchOptions` is the one definition behind
+  the facade fetch family;
+* portable resume tokens round-trip, reject tampering, and let a
+  *different* server process adopt a session and replay it
+  byte-identically — the fleet failover primitive.
+"""
+
+import asyncio
+import pickle
+import random
+
+import numpy as np
+import pytest
+
+from repro.api import StreamingService, fetch_stream_sync
+from repro.core import ProfileCache, SchemeParameters
+from repro.net import (
+    AnnotationStreamServer,
+    FetchOptions,
+    ServeConfig,
+    decode_portable_token,
+    encode_portable_token,
+    encode_packet_bytes,
+)
+from repro.net.codec import read_packet
+from repro.net.messages import decode_control, encode_hello, encode_resume
+from repro.streaming import (
+    ClientCapabilities,
+    MediaServer,
+    PacketType,
+    SessionRequest,
+)
+from repro.telemetry import registry
+from repro.video import ArrayClip
+
+FAST_PARAMS = SchemeParameters(quality=0.05, min_scene_interval_frames=5)
+QUALITY = 0.05
+
+
+def _clip(name="configclip", frames=24, height=16, width=12, seed=11):
+    pixels = np.random.default_rng(seed).integers(
+        0, 256, size=(frames, height, width, 3), dtype=np.uint8
+    )
+    return ArrayClip(pixels, fps=24.0, name=name)
+
+
+def _media_server(*clips):
+    server = MediaServer(
+        params=FAST_PARAMS, profile_cache=ProfileCache(max_entries=8)
+    )
+    for clip in clips:
+        server.add_clip(clip)
+    return server
+
+
+def _reference(media, clip_name, quality=QUALITY):
+    request = SessionRequest(clip_name, quality, ClientCapabilities("ipaq5555"))
+    return list(media.stream(media.open_session(request)))
+
+
+class TestServeConfig:
+    def test_defaults_match_old_signature_defaults(self):
+        config = ServeConfig()
+        assert config.queue_depth == 32
+        assert config.max_sessions is None
+        assert config.accept_queue == 0
+        assert config.resume_window_s == 60.0
+        assert config.portable_tokens is False
+        assert config.batch_records == 32
+        assert config.batch_bytes == 1 << 20
+
+    @pytest.mark.parametrize("kwargs", [
+        {"queue_depth": 0},
+        {"batch_records": 0},
+        {"batch_bytes": 0},
+        {"compute_slots": 0},
+        {"hello_timeout_s": 0.0},
+        {"max_sessions": 0},
+        {"accept_queue": -1},
+        {"accept_timeout_s": 0.0},
+        {"busy_retry_after_s": -0.1},
+        {"resume_window_s": -1.0},
+        {"drain_timeout_s": 0.0},
+    ])
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ServeConfig(**kwargs)
+
+    def test_frozen_and_replace_revalidates(self):
+        config = ServeConfig(queue_depth=8)
+        with pytest.raises(AttributeError):
+            config.queue_depth = 4
+        assert config.replace(queue_depth=16).queue_depth == 16
+        assert config.queue_depth == 8  # original untouched
+        with pytest.raises(ValueError):
+            config.replace(queue_depth=0)
+
+    def test_resolved_compute_slots(self):
+        assert ServeConfig(compute_slots=3).resolved_compute_slots() == 3
+        assert ServeConfig().resolved_compute_slots() >= 1
+
+    def test_picklable(self):
+        config = ServeConfig(max_sessions=4, portable_tokens=True)
+        assert pickle.loads(pickle.dumps(config)) == config
+
+    def test_server_mirrors_config(self):
+        media = _media_server(_clip())
+        config = ServeConfig(
+            queue_depth=4, max_sessions=2, accept_queue=1,
+            resume_window_s=5.0, portable_tokens=True, compute_slots=2,
+        )
+        server = AnnotationStreamServer(media, config=config)
+        assert server.config is config
+        assert server.queue_depth == 4
+        assert server.max_sessions == 2
+        assert server.accept_queue == 1
+        assert server.resume_window_s == 5.0
+        assert server.portable_tokens is True
+        assert server.compute_slots == 2
+
+
+class TestLegacyServeShim:
+    def test_loose_kwargs_warn_and_apply(self):
+        media = _media_server(_clip())
+        with pytest.warns(DeprecationWarning, match="ServeConfig"):
+            server = AnnotationStreamServer(media, queue_depth=4, max_sessions=2)
+        assert server.queue_depth == 4
+        assert server.max_sessions == 2
+        assert server.config.queue_depth == 4
+
+    def test_loose_kwargs_overlay_a_config(self):
+        media = _media_server(_clip())
+        base = ServeConfig(queue_depth=8, accept_queue=3)
+        with pytest.warns(DeprecationWarning):
+            server = AnnotationStreamServer(media, config=base, queue_depth=4)
+        assert server.queue_depth == 4       # legacy kwarg wins
+        assert server.accept_queue == 3      # rest of the config survives
+
+    def test_unknown_kwarg_raises_type_error(self):
+        media = _media_server(_clip())
+        with pytest.raises(TypeError, match="unknown serve parameter"):
+            AnnotationStreamServer(media, bogus_knob=1)
+
+    def test_invalid_legacy_value_still_raises_value_error(self):
+        media = _media_server(_clip())
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError):
+                AnnotationStreamServer(media, queue_depth=0)
+
+    def test_config_path_does_not_warn(self, recwarn):
+        media = _media_server(_clip())
+        AnnotationStreamServer(media, config=ServeConfig(queue_depth=4))
+        assert not [w for w in recwarn if w.category is DeprecationWarning]
+
+    def test_facade_serve_accepts_config_and_shims_legacy(self):
+        service = StreamingService(params=FAST_PARAMS)
+        service.add_clip(_clip())
+        server = service.serve(config=ServeConfig(max_sessions=3))
+        assert server.max_sessions == 3
+        with pytest.warns(DeprecationWarning):
+            legacy = service.serve(max_sessions=3)
+        assert legacy.max_sessions == 3
+
+
+class TestFetchOptions:
+    @pytest.mark.parametrize("kwargs", [
+        {"connect_timeout_s": 0.0},
+        {"read_timeout_s": 0.0},
+        {"max_retries": -1},
+        {"backoff_base_s": -0.1},
+        {"backoff_max_s": -0.1},
+        {"jitter_s": -0.1},
+    ])
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            FetchOptions(**kwargs)
+
+    def test_client_carries_options(self, device):
+        rng = random.Random(7)
+        options = FetchOptions(
+            connect_timeout_s=1.0, read_timeout_s=2.0, max_retries=2,
+            backoff_base_s=0.01, backoff_max_s=0.5, jitter_s=0.0,
+            rng=rng, resume=False,
+        )
+        client = options.client(device)
+        assert client.connect_timeout_s == 1.0
+        assert client.read_timeout_s == 2.0
+        assert client.max_retries == 2
+        assert client.resume is False
+
+    def test_replace(self):
+        options = FetchOptions(max_retries=1)
+        assert options.replace(max_retries=3).max_retries == 3
+        with pytest.raises(ValueError):
+            options.replace(max_retries=-1)
+
+    def test_fetch_family_round_trip_and_shim(self, device):
+        """One server round trip through every fetch spelling."""
+        clip = _clip(name="fetchfam")
+        media = _media_server(clip)
+        reference = _reference(media, clip.name)
+        service = StreamingService(params=FAST_PARAMS)
+        service.add_clip(clip)
+        options = FetchOptions(max_retries=1, jitter_s=0.0,
+                               rng=random.Random(0))
+
+        async def run():
+            async with AnnotationStreamServer(media) as server:
+                host, port = server.address
+                via_options = await service.fetch(
+                    host, port, clip.name, QUALITY, device, options=options
+                )
+                with pytest.warns(DeprecationWarning, match="FetchOptions"):
+                    via_legacy = await service.fetch(
+                        host, port, clip.name, QUALITY, device, max_retries=1
+                    )
+                return via_options, via_legacy
+
+        via_options, via_legacy = asyncio.run(run())
+        assert len(via_options.packets) == len(reference)
+        assert len(via_legacy.packets) == len(reference)
+
+    def test_unknown_fetch_kwarg_raises_type_error(self, device):
+        with pytest.raises(TypeError, match="unknown fetch parameter"):
+            fetch_stream_sync("127.0.0.1", 1, "clip", QUALITY, device,
+                              bogus_knob=1)
+
+
+class TestPortableTokens:
+    def test_round_trip(self):
+        token = encode_portable_token("someclip", 0.15, "ipaq5555")
+        info = decode_portable_token(token)
+        assert info is not None
+        assert info.clip_name == "someclip"
+        assert info.quality == 0.15
+        assert info.device_name == "ipaq5555"
+        request = info.to_request()
+        assert request.clip_name == "someclip"
+
+    def test_tokens_are_unique_per_issue(self):
+        a = encode_portable_token("c", 0.1, "d")
+        b = encode_portable_token("c", 0.1, "d")
+        assert a != b
+        assert decode_portable_token(a) == decode_portable_token(b)
+
+    @pytest.mark.parametrize("token", [
+        "deadbeef" * 4,                      # opaque random token
+        "p2.e30.abcd",                       # future version
+        "p1.!!!not-base64!!!.abcd",          # bad encoding
+        "p1.e30.abcd",                       # valid b64, missing keys
+        "p1.onlytwo",                        # wrong part count
+        "",
+    ])
+    def test_undecodable_tokens_return_none(self, token):
+        assert decode_portable_token(token) is None
+
+    def test_server_issues_portable_tokens_when_configured(self, device):
+        clip = _clip(name="portclip")
+        media = _media_server(clip)
+
+        async def run(config):
+            async with AnnotationStreamServer(media, config=config) as server:
+                reader, writer = await asyncio.open_connection(*server.address)
+                request = SessionRequest(
+                    clip.name, QUALITY, ClientCapabilities(device.name)
+                )
+                writer.write(encode_packet_bytes(encode_hello(request)))
+                await writer.drain()
+                first = await asyncio.wait_for(read_packet(reader), timeout=5.0)
+                writer.transport.abort()
+                return decode_control(first)
+
+        portable = asyncio.run(run(ServeConfig(portable_tokens=True)))
+        assert decode_portable_token(portable.token) is not None
+        opaque = asyncio.run(run(ServeConfig()))
+        assert decode_portable_token(opaque.token) is None
+
+    def test_foreign_server_adopts_token_byte_identically(self, device):
+        """The failover primitive: a replica that never saw the session
+        continues it from the portable token alone, byte-identically."""
+        clip = _clip(name="adoptclip", frames=30)
+        media_a = _media_server(clip)
+        media_b = _media_server(_clip(name="adoptclip", frames=30))
+        reference = _reference(media_a, clip.name)
+        config = ServeConfig(portable_tokens=True)
+        received = 7
+
+        async def drain_stream(reader):
+            packets = []
+            while True:
+                packet = await asyncio.wait_for(read_packet(reader), timeout=10.0)
+                if packet is None:
+                    break
+                message = None
+                if packet.ptype is PacketType.CONTROL:
+                    message = decode_control(packet)
+                    if message.kind == "end":
+                        break
+                    continue
+                packets.append(packet)
+            return packets
+
+        async def run():
+            async with AnnotationStreamServer(media_a, config=config) as a:
+                reader, writer = await asyncio.open_connection(*a.address)
+                request = SessionRequest(
+                    clip.name, QUALITY, ClientCapabilities(device.name)
+                )
+                writer.write(encode_packet_bytes(encode_hello(request)))
+                await writer.drain()
+                session_msg = decode_control(
+                    await asyncio.wait_for(read_packet(reader), timeout=5.0)
+                )
+                token = session_msg.token
+                head = []
+                while len(head) < received:
+                    packet = await asyncio.wait_for(
+                        read_packet(reader), timeout=10.0
+                    )
+                    if packet.ptype is not PacketType.CONTROL:
+                        head.append(packet)
+                writer.transport.abort()  # "shard death"
+            # Server A is gone; resume against a fresh process-equivalent.
+            async with AnnotationStreamServer(media_b, config=config) as b:
+                reader, writer = await asyncio.open_connection(*b.address)
+                writer.write(encode_packet_bytes(encode_resume(token, received)))
+                await writer.drain()
+                resumed = decode_control(
+                    await asyncio.wait_for(read_packet(reader), timeout=5.0)
+                )
+                assert resumed.kind == "session"
+                assert resumed.resumed_at == received
+                tail = await drain_stream(reader)
+                writer.close()
+                return head, tail
+
+        head, tail = asyncio.run(run())
+        got = head + tail
+        assert len(got) == len(reference)
+        for mine, ref in zip(got, reference):
+            assert mine.ptype is ref.ptype
+            assert mine.seq == ref.seq
+            if ref.ptype is PacketType.ANNOTATION:
+                assert mine.payload == ref.payload
+            elif ref.ptype is PacketType.FRAME:
+                assert np.array_equal(mine.frame.pixels, ref.frame.pixels)
+        adopted = registry().get("repro_net_adopted_sessions_total")
+        assert adopted is not None and adopted.value == 1
+
+    def test_adoption_disabled_without_portable_tokens(self, device):
+        """A portable token is not honored by a server that has portable
+        tokens switched off (no accidental cross-catalog adoption)."""
+        media = _media_server(_clip(name="noadopt"))
+        token = encode_portable_token("noadopt", QUALITY, device.name)
+
+        async def run():
+            async with AnnotationStreamServer(media) as server:
+                reader, writer = await asyncio.open_connection(*server.address)
+                writer.write(encode_packet_bytes(encode_resume(token, 0)))
+                await writer.drain()
+                message = decode_control(
+                    await asyncio.wait_for(read_packet(reader), timeout=5.0)
+                )
+                writer.close()
+                return message
+
+        message = asyncio.run(run())
+        assert message.kind == "error"
+        assert "resume token" in message.error

@@ -168,6 +168,36 @@ class TestStreamingService:
         assert fresh.catalog() == (tiny_clip.name,)
 
 
+class TestConfigObjectSurface:
+    """The redesigned config-object API is one definition, visible
+    from every public home (facade, top level, and repro.net)."""
+
+    @pytest.mark.parametrize("name", ["ServeConfig", "FetchOptions"])
+    def test_config_objects_are_single_definitions(self, name):
+        import repro.net as net
+
+        assert getattr(repro, name) is getattr(api, name)
+        assert getattr(api, name) is getattr(net, name)
+
+    @pytest.mark.parametrize("name", ["ServeConfig", "FetchOptions"])
+    def test_config_objects_are_curated_exports(self, name):
+        import repro.net as net
+
+        assert name in repro.__all__
+        assert name in api.__all__
+        assert name in net.__all__
+
+    def test_fleet_subpackage_reachable_from_top_level(self):
+        assert "fleet" in repro.__all__
+        assert repro.fleet.FleetCoordinator is not None
+
+    def test_fetch_options_importable_without_warning(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            _ = repro.ServeConfig(queue_depth=4)
+            _ = repro.FetchOptions(max_retries=1)
+
+
 class TestRetiredSpellings:
     """The pre-facade shims completed their deprecation cycle and are gone."""
 

@@ -21,6 +21,7 @@ PACKAGES = [
     "repro.baselines",
     "repro.telemetry",
     "repro.net",
+    "repro.fleet",
 ]
 
 
