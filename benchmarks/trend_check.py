@@ -39,6 +39,7 @@ QUALITY_KEYS = {
     "speedup_vs_perframe",
     "lut_speedup_vs_float",
     "savings",
+    "savings_vs_static",
     "frontier_size",
     "overhead_fraction",
     "recovered_session_rate",
@@ -78,6 +79,12 @@ COMPARATIVE_GATES = {
 ABSOLUTE_FLOORS = {
     "BENCH_fleet.json": [
         ("chaos/recovered_session_rate", 0.99),
+    ],
+    "BENCH_adaptation.json": [
+        # The battery-driven client must save at least 10% modeled
+        # backlight energy over the static session — the adaptation
+        # control plane's acceptance floor.
+        ("adaptive/savings_vs_static", 0.10),
     ],
 }
 #: Absolute band for LOWER_IS_BETTER fractions.  These hover around

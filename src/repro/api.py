@@ -280,6 +280,12 @@ class StreamingService:
     policy:
         Backlight policy used when annotating catalog content (``None``,
         a registered name, or an instance).
+    ambient:
+        Optional serve-time ambient spec: a preset name, numeric
+        illuminance, or a simulated light-sensor trace
+        (``"0:dark-room,30:office"``).  Sessions are then bound under
+        the trace's condition at each scene's start time instead of the
+        classic dark-room binding.
     """
 
     def __init__(
@@ -291,6 +297,7 @@ class StreamingService:
         engine: EngineSpec = None,
         profile_cache: Optional[ProfileCache] = None,
         policy: PolicySpec = None,
+        ambient=None,
     ):
         self.server = MediaServer(
             params=params,
@@ -300,6 +307,7 @@ class StreamingService:
             engine=_effective_engine(engine),
             profile_cache=profile_cache,
             policy=policy,
+            ambient=ambient,
         )
 
     # -- catalog -------------------------------------------------------

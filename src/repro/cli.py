@@ -330,6 +330,7 @@ def _serve_config(args: argparse.Namespace) -> ServeConfig:
         accept_queue=args.accept_queue,
         resume_window_s=args.resume_window,
         drain_timeout_s=args.drain_timeout,
+        ambient=args.ambient,
     )
 
 
@@ -351,7 +352,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
     if args.shards < 1:
         print("error: --shards must be >= 1", file=sys.stderr)
         return 2
-    config = _serve_config(args)
+    try:
+        config = _serve_config(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if args.shards > 1:
         return _serve_fleet(args, names, config)
     service = StreamingService(engine=args.engine, policy=args.policy)
@@ -558,10 +563,19 @@ def cmd_fetch(args: argparse.Namespace) -> int:
     from .streaming import MobileClient, NegotiationError
 
     try:
+        options = FetchOptions(
+            max_retries=args.retries,
+            battery_trace=args.battery_trace,
+            ambient_trace=args.ambient_trace,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
         with _maybe_profile(args.profile):
             fetched = fetch_stream_sync(
                 args.host, args.port, args.clip, args.quality, args.device,
-                options=FetchOptions(max_retries=args.retries),
+                options=options,
             )
     except (StreamFetchError, NegotiationError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -574,6 +588,17 @@ def cmd_fetch(args: argparse.Namespace) -> int:
           f"{quality_label(session.quality)} (session #{session.session_id}):")
     print(f"  fetched           : {len(fetched.packets)} packets, "
           f"{fetched.frame_count} frames, {fetched.attempts} attempt(s)")
+    for req in fetched.requalities:
+        if req.applied:
+            what = []
+            if req.quality is not None:
+                what.append(f"quality {quality_label(req.quality)}")
+            if req.ambient is not None:
+                what.append(f"ambient {req.ambient}")
+            print(f"  requality         : {' + '.join(what)} "
+                  f"applied at frame {req.frame}")
+        else:
+            print(f"  requality         : rejected ({req.error})")
     print(f"  total savings     : {result.total_savings:.1%}")
     print(f"  backlight switches: {result.switch_count}")
     return 0
@@ -736,6 +761,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--resume-window", type=float, default=60.0,
                    help="seconds a dropped session stays resumable "
                         "(0 disables resume tokens)")
+    p.add_argument("--ambient", default=None, metavar="SPEC",
+                   help="serve-time ambient: a preset name (office), an "
+                        "illuminance in lux, or a light-sensor trace "
+                        "('0:dark-room,30:office'); scenes are bound "
+                        "under the trace condition at their start time")
     p.add_argument("--shards", type=int, default=1,
                    help="run N worker server processes behind a "
                         "consistent-hash router (default: 1, no fleet)")
@@ -803,6 +833,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="requested quality level (0-1)")
     p.add_argument("--retries", type=int, default=4,
                    help="fetch retries after transient failures")
+    p.add_argument("--battery-trace", default=None, metavar="SPEC",
+                   help="battery load trace ('t:watts,...' or bare "
+                        "wattage); enables the battery-aware client, "
+                        "which steps down the quality ladder mid-stream "
+                        "as the modeled state of charge drops")
+    p.add_argument("--ambient-trace", default=None, metavar="SPEC",
+                   help="simulated light-sensor trace "
+                        "('0:dark-room,30:office' or a bare ambient); "
+                        "the client requests an ambient re-bind when "
+                        "the condition changes during playback")
     _add_profile_arg(p)
     p.set_defaults(fn=cmd_fetch)
 

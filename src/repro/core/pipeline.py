@@ -284,6 +284,21 @@ class AnnotatedStream:
         scene = int(np.searchsorted(self._scene_starts, index, side="right")) - 1
         return self._transforms[scene]
 
+    def next_scene_start(self, index: int) -> int:
+        """Smallest scene start ``>= index`` (``frame_count`` when none).
+
+        The scene partition comes from the profiling pass, so it is
+        identical across quality levels and ambient binds of the same
+        clip — mid-stream adaptation uses this to pick the switch
+        boundary where two bindings agree on scene extents.
+        """
+        if index <= 0:
+            return 0
+        pos = int(np.searchsorted(self._scene_starts, index, side="left"))
+        if pos >= len(self._scene_starts):
+            return self.frame_count
+        return int(self._scene_starts[pos])
+
     def _scene_runs(self, start: int, stop: int) -> Iterator[Tuple[int, int, "object"]]:
         """Split ``[start, stop)`` into per-scene (lo, hi, transform) runs."""
         for scene, transform in zip(self.track.scenes, self._transforms):
@@ -320,6 +335,7 @@ class AnnotatedStream:
         chunk_size: Optional[int] = None,
         lead: Optional[int] = None,
         reuse_output: bool = False,
+        start: int = 0,
     ) -> Iterator[CompensatedChunk]:
         """Yield the compensated stream as :class:`CompensatedChunk` batches.
 
@@ -329,7 +345,10 @@ class AnnotatedStream:
         clip's frame geometry, matching the profiling pass.  A positive
         ``lead`` shrinks only the first chunk so the opening frames are
         ready before the first full-size chunk finishes (streaming's
-        time-to-first-frame lever).  ``reuse_output=True`` compensates
+        time-to-first-frame lever).  A positive ``start`` begins emission
+        mid-clip — mid-stream adaptation re-binds a session at a scene
+        boundary and continues from there without recompensating the
+        prefix.  ``reuse_output=True`` compensates
         into a reused :class:`~repro.core.compensation.ChunkArena`
         buffer: each yielded chunk's pixels are overwritten by the next
         iteration, so the consumer must fully copy/encode a chunk before
@@ -350,7 +369,7 @@ class AnnotatedStream:
             labels={"policy": self.policy.name},
         )
         arena = ChunkArena() if reuse_output else None
-        for chunk in self.clip.iter_chunks(chunk_size, lead=lead):
+        for chunk in self.clip.iter_chunks(chunk_size, lead=lead, start=start):
             gains = self._gains[chunk.start : chunk.stop]
             with trace("pipeline.compensate"):
                 pixels, fractions = self._compensate_pixels(

@@ -22,7 +22,7 @@ condition ``B(l) >= W(Y_eff)``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, List
+from typing import TYPE_CHECKING, List, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -58,6 +58,128 @@ DIRECT_SUN = AmbientCondition("direct-sun", 3.0)
 
 #: All presets, dimmest first.
 AMBIENT_PRESETS = (DARK_ROOM, LIVING_ROOM, OFFICE, OUTDOOR_SHADE, DIRECT_SUN)
+
+#: Preset lookup by name (``parse_ambient`` accepts these or a number).
+AMBIENT_BY_NAME = {preset.name: preset for preset in AMBIENT_PRESETS}
+
+
+def parse_ambient(spec: Union[str, float, "AmbientCondition"]) -> AmbientCondition:
+    """Resolve an ambient spec to an :class:`AmbientCondition`.
+
+    Accepts a preset name (``"office"``), a numeric illuminance (string
+    or float, in normalized units), or an existing condition (returned
+    as-is).  This is the parse behind every CLI/config ambient knob.
+    """
+    if isinstance(spec, AmbientCondition):
+        return spec
+    if isinstance(spec, (int, float)) and not isinstance(spec, bool):
+        return AmbientCondition(f"ambient-{float(spec):g}", float(spec))
+    name = str(spec).strip().lower()
+    if name in AMBIENT_BY_NAME:
+        return AMBIENT_BY_NAME[name]
+    try:
+        value = float(name)
+    except ValueError:
+        known = ", ".join(sorted(AMBIENT_BY_NAME))
+        raise ValueError(
+            f"unknown ambient {spec!r}: expected one of [{known}] "
+            f"or a numeric illuminance"
+        ) from None
+    return AmbientCondition(f"ambient-{value:g}", value)
+
+
+@dataclass(frozen=True)
+class AmbientTrace:
+    """A simulated light-sensor trace: ambient conditions over time.
+
+    ``steps`` is a sorted tuple of ``(time_s, condition)`` pairs; the
+    condition at time ``t`` is the last step at or before ``t`` (step
+    function, held forever after the final step).  Serve-time per-scene
+    ambient binding looks the trace up at each scene's start time.
+    """
+
+    steps: Tuple[Tuple[float, AmbientCondition], ...]
+
+    def __post_init__(self):
+        if not self.steps:
+            raise ValueError("an ambient trace needs at least one step")
+        times = [t for t, _ in self.steps]
+        if times[0] < 0:
+            raise ValueError("trace times must be non-negative")
+        if any(b <= a for a, b in zip(times, times[1:])):
+            raise ValueError("trace times must be strictly increasing")
+
+    @classmethod
+    def constant(cls, ambient: Union[str, float, AmbientCondition]) -> "AmbientTrace":
+        """A trace that holds one condition for the whole session."""
+        return cls(steps=((0.0, parse_ambient(ambient)),))
+
+    @classmethod
+    def parse(cls, spec: str) -> "AmbientTrace":
+        """Parse ``"t:ambient,t:ambient,..."`` (or a bare ambient spec).
+
+        Each ``ambient`` is a preset name or numeric illuminance; times
+        are seconds.  ``"office"`` alone means a constant trace.
+        """
+        text = str(spec).strip()
+        if not text:
+            raise ValueError("empty ambient trace spec")
+        if ":" not in text:
+            return cls.constant(text)
+        steps = []
+        for part in text.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            time_text, _, ambient_text = part.partition(":")
+            try:
+                t = float(time_text)
+            except ValueError:
+                raise ValueError(
+                    f"bad trace step {part!r}: time must be numeric"
+                ) from None
+            steps.append((t, parse_ambient(ambient_text)))
+        if not steps:
+            raise ValueError(f"no steps in ambient trace spec {spec!r}")
+        steps.sort(key=lambda step: step[0])
+        if steps[0][0] > 0:
+            # Hold the first condition from t=0 so every lookup resolves.
+            steps.insert(0, (0.0, steps[0][1]))
+            if steps[1][0] == 0.0:
+                steps.pop(0)
+        return cls(steps=tuple(steps))
+
+    def condition_at(self, time_s: float) -> AmbientCondition:
+        """The ambient condition in effect at ``time_s``."""
+        if time_s < 0:
+            raise ValueError(f"time must be non-negative, got {time_s}")
+        current = self.steps[0][1]
+        for t, condition in self.steps:
+            if t > time_s:
+                break
+            current = condition
+        return current
+
+    def conditions(self) -> Sequence[AmbientCondition]:
+        """Every condition in step order (for display/debug)."""
+        return tuple(condition for _, condition in self.steps)
+
+
+def as_ambient_trace(spec) -> "AmbientTrace":
+    """Normalize any ambient spec to an :class:`AmbientTrace`.
+
+    Accepts an existing trace (returned as-is), an
+    :class:`AmbientCondition` or numeric illuminance (constant trace),
+    or a string — either a bare ambient spec or a full
+    ``"t:ambient,..."`` trace spec.
+    """
+    if isinstance(spec, AmbientTrace):
+        return spec
+    if isinstance(spec, AmbientCondition):
+        return AmbientTrace.constant(spec)
+    if isinstance(spec, (int, float)) and not isinstance(spec, bool):
+        return AmbientTrace.constant(float(spec))
+    return AmbientTrace.parse(str(spec))
 
 
 def ambient_level_for_scene(
@@ -114,6 +236,51 @@ def bind_with_ambient(
 
     scenes: List[DeviceSceneAnnotation] = []
     for scene in track.scenes:
+        level = ambient_level_for_scene(device, scene.effective_max_luminance, ambient)
+        gain = ambient_compensation_gain(device, level, ambient) if (
+            level > 0 or ambient.illuminance > 0
+        ) else 1.0
+        scenes.append(
+            DeviceSceneAnnotation(
+                start=scene.start,
+                end=scene.end,
+                backlight_level=level,
+                compensation_gain=gain,
+            )
+        )
+    return DeviceAnnotationTrack(
+        clip_name=track.clip_name,
+        device_name=device.name,
+        frame_count=track.frame_count,
+        fps=track.fps,
+        quality=track.quality,
+        scenes=scenes,
+    )
+
+
+def bind_with_ambient_trace(
+    track: "AnnotationTrack",
+    device: DeviceProfile,
+    trace: AmbientTrace,
+    fps: float = 0.0,
+) -> "DeviceAnnotationTrack":
+    """Bind a track with a *per-scene* ambient lookup from a sensor trace.
+
+    This is the serve-time form of :func:`bind_with_ambient`: instead of
+    one ambient for the whole clip, each scene is bound under the trace's
+    condition at the scene's start time (``scene.start / fps`` seconds).
+    A constant trace is bit-identical to :func:`bind_with_ambient` with
+    that condition — the per-scene loop runs the exact same level/gain
+    computations in the same order (pinned by hypothesis tests).
+    """
+    from ..core.annotation import DeviceAnnotationTrack, DeviceSceneAnnotation
+
+    rate = float(fps) if fps else float(track.fps)
+    if rate <= 0:
+        raise ValueError(f"fps must be positive to time the trace, got {rate}")
+    scenes: List[DeviceSceneAnnotation] = []
+    for scene in track.scenes:
+        ambient = trace.condition_at(scene.start / rate)
         level = ambient_level_for_scene(device, scene.effective_max_luminance, ambient)
         gain = ambient_compensation_gain(device, level, ambient) if (
             level > 0 or ambient.illuminance > 0

@@ -9,9 +9,10 @@ stream on an actual socket:
   with a fixed 32-byte header (the same ``PACKET_HEADER_BYTES`` the
   network model charges), CRC32 integrity, zero-copy frame payloads.
 * :mod:`repro.net.messages` — the control-packet vocabulary (hello /
-  resume / session / end / busy / health / status / stats / statsdump /
-  error) used for session negotiation, load shedding, health probing
-  and live stats scraping on the wire; hello/resume carry distributed-
+  resume / requality / session / end / busy / health / status /
+  stats / statsdump / error) used for session negotiation, mid-stream
+  adaptation, load shedding, health probing and live stats scraping on
+  the wire; hello/resume carry distributed-
   trace ids so server spans link under the client's fetch trace.  Also
   the *portable* resume-token format that lets any server over the same
   deterministic catalog adopt another server's session (fleet failover).
@@ -25,7 +26,9 @@ stream on an actual socket:
   drain and clean cancellation.
 * :mod:`repro.net.client` — :class:`AsyncMobileClient`: timeouts,
   exponential retry with jitter, protocol-error recovery,
-  reconnect-with-resume and an optional :class:`CircuitBreaker`.
+  reconnect-with-resume and an optional :class:`CircuitBreaker`; plus
+  :class:`BatteryClient`, which issues mid-stream ``requality`` steps
+  as its modeled battery drains and its simulated light sensor changes.
 * :mod:`repro.net.fault` — :class:`LossyTransport`: a deterministic
   fault-injecting TCP relay (delay / drop / truncate / corrupt /
   connection-kill / stall), parameterized from the
@@ -47,11 +50,13 @@ from .codec import (
 )
 from .config import FetchOptions, ServeConfig
 from .messages import (
+    MESSAGE_KINDS,
     BusyInfo,
     ControlMessage,
     EndInfo,
     HelloInfo,
     PortableTokenInfo,
+    RequalityInfo,
     ResumeInfo,
     StatsRequest,
     StatusInfo,
@@ -63,6 +68,8 @@ from .messages import (
     encode_error,
     encode_health,
     encode_hello,
+    encode_requality,
+    encode_requality_ack,
     encode_resume,
     encode_session,
     encode_stats_request,
@@ -78,6 +85,7 @@ from .server import (
 )
 from .client import (
     AsyncMobileClient,
+    BatteryClient,
     CircuitBreaker,
     CircuitOpenError,
     FetchResult,
@@ -102,9 +110,11 @@ __all__ = [
     "wire_size",
     "ServeConfig",
     "FetchOptions",
+    "MESSAGE_KINDS",
     "ControlMessage",
     "HelloInfo",
     "ResumeInfo",
+    "RequalityInfo",
     "EndInfo",
     "BusyInfo",
     "StatusInfo",
@@ -114,6 +124,8 @@ __all__ = [
     "encode_portable_token",
     "decode_control",
     "encode_hello",
+    "encode_requality",
+    "encode_requality_ack",
     "encode_resume",
     "encode_session",
     "encode_end",
@@ -130,6 +142,7 @@ __all__ = [
     "STATE_DRAINING",
     "STATE_STOPPED",
     "AsyncMobileClient",
+    "BatteryClient",
     "CircuitBreaker",
     "CircuitOpenError",
     "ServerBusyError",

@@ -38,9 +38,12 @@ import random
 import time
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Sequence, Tuple, Union
 
+from ..core.policy import QUALITY_LEVELS
+from ..display.ambient import AMBIENT_BY_NAME, DARK_ROOM, as_ambient_trace
 from ..display.devices import DeviceProfile
+from ..power.battery import Battery, LoadTrace
 from ..player.playback import PlaybackResult
 from ..streaming.client import MobileClient, StreamProtocolError
 from ..streaming.packets import MediaPacket, PacketType
@@ -53,10 +56,12 @@ from ..telemetry import (
 )
 from .codec import WireFormatError, encode_packet_bytes, read_packet
 from .messages import (
+    RequalityInfo,
     StatusInfo,
     decode_control,
     encode_health,
     encode_hello,
+    encode_requality,
     encode_resume,
     encode_stats_request,
     raise_for_error,
@@ -228,6 +233,9 @@ class FetchResult:
     the per-session :class:`LatencyStats` (``None`` with telemetry
     disabled) and ``trace_id`` the distributed trace the fetch's spans
     were recorded under (``None`` with telemetry disabled).
+    ``requalities`` holds the mid-stream ``requality`` acknowledgements
+    in arrival order — each applied entry marks the frame a re-bound
+    annotation (present in ``packets``) took effect at.
     """
 
     session: SessionDescription
@@ -236,6 +244,7 @@ class FetchResult:
     resumes: int = 0
     latency: Optional[LatencyStats] = None
     trace_id: Optional[str] = None
+    requalities: Tuple[RequalityInfo, ...] = ()
 
     @property
     def frame_count(self) -> int:
@@ -255,6 +264,10 @@ class _FetchProgress:
     started_s: float = 0.0
     frame_arrivals: List[float] = field(default_factory=list)
     decode_s: float = 0.0
+    requalities: List[RequalityInfo] = field(default_factory=list)
+    # Scratch for adaptive clients (_advise): last requested quality /
+    # ambient, thresholds crossed.  Survives a resume, like packets.
+    adapt: dict = field(default_factory=dict)
 
     @property
     def resumable(self) -> bool:
@@ -273,6 +286,8 @@ class _FetchProgress:
         self.packets = []
         self.frames_seen = 0
         self.frame_arrivals = []
+        self.requalities = []
+        self.adapt = {}
 
 
 class _ResumeRejected(Exception):
@@ -380,6 +395,10 @@ class AsyncMobileClient:
             help="Frames that arrived after their playout deadline "
                  "(playback anchored at first-frame arrival, 1/fps spacing).",
         )
+        self._requality_counter = reg.counter(
+            "repro_net_client_requalities_total",
+            help="Mid-stream requality requests sent to servers.",
+        )
 
     # ------------------------------------------------------------------
     def backoff_s(self, attempt: int) -> float:
@@ -486,20 +505,24 @@ class AsyncMobileClient:
                 if packet is None:
                     raise WireFormatError("server closed before end-of-stream")
                 if packet.ptype is PacketType.CONTROL:
-                    end = raise_for_error(decode_control(packet))
-                    if end.kind != "end":
+                    message = raise_for_error(decode_control(packet))
+                    if message.kind == "requality":
+                        self._handle_requality_ack(message.requality, progress)
+                        continue  # control traffic: not a data record
+                    if message.kind != "end":
                         raise WireFormatError(
-                            f"unexpected control message {end.kind!r} mid-stream"
+                            f"unexpected control message {message.kind!r} "
+                            f"mid-stream"
                         )
-                    if len(packets) != end.end.packet_count:
+                    if len(packets) != message.end.packet_count:
                         raise WireFormatError(
                             f"stream carried {len(packets)} records, server "
-                            f"emitted {end.end.packet_count}"
+                            f"emitted {message.end.packet_count}"
                         )
-                    if progress.frames_seen != end.end.frame_count:
+                    if progress.frames_seen != message.end.frame_count:
                         raise WireFormatError(
                             f"stream carried {progress.frames_seen} frames, "
-                            f"server emitted {end.end.frame_count}"
+                            f"server emitted {message.end.frame_count}"
                         )
                     break
                 if packet.ptype is PacketType.FRAME:
@@ -510,18 +533,75 @@ class AsyncMobileClient:
                         )
                     progress.frames_seen += 1
                     progress.frame_arrivals.append(perf_counter())
-                elif progress.frames_seen:
-                    raise WireFormatError("annotation record arrived after frames")
+                # An annotation record after frames is a mid-stream
+                # re-bind marker (requality): the full replacement track
+                # for the frames that follow.  Kept in ``packets`` —
+                # playback overlays it from its arrival position.
                 packets.append(packet)
+                advice = self._advise(progress)
+                if advice is not None:
+                    quality_req, ambient_req = advice
+                    writer.write(encode_packet_bytes(
+                        encode_requality(
+                            quality=quality_req, ambient=ambient_req
+                        )
+                    ))
+                    await writer.drain()
+                    self._requality_counter.inc()
+                    record_event(
+                        "client_requality_request",
+                        quality=quality_req, ambient=ambient_req,
+                        frame=progress.frames_seen,
+                    )
             return FetchResult(
                 session=progress.session,
                 packets=packets,
                 attempts=1,
                 resumes=progress.resumes,
+                requalities=tuple(progress.requalities),
             )
         finally:
             progress.decode_s += timings["decode_s"]
             await self._close_writer(writer)
+
+    def _handle_requality_ack(
+        self, info: Optional[RequalityInfo], progress: _FetchProgress
+    ) -> None:
+        """Fold a mid-stream ``requality`` acknowledgement into progress.
+
+        An applied ack updates the resume token (the server re-issues
+        portable tokens embedding the switch plan) and the adaptive
+        state's authoritative quality/ambient; a rejected ack (no scene
+        boundary left) is recorded but changes nothing.
+        """
+        if info is None or info.is_request:
+            raise WireFormatError("malformed requality message from server")
+        progress.requalities.append(info)
+        if info.applied:
+            if info.token is not None and self.resume:
+                progress.token = info.token
+            if info.quality is not None:
+                progress.adapt["quality"] = info.quality
+            if info.ambient is not None:
+                progress.adapt["ambient"] = info.ambient
+        record_event(
+            "client_requality_ack", applied=bool(info.applied),
+            frame=info.frame, quality=info.quality, ambient=info.ambient,
+        )
+
+    def _advise(
+        self, progress: _FetchProgress
+    ) -> Optional[Tuple[Optional[float], Optional[str]]]:
+        """Adaptation hook, called once per received data record.
+
+        Subclasses (see :class:`BatteryClient`) return
+        ``(quality, ambient)`` — either may be ``None`` — to send a
+        mid-stream ``requality`` request; the base client never adapts.
+        Decisions must be driven by *modeled* playback time
+        (``frames_seen / fps``), not wall clock, so adaptive fetches
+        stay deterministic.
+        """
+        return None
 
     @staticmethod
     async def _close_writer(writer: asyncio.StreamWriter) -> None:
@@ -592,6 +672,7 @@ class AsyncMobileClient:
                         latency=latency,
                         trace_id=(None if fetch_span is None
                                   else fetch_span.trace_id),
+                        requalities=result.requalities,
                     )
                 except NegotiationError:
                     raise  # authoritative rejection; retrying cannot help
@@ -658,6 +739,142 @@ class AsyncMobileClient:
         return await loop.run_in_executor(
             None, lambda: self.play(fetched, **playback_kwargs)
         )
+
+
+class BatteryClient(AsyncMobileClient):
+    """A fetch client that adapts mid-stream to battery and ambient state.
+
+    The degradation loop of the adaptation control plane: during a fetch
+    the client tracks a modeled battery (a :class:`~repro.power.battery.
+    LoadTrace` drained against a :class:`~repro.power.battery.Battery`)
+    and a simulated light sensor (an ambient trace).  Both are driven by
+    *modeled* playback time — ``frames_seen / fps`` — so an adaptive
+    fetch is deterministic regardless of wire speed.
+
+    * Each time the state of charge falls through a ``soc_thresholds``
+      entry, the client requests the next step down the quality ladder
+      (a higher clip fraction — more aggressive backlight reduction,
+      hence longer runtime; see :data:`repro.core.policy.QUALITY_LEVELS`).
+    * Each time the ambient trace's condition changes, the client
+      requests a re-bind under the new condition (bright surroundings
+      contribute reflected luminance, so the same scenes need less
+      backlight).
+
+    Requests ride the live connection as ``requality`` control messages
+    and take effect at the server's next scene boundary; the applied
+    acknowledgement updates the resume token so drops keep their
+    byte-identical replay guarantee.
+
+    Parameters
+    ----------
+    device:
+        The handheld's profile, as for :class:`AsyncMobileClient`.
+    battery_trace:
+        Load spec draining the battery: a :class:`LoadTrace`, a
+        ``"t:watts,..."`` spec string, or a bare wattage.  ``None``
+        disables battery-driven quality steps.
+    ambient_trace:
+        Simulated light-sensor spec (anything
+        :func:`repro.display.as_ambient_trace` accepts).  ``None``
+        disables ambient re-binds.
+    battery:
+        The pack model; default :class:`~repro.power.battery.Battery`.
+    soc_thresholds:
+        State-of-charge levels (fractions) that each trigger one quality
+        step down, highest first.
+    quality_ladder:
+        The clip-fraction ladder to step along, ascending; defaults to
+        the paper's five levels.
+    **kwargs:
+        Everything :class:`AsyncMobileClient` accepts.
+    """
+
+    def __init__(
+        self,
+        device: DeviceProfile,
+        battery_trace: Optional[Union[str, float, LoadTrace]] = None,
+        ambient_trace=None,
+        battery: Optional[Battery] = None,
+        soc_thresholds: Sequence[float] = (0.5, 0.3, 0.15, 0.05),
+        quality_ladder: Sequence[float] = QUALITY_LEVELS,
+        **kwargs,
+    ):
+        super().__init__(device, **kwargs)
+        if battery_trace is None:
+            self.load_trace: Optional[LoadTrace] = None
+        elif isinstance(battery_trace, LoadTrace):
+            self.load_trace = battery_trace
+        elif isinstance(battery_trace, (int, float)):
+            self.load_trace = LoadTrace.constant(float(battery_trace))
+        else:
+            self.load_trace = LoadTrace.parse(str(battery_trace))
+        self.ambient_trace = (
+            None if ambient_trace is None else as_ambient_trace(ambient_trace)
+        )
+        self.battery = battery if battery is not None else Battery()
+        thresholds = tuple(sorted((float(t) for t in soc_thresholds),
+                                  reverse=True))
+        if any(not 0.0 < t < 1.0 for t in thresholds):
+            raise ValueError("soc_thresholds must lie strictly in (0, 1)")
+        self.soc_thresholds = thresholds
+        ladder = tuple(sorted(float(q) for q in quality_ladder))
+        if not ladder:
+            raise ValueError("quality_ladder must not be empty")
+        self.quality_ladder = ladder
+
+    def state_of_charge(self, time_s: float) -> float:
+        """Modeled state of charge after ``time_s`` of playback."""
+        if self.load_trace is None:
+            return 1.0
+        used = self.load_trace.energy_wh(time_s)
+        usable = self.battery.usable_energy_wh(
+            self.load_trace.power_at(time_s)
+        )
+        return max(0.0, 1.0 - used / usable)
+
+    def _advise(
+        self, progress: _FetchProgress
+    ) -> Optional[Tuple[Optional[float], Optional[str]]]:
+        """Step the quality/ambient state machine for one frame tick."""
+        session = progress.session
+        if session is None or session.fps <= 0:
+            return None
+        state = progress.adapt
+        if "quality" not in state:
+            state["quality"] = session.quality
+            # The server's opening binding assumed a dark room (unless
+            # its own serve-time trace says otherwise — the client can
+            # only model its local sensor).
+            state["ambient"] = DARK_ROOM.name
+            state["crossed"] = 0
+        t = progress.frames_seen / session.fps
+        quality_req: Optional[float] = None
+        if self.load_trace is not None:
+            soc = self.state_of_charge(t)
+            crossings = sum(1 for th in self.soc_thresholds if soc <= th)
+            if crossings > state["crossed"]:
+                state["crossed"] = crossings
+                ladder = self.quality_ladder
+                start = 0
+                for idx, q in enumerate(ladder):
+                    if q <= session.quality + 1e-9:
+                        start = idx
+                target = ladder[min(start + crossings, len(ladder) - 1)]
+                if target > float(state["quality"]) + 1e-9:
+                    state["quality"] = target
+                    quality_req = target
+        ambient_req: Optional[str] = None
+        if self.ambient_trace is not None:
+            cond = self.ambient_trace.condition_at(t)
+            if cond.name != state["ambient"]:
+                state["ambient"] = cond.name
+                ambient_req = (
+                    cond.name if cond.name in AMBIENT_BY_NAME
+                    else f"{cond.illuminance:g}"
+                )
+        if quality_req is None and ambient_req is None:
+            return None
+        return quality_req, ambient_req
 
 
 async def fetch_status(

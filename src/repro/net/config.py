@@ -93,6 +93,14 @@ class ServeConfig:
         How many producer threads may run their CPU-bound stage at
         once, across all sessions.  ``None`` defaults to the host's
         core count at server construction.  Must be >= 1 when set.
+    ambient:
+        Optional serve-time ambient spec: a preset name
+        (``"office"``), numeric illuminance, or a simulated
+        light-sensor trace (``"0:dark-room,30:office"``).  Every
+        session's scenes are then bound under the trace's condition at
+        the scene's start time (see
+        :func:`repro.display.bind_with_ambient_trace`).  ``None``
+        (default) keeps the classic dark-room binding.
 
     Raises
     ------
@@ -112,10 +120,18 @@ class ServeConfig:
     batch_records: int = 32
     batch_bytes: int = 1 << 20
     compute_slots: Optional[int] = None
+    ambient: Optional[str] = None
 
     def __post_init__(self):
         if self.queue_depth < 1:
             raise ValueError("queue_depth must be >= 1")
+        if self.ambient is not None:
+            # Validate eagerly: a bad spec should fail at config build,
+            # not on the first session.  Imported lazily to keep this
+            # module import-light for worker pickling.
+            from ..display.ambient import as_ambient_trace
+
+            as_ambient_trace(self.ambient)
         if self.batch_records < 1:
             raise ValueError("batch_records must be >= 1")
         if self.batch_bytes < 1:
@@ -179,6 +195,17 @@ class FetchOptions:
     circuit_breaker:
         Optional :class:`~repro.net.client.CircuitBreaker` shared across
         fetches; ``None`` disables fail-fast behavior.
+    battery_trace:
+        Optional battery load spec (``"t:watts,..."`` or a bare wattage,
+        a :class:`repro.power.LoadTrace` spec).  Enables the
+        battery-aware client (:class:`~repro.net.client.BatteryClient`):
+        as the modeled state of charge crosses its thresholds the client
+        issues mid-stream ``requality`` steps down the quality ladder.
+    ambient_trace:
+        Optional simulated light-sensor spec
+        (``"0:dark-room,30:office"`` or a bare ambient).  The battery
+        client requests an ambient re-bind whenever the trace's
+        condition changes during playback.
 
     Raises
     ------
@@ -195,6 +222,8 @@ class FetchOptions:
     rng: Optional[random.Random] = None
     resume: bool = True
     circuit_breaker: Optional["CircuitBreaker"] = None
+    battery_trace: Optional[str] = None
+    ambient_trace: Optional[str] = None
 
     def __post_init__(self):
         if self.connect_timeout_s <= 0 or self.read_timeout_s <= 0:
@@ -204,6 +233,14 @@ class FetchOptions:
         if (self.backoff_base_s < 0 or self.backoff_max_s < 0
                 or self.jitter_s < 0):
             raise ValueError("backoff parameters must be non-negative")
+        if self.battery_trace is not None:
+            from ..power.battery import LoadTrace
+
+            LoadTrace.parse(self.battery_trace)
+        if self.ambient_trace is not None:
+            from ..display.ambient import as_ambient_trace
+
+            as_ambient_trace(self.ambient_trace)
 
     def replace(self, **changes) -> "FetchOptions":
         """A copy with ``changes`` applied (re-validated)."""
@@ -211,11 +248,16 @@ class FetchOptions:
 
     def client(self, device: "DeviceProfile") -> "AsyncMobileClient":
         """Build an :class:`~repro.net.client.AsyncMobileClient` for
-        ``device`` configured with these options."""
-        from .client import AsyncMobileClient
+        ``device`` configured with these options.
 
-        return AsyncMobileClient(
-            device,
+        With ``battery_trace`` and/or ``ambient_trace`` set, the client
+        is a :class:`~repro.net.client.BatteryClient` that issues
+        mid-stream ``requality`` requests as its modeled battery drains
+        and its simulated light sensor changes.
+        """
+        from .client import AsyncMobileClient, BatteryClient
+
+        kwargs = dict(
             connect_timeout_s=self.connect_timeout_s,
             read_timeout_s=self.read_timeout_s,
             max_retries=self.max_retries,
@@ -226,3 +268,11 @@ class FetchOptions:
             resume=self.resume,
             circuit_breaker=self.circuit_breaker,
         )
+        if self.battery_trace is not None or self.ambient_trace is not None:
+            return BatteryClient(
+                device,
+                battery_trace=self.battery_trace,
+                ambient_trace=self.ambient_trace,
+                **kwargs,
+            )
+        return AsyncMobileClient(device, **kwargs)

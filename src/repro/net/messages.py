@@ -10,6 +10,13 @@ travel as CONTROL packets whose body is a compact JSON object with a
 * ``resume``  — client → server: a resume token plus how many data
   records the client already holds; the server continues the stream
   from that offset instead of starting over.
+* ``requality`` — bidirectional mid-stream adaptation.  Client →
+  server: switch the live session to a different quality and/or
+  ambient bind (at least one of the two), applied at the next scene
+  boundary without tearing the connection down.  Server → client: the
+  in-stream acknowledgement (``applied``, the boundary ``frame``, the
+  effective quality/ambient, a re-issued resume ``token``) or a
+  rejection (``error``).
 * ``session`` — server → client: the accepted session description,
   plus a resume token and (on resume) the offset being continued from.
 * ``end``     — server → client: stream complete; carries the emitted
@@ -46,7 +53,7 @@ import binascii
 import json
 import secrets
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence, Tuple
 
 from ..streaming.packets import MediaPacket, PacketType, control_packet
 from ..streaming.session import (
@@ -56,6 +63,24 @@ from ..streaming.session import (
     SessionRequest,
 )
 from .codec import WireFormatError
+
+#: Every control-message kind the wire speaks, in protocol order.  The
+#: doc–code sync gate (`tests/test_docs.py`) asserts this tuple and the
+#: control-plane table in ``docs/protocol.md`` list exactly the same
+#: kinds, so the spec cannot silently drift from the implementation.
+MESSAGE_KINDS = (
+    "hello",
+    "resume",
+    "requality",
+    "session",
+    "end",
+    "busy",
+    "health",
+    "status",
+    "stats",
+    "statsdump",
+    "error",
+)
 
 
 @dataclass(frozen=True)
@@ -97,6 +122,33 @@ class ResumeInfo:
     received_packets: int
     trace_id: Optional[str] = None
     parent_span_id: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class RequalityInfo:
+    """Decoded ``requality`` message (request or acknowledgement).
+
+    A *request* (client → server) leaves ``applied`` as ``None`` and
+    carries the desired ``quality`` and/or ``ambient`` spec (at least
+    one).  An *acknowledgement* (server → client, emitted in-stream at
+    the switch boundary) sets ``applied``; ``frame`` is the scene-start
+    frame the new binding takes effect at, ``quality``/``ambient`` are
+    the effective post-switch values, ``token`` is the re-issued resume
+    token whose embedded switch plan lets any same-catalog shard replay
+    the adapted stream, and ``error`` explains a rejection.
+    """
+
+    quality: Optional[float] = None
+    ambient: Optional[str] = None
+    applied: Optional[bool] = None
+    frame: Optional[int] = None
+    token: Optional[str] = None
+    error: Optional[str] = None
+
+    @property
+    def is_request(self) -> bool:
+        """True for a client-side request, False for a server ack."""
+        return self.applied is None
 
 
 @dataclass(frozen=True)
@@ -167,6 +219,7 @@ class ControlMessage:
     end: Optional[EndInfo] = None
     error: Optional[str] = None
     resume: Optional[ResumeInfo] = None
+    requality: Optional[RequalityInfo] = None
     busy: Optional[BusyInfo] = None
     status: Optional[StatusInfo] = None
     stats: Optional[StatsRequest] = None
@@ -229,6 +282,64 @@ def encode_resume(
         body["trace"] = trace_id
     if parent_span_id is not None:
         body["span"] = parent_span_id
+    return control_packet(seq, _dump(body))
+
+
+def encode_requality(
+    quality: Optional[float] = None,
+    ambient: Optional[str] = None,
+    seq: int = 0,
+) -> MediaPacket:
+    """Build the client's mid-stream adaptation request.
+
+    At least one of ``quality`` (a new target level in [0, 1]) and
+    ``ambient`` (a preset name or numeric illuminance spec) must be
+    given; the server re-binds the live session at the next scene
+    boundary and acknowledges in-stream.
+    """
+    if quality is None and ambient is None:
+        raise ValueError("requality needs a quality and/or an ambient")
+    body: dict = {"kind": "requality"}
+    if quality is not None:
+        if not 0.0 <= quality <= 1.0:
+            raise ValueError(f"quality must be in [0, 1], got {quality}")
+        body["quality"] = float(quality)
+    if ambient is not None:
+        body["ambient"] = str(ambient)
+    return control_packet(seq, _dump(body))
+
+
+def encode_requality_ack(
+    applied: bool,
+    frame: int,
+    quality: Optional[float] = None,
+    ambient: Optional[str] = None,
+    token: Optional[str] = None,
+    error: Optional[str] = None,
+    seq: int = 0,
+) -> MediaPacket:
+    """Build the server's in-stream answer to a ``requality`` request.
+
+    ``frame`` is the scene boundary the switch takes effect at (or the
+    current position for a rejection); ``token`` re-issues the resume
+    token with the applied switch embedded so failover replays the
+    adapted stream.
+    """
+    if frame < 0:
+        raise ValueError("frame must be non-negative")
+    body: dict = {
+        "kind": "requality",
+        "applied": bool(applied),
+        "frame": int(frame),
+    }
+    if quality is not None:
+        body["quality"] = float(quality)
+    if ambient is not None:
+        body["ambient"] = str(ambient)
+    if token is not None:
+        body["token"] = token
+    if error is not None:
+        body["error"] = str(error)
     return control_packet(seq, _dump(body))
 
 
@@ -385,6 +496,34 @@ def decode_control(packet: MediaPacket) -> ControlMessage:
                 trace_id=None if trace_id is None else str(trace_id),
                 parent_span_id=None if span_id is None else str(span_id),
             ))
+        if kind == "requality":
+            quality = obj.get("quality")
+            if quality is not None:
+                quality = float(quality)
+                if not 0.0 <= quality <= 1.0:
+                    raise WireFormatError(
+                        f"requality quality out of range: {quality}"
+                    )
+            ambient = obj.get("ambient")
+            applied = obj.get("applied")
+            frame = obj.get("frame")
+            if applied is None:
+                if quality is None and ambient is None:
+                    raise WireFormatError(
+                        "requality request without a quality or ambient"
+                    )
+            elif frame is None or int(frame) < 0:
+                raise WireFormatError("requality ack without a valid frame")
+            token = obj.get("token")
+            error = obj.get("error")
+            return ControlMessage(kind=kind, requality=RequalityInfo(
+                quality=quality,
+                ambient=None if ambient is None else str(ambient),
+                applied=None if applied is None else bool(applied),
+                frame=None if frame is None else int(frame),
+                token=None if token is None else str(token),
+                error=None if error is None else str(error),
+            ))
         if kind == "session":
             resumed_at = int(obj.get("resumed_at", 0))
             token = obj.get("token")
@@ -484,6 +623,12 @@ class PortableTokenInfo:
     clip_name: str
     quality: float
     device_name: str
+    #: Applied mid-stream switches, oldest first: ``(frame, quality,
+    #: ambient_spec_or_None)``.  ``quality`` above stays the *opening*
+    #: quality (so the head annotation replays identically); a replica
+    #: adopting the token replays each switch at exactly its recorded
+    #: frame, reproducing the adapted stream byte for byte.
+    switches: Tuple[Tuple[int, float, Optional[str]], ...] = ()
 
     def to_request(self) -> SessionRequest:
         """Rebuild the session request the token was issued for."""
@@ -495,7 +640,8 @@ class PortableTokenInfo:
 
 
 def encode_portable_token(
-    clip_name: str, quality: float, device_name: str
+    clip_name: str, quality: float, device_name: str,
+    switches: Sequence[Tuple[int, float, Optional[str]]] = (),
 ) -> str:
     """Issue a fresh portable resume token for one session.
 
@@ -504,13 +650,21 @@ def encode_portable_token(
     catalog (see :class:`PortableTokenInfo`), the 64-bit random suffix
     keeps every issued token unique so per-token server state (resume
     registries, takeover semantics) behaves exactly like it does for
-    opaque tokens.
+    opaque tokens.  ``switches`` embeds the session's applied mid-stream
+    requality plan (oldest first), so tokens re-issued after adaptation
+    stay adoptable with byte-identical replay.
     """
-    body = _dump({
+    body_obj: dict = {
         "c": clip_name,
         "q": quality,
         "d": device_name,
-    })
+    }
+    if switches:
+        body_obj["s"] = [
+            [int(frame), float(q), ambient]
+            for frame, q, ambient in switches
+        ]
+    body = _dump(body_obj)
     encoded = base64.urlsafe_b64encode(body).decode("ascii").rstrip("=")
     return f"{PORTABLE_TOKEN_PREFIX}.{encoded}.{secrets.token_hex(8)}"
 
@@ -530,10 +684,18 @@ def decode_portable_token(token: str) -> Optional[PortableTokenInfo]:
     try:
         padded = encoded + "=" * (-len(encoded) % 4)
         obj = json.loads(base64.urlsafe_b64decode(padded.encode("ascii")))
+        switches = []
+        for entry in obj.get("s", []):
+            frame, q, ambient = entry
+            switches.append((
+                int(frame), float(q),
+                None if ambient is None else str(ambient),
+            ))
         return PortableTokenInfo(
             clip_name=str(obj["c"]),
             quality=float(obj["q"]),
             device_name=str(obj["d"]),
+            switches=tuple(switches),
         )
     except (ValueError, KeyError, TypeError, binascii.Error,
             UnicodeDecodeError):

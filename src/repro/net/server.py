@@ -78,10 +78,11 @@ import time
 import warnings
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Dict, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
+from ..display.ambient import as_ambient_trace
 from ..streaming.packets import MediaPacket, PacketType
-from ..streaming.server import MediaServer
+from ..streaming.server import AdaptationControl, MediaServer, Switch
 from ..streaming.session import NegotiationError, SessionDescription
 from ..telemetry import (
     emit_span,
@@ -104,6 +105,7 @@ from .messages import (
     encode_end,
     encode_error,
     encode_portable_token,
+    encode_requality_ack,
     encode_session,
     encode_statsdump,
     encode_status,
@@ -144,11 +146,18 @@ STATE_STOPPED = "stopped"
 
 @dataclass
 class _ResumeState:
-    """Server-side memory of an interrupted (or in-flight) session."""
+    """Server-side memory of an interrupted (or in-flight) session.
+
+    ``plan`` records the session's applied mid-stream ``requality``
+    switches, oldest first; a resume replays them at exactly their
+    recorded frames so the regenerated stream is byte-identical to the
+    adapted original.
+    """
 
     session: SessionDescription
     deadline: float
     active: bool = field(default=False)
+    plan: Tuple[Switch, ...] = field(default=())
 
 
 class AnnotationStreamServer:
@@ -215,6 +224,10 @@ class AnnotationStreamServer:
         #: The immutable serving policy this server was built from.
         self.config = config
         self.media_server = media_server
+        if config.ambient is not None:
+            # Serve-time ambient binding: every session's scenes are
+            # bound under this simulated light-sensor trace.
+            media_server.ambient = as_ambient_trace(config.ambient)
         self.host = host
         self._port = port
         self.queue_depth = config.queue_depth
@@ -237,6 +250,9 @@ class AnnotationStreamServer:
         self._slot_available: Optional[asyncio.Condition] = None
         self._tasks: Set["asyncio.Task"] = set()
         self._resume_states: Dict[str, _ResumeState] = {}
+        # Guards _resume_states: requality acks re-issue tokens from the
+        # producer thread while the event loop registers/purges entries.
+        self._resume_lock = threading.Lock()
         reg = telemetry_registry()
         self._active_gauge = reg.gauge(
             "repro_net_active_sessions", help="Wire sessions currently being served.",
@@ -292,6 +308,10 @@ class AnnotationStreamServer:
             "repro_net_stats_probes_total",
             help="stats probes answered with a statsdump message.",
         )
+        self._requality_counter = reg.counter(
+            "repro_requality_total",
+            help="Mid-stream requality requests accepted from clients.",
+        )
 
     # ------------------------------------------------------------------
     @property
@@ -325,15 +345,17 @@ class AnnotationStreamServer:
         message carries, for in-process health checks.
         """
         self._purge_expired_tokens()
+        with self._resume_lock:
+            resumable = sum(
+                1 for s in self._resume_states.values() if not s.active
+            )
         return {
             "state": self._state,
             "accepting": self._state == STATE_READY,
             "active_sessions": self._active_count,
             "waiting_sessions": self._waiting_count,
             "max_sessions": self.max_sessions,
-            "resumable_sessions": sum(
-                1 for s in self._resume_states.values() if not s.active
-            ),
+            "resumable_sessions": resumable,
         }
 
     def stats_snapshot(
@@ -517,13 +539,14 @@ class AnnotationStreamServer:
     # ------------------------------------------------------------------
     def _purge_expired_tokens(self) -> None:
         now = time.monotonic()
-        expired = [
-            token
-            for token, state in self._resume_states.items()
-            if not state.active and state.deadline <= now
-        ]
-        for token in expired:
-            del self._resume_states[token]
+        with self._resume_lock:
+            expired = [
+                token
+                for token, state in self._resume_states.items()
+                if not state.active and state.deadline <= now
+            ]
+            for token in expired:
+                del self._resume_states[token]
 
     def _register_token(self, session: SessionDescription) -> Optional[str]:
         """Issue a resume token for a fresh session (None when disabled).
@@ -541,11 +564,12 @@ class AnnotationStreamServer:
             )
         else:
             token = secrets.token_hex(16)
-        self._resume_states[token] = _ResumeState(
-            session=session,
-            deadline=time.monotonic() + self.resume_window_s,
-            active=True,
-        )
+        with self._resume_lock:
+            self._resume_states[token] = _ResumeState(
+                session=session,
+                deadline=time.monotonic() + self.resume_window_s,
+                active=True,
+            )
         return token
 
     def _adopt_portable_token(self, token: str) -> Optional[SessionDescription]:
@@ -568,11 +592,13 @@ class AnnotationStreamServer:
             session = self.media_server.open_session(info.to_request())
         except NegotiationError:
             return None
-        self._resume_states[token] = _ResumeState(
-            session=session,
-            deadline=time.monotonic() + self.resume_window_s,
-            active=True,
-        )
+        with self._resume_lock:
+            self._resume_states[token] = _ResumeState(
+                session=session,
+                deadline=time.monotonic() + self.resume_window_s,
+                active=True,
+                plan=info.switches,
+            )
         self._adopted_counter.inc()
         record_event("session_adopt", session_id=session.session_id,
                      clip=session.clip_name, quality=session.quality,
@@ -595,12 +621,57 @@ class AnnotationStreamServer:
         shared deterministic catalog (:meth:`_adopt_portable_token`).
         """
         self._purge_expired_tokens()
-        state = self._resume_states.get(token)
-        if state is None:
-            return self._adopt_portable_token(token)
-        state.active = True
-        state.deadline = time.monotonic() + self.resume_window_s
-        return state.session
+        with self._resume_lock:
+            state = self._resume_states.get(token)
+            if state is not None:
+                state.active = True
+                state.deadline = time.monotonic() + self.resume_window_s
+                return state.session
+        return self._adopt_portable_token(token)
+
+    def _token_plan(self, token: Optional[str]) -> Tuple[Switch, ...]:
+        """The recorded requality switch plan behind a resume token."""
+        if token is None:
+            return ()
+        with self._resume_lock:
+            state = self._resume_states.get(token)
+            return () if state is None else state.plan
+
+    def _requality_token(
+        self,
+        token: Optional[str],
+        session: SessionDescription,
+        plan: Tuple[Switch, ...],
+    ) -> Optional[str]:
+        """Refresh resume state after an applied switch; maybe re-issue.
+
+        Called from the producer thread (via the adaptation control's
+        ack builder).  The current token's state learns the new plan so
+        a plain reconnect replays the adapted stream; with portable
+        tokens a *new* token embedding the switch plan is issued and
+        registered, so any replica can adopt the adapted session too.
+        Returns the token the ack should carry (``None`` keeps the
+        client's existing one).
+        """
+        if token is None or self.resume_window_s <= 0:
+            return None
+        with self._resume_lock:
+            state = self._resume_states.get(token)
+            if state is not None:
+                state.plan = plan
+            if not self.portable_tokens:
+                return token
+            new_token = encode_portable_token(
+                session.clip_name, session.quality, session.device_name,
+                switches=plan,
+            )
+            self._resume_states[new_token] = _ResumeState(
+                session=session,
+                deadline=time.monotonic() + self.resume_window_s,
+                active=True,
+                plan=plan,
+            )
+            return new_token
 
     def _token_disconnected(self, token: Optional[str]) -> None:
         """Keep an ended session resumable for the resume window.
@@ -612,10 +683,11 @@ class AnnotationStreamServer:
         has the missing records replayed; tokens age out of the registry
         after ``resume_window_s`` either way.
         """
-        state = self._resume_states.get(token) if token else None
-        if state is not None:
-            state.active = False
-            state.deadline = time.monotonic() + self.resume_window_s
+        with self._resume_lock:
+            state = self._resume_states.get(token) if token else None
+            if state is not None:
+                state.active = False
+                state.deadline = time.monotonic() + self.resume_window_s
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -671,6 +743,7 @@ class AnnotationStreamServer:
         loop: asyncio.AbstractEventLoop,
         wakeup: asyncio.Event,
         skip: int = 0,
+        adaptation: Optional[AdaptationControl] = None,
     ) -> None:
         """Producer thread: encode the stream into coalesced wire batches.
 
@@ -694,7 +767,10 @@ class AnnotationStreamServer:
         ``queue_depth`` batches.  ``skip`` suppresses emission of the
         first N data records (resume: the client already holds them)
         while still counting them, so the ``end`` totals always describe
-        the complete stream.
+        the complete stream.  Only *data* records (annotation + frame)
+        are counted or skipped — in-stream control packets (requality
+        acks) always reach the current connection and never perturb the
+        resume offset or the ``end`` totals.
         """
         packet_count = 0
         frame_count = 0
@@ -737,7 +813,9 @@ class AnnotationStreamServer:
             with trace("net.produce") as span:
                 if span is not None:
                     span.set_tag("session_id", session.session_id)
-                groups = self.media_server.stream_batches(session)
+                groups = self.media_server.stream_batches(
+                    session, adaptation=adaptation
+                )
                 while True:
                     with self._compute_slots:
                         try:
@@ -745,7 +823,8 @@ class AnnotationStreamServer:
                         except StopIteration:
                             break
                         for packet in group:
-                            if packet_count >= skip:
+                            is_data = packet.ptype is not PacketType.CONTROL
+                            if not is_data or packet_count >= skip:
                                 t0 = perf_counter()
                                 header, body = encode_packet(packet)
                                 buffer += header
@@ -758,9 +837,10 @@ class AnnotationStreamServer:
                                     or len(buffer) >= self.batch_bytes
                                 ):
                                     flush()
-                            packet_count += 1
-                            if packet.ptype is PacketType.FRAME:
-                                frame_count += 1
+                            if is_data:
+                                packet_count += 1
+                                if packet.ptype is PacketType.FRAME:
+                                    frame_count += 1
                         flush()
                     if not drain_pending():
                         return
@@ -871,27 +951,83 @@ class AnnotationStreamServer:
                 await self._send(writer, encode_error(str(exc), seq=0))
             return None
 
-    def _open_session(self, message):
-        """Resolve a hello or resume message into (session, token, skip).
+    async def _read_requests(
+        self,
+        reader: asyncio.StreamReader,
+        adaptation: AdaptationControl,
+        session: SessionDescription,
+    ) -> None:
+        """Drain the client's mid-stream control messages.
 
-        Raises :class:`~repro.streaming.session.NegotiationError` when
-        the request cannot be served (bad clip/device, dead token).
+        The only message a client sends after its opening hello/resume
+        is ``requality``: the desired quality and/or ambient is
+        deposited in the session's :class:`AdaptationControl`, to be
+        applied by the producer at the next scene boundary.  Anything
+        undecodable ends the reader (the session itself keeps streaming;
+        a broken *pipe* surfaces on the write side).
+        """
+        while True:
+            try:
+                packet = await read_packet(reader)
+            except (WireFormatError, ConnectionError, OSError):
+                return
+            if packet is None:
+                return  # client half-closed; keep streaming
+            try:
+                message = decode_control(packet)
+            except WireFormatError:
+                return
+            if message.kind != "requality" or message.requality is None:
+                continue  # only requality is meaningful mid-stream
+            info = message.requality
+            if not info.is_request:
+                continue
+            with trace("net.requality") as span:
+                if span is not None:
+                    span.set_tag("session_id", session.session_id)
+                    if info.quality is not None:
+                        span.set_tag("quality", info.quality)
+                    if info.ambient is not None:
+                        span.set_tag("ambient", info.ambient)
+                try:
+                    adaptation.request(
+                        quality=info.quality, ambient=info.ambient
+                    )
+                except ValueError:
+                    continue
+                self._requality_counter.inc()
+                record_event(
+                    "requality_request",
+                    session_id=session.session_id,
+                    quality=info.quality,
+                    ambient=info.ambient,
+                )
+
+    def _open_session(self, message):
+        """Resolve a hello or resume into (session, token, skip, plan).
+
+        ``plan`` is the recorded requality switch plan to replay (resume
+        of an adapted session), empty for fresh sessions.  Raises
+        :class:`~repro.streaming.session.NegotiationError` when the
+        request cannot be served (bad clip/device, dead token).
         """
         if message.kind == "resume":
             session = self._lookup_token(message.resume.token)
             if session is None:
                 raise NegotiationError("unknown or expired resume token")
+            plan = self._token_plan(message.resume.token)
             self._resumed_counter.inc()
             record_event("session_resume", session_id=session.session_id,
                          clip=session.clip_name,
                          received=message.resume.received_packets)
-            return session, message.resume.token, message.resume.received_packets
+            return (session, message.resume.token,
+                    message.resume.received_packets, plan)
         request = message.hello.to_request()
         session = self.media_server.open_session(request)
         record_event("session_open", session_id=session.session_id,
                      clip=session.clip_name, quality=session.quality,
                      device=session.device_name)
-        return session, self._register_token(session), 0
+        return session, self._register_token(session), 0, ()
 
     async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
         task = asyncio.current_task()
@@ -956,10 +1092,14 @@ class AnnotationStreamServer:
         clean = False
         session: Optional[SessionDescription] = None
         timings = {"encode_s": 0.0, "queue_wait_s": 0.0, "write_s": 0.0}
+        reader_task: Optional["asyncio.Task"] = None
+        # The newest token this session handed out (requality acks
+        # re-issue portable tokens); marked resumable on disconnect.
+        live_token: List[Optional[str]] = [None]
         try:
             with trace("net.session") as session_span:
                 try:
-                    session, token, skip = self._open_session(message)
+                    session, token, skip, plan = self._open_session(message)
                 except (WireFormatError, NegotiationError) as exc:
                     self._rejects_counter.inc()
                     record_event("session_reject", reason=str(exc))
@@ -976,6 +1116,29 @@ class AnnotationStreamServer:
                     writer,
                     encode_session(session, seq=0, token=token, resumed_at=skip),
                 )
+                adaptation = AdaptationControl(plan=plan)
+
+                def build_ack(frame, quality, ambient, switch_plan,
+                              _session=session, _token=token):
+                    new_token = self._requality_token(
+                        _token, _session, switch_plan
+                    )
+                    if new_token is not None and new_token != _token:
+                        live_token[0] = new_token
+                    return encode_requality_ack(
+                        True, frame, quality=quality, ambient=ambient,
+                        token=new_token, seq=0,
+                    )
+
+                adaptation.ack_builder = build_ack
+                adaptation.reject_builder = (
+                    lambda frame, reason: encode_requality_ack(
+                        False, frame, error=reason, seq=0
+                    )
+                )
+                reader_task = loop.create_task(
+                    self._read_requests(reader, adaptation, session)
+                )
                 # Copy this task's context so the producer's spans
                 # (net.produce, server.stream, engine stages) nest under
                 # net.session instead of forming an orphan thread trace.
@@ -983,7 +1146,7 @@ class AnnotationStreamServer:
                 producer = threading.Thread(
                     target=producer_ctx.run,
                     args=(self._produce, session, out, cancelled, loop,
-                          wakeup, skip),
+                          wakeup, skip, adaptation),
                     name=f"net-session-{session.session_id}",
                     daemon=True,
                 )
@@ -1044,7 +1207,12 @@ class AnnotationStreamServer:
                 record_event("session_end", session_id=session.session_id,
                              clip=session.clip_name)
         finally:
+            if reader_task is not None:
+                reader_task.cancel()
+                with contextlib.suppress(asyncio.CancelledError):
+                    await reader_task
             self._token_disconnected(token)
+            self._token_disconnected(live_token[0])
             cancelled.set()
             if producer is not None:
                 # The producer re-checks ``cancelled`` within one 0.1 s

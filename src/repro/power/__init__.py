@@ -7,7 +7,7 @@ from .model import (
     DevicePowerModel,
 )
 from .daq import DAQConfig, DAQSimulator, PowerTrace
-from .battery import Battery
+from .battery import Battery, LoadTrace
 from .dvfs import DvfsCpuModel, FrequencyLevel, XSCALE_LEVELS
 from .trace_analysis import (
     PowerPlateau,
@@ -33,6 +33,7 @@ __all__ = [
     "DAQSimulator",
     "PowerTrace",
     "Battery",
+    "LoadTrace",
     "DvfsCpuModel",
     "FrequencyLevel",
     "XSCALE_LEVELS",

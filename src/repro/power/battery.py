@@ -10,6 +10,7 @@ loads pay a small extra penalty.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Tuple
 
 
 @dataclass(frozen=True)
@@ -65,3 +66,92 @@ class Battery:
         base = self.runtime_hours(baseline_power_w)
         opt = self.runtime_hours(optimized_power_w)
         return opt / base - 1.0
+
+
+@dataclass(frozen=True)
+class LoadTrace:
+    """A device load trace: draw in watts over time (step function).
+
+    ``steps`` is a sorted tuple of ``(time_s, watts)`` pairs; the load at
+    time ``t`` is the last step at or before ``t``, held forever after
+    the final step.  The battery-aware streaming client integrates this
+    against a :class:`Battery` to model state-of-charge during playback.
+    (Distinct from :class:`repro.power.daq.PowerTrace`, which is a
+    *sampled* waveform; this is a declarative spec.)
+    """
+
+    steps: Tuple[Tuple[float, float], ...]
+
+    def __post_init__(self):
+        if not self.steps:
+            raise ValueError("a power trace needs at least one step")
+        times = [t for t, _ in self.steps]
+        if times[0] < 0:
+            raise ValueError("trace times must be non-negative")
+        if any(b <= a for a, b in zip(times, times[1:])):
+            raise ValueError("trace times must be strictly increasing")
+        if any(w <= 0 for _, w in self.steps):
+            raise ValueError("trace loads must be positive watts")
+
+    @classmethod
+    def constant(cls, watts: float) -> "LoadTrace":
+        """A trace holding one load for the whole session."""
+        return cls(steps=((0.0, float(watts)),))
+
+    @classmethod
+    def parse(cls, spec: str) -> "LoadTrace":
+        """Parse ``"t:watts,t:watts,..."`` (or a bare number).
+
+        Times are seconds, loads are watts; ``"2.5"`` alone means a
+        constant 2.5 W draw.
+        """
+        text = str(spec).strip()
+        if not text:
+            raise ValueError("empty power trace spec")
+        if ":" not in text:
+            return cls.constant(float(text))
+        steps = []
+        for part in text.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            time_text, _, watts_text = part.partition(":")
+            try:
+                t = float(time_text)
+                w = float(watts_text)
+            except ValueError:
+                raise ValueError(
+                    f"bad power trace step {part!r}: expected time:watts"
+                ) from None
+            steps.append((t, w))
+        if not steps:
+            raise ValueError(f"no steps in power trace spec {spec!r}")
+        steps.sort(key=lambda step: step[0])
+        if steps[0][0] > 0:
+            steps.insert(0, (0.0, steps[0][1]))
+            if steps[1][0] == 0.0:
+                steps.pop(0)
+        return cls(steps=tuple(steps))
+
+    def power_at(self, time_s: float) -> float:
+        """The load in watts at ``time_s``."""
+        if time_s < 0:
+            raise ValueError(f"time must be non-negative, got {time_s}")
+        current = self.steps[0][1]
+        for t, watts in self.steps:
+            if t > time_s:
+                break
+            current = watts
+        return current
+
+    def energy_wh(self, duration_s: float) -> float:
+        """Energy drawn over ``[0, duration_s]`` in watt-hours."""
+        if duration_s < 0:
+            raise ValueError(f"duration must be non-negative, got {duration_s}")
+        total = 0.0
+        for k, (t, watts) in enumerate(self.steps):
+            if t >= duration_s:
+                break
+            stop = self.steps[k + 1][0] if k + 1 < len(self.steps) else duration_s
+            total += watts * (min(stop, duration_s) - t)
+        return total / 3600.0

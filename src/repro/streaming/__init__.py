@@ -22,7 +22,7 @@ from .session import (
     SessionRequest,
     snap_quality,
 )
-from .server import MediaServer
+from .server import AdaptationControl, MediaServer
 from .archive import load_archive, save_archive
 from .middleware import (
     AdaptationEvent,
@@ -53,6 +53,7 @@ __all__ = [
     "SessionDescription",
     "NegotiationError",
     "snap_quality",
+    "AdaptationControl",
     "MediaServer",
     "save_archive",
     "load_archive",

@@ -114,7 +114,10 @@ class MobileClient:
         packets:
             Annotation packet(s) and frame packets.  Annotation packets
             must precede the frames they cover; frame packets must arrive
-            in presentation order.  Annotation payloads are dispatched on
+            in presentation order.  A backlight annotation arriving
+            *after* frames is a mid-stream re-bind (``requality``): a
+            full replacement track whose levels apply from the next
+            frame onward.  Annotation payloads are dispatched on
             their magic: backlight tracks (``AND1``/``AND2``) are mandatory;
             decode-complexity tracks (``ANC1``) are honored when a DVFS
             CPU model is supplied and ignored otherwise.
@@ -134,22 +137,31 @@ class MobileClient:
                 f"{self.device.name!r}"
             )
         tracks: List[DeviceAnnotationTrack] = []
+        rebinds: List = []  # (effective_frame, replacement_track)
         dvfs_tracks: List[DvfsTrack] = []
         frames = []
         packet_count = 0
         expected_index = 0
+        covered = 0  # frames covered by the stitched tracks so far
         for packet in packets:
             packet_count += 1
             if packet.ptype is PacketType.ANNOTATION:
                 magic = packet.payload[:4]
                 if magic in (b"AND1", b"AND2"):
-                    tracks.append(
-                        DeviceAnnotationTrack.from_bytes(
-                            packet.payload,
-                            clip_name=session.clip_name,
-                            device_name=session.device_name,
-                        )
+                    track = DeviceAnnotationTrack.from_bytes(
+                        packet.payload,
+                        clip_name=session.clip_name,
+                        device_name=session.device_name,
                     )
+                    if expected_index and covered > expected_index:
+                        # Coverage already runs past the delivered frames,
+                        # so this is not the next stitching chunk: it is a
+                        # mid-stream re-bind (requality) — a full
+                        # replacement track applying from the next frame.
+                        rebinds.append((expected_index, track))
+                    else:
+                        tracks.append(track)
+                        covered += track.per_frame_levels().size
                 elif magic == b"ANC1":
                     dvfs_tracks.append(
                         DvfsTrack.from_bytes(packet.payload, clip_name=session.clip_name)
@@ -175,6 +187,14 @@ class MobileClient:
         self._packets_counter.inc(packet_count)
         self._frames_played_counter.inc(len(frames))
         levels = self._stitch_levels(tracks, len(frames))
+        for start, track in rebinds:
+            replacement = track.per_frame_levels()
+            if replacement.size != len(frames):
+                raise StreamProtocolError(
+                    f"re-bound annotation covers {replacement.size} frames "
+                    f"but {len(frames)} arrived"
+                )
+            levels[start:] = replacement[start:]
 
         use_dvfs = cpu is not None and dvfs_tracks
         if use_dvfs:

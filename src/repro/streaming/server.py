@@ -12,7 +12,9 @@ by compensated frame packets.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Iterator, List, Optional, Tuple
+import threading
+from collections import deque
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..core.annotation import AnnotationTrack
 from ..core.dvfs_annotation import DvfsAnnotator, DvfsTrack
@@ -21,6 +23,7 @@ from ..core.pipeline import AnnotatedStream, AnnotationPipeline, ProfileResult
 from ..core.policies import PolicySpec, get_policy, resolve_policy
 from ..core.policy import QUALITY_LEVELS, SchemeParameters
 from ..core.profile_cache import ProfileCache, shared_profile_cache
+from ..display.ambient import as_ambient_trace, bind_with_ambient_trace
 from ..display.devices import get_device
 from ..telemetry import record_event, registry as telemetry_registry, trace
 from ..video.chunks import HeterogeneousFrameError
@@ -54,6 +57,116 @@ PERFRAME_BATCH_RECORDS = 32
 #: coalesced write.
 WIRE_CHUNK_FRAMES = 32
 
+#: One mid-stream switch: ``(frame, quality, ambient_spec_or_None)``.
+#: ``frame`` is the scene-boundary frame the new binding takes effect at.
+Switch = Tuple[int, float, Optional[str]]
+
+
+class AdaptationControl:
+    """Mid-stream adaptation mailbox between a session's control reader
+    and its producer.
+
+    The wire server's reader task deposits live ``requality`` requests
+    with :meth:`request` (thread-safe, latest wins — a client stepping
+    down twice between scene boundaries lands on the final target); the
+    producer polls with :meth:`poll_request` between chunks and applies
+    the switch at the next scene boundary.  ``plan`` seeds *scheduled*
+    switches for resume replay: a session adopted from a portable token
+    replays each recorded switch at exactly its recorded frame, so the
+    regenerated stream is byte-identical to the original.
+
+    ``ack_builder``/``reject_builder`` are set by the transport layer
+    (the streaming layer cannot import :mod:`repro.net`): they build the
+    in-stream ``requality`` acknowledgement packet for live switches —
+    plan replays emit no ack, matching the original stream's data
+    records.
+    """
+
+    def __init__(self, plan: Sequence[Switch] = ()):
+        self._lock = threading.Lock()
+        self._request: Optional[Tuple[Optional[float], Optional[str]]] = None
+        self._plan = deque(
+            (int(frame), float(quality), ambient)
+            for frame, quality, ambient in plan
+        )
+        self._applied: List[Switch] = []
+        #: ``(frame, quality, ambient, plan) -> Optional[MediaPacket]``;
+        #: the ack emitted in-stream when a live switch is applied.
+        self.ack_builder: Optional[Callable] = None
+        #: ``(frame, reason) -> Optional[MediaPacket]``; the rejection
+        #: ack when a live request finds no scene boundary before the end.
+        self.reject_builder: Optional[Callable] = None
+
+    # -- reader side ---------------------------------------------------
+    def request(self, quality: Optional[float] = None,
+                ambient: Optional[str] = None) -> None:
+        """Deposit a live adaptation request (latest value per field wins).
+
+        Undelivered requests merge field-wise rather than replacing
+        wholesale: a quality step followed by an ambient-only change
+        before the producer polls must land as *both*, not lose the
+        earlier step.
+        """
+        if quality is None and ambient is None:
+            raise ValueError("a requality needs a quality and/or an ambient")
+        with self._lock:
+            prev_quality, prev_ambient = self._request or (None, None)
+            self._request = (
+                quality if quality is not None else prev_quality,
+                ambient if ambient is not None else prev_ambient,
+            )
+
+    # -- producer side -------------------------------------------------
+    def poll_request(self) -> Optional[Tuple[Optional[float], Optional[str]]]:
+        """Take the pending live request, if any (clears it)."""
+        with self._lock:
+            req, self._request = self._request, None
+            return req
+
+    def next_planned(self, pos: int) -> Optional[Switch]:
+        """Peek the next scheduled (replay) switch at or after ``pos``."""
+        with self._lock:
+            while self._plan and self._plan[0][0] < pos:
+                self._plan.popleft()
+            return self._plan[0] if self._plan else None
+
+    def switch_applied(self, frame: int, quality: float,
+                       ambient: Optional[str], live: bool) -> List[MediaPacket]:
+        """Record an applied switch; return the ack packets to emit.
+
+        Plan replays (``live=False``) pop their plan entry and emit
+        nothing; live switches return the transport-built ack (empty
+        when no builder is attached, e.g. in-process use).
+        """
+        with self._lock:
+            if not live and self._plan and self._plan[0][0] == frame:
+                self._plan.popleft()
+            self._applied.append((int(frame), float(quality), ambient))
+            plan = tuple(self._applied) + tuple(self._plan)
+        if live and self.ack_builder is not None:
+            packet = self.ack_builder(frame, quality, ambient, plan)
+            return [packet] if packet is not None else []
+        return []
+
+    def switch_missed(self, frame: int, reason: str) -> List[MediaPacket]:
+        """A live request found no boundary left; return the rejection ack."""
+        if self.reject_builder is None:
+            return []
+        packet = self.reject_builder(frame, reason)
+        return [packet] if packet is not None else []
+
+    # -- shared --------------------------------------------------------
+    def switch_plan(self) -> Tuple[Switch, ...]:
+        """Applied switches plus any still-scheduled replay entries."""
+        with self._lock:
+            return tuple(self._applied) + tuple(self._plan)
+
+    @property
+    def applied(self) -> Tuple[Switch, ...]:
+        """Switches applied so far, oldest first."""
+        with self._lock:
+            return tuple(self._applied)
+
 
 class MediaServer:
     """Stores clips, prepares annotations, serves annotated streams.
@@ -86,6 +199,14 @@ class MediaServer:
         annotates with (``None``, a registered name, or an instance).
         Part of every track and profile cache key, so two servers running
         different policies on the same content never cross-serve.
+    ambient:
+        Optional serve-time ambient: an
+        :class:`~repro.display.ambient.AmbientTrace`, condition, or spec
+        string (``"office"`` or ``"0:dark-room,30:office"``).  When set,
+        every session's device binding happens per scene against the
+        trace's condition at the scene's start time — the simulated
+        light-sensor loop — instead of the dark-room annotation-time
+        bind.  ``None`` keeps the classic bind.
     """
 
     def __init__(
@@ -97,11 +218,13 @@ class MediaServer:
         engine: EngineSpec = None,
         profile_cache: Optional[ProfileCache] = None,
         policy: PolicySpec = None,
+        ambient=None,
     ):
         if not qualities:
             raise ValueError("server needs at least one quality level")
         self.params = params
         self.qualities = tuple(sorted(qualities))
+        self.ambient = None if ambient is None else as_ambient_trace(ambient)
         self.dvfs_annotator = dvfs_annotator
         self.codec = codec
         self.engine = engine
@@ -271,17 +394,41 @@ class MediaServer:
             frame_count=clip.frame_count,
         )
 
-    def build_stream(self, session: SessionDescription) -> AnnotatedStream:
-        """Materialize the annotated stream object for a session."""
+    def build_stream(
+        self,
+        session: SessionDescription,
+        quality: Optional[float] = None,
+        ambient: Optional[str] = None,
+    ) -> AnnotatedStream:
+        """Materialize the annotated stream object for a session.
+
+        ``quality`` overrides the session's negotiated quality and
+        ``ambient`` (a spec string) overrides the server-wide ambient
+        trace — mid-stream ``requality`` re-binds by calling this with
+        the post-switch values; the default call reproduces the opening
+        binding exactly.  With no ambient anywhere the binding is the
+        classic dark-room :meth:`AnnotationTrack.bind`, bit-identical to
+        the pre-adaptation server.
+        """
         clip = self.get_clip(session.clip_name)
         device = get_device(session.device_name)
-        track = self.annotation_track(session.clip_name, session.quality).bind(device)
+        effective_quality = session.quality if quality is None else quality
+        track = self.annotation_track(session.clip_name, effective_quality)
+        ambient_trace = (
+            as_ambient_trace(ambient) if ambient is not None else self.ambient
+        )
+        if ambient_trace is not None:
+            bound = bind_with_ambient_trace(
+                track, device, ambient_trace, fps=clip.fps
+            )
+        else:
+            bound = track.bind(device)
         record_event("policy_bind", session_id=session.session_id,
                      policy=self.policy.name, device=session.device_name)
         # The cached profile's exact histograms let the stream derive
         # clipped fractions without per-chunk pixel reductions.
         return AnnotatedStream(
-            clip=clip, track=track, device=device,
+            clip=clip, track=bound, device=device,
             profile=self._profiles.get(session.clip_name),
         )
 
@@ -351,6 +498,7 @@ class MediaServer:
         session: SessionDescription,
         lead_chunk_frames: Optional[int] = LEAD_CHUNK_FRAMES,
         wire_chunk_frames: Optional[int] = WIRE_CHUNK_FRAMES,
+        adaptation: Optional[AdaptationControl] = None,
     ) -> Iterator[List[MediaPacket]]:
         """Emit the session's packets as wire-oriented batches.
 
@@ -368,6 +516,15 @@ class MediaServer:
         contention — bounded, trading a little batching amortization for
         pipeline smoothness.
 
+        With an :class:`AdaptationControl`, mid-stream ``requality``
+        switches are honored: at the next scene boundary after a request
+        the session re-binds (new quality and/or ambient) and the stream
+        continues with an in-stream ack (live switches only) plus a
+        fresh annotation packet carrying the full new device track —
+        byte-identical to a fresh fetch's head annotation at the new
+        binding.  Frame sequence numbers continue unbroken
+        (``seq_base + frame_index``), and nothing is replayed.
+
         **Aliasing contract**: chunked batches compensate into a reused
         arena buffer, so a batch's frame payloads are only valid until
         the generator is advanced — consumers must fully encode/copy a
@@ -377,6 +534,12 @@ class MediaServer:
         """
         annotated, head, seq, wire_sizes = self._stream_setup(session)
         yield head
+        if adaptation is not None:
+            yield from self._stream_batches_adaptive(
+                session, annotated, seq, wire_sizes,
+                lead_chunk_frames, wire_chunk_frames, adaptation,
+            )
+            return
         if resolve_engine(self.engine).kind == "perframe":
             batch: List[MediaPacket] = []
             for packet in self._emit_perframe(annotated, seq, wire_sizes):
@@ -417,6 +580,139 @@ class MediaServer:
                     batch = []
             if batch:
                 yield batch
+
+    def _stream_batches_adaptive(
+        self,
+        session: SessionDescription,
+        annotated: AnnotatedStream,
+        seq_base: int,
+        wire_sizes,
+        lead_chunk_frames: Optional[int],
+        wire_chunk_frames: Optional[int],
+        adaptation: AdaptationControl,
+    ) -> Iterator[List[MediaPacket]]:
+        """The adaptation-aware emission loop behind :meth:`stream_batches`.
+
+        Emits segments of the current binding's stream, polling the
+        control for live requests between chunks and for scheduled
+        (resume-replay) switches between segments.  A switch truncates
+        the in-flight chunk at the boundary frame (chunk re-slicing is
+        bit-safe), re-binds via :meth:`build_stream`, and emits
+        ``[ack?, annotation]`` before the next segment — so the
+        post-switch frames and annotation bytes match a fresh fetch at
+        the new binding exactly.
+        """
+        frame_count = annotated.frame_count
+        stream = annotated
+        quality = session.quality
+        ambient: Optional[str] = None
+        pos = 0
+        lead = lead_chunk_frames
+        # (frame, quality, ambient, live) once a switch is scheduled.
+        pending: Optional[Tuple[int, float, Optional[str], bool]] = None
+        use_perframe = resolve_engine(self.engine).kind == "perframe"
+
+        def resolve_request(req, at: int):
+            new_quality = (
+                quality if req[0] is None
+                else snap_quality(req[0], self.qualities)
+            )
+            new_ambient = ambient if req[1] is None else str(req[1])
+            return (stream.next_scene_start(at), new_quality, new_ambient, True)
+
+        while pos < frame_count:
+            if pending is None:
+                planned = adaptation.next_planned(pos)
+                if planned is not None:
+                    pending = (planned[0], planned[1], planned[2], False)
+            emitted_to = pos
+            if pending is not None and pending[0] <= pos:
+                pass  # switch due right here — no frames to produce first
+            elif not use_perframe:
+                try:
+                    for chunk in stream.iter_chunks(
+                        chunk_size=wire_chunk_frames,
+                        lead=lead,
+                        reuse_output=True,
+                        start=pos,
+                    ):
+                        lead = None
+                        if pending is None:
+                            req = adaptation.poll_request()
+                            if req is not None:
+                                pending = resolve_request(req, chunk.start)
+                        if pending is not None and chunk.start >= pending[0]:
+                            break
+                        stop = (
+                            chunk.stop if pending is None
+                            else min(chunk.stop, pending[0])
+                        )
+                        batch = []
+                        for k in range(stop - chunk.start):
+                            i = chunk.start + k
+                            wire = (
+                                int(wire_sizes[i])
+                                if wire_sizes is not None else None
+                            )
+                            batch.append(frame_packet(
+                                seq_base + i, chunk.frame(k),
+                                frame_index=i, wire_bytes=wire,
+                            ))
+                        self._frames_streamed_counter.inc(len(batch))
+                        yield batch
+                        emitted_to = stop
+                        if pending is not None and stop >= pending[0]:
+                            break
+                    else:
+                        emitted_to = frame_count
+                except HeterogeneousFrameError:
+                    use_perframe = True
+            if use_perframe and not (pending is not None and pending[0] <= pos):
+                batch = []
+                i = emitted_to
+                while i < frame_count:
+                    if pending is None:
+                        req = adaptation.poll_request()
+                        if req is not None:
+                            pending = resolve_request(req, i)
+                    if pending is not None and i >= pending[0]:
+                        break
+                    wire = int(wire_sizes[i]) if wire_sizes is not None else None
+                    self._frames_streamed_counter.inc()
+                    batch.append(frame_packet(
+                        seq_base + i, stream.compensated_frame(i).frame,
+                        frame_index=i, wire_bytes=wire,
+                    ))
+                    if len(batch) >= PERFRAME_BATCH_RECORDS:
+                        yield batch
+                        batch = []
+                    i += 1
+                if batch:
+                    yield batch
+                emitted_to = i
+            pos = emitted_to
+            if pending is not None and pending[0] <= pos < frame_count:
+                boundary, quality, ambient, live = pending
+                with trace("server.rebind"):
+                    stream = self.build_stream(
+                        session, quality=quality, ambient=ambient
+                    )
+                record_event(
+                    "session_requality", session_id=session.session_id,
+                    frame=boundary, quality=quality,
+                    ambient=ambient, replay=not live,
+                )
+                acks = adaptation.switch_applied(boundary, quality, ambient, live)
+                yield list(acks) + [
+                    annotation_packet(seq_base + pos, stream.track.to_bytes())
+                ]
+                pending = None
+        if pending is not None and pending[3]:
+            tail = adaptation.switch_missed(
+                frame_count, "no scene boundary before end of stream"
+            )
+            if tail:
+                yield list(tail)
 
     def _emit_perframe(
         self,

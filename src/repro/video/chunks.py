@@ -108,31 +108,38 @@ def autotune_chunk_size(
 
 
 def chunk_spans(
-    frame_count: int, chunk_size: int, lead: Optional[int] = None
+    frame_count: int, chunk_size: int, lead: Optional[int] = None,
+    start: int = 0,
 ) -> Iterator[Tuple[int, int]]:
-    """Yield ``(start, stop)`` index spans covering ``[0, frame_count)``.
+    """Yield ``(start, stop)`` index spans covering ``[start, frame_count)``.
 
     The last span carries the remainder; ``chunk_size > frame_count``
     degenerates to a single span.  A positive ``lead`` shrinks only the
-    *first* span to ``min(lead, frame_count)`` frames — streaming callers
+    *first* span to ``min(lead, remaining)`` frames — streaming callers
     use this to get the opening frames onto the wire before the first
-    full-size chunk finishes compensating.  Compensation is elementwise
-    per frame, so re-slicing the span boundaries never changes any
-    frame's bytes.
+    full-size chunk finishes compensating.  A positive ``start`` begins
+    the spans mid-clip (mid-stream adaptation resumes emission at a
+    scene boundary without re-walking the prefix).  Compensation is
+    elementwise per frame, so re-slicing the span boundaries never
+    changes any frame's bytes.
     """
     if frame_count < 0:
         raise ValueError(f"frame_count must be non-negative, got {frame_count}")
     if chunk_size < 1:
         raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
-    first = 0
+    if not 0 <= start <= frame_count:
+        raise ValueError(
+            f"start must be in [0, {frame_count}], got {start}"
+        )
+    first = start
     if lead is not None:
         if lead < 1:
             raise ValueError(f"lead must be >= 1, got {lead}")
-        first = min(int(lead), frame_count)
-        if first:
-            yield 0, first
-    for start in range(first, frame_count, chunk_size):
-        yield start, min(start + chunk_size, frame_count)
+        first = min(start + int(lead), frame_count)
+        if first > start:
+            yield start, first
+    for begin in range(first, frame_count, chunk_size):
+        yield begin, min(begin + chunk_size, frame_count)
 
 
 class FrameChunk:

@@ -66,6 +66,7 @@ class ClipBase:
         self,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         lead: Optional[int] = None,
+        start: int = 0,
     ) -> Iterator[FrameChunk]:
         """Yield the clip as ``(N, H, W, 3)`` uint8 batches.
 
@@ -74,13 +75,15 @@ class ClipBase:
         chunk carries the remainder, and ``chunk_size > frame_count``
         yields a single chunk.  A positive ``lead`` shrinks only the
         first chunk (see :func:`~repro.video.chunks.chunk_spans`), which
-        streaming uses to cut time-to-first-frame.  Raises
+        streaming uses to cut time-to-first-frame; a positive ``start``
+        begins mid-clip (mid-stream adaptation).  Raises
         :class:`~repro.video.chunks.HeterogeneousFrameError` if frames
         within one chunk mix resolutions.
         """
-        for start, stop in chunk_spans(self.frame_count, chunk_size, lead=lead):
-            frames = [self.frame(i) for i in range(start, stop)]
-            yield FrameChunk.from_frames(frames, start=start)
+        for begin, stop in chunk_spans(self.frame_count, chunk_size,
+                                       lead=lead, start=start):
+            frames = [self.frame(i) for i in range(begin, stop)]
+            yield FrameChunk.from_frames(frames, start=begin)
 
     @property
     def plane_cache(self) -> PlaneCache:
@@ -195,10 +198,12 @@ class VideoClip(ClipBase):
         self,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         lead: Optional[int] = None,
+        start: int = 0,
     ) -> Iterator[FrameChunk]:
         """Chunk the stored frame list directly (no index round-trips)."""
-        for start, stop in chunk_spans(self.frame_count, chunk_size, lead=lead):
-            yield FrameChunk.from_frames(self._frames[start:stop], start=start)
+        for begin, stop in chunk_spans(self.frame_count, chunk_size,
+                                       lead=lead, start=start):
+            yield FrameChunk.from_frames(self._frames[begin:stop], start=begin)
 
 
 class LazyClip(ClipBase):
@@ -333,10 +338,12 @@ class ArrayClip(ClipBase):
         self,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         lead: Optional[int] = None,
+        start: int = 0,
     ) -> Iterator[FrameChunk]:
         """Slice the backing array — no stacking, no copies."""
-        for start, stop in chunk_spans(self.frame_count, chunk_size, lead=lead):
-            yield FrameChunk(self._pixels[start:stop], start=start)
+        for begin, stop in chunk_spans(self.frame_count, chunk_size,
+                                       lead=lead, start=start):
+            yield FrameChunk(self._pixels[begin:stop], start=begin)
 
 
 def concatenate(clips: Sequence[ClipBase], name: str = "concat") -> VideoClip:

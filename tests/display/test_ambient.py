@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core import AnnotationPipeline, SchemeParameters
 from repro.display import (
@@ -12,7 +14,9 @@ from repro.display import (
     AmbientCondition,
     ambient_compensation_gain,
     ambient_level_for_scene,
+    AmbientTrace,
     bind_with_ambient,
+    bind_with_ambient_trace,
     ipaq_5555,
     render_frame,
 )
@@ -125,3 +129,98 @@ class TestBindWithAmbient:
         bound = bind_with_ambient(track, device, OFFICE)
         assert bound.device_name == device.name
         assert bound.quality == track.quality
+
+
+class TestAmbientTrace:
+    def test_parse_steps_and_lookup(self):
+        trace = AmbientTrace.parse("0:dark-room,30:office,60:500")
+        assert trace.condition_at(0.0).name == "dark-room"
+        assert trace.condition_at(29.9).name == "dark-room"
+        assert trace.condition_at(30.0).name == "office"
+        assert trace.condition_at(1e6).illuminance == 500.0
+
+    def test_parse_bare_ambient_is_constant(self):
+        trace = AmbientTrace.parse("office")
+        assert trace.condition_at(0.0) == trace.condition_at(1e5) == OFFICE
+
+    def test_parse_holds_first_condition_from_zero(self):
+        trace = AmbientTrace.parse("10:office")
+        assert trace.condition_at(0.0).name == "office"
+
+    @pytest.mark.parametrize("bad", ["", "x:office", "0:office,0:sunlight"])
+    def test_parse_rejects(self, bad):
+        with pytest.raises(ValueError):
+            AmbientTrace.parse(bad)
+
+    def test_negative_time_rejected(self):
+        trace = AmbientTrace.parse("office")
+        with pytest.raises(ValueError):
+            trace.condition_at(-1.0)
+
+
+def _cached_track():
+    """One annotated track shared across hypothesis examples."""
+    if not hasattr(_cached_track, "track"):
+        from repro.video import SceneSpec, ScriptedClipFactory, LazyClip
+
+        scenes = [
+            SceneSpec("dark", 12, {"background": 0.2, "highlight": 0.6,
+                                   "glow_level": 0.3}),
+            SceneSpec("bright", 12, {"background": 0.85, "variation": 0.08}),
+            SceneSpec("dark", 12, {"background": 0.3, "highlight": 0.5,
+                                   "glow_level": 0.2}),
+        ]
+        factory = ScriptedClipFactory(scenes, resolution=(48, 36), seed=5)
+        clip = LazyClip(factory, frame_count=factory.frame_count, fps=30.0,
+                        name="tracetest", resolution=(48, 36))
+        params = SchemeParameters(quality=0.1, min_scene_interval_frames=5)
+        _cached_track.track = AnnotationPipeline(params).annotate(clip)
+    return _cached_track.track
+
+
+class TestBindWithAmbientTrace:
+    """The serve-time trace binding is pinned to the per-clip binding."""
+
+    @given(illuminance=st.floats(min_value=0.0, max_value=100_000.0,
+                                 allow_nan=False, allow_infinity=False))
+    @settings(max_examples=40, deadline=None)
+    def test_constant_trace_bit_identical(self, illuminance):
+        """A constant trace binds bit-identically to ``bind_with_ambient``.
+
+        This is the contract the mid-stream ambient re-bind relies on:
+        re-binding a live session under the trace's current condition
+        must produce the same bytes a fresh session under that constant
+        ambient would.
+        """
+        device = ipaq_5555()
+        track = _cached_track()
+        ambient = AmbientCondition("probe", illuminance)
+        via_trace = bind_with_ambient_trace(
+            track, device, AmbientTrace.constant(ambient)
+        )
+        direct = bind_with_ambient(track, device, ambient)
+        assert via_trace.to_bytes() == direct.to_bytes()
+
+    @given(switch_at=st.floats(min_value=0.01, max_value=2.0,
+                               allow_nan=False, allow_infinity=False))
+    @settings(max_examples=25, deadline=None)
+    def test_stepped_trace_binds_each_scene_at_its_start(self, switch_at):
+        """Each scene takes the condition at ``scene.start / fps``."""
+        device = ipaq_5555()
+        track = _cached_track()
+        trace = AmbientTrace(steps=((0.0, DARK_ROOM), (switch_at, OFFICE)))
+        bound = bind_with_ambient_trace(track, device, trace)
+        for scene, got in zip(track.scenes, bound.scenes):
+            ambient = trace.condition_at(scene.start / track.fps)
+            expected = ambient_level_for_scene(
+                device, scene.effective_max_luminance, ambient
+            )
+            assert got.backlight_level == expected
+
+    def test_non_positive_fps_rejected(self):
+        device = ipaq_5555()
+        track = _cached_track()
+        with pytest.raises(ValueError):
+            bind_with_ambient_trace(
+                track, device, AmbientTrace.constant(OFFICE), fps=-1.0
+            )

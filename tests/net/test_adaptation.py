@@ -1,0 +1,456 @@
+"""Mid-stream adaptation (``requality``) tests.
+
+The acceptance path of the adaptation control plane: a live session is
+switched to a different quality and/or ambient bind **without tearing
+down the connection** — the server re-binds at the next scene boundary
+and replays nothing.  Covered here:
+
+* wire vocabulary: ``requality`` request/ack round-trips and the
+  switch plan carried by portable resume tokens;
+* the :class:`~repro.streaming.server.AdaptationControl` mailbox;
+* the :class:`~repro.net.client.BatteryClient` state machine (battery
+  drain → quality steps, light sensor → ambient re-binds), driven by
+  *modeled* playback time so every run is deterministic;
+* end to end: post-switch frames byte-identical to a fresh fetch at the
+  target binding, with no reconnect — through a direct socket, through
+  :class:`LossyTransport` (reconnect-with-resume replays the switch
+  plan), and across a fleet shard.
+
+Live switches need the producer paced against the client (otherwise a
+tiny clip is fully produced before the request arrives):
+``queue_depth=1`` + ``batch_records=1`` + ``batch_bytes=1`` couples
+production to the client's reads record by record.
+"""
+
+import asyncio
+import random
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.net import (
+    AnnotationStreamServer,
+    AsyncMobileClient,
+    BatteryClient,
+    FaultSpec,
+    FetchOptions,
+    LossyTransport,
+    MESSAGE_KINDS,
+    ServeConfig,
+    decode_control,
+    decode_portable_token,
+    encode_portable_token,
+    encode_requality,
+    encode_requality_ack,
+)
+from repro.net.client import _FetchProgress
+from repro.power import Battery
+from repro.streaming import AdaptationControl, MediaServer, PacketType
+from repro.telemetry import flight_events, registry
+from repro.video import LazyClip, SceneSpec, ScriptedClipFactory
+
+DEVICE_NAME = "ipaq5555"
+CLIP = "adaptclip"
+FRAMES = 120
+FPS = 30.0
+TARGET_QUALITY = 0.2
+
+#: Producer paced record-by-record against the client's reads, so a
+#: live requality lands before the clip is fully produced.
+PACED = ServeConfig(
+    portable_tokens=True, queue_depth=1, batch_records=1, batch_bytes=1
+)
+
+#: Drains a 0.004 Wh pack at 20 W: all four default SOC thresholds are
+#: crossed within the first modeled second of playback, so the client
+#: requests the bottom of the ladder early in the stream.
+TINY_BATTERY = dict(
+    battery_trace="0:20",
+    battery=Battery(capacity_wh=0.004, rated_power_w=1.5),
+)
+
+
+def _adaptive_clip():
+    """Ten 12-frame scenes (alternating dark/bright) at 30 fps."""
+    scenes = []
+    for i in range(10):
+        if i % 2 == 0:
+            scenes.append(SceneSpec("dark", 12, {
+                "background": 0.15 + 0.01 * i, "highlight": 0.6,
+                "glow_level": 0.3,
+            }))
+        else:
+            scenes.append(SceneSpec("bright", 12, {
+                "background": 0.85, "variation": 0.08,
+            }))
+    factory = ScriptedClipFactory(scenes, resolution=(48, 36), seed=11)
+    return LazyClip(factory, frame_count=factory.frame_count, fps=FPS,
+                    name=CLIP, resolution=(48, 36))
+
+
+def _media():
+    server = MediaServer()
+    server.add_clip(_adaptive_clip())
+    return server
+
+
+def _battery_client(device, **overrides):
+    kwargs = dict(TINY_BATTERY)
+    kwargs.update(
+        max_retries=0,
+        backoff_base_s=0.01,
+        backoff_max_s=0.05,
+        jitter_s=0.0,
+        rng=random.Random(0),
+    )
+    kwargs.update(overrides)
+    return BatteryClient(device, **kwargs)
+
+
+def _plain_client(device, **overrides):
+    kwargs = dict(max_retries=0, backoff_base_s=0.01, backoff_max_s=0.05,
+                  jitter_s=0.0, rng=random.Random(0))
+    kwargs.update(overrides)
+    return AsyncMobileClient(device, **kwargs)
+
+
+def _frame_bytes(result):
+    return {
+        p.frame_index: p.frame.pixels.tobytes()
+        for p in result.packets if p.ptype is PacketType.FRAME
+    }
+
+
+def _annotations(result):
+    return [bytes(p.payload) for p in result.packets
+            if p.ptype is PacketType.ANNOTATION]
+
+
+def _assert_post_switch_identical(adaptive, reference, boundary):
+    """Frames from ``boundary`` on must match the reference fetch."""
+    mine, ref = _frame_bytes(adaptive), _frame_bytes(reference)
+    assert sorted(mine) == list(range(FRAMES))  # frame-seq continuity
+    post = [i for i in range(FRAMES) if i >= boundary]
+    assert post, "switch landed after the last frame"
+    for i in post:
+        assert mine[i] == ref[i], f"frame {i} differs post-switch"
+    # The re-bound annotation is the reference session's head annotation.
+    assert _annotations(adaptive)[-1] == _annotations(reference)[0]
+
+
+# ---------------------------------------------------------------------------
+# wire vocabulary
+
+
+class TestRequalityMessages:
+    def test_kind_registered(self):
+        assert "requality" in MESSAGE_KINDS
+
+    def test_request_round_trip(self):
+        packet = encode_requality(quality=0.15, ambient="office", seq=3)
+        message = decode_control(packet)
+        assert message.kind == "requality"
+        info = message.requality
+        assert info.is_request
+        assert info.quality == 0.15
+        assert info.ambient == "office"
+
+    def test_request_needs_a_change(self):
+        with pytest.raises(ValueError):
+            encode_requality()
+
+    def test_ack_round_trip(self):
+        packet = encode_requality_ack(
+            True, 45, quality=0.2, ambient="office", token="tok", seq=0
+        )
+        info = decode_control(packet).requality
+        assert not info.is_request
+        assert info.applied is True
+        assert (info.frame, info.quality, info.ambient, info.token) == (
+            45, 0.2, "office", "tok"
+        )
+
+    def test_reject_round_trip(self):
+        info = decode_control(
+            encode_requality_ack(False, 119, error="no boundary left", seq=0)
+        ).requality
+        assert info.applied is False
+        assert info.error == "no boundary left"
+
+    def test_portable_token_carries_switch_plan(self):
+        plan = ((45, 0.2, None), (57, 0.2, "office"))
+        token = encode_portable_token(CLIP, 0.0, DEVICE_NAME, switches=plan)
+        info = decode_portable_token(token)
+        assert info.switches == plan
+        assert info.quality == 0.0  # opening quality, not the target
+
+
+# ---------------------------------------------------------------------------
+# the mailbox
+
+
+class TestAdaptationControl:
+    def test_latest_request_wins_and_poll_clears(self):
+        control = AdaptationControl()
+        control.request(quality=0.1)
+        control.request(quality=0.2, ambient="office")
+        assert control.poll_request() == (0.2, "office")
+        assert control.poll_request() is None
+
+    def test_pending_requests_merge_field_wise(self):
+        # A quality step must survive a later ambient-only request (and
+        # vice versa) when both land before the producer polls.
+        control = AdaptationControl()
+        control.request(quality=0.2)
+        control.request(ambient="office")
+        assert control.poll_request() == (0.2, "office")
+        control.request(ambient="sunlight")
+        control.request(quality=0.05)
+        assert control.poll_request() == (0.05, "sunlight")
+
+    def test_empty_request_rejected(self):
+        with pytest.raises(ValueError):
+            AdaptationControl().request()
+
+    def test_plan_peek_and_expiry(self):
+        control = AdaptationControl(plan=[(10, 0.2, None), (20, 0.2, "office")])
+        assert control.next_planned(0) == (10, 0.2, None)
+        assert control.next_planned(11) == (20, 0.2, "office")
+        assert control.next_planned(21) is None
+
+    def test_live_switch_emits_ack_and_extends_plan(self):
+        control = AdaptationControl()
+        seen = []
+        control.ack_builder = lambda frame, quality, ambient, plan: (
+            seen.append((frame, quality, ambient, plan)) or "ACK"
+        )
+        packets = control.switch_applied(45, 0.2, "office", live=True)
+        assert packets == ["ACK"]
+        assert seen == [(45, 0.2, "office", ((45, 0.2, "office"),))]
+        assert control.switch_plan() == ((45, 0.2, "office"),)
+
+    def test_replay_switch_emits_nothing(self):
+        control = AdaptationControl(plan=[(45, 0.2, None)])
+        control.ack_builder = lambda *a: "ACK"
+        assert control.switch_applied(45, 0.2, None, live=False) == []
+        assert control.next_planned(0) is None
+        assert control.switch_plan() == ((45, 0.2, None),)
+
+
+# ---------------------------------------------------------------------------
+# the client state machine (modeled time — no sockets)
+
+
+def _progress(quality=0.0, frames_seen=0):
+    progress = _FetchProgress()
+    progress.session = SimpleNamespace(quality=quality, fps=FPS)
+    progress.frames_seen = frames_seen
+    return progress
+
+
+class TestBatteryClientModel:
+    def test_state_of_charge_decreases(self, device):
+        client = _battery_client(device)
+        socs = [client.state_of_charge(t) for t in (0.0, 0.3, 0.6, 10.0)]
+        assert socs[0] == pytest.approx(1.0)
+        assert all(b <= a for a, b in zip(socs, socs[1:]))
+        assert socs[-1] == 0.0
+
+    def test_no_battery_trace_means_full_charge(self, device):
+        client = BatteryClient(device, ambient_trace="office")
+        assert client.state_of_charge(1e6) == 1.0
+
+    def test_validation(self, device):
+        with pytest.raises(ValueError):
+            BatteryClient(device, soc_thresholds=(1.5,))
+        with pytest.raises(ValueError):
+            BatteryClient(device, quality_ladder=())
+
+    def test_steps_down_ladder_as_battery_drains(self, device):
+        client = _battery_client(device)
+        progress = _progress(quality=0.0)
+        assert client._advise(progress) is None  # t=0: full charge
+        # By frame 60 (t=2 s) the tiny pack is flat: one request straight
+        # to the bottom of the ladder.
+        progress.frames_seen = 60
+        assert client._advise(progress) == (TARGET_QUALITY, None)
+        # Crossings are edge-triggered: no repeat requests.
+        progress.frames_seen = 90
+        assert client._advise(progress) is None
+
+    def test_never_steps_above_opening_quality(self, device):
+        client = _battery_client(device)
+        progress = _progress(quality=TARGET_QUALITY)  # already at the bottom
+        progress.frames_seen = 60
+        assert client._advise(progress) is None
+
+    def test_ambient_change_requests_rebind_once(self, device):
+        client = BatteryClient(device, ambient_trace="0:dark-room,1:office")
+        progress = _progress()
+        assert client._advise(progress) is None  # still dark
+        progress.frames_seen = int(1.5 * FPS)
+        assert client._advise(progress) == (None, "office")
+        progress.frames_seen = int(2.0 * FPS)
+        assert client._advise(progress) is None  # edge-triggered
+
+
+class TestFetchOptionsClient:
+    def test_traces_build_battery_client(self, device):
+        options = FetchOptions(battery_trace="0:2.5", ambient_trace="office")
+        client = options.client(device)
+        assert isinstance(client, BatteryClient)
+        assert client.load_trace is not None
+        assert client.ambient_trace is not None
+
+    def test_plain_options_build_plain_client(self, device):
+        client = FetchOptions().client(device)
+        assert not isinstance(client, BatteryClient)
+
+    def test_bad_specs_rejected(self):
+        with pytest.raises(ValueError):
+            FetchOptions(battery_trace="nonsense")
+        with pytest.raises(ValueError):
+            FetchOptions(ambient_trace="0:office,0:sunlight")
+
+    def test_serve_config_validates_ambient(self):
+        with pytest.raises(ValueError):
+            ServeConfig(ambient="x:office")
+
+
+# ---------------------------------------------------------------------------
+# end to end
+
+
+def _counter(name):
+    metric = registry().get(name)
+    return 0 if metric is None else metric.value
+
+
+def test_battery_requality_byte_identical_no_reconnect(device):
+    """The tentpole guarantee on a direct socket.
+
+    A battery-driven client opens at the best quality; its modeled pack
+    drains within a second, so it requests the bottom of the ladder
+    mid-stream.  The switch applies at a scene boundary, nothing is
+    replayed, and every post-switch frame is byte-identical to a fresh
+    fetch at the target quality.
+    """
+
+    async def run():
+        async with AnnotationStreamServer(_media(), config=PACED) as server:
+            host, port = server.address
+            before = _counter("repro_requality_total")
+            adaptive = await _battery_client(device).fetch(
+                host, port, CLIP, 0.0
+            )
+            reference = await _plain_client(device).fetch(
+                host, port, CLIP, TARGET_QUALITY
+            )
+            return adaptive, reference, before
+
+    adaptive, reference, before = asyncio.run(run())
+    assert adaptive.attempts == 1  # no reconnect
+    applied = [r for r in adaptive.requalities if r.applied]
+    assert applied, "no requality landed — pacing broke?"
+    assert applied[-1].quality == TARGET_QUALITY
+    assert applied[-1].token, "applied ack must re-issue the resume token"
+    _assert_post_switch_identical(adaptive, reference, applied[-1].frame)
+    assert _counter("repro_requality_total") >= before + 1
+    kinds = {e["kind"] for e in flight_events()}
+    assert {"requality_request", "session_requality"} <= kinds
+
+
+def test_ambient_requality_matches_ambient_session(device):
+    """An ambient re-bind converges on the serve-time ambient session.
+
+    The client's light sensor switches dark-room → office one modeled
+    second in; post-switch output must be byte-identical to a session
+    served with ``ServeConfig(ambient="office")`` from the start.
+    """
+
+    async def run():
+        async with AnnotationStreamServer(_media(), config=PACED) as server:
+            host, port = server.address
+            client = BatteryClient(
+                device, ambient_trace="0:dark-room,1:office",
+                max_retries=0, jitter_s=0.0, rng=random.Random(0),
+            )
+            adaptive = await client.fetch(host, port, CLIP, 0.0)
+        office = PACED.replace(ambient="office")
+        async with AnnotationStreamServer(_media(), config=office) as server:
+            reference = await _plain_client(device).fetch(
+                *server.address, CLIP, 0.0
+            )
+        return adaptive, reference
+
+    adaptive, reference = asyncio.run(run())
+    applied = [r for r in adaptive.requalities if r.applied]
+    assert applied and applied[-1].ambient == "office"
+    _assert_post_switch_identical(adaptive, reference, applied[-1].frame)
+
+
+def test_requality_survives_lossy_transport(device):
+    """Reconnect-with-resume replays the switch plan byte-identically.
+
+    The relay kills every connection after 60 records — after the live
+    switch has been applied and acked.  The client resumes with the
+    re-issued token; the server replays the remainder under the switch
+    plan, so the reassembled stream still matches the fresh fetch at
+    the target quality post-switch.
+    """
+    # No per-record delay: extra relay lag would let the CPU-bound
+    # producer run ahead through the socket buffers and race the live
+    # request past the last scene boundary.
+    spec = FaultSpec(kill_after_records=60, seed=3)
+
+    async def run():
+        async with AnnotationStreamServer(_media(), config=PACED) as server:
+            async with LossyTransport(*server.address, spec=spec) as lossy:
+                adaptive = await _battery_client(device, max_retries=8).fetch(
+                    *lossy.address, CLIP, 0.0
+                )
+            reference = await _plain_client(device).fetch(
+                *server.address, CLIP, TARGET_QUALITY
+            )
+            return adaptive, reference
+
+    adaptive, reference = asyncio.run(run())
+    assert adaptive.resumes >= 1, "the relay should have forced a resume"
+    applied = [r for r in adaptive.requalities if r.applied]
+    # The slowed wire can surface the battery crossings incrementally
+    # (several small steps); only the final landing point is pinned.
+    assert applied and applied[-1].quality == TARGET_QUALITY
+    _assert_post_switch_identical(adaptive, reference, applied[-1].frame)
+
+
+def _fleet_catalog():
+    """Picklable catalog factory for the fleet workers."""
+    return _media()
+
+
+def test_requality_across_fleet_shard(device):
+    """The requality loop works through the fleet router.
+
+    The connection is pinned to the owning shard, so mid-stream requests
+    ride the same duplex path; the adapted stream must match a fresh
+    router fetch at the target quality post-switch.
+    """
+    from repro.fleet import FleetCoordinator
+
+    async def run():
+        async with FleetCoordinator(_fleet_catalog, shards=2, config=PACED,
+                                    health_interval_s=0.2) as fleet:
+            host, port = fleet.address
+            adaptive = await _battery_client(device, max_retries=2).fetch(
+                host, port, CLIP, 0.0
+            )
+            reference = await _plain_client(device, max_retries=2).fetch(
+                host, port, CLIP, TARGET_QUALITY
+            )
+            return adaptive, reference
+
+    adaptive, reference = asyncio.run(run())
+    applied = [r for r in adaptive.requalities if r.applied]
+    assert applied and applied[-1].quality == TARGET_QUALITY
+    _assert_post_switch_identical(adaptive, reference, applied[-1].frame)

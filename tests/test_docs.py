@@ -84,3 +84,44 @@ def test_roadmap_open_items_populated():
     assert "populated by the first re-anchor" not in roadmap
     section = roadmap.split("Open items", 1)[1]
     assert section.count("- ") >= 3, "Open items should list concrete directions"
+
+
+def test_protocol_kind_table_matches_code():
+    """Doc–code sync gate: the control-plane table tracks the wire.
+
+    Every kind the codec speaks (``repro.net.messages.MESSAGE_KINDS``)
+    must have a row in docs/protocol.md's control-plane table, and every
+    kind the table documents must still exist in the code.  Adding or
+    removing a message kind without regenerating the table fails CI.
+    """
+    from repro.net.messages import MESSAGE_KINDS
+
+    text = (REPO_ROOT / "docs" / "protocol.md").read_text()
+    rows = re.findall(r"^\| `([a-z]+)` \|", text, flags=re.MULTILINE)
+    assert rows, "protocol.md lost its control-plane kind table"
+    documented = set(rows)
+    spoken = set(MESSAGE_KINDS)
+    missing = spoken - documented
+    stale = documented - spoken
+    assert not missing, (
+        f"wire kinds missing from docs/protocol.md: {sorted(missing)} — "
+        "regenerate the control-plane table"
+    )
+    assert not stale, (
+        f"docs/protocol.md documents kinds the wire no longer speaks: "
+        f"{sorted(stale)}"
+    )
+
+
+def test_operations_documents_requality_metric():
+    """The runbook covers the mid-stream adaptation loop."""
+    operations = (REPO_ROOT / "docs" / "operations.md").read_text()
+    assert "repro_requality_total" in operations
+    assert "session_requality" in operations
+
+
+def test_readme_links_adaptation_and_benchmarks():
+    """The README routes readers to the adaptation note and bench docs."""
+    readme = (REPO_ROOT / "README.md").read_text()
+    assert "docs/adaptation.md" in readme
+    assert "docs/benchmarks.md" in readme
